@@ -1,0 +1,1 @@
+bench/ablations.ml: Addr Array Bench_common Bytes Core Int64 List Machine Printf Size Sj_compress Sj_core Sj_genomics Sj_gups Sj_kernel Sj_kvstore Sj_machine Sj_mem Sj_paging Sj_util Table

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Printf Size Sj_core Sj_kernel Sj_machine Sj_util String

@@ -1,0 +1,1 @@
+bench/checker_eval.ml: Bench_common Interp Ir List Printf Rng Sj_checker Sj_util Table Transform

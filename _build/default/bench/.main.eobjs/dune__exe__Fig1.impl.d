@@ -1,0 +1,1 @@
+bench/fig1.ml: Bench_common Core List Machine Printf Size Sj_kernel Sj_machine Sj_paging Sj_util Table

@@ -1,0 +1,1 @@
+bench/fig10.ml: Bench_common List Sj_kvstore Sj_util Table

@@ -1,0 +1,1 @@
+bench/fig11_12.ml: Bench_common Bytes List Machine Size Sj_core Sj_genomics Sj_machine Sj_memfs Sj_util Table

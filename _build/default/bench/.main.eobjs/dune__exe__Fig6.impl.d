@@ -1,0 +1,1 @@
+bench/fig6.ml: Addr Bench_common Core List Machine Rng Size Sj_kernel Sj_machine Sj_paging Sj_util Table

@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_common Bytes Core List Machine Size Sj_core Sj_ipc Sj_kernel Sj_machine Sj_paging Sj_util Table

@@ -1,0 +1,1 @@
+bench/fig8_9.ml: Bench_common List Size Sj_gups Sj_util Table

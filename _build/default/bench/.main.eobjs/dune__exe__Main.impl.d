@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bench_common Checker_eval Fig1 Fig10 Fig11_12 Fig6 Fig7 Fig8_9 Format List Micro Printf Sj_machine String Sys Table2

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance List Measure Size Sj_alloc Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_tlb Sj_util Staged Table Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table2.ml: Bench_common Core Size Sj_core Sj_kernel Sj_machine Sj_paging Sj_util Table

@@ -1,0 +1,407 @@
+(* Ablation benches for the design choices DESIGN.md calls out:
+
+   1. TLB tag policy and capacity (sec 4.4's trade-off discussion);
+   2. cached segment translations (sec 4.1's attach acceleration);
+   3. lock granularity: reader/writer lock vs plain mutex (sec 5.3's
+      "more scalable lock design" remark);
+   4. page size: 4 KiB vs 2 MiB mappings for Fig. 1-style construction. *)
+
+open Sj_util
+open Bench_common
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Prot = Sj_paging.Prot
+module Gups = Sj_gups.Gups
+module Kv = Sj_kvstore.Kv_sim
+module Page_table = Sj_paging.Page_table
+module Pm = Sj_mem.Phys_mem
+
+let tlb_tags () =
+  section "Ablation: TLB tag policy on GUPS (M3, 8 x 16 MiB windows)";
+  note "Tags keep per-window translations across switches; the benefit";
+  note "shrinks as windows multiply and capacity-miss rates take over.";
+  let t =
+    Table.create
+      [ ("windows", Table.Right); ("MUPS (untagged)", Table.Right);
+        ("MUPS (tagged)", Table.Right); ("TLB miss/s untagged", Table.Right);
+        ("TLB miss/s tagged", Table.Right) ]
+  in
+  List.iter
+    (fun windows ->
+      let cfg tags =
+        { Gups.default_config with windows; window_size = Size.mib 16; window_visits = 300; tags }
+      in
+      let off = Gups.run (cfg false) ~design:Gups.Spacejmp in
+      let on = Gups.run (cfg true) ~design:Gups.Spacejmp in
+      Table.add_row t
+        [
+          string_of_int windows;
+          Table.cell_float off.Gups.mups;
+          Table.cell_float on.Gups.mups;
+          Table.cell_int (int_of_float off.Gups.tlb_misses_per_sec);
+          Table.cell_int (int_of_float on.Gups.tlb_misses_per_sec);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print t
+
+let translation_cache () =
+  section "Ablation: cached segment translations (attach cost, M2)";
+  note "Grafting pre-built page-table subtrees turns per-page attach";
+  note "costs into one PDPT write per GiB (sec 4.1).";
+  let t =
+    Table.create
+      [
+        ("segment size", Table.Left);
+        ("attach, no cache [cyc]", Table.Right);
+        ("attach, cached [cyc]", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun size ->
+      let _, _, ctx = fresh_system () in
+      let core = Api.core ctx in
+      let v1 = Api.vas_create ctx ~name:"nc" ~mode:0o600 in
+      let v2 = Api.vas_create ctx ~name:"c" ~mode:0o600 in
+      let seg = Api.seg_alloc_anywhere ctx ~name:"seg" ~size ~mode:0o600 in
+      Api.seg_attach ctx v1 seg ~prot:Prot.rw;
+      Api.seg_attach ctx v2 seg ~prot:Prot.rw;
+      let c0 = Core.cycles core in
+      let _vh1 = Api.vas_attach ctx v1 in
+      let cold = Core.cycles core - c0 in
+      Api.seg_ctl ctx (`Cache_translations seg);
+      let c1 = Core.cycles core in
+      let _vh2 = Api.vas_attach ctx v2 in
+      let cached = Core.cycles core - c1 in
+      Table.add_row t
+        [
+          Size.to_string size;
+          Table.cell_int cold;
+          Table.cell_int cached;
+          Printf.sprintf "%.1fx" (float_of_int cold /. float_of_int cached);
+        ])
+    [ Size.mib 16; Size.mib 64; Size.mib 256; Size.gib 1 ];
+  Table.print t
+
+let lock_design () =
+  section "Ablation: reader/writer lock vs mutex (RedisJMP GET, M1)";
+  note "A mutex serializes readers; the rwlock admits them in parallel --";
+  note "the design reason lockable segments tie lock mode to mapping prot.";
+  let t =
+    Table.create
+      [
+        ("clients", Table.Right);
+        ("rwlock GET/s", Table.Right);
+        ("mutex GET/s", Table.Right);
+      ]
+  in
+  List.iter
+    (fun clients ->
+      let base = { Kv.default_config with clients } in
+      let rw = Kv.run base in
+      let mutex = Kv.run { base with force_exclusive = true } in
+      Table.add_row t
+        [
+          string_of_int clients;
+          Table.cell_int (int_of_float rw.Kv.throughput);
+          Table.cell_int (int_of_float mutex.Kv.throughput);
+        ])
+    [ 1; 2; 4; 8; 12 ];
+  Table.print t
+
+let page_size () =
+  section "Ablation: 4 KiB vs 2 MiB pages for region construction (M2)";
+  note "Huge pages cut PTE count 512x but need size-aligned regions;";
+  note "sec 6 notes superpage TLBs can be small, so Fig. 6-style benefits vary.";
+  let t =
+    Table.create
+      [
+        ("region", Table.Left);
+        ("map 4 KiB [ms]", Table.Right);
+        ("map 2 MiB [ms]", Table.Right);
+      ]
+  in
+  let platform = Sj_machine.Platform.m2 in
+  List.iter
+    (fun size ->
+      let machine = Machine.create platform in
+      let core = Machine.core machine 0 in
+      let pt = Page_table.create (Machine.mem machine) in
+      let cost = Machine.cost machine in
+      let charge_delta f =
+        let s0 : Page_table.stats =
+          let s = Page_table.stats pt in
+          { tables_allocated = s.tables_allocated; tables_freed = s.tables_freed;
+            pte_writes = s.pte_writes; pte_clears = s.pte_clears }
+        in
+        f ();
+        let s1 = Page_table.stats pt in
+        Core.charge core
+          (((s1.tables_allocated - s0.tables_allocated) * cost.table_alloc)
+          + ((s1.pte_writes - s0.pte_writes) * cost.pte_write))
+      in
+      let base = Size.gib 4 in
+      let c0 = Core.cycles core in
+      charge_delta (fun () ->
+          for i = 0 to (size / Addr.page_size) - 1 do
+            Page_table.map pt
+              ~va:(base + (i * Addr.page_size))
+              ~pa:(i * Addr.page_size) ~prot:Prot.rw ~size:Page_table.P4K
+          done);
+      let small = Core.cycles core - c0 in
+      let c1 = Core.cycles core in
+      charge_delta (fun () ->
+          for i = 0 to (size / Size.mib 2) - 1 do
+            Page_table.map pt
+              ~va:(Size.gib 16 + (i * Size.mib 2))
+              ~pa:(i * Size.mib 2) ~prot:Prot.rw ~size:Page_table.P2M
+          done);
+      let huge = Core.cycles core - c1 in
+      Table.add_row t
+        [
+          Size.to_string size;
+          Table.cell_float ~decimals:4 (ms_of_cycles platform small);
+          Table.cell_float ~decimals:4 (ms_of_cycles platform huge);
+        ])
+    [ Size.mib 64; Size.mib 256; Size.gib 1 ];
+  Table.print t
+
+let snapshot_vs_copy () =
+  section "Ablation: copy-on-write snapshot vs eager clone (M2)";
+  note "Versioning via seg_snapshot costs O(mapped PTE protections);";
+  note "seg_clone copies every page up front. COW pays per page only";
+  note "when (and if) the page is written (sec 7).";
+  let t =
+    Table.create
+      [
+        ("segment", Table.Left);
+        ("seg_clone [cyc]", Table.Right);
+        ("seg_snapshot [cyc]", Table.Right);
+        ("first write to a page [cyc]", Table.Right);
+      ]
+  in
+  List.iter
+    (fun size ->
+      let _, _, ctx = fresh_system () in
+      let core = Api.core ctx in
+      let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+      let seg = Api.seg_alloc_anywhere ctx ~name:"data" ~size ~mode:0o600 in
+      Api.seg_attach ctx vas seg ~prot:Prot.rw;
+      let vh = Api.vas_attach ctx vas in
+      let c0 = Core.cycles core in
+      let _clone = Api.seg_clone ctx seg ~name:"clone" in
+      let clone_cost = Core.cycles core - c0 in
+      let c1 = Core.cycles core in
+      let _snap = Api.seg_snapshot ctx seg ~name:"snap" in
+      let snap_cost = Core.cycles core - c1 in
+      Api.vas_switch ctx vh;
+      let c2 = Core.cycles core in
+      Api.store64 ctx ~va:(Segment.base seg) 1L;
+      let write_cost = Core.cycles core - c2 in
+      Api.switch_home ctx;
+      Table.add_row t
+        [
+          Size.to_string size;
+          Table.cell_int clone_cost;
+          Table.cell_int snap_cost;
+          Table.cell_int write_cost;
+        ])
+    [ Size.mib 4; Size.mib 16; Size.mib 64 ];
+  Table.print t
+
+let memory_tiers () =
+  section "Ablation: window placement across memory tiers (sec 7, M3 + NVM tier)";
+  note "The same GUPS-style scatter workload against a window segment in";
+  note "the DRAM performance tier vs the NVM-class capacity tier.";
+  let t =
+    Table.create
+      [ ("window tier", Table.Left); ("cycles / update", Table.Right); ("MUPS", Table.Right) ]
+  in
+  List.iter
+    (fun (label, tier) ->
+      Sj_kernel.Layout.reset_global_allocator ();
+      let platform =
+        Sj_machine.Platform.with_capacity_tier Sj_machine.Platform.m3 ~size:(Size.gib 4)
+      in
+      let machine = Machine.create platform in
+      let sys = Sj_core.Api.boot machine in
+      let proc = Sj_kernel.Process.create ~name:"tiers" machine in
+      let ctx = Api.context sys proc (Machine.core machine 0) in
+      let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+      let seg = Api.seg_alloc_anywhere ~tier ctx ~name:"win" ~size:(Size.mib 16) ~mode:0o600 in
+      Api.seg_attach ctx vas seg ~prot:Prot.rw;
+      let vh = Api.vas_attach ctx vas in
+      Api.vas_switch ctx vh;
+      let core = Api.core ctx in
+      let rng = Sj_util.Rng.create ~seed:5 in
+      let updates = 20_000 in
+      let c0 = Core.cycles core in
+      for _ = 1 to updates do
+        let va = Segment.base seg + (Sj_util.Rng.int rng (Size.mib 16 / 8) * 8) in
+        let v = Core.load64 core ~va in
+        Core.store64 core ~va (Int64.logxor v 1L)
+      done;
+      let cycles = Core.cycles core - c0 in
+      let seconds =
+        Sj_machine.Cost_model.cycles_to_seconds (Machine.cost machine) cycles
+      in
+      Table.add_row t
+        [
+          label;
+          Table.cell_int (cycles / updates);
+          Table.cell_float (float_of_int updates /. seconds /. 1e6);
+        ])
+    [ ("performance (DRAM)", `Performance); ("capacity (NVM-class)", `Capacity) ];
+  Table.print t
+
+let window_scaling () =
+  section "Validation: GUPS window-size sensitivity (M3, 8 windows)";
+  note "EXPERIMENTS.md scales Fig. 8's windows from the paper's 1 GiB to";
+  note "16 MiB. This sweep shows the design ordering and ratios are";
+  note "stable in window size (MAP degrades further as windows grow,";
+  note "strengthening the paper's conclusion).";
+  let t =
+    Table.create ~title:"MUPS per process (64-update sets)"
+      [
+        ("window size", Table.Left);
+        ("SpaceJMP", Table.Right);
+        ("MP", Table.Right);
+        ("MAP", Table.Right);
+        ("SpaceJMP/MP", Table.Right);
+      ]
+  in
+  List.iter
+    (fun window_size ->
+      let cfg =
+        { Gups.default_config with windows = 8; window_size; window_visits = 200 }
+      in
+      let sj = Gups.run cfg ~design:Gups.Spacejmp in
+      let mp = Gups.run cfg ~design:Gups.Mp in
+      let map = Gups.run cfg ~design:Gups.Map in
+      Table.add_row t
+        [
+          Size.to_string window_size;
+          Table.cell_float sj.Gups.mups;
+          Table.cell_float mp.Gups.mups;
+          Table.cell_float map.Gups.mups;
+          Printf.sprintf "%.2fx" (sj.Gups.mups /. mp.Gups.mups);
+        ])
+    [ Size.mib 4; Size.mib 16; Size.mib 64 ];
+  Table.print t
+
+let region_queries () =
+  section "Ablation: region queries (samtools view) across storage designs (M1)";
+  note "Fetch the reads in a small genomic window. File designs must";
+  note "deserialize (BAM+index only the covering blocks); SpaceJMP keeps";
+  note "records and index in memory and touches candidates directly.";
+  let module Record = Sj_genomics.Record in
+  let module Ops = Sj_genomics.Ops in
+  let module View = Sj_genomics.View in
+  let module Bam = Sj_genomics.Bam in
+  let module Sam = Sj_genomics.Sam in
+  let module Block_lz = Sj_compress.Block_lz in
+  let platform = Sj_machine.Platform.m1 in
+  let records =
+    Record.generate ~seed:42 ~references:Record.default_references ~reads:30_000 ~read_len:100
+  in
+  let sorted =
+    Ops.apply_permutation records (Ops.sort_permutation (Ops.host_only records) ~by:`Coordinate)
+  in
+  let rname = "chr1" and lo = 60_000 and hi = 64_000 in
+  let machine = Machine.create platform in
+  let core = Machine.core machine 0 in
+  let measure f =
+    let c0 = Core.cycles core in
+    let n = f () in
+    (n, Core.cycles core - c0)
+  in
+  let filter rs =
+    List.length
+      (List.filter
+         (fun (r : Record.t) ->
+           Record.is_mapped r && r.Record.rname = rname && r.Record.pos >= lo
+           && r.Record.pos < hi)
+         (Array.to_list rs))
+  in
+  (* SAM: parse the whole file. *)
+  let sam_bytes = Sam.encode Record.default_references sorted in
+  let n_sam, c_sam =
+    measure (fun () ->
+        Core.charge core (Sam.parse_cycles ~bytes:(Bytes.length sam_bytes));
+        match Sam.decode sam_bytes with Ok rs -> filter rs | Error e -> failwith e)
+  in
+  (* BAM without index: decompress + decode everything. *)
+  let bam_bytes, offsets = Bam.encode_indexed Record.default_references sorted in
+  let raw_len = offsets.(Array.length offsets - 1) in
+  let n_bam, c_bam =
+    measure (fun () ->
+        Core.charge core (Block_lz.decompress_cycles ~uncompressed:raw_len);
+        Core.charge core (Bam.decode_cycles ~raw_bytes:raw_len);
+        match Bam.decode bam_bytes with Ok rs -> filter rs | Error e -> failwith e)
+  in
+  (* BAM + index: only the covering blocks. *)
+  let v = View.build Record.default_references sorted in
+  let n_idx, c_idx = measure (fun () -> List.length (View.query ~charge_to:core v ~rname ~lo ~hi)) in
+  (* SpaceJMP: switch in, walk the in-memory index, touch candidates. *)
+  let n_sj, c_sj =
+    let sys = Sj_core.Api.boot machine in
+    let proc = Sj_kernel.Process.create ~name:"view" machine in
+    let ctx = Sj_core.Api.context sys proc core in
+    let span = Array.fold_left (fun a r -> a + Record.approx_bytes r) 0 sorted in
+    let vas = Api.vas_create ctx ~name:"geno" ~mode:0o600 in
+    let seg = Api.seg_alloc_anywhere ctx ~name:"recs" ~size:(span + Size.mib 1) ~mode:0o600 in
+    Api.seg_attach ctx vas seg ~prot:Prot.rw;
+    let vh = Api.vas_attach ctx vas in
+    let addrs = Array.make (Array.length sorted) 0 in
+    let cursor = ref (Segment.base seg) in
+    Array.iteri
+      (fun i r ->
+        addrs.(i) <- !cursor;
+        cursor := !cursor + Record.approx_bytes r)
+      sorted;
+    let index = Ops.build_index (Ops.host_only sorted) ~bin_bp:View.bin_bp in
+    measure (fun () ->
+        Api.vas_switch ctx vh;
+        let d = Ops.in_memory sorted ~addrs ~core in
+        let hits = ref 0 in
+        List.iter
+          (fun (e : Ops.index_entry) ->
+            if e.bin_rname = rname && e.bin_id >= lo / View.bin_bp && e.bin_id <= (hi - 1) / View.bin_bp
+            then
+              for i = e.first to e.first + e.count - 1 do
+                (match d.Ops.addrs with
+                | Some a -> Core.touch core ~va:a.(i) ~access:Machine.Read
+                | None -> ());
+                let r = sorted.(i) in
+                if r.Record.pos >= lo && r.Record.pos < hi then incr hits
+              done)
+          index;
+        Api.switch_home ctx;
+        !hits)
+  in
+  let t =
+    Table.create ~title:(Printf.sprintf "query %s:%d-%d over 30k records" rname lo hi)
+      [ ("design", Table.Left); ("hits", Table.Right); ("cycles", Table.Right); ("vs SpaceJMP", Table.Right) ]
+  in
+  List.iter
+    (fun (name, hits, cycles) ->
+      Table.add_row t
+        [ name; Table.cell_int hits; Table.cell_int cycles;
+          Printf.sprintf "%.1fx" (float_of_int cycles /. float_of_int c_sj) ])
+    [
+      ("SAM (full parse)", n_sam, c_sam);
+      ("BAM (full decode)", n_bam, c_bam);
+      ("BAM + index", n_idx, c_idx);
+      ("SpaceJMP", n_sj, c_sj);
+    ];
+  Table.print t
+
+let run () =
+  window_scaling ();
+  tlb_tags ();
+  translation_cache ();
+  lock_design ();
+  page_size ();
+  snapshot_vs_copy ();
+  memory_tiers ();
+  region_queries ()

@@ -1,0 +1,25 @@
+(* Shared helpers for the benchmark harness. *)
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Cost_model = Sj_machine.Cost_model
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* A fresh machine + booted system + one process context on core 0. *)
+let fresh_system ?(platform = Platform.m2) ?(backend = Sj_core.Api.Dragonfly) () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  let machine = Machine.create platform in
+  let sys = Sj_core.Api.boot ~backend machine in
+  let proc = Sj_kernel.Process.create ~name:"bench" machine in
+  let ctx = Sj_core.Api.context sys proc (Machine.core machine 0) in
+  (machine, sys, ctx)
+
+let ms_of_cycles platform cycles =
+  Cost_model.cycles_to_ms (platform : Platform.t).cost cycles
+
+let pow2_label bytes = Printf.sprintf "2^%d" (Size.log2 bytes)

@@ -1,0 +1,64 @@
+(* Figure 1: page-table construction (mmap) and removal (munmap) cost
+   versus region size, 4 KiB pages, cached and uncached.
+
+   "Cached" maps an existing VM object (pages already in the page
+   cache); "uncached" includes allocating and zeroing the pages. The
+   paper's headline: ~5 ms for 1 GiB, ~2 s for 64 GiB, linear in
+   region size. *)
+
+open Sj_util
+open Bench_common
+module Vmspace = Sj_kernel.Vmspace
+module Vm_object = Sj_kernel.Vm_object
+module Prot = Sj_paging.Prot
+
+let run () =
+  section "Figure 1: mmap/munmap latency vs region size (4 KiB pages)";
+  note "Paper reference points: 1 GiB map ~5 ms; costs linear in size;";
+  note "cached mapping (pages already resident) ~10x cheaper.";
+  let platform = Sj_machine.Platform.m2 in
+  let t =
+    Table.create ~title:"latency [ms] on M2"
+      [
+        ("region", Table.Left);
+        ("map", Table.Right);
+        ("unmap", Table.Right);
+        ("map (cached)", Table.Right);
+        ("unmap (cached)", Table.Right);
+      ]
+  in
+  (* 32 KiB .. 1 GiB on the simulated machine (larger sizes scale
+     linearly by construction; see EXPERIMENTS.md). *)
+  let sizes = List.init 16 (fun i -> 1 lsl (15 + i)) in
+  List.iter
+    (fun size ->
+      let machine = Machine.create platform in
+      let core = Machine.core machine 0 in
+      let vms = Vmspace.create machine ~charge_to:None in
+      Core.set_page_table core (Some (Vmspace.page_table vms));
+      let base = Size.gib 2 in
+      (* Uncached: object allocation (zeroing) + mapping. *)
+      let c0 = Core.cycles core in
+      let obj = Vm_object.create machine ~size ~charge_to:(Some core) in
+      Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
+      let map_cold = Core.cycles core - c0 in
+      let c1 = Core.cycles core in
+      Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
+      let unmap_cold = Core.cycles core - c1 in
+      (* Cached: the object (page cache) already exists. *)
+      let c2 = Core.cycles core in
+      Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
+      let map_cached = Core.cycles core - c2 in
+      let c3 = Core.cycles core in
+      Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
+      let unmap_cached = Core.cycles core - c3 in
+      Table.add_row t
+        [
+          Printf.sprintf "%s (%s)" (pow2_label size) (Size.to_string size);
+          Table.cell_float ~decimals:4 (ms_of_cycles platform map_cold);
+          Table.cell_float ~decimals:4 (ms_of_cycles platform unmap_cold);
+          Table.cell_float ~decimals:4 (ms_of_cycles platform map_cached);
+          Table.cell_float ~decimals:4 (ms_of_cycles platform unmap_cached);
+        ])
+    sizes;
+  Table.print t

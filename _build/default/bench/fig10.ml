@@ -1,0 +1,97 @@
+(* Figure 10: Redis vs RedisJMP throughput (M1, 12 schedulable cores).
+
+   (a) GET throughput vs clients: RedisJMP (with/without tags), a
+       single classic Redis, and six classic instances;
+   (b) SET throughput vs clients: RedisJMP vs classic Redis;
+   (c) throughput vs SET fraction at 12 clients.
+
+   Paper shapes: a lone RedisJMP client is ~4x a lone classic client;
+   RedisJMP saturates near 1M GET/s, above six classic instances;
+   SET throughput is capped by the exclusive segment lock; even 10%
+   SETs costs most of the read throughput. *)
+
+open Sj_util
+open Bench_common
+module Kv = Sj_kvstore.Kv_sim
+
+let client_counts = [ 1; 2; 4; 8; 12; 16; 24; 48; 100 ]
+
+let run_mode ~clients ~set_fraction mode =
+  Kv.run { Kv.default_config with clients; set_fraction; mode }
+
+let run () =
+  section "Figure 10a: GET throughput vs clients (M1)";
+  let t =
+    Table.create ~title:"requests/second"
+      [
+        ("clients", Table.Right);
+        ("RedisJMP", Table.Right);
+        ("RedisJMP(tags)", Table.Right);
+        ("Redis 6x", Table.Right);
+        ("Redis", Table.Right);
+      ]
+  in
+  List.iter
+    (fun clients ->
+      let rj = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = false }) in
+      let rjt = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = true }) in
+      let r6 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 6 }) in
+      let r1 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 1 }) in
+      Table.add_row t
+        [
+          string_of_int clients;
+          Table.cell_int (int_of_float rj.Kv.throughput);
+          Table.cell_int (int_of_float rjt.Kv.throughput);
+          Table.cell_int (int_of_float r6.Kv.throughput);
+          Table.cell_int (int_of_float r1.Kv.throughput);
+        ])
+    client_counts;
+  Table.print t;
+
+  section "Figure 10b: SET throughput vs clients (M1)";
+  let t =
+    Table.create ~title:"requests/second"
+      [ ("clients", Table.Right); ("RedisJMP", Table.Right); ("Redis", Table.Right) ]
+  in
+  List.iter
+    (fun clients ->
+      let rj = run_mode ~clients ~set_fraction:1.0 (Kv.Redisjmp { tags = false }) in
+      let r1 = run_mode ~clients ~set_fraction:1.0 (Kv.Redis { instances = 1 }) in
+      Table.add_row t
+        [
+          string_of_int clients;
+          Table.cell_int (int_of_float rj.Kv.throughput);
+          Table.cell_int (int_of_float r1.Kv.throughput);
+        ])
+    client_counts;
+  Table.print t;
+
+  section "Figure 10c: throughput vs SET fraction (12 clients, M1)";
+  let t =
+    Table.create ~title:"requests/second"
+      [
+        ("SET %", Table.Right);
+        ("RedisJMP GET/SET", Table.Right);
+        ("Redis GET/SET", Table.Right);
+      ]
+  in
+  List.iter
+    (fun pct ->
+      let f = float_of_int pct /. 100.0 in
+      let rj = run_mode ~clients:12 ~set_fraction:f (Kv.Redisjmp { tags = false }) in
+      let r1 = run_mode ~clients:12 ~set_fraction:f (Kv.Redis { instances = 1 }) in
+      Table.add_row t
+        [
+          string_of_int pct;
+          Table.cell_int (int_of_float rj.Kv.throughput);
+          Table.cell_int (int_of_float r1.Kv.throughput);
+        ])
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+  Table.print t;
+  (* The sec 5.3 text also reports TLB-miss and switch rates. *)
+  let rj1 = run_mode ~clients:1 ~set_fraction:0.0 (Kv.Redisjmp { tags = false }) in
+  let rj1t = run_mode ~clients:1 ~set_fraction:0.0 (Kv.Redisjmp { tags = true }) in
+  note "TLB misses/sec, 1 client: %.1fM untagged vs %.1fM tagged (paper: 8.9M vs 2.8M)"
+    (float_of_int rj1.Kv.tlb_misses /. rj1.Kv.seconds /. 1e6)
+    (float_of_int rj1t.Kv.tlb_misses /. rj1t.Kv.seconds /. 1e6);
+  note "switches = 2x requests: %d switches for %d requests" rj1.Kv.switches rj1.Kv.requests

@@ -1,0 +1,95 @@
+(* Figures 11 and 12: SAMTools workloads (flagstat, qname sort,
+   coordinate sort, index) across storage designs.
+
+   Fig. 11: SAM file vs BAM file vs SpaceJMP, normalized to the slowest.
+   Fig. 12: mmap vs SpaceJMP, normalized to mmap, absolute seconds shown.
+
+   Paper shapes: SpaceJMP is a small fraction of the file designs
+   (serialization dominates them); SpaceJMP is comparable to mmap,
+   winning clearly only on the shortest operation (flagstat), where
+   mapping overhead is a visible fraction. *)
+
+open Sj_util
+open Bench_common
+module P = Sj_genomics.Pipelines
+module Record = Sj_genomics.Record
+module Api = Sj_core.Api
+
+let reads = 20_000
+
+let dataset () =
+  Record.generate ~seed:42 ~references:Record.default_references ~reads ~read_len:100
+
+let seconds platform cycles = ms_of_cycles platform cycles /. 1e3
+
+let run () =
+  let platform = Sj_machine.Platform.m1 in
+  let records = dataset () in
+  section "Figures 11/12: SAMTools designs (M1, synthetic alignments)";
+  note "%d records; SAM %s, BAM %s (block-LZ substitute for BGZF)" reads
+    (Size.to_string (Bytes.length (Sj_genomics.Sam.encode Record.default_references records)))
+    (Size.to_string (Bytes.length (Sj_genomics.Bam.encode Record.default_references records)));
+
+  (* One machine hosting all four designs. *)
+  let machine, _sys, ctx = fresh_system ~platform () in
+  let fs = Sj_memfs.Memfs.create machine in
+  let env = P.make_env machine fs (Machine.core machine 1) in
+  P.write_input_file env ~format:`Sam ~path:"in.sam" records;
+  P.write_input_file env ~format:`Bam ~path:"in.bam" records;
+  let mmap_store = P.prepare_mmap env ~path:"region.dat" records in
+  let sj_store = P.prepare_spacejmp ctx ~name:"samtools" records in
+
+  let results =
+    List.map
+      (fun op ->
+        let sam = P.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"out.sam" in
+        let bam = P.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"out.bam" in
+        let mm = P.run_mmap mmap_store op in
+        let sj = P.run_spacejmp sj_store op in
+        (op, sam, bam, mm, sj))
+      P.all_ops
+  in
+
+  section "Figure 11: file designs vs SpaceJMP (time normalized to SAM)";
+  note "Paper shape: SpaceJMP a small fraction; SAM slowest; BAM between.";
+  let t =
+    Table.create
+      [
+        ("operation", Table.Left);
+        ("SAM", Table.Right);
+        ("BAM", Table.Right);
+        ("SpaceJMP", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (op, sam, bam, _, sj) ->
+      let norm v = Table.cell_float (float_of_int v /. float_of_int sam) in
+      Table.add_row t [ P.op_name op; norm sam; norm bam; norm sj ])
+    results;
+  Table.print t;
+
+  section "Figure 12: mmap vs SpaceJMP (normalized to mmap; absolute seconds)";
+  note "Paper shape: comparable overall; SpaceJMP clearly ahead on flagstat";
+  note "(mapping overhead is a visible share of the shortest run).";
+  let t =
+    Table.create
+      [
+        ("operation", Table.Left);
+        ("mmap", Table.Right);
+        ("SpaceJMP", Table.Right);
+        ("mmap [s]", Table.Right);
+        ("SpaceJMP [s]", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (op, _, _, mm, sj) ->
+      Table.add_row t
+        [
+          P.op_name op;
+          Table.cell_float (float_of_int mm /. float_of_int mm);
+          Table.cell_float (float_of_int sj /. float_of_int mm);
+          Table.cell_float ~decimals:4 (seconds platform mm);
+          Table.cell_float ~decimals:4 (seconds platform sj);
+        ])
+    results;
+  Table.print t

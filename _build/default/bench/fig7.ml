@@ -1,0 +1,72 @@
+(* Figure 7: SpaceJMP vs URPC as a local RPC mechanism (Barrelfish, M2).
+
+   An RPC client sends a 64-bit key and receives a variable-sized
+   payload. URPC L runs client and server on one socket, URPC X across
+   sockets. The SpaceJMP variant switches into the server's VAS and
+   copies the payload out directly.
+
+   Paper shape: intra-socket URPC wins only for small messages; across
+   sockets, or at larger sizes, SpaceJMP wins. *)
+
+open Sj_util
+open Bench_common
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Prot = Sj_paging.Prot
+module Urpc = Sj_ipc.Urpc
+
+let urpc_latency ~cross ~size =
+  let platform = Sj_machine.Platform.m2 in
+  let machine = Machine.create platform in
+  let client = Machine.core machine 0 in
+  let server =
+    Machine.core machine (if cross then platform.cores_per_socket else 1)
+  in
+  let ch = Urpc.create machine ~a:client ~b:server () in
+  let c0 = Core.cycles client and s0 = Core.cycles server in
+  ignore (Urpc.roundtrip ch ~client ~server ~request:(Bytes.create 8) ~reply_len:size);
+  Core.cycles client - c0 + (Core.cycles server - s0)
+
+let spacejmp_latency ~size =
+  let _, _, ctx = fresh_system ~backend:Api.Barrelfish () in
+  let vas = Api.vas_create ctx ~name:"rpc.server" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"rpc.data" ~size:(Size.mib 4) ~mode:0o666 in
+  Api.seg_ctl ctx (`Cache_translations seg);
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  (* Warm: enter once so attach costs are off the path. *)
+  Api.vas_switch ctx vh;
+  Api.switch_home ctx;
+  let core = Api.core ctx in
+  (* Local buffer in the process's data region. *)
+  let local = Sj_kernel.Layout.data_base in
+  let c0 = Core.cycles core in
+  Api.vas_switch ctx vh;
+  Core.memcpy core ~dst:local ~src:(Segment.base seg) ~len:size;
+  Api.switch_home ctx;
+  Core.cycles core - c0
+
+let run () =
+  section "Figure 7: URPC vs SpaceJMP latency by transfer size (M2, Barrelfish)";
+  note "Paper shape: URPC-local wins only for small payloads; SpaceJMP";
+  note "beats cross-socket URPC everywhere and all URPC at large sizes.";
+  let t =
+    Table.create ~title:"round-trip latency [cycles]"
+      [
+        ("transfer", Table.Left);
+        ("SpaceJMP", Table.Right);
+        ("URPC L", Table.Right);
+        ("URPC X", Table.Right);
+      ]
+  in
+  List.iter
+    (fun size ->
+      Table.add_row t
+        [
+          Size.to_string size;
+          Table.cell_int (spacejmp_latency ~size);
+          Table.cell_int (urpc_latency ~cross:false ~size);
+          Table.cell_int (urpc_latency ~cross:true ~size);
+        ])
+    [ 4; 64; 256; 1024; 4096; 16384; 65536; 262144 ];
+  Table.print t

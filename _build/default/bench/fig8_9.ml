@@ -1,0 +1,91 @@
+(* Figures 8 and 9: GUPS on M3.
+
+   Fig. 8: million-updates-per-second (per process) against the number
+   of address spaces (windows), for the SpaceJMP / MP / MAP designs and
+   update-set sizes 16 and 64.
+
+   Fig. 9: for the SpaceJMP runs, the VAS-switch rate and TLB-miss rate
+   over the same sweep.
+
+   Windows are scaled to 16 MiB (paper: 1 GiB) — see EXPERIMENTS.md for
+   why the scaling preserves the comparison. *)
+
+open Sj_util
+open Bench_common
+module Gups = Sj_gups.Gups
+
+let window_counts = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+
+let cfg ~windows ~updates =
+  {
+    Gups.default_config with
+    windows;
+    updates_per_set = updates;
+    window_size = Size.mib 16;
+    window_visits = 300;
+  }
+
+let run () =
+  section "Figure 8: GUPS throughput by design (M3, 16 MiB windows)";
+  note "Paper shape: all equal at 1 window; MAP collapses immediately;";
+  note "SpaceJMP >= MP everywhere; MP drops when slaves oversubscribe cores.";
+  let t =
+    Table.create ~title:"MUPS per process"
+      [
+        ("windows", Table.Right);
+        ("SpaceJMP(64)", Table.Right);
+        ("MP(64)", Table.Right);
+        ("MAP(64)", Table.Right);
+        ("SpaceJMP(16)", Table.Right);
+        ("MP(16)", Table.Right);
+        ("MAP(16)", Table.Right);
+      ]
+  in
+  let fig9_rows = ref [] in
+  List.iter
+    (fun windows ->
+      let run design updates = Gups.run (cfg ~windows ~updates) ~design in
+      let sj64 = run Gups.Spacejmp 64 in
+      let mp64 = run Gups.Mp 64 in
+      let map64 = run Gups.Map 64 in
+      let sj16 = run Gups.Spacejmp 16 in
+      let mp16 = run Gups.Mp 16 in
+      let map16 = run Gups.Map 16 in
+      fig9_rows := (windows, sj64, sj16) :: !fig9_rows;
+      Table.add_row t
+        [
+          string_of_int windows;
+          Table.cell_float sj64.Gups.mups;
+          Table.cell_float mp64.Gups.mups;
+          Table.cell_float map64.Gups.mups;
+          Table.cell_float sj16.Gups.mups;
+          Table.cell_float mp16.Gups.mups;
+          Table.cell_float map16.Gups.mups;
+        ])
+    window_counts;
+  Table.print t;
+  section "Figure 9: GUPS switch and TLB-miss rates (SpaceJMP, tags off)";
+  note "Paper shape: both rates are flat-to-slowly-varying in the window";
+  note "count; misses dominate switches by roughly two orders of magnitude.";
+  let t9 =
+    Table.create ~title:"rate [1k/sec]"
+      [
+        ("windows", Table.Right);
+        ("VAS switches (64)", Table.Right);
+        ("TLB misses (64)", Table.Right);
+        ("VAS switches (16)", Table.Right);
+        ("TLB misses (16)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (windows, (sj64 : Gups.result), (sj16 : Gups.result)) ->
+      Table.add_row t9
+        [
+          string_of_int windows;
+          Table.cell_float (sj64.switches_per_sec /. 1e3);
+          Table.cell_float (sj64.tlb_misses_per_sec /. 1e3);
+          Table.cell_float (sj16.switches_per_sec /. 1e3);
+          Table.cell_float (sj16.tlb_misses_per_sec /. 1e3);
+        ])
+    (List.rev !fig9_rows);
+  Table.print t9

@@ -1,0 +1,48 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sec 5), plus the ablations DESIGN.md calls out and a
+   bechamel micro section.
+
+   Usage:
+     main.exe                 run everything
+     main.exe fig1 fig10 ...  run selected experiments
+   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro
+   (fig8 includes fig9; fig11 includes fig12). *)
+
+let table1 () =
+  Bench_common.section "Table 1: large-memory platforms (simulated)";
+  List.iter
+    (fun p -> Format.printf "  %a@." Sj_machine.Platform.pp p)
+    [ Sj_machine.Platform.m1; Sj_machine.Platform.m2; Sj_machine.Platform.m3 ]
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig1", Fig1.run);
+    ("table2", Table2.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8_9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11_12.run);
+    ("ablations", Ablations.run);
+    ("checker", Checker_eval.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: [] -> List.map fst experiments
+    | _ :: names -> names
+    | [] -> []
+  in
+  print_endline "SpaceJMP reproduction benchmarks (simulated cycles unless noted)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

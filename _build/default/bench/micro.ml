@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks: host wall-clock cost of the simulator's
+   hot operations (one Test.make per operation). These are about the
+   *simulator's* performance, complementing the simulated-cycle tables
+   above. *)
+
+open Bechamel
+open Toolkit
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Api = Sj_core.Api
+module Prot = Sj_paging.Prot
+
+let make_switch_test () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  let machine = Machine.create Sj_machine.Platform.m2 in
+  let sys = Api.boot machine in
+  let proc = Sj_kernel.Process.create ~name:"micro" machine in
+  let ctx = Api.context sys proc (Machine.core machine 0) in
+  let vas = Api.vas_create ctx ~name:"m" ~mode:0o600 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"m.seg" ~size:(Size.mib 1) ~mode:0o600 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Test.make ~name:"vas_switch+home"
+    (Staged.stage (fun () ->
+         Api.vas_switch ctx vh;
+         Api.switch_home ctx))
+
+let make_tlb_test () =
+  let tlb = Sj_tlb.Tlb.create Sj_tlb.Tlb.default_config in
+  Sj_tlb.Tlb.insert tlb ~tag:0 ~va:0x1000 ~pa:0x2000 ~prot:Prot.r
+    ~size:Sj_paging.Page_table.P4K ~global:false;
+  Test.make ~name:"tlb lookup (hit)"
+    (Staged.stage (fun () -> ignore (Sj_tlb.Tlb.lookup tlb ~tag:0 ~va:0x1234)))
+
+let make_walk_test () =
+  let mem = Sj_mem.Phys_mem.create ~size:(Size.mib 16) ~numa_nodes:1 in
+  let pt = Sj_paging.Page_table.create mem in
+  let frames = Sj_mem.Phys_mem.alloc_frames mem ~n:64 in
+  Sj_paging.Page_table.map_range pt ~va:0x100000 ~frames ~prot:Prot.rw;
+  Test.make ~name:"page walk"
+    (Staged.stage (fun () -> ignore (Sj_paging.Page_table.walk pt ~va:0x108000)))
+
+let make_malloc_test () =
+  let heap = Sj_alloc.Mspace.create ~base:0 ~size:(Size.mib 16) in
+  Test.make ~name:"mspace malloc+free"
+    (Staged.stage (fun () ->
+         match Sj_alloc.Mspace.malloc heap 64 with
+         | Some va -> Sj_alloc.Mspace.free heap va
+         | None -> ()))
+
+let make_load_test () =
+  let machine = Machine.create Sj_machine.Platform.m2 in
+  let core = Machine.core machine 0 in
+  let pt = Sj_paging.Page_table.create (Machine.mem machine) in
+  let frames = Sj_mem.Phys_mem.alloc_frames (Machine.mem machine) ~n:16 in
+  Sj_paging.Page_table.map_range pt ~va:0x10000 ~frames ~prot:Prot.rw;
+  Core.set_page_table core (Some pt);
+  Test.make ~name:"simulated load64"
+    (Staged.stage (fun () -> ignore (Core.load64 core ~va:0x10040)))
+
+let run () =
+  Bench_common.section "Micro: simulator hot-path wall-clock (bechamel)";
+  let tests =
+    Test.make_grouped ~name:"sim"
+      [
+        make_tlb_test ();
+        make_walk_test ();
+        make_malloc_test ();
+        make_load_test ();
+        make_switch_test ();
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let t =
+    Table.create [ ("operation", Table.Left); ("ns/run (host)", Table.Right) ]
+  in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      Table.add_row t [ name; Table.cell_float est ])
+    (List.sort compare rows);
+  Table.print t

@@ -1,0 +1,69 @@
+(* Table 2: breakdown of context switching on M2, in cycles, for both
+   OS backends with and without TLB tags. Measured through the public
+   API exactly as an application would see it. *)
+
+open Sj_util
+open Bench_common
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Prot = Sj_paging.Prot
+
+let measure_switch ~backend ~tagged =
+  let machine, sys, ctx = fresh_system ~backend () in
+  let vas = Api.vas_create ctx ~name:"t2" ~mode:0o600 in
+  if tagged then Api.vas_ctl ctx (`Request_tag vas);
+  (* Non-lockable segment: the measurement isolates the switch path. *)
+  let seg =
+    Segment.create ~lockable:false ~charge_to:None ~machine ~name:"t2.seg"
+      ~base:(Sj_kernel.Layout.next_global_base ~size:(Size.mib 1))
+      ~size:(Size.mib 1) ~prot:Prot.rw ()
+  in
+  Sj_core.Registry.register_seg (Api.registry sys) seg;
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.switch_home ctx;
+  let core = Api.core ctx in
+  let c0 = Core.cycles core in
+  Api.vas_switch ctx vh;
+  Core.cycles core - c0
+
+let run () =
+  section "Table 2: breakdown of context switching (M2, cycles)";
+  note "Paper: CR3 130/224; syscall DF 357, BF 130; vas_switch DF 1127/807, BF 664/462.";
+  let cost = Sj_machine.Cost_model.m2 in
+  let t =
+    Table.create
+      [
+        ("operation", Table.Left);
+        ("DragonFly", Table.Right);
+        ("DragonFly(tags)", Table.Right);
+        ("Barrelfish", Table.Right);
+        ("Barrelfish(tags)", Table.Right);
+      ]
+  in
+  Table.add_row t
+    [
+      "CR3 load";
+      Table.cell_int cost.cr3_load;
+      Table.cell_int cost.cr3_load_tagged;
+      Table.cell_int cost.cr3_load;
+      Table.cell_int cost.cr3_load_tagged;
+    ];
+  Table.add_row t
+    [
+      "system call";
+      Table.cell_int cost.syscall_dragonfly;
+      Table.cell_int cost.syscall_dragonfly;
+      Table.cell_int cost.syscall_barrelfish;
+      Table.cell_int cost.syscall_barrelfish;
+    ];
+  Table.add_row t
+    [
+      "vas_switch (measured)";
+      Table.cell_int (measure_switch ~backend:Api.Dragonfly ~tagged:false);
+      Table.cell_int (measure_switch ~backend:Api.Dragonfly ~tagged:true);
+      Table.cell_int (measure_switch ~backend:Api.Barrelfish ~tagged:false);
+      Table.cell_int (measure_switch ~backend:Api.Barrelfish ~tagged:true);
+    ];
+  Table.print t

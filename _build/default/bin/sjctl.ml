@@ -1,0 +1,325 @@
+(* sjctl — command-line driver for the SpaceJMP simulator.
+
+   Subcommands:
+     platforms          list the simulated hardware platforms (Table 1)
+     gups               run one GUPS design and print its metrics
+     demo               run a scripted end-to-end SpaceJMP session
+*)
+
+open Cmdliner
+module Platform = Sj_machine.Platform
+
+let platforms_cmd =
+  let run () =
+    List.iter
+      (fun p -> Format.printf "%a@." Platform.pp p)
+      [ Platform.m1; Platform.m2; Platform.m3 ]
+  in
+  Cmd.v (Cmd.info "platforms" ~doc:"List simulated hardware platforms (paper Table 1)")
+    Term.(const run $ const ())
+
+let design_conv =
+  let parse = function
+    | "spacejmp" -> Ok Sj_gups.Gups.Spacejmp
+    | "map" -> Ok Sj_gups.Gups.Map
+    | "mp" -> Ok Sj_gups.Gups.Mp
+    | s -> Error (`Msg (Printf.sprintf "unknown design %S (spacejmp|map|mp)" s))
+  in
+  Arg.conv (parse, fun fmt d -> Sj_gups.Gups.pp_design fmt d)
+
+let gups_cmd =
+  let design =
+    Arg.(value & opt design_conv Sj_gups.Gups.Spacejmp & info [ "design"; "d" ] ~doc:"Design: spacejmp, map or mp")
+  in
+  let windows = Arg.(value & opt int 8 & info [ "windows"; "w" ] ~doc:"Number of windows") in
+  let updates = Arg.(value & opt int 64 & info [ "updates"; "u" ] ~doc:"Updates per set") in
+  let visits = Arg.(value & opt int 200 & info [ "visits" ] ~doc:"Window visits") in
+  let window_mib = Arg.(value & opt int 64 & info [ "window-mib" ] ~doc:"Window size in MiB") in
+  let tags = Arg.(value & flag & info [ "tags" ] ~doc:"Enable TLB tags (SpaceJMP design)") in
+  let run design windows updates visits window_mib tags =
+    let cfg =
+      {
+        Sj_gups.Gups.default_config with
+        windows;
+        updates_per_set = updates;
+        window_visits = visits;
+        window_size = Sj_util.Size.mib window_mib;
+        tags;
+      }
+    in
+    let r = Sj_gups.Gups.run cfg ~design in
+    Format.printf "design=%s windows=%d updates/set=%d@." (Sj_gups.Gups.design_name design)
+      windows updates;
+    Format.printf "  MUPS            %.2f@." r.mups;
+    Format.printf "  cycles          %d@." r.cycles;
+    Format.printf "  switches/sec    %.0f@." r.switches_per_sec;
+    Format.printf "  TLB misses/sec  %.0f@." r.tlb_misses_per_sec
+  in
+  Cmd.v (Cmd.info "gups" ~doc:"Run the GUPS benchmark (paper sec 5.2)")
+    Term.(const run $ design $ windows $ updates $ visits $ window_mib $ tags)
+
+let demo_cmd =
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log SpaceJMP API events") in
+  let run verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level ~all:true (Some Logs.Debug)
+    end;
+    let open Sj_core in
+    let module Machine = Sj_machine.Machine in
+    let module Process = Sj_kernel.Process in
+    let module Prot = Sj_paging.Prot in
+    Sj_kernel.Layout.reset_global_allocator ();
+    let machine = Machine.create Platform.m2 in
+    let sys = Api.boot machine in
+    let producer = Process.create ~name:"producer" machine in
+    let ctx = Api.context sys producer (Machine.core machine 0) in
+    Format.printf "booted %s (DragonFly backend)@." (Platform.m2).name;
+    let vas = Api.vas_create ctx ~name:"demo" ~mode:0o666 in
+    let seg = Api.seg_alloc_anywhere ctx ~name:"demo-heap" ~size:(Sj_util.Size.mib 8) ~mode:0o666 in
+    Api.seg_attach ctx vas seg ~prot:Prot.rw;
+    Format.printf "created VAS 'demo' with an 8 MiB segment at 0x%x@." (Segment.base seg);
+    let vh = Api.vas_attach ctx vas in
+    Api.vas_switch ctx vh;
+    let p = Api.malloc ctx 64 in
+    Api.store_bytes ctx ~va:p (Bytes.of_string "hello from the producer");
+    Api.switch_home ctx;
+    Format.printf "producer wrote a string at 0x%x and exited the VAS@." p;
+    let consumer = Process.create ~name:"consumer" machine in
+    let ctx2 = Api.context sys consumer (Machine.core machine 1) in
+    let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"demo") in
+    Api.vas_switch ctx2 vh2;
+    let s = Api.load_bytes ctx2 ~va:p ~len:23 in
+    Format.printf "consumer read back: %S@." (Bytes.to_string s);
+    Format.printf "switches performed: %d@.@." (Registry.switch_count (Api.registry sys));
+    print_string (Registry.describe (Api.registry sys))
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Scripted end-to-end SpaceJMP session") Term.(const run $ verbose)
+
+let redis_cmd =
+  let clients = Arg.(value & opt int 1 & info [ "clients"; "c" ] ~doc:"Number of clients") in
+  let sets = Arg.(value & opt float 0.0 & info [ "set-fraction" ] ~doc:"Fraction of SET requests") in
+  let mode =
+    Arg.(value & opt string "redisjmp" & info [ "mode"; "m" ] ~doc:"redisjmp | redisjmp-tags | redis | redis6x")
+  in
+  let run clients set_fraction mode =
+    let mode =
+      match mode with
+      | "redisjmp" -> Sj_kvstore.Kv_sim.Redisjmp { tags = false }
+      | "redisjmp-tags" -> Sj_kvstore.Kv_sim.Redisjmp { tags = true }
+      | "redis" -> Sj_kvstore.Kv_sim.Redis { instances = 1 }
+      | "redis6x" -> Sj_kvstore.Kv_sim.Redis { instances = 6 }
+      | m -> failwith ("unknown mode " ^ m)
+    in
+    let cfg = { Sj_kvstore.Kv_sim.default_config with clients; set_fraction; mode } in
+    let r = Sj_kvstore.Kv_sim.run cfg in
+    Format.printf "clients=%d setf=%.2f requests=%d throughput=%.0f req/s switches=%d tlb_misses=%d lock_wait=%d@."
+      clients set_fraction r.requests r.throughput r.switches r.tlb_misses r.lock_wait_cycles
+  in
+  Cmd.v (Cmd.info "redis" ~doc:"Run the Redis/RedisJMP throughput simulation (sec 5.3)")
+    Term.(const run $ clients $ sets $ mode)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IR source file") in
+  let no_run = Arg.(value & flag & info [ "no-run" ] ~doc:"Analyze only; do not execute") in
+  let run file no_run =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Sj_checker.Parser.parse src with
+    | Error e ->
+      Format.printf "parse error: %s@." e;
+      exit 1
+    | Ok prog ->
+      let info = Sj_checker.Analysis.analyze prog in
+      let violations = Sj_checker.Analysis.violations info in
+      Format.printf "%d unsafe site(s):@." (List.length violations);
+      List.iter (fun v -> Format.printf "  %a@." Sj_checker.Analysis.pp_violation v) violations;
+      let instrumented, report = Sj_checker.Transform.instrument_optimized prog in
+      Format.printf "%d check(s) inserted (%d of %d memory ops proven safe)@."
+        report.Sj_checker.Transform.checks_inserted report.Sj_checker.Transform.elided
+        report.Sj_checker.Transform.memory_ops;
+      if not no_run then begin
+        Format.printf "--- instrumented program ---@.%a" Sj_checker.Ir.pp_program instrumented;
+        match Sj_checker.Interp.run instrumented with
+        | Sj_checker.Interp.Finished (Some (Sj_checker.Interp.Int n)) ->
+          Format.printf "execution: finished with %d@." n
+        | Sj_checker.Interp.Finished _ -> Format.printf "execution: finished@."
+        | Sj_checker.Interp.Trapped { site; what } ->
+          Format.printf "execution: TRAPPED at %s (%s)@." site what
+        | Sj_checker.Interp.Faulted { site; what } ->
+          Format.printf "execution: FAULTED at %s (%s)@." site what
+        | Sj_checker.Interp.Type_fault { site; what } ->
+          Format.printf "execution: type fault at %s (%s)@." site what
+        | Sj_checker.Interp.Out_of_fuel -> Format.printf "execution: out of fuel@."
+      end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the sec 4.3 safety analysis on an IR source file")
+    Term.(const run $ file $ no_run)
+
+let persist_cmd =
+  let image = Arg.(value & opt string "/tmp/spacejmp.img" & info [ "image" ] ~doc:"Image path") in
+  let run image_path =
+    let module Api = Sj_core.Api in
+    let module Segment = Sj_core.Segment in
+    let module Machine = Sj_machine.Machine in
+    let module Process = Sj_kernel.Process in
+    let module Prot = Sj_paging.Prot in
+    Sj_kernel.Layout.reset_global_allocator ();
+    (* Life before the reboot. *)
+    let m1 = Machine.create Platform.m2 in
+    let sys1 = Api.boot m1 in
+    let p1 = Process.create ~name:"before" m1 in
+    let ctx1 = Api.context sys1 p1 (Machine.core m1 0) in
+    let vas = Api.vas_create ctx1 ~name:"durable" ~mode:0o666 in
+    let seg = Api.seg_alloc_anywhere ctx1 ~name:"durable.data" ~size:(Sj_util.Size.mib 4) ~mode:0o666 in
+    Api.seg_attach ctx1 vas seg ~prot:Prot.rw;
+    let vh = Api.vas_attach ctx1 vas in
+    Api.vas_switch ctx1 vh;
+    let p = Api.malloc ctx1 64 in
+    Api.store_bytes ctx1 ~va:p (Bytes.of_string "survived the reboot");
+    Api.switch_home ctx1;
+    let image = Sj_persist.Persist.save sys1 in
+    let oc = open_out_bin image_path in
+    output_bytes oc image;
+    close_out oc;
+    Format.printf "saved %s to %s@." (Sj_persist.Persist.image_info image) image_path;
+    (* "Reboot": a brand new machine, restore from the file. *)
+    Sj_kernel.Layout.reset_global_allocator ();
+    let m2 = Machine.create Platform.m2 in
+    let sys2 = Api.boot m2 in
+    let p2 = Process.create ~name:"after" m2 in
+    let ctx2 = Api.context sys2 p2 (Machine.core m2 0) in
+    let ic = open_in_bin image_path in
+    let image = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sj_persist.Persist.restore sys2 (Bytes.of_string image);
+    let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"durable") in
+    Api.vas_switch ctx2 vh2;
+    Format.printf "after reboot, address %s reads: %S@." (Sj_util.Addr.to_string p)
+      (Bytes.to_string (Api.load_bytes ctx2 ~va:p ~len:19))
+  in
+  Cmd.v
+    (Cmd.info "persist-demo" ~doc:"Save a VAS image, 'reboot' onto a new machine, restore it")
+    Term.(const run $ image)
+
+let inspect_cmd =
+  let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Image file") in
+  let run path =
+    let ic = open_in_bin path in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let image = Bytes.of_string data in
+    print_endline (Sj_persist.Persist.image_info image);
+    print_string (Sj_persist.Persist.describe image)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"List the segments and VASes inside a persistence image")
+    Term.(const run $ image)
+
+let samtools_cmd =
+  let op =
+    Arg.(value & opt string "flagstat"
+         & info [ "op" ] ~doc:"flagstat | qname-sort | coord-sort | index | view")
+  in
+  let region =
+    Arg.(value & opt string "chr1:50000-52000"
+         & info [ "region" ] ~doc:"For --op view: rname:lo-hi")
+  in
+  let design =
+    Arg.(value & opt string "spacejmp" & info [ "design"; "d" ] ~doc:"sam | bam | mmap | spacejmp")
+  in
+  let reads = Arg.(value & opt int 20_000 & info [ "reads" ] ~doc:"Synthetic read count") in
+  let run op design reads region =
+    let module P = Sj_genomics.Pipelines in
+    let module Record = Sj_genomics.Record in
+    let module Machine = Sj_machine.Machine in
+    if op = "view" then begin
+      (* Region query through the indexed, compressed stream. *)
+      let rname, lo, hi =
+        match String.split_on_char ':' region with
+        | [ rname; span ] -> (
+          match String.split_on_char '-' span with
+          | [ lo; hi ] -> (rname, int_of_string lo, int_of_string hi)
+          | _ -> failwith "bad region (rname:lo-hi)")
+        | _ -> failwith "bad region (rname:lo-hi)"
+      in
+      let records =
+        Record.generate ~seed:42 ~references:Record.default_references ~reads ~read_len:100
+      in
+      let machine = Machine.create Platform.m1 in
+      let core = Machine.core machine 0 in
+      let v = Sj_genomics.View.build Record.default_references records in
+      let touched, total = Sj_genomics.View.blocks_for v ~rname ~lo ~hi in
+      let c0 = Machine.Core.cycles core in
+      let hits = Sj_genomics.View.query ~charge_to:core v ~rname ~lo ~hi in
+      let cycles = Machine.Core.cycles core - c0 in
+      Format.printf "view %s:%d-%d over %d records: %d hit(s), %d of %d blocks touched, %d cycles@."
+        rname lo hi reads (List.length hits) touched total cycles;
+      List.iteri
+        (fun i (r : Record.t) ->
+          if i < 5 then Format.printf "  %s %s:%d mapq=%d@." r.qname r.rname r.pos r.mapq)
+        hits;
+      if List.length hits > 5 then Format.printf "  ... (%d more)@." (List.length hits - 5);
+      exit 0
+    end;
+    let op =
+      match op with
+      | "flagstat" -> P.Flagstat
+      | "qname-sort" -> P.Qname_sort
+      | "coord-sort" -> P.Coord_sort
+      | "index" -> P.Index
+      | o -> failwith ("unknown op " ^ o)
+    in
+    Sj_kernel.Layout.reset_global_allocator ();
+    let platform = Platform.m1 in
+    let machine = Machine.create platform in
+    let sys = Sj_core.Api.boot machine in
+    let proc = Sj_kernel.Process.create ~name:"samtools" machine in
+    let ctx = Sj_core.Api.context sys proc (Machine.core machine 0) in
+    let fs = Sj_memfs.Memfs.create machine in
+    let env = P.make_env machine fs (Machine.core machine 1) in
+    let records =
+      Record.generate ~seed:42 ~references:Record.default_references ~reads ~read_len:100
+    in
+    let cycles =
+      match design with
+      | "sam" ->
+        P.write_input_file env ~format:`Sam ~path:"in.sam" records;
+        P.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"out.sam"
+      | "bam" ->
+        P.write_input_file env ~format:`Bam ~path:"in.bam" records;
+        P.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"out.bam"
+      | "mmap" ->
+        let store = P.prepare_mmap env ~path:"region" records in
+        P.run_mmap store op
+      | "spacejmp" ->
+        let store = P.prepare_spacejmp ctx ~name:"samtools" records in
+        P.run_spacejmp store op
+      | d -> failwith ("unknown design " ^ d)
+    in
+    Format.printf "%s / %s over %d records: %d cycles (%.3f ms on %s)@." design
+      (P.op_name op) reads cycles
+      (Sj_machine.Cost_model.cycles_to_ms platform.cost cycles)
+      platform.name;
+    match (op, P.last_flagstat ()) with
+    | P.Flagstat, Some f ->
+      Format.printf "%d total, %d mapped, %d paired, %d proper, %d dup, %d secondary@."
+        f.Sj_genomics.Ops.total f.Sj_genomics.Ops.mapped f.Sj_genomics.Ops.paired
+        f.Sj_genomics.Ops.proper_pair f.Sj_genomics.Ops.duplicates
+        f.Sj_genomics.Ops.secondary
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "samtools" ~doc:"Run one SAMTools operation under a storage design (sec 5.4)")
+    Term.(const run $ op $ design $ reads $ region)
+
+let () =
+  let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
+            samtools_cmd;
+          ]))

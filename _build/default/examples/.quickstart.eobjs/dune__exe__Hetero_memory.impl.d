@@ -1,0 +1,1 @@
+examples/hetero_memory.ml: Api Format Segment Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util

@@ -1,0 +1,1 @@
+examples/large_memory.ml: Api Array Format Hashtbl Printf Registry Segment Sj_core Sj_kernel Sj_machine Sj_paging Sj_util

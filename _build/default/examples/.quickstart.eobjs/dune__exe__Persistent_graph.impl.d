@@ -1,0 +1,1 @@
+examples/persistent_graph.ml: Api Format Int64 Segment Sj_core Sj_kernel Sj_machine Sj_paging Sj_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Format Registry Sj_core Sj_kernel Sj_machine Sj_paging Sj_util

@@ -1,0 +1,1 @@
+examples/safety_checker.ml: Analysis Format Interp Ir List Printf Sj_checker Transform

@@ -1,0 +1,1 @@
+examples/sandbox.ml: Api Bytes Errors Format Segment Sj_core Sj_kernel Sj_machine Sj_paging Sj_util

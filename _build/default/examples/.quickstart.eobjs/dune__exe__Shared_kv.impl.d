@@ -1,0 +1,1 @@
+examples/shared_kv.ml: Bytes Format List Printf Redisjmp Resp Sj_core Sj_kernel Sj_kvstore Sj_machine Sj_util

@@ -1,0 +1,1 @@
+examples/versioned_store.ml: Api Format Hashtbl Int64 List Option Printf Segment Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util

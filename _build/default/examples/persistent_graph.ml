@@ -1,0 +1,84 @@
+(* Pointer-rich data beyond process lifetimes (the sec 5.4 motif).
+
+   A builder process constructs a linked graph — real pointers stored
+   in simulated memory — inside a VAS, then exits. An analyst process
+   later attaches the same VAS and chases those pointers directly: no
+   serialization, no pointer swizzling, because segments have fixed
+   virtual addresses.
+
+   Graph layout per node (32 bytes in segment memory):
+     +0  value (int64)
+     +8  left  child pointer (int64 VA, 0 = none)
+     +16 right child pointer
+
+   Run with: dune exec examples/persistent_graph.exe *)
+
+open Sj_core
+module Machine = Sj_machine.Machine
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Prot = Sj_paging.Prot
+
+let node_value = 0
+let node_left = 8
+let node_right = 16
+
+(* Build a binary tree of the given depth; returns the node's VA. *)
+let rec build ctx depth counter =
+  let node = Api.malloc ctx 32 in
+  incr counter;
+  Api.store64 ctx ~va:(node + node_value) (Int64.of_int !counter);
+  if depth > 0 then begin
+    let l = build ctx (depth - 1) counter in
+    let r = build ctx (depth - 1) counter in
+    Api.store64 ctx ~va:(node + node_left) (Int64.of_int l);
+    Api.store64 ctx ~va:(node + node_right) (Int64.of_int r)
+  end;
+  node
+
+(* Sum the values by chasing the stored pointers. *)
+let rec sum ctx node =
+  if node = 0 then 0L
+  else
+    let v = Api.load64 ctx ~va:(node + node_value) in
+    let l = Int64.to_int (Api.load64 ctx ~va:(node + node_left)) in
+    let r = Int64.to_int (Api.load64 ctx ~va:(node + node_right)) in
+    Int64.add v (Int64.add (sum ctx l) (sum ctx r))
+
+let () =
+  let machine = Machine.create Platform.m2 in
+  let sys = Api.boot machine in
+
+  (* Builder process. *)
+  let builder = Process.create ~name:"builder" machine in
+  let ctx = Api.context sys builder (Machine.core machine 0) in
+  let vas = Api.vas_create ctx ~name:"graph" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"graph.nodes" ~size:(Sj_util.Size.mib 16) ~mode:0o666 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  (* Allocate the region header first: the allocator is deterministic,
+     so it lands at the segment base where the analyst will look. *)
+  let header = Api.malloc ctx 16 in
+  assert (header = Segment.base seg);
+  let counter = ref 0 in
+  let root = build ctx 9 counter in
+  Api.store64 ctx ~va:header (Int64.of_int root);
+  Api.switch_home ctx;
+  Format.printf "builder made %d nodes rooted at %s, then exited@." !counter
+    (Sj_util.Addr.to_string root);
+  Process.exit builder;
+
+  (* Analyst process: attach, read the root, chase pointers. *)
+  let analyst = Process.create ~name:"analyst" machine in
+  let ctx2 = Api.context sys analyst (Machine.core machine 1) in
+  let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"graph") in
+  Api.vas_switch ctx2 vh2;
+  let seg2 = Api.seg_find ctx2 ~name:"graph.nodes" in
+  let root2 = Int64.to_int (Api.load64 ctx2 ~va:(Segment.base seg2)) in
+  let total = sum ctx2 root2 in
+  let n = !counter in
+  let expected = Int64.of_int (n * (n + 1) / 2) in
+  Format.printf "analyst summed node values: %Ld (expected %Ld) — pointers survived verbatim@."
+    total expected;
+  assert (total = expected)

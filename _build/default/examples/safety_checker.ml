@@ -1,0 +1,82 @@
+(* The compiler safety analysis (sec 3.3 / 4.3) on display.
+
+   Builds two small IR programs — one that respects the multi-VAS
+   pointer rules and one that dereferences a pointer in the wrong
+   address space — runs the dataflow analysis, inserts checks only
+   where safety cannot be proven, and executes both to show the check
+   trapping before the unsafe access.
+
+   Run with: dune exec examples/safety_checker.exe *)
+
+open Sj_checker
+
+let block label instrs term = { Ir.label; instrs; term }
+let func fname params blocks = { Ir.fname; params; blocks }
+
+let describe name prog =
+  Format.printf "--- %s ---@.%a" name Ir.pp_program prog;
+  (match Ir.validate prog with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let info = Analysis.analyze prog in
+  let violations = Analysis.violations info in
+  Format.printf "analysis: %d unsafe site(s)@." (List.length violations);
+  List.iter (fun v -> Format.printf "  %a@." Analysis.pp_violation v) violations;
+  let instrumented, report = Transform.instrument prog in
+  Format.printf "transform: %d check(s) inserted, %d of %d memory ops elided@."
+    report.Transform.checks_inserted report.Transform.elided report.Transform.memory_ops;
+  (match Interp.run instrumented with
+  | Interp.Finished v ->
+    Format.printf "execution: finished%s@."
+      (match v with Some (Interp.Int n) -> Printf.sprintf " with %d" n | _ -> "")
+  | Interp.Trapped { site; what } -> Format.printf "execution: TRAPPED at %s (%s)@." site what
+  | Interp.Faulted { site; what } -> Format.printf "execution: FAULTED at %s (%s)?!@." site what
+  | Interp.Type_fault { site; what } -> Format.printf "execution: type fault at %s (%s)@." site what
+  | Interp.Out_of_fuel -> Format.printf "execution: out of fuel@.");
+  Format.printf "@."
+
+let () =
+  (* Safe: allocate and use within one VAS; share through the common
+     region (stack) legally. *)
+  describe "safe program"
+    {
+      Ir.funcs =
+        [
+          func "main" []
+            [
+              block "entry"
+                [
+                  Ir.Alloca "slot";
+                  Ir.Switch "v1";
+                  Ir.Malloc "p";
+                  Ir.Const ("x", 42);
+                  Ir.Store ("p", "x");
+                  Ir.Store ("slot", "p");
+                  Ir.Load ("y", "p");
+                ]
+                (Ir.Ret (Some "y"));
+            ];
+        ];
+    };
+
+  (* Unsafe: the pointer crosses a switch; the analysis flags it and
+     the inserted check traps before the bad dereference. *)
+  describe "unsafe program (cross-VAS dereference)"
+    {
+      Ir.funcs =
+        [
+          func "main" []
+            [
+              block "entry"
+                [
+                  Ir.Switch "v1";
+                  Ir.Malloc "p";
+                  Ir.Const ("x", 7);
+                  Ir.Store ("p", "x");
+                  Ir.Switch "v2";
+                  Ir.Load ("y", "p");
+                ]
+                (Ir.Ret (Some "y"));
+            ];
+        ];
+    }

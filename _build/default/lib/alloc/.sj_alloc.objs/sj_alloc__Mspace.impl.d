@@ -1,0 +1,1 @@
+lib/alloc/mspace.ml: Array Hashtbl List Printf Sj_util

@@ -1,0 +1,311 @@
+let align = 16
+let min_chunk = 16
+let small_limit = 4096
+let n_small_bins = small_limit / align (* one bin per exact size class *)
+let n_large_bins = 40
+let n_bins = n_small_bins + n_large_bins
+
+type chunk = {
+  mutable base : int;
+  mutable size : int;
+  mutable free : bool;
+  (* Address-ordered neighbours. *)
+  mutable prev : chunk option;
+  mutable next : chunk option;
+  (* Free-list links (valid only while [free]). *)
+  mutable fprev : chunk option;
+  mutable fnext : chunk option;
+}
+
+type t = {
+  range_base : int;
+  mutable range_size : int;
+  bins : chunk option array;
+  live : (int, chunk) Hashtbl.t; (* allocation base -> chunk *)
+  mutable first : chunk;
+  mutable used : int;
+  mutable n_live : int;
+}
+
+let bin_index size =
+  if size <= small_limit then (size / align) - 1
+  else
+    let idx = n_small_bins + Sj_util.Size.log2 size - 12 in
+    min idx (n_bins - 1)
+
+let unlink_free t c =
+  (match c.fprev with
+  | Some p -> p.fnext <- c.fnext
+  | None -> t.bins.(bin_index c.size) <- c.fnext);
+  (match c.fnext with Some n -> n.fprev <- c.fprev | None -> ());
+  c.fprev <- None;
+  c.fnext <- None
+
+let push_free t c =
+  let i = bin_index c.size in
+  c.fprev <- None;
+  c.fnext <- t.bins.(i);
+  (match t.bins.(i) with Some head -> head.fprev <- Some c | None -> ());
+  t.bins.(i) <- Some c
+
+let create ~base ~size =
+  if base mod align <> 0 then invalid_arg "Mspace.create: base not 16-aligned";
+  if size < min_chunk || size mod align <> 0 then invalid_arg "Mspace.create: bad size";
+  let first =
+    { base; size; free = true; prev = None; next = None; fprev = None; fnext = None }
+  in
+  let t =
+    {
+      range_base = base;
+      range_size = size;
+      bins = Array.make n_bins None;
+      live = Hashtbl.create 64;
+      first;
+      used = 0;
+      n_live = 0;
+    }
+  in
+  push_free t first;
+  t
+
+let base t = t.range_base
+let size t = t.range_size
+
+let request_size n =
+  let n = max n min_chunk in
+  (n + align - 1) / align * align
+
+(* Find a free chunk of at least [need] bytes: exact small bin first,
+   then progressively larger bins (first fit within a bin). *)
+let find_fit t need =
+  let rec scan_bin chunk =
+    match chunk with
+    | None -> None
+    | Some c -> if c.size >= need then Some c else scan_bin c.fnext
+  in
+  let rec go i = if i >= n_bins then None else
+      match scan_bin t.bins.(i) with Some c -> Some c | None -> go (i + 1)
+  in
+  go (bin_index need)
+
+let split t c need =
+  if c.size - need >= min_chunk then begin
+    let rest =
+      {
+        base = c.base + need;
+        size = c.size - need;
+        free = true;
+        prev = Some c;
+        next = c.next;
+        fprev = None;
+        fnext = None;
+      }
+    in
+    (match c.next with Some n -> n.prev <- Some rest | None -> ());
+    c.next <- Some rest;
+    c.size <- need;
+    push_free t rest
+  end
+
+let malloc t n =
+  let need = request_size n in
+  match find_fit t need with
+  | None -> None
+  | Some c ->
+    unlink_free t c;
+    split t c need;
+    c.free <- false;
+    t.used <- t.used + c.size;
+    t.n_live <- t.n_live + 1;
+    Hashtbl.replace t.live c.base c;
+    Some c.base
+
+(* Merge [b] into [a]; both must be address-adjacent with a before b.
+   [b] must already be unlinked from the free lists. *)
+let absorb t a b =
+  assert (a.base + a.size = b.base);
+  a.size <- a.size + b.size;
+  a.next <- b.next;
+  (match b.next with Some n -> n.prev <- Some a | None -> ());
+  if t.first == b then t.first <- a
+
+let free t addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> invalid_arg "Mspace.free: not an allocation base (double free?)"
+  | Some c ->
+    Hashtbl.remove t.live addr;
+    t.used <- t.used - c.size;
+    t.n_live <- t.n_live - 1;
+    c.free <- true;
+    (* Coalesce with the next neighbour, then the previous one. *)
+    (match c.next with
+    | Some n when n.free ->
+      unlink_free t n;
+      absorb t c n
+    | Some _ | None -> ());
+    (match c.prev with
+    | Some p when p.free ->
+      unlink_free t p;
+      absorb t p c;
+      push_free t p
+    | Some _ | None -> push_free t c)
+
+let usable_size t addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> invalid_arg "Mspace.usable_size: not an allocation base"
+  | Some c -> c.size
+
+let is_allocated t addr = Hashtbl.mem t.live addr
+let owns t addr = addr >= t.range_base && addr < t.range_base + t.range_size
+let used_bytes t = t.used
+let free_bytes t = t.range_size - t.used
+let allocations t = t.n_live
+
+let largest_free t =
+  let best = ref 0 in
+  Array.iter
+    (fun bin ->
+      let rec go = function
+        | None -> ()
+        | Some c ->
+          if c.size > !best then best := c.size;
+          go c.fnext
+      in
+      go bin)
+    t.bins;
+  !best
+
+let extend t ~by =
+  if by <= 0 || by mod align <> 0 then invalid_arg "Mspace.extend: by must be a positive multiple of 16";
+  (* Find the last chunk. *)
+  let rec last c = match c.next with Some n -> last n | None -> c in
+  let tail = last t.first in
+  if tail.free then begin
+    (* Absorb the new space into the trailing free chunk (rebin). *)
+    unlink_free t tail;
+    tail.size <- tail.size + by;
+    push_free t tail
+  end
+  else begin
+    let fresh =
+      {
+        base = t.range_base + t.range_size;
+        size = by;
+        free = true;
+        prev = Some tail;
+        next = None;
+        fprev = None;
+        fnext = None;
+      }
+    in
+    tail.next <- Some fresh;
+    push_free t fresh
+  end;
+  t.range_size <- t.range_size + by
+
+type chunk_state = { chunk_base : int; chunk_size : int; chunk_free : bool }
+
+let snapshot t =
+  let rec go c acc =
+    let acc = { chunk_base = c.base; chunk_size = c.size; chunk_free = c.free } :: acc in
+    match c.next with Some n -> go n acc | None -> List.rev acc
+  in
+  go t.first []
+
+let of_snapshot ~base ~size chunks =
+  (* Validate tiling first. *)
+  let rec check expected = function
+    | [] ->
+      if expected <> base + size then invalid_arg "Mspace.of_snapshot: chunks do not tile range"
+    | c :: rest ->
+      if c.chunk_base <> expected || c.chunk_size < min_chunk || c.chunk_size mod align <> 0
+      then invalid_arg "Mspace.of_snapshot: bad chunk layout";
+      check (c.chunk_base + c.chunk_size) rest
+  in
+  check base chunks;
+  let t = create ~base ~size in
+  (* Replace the single free chunk with the recorded layout. *)
+  unlink_free t t.first;
+  let rec build prev = function
+    | [] -> ()
+    | c :: rest ->
+      let node =
+        {
+          base = c.chunk_base;
+          size = c.chunk_size;
+          free = c.chunk_free;
+          prev;
+          next = None;
+          fprev = None;
+          fnext = None;
+        }
+      in
+      (match prev with
+      | Some p -> p.next <- Some node
+      | None -> t.first <- node);
+      if c.chunk_free then push_free t node
+      else begin
+        t.used <- t.used + c.chunk_size;
+        t.n_live <- t.n_live + 1;
+        Hashtbl.replace t.live c.chunk_base node
+      end;
+      build (Some node) rest
+  in
+  build None chunks;
+  t
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* 1. Chunks tile the range exactly, in address order. *)
+  let rec walk c expected count =
+    if c.base <> expected then fail "chunk at %#x, expected %#x" c.base expected;
+    if c.size < min_chunk || c.size mod align <> 0 then fail "bad chunk size %d" c.size;
+    (match (c.free, c.next) with
+    | true, Some n when n.free -> fail "adjacent free chunks at %#x" c.base
+    | _ -> ());
+    (match c.next with
+    | Some n ->
+      (match n.prev with
+      | Some p when p == c -> ()
+      | Some _ | None -> fail "broken prev link at %#x" n.base);
+      walk n (c.base + c.size) (count + 1)
+    | None ->
+      if c.base + c.size <> t.range_base + t.range_size then
+        fail "last chunk ends at %#x, expected range end" (c.base + c.size);
+      count + 1)
+  in
+  let total_chunks = walk t.first t.range_base 0 in
+  (* 2. Every free chunk is in exactly one free list; every list entry
+        is free and in the right bin. *)
+  let free_listed = Hashtbl.create 16 in
+  Array.iteri
+    (fun i bin ->
+      let rec go prev = function
+        | None -> ()
+        | Some c ->
+          if not c.free then fail "allocated chunk %#x on free list" c.base;
+          if bin_index c.size <> i then fail "chunk %#x in wrong bin" c.base;
+          (match (c.fprev, prev) with
+          | None, None -> ()
+          | Some a, Some b when a == b -> ()
+          | _ -> fail "broken fprev at %#x" c.base);
+          if Hashtbl.mem free_listed c.base then fail "chunk %#x on two lists" c.base;
+          Hashtbl.replace free_listed c.base ();
+          go (Some c) c.fnext
+      in
+      go None bin)
+    t.bins;
+  let rec count_free c acc =
+    let acc = if c.free then acc + 1 else acc in
+    match c.next with Some n -> count_free n acc | None -> acc
+  in
+  let n_free = count_free t.first 0 in
+  if Hashtbl.length free_listed <> n_free then
+    fail "free-list population %d <> free chunks %d" (Hashtbl.length free_listed) n_free;
+  (* 3. Accounting. *)
+  let rec sum_used c acc =
+    let acc = if c.free then acc else acc + c.size in
+    match c.next with Some n -> sum_used n acc | None -> acc
+  in
+  if sum_used t.first 0 <> t.used then fail "used-bytes accounting drift";
+  if Hashtbl.length t.live + n_free <> total_chunks then fail "live-table drift"

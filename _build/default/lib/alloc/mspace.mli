@@ -1,0 +1,68 @@
+(** dlmalloc-style memory space ("mspace").
+
+    The SpaceJMP runtime library builds its [malloc]/[free] on Doug
+    Lea's allocator, instantiating one *mspace* per segment so that
+    allocation state lives with the segment and is valid in whichever
+    address space the segment is attached (§4.1). This module is that
+    allocator: a boundary-tag, binned free-list allocator managing a
+    contiguous range of virtual addresses.
+
+    Metadata is kept host-side (the simulated memory holds only user
+    payloads), so books survive even if a buggy workload scribbles over
+    its heap — convenient for failure-injection tests. *)
+
+type t
+
+val create : base:int -> size:int -> t
+(** Manage [ [base, base+size) ]. [base] must be 16-byte aligned and
+    [size] a positive multiple of 16. *)
+
+val base : t -> int
+val size : t -> int
+
+val malloc : t -> int -> int option
+(** Allocate at least the requested bytes (16-byte aligned); [None] when
+    no free chunk fits. Zero-size requests allocate the minimum chunk. *)
+
+val free : t -> int -> unit
+(** Release an allocation by its base address. Raises
+    [Invalid_argument] on double-free or foreign pointers. *)
+
+val usable_size : t -> int -> int
+(** Actual capacity of an allocation (>= requested). *)
+
+val is_allocated : t -> int -> bool
+(** True iff the address is the base of a live allocation. *)
+
+val owns : t -> int -> bool
+(** True iff the address falls anywhere inside this mspace's range. *)
+
+val used_bytes : t -> int
+val free_bytes : t -> int
+val largest_free : t -> int
+val allocations : t -> int
+(** Number of live allocations. *)
+
+val extend : t -> by:int -> unit
+(** Grow the managed range by [by] bytes (multiple of 16): the new
+    space becomes a free chunk, coalesced with a trailing free chunk if
+    present. Supports growable segments. *)
+
+(** {2 Snapshot / restore}
+
+    Used by copy-on-write segment snapshots (the clone starts with the
+    original's allocator state) and by VAS persistence. *)
+
+type chunk_state = { chunk_base : int; chunk_size : int; chunk_free : bool }
+
+val snapshot : t -> chunk_state list
+(** The full chunk layout in address order. *)
+
+val of_snapshot : base:int -> size:int -> chunk_state list -> t
+(** Rebuild an mspace with exactly this layout. Raises
+    [Invalid_argument] if the chunks do not tile [ [base, base+size) ]. *)
+
+val check_invariants : t -> unit
+(** Raise [Failure] if internal invariants are violated: chunks must
+    tile the range exactly, no two adjacent free chunks, free lists
+    consistent with chunk states. Used by the property-test suite. *)

@@ -1,0 +1,1 @@
+lib/checker/analysis.ml: Format Hashtbl Ir List Option Set

@@ -1,0 +1,1 @@
+lib/checker/analysis.mli: Format Ir Set

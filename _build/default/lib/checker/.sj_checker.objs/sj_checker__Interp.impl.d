@@ -1,0 +1,1 @@
+lib/checker/interp.ml: Analysis Hashtbl Ir List Option Printf

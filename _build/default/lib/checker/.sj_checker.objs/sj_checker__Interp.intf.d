@@ -1,0 +1,1 @@
+lib/checker/interp.mli: Ir

@@ -1,0 +1,1 @@
+lib/checker/ir.ml: Format Hashtbl List Option Printf Result String

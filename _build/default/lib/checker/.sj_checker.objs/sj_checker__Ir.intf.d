@@ -1,0 +1,1 @@
+lib/checker/ir.mli: Format

@@ -1,0 +1,1 @@
+lib/checker/parser.ml: Ir List Printf String

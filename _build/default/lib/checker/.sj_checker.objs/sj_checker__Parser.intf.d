@@ -1,0 +1,1 @@
+lib/checker/parser.mli: Ir

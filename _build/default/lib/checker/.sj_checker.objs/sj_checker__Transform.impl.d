@@ -1,0 +1,1 @@
+lib/checker/transform.ml: Analysis Hashtbl Ir List

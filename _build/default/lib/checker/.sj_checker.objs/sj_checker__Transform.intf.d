@@ -1,0 +1,1 @@
+lib/checker/transform.mli: Ir

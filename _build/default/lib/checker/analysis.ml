@@ -1,0 +1,242 @@
+module Velt = struct
+  type t = V of string | Common | Unknown
+
+  let compare = compare
+
+  let pp fmt = function
+    | V s -> Format.pp_print_string fmt s
+    | Common -> Format.pp_print_string fmt "vcommon"
+    | Unknown -> Format.pp_print_string fmt "vunknown"
+end
+
+module Vset = Set.Make (Velt)
+
+let primary = "@primary"
+
+type site = { in_func : string; in_block : string; index : int }
+
+type info = {
+  prog : Ir.program;
+  ins : (site, Vset.t) Hashtbl.t;
+  valid : (string * Ir.reg, Vset.t) Hashtbl.t; (* (func, reg) *)
+  entry_in : (string, Vset.t) Hashtbl.t; (* function entry VAS_in *)
+  exit_out : (string, Vset.t) Hashtbl.t; (* union of VAS_out at rets *)
+  ret_valid : (string, Vset.t) Hashtbl.t; (* union of returned pointer validity *)
+  mutable changed : bool;
+}
+
+let get tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:Vset.empty
+
+let join info tbl key s =
+  let old = get tbl key in
+  let merged = Vset.union old s in
+  if not (Vset.equal merged old) then begin
+    Hashtbl.replace tbl key merged;
+    info.changed <- true
+  end
+
+let valid_of info fname reg = get info.valid (fname, reg)
+
+(* Transfer one instruction: given VAS_in, produce VAS_out and update
+   register validity (Fig. 5's table). *)
+let transfer info (f : Ir.func) site (i : Ir.instr) vin =
+  let fname = f.Ir.fname in
+  join info info.ins site vin;
+  let jv reg s = join info info.valid (fname, reg) s in
+  match i with
+  | Ir.Switch v ->
+    ignore vin;
+    Vset.singleton (Velt.V v)
+  | Ir.Vcast (x, _, v) ->
+    jv x (Vset.singleton (Velt.V v));
+    vin
+  | Ir.Alloca x | Ir.Global x ->
+    jv x (Vset.singleton Velt.Common);
+    vin
+  | Ir.Malloc x ->
+    jv x vin;
+    vin
+  | Ir.Const (_, _) -> vin
+  | Ir.Copy (x, y) ->
+    jv x (valid_of info fname y);
+    vin
+  | Ir.Phi (x, ins) ->
+    List.iter (fun (_, y) -> jv x (valid_of info fname y)) ins;
+    vin
+  | Ir.Load (x, y) ->
+    let vy = valid_of info fname y in
+    (* A pointer loaded from VAS [v]'s memory is valid in [v] — the
+       store rules guarantee a region only holds its own pointers.
+       Loading through the common region, through a statically unknown
+       pointer, or through a non-pointer yields an untrackable value. *)
+    if
+      Vset.mem Velt.Common vy || Vset.mem Velt.Unknown vy || Vset.is_empty vy
+    then jv x (Vset.singleton Velt.Unknown);
+    jv x (Vset.filter (function Velt.V _ -> true | Velt.Common | Velt.Unknown -> false) vy);
+    vin
+  | Ir.Store (_, _) -> vin
+  | Ir.Call (res, callee, args) ->
+    let g = Ir.func info.prog callee in
+    join info info.entry_in callee vin;
+    List.iter2 (fun param arg -> join info info.valid (callee, param) (valid_of info fname arg))
+      g.Ir.params args;
+    (match res with Some x -> jv x (get info.ret_valid callee) | None -> ());
+    (* After the call the current VAS is whatever the callee exits in;
+       before the callee is analyzed this is empty, so keep vin too
+       (fixpoint will refine upward). *)
+    let callee_out = get info.exit_out callee in
+    if Vset.is_empty callee_out then vin else callee_out
+  | Ir.Check_deref _ | Ir.Check_store _ -> vin
+
+let analyze_func info (f : Ir.func) =
+  let fname = f.Ir.fname in
+  (* Block-entry in-sets within this function. *)
+  let block_in = Hashtbl.create 8 in
+  let entry = (Ir.entry_block f).Ir.label in
+  Hashtbl.replace block_in entry (get info.entry_in fname);
+  (* Iterate blocks until stable within the function (cheap; the outer
+     fixpoint handles interprocedural effects). *)
+  let local_changed = ref true in
+  while !local_changed do
+    local_changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let vin0 = Option.value (Hashtbl.find_opt block_in b.Ir.label) ~default:Vset.empty in
+        let vout =
+          List.fold_left
+            (fun vin (idx, instr) ->
+              transfer info f { in_func = fname; in_block = b.Ir.label; index = idx } instr vin)
+            vin0
+            (List.mapi (fun idx instr -> (idx, instr)) b.Ir.instrs)
+        in
+        let propagate l =
+          let old = Option.value (Hashtbl.find_opt block_in l) ~default:Vset.empty in
+          let merged = Vset.union old vout in
+          if not (Vset.equal merged old) then begin
+            Hashtbl.replace block_in l merged;
+            local_changed := true
+          end
+        in
+        match b.Ir.term with
+        | Ir.Jmp l -> propagate l
+        | Ir.Br (_, l1, l2) ->
+          propagate l1;
+          propagate l2
+        | Ir.Ret r ->
+          join info info.exit_out fname vout;
+          (match r with
+          | Some reg -> join info info.ret_valid fname (valid_of info fname reg)
+          | None -> ()))
+      f.Ir.blocks
+  done
+
+let analyze prog =
+  let info =
+    {
+      prog;
+      ins = Hashtbl.create 64;
+      valid = Hashtbl.create 64;
+      entry_in = Hashtbl.create 8;
+      exit_out = Hashtbl.create 8;
+      ret_valid = Hashtbl.create 8;
+      changed = true;
+    }
+  in
+  (match prog.Ir.funcs with
+  | main :: _ -> Hashtbl.replace info.entry_in main.Ir.fname (Vset.singleton (Velt.V primary))
+  | [] -> invalid_arg "Analysis.analyze: empty program");
+  let rounds = ref 0 in
+  while info.changed do
+    info.changed <- false;
+    incr rounds;
+    if !rounds > 1000 then failwith "Analysis.analyze: fixpoint did not converge";
+    List.iter (analyze_func info) prog.Ir.funcs
+  done;
+  info
+
+let vas_in info site = get info.ins site
+let vas_valid info ~func reg = get info.valid (func, reg)
+
+type reason =
+  | Deref_ambiguous_target
+  | Deref_ambiguous_current
+  | Deref_wrong_vas
+  | Store_pointer_escape
+
+type violation = { site : site; instr : Ir.instr; reasons : reason list }
+
+(* Deref of p at site i is unsafe unless proven otherwise.
+   Pointers valid only in the common region are always safe (stack,
+   globals, function pointers). *)
+let deref_reasons info fname site p =
+  let vp = vas_valid info ~func:fname p in
+  let vin = vas_in info site in
+  if Vset.equal vp (Vset.singleton Velt.Common) then []
+  else begin
+    let r1 =
+      if Vset.cardinal vp > 1 || Vset.mem Velt.Unknown vp || Vset.is_empty vp then
+        [ Deref_ambiguous_target ]
+      else []
+    in
+    let r2 = if Vset.cardinal vin > 1 then [ Deref_ambiguous_current ] else [] in
+    let r3 = if not (Vset.equal vp vin) then [ Deref_wrong_vas ] else [] in
+    r1 @ r2 @ r3
+  end
+
+(* Store of value q through p: if q may be a pointer, it must either
+   target the common region or stay within its own VAS. *)
+let store_escape_reasons info fname p q =
+  let vp = vas_valid info ~func:fname p in
+  let vq = vas_valid info ~func:fname q in
+  if Vset.is_empty vq then [] (* q is not a pointer *)
+  else if Vset.equal vp (Vset.singleton Velt.Common) then []
+  else if Vset.cardinal vp = 1 && Vset.equal vp vq then []
+  else [ Store_pointer_escape ]
+
+let violations info =
+  let out = ref [] in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iteri
+            (fun index instr ->
+              let site = { in_func = f.Ir.fname; in_block = b.Ir.label; index } in
+              let reasons =
+                match instr with
+                | Ir.Load (_, p) -> deref_reasons info f.Ir.fname site p
+                | Ir.Store (p, q) ->
+                  deref_reasons info f.Ir.fname site p
+                  @ store_escape_reasons info f.Ir.fname p q
+                | _ -> []
+              in
+              if reasons <> [] then out := { site; instr; reasons } :: !out)
+            b.Ir.instrs)
+        f.Ir.blocks)
+    info.prog.Ir.funcs;
+  List.rev !out
+
+let stats info =
+  let mem_ops = ref 0 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (function Ir.Load _ | Ir.Store _ -> incr mem_ops | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks)
+    info.prog.Ir.funcs;
+  (!mem_ops, List.length (violations info))
+
+let pp_reason fmt = function
+  | Deref_ambiguous_target -> Format.pp_print_string fmt "ambiguous target VAS"
+  | Deref_ambiguous_current -> Format.pp_print_string fmt "ambiguous current VAS"
+  | Deref_wrong_vas -> Format.pp_print_string fmt "target may differ from current VAS"
+  | Store_pointer_escape -> Format.pp_print_string fmt "pointer may escape its VAS"
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s/%s[%d]: %a  (%a)" v.site.in_func v.site.in_block v.site.index
+    Ir.pp_instr v.instr
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp_reason)
+    v.reasons

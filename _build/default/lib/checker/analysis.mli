@@ -1,0 +1,54 @@
+(** The VAS dataflow analysis (§4.3).
+
+    Computes, by a monotone union fixpoint over the interprocedural
+    CFG:
+    - [vas_in]/[vas_out]: the set of VASes that may be *current* before
+      and after each instruction (Fig. 5's VAS_in/VAS_out);
+    - [vas_valid]: for each SSA register, the set of VASes a pointer in
+      it may be valid in, including the special elements [Common] (the
+      common region: stack, globals) and [Unknown] (statically
+      untrackable, e.g. loaded through the common region).
+
+    From these it classifies unsafe loads and stores per the paper's
+    three deref conditions and two store conditions; the transform
+    inserts checks exactly at the flagged sites. *)
+
+module Velt : sig
+  type t = V of string | Common | Unknown
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Vset : Set.S with type elt = Velt.t
+
+val primary : string
+(** Reserved name of the process's initial address space. *)
+
+type site = { in_func : string; in_block : string; index : int }
+(** [index] is the instruction's position within its block. *)
+
+type info
+
+val analyze : Ir.program -> info
+(** Requires a validated program. *)
+
+val vas_in : info -> site -> Vset.t
+val vas_valid : info -> func:string -> Ir.reg -> Vset.t
+
+type reason =
+  | Deref_ambiguous_target  (** |valid(p)| > 1 or unknown (cond. 1) *)
+  | Deref_ambiguous_current  (** |VAS_in| > 1 (cond. 2) *)
+  | Deref_wrong_vas  (** valid(p) <> VAS_in (cond. 3) *)
+  | Store_pointer_escape  (** storing a pointer where neither store condition holds *)
+
+type violation = { site : site; instr : Ir.instr; reasons : reason list }
+
+val violations : info -> violation list
+(** Sites needing runtime checks, in program order. *)
+
+val stats : info -> int * int
+(** [(memory_ops, flagged)] — how many loads/stores exist vs how many
+    needed checks (the analysis's precision headline). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,158 @@
+type space = Common_region | In_vas of string
+type value = Int of int | Ptr of { space : space; addr : int }
+
+type outcome =
+  | Finished of value option
+  | Trapped of { site : string; what : string }
+  | Faulted of { site : string; what : string }
+  | Type_fault of { site : string; what : string }
+  | Out_of_fuel
+
+exception Trap of string * string
+exception Fault of string * string
+exception Tfault of string * string
+exception Fuel
+
+type state = {
+  prog : Ir.program;
+  mem : (space * int, value) Hashtbl.t;
+  mutable current : string; (* current VAS name *)
+  mutable next_addr : int;
+  mutable fuel : int;
+}
+
+let space_name = function Common_region -> "common" | In_vas v -> v
+
+(* The §3.3 rules, dynamically. *)
+let deref_ok st = function
+  | Common_region -> true
+  | In_vas v -> v = st.current
+
+let store_value_ok p_space q =
+  match q with
+  | Int _ -> true
+  | Ptr q -> (
+    match (p_space, q.space) with
+    | Common_region, _ -> true (* common region may hold any pointer *)
+    | In_vas pv, In_vas qv -> pv = qv (* VAS memory only holds its own pointers *)
+    | In_vas _, Common_region -> false (* common pointers must not escape *))
+
+let run_function ?(fuel = 100_000) prog ~name ~args =
+  let st =
+    { prog; mem = Hashtbl.create 256; current = Analysis.primary; next_addr = 16; fuel }
+  in
+  let rec exec_func fname args =
+    let f = Ir.func st.prog fname in
+    if List.length args <> List.length f.Ir.params then
+      invalid_arg (Printf.sprintf "Interp: arity mismatch calling %s" fname);
+    let regs : (string, value) Hashtbl.t = Hashtbl.create 16 in
+    List.iter2 (fun p a -> Hashtbl.replace regs p a) f.Ir.params args;
+    let get r =
+      match Hashtbl.find_opt regs r with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Interp: %s/%s unbound" fname r)
+    in
+    let set r v = Hashtbl.replace regs r v in
+    let rec exec_block (b : Ir.block) ~came_from =
+      let site idx = Printf.sprintf "%s/%s[%d]" fname b.Ir.label idx in
+      List.iteri
+        (fun idx instr ->
+          if st.fuel <= 0 then raise Fuel;
+          st.fuel <- st.fuel - 1;
+          match instr with
+          | Ir.Switch v -> st.current <- v
+          | Ir.Vcast (x, y, v) -> (
+            match get y with
+            | Ptr p -> set x (Ptr { p with space = In_vas v })
+            | Int _ as i -> set x i)
+          | Ir.Alloca x | Ir.Global x ->
+            st.next_addr <- st.next_addr + 16;
+            set x (Ptr { space = Common_region; addr = st.next_addr })
+          | Ir.Malloc x ->
+            st.next_addr <- st.next_addr + 16;
+            set x (Ptr { space = In_vas st.current; addr = st.next_addr })
+          | Ir.Const (x, n) -> set x (Int n)
+          | Ir.Copy (x, y) -> set x (get y)
+          | Ir.Phi (x, ins) -> (
+            match came_from with
+            | None -> invalid_arg "Interp: phi in entry block"
+            | Some from -> (
+              match List.assoc_opt from ins with
+              | Some y -> set x (get y)
+              | None -> invalid_arg "Interp: phi has no edge for predecessor"))
+          | Ir.Load (x, p) -> (
+            match get p with
+            | Int _ -> raise (Tfault (site idx, "load through integer"))
+            | Ptr ptr ->
+              if not (deref_ok st ptr.space) then
+                raise
+                  (Fault
+                     ( site idx,
+                       Printf.sprintf "load from %s while in %s" (space_name ptr.space)
+                         st.current ));
+              set x
+                (Option.value
+                   (Hashtbl.find_opt st.mem (ptr.space, ptr.addr))
+                   ~default:(Int 0)))
+          | Ir.Store (p, q) -> (
+            match get p with
+            | Int _ -> raise (Tfault (site idx, "store through integer"))
+            | Ptr ptr ->
+              if not (deref_ok st ptr.space) then
+                raise
+                  (Fault
+                     ( site idx,
+                       Printf.sprintf "store to %s while in %s" (space_name ptr.space)
+                         st.current ));
+              if not (store_value_ok ptr.space (get q)) then
+                raise (Fault (site idx, "pointer escaped its VAS"));
+              Hashtbl.replace st.mem (ptr.space, ptr.addr) (get q))
+          | Ir.Call (res, callee, cargs) -> (
+            let v = exec_func callee (List.map get cargs) in
+            match (res, v) with
+            | Some x, Some v -> set x v
+            | Some x, None -> set x (Int 0)
+            | None, _ -> ())
+          | Ir.Check_deref p -> (
+            match get p with
+            | Int _ -> raise (Trap (site idx, "check: not a pointer"))
+            | Ptr ptr ->
+              if not (deref_ok st ptr.space) then
+                raise
+                  (Trap
+                     ( site idx,
+                       Printf.sprintf "check caught deref of %s while in %s"
+                         (space_name ptr.space) st.current )))
+          | Ir.Check_store (p, q) -> (
+            match get p with
+            | Int _ -> raise (Trap (site idx, "check: not a pointer"))
+            | Ptr ptr ->
+              if not (deref_ok st ptr.space) then
+                raise (Trap (site idx, "check caught store target"));
+              if not (store_value_ok ptr.space (get q)) then
+                raise (Trap (site idx, "check caught pointer escape"))))
+        b.Ir.instrs;
+      if st.fuel <= 0 then raise Fuel;
+      st.fuel <- st.fuel - 1;
+      match b.Ir.term with
+      | Ir.Jmp l -> exec_block (Ir.block f l) ~came_from:(Some b.Ir.label)
+      | Ir.Br (r, l1, l2) ->
+        let taken =
+          match get r with Int 0 -> l2 | Int _ -> l1 | Ptr _ -> l1 (* non-null *)
+        in
+        exec_block (Ir.block f taken) ~came_from:(Some b.Ir.label)
+      | Ir.Ret (Some r) -> Some (get r)
+      | Ir.Ret None -> None
+    in
+    exec_block (Ir.entry_block f) ~came_from:None
+  in
+  try Finished (exec_func name args) with
+  | Trap (site, what) -> Trapped { site; what }
+  | Fault (site, what) -> Faulted { site; what }
+  | Tfault (site, what) -> Type_fault { site; what }
+  | Fuel -> Out_of_fuel
+
+let run ?fuel prog =
+  match prog.Ir.funcs with
+  | main :: _ -> run_function ?fuel prog ~name:main.Ir.fname ~args:[]
+  | [] -> invalid_arg "Interp.run: empty program"

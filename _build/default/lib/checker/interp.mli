@@ -1,0 +1,37 @@
+(** Dynamic semantics for the safety IR.
+
+    The interpreter executes programs against tagged memory: every
+    pointer carries the space it belongs to ([Common] or a named VAS),
+    mirroring the runtime tagging §4.3 describes (unused pointer bits /
+    shadow memory). It distinguishes three outcomes:
+
+    - [Finished]: the program ran to completion;
+    - [Trapped]: an inserted [Check_deref]/[Check_store] caught an
+      unsafe operation *before* it executed (the desired behavior of
+      instrumented programs);
+    - [Faulted]: a raw load/store actually violated the §3.3 rules —
+      which instrumented programs must never do. The cross-validation
+      property in the test suite is exactly
+      "instrument p => running p never Faults";
+    - [Type_fault]: a plain memory-safety error (dereferencing an
+      integer, e.g. a wild pointer loaded from zeroed memory). The
+      paper's analysis guards address-space safety, not type safety, so
+      these are outside its contract and excluded from the properties. *)
+
+type space = Common_region | In_vas of string
+
+type value = Int of int | Ptr of { space : space; addr : int }
+
+type outcome =
+  | Finished of value option
+  | Trapped of { site : string; what : string }
+  | Faulted of { site : string; what : string }
+  | Type_fault of { site : string; what : string }
+  | Out_of_fuel
+
+val run : ?fuel:int -> Ir.program -> outcome
+(** Execute [main] with no arguments, starting in the primary address
+    space. [fuel] bounds executed instructions (default 100_000). *)
+
+val run_function :
+  ?fuel:int -> Ir.program -> name:string -> args:value list -> outcome

@@ -1,0 +1,203 @@
+type reg = string
+type label = string
+
+type instr =
+  | Switch of string
+  | Vcast of reg * reg * string
+  | Alloca of reg
+  | Global of reg
+  | Malloc of reg
+  | Const of reg * int
+  | Copy of reg * reg
+  | Phi of reg * (label * reg) list
+  | Load of reg * reg
+  | Store of reg * reg
+  | Call of reg option * string * reg list
+  | Check_deref of reg
+  | Check_store of reg * reg
+
+type terminator = Jmp of label | Br of reg * label * label | Ret of reg option
+type block = { label : label; instrs : instr list; term : terminator }
+type func = { fname : string; params : reg list; blocks : block list }
+type program = { funcs : func list }
+
+let func p name = List.find (fun f -> f.fname = name) p.funcs
+
+let entry_block f =
+  match f.blocks with b :: _ -> b | [] -> invalid_arg "Ir.entry_block: empty function"
+
+let block f label =
+  try List.find (fun b -> b.label = label) f.blocks
+  with Not_found -> invalid_arg (Printf.sprintf "Ir.block: no block %s in %s" label f.fname)
+
+let defs_of_instr = function
+  | Switch _ | Store _ | Check_deref _ | Check_store _ -> []
+  | Vcast (x, _, _)
+  | Alloca x
+  | Global x
+  | Malloc x
+  | Const (x, _)
+  | Copy (x, _)
+  | Phi (x, _)
+  | Load (x, _) ->
+    [ x ]
+  | Call (Some x, _, _) -> [ x ]
+  | Call (None, _, _) -> []
+
+let uses_of_instr = function
+  | Switch _ | Alloca _ | Global _ | Malloc _ | Const _ -> []
+  | Vcast (_, y, _) | Copy (_, y) | Load (_, y) | Check_deref y -> [ y ]
+  | Phi (_, ins) -> List.map snd ins
+  | Store (x, y) | Check_store (x, y) -> [ x; y ]
+  | Call (_, _, args) -> args
+
+let uses_of_term = function Jmp _ -> [] | Br (r, _, _) -> [ r ] | Ret r -> Option.to_list r
+
+let predecessors f label =
+  List.filter_map
+    (fun b ->
+      let targets =
+        match b.term with Jmp l -> [ l ] | Br (_, l1, l2) -> [ l1; l2 ] | Ret _ -> []
+      in
+      if List.mem label targets then Some b.label else None)
+    f.blocks
+
+let validate p =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_func f =
+    if f.blocks = [] then err "%s: no blocks" f.fname
+    else begin
+      (* Single assignment; collect all definitions. *)
+      let defined = Hashtbl.create 16 in
+      List.iter (fun r -> Hashtbl.replace defined r ()) f.params;
+      let* () =
+        List.fold_left
+          (fun acc b ->
+            let* () = acc in
+            List.fold_left
+              (fun acc i ->
+                let* () = acc in
+                List.fold_left
+                  (fun acc d ->
+                    let* () = acc in
+                    if Hashtbl.mem defined d then err "%s: %s assigned twice" f.fname d
+                    else begin
+                      Hashtbl.replace defined d ();
+                      Ok ()
+                    end)
+                  (Ok ()) (defs_of_instr i))
+              (Ok ()) b.instrs)
+          (Ok ()) f.blocks
+      in
+      (* All uses defined somewhere; branch targets exist; phi sources
+         are predecessors. *)
+      let labels = List.map (fun b -> b.label) f.blocks in
+      List.fold_left
+        (fun acc b ->
+          let* () = acc in
+          let* () =
+            List.fold_left
+              (fun acc i ->
+                let* () = acc in
+                let* () =
+                  List.fold_left
+                    (fun acc u ->
+                      let* () = acc in
+                      if Hashtbl.mem defined u then Ok ()
+                      else err "%s/%s: use of undefined %s" f.fname b.label u)
+                    (Ok ()) (uses_of_instr i)
+                in
+                match i with
+                | Phi (_, ins) ->
+                  let preds = predecessors f b.label in
+                  List.fold_left
+                    (fun acc (src, _) ->
+                      let* () = acc in
+                      if List.mem src preds then Ok ()
+                      else err "%s/%s: phi source %s is not a predecessor" f.fname b.label src)
+                    (Ok ()) ins
+                | _ -> Ok ())
+              (Ok ()) b.instrs
+          in
+          let* () =
+            List.fold_left
+              (fun acc u ->
+                let* () = acc in
+                if Hashtbl.mem defined u then Ok ()
+                else err "%s/%s: terminator uses undefined %s" f.fname b.label u)
+              (Ok ()) (uses_of_term b.term)
+          in
+          match b.term with
+          | Jmp l -> if List.mem l labels then Ok () else err "%s: missing block %s" f.fname l
+          | Br (_, l1, l2) ->
+            if List.mem l1 labels && List.mem l2 labels then Ok ()
+            else err "%s: missing branch target" f.fname
+          | Ret _ -> Ok ())
+        (Ok ()) f.blocks
+    end
+  in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        check_func f)
+      (Ok ()) p.funcs
+  in
+  (* Call targets exist with matching arity. *)
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      List.fold_left
+        (fun acc b ->
+          let* () = acc in
+          List.fold_left
+            (fun acc i ->
+              let* () = acc in
+              match i with
+              | Call (_, callee, args) -> (
+                match List.find_opt (fun g -> g.fname = callee) p.funcs with
+                | None -> err "call to unknown function %s" callee
+                | Some g ->
+                  if List.length g.params = List.length args then Ok ()
+                  else err "call to %s: arity mismatch" callee)
+              | _ -> Ok ())
+            (Ok ()) b.instrs)
+        (Ok ()) f.blocks)
+    (Ok ()) p.funcs
+
+let pp_instr fmt = function
+  | Switch v -> Format.fprintf fmt "switch %s" v
+  | Vcast (x, y, v) -> Format.fprintf fmt "%s = vcast %s %s" x y v
+  | Alloca x -> Format.fprintf fmt "%s = alloca" x
+  | Global x -> Format.fprintf fmt "%s = global" x
+  | Malloc x -> Format.fprintf fmt "%s = malloc" x
+  | Const (x, n) -> Format.fprintf fmt "%s = %d" x n
+  | Copy (x, y) -> Format.fprintf fmt "%s = %s" x y
+  | Phi (x, ins) ->
+    Format.fprintf fmt "%s = phi %s" x
+      (String.concat ", " (List.map (fun (l, r) -> Printf.sprintf "[%s: %s]" l r) ins))
+  | Load (x, y) -> Format.fprintf fmt "%s = *%s" x y
+  | Store (x, y) -> Format.fprintf fmt "*%s = %s" x y
+  | Call (Some x, f, args) -> Format.fprintf fmt "%s = %s(%s)" x f (String.concat ", " args)
+  | Call (None, f, args) -> Format.fprintf fmt "%s(%s)" f (String.concat ", " args)
+  | Check_deref r -> Format.fprintf fmt "check_deref %s" r
+  | Check_store (x, y) -> Format.fprintf fmt "check_store %s, %s" x y
+
+let pp_term fmt = function
+  | Jmp l -> Format.fprintf fmt "jmp %s" l
+  | Br (r, l1, l2) -> Format.fprintf fmt "br %s, %s, %s" r l1 l2
+  | Ret (Some r) -> Format.fprintf fmt "ret %s" r
+  | Ret None -> Format.fprintf fmt "ret"
+
+let pp_program fmt p =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "func %s(%s):@." f.fname (String.concat ", " f.params);
+      List.iter
+        (fun b ->
+          Format.fprintf fmt "%s:@." b.label;
+          List.iter (fun i -> Format.fprintf fmt "  %a@." pp_instr i) b.instrs;
+          Format.fprintf fmt "  %a@." pp_term b.term)
+        f.blocks)
+    p.funcs

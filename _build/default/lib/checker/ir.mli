@@ -1,0 +1,60 @@
+(** SSA intermediate representation for the safety analysis (Fig. 5).
+
+    The instruction set is exactly the paper's analysis-relevant subset:
+    VAS switches, [vcast], stack/global/heap allocation, copies, phis,
+    loads, stores, calls and returns — plus integer constants (so stores
+    of non-pointers are distinguishable) and a conditional branch to
+    give programs interesting control flow.
+
+    Programs are in SSA form per function: each register is assigned
+    exactly once; [validate] enforces this along with CFG well-formedness. *)
+
+type reg = string
+type label = string
+
+type instr =
+  | Switch of string  (** switch to the named VAS *)
+  | Vcast of reg * reg * string  (** x = vcast y v : assert y valid in v *)
+  | Alloca of reg  (** x = alloca : pointer into the common region (stack) *)
+  | Global of reg  (** x = &global : pointer into the common region *)
+  | Malloc of reg  (** x = malloc : pointer into the current VAS's heap *)
+  | Const of reg * int  (** x = n : integer, not a pointer *)
+  | Copy of reg * reg  (** x = y *)
+  | Phi of reg * (label * reg) list  (** x = phi [(from_block, y); ...] *)
+  | Load of reg * reg  (** x = *y *)
+  | Store of reg * reg  (** *x = y *)
+  | Call of reg option * string * reg list  (** x = f(args) *)
+  | Check_deref of reg  (** inserted: trap if reg is not valid in the current VAS *)
+  | Check_store of reg * reg  (** inserted: trap if storing y to x violates the rules *)
+
+type terminator =
+  | Jmp of label
+  | Br of reg * label * label  (** conditional: nonzero -> first target *)
+  | Ret of reg option
+
+type block = { label : label; instrs : instr list; term : terminator }
+
+type func = { fname : string; params : reg list; blocks : block list }
+(** The first block is the entry. *)
+
+type program = { funcs : func list }
+(** The first function is [main]; execution starts there with no
+    current VAS (a distinguished "primary" space). *)
+
+val func : program -> string -> func
+(** Raises [Not_found]. *)
+
+val entry_block : func -> block
+val block : func -> label -> block
+
+val validate : program -> (unit, string) result
+(** SSA single-assignment, no use of undefined registers (phi inputs
+    exempt from dominance — we only check they are defined somewhere in
+    the function), branch targets exist, called functions exist, arity
+    matches, phi sources name actual predecessor labels. *)
+
+val defs_of_instr : instr -> reg list
+val uses_of_instr : instr -> reg list
+val predecessors : func -> label -> label list
+val pp_program : Format.formatter -> program -> unit
+val pp_instr : Format.formatter -> instr -> unit

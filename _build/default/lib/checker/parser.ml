@@ -1,0 +1,188 @@
+(* Line-oriented recursive-descent parser for the safety IR. *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let is_ident s = s <> "" && String.for_all is_ident_char s && not (s.[0] >= '0' && s.[0] <= '9')
+
+let strip line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  String.trim line
+
+(* Split on any whitespace/commas, keeping bracket groups whole enough
+   for phi parsing (phi is handled specially). *)
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+type line_kind =
+  | Lfunc of string * string list
+  | Llabel of string
+  | Linstr of Ir.instr
+  | Lterm of Ir.terminator
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_call_rhs rhs =
+  (* f(a, b) or f() *)
+  match String.index_opt rhs '(' with
+  | None -> fail "call: expected '('"
+  | Some i ->
+    let fname = String.trim (String.sub rhs 0 i) in
+    if not (is_ident fname) then fail "call: bad function name %S" fname;
+    let rest = String.sub rhs (i + 1) (String.length rhs - i - 1) in
+    (match String.index_opt rest ')' with
+    | None -> fail "call: expected ')'"
+    | Some j ->
+      let args = String.sub rest 0 j in
+      let args = tokens args in
+      List.iter (fun a -> if not (is_ident a) then fail "call: bad argument %S" a) args;
+      (fname, args))
+
+let parse_phi_rhs rhs =
+  (* phi [label: reg] [label: reg] ... *)
+  let rec go pos acc =
+    match String.index_from_opt rhs pos '[' with
+    | None -> List.rev acc
+    | Some i -> (
+      match String.index_from_opt rhs i ']' with
+      | None -> fail "phi: unclosed '['"
+      | Some j -> (
+        let inner = String.sub rhs (i + 1) (j - i - 1) in
+        match String.split_on_char ':' inner with
+        | [ label; reg ] ->
+          let label = String.trim label and reg = String.trim reg in
+          if not (is_ident label && is_ident reg) then fail "phi: bad edge %S" inner;
+          go (j + 1) ((label, reg) :: acc)
+        | _ -> fail "phi: expected [label: reg]"))
+  in
+  match go 0 [] with [] -> fail "phi: no incoming edges" | edges -> edges
+
+let parse_rhs x rhs =
+  let rhs = String.trim rhs in
+  match tokens rhs with
+  | [ "alloca" ] -> Ir.Alloca x
+  | [ "global" ] -> Ir.Global x
+  | [ "malloc" ] -> Ir.Malloc x
+  | [ "vcast"; y; v ] when is_ident y && is_ident v -> Ir.Vcast (x, y, v)
+  | [ y ] when is_ident y -> Ir.Copy (x, y)
+  | [ n ] when int_of_string_opt n <> None -> Ir.Const (x, int_of_string n)
+  | [ deref ] when String.length deref > 1 && deref.[0] = '*' ->
+    let y = String.sub deref 1 (String.length deref - 1) in
+    if is_ident y then Ir.Load (x, y) else fail "load: bad register %S" y
+  | "phi" :: _ -> Ir.Phi (x, parse_phi_rhs rhs)
+  | "call" :: _ ->
+    let rhs = String.trim (String.sub rhs 4 (String.length rhs - 4)) in
+    let fname, args = parse_call_rhs rhs in
+    Ir.Call (Some x, fname, args)
+  | _ -> fail "cannot parse right-hand side %S" rhs
+
+let classify line =
+  if String.length line > 5 && String.sub line 0 5 = "func " then begin
+    (* func name(p1, p2): *)
+    let rest = String.sub line 5 (String.length line - 5) in
+    let rest =
+      match String.rindex_opt rest ':' with
+      | Some i when i = String.length rest - 1 -> String.sub rest 0 i
+      | _ -> fail "func: missing trailing ':'"
+    in
+    let fname, params = parse_call_rhs rest in
+    Lfunc (fname, params)
+  end
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then begin
+    let label = String.sub line 0 (String.length line - 1) in
+    if is_ident label then Llabel label else fail "bad label %S" label
+  end
+  else
+    match tokens line with
+    | [ "switch"; v ] when is_ident v -> Linstr (Ir.Switch v)
+    | [ "jmp"; l ] when is_ident l -> Lterm (Ir.Jmp l)
+    | [ "br"; r; l1; l2 ] when is_ident r && is_ident l1 && is_ident l2 ->
+      Lterm (Ir.Br (r, l1, l2))
+    | [ "ret" ] -> Lterm (Ir.Ret None)
+    | [ "ret"; r ] when is_ident r -> Lterm (Ir.Ret (Some r))
+    | [ "check_deref"; r ] when is_ident r -> Linstr (Ir.Check_deref r)
+    | [ "check_store"; p; q ] when is_ident p && is_ident q -> Linstr (Ir.Check_store (p, q))
+    | "call" :: _ ->
+      let rhs = String.trim (String.sub line 4 (String.length line - 4)) in
+      let fname, args = parse_call_rhs rhs in
+      Linstr (Ir.Call (None, fname, args))
+    | store :: "=" :: _ when String.length store > 1 && store.[0] = '*' ->
+      let p = String.sub store 1 (String.length store - 1) in
+      let eq = String.index line '=' in
+      let q = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      if is_ident p && is_ident q then Linstr (Ir.Store (p, q))
+      else fail "store: bad operands"
+    | x :: "=" :: _ when is_ident x ->
+      let eq = String.index line '=' in
+      Linstr (parse_rhs x (String.sub line (eq + 1) (String.length line - eq - 1)))
+    | _ -> fail "cannot parse %S" line
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* Accumulators, reversed. *)
+  let funcs = ref [] in
+  let cur_func : (string * string list) option ref = ref None in
+  let blocks = ref [] in
+  let cur_label = ref None in
+  let instrs = ref [] in
+  let flush_block ~line_no term =
+    match !cur_label with
+    | None -> (
+      match term with
+      | Some _ -> fail "line %d: terminator outside a block" line_no
+      | None -> if !instrs <> [] then fail "line %d: instructions outside a block" line_no)
+    | Some label ->
+      let term =
+        match term with
+        | Some t -> t
+        | None -> fail "line %d: block %s has no terminator" line_no label
+      in
+      blocks := { Ir.label; instrs = List.rev !instrs; term } :: !blocks;
+      cur_label := None;
+      instrs := []
+  in
+  let flush_func ~line_no =
+    (match (!cur_label, !cur_func) with
+    | Some l, _ -> fail "line %d: block %s has no terminator" line_no l
+    | None, Some (fname, params) ->
+      funcs := { Ir.fname; params; blocks = List.rev !blocks } :: !funcs;
+      blocks := [];
+      cur_func := None
+    | None, None -> ())
+  in
+  try
+    List.iteri
+      (fun i raw ->
+        let line_no = i + 1 in
+        let line = strip raw in
+        if line <> "" then
+          let wrap f = try f () with Parse_error e -> fail "line %d: %s" line_no e in
+          wrap (fun () ->
+              match classify line with
+              | Lfunc (fname, params) ->
+                flush_func ~line_no;
+                cur_func := Some (fname, params)
+              | Llabel l ->
+                if !cur_func = None then fail "line %d: block outside a function" line_no;
+                (match !cur_label with
+                | Some prev -> fail "line %d: block %s has no terminator" line_no prev
+                | None -> ());
+                cur_label := Some l
+              | Linstr instr ->
+                if !cur_label = None then fail "line %d: instruction outside a block" line_no;
+                instrs := instr :: !instrs
+              | Lterm term -> flush_block ~line_no (Some term)))
+      lines;
+    flush_func ~line_no:(List.length lines);
+    let prog = { Ir.funcs = List.rev !funcs } in
+    if prog.Ir.funcs = [] then Error "no functions"
+    else
+      match Ir.validate prog with Ok () -> Ok prog | Error e -> Error ("invalid program: " ^ e)
+  with Parse_error e -> Error e
+
+let parse_file_contents = parse

@@ -1,0 +1,27 @@
+(** Textual syntax for the safety IR, so programs can be written in
+    files and checked with [sjctl check].
+
+    Grammar (one construct per line; [#] starts a comment):
+    {v
+    func main():            ; first function is the entry point
+    entry:                  ; first block of a function is its entry
+      switch v1
+      p = malloc
+      x = 42
+      *p = x
+      y = *p
+      q = vcast p v2
+      z = phi [a: x] [b: y]
+      r = call f(x, y)      ; or: call f(x)
+      br x, then_block, else_block
+      jmp next
+      ret y                 ; or: ret
+    v}
+    Registers and labels are [[A-Za-z_][A-Za-z0-9_']*]; VAS names
+    likewise. [alloca], [global], [malloc] take no operands. *)
+
+val parse : string -> (Ir.program, string) result
+(** Parse a whole program; the error string carries a line number. *)
+
+val parse_file_contents : string -> (Ir.program, string) result
+(** Alias of {!parse} (reads the string as file contents). *)

@@ -1,0 +1,109 @@
+type report = { checks_inserted : int; memory_ops : int; elided : int }
+
+let instrument prog =
+  let info = Analysis.analyze prog in
+  let flagged = Analysis.violations info in
+  let is_flagged site = List.exists (fun (v : Analysis.violation) -> v.site = site) flagged in
+  let needs_store_check site =
+    List.exists
+      (fun (v : Analysis.violation) ->
+        v.site = site && List.mem Analysis.Store_pointer_escape v.reasons)
+      flagged
+  in
+  let inserted = ref 0 in
+  let rewrite_func (f : Ir.func) =
+    let rewrite_block (b : Ir.block) =
+      let instrs =
+        List.concat
+          (List.mapi
+             (fun index instr ->
+               let site =
+                 { Analysis.in_func = f.Ir.fname; in_block = b.Ir.label; index }
+               in
+               match instr with
+               | Ir.Load (_, p) when is_flagged site ->
+                 incr inserted;
+                 [ Ir.Check_deref p; instr ]
+               | Ir.Store (p, q) when is_flagged site ->
+                 let checks =
+                   (if
+                      List.exists
+                        (fun (v : Analysis.violation) ->
+                          v.site = site
+                          && List.exists
+                               (function
+                                 | Analysis.Store_pointer_escape -> false
+                                 | _ -> true)
+                               v.reasons)
+                        flagged
+                    then [ Ir.Check_deref p ]
+                    else [])
+                   @ if needs_store_check site then [ Ir.Check_store (p, q) ] else []
+                 in
+                 inserted := !inserted + List.length checks;
+                 checks @ [ instr ]
+               | _ -> [ instr ])
+             b.Ir.instrs)
+      in
+      { b with Ir.instrs }
+    in
+    { f with Ir.blocks = List.map rewrite_block f.Ir.blocks }
+  in
+  let prog' = { Ir.funcs = List.map rewrite_func prog.Ir.funcs } in
+  let memory_ops, flagged_count = Analysis.stats info in
+  (prog', { checks_inserted = !inserted; memory_ops; elided = memory_ops - flagged_count })
+
+(* Redundant-check elimination: see the interface. The "covered" set
+   holds facts re-established since the last VAS change: `D p` (p is
+   valid here) and `S (p, q)` (storing q through p is legal here). *)
+let optimize prog =
+  let removed = ref 0 in
+  let rewrite_block (b : Ir.block) =
+    let covered : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let deref_key p = "D:" ^ p in
+    let store_key p q = "S:" ^ p ^ ":" ^ q in
+    let instrs =
+      List.filter
+        (fun instr ->
+          match instr with
+          | Ir.Switch _ | Ir.Call _ ->
+            (* The current VAS may change: previous checks no longer
+               justify skipping new ones. *)
+            Hashtbl.reset covered;
+            true
+          | Ir.Check_deref p ->
+            if Hashtbl.mem covered (deref_key p) then begin
+              incr removed;
+              false
+            end
+            else begin
+              Hashtbl.replace covered (deref_key p) ();
+              true
+            end
+          | Ir.Check_store (p, q) ->
+            if Hashtbl.mem covered (store_key p q) then begin
+              incr removed;
+              false
+            end
+            else begin
+              Hashtbl.replace covered (store_key p q) ();
+              (* A full store check implies the target is dereferenceable. *)
+              Hashtbl.replace covered (deref_key p) ();
+              true
+            end
+          | Ir.Vcast _ | Ir.Alloca _ | Ir.Global _ | Ir.Malloc _ | Ir.Const _ | Ir.Copy _
+          | Ir.Phi _ | Ir.Load _ | Ir.Store _ ->
+            true)
+        b.Ir.instrs
+    in
+    { b with Ir.instrs }
+  in
+  let prog' =
+    { Ir.funcs = List.map (fun f -> { f with Ir.blocks = List.map rewrite_block f.Ir.blocks }) prog.Ir.funcs }
+  in
+  (prog', !removed)
+
+let instrument_optimized prog =
+  let instrumented, report = instrument prog in
+  let optimized, removed = optimize instrumented in
+  (optimized, { report with checks_inserted = report.checks_inserted - removed })

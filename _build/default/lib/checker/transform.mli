@@ -1,0 +1,29 @@
+(** The check-inserting transformation (§4.3).
+
+    Inserts [Check_deref] before loads/stores whose target pointer
+    cannot be proven to live in the current VAS, and [Check_store]
+    before stores that may write a pointer into a foreign region. Safe
+    sites are left untouched — the analysis exists precisely to elide
+    the trivial tag-every-pointer solution's checks. *)
+
+type report = {
+  checks_inserted : int;
+  memory_ops : int;
+  elided : int;  (** memory_ops - sites needing checks *)
+}
+
+val instrument : Ir.program -> Ir.program * report
+(** Returns the instrumented program (the input is not mutated). *)
+
+val optimize : Ir.program -> Ir.program * int
+(** Remove provably redundant checks (the "more involved analysis"
+    §4.4 leaves to future work): within a basic block, a check of the
+    same pointer is redundant after an identical earlier check as long
+    as no [switch] or [call] (which may switch) intervenes — in SSA the
+    pointer's validity set is fixed, so only the current VAS can
+    change. A [check_store p q] also subsumes a later [check_deref p].
+    Returns the slimmed program and how many checks were removed. *)
+
+val instrument_optimized : Ir.program -> Ir.program * report
+(** {!instrument} followed by {!optimize}; the report counts the checks
+    that remain. *)

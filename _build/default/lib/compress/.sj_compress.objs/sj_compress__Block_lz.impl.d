@@ -1,0 +1,1 @@
+lib/compress/block_lz.ml: Array Buffer Bytes Char Printf Varint

@@ -1,0 +1,1 @@
+lib/compress/block_lz.mli:

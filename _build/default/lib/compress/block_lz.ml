@@ -1,0 +1,163 @@
+let block_size = 65536
+let min_match = 4
+let max_match = 255 + min_match
+let hash_bits = 14
+let hash_size = 1 lsl hash_bits
+let max_chain = 16
+
+(* Token stream grammar (byte-aligned):
+     0x00 len varint, <len bytes>          literal run
+     0x01 len varint, dist varint          match (len >= 4, dist >= 1)
+   Block framing: varint uncompressed_len, varint token_bytes, tokens.
+   Stream: varint block_count, blocks. *)
+
+let hash4 b i =
+  let v =
+    Char.code (Bytes.get b i)
+    lor (Char.code (Bytes.get b (i + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (i + 2)) lsl 16)
+    lor (Char.code (Bytes.get b (i + 3)) lsl 24)
+  in
+  (v * 2654435761) lsr (31 - hash_bits) land (hash_size - 1)
+
+let compress_block src lo hi out =
+  let head = Array.make hash_size (-1) in
+  let chain = Array.make (hi - lo) (-1) in
+  let tokens = Buffer.create 1024 in
+  let lit_start = ref lo in
+  let flush_literals upto =
+    if upto > !lit_start then begin
+      Buffer.add_char tokens '\000';
+      Varint.write tokens (upto - !lit_start);
+      Buffer.add_subbytes tokens src !lit_start (upto - !lit_start)
+    end
+  in
+  let match_len a b limit =
+    let n = ref 0 in
+    while !n < limit && Bytes.get src (a + !n) = Bytes.get src (b + !n) do
+      incr n
+    done;
+    !n
+  in
+  let i = ref lo in
+  while !i < hi do
+    if hi - !i >= min_match then begin
+      let h = hash4 src !i in
+      (* Walk the chain for the longest match. *)
+      let best_len = ref 0 and best_pos = ref (-1) in
+      let cand = ref head.(h) and depth = ref 0 in
+      while !cand >= 0 && !depth < max_chain do
+        let limit = min (hi - !i) max_match in
+        let len = match_len !cand !i limit in
+        if len > !best_len then begin
+          best_len := len;
+          best_pos := !cand
+        end;
+        cand := chain.(!cand - lo);
+        incr depth
+      done;
+      if !best_len >= min_match then begin
+        flush_literals !i;
+        Buffer.add_char tokens '\001';
+        Varint.write tokens (!best_len - min_match);
+        Varint.write tokens (!i - !best_pos);
+        (* Insert the positions the match covers into the dictionary. *)
+        let last = min (!i + !best_len) (hi - min_match) in
+        let j = ref !i in
+        while !j < last do
+          let hj = hash4 src !j in
+          chain.(!j - lo) <- head.(hj);
+          head.(hj) <- !j;
+          incr j
+        done;
+        i := !i + !best_len;
+        lit_start := !i
+      end
+      else begin
+        chain.(!i - lo) <- head.(h);
+        head.(h) <- !i;
+        incr i
+      end
+    end
+    else incr i
+  done;
+  flush_literals hi;
+  Varint.write out (hi - lo);
+  Varint.write out (Buffer.length tokens);
+  Buffer.add_buffer out tokens
+
+let compress src =
+  let n = Bytes.length src in
+  let blocks = if n = 0 then 0 else (n + block_size - 1) / block_size in
+  let out = Buffer.create (n / 2) in
+  Varint.write out blocks;
+  for b = 0 to blocks - 1 do
+    let lo = b * block_size in
+    let hi = min n (lo + block_size) in
+    compress_block src lo hi out
+  done;
+  Buffer.to_bytes out
+
+let decompress_block src pos out =
+  let ulen, pos = Varint.read src ~pos in
+  let tlen, pos = Varint.read src ~pos in
+  let block_start = Buffer.length out in
+  let stop = pos + tlen in
+  let pos = ref pos in
+  while !pos < stop do
+    match Char.code (Bytes.get src !pos) with
+    | 0 ->
+      let len, p = Varint.read src ~pos:(!pos + 1) in
+      if p + len > Bytes.length src then invalid_arg "Block_lz: truncated literal run";
+      Buffer.add_subbytes out src p len;
+      pos := p + len
+    | 1 ->
+      let len, p = Varint.read src ~pos:(!pos + 1) in
+      let dist, p = Varint.read src ~pos:p in
+      let len = len + min_match in
+      let from = Buffer.length out - dist in
+      if dist <= 0 || from < block_start then invalid_arg "Block_lz: bad match distance";
+      (* Overlapping copies are legal (RLE-style); copy byte-wise. *)
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (from + k))
+      done;
+      pos := p
+    | tag -> invalid_arg (Printf.sprintf "Block_lz: bad token tag %d" tag)
+  done;
+  if Buffer.length out - block_start <> ulen then
+    invalid_arg "Block_lz: block length mismatch";
+  stop
+
+let decompress src =
+  let blocks, pos = Varint.read src ~pos:0 in
+  let out = Buffer.create (blocks * block_size) in
+  let pos = ref pos in
+  for _ = 1 to blocks do
+    pos := decompress_block src !pos out
+  done;
+  Buffer.to_bytes out
+
+let compressed_blocks src = fst (Varint.read src ~pos:0)
+
+let decompress_blocks src ~first_block ~count =
+  let blocks, pos = Varint.read src ~pos:0 in
+  if first_block < 0 || count < 0 || first_block + count > blocks then
+    invalid_arg "Block_lz.decompress_blocks: block range out of stream";
+  (* Skip over earlier blocks by reading their headers only. *)
+  let pos = ref pos in
+  for _ = 1 to first_block do
+    let _ulen, p = Varint.read src ~pos:!pos in
+    let tlen, p = Varint.read src ~pos:p in
+    pos := p + tlen
+  done;
+  let out = Buffer.create (count * block_size) in
+  for _ = 1 to count do
+    pos := decompress_block src !pos out
+  done;
+  Buffer.to_bytes out
+
+(* BGZF-class throughput on the paper's Xeons (fast deflate levels):
+   ~170 MB/s compress, ~320 MB/s decompress at ~2.5 GHz, i.e. ~15 and
+   ~8 cycles/byte. *)
+let compress_cycles ~uncompressed = uncompressed * 15
+let decompress_cycles ~uncompressed = uncompressed * 8

@@ -1,0 +1,35 @@
+(** Block-based LZ77 compressor — the stand-in for BGZF/deflate.
+
+    The paper's SAMTools workload reads and writes BGZF-compressed BAM
+    files; this container is unavailable offline, so we substitute a
+    self-implemented block compressor with the same *architecture*:
+    input is cut into independently compressed 64 KiB blocks (enabling
+    the same block-granular random access BAM indexes rely on), each
+    block holding an LZ77 token stream (greedy hash-chain matcher,
+    byte-aligned output). Compression ratios on genomic text are
+    comparable in spirit (2-4x), which is what the serialization-cost
+    comparison needs. *)
+
+val block_size : int
+(** Uncompressed bytes per block (64 KiB). *)
+
+val compress : bytes -> bytes
+val decompress : bytes -> bytes
+(** Raises [Invalid_argument] on corrupt input. *)
+
+val compressed_blocks : bytes -> int
+(** Number of blocks in a compressed stream (header inspection only). *)
+
+val decompress_blocks : bytes -> first_block:int -> count:int -> bytes
+(** Decompress only blocks [first_block, first_block+count), skipping
+    the rest by header inspection — the block-granular random access
+    BAM-style indexes rely on. The result is the concatenation of those
+    blocks' contents. *)
+
+(** {2 Cost model}
+
+    CPU cycles to (de)compress, charged by the genomics pipelines:
+    dominated by per-byte match-search / copy work. *)
+
+val compress_cycles : uncompressed:int -> int
+val decompress_cycles : uncompressed:int -> int

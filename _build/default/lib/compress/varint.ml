@@ -1,0 +1,29 @@
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read b ~pos =
+  let len = Bytes.length b in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Varint.read: truncated";
+    let byte = Char.code (Bytes.get b pos) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let write_signed buf n =
+  let zigzag = if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1 in
+  write buf zigzag
+
+let read_signed b ~pos =
+  let z, next = read b ~pos in
+  let v = if z land 1 = 0 then z lsr 1 else lnot (z lsr 1) in
+  (v, next)

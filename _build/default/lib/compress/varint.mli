@@ -1,0 +1,14 @@
+(** LEB128 variable-length integer coding, used by the block compressor
+    and the BAM-like binary record format. *)
+
+val write : Buffer.t -> int -> unit
+(** Append a non-negative integer. *)
+
+val read : bytes -> pos:int -> int * int
+(** [read b ~pos] is [(value, next_pos)]. Raises [Invalid_argument] on
+    truncated input. *)
+
+val write_signed : Buffer.t -> int -> unit
+(** Zigzag-encoded signed integer. *)
+
+val read_signed : bytes -> pos:int -> int * int

@@ -1,0 +1,1 @@
+lib/core/api.ml: Addr Array Errors List Logs Option Registry Segment Size Sj_alloc Sj_kernel Sj_machine Sj_mem Sj_paging Sj_tlb Sj_util Vas

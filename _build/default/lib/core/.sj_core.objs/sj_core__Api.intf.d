@@ -1,0 +1,1 @@
+lib/core/api.mli: Registry Segment Sj_kernel Sj_machine Sj_paging Vas

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Buffer Errors Hashtbl List Printf Segment Sj_alloc Sj_kernel Sj_machine Sj_paging Sj_util String Vas

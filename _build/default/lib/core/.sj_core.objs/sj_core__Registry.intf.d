@@ -1,0 +1,1 @@
+lib/core/registry.mli: Segment Sj_alloc Sj_kernel Sj_machine Vas

@@ -1,0 +1,1 @@
+lib/core/segment.ml: Addr Array Printf Size Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util

@@ -1,0 +1,1 @@
+lib/core/segment.mli: Sj_kernel Sj_machine Sj_paging

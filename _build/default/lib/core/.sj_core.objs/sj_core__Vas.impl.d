@@ -1,0 +1,1 @@
+lib/core/vas.ml: Addr Errors List Printf Segment Sj_kernel Sj_paging Sj_util

@@ -1,0 +1,1 @@
+lib/core/vas.mli: Segment Sj_kernel Sj_paging

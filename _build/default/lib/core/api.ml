@@ -1,0 +1,615 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Cost_model = Sj_machine.Cost_model
+module Prot = Sj_paging.Prot
+module Page_table = Sj_paging.Page_table
+module Acl = Sj_kernel.Acl
+module Cap = Sj_kernel.Cap
+module Process = Sj_kernel.Process
+module Vmspace = Sj_kernel.Vmspace
+module Vm_object = Sj_kernel.Vm_object
+module Layout = Sj_kernel.Layout
+module Mspace = Sj_alloc.Mspace
+
+(* Structured logging: silent unless the embedding application installs
+   a reporter and raises the level (e.g. sjctl --verbose). *)
+let log_src = Logs.Src.create "spacejmp" ~doc:"SpaceJMP core API events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type backend = Dragonfly | Barrelfish
+
+type system = { backend : backend; machine : Machine.t; reg : Registry.t }
+
+type vh = {
+  vas : Vas.t;
+  owner : Process.t;
+  vmspace : Vmspace.t;
+  mutable synced_gen : int;
+  mutable mapped : (int * Prot.t) list; (* sids of VAS-global segments mapped *)
+  mutable mapped_pages : (int * int) list; (* sid -> pages mapped (growth detection) *)
+  mutable local_segs : (Segment.t * Prot.t) list;
+  mutable private_bases : int list; (* common-region bases replicated so far *)
+  mutable cap_slot : int option; (* Barrelfish: slot of the minted VAS capability *)
+  (* Lock state is per-attachment: the first thread to switch in takes
+     the segment locks on the process's behalf; further threads of the
+     same process share them; the last one out releases (sec 3.1's
+     "client" is the attaching process). *)
+  mutable entered : int;
+  mutable held : (Segment.t * [ `Shared | `Exclusive ]) list;
+  mutable detached : bool;
+}
+
+type ctx = {
+  sys : system;
+  proc : Process.t;
+  core : Core.core;
+  mutable cur : vh option;
+  mutable attachments : vh list; (* every live vh this context created *)
+}
+
+let boot ?(backend = Dragonfly) machine = { backend; machine; reg = Registry.create machine }
+let backend sys = sys.backend
+let registry sys = sys.reg
+let machine sys = sys.machine
+
+(* Kernel cost of fielding a copy-on-write fault: trap, region lookup,
+   bookkeeping (the page copy and PTE work charge separately). *)
+let cow_fault_overhead = 1_100
+
+(* The page-fault handler: resolve copy-on-write write faults against
+   the address space the context currently has installed (sec 7
+   snapshotting). Everything else is a genuine fault. *)
+let fault_handler ctx ~va ~access =
+  match access with
+  | Machine.Read -> false
+  | Machine.Write -> (
+    let vms =
+      match ctx.cur with
+      | Some vh -> vh.vmspace
+      | None -> Process.primary_vmspace ctx.proc
+    in
+    match Vmspace.find_region vms ~va with
+    | Some r when r.cow && r.prot.write ->
+      Core.charge ctx.core cow_fault_overhead;
+      let page = ((va - r.base) / Addr.page_size) + r.obj_page in
+      let frame =
+        Vm_object.resolve_cow_write r.obj ~page ctx.sys.machine ~charge_to:(Some ctx.core)
+      in
+      Vmspace.remap_page vms ~charge_to:(Some ctx.core) ~va ~frame ~prot:r.prot;
+      true
+    | Some _ | None -> false)
+
+let context sys proc core =
+  Core.set_page_table core ~tag:0 (Some (Vmspace.page_table (Process.primary_vmspace proc)));
+  let ctx = { sys; proc; core; cur = None; attachments = [] } in
+  Core.set_fault_handler core (Some (fun ~va ~access -> fault_handler ctx ~va ~access));
+  ctx
+
+let process ctx = ctx.proc
+let system ctx = ctx.sys
+let core ctx = ctx.core
+let current ctx = ctx.cur
+let vas_of_vh vh = vh.vas
+let vmspace_of_vh vh = vh.vmspace
+let cost ctx = Machine.cost ctx.sys.machine
+
+(* Every API call is kernel-mediated (DragonFly) or an RPC round trip to
+   the user-space SpaceJMP service (Barrelfish). *)
+let api_charge ctx =
+  let c = cost ctx in
+  match ctx.sys.backend with
+  | Dragonfly -> Core.charge ctx.core c.syscall_dragonfly
+  | Barrelfish -> Core.charge ctx.core ((2 * c.syscall_barrelfish) + (2 * c.cacheline_intra))
+
+let check_acl ctx acl access what =
+  if not (Acl.check acl (Process.cred ctx.proc) access) then
+    raise (Errors.Permission_denied what)
+
+(* -------------------- VAS API -------------------- *)
+
+let vas_create ctx ~name ~mode =
+  api_charge ctx;
+  let cred = Process.cred ctx.proc in
+  let acl = Acl.create ~owner:cred.uid ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0) ~mode in
+  let vas = Vas.create ~acl ~name () in
+  Registry.register_vas ctx.sys.reg vas;
+  Log.debug (fun m -> m "vas_create %s (vid %d) by pid %d" name (Vas.vid vas) (Process.pid ctx.proc));
+  vas
+
+let vas_find ctx ~name =
+  api_charge ctx;
+  Registry.find_vas ctx.sys.reg ~name
+
+let vas_clone ctx vas ~name =
+  api_charge ctx;
+  check_acl ctx (Vas.acl vas) `Read "vas_clone";
+  let clone = Vas.create ~acl:(Vas.acl vas) ~name () in
+  List.iter (fun (seg, prot) -> Vas.attach_segment clone seg ~prot) (Vas.segments vas);
+  Registry.register_vas ctx.sys.reg clone;
+  clone
+
+(* Map one global segment into an attachment's vmspace, using cached
+   translations when available. *)
+let map_global_segment ctx vh seg prot =
+  let vms = vh.vmspace in
+  match Segment.translation_cache seg with
+  | Some subtrees ->
+    (* Grafting shares page tables, so per-attachment protection
+       downgrades are not representable in the subtree itself; the
+       paper's prototype has the same property (shared non-root tables,
+       §4.2). Enforcement of read-only mappings then relies on the
+       segment lock mode: [vh.mapped] records the requested [prot] for
+       lock-mode selection. *)
+    let gib = Size.gib 1 in
+    Array.iteri
+      (fun i sub ->
+        let region : Vmspace.region =
+          {
+            base = Segment.base seg + (i * gib);
+            size = min gib (Segment.size seg - (i * gib));
+            prot;
+            obj = Segment.vm_object seg;
+            obj_page = i * (gib / Addr.page_size);
+            global = false;
+            cow = false;
+            page = Page_table.P4K;
+            region_name = Some (Segment.name seg);
+          }
+        in
+        Vmspace.graft_cached vms ~charge_to:(Some ctx.core)
+          ~base:(Segment.base seg + (i * gib))
+          ~subtree:sub ~region)
+      subtrees
+  | None ->
+    Vmspace.map_object vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
+      ~name:(Segment.name seg) ~cow:(Segment.is_cow seg) ~page:(Segment.page_size seg)
+      ~prot (Segment.vm_object seg)
+
+let unmap_global_segment ctx vh seg =
+  let vms = vh.vmspace in
+  match Segment.translation_cache seg with
+  | Some subtrees ->
+    Vmspace.prune_cached vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
+      ~gib_spans:(Array.length subtrees)
+  | None -> Vmspace.unmap_region vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
+
+(* The runtime library's bookkeeping (sec 4.1): the process's common
+   region — text, globals, and *every* thread stack — must be present in
+   each attachment. Threads spawned after an attach add stacks that the
+   attachment has not replicated yet. *)
+let sync_private_regions ctx vh =
+  List.iter
+    (fun (r : Vmspace.region) ->
+      if not (List.mem r.base vh.private_bases) then begin
+        Vmspace.map_object vh.vmspace ~charge_to:(Some ctx.core) ~base:r.base
+          ~obj_page:r.obj_page
+          ~pages:(r.size / Addr.page_size)
+          ?name:r.region_name ~prot:r.prot r.obj;
+        vh.private_bases <- r.base :: vh.private_bases
+      end)
+    (Process.private_regions ctx.proc)
+
+let sync_attachment ctx vh =
+  sync_private_regions ctx vh;
+  if vh.synced_gen <> Vas.generation vh.vas then begin
+    let wanted = List.map (fun (s, p) -> (Segment.sid s, (s, p))) (Vas.segments vh.vas) in
+    (* Unmap segments that were detached VAS-globally. *)
+    List.iter
+      (fun (sid, _prot) ->
+        if not (List.mem_assoc sid wanted) then begin
+          let seg = Registry.find_seg_by_id ctx.sys.reg sid in
+          unmap_global_segment ctx vh seg;
+          Registry.forget_mapping ctx.sys.reg ~sid vh.vmspace
+        end)
+      vh.mapped;
+    (* Remap segments that grew since this attachment last mapped them
+       (the coordination-free shared-region growth of §2.3). *)
+    List.iter
+      (fun (sid, (seg, prot)) ->
+        if List.mem_assoc sid vh.mapped then
+          match List.assoc_opt sid vh.mapped_pages with
+          | Some pages when pages <> Segment.pages seg ->
+            unmap_global_segment ctx vh seg;
+            map_global_segment ctx vh seg prot
+          | Some _ | None -> ())
+      wanted;
+    (* Map newly attached segments. *)
+    List.iter
+      (fun (sid, (seg, prot)) ->
+        if not (List.mem_assoc sid vh.mapped) then begin
+          map_global_segment ctx vh seg prot;
+          Registry.note_mapping ctx.sys.reg ~sid vh.vmspace
+        end)
+      wanted;
+    vh.mapped <- List.map (fun (sid, (_, p)) -> (sid, p)) wanted;
+    vh.mapped_pages <- List.map (fun (sid, (s, _)) -> (sid, Segment.pages s)) wanted;
+    vh.synced_gen <- Vas.generation vh.vas
+  end
+
+let vas_attach ctx vas =
+  api_charge ctx;
+  if Vas.is_destroyed vas then raise (Errors.Stale_handle "vas_attach: destroyed VAS");
+  check_acl ctx (Vas.acl vas) `Read "vas_attach";
+  let vms = Vmspace.create ctx.sys.machine ~charge_to:(Some ctx.core) in
+  let vh =
+    {
+      vas;
+      owner = ctx.proc;
+      vmspace = vms;
+      synced_gen = -1;
+      mapped = [];
+      mapped_pages = [];
+      local_segs = [];
+      private_bases = [];
+      cap_slot = None;
+      entered = 0;
+      held = [];
+      detached = false;
+    }
+  in
+  (* Replicates the common region (text, globals, stacks) and maps the
+     VAS's global segments. *)
+  sync_attachment ctx vh;
+  (match ctx.sys.backend with
+  | Dragonfly -> ()
+  | Barrelfish ->
+    (* §4.2: "a user-space process can allocate memory for its own page
+       tables". Model the capability work behind the vmspace just
+       built: one untyped-RAM capability retyped into a Vnode per
+       page-table node, each a kernel-checked invocation. *)
+    let tables = (Sj_paging.Page_table.stats (Vmspace.page_table vms)).tables_allocated in
+    let cspace = Process.cspace ctx.proc in
+    let c = cost ctx in
+    for _ = 1 to tables do
+      let ram = Cap.create_ram ~size:Addr.page_size in
+      let vnode = Cap.retype ram ~into:(Cap.Vnode 1) in
+      ignore (Cap.Cspace.insert cspace vnode);
+      Core.charge ctx.core c.syscall_barrelfish
+    done;
+    let root = Registry.root_cap ctx.sys.reg vas in
+    let child = Cap.mint root ~rights:Prot.rwx in
+    vh.cap_slot <- Some (Cap.Cspace.insert cspace child));
+  ctx.attachments <- vh :: ctx.attachments;
+  vh
+
+(* Leave the attachment the context is currently in (if any): the last
+   thread out releases the attachment's locks. *)
+let leave_current ctx =
+  match ctx.cur with
+  | None -> ()
+  | Some vh ->
+    vh.entered <- vh.entered - 1;
+    if vh.entered = 0 then begin
+      List.iter (fun (seg, mode) -> Segment.unlock seg ~mode) vh.held;
+      vh.held <- []
+    end;
+    ctx.cur <- None
+
+(* First thread into an attachment acquires its segment locks: sorted by
+   sid for a canonical order; shared when the attachment maps the
+   segment read-only, exclusive when writable (§3.1). *)
+let enter ctx vh =
+  if vh.entered = 0 then begin
+    let lockables =
+      List.sort (fun (a, _) (b, _) -> compare (Segment.sid a) (Segment.sid b))
+        (Vas.lockable_segments vh.vas
+        @ List.filter (fun (s, _) -> Segment.lockable s) vh.local_segs)
+    in
+    let c = cost ctx in
+    let taken = ref [] in
+    let ok =
+      List.for_all
+        (fun (seg, prot) ->
+          let mode = if (prot : Prot.t).write then `Exclusive else `Shared in
+          Core.charge ctx.core c.lock_uncontended;
+          if Segment.try_lock seg ~mode then begin
+            taken := (seg, mode) :: !taken;
+            true
+          end
+          else false)
+        lockables
+    in
+    if not ok then begin
+      List.iter (fun (seg, mode) -> Segment.unlock seg ~mode) !taken;
+      raise (Errors.Would_block "vas_switch: lockable segment busy")
+    end;
+    vh.held <- !taken
+  end;
+  vh.entered <- vh.entered + 1;
+  ctx.cur <- Some vh
+
+let switch_cost ctx ~tagged =
+  let c = cost ctx in
+  let os = match ctx.sys.backend with Dragonfly -> `Dragonfly | Barrelfish -> `Barrelfish in
+  let total = Cost_model.vas_switch_cost c ~os ~tagged in
+  (* Core.set_page_table itself charges the CR3 write; charge the rest. *)
+  total - if tagged then c.cr3_load_tagged else c.cr3_load
+
+let vas_switch ctx vh =
+  if vh.detached then raise (Errors.Stale_handle "vas_switch: detached handle");
+  if not (Process.pid vh.owner = Process.pid ctx.proc) then
+    raise (Errors.Permission_denied "vas_switch: handle belongs to another process");
+  (match (ctx.sys.backend, vh.cap_slot) with
+  | Barrelfish, Some slot ->
+    (* Capability invocation: fails if the VAS's root cap was revoked. *)
+    (try ignore (Cap.Cspace.invoke (Process.cspace ctx.proc) ~slot ~access:`Read)
+     with Invalid_argument m -> raise (Errors.Permission_denied ("vas_switch: " ^ m)))
+  | Barrelfish, None -> assert false
+  | Dragonfly, _ -> ());
+  sync_attachment ctx vh;
+  let previous = ctx.cur in
+  leave_current ctx;
+  (try enter ctx vh
+   with Errors.Would_block _ as e ->
+     (* Roll back: re-enter the space the thread was in. *)
+     (match previous with Some prev -> enter ctx prev | None -> ());
+     raise e);
+  let tag = match Vas.tag vh.vas with Some t -> t | None -> 0 in
+  Core.charge ctx.core (switch_cost ctx ~tagged:(tag <> 0));
+  Core.set_page_table ctx.core ~tag (Some (Vmspace.page_table vh.vmspace));
+  Log.debug (fun m ->
+      m "vas_switch pid %d core %d -> %s (tag %d)" (Process.pid ctx.proc) (Core.id ctx.core)
+        (Vas.name vh.vas) tag);
+  Registry.count_switch ctx.sys.reg
+
+let switch_home ctx =
+  leave_current ctx;
+  let tag = 0 in
+  Core.charge ctx.core (switch_cost ctx ~tagged:false);
+  Core.set_page_table ctx.core ~tag
+    (Some (Vmspace.page_table (Process.primary_vmspace ctx.proc)));
+  Registry.count_switch ctx.sys.reg
+
+let vas_detach ctx vh =
+  api_charge ctx;
+  if vh.detached then raise (Errors.Stale_handle "vas_detach: already detached");
+  (match ctx.cur with
+  | Some cur when cur == vh -> switch_home ctx
+  | Some _ | None -> ());
+  (match vh.cap_slot with
+  | Some slot -> Cap.Cspace.delete (Process.cspace ctx.proc) slot
+  | None -> ());
+  List.iter (fun (sid, _) -> Registry.forget_mapping ctx.sys.reg ~sid vh.vmspace) vh.mapped;
+  List.iter
+    (fun (seg, _) -> Registry.forget_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace)
+    vh.local_segs;
+  Vmspace.destroy vh.vmspace ~charge_to:(Some ctx.core);
+  ctx.attachments <- List.filter (fun v -> not (v == vh)) ctx.attachments;
+  vh.detached <- true
+
+let vas_ctl ctx cmd =
+  api_charge ctx;
+  match cmd with
+  | `Request_tag vas -> Vas.assign_tag vas (Registry.alloc_tag ctx.sys.reg)
+  | `Chmod (vas, mode) ->
+    check_acl ctx (Vas.acl vas) `Write "vas_ctl chmod";
+    Vas.set_acl vas (Acl.chmod (Vas.acl vas) ~mode)
+  | `Revoke vas -> Cap.revoke (Registry.root_cap ctx.sys.reg vas)
+  | `Destroy vas ->
+    check_acl ctx (Vas.acl vas) `Write "vas_ctl destroy";
+    Registry.unregister_vas ctx.sys.reg vas;
+    Vas.destroy vas
+
+let exit_process ctx =
+  (* Orderly death: leave whatever space the thread is in (releasing the
+     attachment's locks if it is the last thread out), tear down every
+     attachment this context created (their vmspaces and registry
+     mapping records), then let the kernel reclaim the process. VASes
+     and segments the process created live on (sec 3.2). *)
+  (match ctx.cur with Some _ -> switch_home ctx | None -> ());
+  List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
+  Core.set_fault_handler ctx.core None;
+  Core.set_page_table ctx.core None;
+  Process.exit ctx.proc;
+  Log.debug (fun m -> m "process %d exited" (Process.pid ctx.proc))
+
+(* -------------------- Segment API -------------------- *)
+
+let seg_alloc ?(huge = false) ?(tier = `Performance) ctx ~name ~base ~size ~mode =
+  api_charge ctx;
+  let cred = Process.cred ctx.proc in
+  let acl = Acl.create ~owner:cred.uid ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0) ~mode in
+  let node =
+    match tier with
+    | `Performance -> None
+    | `Capacity -> (
+      match Machine.capacity_node ctx.sys.machine with
+      | Some n -> Some n
+      | None -> invalid_arg "seg_alloc: this platform has no capacity tier")
+  in
+  let seg =
+    Segment.create ~huge ?node ~acl ~charge_to:(Some ctx.core) ~machine:ctx.sys.machine ~name
+      ~base ~size ~prot:Prot.rw ()
+  in
+  Registry.register_seg ctx.sys.reg seg;
+  seg
+
+let seg_alloc_anywhere ?huge ?tier ctx ~name ~size ~mode =
+  seg_alloc ?huge ?tier ctx ~name ~base:(Layout.next_global_base ~size) ~size ~mode
+
+let seg_find ctx ~name =
+  api_charge ctx;
+  Registry.find_seg ctx.sys.reg ~name
+
+let seg_attach ctx vas seg ~prot =
+  api_charge ctx;
+  check_acl ctx (Vas.acl vas) `Write "seg_attach: vas";
+  check_acl ctx (Segment.acl seg) (if (prot : Prot.t).write then `Write else `Read)
+    "seg_attach: segment";
+  Vas.attach_segment vas seg ~prot
+
+let seg_attach_local ctx vh seg ~prot =
+  api_charge ctx;
+  if vh.detached then raise (Errors.Stale_handle "seg_attach_local");
+  check_acl ctx (Segment.acl seg) (if (prot : Prot.t).write then `Write else `Read)
+    "seg_attach_local: segment";
+  Vmspace.map_object vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
+    ~name:(Segment.name seg) ~cow:(Segment.is_cow seg) ~prot (Segment.vm_object seg);
+  Registry.note_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
+  vh.local_segs <- (seg, prot) :: vh.local_segs
+
+let seg_detach ctx vas seg =
+  api_charge ctx;
+  check_acl ctx (Vas.acl vas) `Write "seg_detach: vas";
+  Vas.detach_segment vas seg
+
+let seg_detach_local ctx vh seg =
+  api_charge ctx;
+  if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) vh.local_segs) then
+    invalid_arg "seg_detach_local: not attached locally";
+  Vmspace.unmap_region vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg);
+  Registry.forget_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
+  vh.local_segs <-
+    List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) vh.local_segs
+
+let seg_clone ctx seg ~name =
+  api_charge ctx;
+  check_acl ctx (Segment.acl seg) `Read "seg_clone";
+  let cred = Process.cred ctx.proc in
+  let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
+  let clone =
+    Segment.create ~acl ~charge_to:(Some ctx.core) ~machine:ctx.sys.machine ~name
+      ~base:(Segment.base seg) ~size:(Segment.size seg) ~prot:(Segment.prot_max seg) ()
+  in
+  (* Copy contents frame by frame, charging a copy cost per page. *)
+  let mem = Machine.mem ctx.sys.machine in
+  let src = Segment.vm_object seg and dst = Segment.vm_object clone in
+  let c = cost ctx in
+  for p = 0 to Segment.pages seg - 1 do
+    let data =
+      Sj_mem.Phys_mem.read_bytes mem
+        ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at src ~page:p))
+        ~len:Addr.page_size
+    in
+    Sj_mem.Phys_mem.write_bytes mem
+      ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at dst ~page:p))
+      data;
+    Core.charge ctx.core c.page_zero
+  done;
+  Registry.register_seg ctx.sys.reg clone;
+  clone
+
+let seg_snapshot ctx seg ~name =
+  api_charge ctx;
+  check_acl ctx (Segment.acl seg) `Read "seg_snapshot";
+  if Segment.translation_cache seg <> None then
+    invalid_arg
+      "seg_snapshot: segments with cached translations cannot be snapshotted \
+       (shared page tables cannot be write-protected per attachment)";
+  let cred = Process.cred ctx.proc in
+  let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
+  (* Share every physical page copy-on-write. *)
+  let clone_obj = Vm_object.cow_clone ~name (Segment.vm_object seg) in
+  let snap =
+    Segment.create_with_object ~acl ~machine:ctx.sys.machine ~name ~base:(Segment.base seg)
+      ~prot:(Segment.prot_max seg) clone_obj
+  in
+  Segment.mark_cow seg;
+  Segment.mark_cow snap;
+  (* Write-protect the original wherever it is currently mapped, and
+     shoot down stale writable TLB entries machine-wide (one IPI per
+     core). *)
+  let c = cost ctx in
+  List.iter
+    (fun vms ->
+      Vmspace.write_protect_region vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg))
+    (Registry.mappings ctx.sys.reg ~sid:(Segment.sid seg));
+  Array.iter
+    (fun core ->
+      Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
+      Core.charge ctx.core c.cacheline_cross)
+    (Machine.cores ctx.sys.machine);
+  (* The snapshot inherits the allocator state frozen at this instant. *)
+  if Registry.has_heap ctx.sys.reg seg then begin
+    let orig = Registry.heap ctx.sys.reg seg in
+    let copy =
+      Mspace.of_snapshot ~base:(Segment.base seg) ~size:(Segment.size seg)
+        (Mspace.snapshot orig)
+    in
+    Registry.set_heap ctx.sys.reg snap copy
+  end;
+  Registry.register_seg ctx.sys.reg snap;
+  Log.info (fun m ->
+      m "seg_snapshot %s -> %s (%d pages shared COW)" (Segment.name seg) name
+        (Segment.pages seg));
+  snap
+
+let seg_ctl ctx cmd =
+  api_charge ctx;
+  match cmd with
+  | `Grow (seg, by) ->
+    check_acl ctx (Segment.acl seg) `Write "seg_ctl grow";
+    let grown = Segment.grow seg ~by ~charge_to:(Some ctx.core) in
+    (* The shared heap (if any) gains the new space too. *)
+    if Registry.has_heap ctx.sys.reg seg then
+      Mspace.extend (Registry.heap ctx.sys.reg seg) ~by:grown;
+    (* Attachments pick the growth up at their next switch. *)
+    List.iter
+      (fun vas ->
+        if Vas.find_segment_by_sid vas (Segment.sid seg) <> None then
+          Vas.bump_generation vas)
+      (Registry.list_vases ctx.sys.reg);
+    Log.debug (fun m -> m "seg_grow %s by %s" (Segment.name seg) (Size.to_string grown))
+  | `Chmod (seg, mode) ->
+    check_acl ctx (Segment.acl seg) `Write "seg_ctl chmod";
+    Segment.set_acl seg (Acl.chmod (Segment.acl seg) ~mode)
+  | `Cache_translations seg -> Segment.build_translation_cache seg ~charge_to:(Some ctx.core)
+  | `Destroy seg ->
+    check_acl ctx (Segment.acl seg) `Write "seg_ctl destroy";
+    Registry.unregister_seg ctx.sys.reg seg;
+    Segment.destroy seg
+
+(* -------------------- Runtime heaps -------------------- *)
+
+exception Out_of_memory = Sj_mem.Phys_mem.Out_of_memory
+
+let segments_of_current ctx =
+  match ctx.cur with
+  | None -> []
+  | Some vh -> List.map (fun (s, p) -> (s, p)) (Vas.segments vh.vas) @ vh.local_segs
+
+let malloc ctx ?seg n =
+  let c = cost ctx in
+  Core.charge ctx.core c.lock_uncontended;
+  let seg, prot =
+    match seg with
+    | Some s -> (
+      match List.find_opt (fun (s', _) -> Segment.sid s' = Segment.sid s) (segments_of_current ctx) with
+      | Some sp -> sp
+      | None -> invalid_arg "malloc: segment not attached in the current address space")
+    | None -> (
+      match
+        List.find_opt (fun ((_ : Segment.t), (p : Prot.t)) -> p.write) (segments_of_current ctx)
+      with
+      | Some sp -> sp
+      | None -> invalid_arg "malloc: no writable segment in the current address space")
+  in
+  if not (prot : Prot.t).write then invalid_arg "malloc: segment mapped read-only";
+  let heap = Registry.heap ctx.sys.reg seg in
+  match Mspace.malloc heap n with
+  | Some va -> va
+  | None -> raise Out_of_memory
+
+let free ctx va =
+  let c = cost ctx in
+  Core.charge ctx.core c.lock_uncontended;
+  match
+    List.find_opt
+      (fun ((s : Segment.t), _) ->
+        Addr.range_contains ~base:(Segment.base s) ~size:(Segment.size s) va)
+      (segments_of_current ctx)
+  with
+  | None ->
+    invalid_arg "free: address not within any segment of the current address space"
+  | Some (seg, _) ->
+    let heap = Registry.heap ctx.sys.reg seg in
+    Mspace.free heap va
+
+(* -------------------- Data access -------------------- *)
+
+let load64 ctx ~va = Core.load64 ctx.core ~va
+let store64 ctx ~va v = Core.store64 ctx.core ~va v
+let load_bytes ctx ~va ~len = Core.load_bytes ctx.core ~va ~len
+let store_bytes ctx ~va data = Core.store_bytes ctx.core ~va data

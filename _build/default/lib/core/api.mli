@@ -1,0 +1,176 @@
+(** The SpaceJMP programming interface (paper Fig. 3).
+
+    Two groups of calls are exposed: the VAS API for applications
+    ([vas_*]) and the segment API for library developers ([seg_*]),
+    plus the runtime library's heap functions (§4.1). All calls execute
+    against a {!system} (a booted OS personality on a machine) within a
+    {!ctx} (a thread of a process running on a core), and charge the
+    simulated costs of the backing OS implementation:
+
+    - [`Dragonfly]: kernel-mediated — each call pays a DragonFly syscall;
+      switches pay Table 2's DragonFly cost.
+    - [`Barrelfish]: the API is RPC to a user-space service; switching is
+      a capability invocation, cheaper than a DragonFly syscall chain
+      (Table 2), and VAS access is mediated by capabilities — revoking a
+      VAS's root capability bars further switches into it (§4.2). *)
+
+type backend = Dragonfly | Barrelfish
+
+type system
+(** A booted SpaceJMP OS instance on a simulated machine. *)
+
+type ctx
+(** An execution context: process + core + current-VAS state. One per
+    simulated thread. *)
+
+type vh
+(** A VAS handle — one process's attachment to a VAS (its private
+    vmspace instance combining the VAS's global segments with the
+    process's common region). *)
+
+val boot : ?backend:backend -> Sj_machine.Machine.t -> system
+(** Boot (default backend: [Dragonfly]). *)
+
+val backend : system -> backend
+val registry : system -> Registry.t
+val machine : system -> Sj_machine.Machine.t
+
+val context : system -> Sj_kernel.Process.t -> Sj_machine.Machine.Core.core -> ctx
+(** Bind a process thread to a core. Installs the process's primary
+    address space on the core. *)
+
+val process : ctx -> Sj_kernel.Process.t
+val system : ctx -> system
+val core : ctx -> Sj_machine.Machine.Core.core
+val current : ctx -> vh option
+(** The attachment the context is currently switched into; [None] when
+    in the process's primary address space. *)
+
+(** {2 VAS API (Fig. 3, left column)} *)
+
+val vas_create : ctx -> name:string -> mode:int -> Vas.t
+(** Create and register a named VAS with Unix-style mode bits owned by
+    the calling process's uid. *)
+
+val vas_find : ctx -> name:string -> Vas.t
+val vas_clone : ctx -> Vas.t -> name:string -> Vas.t
+(** New VAS sharing the same segment list (e.g. to re-permission). *)
+
+val vas_attach : ctx -> Vas.t -> vh
+(** Instantiate a vmspace for this process: maps the process's common
+    region (text/data/stacks) plus every global segment of the VAS
+    (using cached translations when the segment has them). Requires
+    ACL read access. *)
+
+val vas_detach : ctx -> vh -> unit
+val vas_switch : ctx -> vh -> unit
+(** Switch the calling thread into the attachment's address space:
+    acquires each lockable segment's lock (shared when mapped read-only,
+    exclusive when writable), releases locks of the space being left,
+    and installs the translation root with the VAS's TLB tag. Raises
+    [Errors.Would_block] if a lock is unavailable (state is rolled
+    back). Lazily re-syncs the vmspace if segments were attached or
+    detached VAS-globally since the last switch. *)
+
+val switch_home : ctx -> unit
+(** Return to the process's primary address space, releasing locks. *)
+
+val exit_process : ctx -> unit
+(** Orderly process death: releases held locks, detaches every
+    attachment this context created, uninstalls the core, and reclaims
+    the process's private memory. VASes and segments it created live on
+    (sec 3.2) — persistence beyond process lifetime is the point. *)
+
+val vas_ctl :
+  ctx ->
+  [ `Request_tag of Vas.t  (** assign a TLB tag (§4.4 tag hint) *)
+  | `Chmod of Vas.t * int
+  | `Revoke of Vas.t  (** Barrelfish: revoke the root capability *)
+  | `Destroy of Vas.t ] ->
+  unit
+
+(** {2 Segment API (Fig. 3, right column)} *)
+
+val seg_alloc :
+  ?huge:bool ->
+  ?tier:[ `Performance | `Capacity ] ->
+  ctx -> name:string -> base:int -> size:int -> mode:int -> Segment.t
+(** Reserve physical memory for a named lockable segment at fixed
+    virtual [base]. With [~huge:true] the segment is backed by
+    physically contiguous memory and mapped with 2 MiB entries — a
+    Barrelfish-style user policy (sec 4.2); base and size must be
+    2 MiB-aligned. [~tier:`Capacity] places the segment in the
+    platform's NVM-class capacity tier (sec 7 heterogeneous memory;
+    requires a platform built with [Platform.with_capacity_tier]). *)
+
+val seg_alloc_anywhere :
+  ?huge:bool ->
+  ?tier:[ `Performance | `Capacity ] ->
+  ctx -> name:string -> size:int -> mode:int -> Segment.t
+(** Like {!seg_alloc} with a base chosen from the global range, 1 GiB
+    aligned so translation caching applies. *)
+
+val seg_find : ctx -> name:string -> Segment.t
+val seg_attach : ctx -> Vas.t -> Segment.t -> prot:Sj_paging.Prot.t -> unit
+(** Attach VAS-globally: every process attached to the VAS observes the
+    segment (propagated at its next switch). Requires write access to
+    the VAS and [prot]-compatible access to the segment. *)
+
+val seg_attach_local : ctx -> vh -> Segment.t -> prot:Sj_paging.Prot.t -> unit
+(** Attach into one process's attachment only (Fig. 3's [seg_attach]
+    taking a [vh]): scratch heaps, private windows. *)
+
+val seg_detach : ctx -> Vas.t -> Segment.t -> unit
+val seg_detach_local : ctx -> vh -> Segment.t -> unit
+val seg_clone : ctx -> Segment.t -> name:string -> Segment.t
+(** Copy segment contents into fresh physical memory under a new name
+    (same virtual base — a clone is an alternative version of the same
+    window, attachable to other VASes). *)
+
+val seg_snapshot : ctx -> Segment.t -> name:string -> Segment.t
+(** Copy-on-write snapshot (paper sec 7 "copy-on-write, snapshotting and
+    versioning"): a new segment at the same base whose pages share the
+    original's physical frames. Both sides' shared pages become
+    read-only in hardware; the first write to a page (from either side)
+    traps to the fault handler, which copies that page and upgrades the
+    writer's mapping — so a snapshot costs O(pages) PTE protections, not
+    a copy. Not supported for segments with cached translations. *)
+
+val seg_ctl :
+  ctx ->
+  [ `Grow of Segment.t * int
+    (** extend the reservation; every process attached to a containing
+        VAS observes the larger segment (and heap) at its next switch —
+        no client coordination, unlike traditional shared memory
+        (§2.3). Not available for cached/COW/huge segments. *)
+  | `Chmod of Segment.t * int
+  | `Cache_translations of Segment.t  (** §4.1: pre-build page tables *)
+  | `Destroy of Segment.t ] ->
+  unit
+
+(** {2 Runtime library: per-segment heaps (§4.1)} *)
+
+exception Out_of_memory
+(** The target mspace is exhausted (same exception as physical-memory
+    exhaustion: [Sj_mem.Phys_mem.Out_of_memory]). *)
+
+val malloc : ctx -> ?seg:Segment.t -> int -> int
+(** Allocate from a segment's mspace. Default segment: the first
+    writable lockable segment of the current VAS. Must be called while
+    switched into a VAS containing the segment; raises
+    [Invalid_argument] otherwise (the paper's allocator constraint).
+    Raises [Out_of_memory] when the mspace is exhausted. *)
+
+val free : ctx -> int -> unit
+(** Release a heap allocation. Valid only while inside an address space
+    with the owning segment attached. *)
+
+val vas_of_vh : vh -> Vas.t
+val vmspace_of_vh : vh -> Sj_kernel.Vmspace.t
+
+(** {2 Convenience data accessors (current address space)} *)
+
+val load64 : ctx -> va:int -> int64
+val store64 : ctx -> va:int -> int64 -> unit
+val load_bytes : ctx -> va:int -> len:int -> bytes
+val store_bytes : ctx -> va:int -> bytes -> unit

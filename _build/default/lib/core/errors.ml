@@ -1,0 +1,6 @@
+exception Permission_denied of string
+exception Would_block of string
+exception Name_exists of string
+exception Unknown_name of string
+exception Stale_handle of string
+exception Address_conflict of string

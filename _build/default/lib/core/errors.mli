@@ -1,0 +1,21 @@
+(** Errors raised by the SpaceJMP API. *)
+
+exception Permission_denied of string
+(** The caller's credentials fail the ACL / capability check. *)
+
+exception Would_block of string
+(** A lockable segment's lock could not be acquired; the caller may
+    retry (single-timeline clients) or wait (discrete-event clients). *)
+
+exception Name_exists of string
+(** A VAS or segment with that name already exists. *)
+
+exception Unknown_name of string
+(** [vas_find] / [seg_find] target does not exist. *)
+
+exception Stale_handle of string
+(** Use of a detached VAS handle or destroyed object. *)
+
+exception Address_conflict of string
+(** Segment placement collides with an existing mapping (§4.1
+    "Inadvertent address collisions"). *)

@@ -1,0 +1,168 @@
+module Machine = Sj_machine.Machine
+module Mspace = Sj_alloc.Mspace
+module Cap = Sj_kernel.Cap
+
+type t = {
+  machine : Machine.t;
+  vases : (string, Vas.t) Hashtbl.t;
+  vases_by_id : (int, Vas.t) Hashtbl.t;
+  segs : (string, Segment.t) Hashtbl.t;
+  segs_by_id : (int, Segment.t) Hashtbl.t;
+  heaps : (int, Mspace.t) Hashtbl.t;
+  caps : (int, Cap.t) Hashtbl.t; (* vid -> root capability *)
+  live_maps : (int, Sj_kernel.Vmspace.t list ref) Hashtbl.t; (* sid -> vmspaces *)
+  mutable next_tag : int;
+  mutable switches : int;
+}
+
+let create machine =
+  {
+    machine;
+    vases = Hashtbl.create 16;
+    vases_by_id = Hashtbl.create 16;
+    segs = Hashtbl.create 16;
+    segs_by_id = Hashtbl.create 16;
+    heaps = Hashtbl.create 16;
+    caps = Hashtbl.create 16;
+    live_maps = Hashtbl.create 16;
+    next_tag = 1;
+    switches = 0;
+  }
+
+let machine t = t.machine
+
+let register_vas t vas =
+  let name = Vas.name vas in
+  if Hashtbl.mem t.vases name then raise (Errors.Name_exists name);
+  Hashtbl.replace t.vases name vas;
+  Hashtbl.replace t.vases_by_id (Vas.vid vas) vas
+
+let find_vas t ~name =
+  match Hashtbl.find_opt t.vases name with
+  | Some v -> v
+  | None -> raise (Errors.Unknown_name name)
+
+let find_vas_by_id t vid =
+  match Hashtbl.find_opt t.vases_by_id vid with
+  | Some v -> v
+  | None -> raise (Errors.Unknown_name (Printf.sprintf "vid:%d" vid))
+
+let unregister_vas t vas =
+  Hashtbl.remove t.vases (Vas.name vas);
+  Hashtbl.remove t.vases_by_id (Vas.vid vas);
+  Hashtbl.remove t.caps (Vas.vid vas)
+
+let list_vases t = Hashtbl.fold (fun _ v acc -> v :: acc) t.vases []
+
+let register_seg t seg =
+  let name = Segment.name seg in
+  if Hashtbl.mem t.segs name then raise (Errors.Name_exists name);
+  Hashtbl.replace t.segs name seg;
+  Hashtbl.replace t.segs_by_id (Segment.sid seg) seg
+
+let find_seg t ~name =
+  match Hashtbl.find_opt t.segs name with
+  | Some s -> s
+  | None -> raise (Errors.Unknown_name name)
+
+let find_seg_by_id t sid =
+  match Hashtbl.find_opt t.segs_by_id sid with
+  | Some s -> s
+  | None -> raise (Errors.Unknown_name (Printf.sprintf "sid:%d" sid))
+
+let unregister_seg t seg =
+  Hashtbl.remove t.segs (Segment.name seg);
+  Hashtbl.remove t.segs_by_id (Segment.sid seg);
+  Hashtbl.remove t.heaps (Segment.sid seg)
+
+let list_segs t = Hashtbl.fold (fun _ s acc -> s :: acc) t.segs []
+
+let heap t seg =
+  let sid = Segment.sid seg in
+  match Hashtbl.find_opt t.heaps sid with
+  | Some h -> h
+  | None ->
+    let h = Mspace.create ~base:(Segment.base seg) ~size:(Segment.size seg) in
+    Hashtbl.replace t.heaps sid h;
+    h
+
+let has_heap t seg = Hashtbl.mem t.heaps (Segment.sid seg)
+let set_heap t seg h = Hashtbl.replace t.heaps (Segment.sid seg) h
+
+let note_mapping t ~sid vms =
+  match Hashtbl.find_opt t.live_maps sid with
+  | Some l -> l := vms :: !l
+  | None -> Hashtbl.replace t.live_maps sid (ref [ vms ])
+
+let forget_mapping t ~sid vms =
+  match Hashtbl.find_opt t.live_maps sid with
+  | Some l -> l := List.filter (fun v -> not (v == vms)) !l
+  | None -> ()
+
+let mappings t ~sid =
+  match Hashtbl.find_opt t.live_maps sid with Some l -> !l | None -> []
+
+let alloc_tag t =
+  let tag = t.next_tag in
+  (* 12-bit tag space; wrap rather than fail, like PCID reuse. *)
+  t.next_tag <- (if tag >= 4095 then 1 else tag + 1);
+  tag
+
+let count_switch t = t.switches <- t.switches + 1
+let switch_count t = t.switches
+let reset_stats t = t.switches <- 0
+
+let describe t =
+  let buf = Buffer.create 512 in
+  let segs = List.sort (fun a b -> compare (Segment.name a) (Segment.name b)) (list_segs t) in
+  Buffer.add_string buf (Printf.sprintf "segments (%d):\n" (List.length segs));
+  List.iter
+    (fun seg ->
+      let lock =
+        match Segment.lock_state seg with
+        | Segment.Unlocked -> "unlocked"
+        | Segment.Shared n -> Printf.sprintf "shared x%d" n
+        | Segment.Exclusive -> "EXCLUSIVE"
+      in
+      let heap_note =
+        if has_heap t seg then
+          let h = heap t seg in
+          Printf.sprintf "  heap: %d allocs, %s used" (Mspace.allocations h)
+            (Sj_util.Size.to_string (Mspace.used_bytes h))
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s %s  %-8s %s  maps=%d  %s%s%s%s\n" (Segment.name seg)
+           (Sj_util.Addr.to_string (Segment.base seg))
+           (Sj_util.Size.to_string (Segment.size seg))
+           lock
+           (List.length (mappings t ~sid:(Segment.sid seg)))
+           (if Segment.is_cow seg then "cow " else "")
+           (match Segment.page_size seg with Sj_paging.Page_table.P2M -> "2MiB-pages " | P4K -> "")
+           (if Segment.translation_cache seg <> None then "cached-translations " else "")
+           heap_note))
+    segs;
+  let vases = List.sort (fun a b -> compare (Vas.name a) (Vas.name b)) (list_vases t) in
+  Buffer.add_string buf (Printf.sprintf "address spaces (%d):\n" (List.length vases));
+  List.iter
+    (fun vas ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s gen=%d%s  [%s]\n" (Vas.name vas) (Vas.generation vas)
+           (match Vas.tag vas with Some tg -> Printf.sprintf " tag=%d" tg | None -> "")
+           (String.concat ", "
+              (List.map
+                 (fun (s, p) ->
+                   Printf.sprintf "%s(%s)" (Segment.name s) (Sj_paging.Prot.to_string p))
+                 (Vas.segments vas)))))
+    vases;
+  Buffer.add_string buf (Printf.sprintf "switches so far: %d\n" t.switches);
+  Buffer.contents buf
+
+let root_cap t vas =
+  let vid = Vas.vid vas in
+  match Hashtbl.find_opt t.caps vid with
+  | Some c -> c
+  | None ->
+    let c = Cap.create_vas_ref ~vas:vid ~rights:Sj_paging.Prot.rwx in
+    Hashtbl.replace t.caps vid c;
+    c

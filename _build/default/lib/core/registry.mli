@@ -1,0 +1,78 @@
+(** System-wide SpaceJMP object registry.
+
+    In DragonFly this state lives in the kernel; in Barrelfish it is the
+    user-space SpaceJMP service processes talk to via RPC (§4.2). Either
+    way it is the system's source of truth for named VASes and segments,
+    their heaps (mspaces live logically *inside* segment memory and are
+    therefore system-wide, not per-process), TLB tag assignment, and
+    switch statistics. *)
+
+type t
+
+val create : Sj_machine.Machine.t -> t
+val machine : t -> Sj_machine.Machine.t
+
+(** {2 VASes} *)
+
+val register_vas : t -> Vas.t -> unit
+(** Raises [Errors.Name_exists] on duplicate names. *)
+
+val find_vas : t -> name:string -> Vas.t
+(** Raises [Errors.Unknown_name]. *)
+
+val find_vas_by_id : t -> int -> Vas.t
+val unregister_vas : t -> Vas.t -> unit
+val list_vases : t -> Vas.t list
+
+(** {2 Segments} *)
+
+val register_seg : t -> Segment.t -> unit
+val find_seg : t -> name:string -> Segment.t
+val find_seg_by_id : t -> int -> Segment.t
+val unregister_seg : t -> Segment.t -> unit
+val list_segs : t -> Segment.t list
+
+(** {2 Per-segment heaps (§4.1 runtime library)} *)
+
+val heap : t -> Segment.t -> Sj_alloc.Mspace.t
+(** The segment's mspace, created on first use over the whole segment
+    range. State is keyed by segment identity, so every process attached
+    to the segment sees the same allocator state — as if the mspace
+    metadata lived inside the segment. *)
+
+val has_heap : t -> Segment.t -> bool
+
+val set_heap : t -> Segment.t -> Sj_alloc.Mspace.t -> unit
+(** Install an explicit heap (snapshot clones inherit a copy of the
+    original's allocator state). *)
+
+(** {2 Live mapping tracking}
+
+    Which vmspaces currently map each segment — consulted when a
+    snapshot must write-protect a segment everywhere. *)
+
+val note_mapping : t -> sid:int -> Sj_kernel.Vmspace.t -> unit
+val forget_mapping : t -> sid:int -> Sj_kernel.Vmspace.t -> unit
+val mappings : t -> sid:int -> Sj_kernel.Vmspace.t list
+
+(** {2 TLB tags} *)
+
+val alloc_tag : t -> int
+(** Next free ASID (1..4095; 0 is reserved to mean "untagged"). *)
+
+(** {2 Statistics} *)
+
+val count_switch : t -> unit
+val switch_count : t -> int
+val reset_stats : t -> unit
+
+val describe : t -> string
+(** Multi-line listing of the live system: every registered segment and
+    VAS with its attachments' state (for [sjctl] and debugging). *)
+
+(** {2 Barrelfish capability tracking} *)
+
+val root_cap : t -> Vas.t -> Sj_kernel.Cap.t
+(** The service's root capability for a VAS (created on demand);
+    attachments hold minted children, so revoking this bars every
+    process from switching into the VAS. *)

@@ -1,0 +1,198 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Page_table = Sj_paging.Page_table
+module Prot = Sj_paging.Prot
+module Vm_object = Sj_kernel.Vm_object
+module Acl = Sj_kernel.Acl
+
+type lock_state = Unlocked | Shared of int | Exclusive
+
+type t = {
+  sid : int;
+  name : string;
+  base : int;
+  mutable size : int;
+  prot_max : Prot.t;
+  obj : Vm_object.t;
+  machine : Machine.t;
+  lockable : bool;
+  mutable acl : Acl.t;
+  mutable lock : lock_state;
+  mutable conflicts : int;
+  mutable cache : (Page_table.t * Page_table.subtree array) option;
+      (* scratch table owning the cached subtrees, plus the subtrees *)
+  mutable cow : bool;
+  page : Page_table.page_size;
+  mutable destroyed : bool;
+}
+
+let next_sid = ref 0
+
+let create ?(lockable = true) ?acl ?node ?(huge = false) ~charge_to ~machine ~name ~base
+    ~size ~prot () =
+  if not (Addr.is_page_aligned base) then
+    invalid_arg "Segment.create: base must be page aligned";
+  if size <= 0 then invalid_arg "Segment.create: size must be positive";
+  let align = if huge then Size.mib 2 else Addr.page_size in
+  if huge && base mod Size.mib 2 <> 0 then
+    invalid_arg "Segment.create: huge segments need a 2 MiB-aligned base";
+  let size = Size.round_up size ~align in
+  if base + size > Addr.va_limit then invalid_arg "Segment.create: beyond virtual range";
+  let obj = Vm_object.create ~name ?node ~contiguous:huge machine ~size ~charge_to in
+  let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
+  incr next_sid;
+  {
+    sid = !next_sid;
+    name;
+    base;
+    size;
+    prot_max = prot;
+    obj;
+    machine;
+    lockable;
+    acl;
+    lock = Unlocked;
+    conflicts = 0;
+    cache = None;
+    cow = false;
+    page = (if huge then Page_table.P2M else Page_table.P4K);
+    destroyed = false;
+  }
+
+let create_with_object ?(lockable = true) ?acl ~machine ~name ~base ~prot obj =
+  if not (Addr.is_page_aligned base) then
+    invalid_arg "Segment.create_with_object: base must be page aligned";
+  let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
+  incr next_sid;
+  {
+    sid = !next_sid;
+    name;
+    base;
+    size = Vm_object.size obj;
+    prot_max = prot;
+    obj;
+    machine;
+    lockable;
+    acl;
+    lock = Unlocked;
+    conflicts = 0;
+    cache = None;
+    cow = false;
+    page = Page_table.P4K;
+    destroyed = false;
+  }
+
+let sid t = t.sid
+let name t = t.name
+let base t = t.base
+let size t = t.size
+let pages t = t.size / Addr.page_size
+let prot_max t = t.prot_max
+let vm_object t = t.obj
+let acl t = t.acl
+let set_acl t acl = t.acl <- acl
+let lockable t = t.lockable
+let is_destroyed t = t.destroyed
+let is_cow t = t.cow
+let mark_cow t = t.cow <- true
+let page_size t = t.page
+let lock_state t = t.lock
+
+let try_lock t ~mode =
+  if not t.lockable then true
+  else
+    match (t.lock, mode) with
+    | Unlocked, `Shared ->
+      t.lock <- Shared 1;
+      true
+    | Shared n, `Shared ->
+      t.lock <- Shared (n + 1);
+      true
+    | Unlocked, `Exclusive ->
+      t.lock <- Exclusive;
+      true
+    | (Shared _ | Exclusive), `Exclusive | Exclusive, `Shared ->
+      t.conflicts <- t.conflicts + 1;
+      false
+
+let unlock t ~mode =
+  if t.lockable then
+    match (t.lock, mode) with
+    | Shared 1, `Shared -> t.lock <- Unlocked
+    | Shared n, `Shared when n > 1 -> t.lock <- Shared (n - 1)
+    | Exclusive, `Exclusive -> t.lock <- Unlocked
+    | _, _ -> invalid_arg (Printf.sprintf "Segment.unlock(%s): not held in that mode" t.name)
+
+let lock_conflicts t = t.conflicts
+
+let translation_cache t =
+  match t.cache with None -> None | Some (_, subtrees) -> Some subtrees
+
+let build_translation_cache t ~charge_to =
+  match t.cache with
+  | Some _ -> ()
+  | None ->
+    let gib = Size.gib 1 in
+    if t.base land (gib - 1) <> 0 then
+      invalid_arg "Segment.build_translation_cache: base must be 1 GiB aligned";
+    (* Build the full mapping once in a scratch tree, then extract the
+       per-GiB PD subtrees. The scratch tree stays alive as their owner. *)
+    let scratch = Page_table.create (Machine.mem t.machine) in
+    (match t.page with
+    | Page_table.P4K ->
+      for i = 0 to pages t - 1 do
+        let frame = Vm_object.frame_at t.obj ~page:i in
+        Page_table.map scratch
+          ~va:(t.base + (i * Addr.page_size))
+          ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
+          ~prot:t.prot_max ~size:Page_table.P4K
+      done
+    | Page_table.P2M ->
+      let per = Size.mib 2 / Addr.page_size in
+      for i = 0 to (pages t / per) - 1 do
+        let frame = Vm_object.frame_at t.obj ~page:(i * per) in
+        Page_table.map scratch
+          ~va:(t.base + (i * Size.mib 2))
+          ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
+          ~prot:t.prot_max ~size:Page_table.P2M
+      done);
+    (match charge_to with
+    | Some core ->
+      let st = Page_table.stats scratch in
+      let cost = Machine.cost t.machine in
+      Core.charge core
+        ((st.tables_allocated * cost.table_alloc) + (st.pte_writes * cost.pte_write))
+    | None -> ());
+    let n_gib = (t.size + gib - 1) / gib in
+    let subtrees =
+      Array.init n_gib (fun i ->
+          match Page_table.extract_subtree scratch ~va:(t.base + (i * gib)) ~level:2 with
+          | Some s -> s
+          | None -> failwith "Segment.build_translation_cache: subtree extraction failed")
+    in
+    t.cache <- Some (scratch, subtrees)
+
+let grow t ~by ~charge_to =
+  if t.destroyed then invalid_arg "Segment.grow: destroyed";
+  if t.cache <> None then invalid_arg "Segment.grow: segment has cached translations";
+  if t.cow then invalid_arg "Segment.grow: copy-on-write segments are frozen";
+  if t.page <> Page_table.P4K then invalid_arg "Segment.grow: huge-page segments are fixed";
+  if by <= 0 then invalid_arg "Segment.grow: by must be positive";
+  let by_pages = (by + Addr.page_size - 1) / Addr.page_size in
+  Vm_object.grow t.machine t.obj ~by_pages ~charge_to;
+  let grown = by_pages * Addr.page_size in
+  t.size <- t.size + grown;
+  grown
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    (match t.cache with
+    | Some (scratch, subtrees) ->
+      Array.iter (Page_table.release_subtree scratch) subtrees;
+      Page_table.destroy scratch;
+      t.cache <- None
+    | None -> ());
+    Vm_object.destroy t.machine t.obj
+  end

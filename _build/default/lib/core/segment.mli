@@ -1,0 +1,114 @@
+(** Lockable segments (§3.1).
+
+    A segment is a single contiguous area of virtual memory with a
+    *fixed* virtual start address and size, together with its backing
+    physical frames and access metadata. Fixing the virtual address is
+    what lets pointer-rich data structures remain valid across processes
+    and process lifetimes without swizzling.
+
+    Lockable segments carry a reader/writer lock. The lock is acquired
+    as part of [vas_switch]: shared if the switching attachment maps the
+    segment read-only, exclusive if it maps it writable — so at most one
+    client at a time can be *inside* an address space with the segment
+    writable, while read-only attachments admit many concurrent readers. *)
+
+type t
+
+type lock_state = Unlocked | Shared of int  (** reader count *) | Exclusive
+
+val create :
+  ?lockable:bool ->
+  ?acl:Sj_kernel.Acl.t ->
+  ?node:int ->
+  ?huge:bool ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  machine:Sj_machine.Machine.t ->
+  name:string ->
+  base:int ->
+  size:int ->
+  prot:Sj_paging.Prot.t ->
+  unit ->
+  t
+(** Reserve physical memory for a segment at fixed virtual base [base].
+    [prot] is the *maximum* protection; attachments may map it more
+    restrictively. Default ACL: owner root, mode 0o600; default
+    [lockable] is true. [huge] backs the segment with physically
+    contiguous memory mapped as 2 MiB pages. *)
+
+val create_with_object :
+  ?lockable:bool ->
+  ?acl:Sj_kernel.Acl.t ->
+  machine:Sj_machine.Machine.t ->
+  name:string ->
+  base:int ->
+  prot:Sj_paging.Prot.t ->
+  Sj_kernel.Vm_object.t ->
+  t
+(** Wrap an existing VM object (no allocation) — used by copy-on-write
+    snapshots, whose object shares the original's frames. *)
+
+val sid : t -> int
+val name : t -> string
+val base : t -> int
+val size : t -> int
+(** Reserved size in bytes (page multiple). *)
+
+val pages : t -> int
+val prot_max : t -> Sj_paging.Prot.t
+val vm_object : t -> Sj_kernel.Vm_object.t
+val acl : t -> Sj_kernel.Acl.t
+val set_acl : t -> Sj_kernel.Acl.t -> unit
+val lockable : t -> bool
+val is_destroyed : t -> bool
+
+val is_cow : t -> bool
+(** True once the segment participates in copy-on-write sharing (it was
+    snapshotted, or it is a snapshot); attachments then install shared
+    pages read-only and rely on the fault handler to split them. *)
+
+val mark_cow : t -> unit
+
+val page_size : t -> Sj_paging.Page_table.page_size
+(** Mapping granularity attachments must use (2 MiB for huge
+    segments). *)
+
+(** {2 Locking} *)
+
+val lock_state : t -> lock_state
+
+val try_lock : t -> mode:[ `Shared | `Exclusive ] -> bool
+(** Non-blocking acquire; false when the request conflicts with the
+    current holder(s). Non-lockable segments always succeed. *)
+
+val unlock : t -> mode:[ `Shared | `Exclusive ] -> unit
+(** Release; raises [Invalid_argument] if not held in that mode. *)
+
+val lock_conflicts : t -> int
+(** Number of failed [try_lock] attempts (contention metric). *)
+
+(** {2 Cached translations (§4.1, §4.4)}
+
+    A segment aligned to — and padded out to — 1 GiB boundaries can
+    pre-build its page-table subtrees once and share them with every
+    attaching address space; attaching then writes one PDPT entry per
+    GiB instead of one PTE per page. *)
+
+val translation_cache : t -> Sj_paging.Page_table.subtree array option
+(** The cached per-GiB subtrees, if built. *)
+
+val build_translation_cache :
+  t -> charge_to:Sj_machine.Machine.Core.core option -> unit
+(** Build (idempotent). Raises [Invalid_argument] if the segment's base
+    is not 1 GiB aligned. Charged like a normal full mapping — the point
+    is to pay once instead of per attach. *)
+
+val grow : t -> by:int -> charge_to:Sj_machine.Machine.Core.core option -> int
+(** Extend the segment's reservation by at least [by] bytes (rounded to
+    pages); returns the actual growth. Refused ([Invalid_argument]) for
+    segments with cached translations, COW participants, and huge-page
+    segments. Attachments observe the new range after their next switch
+    — the coordination-free shared-region growth §2.3 asks for. *)
+
+val destroy : t -> unit
+(** Release backing frames and cached translations. The registry is
+    responsible for ensuring no VAS still references the segment. *)

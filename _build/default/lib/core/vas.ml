@@ -1,0 +1,72 @@
+open Sj_util
+module Prot = Sj_paging.Prot
+module Acl = Sj_kernel.Acl
+
+type t = {
+  vid : int;
+  name : string;
+  mutable acl : Acl.t;
+  mutable segments : (Segment.t * Prot.t) list;
+  mutable tag : int option;
+  mutable generation : int;
+  mutable destroyed : bool;
+}
+
+let next_vid = ref 0
+
+let create ?acl ~name () =
+  let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
+  incr next_vid;
+  { vid = !next_vid; name; acl; segments = []; tag = None; generation = 0; destroyed = false }
+
+let vid t = t.vid
+let name t = t.name
+let acl t = t.acl
+let set_acl t acl = t.acl <- acl
+let generation t = t.generation
+let bump_generation t = t.generation <- t.generation + 1
+let is_destroyed t = t.destroyed
+let destroy t = t.destroyed <- true
+let tag t = t.tag
+let assign_tag t tag = t.tag <- Some tag
+let segments t = t.segments
+
+let check_live t ctx = if t.destroyed then raise (Errors.Stale_handle ("Vas." ^ ctx))
+
+let attach_segment t seg ~prot =
+  check_live t "attach_segment";
+  if not (Prot.subsumes (Segment.prot_max seg) prot) then
+    invalid_arg "Vas.attach_segment: prot exceeds segment maximum";
+  let base = Segment.base seg and size = Segment.size seg in
+  List.iter
+    (fun (s, _) ->
+      if
+        Addr.range_overlaps ~base1:base ~size1:size ~base2:(Segment.base s)
+          ~size2:(Segment.size s)
+      then
+        raise
+          (Errors.Address_conflict
+             (Printf.sprintf "segment %s overlaps %s in VAS %s" (Segment.name seg)
+                (Segment.name s) t.name)))
+    t.segments;
+  t.segments <-
+    List.sort (fun (a, _) (b, _) -> compare (Segment.base a) (Segment.base b))
+      ((seg, prot) :: t.segments);
+  t.generation <- t.generation + 1
+
+let detach_segment t seg =
+  check_live t "detach_segment";
+  if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) t.segments) then
+    invalid_arg "Vas.detach_segment: segment not attached";
+  t.segments <- List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) t.segments;
+  t.generation <- t.generation + 1
+
+let find_segment_by_sid t sid =
+  List.find_opt (fun (s, _) -> Segment.sid s = sid) t.segments
+
+let find_segment_at t ~va =
+  List.find_opt
+    (fun (s, _) -> Addr.range_contains ~base:(Segment.base s) ~size:(Segment.size s) va)
+    t.segments
+
+let lockable_segments t = List.filter (fun (s, _) -> Segment.lockable s) t.segments

@@ -1,0 +1,51 @@
+(** First-class virtual address spaces (§3.2).
+
+    A VAS is an OS object independent of any process: a named set of
+    non-overlapping global segments plus access metadata. Processes
+    attach to a VAS — each attachment instantiates a concrete vmspace
+    combining the VAS's global segments with the process's private
+    common region — and switch between attachments. A VAS persists
+    until explicitly destroyed, possibly beyond its creator's lifetime.
+
+    Mutating the segment list bumps the VAS *generation*; live
+    attachments compare generations to re-synchronize their vmspaces
+    (the propagation the DragonFly kernel performs when a segment is
+    attached VAS-globally). *)
+
+type t
+
+val create : ?acl:Sj_kernel.Acl.t -> name:string -> unit -> t
+val vid : t -> int
+val name : t -> string
+val acl : t -> Sj_kernel.Acl.t
+val set_acl : t -> Sj_kernel.Acl.t -> unit
+val generation : t -> int
+
+val bump_generation : t -> unit
+(** Force attachments to re-sync at their next switch (used when a
+    member segment's shape changes, e.g. growth). *)
+
+val is_destroyed : t -> bool
+val destroy : t -> unit
+
+val tag : t -> int option
+(** TLB tag (ASID) assigned via [vas_ctl], if any (§4.4). *)
+
+val assign_tag : t -> int -> unit
+
+val segments : t -> (Segment.t * Sj_paging.Prot.t) list
+(** Global segments with their per-VAS mapping protections, sorted by
+    base address. *)
+
+val attach_segment : t -> Segment.t -> prot:Sj_paging.Prot.t -> unit
+(** Add a segment. Raises [Errors.Address_conflict] on range overlap
+    with an existing segment, [Invalid_argument] if [prot] exceeds the
+    segment's maximum protection. *)
+
+val detach_segment : t -> Segment.t -> unit
+val find_segment_by_sid : t -> int -> (Segment.t * Sj_paging.Prot.t) option
+val find_segment_at : t -> va:int -> (Segment.t * Sj_paging.Prot.t) option
+
+val lockable_segments : t -> (Segment.t * Sj_paging.Prot.t) list
+(** The segments whose locks a switch must take, with mapping prots
+    deciding shared vs exclusive mode. *)

@@ -1,0 +1,1 @@
+lib/des/resource.ml: Engine Queue

@@ -1,0 +1,60 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+(* Pairing-heap keyed by (time, seq): O(1) insert, amortized O(log n)
+   delete-min, no rebalancing bookkeeping. *)
+type heap = Empty | Node of event * heap list
+
+let heap_le a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let merge h1 h2 =
+  match (h1, h2) with
+  | Empty, h | h, Empty -> h
+  | Node (e1, c1), Node (e2, c2) ->
+    if heap_le e1 e2 then Node (e1, h2 :: c1) else Node (e2, h1 :: c2)
+
+let insert h e = merge h (Node (e, []))
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+let pop = function
+  | Empty -> None
+  | Node (e, children) -> Some (e, merge_pairs children)
+
+type t = { mutable now : int; mutable heap : heap; mutable seq : int; mutable count : int }
+
+let create () = { now = 0; heap = Empty; seq = 0; count = 0 }
+let now t = t.now
+
+let schedule t ~at action =
+  if at < t.now then invalid_arg "Engine.schedule: event in the past";
+  t.heap <- insert t.heap { time = at; seq = t.seq; action };
+  t.seq <- t.seq + 1;
+  t.count <- t.count + 1
+
+let schedule_after t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.now + delay) action
+
+let run ?until t =
+  let continue () =
+    match pop t.heap with
+    | None -> false
+    | Some (e, rest) -> (
+      match until with
+      | Some limit when e.time > limit -> false
+      | _ ->
+        t.heap <- rest;
+        t.count <- t.count - 1;
+        t.now <- e.time;
+        e.action ();
+        true)
+  in
+  while continue () do
+    ()
+  done;
+  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
+
+let pending t = t.count

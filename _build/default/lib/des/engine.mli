@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    Time is measured in integer CPU cycles (matching the machine model).
+    Simulated activities are continuation-passing state machines: an
+    activity performs some work, schedules its continuation at a later
+    simulated time, and returns. The engine drains the event queue in
+    timestamp order (FIFO among equal timestamps).
+
+    The engine underpins the multi-client experiments (Redis Fig. 10,
+    GUPS-MP Fig. 8) where throughput emerges from contention on cores
+    and locks rather than from a closed-form model. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine at time 0 with an empty queue. *)
+
+val now : t -> int
+(** Current simulated time in cycles. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** Run a thunk at absolute time [at] (>= now). *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+(** Run a thunk [delay] cycles from now ([delay >= 0]). *)
+
+val run : ?until:int -> t -> unit
+(** Drain the queue. With [until], stop (leaving later events queued)
+    once the next event's timestamp exceeds [until]; [now] is then
+    clamped to [until]. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,103 @@
+module Cores = struct
+  type t = {
+    eng : Engine.t;
+    n : int;
+    mutable free : int;
+    waiting : (int * (unit -> unit)) Queue.t; (* cycles, continuation *)
+    mutable busy_cycles : int;
+  }
+
+  let create eng ~n =
+    if n <= 0 then invalid_arg "Cores.create: n must be positive";
+    { eng; n; free = n; waiting = Queue.create (); busy_cycles = 0 }
+
+  let n t = t.n
+
+  let rec start t cycles k =
+    t.free <- t.free - 1;
+    t.busy_cycles <- t.busy_cycles + cycles;
+    Engine.schedule_after t.eng ~delay:cycles (fun () ->
+        t.free <- t.free + 1;
+        dispatch t;
+        k ())
+
+  and dispatch t =
+    if t.free > 0 && not (Queue.is_empty t.waiting) then begin
+      let cycles, k = Queue.pop t.waiting in
+      start t cycles k
+    end
+
+  let exec t ~cycles k =
+    if cycles < 0 then invalid_arg "Cores.exec: negative cycles";
+    if t.free > 0 then start t cycles k else Queue.push (cycles, k) t.waiting
+
+  let busy_cycles t = t.busy_cycles
+end
+
+module Rwlock = struct
+  type waiter = { write : bool; enqueued_at : int; k : unit -> unit }
+
+  type t = {
+    eng : Engine.t;
+    mutable readers : int;
+    mutable writer : bool;
+    waiting : waiter Queue.t;
+    mutable contended : int;
+    mutable wait_cycles : int;
+  }
+
+  let create eng =
+    { eng; readers = 0; writer = false; waiting = Queue.create (); contended = 0; wait_cycles = 0 }
+
+  let grant t w =
+    t.wait_cycles <- t.wait_cycles + (Engine.now t.eng - w.enqueued_at);
+    if w.write then t.writer <- true else t.readers <- t.readers + 1;
+    (* Run the continuation asynchronously so grant order stays FIFO even
+       if the continuation releases and re-acquires immediately. *)
+    Engine.schedule_after t.eng ~delay:0 w.k
+
+  let rec dispatch t =
+    match Queue.peek_opt t.waiting with
+    | None -> ()
+    | Some w ->
+      if w.write then begin
+        if t.readers = 0 && not t.writer then begin
+          ignore (Queue.pop t.waiting);
+          grant t w
+        end
+      end
+      else if not t.writer then begin
+        ignore (Queue.pop t.waiting);
+        grant t w;
+        (* Batch-admit consecutive readers at the queue head. *)
+        dispatch t
+      end
+
+  let acquire t ~write k =
+    let free_now =
+      if write then t.readers = 0 && (not t.writer) && Queue.is_empty t.waiting
+      else (not t.writer) && Queue.is_empty t.waiting
+    in
+    if free_now then begin
+      if write then t.writer <- true else t.readers <- t.readers + 1;
+      k ()
+    end
+    else begin
+      t.contended <- t.contended + 1;
+      Queue.push { write; enqueued_at = Engine.now t.eng; k } t.waiting
+    end
+
+  let release t ~write =
+    if write then begin
+      assert t.writer;
+      t.writer <- false
+    end
+    else begin
+      assert (t.readers > 0);
+      t.readers <- t.readers - 1
+    end;
+    dispatch t
+
+  let contended_acquires t = t.contended
+  let wait_cycles t = t.wait_cycles
+end

@@ -1,0 +1,42 @@
+(** Contended resources for the discrete-event engine: a multi-server
+    core pool and a reader/writer lock with FIFO queueing.
+
+    Both resources hand the resource to waiters in arrival order, which
+    models the ticket-style fairness of the kernel locks the paper's
+    prototypes use (§3.1, §5.3). *)
+
+module Cores : sig
+  type t
+
+  val create : Engine.t -> n:int -> t
+  (** A pool of [n] identical cores. *)
+
+  val n : t -> int
+
+  val exec : t -> cycles:int -> (unit -> unit) -> unit
+  (** [exec t ~cycles k] occupies one core for [cycles], then runs [k].
+      If all cores are busy the request queues FIFO. *)
+
+  val busy_cycles : t -> int
+  (** Total core-cycles consumed so far (utilization numerator). *)
+end
+
+module Rwlock : sig
+  type t
+
+  val create : Engine.t -> t
+
+  val acquire : t -> write:bool -> (unit -> unit) -> unit
+  (** Request the lock; the continuation runs when it is granted.
+      Readers share; writers are exclusive. FIFO: a queued writer blocks
+      later readers (no reader barging), matching the paper's
+      exclusive-on-write lockable-segment semantics. *)
+
+  val release : t -> write:bool -> unit
+
+  val contended_acquires : t -> int
+  (** Number of acquisitions that had to wait. *)
+
+  val wait_cycles : t -> int
+  (** Total cycles spent waiting across all acquisitions. *)
+end

@@ -1,0 +1,1 @@
+lib/genomics/bam.ml: Array Buffer Bytes Char List Record Sj_compress String

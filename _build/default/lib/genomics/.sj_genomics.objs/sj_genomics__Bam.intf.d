@@ -1,0 +1,1 @@
+lib/genomics/bam.mli: Buffer Record

@@ -1,0 +1,1 @@
+lib/genomics/ops.ml: Array Fun Hashtbl List Record Sj_machine

@@ -1,0 +1,1 @@
+lib/genomics/ops.mli: Record Sj_machine

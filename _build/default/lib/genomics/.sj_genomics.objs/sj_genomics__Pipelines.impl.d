@@ -1,0 +1,1 @@
+lib/genomics/pipelines.ml: Addr Array Bam Buffer Bytes Ops Record Sam Size Sj_compress Sj_core Sj_kernel Sj_machine Sj_memfs Sj_paging Sj_util

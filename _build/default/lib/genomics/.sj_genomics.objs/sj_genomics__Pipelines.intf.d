@@ -1,0 +1,1 @@
+lib/genomics/pipelines.mli: Ops Record Sj_core Sj_machine Sj_memfs

@@ -1,0 +1,1 @@
+lib/genomics/record.ml: Array Buffer Char Hashtbl Printf Rng Size Sj_util String

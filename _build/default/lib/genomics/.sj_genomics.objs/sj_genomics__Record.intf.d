@@ -1,0 +1,1 @@
+lib/genomics/record.mli:

@@ -1,0 +1,1 @@
+lib/genomics/sam.ml: Array Buffer Bytes List Printf Record String

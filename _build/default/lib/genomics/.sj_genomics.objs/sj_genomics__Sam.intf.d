@@ -1,0 +1,1 @@
+lib/genomics/sam.mli: Record

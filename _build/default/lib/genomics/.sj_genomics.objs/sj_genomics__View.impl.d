@@ -1,0 +1,1 @@
+lib/genomics/view.ml: Array Bam List Ops Record Sj_compress Sj_machine

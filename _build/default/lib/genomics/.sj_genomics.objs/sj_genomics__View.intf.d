@@ -1,0 +1,1 @@
+lib/genomics/view.mli: Ops Record Sj_machine

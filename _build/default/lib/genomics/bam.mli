@@ -1,0 +1,37 @@
+(** BAM-like binary alignment format.
+
+    Faithful to BAM's architecture: records are binary-encoded (varint
+    fields, 4-bit packed bases) and the stream is wrapped in an
+    independently-compressed block container. The container is our
+    {!Sj_compress.Block_lz} rather than BGZF/deflate (offline
+    substitution — see DESIGN.md); block-granular random access, the
+    property BAM indexes rely on, is preserved. *)
+
+val encode_record : Buffer.t -> Record.t -> unit
+val decode_record : bytes -> pos:int -> Record.t * int
+val encode : Record.reference list -> Record.t array -> bytes
+(** Binary-encode then compress. *)
+
+val encode_indexed : Record.reference list -> Record.t array -> bytes * int array
+(** Like {!encode}, also returning each record's *virtual offset* — its
+    byte position in the uncompressed stream (BGZF-style). The array has
+    one extra trailing entry: the stream's raw end. Virtual offsets let
+    a reader decompress only the blocks containing wanted records. *)
+
+val records_between : bytes -> offsets:int array -> first:int -> count:int -> Record.t array
+(** Decode records [first, first+count) from an {!encode_indexed}
+    stream, decompressing only the blocks they occupy. *)
+
+val blocks_touched : offsets:int array -> first:int -> count:int -> int
+(** How many 64 KiB blocks {!records_between} would decompress (for
+    cost accounting: charge
+    [Block_lz.decompress_cycles ~uncompressed:(blocks * block_size)]). *)
+
+val decode : bytes -> (Record.t array, string) result
+(** Decompress then decode. *)
+
+val encode_cycles : raw_bytes:int -> int
+(** Binary packing cost (before compression, which charges separately
+    via {!Sj_compress.Block_lz.compress_cycles}). *)
+
+val decode_cycles : raw_bytes:int -> int

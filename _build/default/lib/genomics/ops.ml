@@ -1,0 +1,148 @@
+module Core = Sj_machine.Machine.Core
+
+type dataset = {
+  records : Record.t array;
+  addrs : int array option;
+  core : Core.core option;
+}
+
+let host_only records = { records; addrs = None; core = None }
+let in_memory records ~addrs ~core = { records; addrs = Some addrs; core = Some core }
+
+(* Visit record [i]: one header access; [deep] additionally reads the
+   string payload area (qname compares, serialization passes). *)
+let touch ?(deep = false) d i =
+  match (d.addrs, d.core) with
+  | Some addrs, Some core ->
+    Core.touch core ~va:addrs.(i) ~access:Sj_machine.Machine.Read;
+    if deep then Core.touch core ~va:(addrs.(i) + 64) ~access:Sj_machine.Machine.Read
+  | _ -> ()
+
+let charge d cycles =
+  match d.core with Some core -> Core.charge core cycles | None -> ()
+
+type flagstat = {
+  total : int;
+  mapped : int;
+  paired : int;
+  proper_pair : int;
+  duplicates : int;
+  secondary : int;
+  read1 : int;
+  read2 : int;
+}
+
+let flagstat d =
+  let total = ref 0 and mapped = ref 0 and paired = ref 0 and proper = ref 0 in
+  let dup = ref 0 and sec = ref 0 and r1 = ref 0 and r2 = ref 0 in
+  Array.iteri
+    (fun i r ->
+      touch d i;
+      charge d 6 (* flag tests *);
+      incr total;
+      if Record.is_mapped r then incr mapped;
+      if r.Record.flag land Record.flag_paired <> 0 then incr paired;
+      if r.Record.flag land Record.flag_proper_pair <> 0 then incr proper;
+      if r.Record.flag land Record.flag_duplicate <> 0 then incr dup;
+      if r.Record.flag land Record.flag_secondary <> 0 then incr sec;
+      if r.Record.flag land Record.flag_read1 <> 0 then incr r1;
+      if r.Record.flag land Record.flag_read2 <> 0 then incr r2)
+    d.records;
+  {
+    total = !total;
+    mapped = !mapped;
+    paired = !paired;
+    proper_pair = !proper;
+    duplicates = !dup;
+    secondary = !sec;
+    read1 = !r1;
+    read2 = !r2;
+  }
+
+let sort_permutation d ~by =
+  let n = Array.length d.records in
+  let perm = Array.init n Fun.id in
+  let compare_fn, deep, cpu =
+    match by with
+    | `Qname -> (Record.compare_qname, true, 40)
+    | `Coordinate -> (Record.compare_coordinate, false, 10)
+  in
+  let cmp i j =
+    touch ~deep d i;
+    touch ~deep d j;
+    charge d cpu;
+    compare_fn d.records.(i) d.records.(j)
+  in
+  Array.sort cmp perm;
+  (* Persist the permutation: one pointer store per record. *)
+  (match (d.addrs, d.core) with
+  | Some addrs, Some core ->
+    Array.iteri (fun i _ -> Core.touch core ~va:addrs.(i) ~access:Sj_machine.Machine.Write) perm
+  | _ -> ());
+  perm
+
+let apply_permutation records perm = Array.map (fun i -> records.(i)) perm
+
+type index_entry = { bin_rname : string; bin_id : int; first : int; count : int }
+
+let build_index d ~bin_bp =
+  let table : (string * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i r ->
+      touch d i;
+      charge d 12 (* bin arithmetic + hash *);
+      if Record.is_mapped r then begin
+        let bin = r.Record.pos / bin_bp in
+        match Hashtbl.find_opt table (r.Record.rname, bin) with
+        | None -> Hashtbl.replace table (r.Record.rname, bin) (i, 1)
+        | Some (first, count) -> Hashtbl.replace table (r.Record.rname, bin) (first, count + 1)
+      end)
+    d.records;
+  Hashtbl.fold
+    (fun (bin_rname, bin_id) (first, count) acc -> { bin_rname; bin_id; first; count } :: acc)
+    table []
+  |> List.sort (fun a b -> compare (a.bin_rname, a.bin_id) (b.bin_rname, b.bin_id))
+
+type pileup = { p_rname : string; covered : int; max_depth : int; mean_depth : float }
+
+let pileup d ~rname ~ref_length ~read_len =
+  let depth = Array.make ref_length 0 in
+  Array.iteri
+    (fun i (r : Record.t) ->
+      touch d i;
+      charge d 8;
+      if
+        Record.is_mapped r && r.Record.rname = rname
+        && r.Record.flag land Record.flag_secondary = 0
+      then begin
+        let lo = max 0 (r.Record.pos - 1) in
+        let hi = min ref_length (lo + read_len) in
+        charge d (2 * (hi - lo)) (* depth-array increments *);
+        for p = lo to hi - 1 do
+          depth.(p) <- depth.(p) + 1
+        done
+      end)
+    d.records;
+  let covered = ref 0 and max_depth = ref 0 and total = ref 0 in
+  Array.iter
+    (fun dp ->
+      if dp > 0 then begin
+        incr covered;
+        total := !total + dp
+      end;
+      if dp > !max_depth then max_depth := dp)
+    depth;
+  {
+    p_rname = rname;
+    covered = !covered;
+    max_depth = !max_depth;
+    mean_depth =
+      (if !covered = 0 then 0.0 else float_of_int !total /. float_of_int !covered);
+  }
+
+let is_coordinate_sorted d =
+  let ok = ref true in
+  for i = 0 to Array.length d.records - 2 do
+    if Record.compare_coordinate d.records.(i) d.records.(i + 1) > 0 then ok := false
+  done;
+  !ok

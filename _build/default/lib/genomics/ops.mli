@@ -1,0 +1,60 @@
+(** The four SAMTools operations Fig. 11/12 measure: flagstat, name
+    sort, coordinate sort, index.
+
+    Operations run over a {!dataset}: the records plus, optionally, the
+    simulated addresses where each record lives and the core doing the
+    work — in which case every record visit performs charged memory
+    accesses (this is how the in-memory variants' costs arise). *)
+
+type dataset = {
+  records : Record.t array;
+  addrs : int array option;  (** simulated VA of each record *)
+  core : Sj_machine.Machine.Core.core option;
+}
+
+val host_only : Record.t array -> dataset
+val in_memory : Record.t array -> addrs:int array -> core:Sj_machine.Machine.Core.core -> dataset
+
+type flagstat = {
+  total : int;
+  mapped : int;
+  paired : int;
+  proper_pair : int;
+  duplicates : int;
+  secondary : int;
+  read1 : int;
+  read2 : int;
+}
+
+val flagstat : dataset -> flagstat
+
+val sort_permutation : dataset -> by:[ `Qname | `Coordinate ] -> int array
+(** Indices of records in sorted order (records themselves untouched;
+    callers persist the permutation or a reordered copy). *)
+
+val apply_permutation : Record.t array -> int array -> Record.t array
+
+type index_entry = { bin_rname : string; bin_id : int; first : int; count : int }
+
+val build_index : dataset -> bin_bp:int -> index_entry list
+(** BAI-style binning over a coordinate-sorted dataset: one entry per
+    (reference, [bin_bp]-sized genomic window) giving the first record
+    index and the number of records starting in the window. *)
+
+val is_coordinate_sorted : dataset -> bool
+
+(** {2 Pileup}
+
+    §5.4 lists "collecting statics and pileup data" among SAMTools'
+    operations: per-position coverage depth over a reference. *)
+
+type pileup = {
+  p_rname : string;
+  covered : int;  (** positions with depth >= 1 *)
+  max_depth : int;
+  mean_depth : float;  (** over covered positions *)
+}
+
+val pileup : dataset -> rname:string -> ref_length:int -> read_len:int -> pileup
+(** Depth profile of the mapped, non-secondary reads on one reference.
+    Each read contributes [read_len] positions from its start. *)

@@ -1,0 +1,263 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Memfs = Sj_memfs.Memfs
+module Block_lz = Sj_compress.Block_lz
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Prot = Sj_paging.Prot
+
+type op = Flagstat | Qname_sort | Coord_sort | Index
+
+let op_name = function
+  | Flagstat -> "flagstat"
+  | Qname_sort -> "qname sort"
+  | Coord_sort -> "coordinate sort"
+  | Index -> "index"
+
+let all_ops = [ Flagstat; Qname_sort; Coord_sort; Index ]
+
+type env = {
+  machine : Machine.t;
+  fs : Memfs.t;
+  core : Core.core;
+  refs : Record.reference list;
+}
+
+let make_env machine fs core = { machine; fs; core; refs = Record.default_references }
+
+(* Cost of a demand-paging fault: trap entry/exit, VM object lookup,
+   PTE install bookkeeping (the PTE write itself charges separately). *)
+let fault_trap = 1_100
+
+let last_flagstat_result : Ops.flagstat option ref = ref None
+let last_flagstat () = !last_flagstat_result
+
+(* Lay records out at consecutive addresses from [base]. *)
+let layout_addrs base records =
+  let addrs = Array.make (Array.length records) 0 in
+  let cursor = ref base in
+  Array.iteri
+    (fun i r ->
+      addrs.(i) <- !cursor;
+      cursor := !cursor + Record.approx_bytes r)
+    records;
+  (addrs, !cursor - base)
+
+(* Run one operation over an in-memory dataset, producing the records
+   of the "result" (sorted copy for sorts, input for scans). *)
+let run_op d op =
+  match op with
+  | Flagstat ->
+    last_flagstat_result := Some (Ops.flagstat d);
+    d.Ops.records
+  | Qname_sort -> Ops.apply_permutation d.records (Ops.sort_permutation d ~by:`Qname)
+  | Coord_sort -> Ops.apply_permutation d.records (Ops.sort_permutation d ~by:`Coordinate)
+  | Index ->
+    ignore (Ops.build_index d ~bin_bp:16384);
+    d.records
+
+(* ---------------- File designs ---------------- *)
+
+let write_input_file env ~format ~path records =
+  let fd = Memfs.create_file env.fs ~path in
+  let data =
+    match format with
+    | `Sam -> Sam.encode env.refs records
+    | `Bam -> Bam.encode env.refs records
+  in
+  Memfs.write fd ~charge_to:None data
+
+let decode_charged env ~format data =
+  let len = Bytes.length data in
+  match format with
+  | `Sam ->
+    Core.charge env.core (Sam.parse_cycles ~bytes:len);
+    (match Sam.decode data with Ok r -> r | Error e -> failwith ("SAM decode: " ^ e))
+  | `Bam ->
+    let raw_len = Bytes.length (Block_lz.decompress data) in
+    Core.charge env.core (Block_lz.decompress_cycles ~uncompressed:raw_len);
+    (match Bam.decode data with
+    | Ok r ->
+      Core.charge env.core (Bam.decode_cycles ~raw_bytes:raw_len);
+      r
+    | Error e -> failwith ("BAM decode: " ^ e))
+
+let encode_charged env ~format records =
+  match format with
+  | `Sam ->
+    let data = Sam.encode env.refs records in
+    Core.charge env.core (Sam.serialize_cycles ~bytes:(Bytes.length data));
+    data
+  | `Bam ->
+    let data = Bam.encode env.refs records in
+    let raw = Bytes.length (Block_lz.decompress data) in
+    Core.charge env.core (Bam.encode_cycles ~raw_bytes:raw);
+    Core.charge env.core (Block_lz.compress_cycles ~uncompressed:raw);
+    data
+
+let run_file env ~format op ~in_path ~out_path =
+  Machine.cool_caches env.machine;
+  let t0 = Core.cycles env.core in
+  let fd = Memfs.open_file env.fs ~path:in_path in
+  let data = Memfs.read_all fd ~charge_to:(Some env.core) in
+  let records = decode_charged env ~format data in
+  (* Parsed records occupy freshly allocated process memory; lay them
+     out in a scratch region so the operation's accesses are charged
+     like any other design's. *)
+  let base = 0x6000_0000 in
+  let addrs, span = layout_addrs base records in
+  let obj =
+    Sj_kernel.Vm_object.create env.machine
+      ~size:(Size.round_up span ~align:Sj_util.Addr.page_size)
+      ~charge_to:(Some env.core)
+  in
+  let vms = Sj_kernel.Vmspace.create env.machine ~charge_to:(Some env.core) in
+  Sj_kernel.Vmspace.map_object vms ~charge_to:(Some env.core) ~base ~prot:Prot.rw obj;
+  Core.set_page_table env.core (Some (Sj_kernel.Vmspace.page_table vms));
+  (* Building the structures writes every record once. *)
+  Core.charge env.core (span / 64 * (Machine.cost env.machine).l1_hit);
+  let d = Ops.in_memory records ~addrs ~core:env.core in
+  let result = run_op d op in
+  (match op with
+  | Flagstat -> ()
+  | Qname_sort | Coord_sort ->
+    let out = encode_charged env ~format result in
+    let ofd = Memfs.create_file env.fs ~path:out_path in
+    Memfs.write ofd ~charge_to:(Some env.core) out
+  | Index ->
+    let ofd = Memfs.create_file env.fs ~path:out_path in
+    Memfs.write ofd ~charge_to:(Some env.core) (Bytes.create 4096));
+  let elapsed = Core.cycles env.core - t0 in
+  Core.set_page_table env.core None;
+  Sj_kernel.Vmspace.destroy vms ~charge_to:None;
+  Sj_kernel.Vm_object.destroy env.machine obj;
+  elapsed
+
+let file_records env ~format ~path =
+  let fd = Memfs.open_file env.fs ~path in
+  let data = Memfs.read_all fd ~charge_to:None in
+  match format with
+  | `Sam -> ( match Sam.decode data with Ok r -> r | Error e -> failwith e)
+  | `Bam -> ( match Bam.decode data with Ok r -> r | Error e -> failwith e)
+
+(* ---------------- mmap design ---------------- *)
+
+type mmap_store = {
+  m_env : env;
+  m_path : string;
+  mutable m_records : Record.t array;
+  m_addrs : int array;
+  m_base : int;
+  m_pages : int;
+}
+
+let mmap_base = 0x7000_0000
+
+(* Serialize each record's bytes at its slot in a region image: the
+   in-memory designs genuinely hold the data in simulated memory. *)
+let region_image base records addrs span =
+  let img = Bytes.create (Size.round_up span ~align:Addr.page_size) in
+  Array.iteri
+    (fun i r ->
+      let buf = Buffer.create 160 in
+      Bam.encode_record buf r;
+      let b = Buffer.to_bytes buf in
+      let off = addrs.(i) - base in
+      Bytes.blit b 0 img off (min (Bytes.length b) (Record.approx_bytes r)))
+    records;
+  img
+
+let prepare_mmap env ~path records =
+  let addrs, span = layout_addrs mmap_base records in
+  let fd = Memfs.create_file env.fs ~path in
+  (* The region file holds the records' bytes (region-based layout). *)
+  Memfs.write fd ~charge_to:None (region_image mmap_base records addrs span);
+  {
+    m_env = env;
+    m_path = path;
+    m_records = records;
+    m_addrs = addrs;
+    m_base = mmap_base;
+    m_pages = Size.round_up span ~align:Addr.page_size / Addr.page_size;
+  }
+
+let run_mmap store op =
+  let env = store.m_env in
+  Machine.cool_caches env.machine;
+  let c = Machine.cost env.machine in
+  let t0 = Core.cycles env.core in
+  (* mmap the region file: the call itself is cheap; the cost arrives
+     as demand faults when the operation touches each page. Charge them
+     up front (equivalent total, simpler accounting). *)
+  Core.charge env.core c.syscall_generic;
+  Core.charge env.core (store.m_pages * (fault_trap + c.pte_write));
+  let obj = Memfs.vm_object env.fs ~path:store.m_path in
+  let proc_vms = ref None in
+  (* Map into a scratch vmspace so the core can translate the region. *)
+  let vms = Sj_kernel.Vmspace.create env.machine ~charge_to:None in
+  Sj_kernel.Vmspace.map_object vms ~charge_to:None ~base:store.m_base ~prot:Prot.rw obj;
+  Core.set_page_table env.core (Some (Sj_kernel.Vmspace.page_table vms));
+  proc_vms := Some vms;
+  let d = Ops.in_memory store.m_records ~addrs:store.m_addrs ~core:env.core in
+  let result = run_op d op in
+  (match op with Qname_sort | Coord_sort -> store.m_records <- result | Flagstat | Index -> ());
+  (* Timers stop before unmapping (as the paper does). *)
+  let elapsed = Core.cycles env.core - t0 in
+  (match !proc_vms with
+  | Some vms -> Sj_kernel.Vmspace.destroy vms ~charge_to:None
+  | None -> ());
+  Core.set_page_table env.core None;
+  elapsed
+
+let mmap_records store = store.m_records
+
+(* ---------------- SpaceJMP design ---------------- *)
+
+type sj_store = {
+  s_ctx : Api.ctx;
+  s_vh : Api.vh;
+  mutable s_records : Record.t array;
+  s_addrs : int array;
+}
+
+let prepare_spacejmp ctx ~name records =
+  let vas = Api.vas_create ctx ~name ~mode:0o666 in
+  let span_estimate =
+    Array.fold_left (fun acc r -> acc + Record.approx_bytes r) 0 records + Size.mib 1
+  in
+  let seg = Api.seg_alloc_anywhere ctx ~name:(name ^ ".data") ~size:span_estimate ~mode:0o666 in
+  Api.seg_ctl ctx (`Cache_translations seg);
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  let addrs, span = layout_addrs (Segment.base seg) records in
+  (* Build the pointer-rich structure inside the VAS (untimed prep):
+     every record's bytes really live in segment memory. *)
+  Api.vas_switch ctx vh;
+  Api.store_bytes ctx ~va:(Segment.base seg)
+    (region_image (Segment.base seg) records addrs span);
+  Api.switch_home ctx;
+  { s_ctx = ctx; s_vh = vh; s_records = records; s_addrs = addrs }
+
+let run_spacejmp store op =
+  let ctx = store.s_ctx in
+  let core = Api.core ctx in
+  Machine.cool_caches (Api.machine (Api.system ctx));
+  let t0 = Core.cycles core in
+  Api.vas_switch ctx store.s_vh;
+  let d = Ops.in_memory store.s_records ~addrs:store.s_addrs ~core in
+  let result = run_op d op in
+  (match op with Qname_sort | Coord_sort -> store.s_records <- result | Flagstat | Index -> ());
+  (* Results stay in the address space for the next process. *)
+  Api.switch_home ctx;
+  Core.cycles core - t0
+
+let spacejmp_records store = store.s_records
+
+let spacejmp_record_at store i =
+  let ctx = store.s_ctx in
+  Api.vas_switch ctx store.s_vh;
+  let r = store.s_records.(i) in
+  let data = Api.load_bytes ctx ~va:store.s_addrs.(i) ~len:(Record.approx_bytes r) in
+  Api.switch_home ctx;
+  fst (Bam.decode_record data ~pos:0)

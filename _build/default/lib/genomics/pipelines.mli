@@ -1,0 +1,70 @@
+(** The four storage designs §5.4 compares, each able to run every
+    operation:
+
+    - [`Sam] / [`Bam] files on the in-memory FS: every run re-parses the
+      serialized input into freshly allocated process memory, operates,
+      and re-serializes the result — the conversion tax Fig. 11 shows.
+    - mmap: records live region-style inside a file mapped into the
+      process; runs pay mapping (demand faults over the region) but no
+      conversion — Fig. 12's baseline.
+    - SpaceJMP: records live as a pointer-rich structure in a persistent
+      VAS; runs pay one [vas_switch] and operate directly.
+
+    All [run_*] functions return the cycles consumed on the acting core,
+    which is exactly what the Fig. 11/12 harness plots. *)
+
+type op = Flagstat | Qname_sort | Coord_sort | Index
+
+val op_name : op -> string
+val all_ops : op list
+
+type env = {
+  machine : Sj_machine.Machine.t;
+  fs : Sj_memfs.Memfs.t;
+  core : Sj_machine.Machine.Core.core;
+  refs : Record.reference list;
+}
+
+val make_env : Sj_machine.Machine.t -> Sj_memfs.Memfs.t -> Sj_machine.Machine.Core.core -> env
+
+(** {2 File designs} *)
+
+val write_input_file :
+  env -> format:[ `Sam | `Bam ] -> path:string -> Record.t array -> unit
+(** Untimed preparation. *)
+
+val run_file :
+  env -> format:[ `Sam | `Bam ] -> op -> in_path:string -> out_path:string -> int
+(** Read + deserialize + operate + serialize + write; returns cycles. *)
+
+(** {2 mmap design} *)
+
+type mmap_store
+
+val prepare_mmap : env -> path:string -> Record.t array -> mmap_store
+(** Build the region file: records laid out at fixed offsets. *)
+
+val run_mmap : mmap_store -> op -> int
+
+(** {2 SpaceJMP design} *)
+
+type sj_store
+
+val prepare_spacejmp : Sj_core.Api.ctx -> name:string -> Record.t array -> sj_store
+(** Create the VAS + segment and build the record structure inside. *)
+
+val run_spacejmp : sj_store -> op -> int
+
+(** {2 Result access (for cross-design equivalence tests)} *)
+
+val file_records : env -> format:[ `Sam | `Bam ] -> path:string -> Record.t array
+val mmap_records : mmap_store -> Record.t array
+val spacejmp_records : sj_store -> Record.t array
+
+val spacejmp_record_at : sj_store -> int -> Record.t
+(** Decode slot [i] of the original layout back out of segment memory
+    (integrity check: the in-memory design really stores the bytes).
+    Sorts record permutations; they do not rewrite the slots. *)
+
+val last_flagstat : unit -> Ops.flagstat option
+(** The flagstat result of the most recent Flagstat run (any design). *)

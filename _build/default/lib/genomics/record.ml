@@ -1,0 +1,142 @@
+open Sj_util
+
+type t = {
+  qname : string;
+  flag : int;
+  rname : string;
+  pos : int;
+  mapq : int;
+  cigar : string;
+  rnext : string;
+  pnext : int;
+  tlen : int;
+  seq : string;
+  qual : string;
+}
+
+let flag_paired = 0x1
+let flag_proper_pair = 0x2
+let flag_unmapped = 0x4
+let flag_mate_unmapped = 0x8
+let flag_reverse = 0x10
+let flag_read1 = 0x40
+let flag_read2 = 0x80
+let flag_secondary = 0x100
+let flag_duplicate = 0x400
+let is_mapped t = t.flag land flag_unmapped = 0
+
+type reference = { ref_name : string; length : int }
+
+let default_references =
+  [
+    { ref_name = "chr1"; length = 200_000 };
+    { ref_name = "chr2"; length = 200_000 };
+    { ref_name = "chr3"; length = 200_000 };
+  ]
+
+let bases = [| 'A'; 'C'; 'G'; 'T' |]
+
+(* Reads are substrings of a per-reference random genome (with rare
+   substitution errors), so overlapping reads share sequence — giving
+   BAM-style compression something to find, as real genomic data does. *)
+let genomes : (string, string) Hashtbl.t = Hashtbl.create 4
+
+let genome_of _rng (r : reference) =
+  match Hashtbl.find_opt genomes r.ref_name with
+  | Some g when String.length g = r.length -> g
+  | Some _ | None ->
+    (* Seed from the reference identity so the genome — and hence every
+       generated dataset — is deterministic regardless of call order. *)
+    let own = Rng.create ~seed:(Hashtbl.hash (r.ref_name, r.length)) in
+    let g = String.init r.length (fun _ -> Rng.choose own bases) in
+    Hashtbl.replace genomes r.ref_name g;
+    g
+
+let read_from_genome rng genome ~pos ~len =
+  String.init len (fun i ->
+      let base = genome.[(pos - 1 + i) mod String.length genome] in
+      if Rng.int rng 200 = 0 then Rng.choose rng bases else base)
+
+let random_seq rng len = String.init len (fun _ -> Rng.choose rng bases)
+
+(* Quality strings come in runs, as real base callers emit. *)
+let random_qual rng len =
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    let q = Char.chr (33 + 30 + Rng.int rng 10) in
+    let run = 4 + Rng.int rng 12 in
+    for _ = 1 to min run (len - Buffer.length buf) do
+      Buffer.add_char buf q
+    done
+  done;
+  Buffer.contents buf
+
+let random_cigar rng read_len =
+  (* Mostly perfect matches; occasionally a small indel or clip. *)
+  match Rng.int rng 10 with
+  | 0 ->
+    let clip = 1 + Rng.int rng 10 in
+    Printf.sprintf "%dS%dM" clip (read_len - clip)
+  | 1 ->
+    let del = 1 + Rng.int rng 3 in
+    let half = read_len / 2 in
+    Printf.sprintf "%dM%dD%dM" half del (read_len - half)
+  | _ -> Printf.sprintf "%dM" read_len
+
+let generate ~seed ~references ~reads ~read_len =
+  let rng = Rng.create ~seed in
+  let refs = Array.of_list references in
+  Array.init reads (fun i ->
+      let pair_id = i / 2 in
+      let qname = Printf.sprintf "read_%07d" pair_id in
+      let first = i mod 2 = 0 in
+      let unmapped = Rng.int rng 100 < 3 in
+      let secondary = (not unmapped) && Rng.int rng 100 < 2 in
+      let duplicate = (not unmapped) && Rng.int rng 100 < 4 in
+      let reverse = Rng.bool rng in
+      let r = Rng.choose rng refs in
+      let pos = if unmapped then 0 else 1 + Rng.int rng (max 1 (r.length - read_len)) in
+      let flag =
+        flag_paired
+        lor (if unmapped then flag_unmapped else 0)
+        lor (if (not unmapped) && Rng.int rng 100 < 90 then flag_proper_pair else 0)
+        lor (if reverse then flag_reverse else 0)
+        lor (if first then flag_read1 else flag_read2)
+        lor (if secondary then flag_secondary else 0)
+        lor if duplicate then flag_duplicate else 0
+      in
+      {
+        qname;
+        flag;
+        rname = (if unmapped then "*" else r.ref_name);
+        pos;
+        mapq = (if unmapped then 0 else 20 + Rng.int rng 40);
+        cigar = (if unmapped then "*" else random_cigar rng read_len);
+        rnext = (if unmapped then "*" else "=");
+        pnext = (if unmapped then 0 else max 1 (pos + 150 + Rng.int rng 100));
+        tlen = (if unmapped then 0 else 250 + Rng.int rng 100);
+        seq =
+          (if unmapped then random_seq rng read_len
+           else read_from_genome rng (genome_of rng r) ~pos ~len:read_len);
+        qual = random_qual rng read_len;
+      })
+
+let compare_qname a b =
+  match compare a.qname b.qname with
+  | 0 -> compare (a.flag land flag_read1) (b.flag land flag_read1)
+  | c -> c
+
+let compare_coordinate a b =
+  match (is_mapped a, is_mapped b) with
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> compare a.qname b.qname
+  | true, true -> (
+    match compare a.rname b.rname with 0 -> compare a.pos b.pos | c -> c)
+
+let approx_bytes t =
+  (* Struct header + strings, rounded to 16-byte granules. *)
+  Size.round_up
+    (64 + String.length t.qname + String.length t.rname + String.length t.cigar
+   + String.length t.seq + String.length t.qual + 16)
+    ~align:16

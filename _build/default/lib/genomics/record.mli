@@ -1,0 +1,57 @@
+(** DNA sequence alignment records (the SAM data model, Li et al. 2009).
+
+    Real SAMTools inputs are unavailable offline, so {!generate}
+    synthesizes a dataset with realistic field distributions: paired-end
+    reads sampled from a random reference genome, mostly-matching CIGAR
+    strings, Phred-like quality strings. The record structure and the
+    operations over it (flagstat, sorts, indexing) are faithful; only
+    the biology is synthetic. *)
+
+type t = {
+  qname : string;  (** read (query template) name *)
+  flag : int;  (** bitwise alignment flags *)
+  rname : string;  (** reference sequence name ("*" if unmapped) *)
+  pos : int;  (** 1-based leftmost position (0 if unmapped) *)
+  mapq : int;
+  cigar : string;
+  rnext : string;
+  pnext : int;
+  tlen : int;
+  seq : string;
+  qual : string;
+}
+
+(** Flag bits (SAM spec subset). *)
+
+val flag_paired : int
+val flag_proper_pair : int
+val flag_unmapped : int
+val flag_mate_unmapped : int
+val flag_reverse : int
+val flag_read1 : int
+val flag_read2 : int
+val flag_secondary : int
+val flag_duplicate : int
+
+val is_mapped : t -> bool
+
+type reference = { ref_name : string; length : int }
+
+val generate :
+  seed:int -> references:reference list -> reads:int -> read_len:int -> t array
+(** Paired-end synthetic alignments over the given references; a small
+    fraction are unmapped, secondary, or duplicates. Deterministic in
+    [seed]. *)
+
+val default_references : reference list
+(** Three chromosomes, 200 kbp each. *)
+
+val compare_qname : t -> t -> int
+(** Order for [samtools sort -n]. *)
+
+val compare_coordinate : t -> t -> int
+(** Order for coordinate sort: (rname, pos); unmapped reads last. *)
+
+val approx_bytes : t -> int
+(** In-memory footprint estimate, used to lay records out in simulated
+    memory. *)

@@ -1,0 +1,52 @@
+let to_line (r : Record.t) =
+  Printf.sprintf "%s\t%d\t%s\t%d\t%d\t%s\t%s\t%d\t%d\t%s\t%s" r.qname r.flag r.rname r.pos
+    r.mapq r.cigar r.rnext r.pnext r.tlen r.seq r.qual
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ qname; flag; rname; pos; mapq; cigar; rnext; pnext; tlen; seq; qual ] -> (
+    match
+      ( int_of_string_opt flag,
+        int_of_string_opt pos,
+        int_of_string_opt mapq,
+        int_of_string_opt pnext,
+        int_of_string_opt tlen )
+    with
+    | Some flag, Some pos, Some mapq, Some pnext, Some tlen ->
+      Ok { Record.qname; flag; rname; pos; mapq; cigar; rnext; pnext; tlen; seq; qual }
+    | _ -> Error ("bad numeric field in: " ^ line))
+  | _ -> Error ("wrong field count in: " ^ line)
+
+let header refs =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "@HD\tVN:1.6\tSO:unknown\n";
+  List.iter
+    (fun (r : Record.reference) ->
+      Buffer.add_string buf (Printf.sprintf "@SQ\tSN:%s\tLN:%d\n" r.ref_name r.length))
+    refs;
+  Buffer.contents buf
+
+let encode refs records =
+  let buf = Buffer.create (Array.length records * 256) in
+  Buffer.add_string buf (header refs);
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (to_line r);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.to_bytes buf
+
+let decode b =
+  let lines = String.split_on_char '\n' (Bytes.to_string b) in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | "" :: rest -> go acc rest
+    | line :: rest ->
+      if String.length line > 0 && line.[0] = '@' then go acc rest
+      else (
+        match of_line line with Ok r -> go (r :: acc) rest | Error e -> Error e)
+  in
+  go [] lines
+
+let parse_cycles ~bytes = bytes * 11
+let serialize_cycles ~bytes = bytes * 6

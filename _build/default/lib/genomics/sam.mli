@@ -1,0 +1,18 @@
+(** SAM text format: tab-separated alignment lines.
+
+    Cost model: text parsing and formatting are the serialization taxes
+    §5.4 measures, charged per byte at rates representative of
+    SAMTools' line tokenizer. *)
+
+val to_line : Record.t -> string
+val of_line : string -> (Record.t, string) result
+val header : Record.reference list -> string
+val encode : Record.reference list -> Record.t array -> bytes
+val decode : bytes -> (Record.t array, string) result
+(** Ignores header lines. *)
+
+val parse_cycles : bytes:int -> int
+(** ~11 cycles/byte: field splitting, integer conversion, validation. *)
+
+val serialize_cycles : bytes:int -> int
+(** ~6 cycles/byte. *)

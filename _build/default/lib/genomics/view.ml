@@ -1,0 +1,70 @@
+module Core = Sj_machine.Machine.Core
+module Block_lz = Sj_compress.Block_lz
+
+let bin_bp = 16384
+
+type t = {
+  data : bytes;
+  offsets : int array;
+  index : Ops.index_entry list;
+}
+
+let of_parts ~data ~offsets ~index = { data; offsets; index }
+
+let build ?charge_to refs records =
+  let ds = Ops.host_only records in
+  let sorted =
+    if Ops.is_coordinate_sorted ds then records
+    else Ops.apply_permutation records (Ops.sort_permutation ds ~by:`Coordinate)
+  in
+  let data, offsets = Bam.encode_indexed refs sorted in
+  (match charge_to with
+  | Some core ->
+    let raw = offsets.(Array.length offsets - 1) in
+    Core.charge core (Bam.encode_cycles ~raw_bytes:raw);
+    Core.charge core (Block_lz.compress_cycles ~uncompressed:raw)
+  | None -> ());
+  let index = Ops.build_index (Ops.host_only sorted) ~bin_bp in
+  { data; offsets; index }
+
+(* Candidate record range for [lo, hi) on [rname], from the bins that
+   overlap the window. Records are coordinate-sorted, so the candidates
+   form one contiguous run. *)
+let candidate_range t ~rname ~lo ~hi =
+  let bin_lo = lo / bin_bp and bin_hi = (max lo (hi - 1)) / bin_bp in
+  let first = ref max_int and stop = ref 0 in
+  List.iter
+    (fun (e : Ops.index_entry) ->
+      if e.bin_rname = rname && e.bin_id >= bin_lo && e.bin_id <= bin_hi then begin
+        if e.first < !first then first := e.first;
+        if e.first + e.count > !stop then stop := e.first + e.count
+      end)
+    t.index;
+  if !first = max_int then None else Some (!first, !stop - !first)
+
+let blocks_for t ~rname ~lo ~hi =
+  let total = Block_lz.compressed_blocks t.data in
+  match candidate_range t ~rname ~lo ~hi with
+  | None -> (0, total)
+  | Some (first, count) -> (Bam.blocks_touched ~offsets:t.offsets ~first ~count, total)
+
+let query ?charge_to t ~rname ~lo ~hi =
+  if hi <= lo then []
+  else
+    match candidate_range t ~rname ~lo ~hi with
+    | None -> []
+    | Some (first, count) ->
+      (match charge_to with
+      | Some core ->
+        let blocks = Bam.blocks_touched ~offsets:t.offsets ~first ~count in
+        Core.charge core
+          (Block_lz.decompress_cycles ~uncompressed:(blocks * Block_lz.block_size));
+        (* Decoding the candidate records. *)
+        Core.charge core
+          (Bam.decode_cycles ~raw_bytes:(t.offsets.(first + count) - t.offsets.(first)))
+      | None -> ());
+      let candidates = Bam.records_between t.data ~offsets:t.offsets ~first ~count in
+      Array.to_list candidates
+      |> List.filter (fun (r : Record.t) ->
+             Record.is_mapped r && r.Record.rname = rname && r.Record.pos >= lo
+             && r.Record.pos < hi)

@@ -1,0 +1,33 @@
+(** Region queries over an indexed, compressed alignment file —
+    [samtools view chr:lo-hi], the workhorse SAMTools operation the
+    BAM/BAI combination exists for.
+
+    A {!t} bundles a coordinate-sorted {!Bam.encode_indexed} stream,
+    its per-record virtual offsets, and a BAI-style binning index.
+    {!query} touches only the blocks holding candidate records: a small
+    genomic window costs one or two block decompressions regardless of
+    file size. *)
+
+type t
+
+val build :
+  ?charge_to:Sj_machine.Machine.Core.core ->
+  Record.reference list -> Record.t array -> t
+(** Sort coordinate-wise (if needed), encode, and index. Charged like
+    the index pipeline when a core is given. *)
+
+val of_parts : data:bytes -> offsets:int array -> index:Ops.index_entry list -> t
+(** Assemble from precomputed pieces. *)
+
+val query :
+  ?charge_to:Sj_machine.Machine.Core.core ->
+  t -> rname:string -> lo:int -> hi:int -> Record.t list
+(** All mapped records with [lo <= pos < hi] on [rname], in coordinate
+    order. Decompression costs are charged for touched blocks only. *)
+
+val blocks_for : t -> rname:string -> lo:int -> hi:int -> int * int
+(** [(blocks touched, total blocks)] for a query — the random-access
+    saving made measurable. *)
+
+val bin_bp : int
+(** Genomic window width per index bin (16384, BAI's smallest). *)

@@ -1,0 +1,1 @@
+lib/gups/gups.ml: Array Format Hashtbl Int64 Printf Rng Size Sj_core Sj_kernel Sj_machine Sj_paging Sj_tlb Sj_util

@@ -1,0 +1,1 @@
+lib/gups/gups.mli: Format Sj_machine

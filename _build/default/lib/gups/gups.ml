@@ -1,0 +1,261 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Prot = Sj_paging.Prot
+module Process = Sj_kernel.Process
+module Vmspace = Sj_kernel.Vmspace
+module Vm_object = Sj_kernel.Vm_object
+module Layout = Sj_kernel.Layout
+module Api = Sj_core.Api
+module Registry = Sj_core.Registry
+module Segment = Sj_core.Segment
+
+type design = Spacejmp | Map | Mp
+
+type config = {
+  platform : Platform.t;
+  windows : int;
+  window_size : int;
+  updates_per_set : int;
+  window_visits : int;
+  tags : bool;
+  mlp : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    platform = Platform.m3;
+    windows = 8;
+    window_size = Size.mib 64;
+    updates_per_set = 64;
+    window_visits = 200;
+    tags = false;
+    mlp = 8;
+    seed = 7;
+  }
+
+type result = {
+  design : design;
+  updates : int;
+  cycles : int;
+  mups : float;
+  switches_per_sec : float;
+  tlb_misses_per_sec : float;
+  seconds : float;
+}
+
+let design_name = function Spacejmp -> "SpaceJMP" | Map -> "MAP" | Mp -> "MP"
+let pp_design fmt d = Format.pp_print_string fmt (design_name d)
+
+(* Apply one update set to a window through a core, modelling
+   memory-level parallelism: real GUPS kernels keep ~mlp independent
+   update streams in flight, so the serially accumulated access cycles
+   are divided by mlp (switching and RPC costs are *not* — they are
+   inherently serial). *)
+let apply_updates core rng ~window_base ~window_size ~count ~mlp =
+  let before = Core.cycles core in
+  for _ = 1 to count do
+    let idx = Rng.int rng (window_size / 8) in
+    let va = window_base + (idx * 8) in
+    let v = Core.load64 core ~va in
+    Core.store64 core ~va (Int64.logxor v (Rng.bits64 rng))
+  done;
+  let delta = Core.cycles core - before in
+  (* Refund the overlap the serial model cannot express. *)
+  Core.charge core (-(delta - ((delta + mlp - 1) / mlp)))
+
+let finish ~design ~cfg ~machine ~cycles ~switches ~tlb_misses =
+  let cost = Machine.cost machine in
+  let seconds = Sj_machine.Cost_model.cycles_to_seconds cost cycles in
+  let updates = cfg.window_visits * cfg.updates_per_set in
+  {
+    design;
+    updates;
+    cycles;
+    mups = float_of_int updates /. seconds /. 1e6;
+    switches_per_sec = (if seconds > 0.0 then float_of_int switches /. seconds else 0.0);
+    tlb_misses_per_sec = (if seconds > 0.0 then float_of_int tlb_misses /. seconds else 0.0);
+    seconds;
+  }
+
+(* ---------- SpaceJMP design ---------- *)
+
+let run_spacejmp cfg =
+  Layout.reset_global_allocator ();
+  let machine = Machine.create cfg.platform in
+  let sys = Api.boot ~backend:Api.Dragonfly machine in
+  let proc = Process.create ~name:"gups" machine in
+  let core = Machine.core machine 0 in
+  let ctx = Api.context sys proc core in
+  let rng = Rng.create ~seed:cfg.seed in
+  (* One VAS per window; window segments get cached translations so
+     attach cost stays off the benchmark loop (§4.1). *)
+  let handles =
+    Array.init cfg.windows (fun w ->
+        let vas = Api.vas_create ctx ~name:(Printf.sprintf "gups.v%d" w) ~mode:0o600 in
+        if cfg.tags then Api.vas_ctl ctx (`Request_tag vas);
+        let seg =
+          Api.seg_alloc_anywhere ctx ~name:(Printf.sprintf "gups.win%d" w)
+            ~size:cfg.window_size ~mode:0o600
+        in
+        Api.seg_ctl ctx (`Cache_translations seg);
+        Api.seg_attach ctx vas seg ~prot:Prot.rw;
+        (Api.vas_attach ctx vas, Segment.base seg))
+  in
+  let reg = Api.registry sys in
+  Registry.reset_stats reg;
+  Sj_tlb.Tlb.reset_stats (Core.tlb core);
+  (* Like the paper's kernel, only switch when the target window
+     differs from the current one. *)
+  let current = ref (-1) in
+  let t0 = Core.cycles core in
+  for _ = 1 to cfg.window_visits do
+    let w = Rng.int rng cfg.windows in
+    let vh, base = handles.(w) in
+    if w <> !current then begin
+      Api.vas_switch ctx vh;
+      current := w
+    end;
+    apply_updates core rng ~window_base:base ~window_size:cfg.window_size
+      ~count:cfg.updates_per_set ~mlp:cfg.mlp
+  done;
+  let cycles = Core.cycles core - t0 in
+  finish ~design:Spacejmp ~cfg ~machine ~cycles
+    ~switches:(Registry.switch_count reg)
+    ~tlb_misses:(Sj_tlb.Tlb.stats (Core.tlb core)).misses
+
+(* ---------- MAP design (mmap/munmap on the critical path) ---------- *)
+
+let run_map cfg =
+  Layout.reset_global_allocator ();
+  let machine = Machine.create cfg.platform in
+  let proc = Process.create ~name:"gups-map" machine in
+  let core = Machine.core machine 0 in
+  let vms = Process.primary_vmspace proc in
+  Core.set_page_table core (Some (Vmspace.page_table vms));
+  let rng = Rng.create ~seed:cfg.seed in
+  (* The table's windows live in the kernel's page cache (VM objects);
+     only one can be mapped into the window region at a time. *)
+  let objects =
+    Array.init cfg.windows (fun w ->
+        Vm_object.create
+          ~name:(Printf.sprintf "gups.obj%d" w)
+          machine ~size:cfg.window_size ~charge_to:None)
+  in
+  let window_base = Layout.next_global_base ~size:cfg.window_size in
+  (* Window 0 starts mapped (steady state before the timer). *)
+  Vmspace.map_object vms ~charge_to:None ~base:window_base ~prot:Prot.rw objects.(0);
+  let current = ref 0 in
+  Sj_tlb.Tlb.reset_stats (Core.tlb core);
+  let t0 = Core.cycles core in
+  for _ = 1 to cfg.window_visits do
+    let w = Rng.int rng cfg.windows in
+    if w <> !current then begin
+      let c = Machine.cost machine in
+      if !current >= 0 then begin
+        Vmspace.unmap_region vms ~charge_to:(Some core) ~base:window_base;
+        (* munmap requires a TLB shootdown of the range. *)
+        Core.charge core c.syscall_generic;
+        Sj_tlb.Tlb.flush_nonglobal (Core.tlb core)
+      end;
+      Core.charge core c.syscall_generic;
+      Vmspace.map_object vms ~charge_to:(Some core) ~base:window_base ~prot:Prot.rw
+        objects.(w);
+      current := w
+    end;
+    apply_updates core rng ~window_base ~window_size:cfg.window_size
+      ~count:cfg.updates_per_set ~mlp:cfg.mlp
+  done;
+  let cycles = Core.cycles core - t0 in
+  finish ~design:Map ~cfg ~machine ~cycles ~switches:0
+    ~tlb_misses:(Sj_tlb.Tlb.stats (Core.tlb core)).misses
+
+(* ---------- MP design (multi-process message passing) ---------- *)
+
+let run_mp cfg =
+  Layout.reset_global_allocator ();
+  let machine = Machine.create cfg.platform in
+  let cores_total = Platform.total_cores cfg.platform in
+  let oversubscribed = cfg.windows > cores_total in
+  let master_core = Machine.core machine 0 in
+  (* The master holds window 0 in its own address space; remote slaves
+     hold the rest. *)
+  let master_proc = Process.create ~name:"master" machine in
+  let master_base = 0x2000_0000 in
+  let master_obj =
+    Vm_object.create ~name:"win0" machine ~size:cfg.window_size ~charge_to:None
+  in
+  Vmspace.map_object (Process.primary_vmspace master_proc) ~charge_to:None ~base:master_base
+    ~prot:Prot.rw master_obj;
+  Core.set_page_table master_core
+    (Some (Vmspace.page_table (Process.primary_vmspace master_proc)));
+  (* Each slave owns one window in its private address space and
+     busy-waits on its channel. Slaves share physical cores round-robin
+     when windows exceed cores. *)
+  let slaves =
+    Array.init (max 0 (cfg.windows - 1)) (fun w ->
+        let w = w + 1 in
+        let proc = Process.create ~name:(Printf.sprintf "slave%d" w) machine in
+        let obj =
+          Vm_object.create ~name:(Printf.sprintf "win%d" w) machine ~size:cfg.window_size
+            ~charge_to:None
+        in
+        let base = 0x2000_0000 in
+        Vmspace.map_object (Process.primary_vmspace proc) ~charge_to:None ~base ~prot:Prot.rw
+          obj;
+        let core = Machine.core machine (1 + (w mod (cores_total - 1))) in
+        (proc, core, base))
+  in
+  let rng = Rng.create ~seed:cfg.seed in
+  let c = Machine.cost machine in
+  let line = cfg.platform.line in
+  (* Which slave's address space is installed on each core. *)
+  let resident : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Sj_tlb.Tlb.reset_stats (Core.tlb master_core);
+  let sw_overhead = 450 and context_switch = 2600 in
+  let t0 = Core.cycles master_core in
+  for _ = 1 to cfg.window_visits do
+    let w = Rng.int rng cfg.windows in
+    if w = 0 then
+      (* Local window: no RPC. *)
+      apply_updates master_core rng ~window_base:master_base ~window_size:cfg.window_size
+        ~count:cfg.updates_per_set ~mlp:cfg.mlp
+    else begin
+    let proc, slave_core, base = slaves.(w - 1) in
+    (* Request: updates_per_set (index, value) pairs. *)
+    let req_bytes = cfg.updates_per_set * 16 in
+    let req_lines = 1 + ((req_bytes + line - 1) / line) in
+    let xfer =
+      if Core.socket slave_core = Core.socket master_core then c.cacheline_intra
+      else c.cacheline_cross
+    in
+    (* Master marshals and sends. *)
+    Core.charge master_core (sw_overhead + (req_lines * c.l1_hit));
+    (* Slave receives (pulls lines), applies the batch, replies; the
+       master busy-waits, so all of it lands on the master's clock. *)
+    let slave_before = Core.cycles slave_core in
+    (* A descheduled slave must be re-installed (and on oversubscribed
+       cores this happens on every batch). *)
+    (match Hashtbl.find_opt resident (Core.id slave_core) with
+    | Some r when r = w -> ()
+    | Some _ | None ->
+      Core.set_page_table slave_core
+        (Some (Vmspace.page_table (Process.primary_vmspace proc)));
+      Hashtbl.replace resident (Core.id slave_core) w);
+    apply_updates slave_core rng ~window_base:base ~window_size:cfg.window_size
+      ~count:cfg.updates_per_set ~mlp:cfg.mlp;
+    let slave_apply = Core.cycles slave_core - slave_before in
+    let sched = if oversubscribed then 2 * context_switch else 0 in
+    Core.charge master_core
+      (sw_overhead + (req_lines * xfer) + slave_apply + sched (* slave side *)
+      + sw_overhead + xfer (* reply line back *))
+    end
+  done;
+  let cycles = Core.cycles master_core - t0 in
+  finish ~design:Mp ~cfg ~machine ~cycles ~switches:0
+    ~tlb_misses:(Sj_tlb.Tlb.stats (Core.tlb master_core)).misses
+
+let run cfg ~design =
+  match design with Spacejmp -> run_spacejmp cfg | Map -> run_map cfg | Mp -> run_mp cfg

@@ -1,0 +1,56 @@
+(** GUPS (giga-updates-per-second) — the HPCC RandomAccess derivative
+    the paper uses to compare designs for addressing large physical
+    memories (§5.2, Figures 8 and 9).
+
+    One large logical table of 64-bit integers is partitioned into
+    *windows*. The benchmark loop picks a random window, applies a set
+    of random XOR updates inside it, then moves to another window.
+    Three designs provide the windows:
+
+    - [Spacejmp]: one VAS per window; changing windows is a
+      [vas_switch].
+    - [Map]: a single address space; changing windows means
+      [munmap]+[mmap] — page-table modification on the critical path.
+    - [Mp]: one slave process per window owning that window's memory;
+      the master RPCs update batches to slaves (OpenMPI-style) and
+      blocks for completion. Slaves busy-wait, so oversubscribing
+      cores (more processes than cores) adds scheduling penalties.
+
+    Scale note: the paper uses 1 GiB windows on 512 GiB machines; the
+    simulator scales windows to a configurable size (default 64 MiB) so
+    host memory stays modest. All three designs scale identically, so
+    who-wins and where the cliffs are survive the scaling; see
+    EXPERIMENTS.md. A memory-level-parallelism factor models the
+    multiple outstanding misses real GUPS kernels sustain (the
+    simulator's accesses are otherwise serial). *)
+
+type design = Spacejmp | Map | Mp
+
+type config = {
+  platform : Sj_machine.Platform.t;
+  windows : int;
+  window_size : int;  (** bytes per window *)
+  updates_per_set : int;  (** paper plots 16 and 64 *)
+  window_visits : int;  (** benchmark length: how many windows are visited *)
+  tags : bool;  (** assign TLB tags to the window VASes *)
+  mlp : int;  (** memory-level-parallelism divisor for update streams *)
+  seed : int;
+}
+
+val default_config : config
+(** M3, 8 windows of 64 MiB, update set 64, 200 visits, tags off,
+    mlp 8, seed 7. *)
+
+type result = {
+  design : design;
+  updates : int;
+  cycles : int;
+  mups : float;  (** million updates per second (per process) *)
+  switches_per_sec : float;  (** VAS switch rate (Fig. 9, SpaceJMP only) *)
+  tlb_misses_per_sec : float;  (** Fig. 9 *)
+  seconds : float;
+}
+
+val run : config -> design:design -> result
+val pp_design : Format.formatter -> design -> unit
+val design_name : design -> string

@@ -1,0 +1,1 @@
+lib/ipc/dsock.ml: Bytes Queue Sj_machine

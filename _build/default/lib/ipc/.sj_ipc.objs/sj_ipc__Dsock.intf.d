@@ -1,0 +1,1 @@
+lib/ipc/dsock.mli: Sj_machine

@@ -1,0 +1,1 @@
+lib/ipc/msg_channel.ml: Bytes Sj_machine Urpc

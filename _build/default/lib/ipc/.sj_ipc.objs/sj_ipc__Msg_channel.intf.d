@@ -1,0 +1,1 @@
+lib/ipc/msg_channel.mli: Sj_machine

@@ -1,0 +1,1 @@
+lib/ipc/urpc.ml: Bytes Queue Sj_machine

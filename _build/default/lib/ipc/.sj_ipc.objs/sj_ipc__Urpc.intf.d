@@ -1,0 +1,1 @@
+lib/ipc/urpc.mli: Sj_machine

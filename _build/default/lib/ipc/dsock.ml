@@ -1,0 +1,32 @@
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+
+type t = { machine : Machine.t; to_server : bytes Queue.t; to_client : bytes Queue.t }
+
+let create machine () = { machine; to_server = Queue.create (); to_client = Queue.create () }
+
+(* One hop costs a syscall on each side plus a copy user->kernel and
+   kernel->user; copies are line-granular. *)
+let copy_cost machine ~len =
+  let c = Machine.cost machine in
+  let line = (Machine.platform machine).line in
+  ((len + line - 1) / line) * (c.l1_hit * 2)
+
+let request_cycles machine ~len =
+  let c = Machine.cost machine in
+  (2 * c.syscall_generic) + (2 * copy_cost machine ~len) + c.cacheline_intra
+
+let queue_of t = function `To_server -> t.to_server | `To_client -> t.to_client
+
+let send t ~from ~dir payload =
+  let c = Machine.cost t.machine in
+  Core.charge from (c.syscall_generic + copy_cost t.machine ~len:(Bytes.length payload));
+  Queue.push (Bytes.copy payload) (queue_of t dir)
+
+let recv t ~at ~dir =
+  match Queue.take_opt (queue_of t dir) with
+  | None -> None
+  | Some payload ->
+    let c = Machine.cost t.machine in
+    Core.charge at (c.syscall_generic + copy_cost t.machine ~len:(Bytes.length payload));
+    Some payload

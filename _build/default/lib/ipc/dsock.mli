@@ -1,0 +1,20 @@
+(** UNIX domain sockets (kernel-mediated byte streams), the transport
+    classic Redis clients use (§5.3).
+
+    Every send and receive pays a syscall plus a copy through kernel
+    buffers; message boundaries are preserved (SOCK_SEQPACKET-style)
+    since the Redis protocol exchange is request/response. *)
+
+type t
+
+val create : Sj_machine.Machine.t -> unit -> t
+(** A connected socket pair. *)
+
+val send : t -> from:Sj_machine.Machine.Core.core -> dir:[ `To_server | `To_client ] -> bytes -> unit
+val recv : t -> at:Sj_machine.Machine.Core.core -> dir:[ `To_server | `To_client ] -> bytes option
+(** [None] when no message is pending. *)
+
+val request_cycles : Sj_machine.Machine.t -> len:int -> int
+(** Closed-form cost of one message hop (syscall + 2 copies) — used by
+    the discrete-event Redis harness to price client/server work without
+    materializing cores. *)

@@ -1,0 +1,37 @@
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+
+type t = {
+  urpc : Urpc.t;
+  master : Core.core;
+  slave : Core.core;
+  oversubscribed : bool;
+  machine : Sj_machine.Machine.t;
+}
+
+(* Software costs measured for shared-memory MPI stacks: envelope
+   matching + request bookkeeping per message. *)
+let sw_overhead = 450
+let context_switch = 2600
+
+let create machine ~master ~slave ?(oversubscribed = false) () =
+  { urpc = Urpc.create machine ~a:master ~b:slave (); master; slave; oversubscribed; machine }
+
+let send t ~from payload =
+  Core.charge from sw_overhead;
+  Urpc.send t.urpc ~from payload
+
+let recv t ~at =
+  Core.charge at sw_overhead;
+  if t.oversubscribed then Core.charge at context_switch;
+  Urpc.recv t.urpc ~at
+
+let rpc t ~request ~reply_len =
+  send t ~from:t.master request;
+  let _ = recv t ~at:t.slave in
+  send t ~from:t.slave (Bytes.create reply_len);
+  (* The master busy-waits while the slave processes; charge it the
+     cycles the slave spent beyond the master's own clock. *)
+  let lag = Core.cycles t.slave - Core.cycles t.master in
+  if lag > 0 then Core.charge t.master lag;
+  recv t ~at:t.master

@@ -1,0 +1,30 @@
+(** OpenMPI-style message passing used by the GUPS multi-process
+    baseline (§5.2 "MP").
+
+    Compared to raw URPC this adds the software overheads of a
+    messaging stack — marshalling, envelope matching, progress-engine
+    polling — and models the busy-wait behavior the paper observes:
+    slave processes spin on their channels, so when processes outnumber
+    cores the spinning steals cycles and throughput collapses (the >36
+    cores drop on M3 in Fig. 8). *)
+
+type t
+
+val create :
+  Sj_machine.Machine.t ->
+  master:Sj_machine.Machine.Core.core ->
+  slave:Sj_machine.Machine.Core.core ->
+  ?oversubscribed:bool ->
+  unit ->
+  t
+(** [oversubscribed] adds a scheduler context-switch penalty to every
+    receive, modelling more runnable busy-waiting processes than cores. *)
+
+val send : t -> from:Sj_machine.Machine.Core.core -> bytes -> unit
+val recv : t -> at:Sj_machine.Machine.Core.core -> bytes
+
+val rpc :
+  t -> request:bytes -> reply_len:int -> bytes
+(** Master sends [request], blocks for the slave's reply: both sides'
+    costs are charged in program order (master also pays the blocked
+    wait as cycles, since it busy-waits on the completion). *)

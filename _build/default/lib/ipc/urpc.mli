@@ -1,0 +1,44 @@
+(** FastForward-style user-level RPC over shared memory (§5.1, Fig. 7).
+
+    Client and server busy-wait poll circular buffers of cache-line
+    sized slots. The dominant cost is cache-line ping-pong: every line
+    the producer writes must migrate to the consumer's cache, at
+    intra-socket or cross-socket latency depending on core placement —
+    the "URPC L" vs "URPC X" distinction in Figure 7.
+
+    The implementation is a real ring (messages are queued bytes, FIFO,
+    bounded); latencies are charged to the participating cores. *)
+
+type t
+
+val create :
+  Sj_machine.Machine.t ->
+  a:Sj_machine.Machine.Core.core ->
+  b:Sj_machine.Machine.Core.core ->
+  ?slots:int ->
+  unit ->
+  t
+(** A bidirectional channel between two cores ([?slots] cache-line
+    messages per direction, default 64). *)
+
+val cross_socket : t -> bool
+
+val send : t -> from:Sj_machine.Machine.Core.core -> bytes -> unit
+(** Enqueue toward the peer, charging the sender's write-side costs.
+    Raises [Failure] when the ring is full (callers size slots to the
+    experiment). *)
+
+val recv : t -> at:Sj_machine.Machine.Core.core -> bytes
+(** Dequeue the next message, charging the receiver's line-transfer
+    costs (+ one poll iteration). Raises [Failure] when empty — these
+    benchmarks are request/response, never speculative. *)
+
+val roundtrip :
+  t ->
+  client:Sj_machine.Machine.Core.core ->
+  server:Sj_machine.Machine.Core.core ->
+  request:bytes ->
+  reply_len:int ->
+  bytes
+(** One RPC exchange: request over, reply back; charges both sides and
+    returns the (zero-filled) reply payload. *)

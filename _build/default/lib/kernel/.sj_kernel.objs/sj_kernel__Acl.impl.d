@@ -1,0 +1,1 @@
+lib/kernel/acl.ml: Format List Prot Sj_paging

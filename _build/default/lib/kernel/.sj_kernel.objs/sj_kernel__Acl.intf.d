@@ -1,0 +1,1 @@
+lib/kernel/acl.mli: Format Sj_paging

@@ -1,0 +1,1 @@
+lib/kernel/cap.ml: Hashtbl List Prot Sj_paging

@@ -1,0 +1,1 @@
+lib/kernel/cap.mli: Sj_paging

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Acl Addr Cap Layout List Printf Size Sj_machine Sj_paging Sj_util Vm_object Vmspace

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Acl Cap Sj_machine Vm_object Vmspace

@@ -1,0 +1,1 @@
+lib/kernel/vm_object.ml: Addr Array Sj_machine Sj_mem Sj_util

@@ -1,0 +1,1 @@
+lib/kernel/vm_object.mli: Sj_machine Sj_mem

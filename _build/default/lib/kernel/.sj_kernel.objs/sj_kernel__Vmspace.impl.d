@@ -1,0 +1,1 @@
+lib/kernel/vmspace.ml: Addr List Printf Size Sj_machine Sj_mem Sj_paging Sj_util Vm_object

@@ -1,0 +1,1 @@
+lib/kernel/vmspace.mli: Sj_machine Sj_mem Sj_paging Vm_object

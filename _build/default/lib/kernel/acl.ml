@@ -1,0 +1,35 @@
+open Sj_paging
+
+type cred = { uid : int; gids : int list }
+
+let root = { uid = 0; gids = [ 0 ] }
+let cred ~uid ~gids = { uid; gids }
+
+type t = { owner : int; group : int; mode : int; entries : (int * Prot.t) list }
+
+let create ~owner ~group ~mode = { owner; group; mode; entries = [] }
+let add_entry t ~uid prot = { t with entries = (uid, prot) :: t.entries }
+
+let triplet_allows bits access =
+  match access with `Read -> bits land 4 <> 0 | `Write -> bits land 2 <> 0 | `Exec -> bits land 1 <> 0
+
+let check t cred access =
+  if cred.uid = 0 then true
+  else if cred.uid = t.owner then triplet_allows ((t.mode lsr 6) land 7) access
+  else if
+    List.exists (fun (uid, prot) -> uid = cred.uid && Prot.allows prot access) t.entries
+  then true
+  else if List.mem t.group cred.gids then triplet_allows ((t.mode lsr 3) land 7) access
+  else triplet_allows (t.mode land 7) access
+
+let owner t = t.owner
+let mode t = t.mode
+let chmod t ~mode = { t with mode }
+let chown t ~owner ~group = { t with owner; group }
+
+let pp fmt t =
+  Format.fprintf fmt "uid=%d gid=%d mode=%03o acl=[%a]" t.owner t.group t.mode
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       (fun f (uid, p) -> Format.fprintf f "%d:%a" uid Prot.pp p))
+    t.entries

@@ -1,0 +1,26 @@
+(** DragonFly-style access control: owner/group/mode bits plus access
+    control list entries. SpaceJMP's DragonFly backend reuses the OS
+    security model for segments and address spaces (§3.2). *)
+
+type cred = { uid : int; gids : int list }
+(** A process's credentials. *)
+
+val root : cred
+(** Superuser credential: uid 0, passes every check. *)
+
+val cred : uid:int -> gids:int list -> cred
+
+type t
+
+val create : owner:int -> group:int -> mode:int -> t
+(** [mode] is a Unix-style octal triple, e.g. [0o640]. *)
+
+val add_entry : t -> uid:int -> Sj_paging.Prot.t -> t
+(** Extend with a per-user ACL entry (grants are unioned). *)
+
+val check : t -> cred -> [ `Read | `Write | `Exec ] -> bool
+val owner : t -> int
+val mode : t -> int
+val chmod : t -> mode:int -> t
+val chown : t -> owner:int -> group:int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Sj_paging
+
+type captype = Ram of int | Frame | Vnode of int | Vas_ref of int | Endpoint of int
+
+type t = {
+  id : int;
+  captype : captype;
+  rights : Prot.t;
+  mutable revoked : bool;
+  mutable retyped : bool;
+  mutable children : t list;
+}
+
+let next_id = ref 0
+
+let make captype rights =
+  incr next_id;
+  { id = !next_id; captype; rights; revoked = false; retyped = false; children = [] }
+
+let captype t = t.captype
+let rights t = t.rights
+let is_revoked t = t.revoked
+let create_ram ~size = make (Ram size) Prot.rwx
+let create_endpoint ~service = make (Endpoint service) Prot.rw
+let create_vas_ref ~vas ~rights = make (Vas_ref vas) rights
+
+let retype t ~into =
+  if t.revoked then invalid_arg "Cap.retype: revoked";
+  (match t.captype with
+  | Ram _ -> ()
+  | Frame | Vnode _ | Vas_ref _ | Endpoint _ -> invalid_arg "Cap.retype: source is not untyped RAM");
+  if t.retyped then invalid_arg "Cap.retype: already retyped";
+  (match into with
+  | Frame | Vnode _ -> ()
+  | Ram _ | Vas_ref _ | Endpoint _ -> invalid_arg "Cap.retype: invalid target type");
+  t.retyped <- true;
+  let child = make into t.rights in
+  t.children <- child :: t.children;
+  child
+
+let mint t ~rights =
+  if t.revoked then invalid_arg "Cap.mint: revoked";
+  if not (Prot.subsumes t.rights rights) then invalid_arg "Cap.mint: rights amplification";
+  let child = make t.captype rights in
+  t.children <- child :: t.children;
+  child
+
+let rec revoke t =
+  if not t.revoked then begin
+    t.revoked <- true;
+    List.iter revoke t.children;
+    t.children <- []
+  end
+
+module Cspace = struct
+  type cap = t
+  type nonrec t = { mutable next_slot : int; table : (int, cap) Hashtbl.t }
+
+  let create () = { next_slot = 1; table = Hashtbl.create 16 }
+
+  let insert t cap =
+    let slot = t.next_slot in
+    t.next_slot <- slot + 1;
+    Hashtbl.replace t.table slot cap;
+    slot
+
+  let lookup t slot = Hashtbl.find_opt t.table slot
+  let delete t slot = Hashtbl.remove t.table slot
+  let slots t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+
+  let invoke t ~slot ~access =
+    match lookup t slot with
+    | None -> invalid_arg "Cspace.invoke: empty slot"
+    | Some cap ->
+      if cap.revoked then invalid_arg "Cspace.invoke: revoked capability";
+      if not (Prot.allows cap.rights access) then invalid_arg "Cspace.invoke: insufficient rights";
+      cap
+end

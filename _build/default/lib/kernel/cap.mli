@@ -1,0 +1,64 @@
+(** seL4-inspired capability system, as used by the Barrelfish backend
+    (§4.2).
+
+    Physical resources are referred to by typed capabilities. Untyped
+    RAM capabilities are *retyped* into frames or page-table nodes by
+    explicit, kernel-checked operations; each byte of untyped memory can
+    be retyped at most once (no aliasing). Processes hold capabilities
+    in a CSpace and act on resources only via {!invoke}, which validates
+    presence, type, and rights — this is what makes the Barrelfish
+    SpaceJMP implementation safe without kernel logic. Revoking a
+    capability recursively deletes descendants, the mechanism the paper
+    relies on to reclaim a VAS ("revoking the process' root page table
+    prohibits the process from switching into the VAS"). *)
+
+type captype =
+  | Ram of int  (** untyped memory of a given size *)
+  | Frame  (** mappable memory *)
+  | Vnode of int  (** page-table node at level 1-4 *)
+  | Vas_ref of int  (** handle onto a SpaceJMP VAS (service-level) *)
+  | Endpoint of int  (** RPC endpoint to a service *)
+
+type t
+(** A capability. Copies made by {!mint} share the underlying object but
+    have their own identity and rights. *)
+
+val captype : t -> captype
+val rights : t -> Sj_paging.Prot.t
+val is_revoked : t -> bool
+
+val create_ram : size:int -> t
+(** A fresh untyped memory capability (memory-server allocation). *)
+
+val create_endpoint : service:int -> t
+val create_vas_ref : vas:int -> rights:Sj_paging.Prot.t -> t
+
+val retype : t -> into:captype -> t
+(** Retype untyped memory. Raises [Invalid_argument] if the source is
+    not RAM, was already retyped, or is revoked. The result is a child
+    of the source. *)
+
+val mint : t -> rights:Sj_paging.Prot.t -> t
+(** Copy with (possibly diminished) rights; the copy is a child.
+    Raises [Invalid_argument] when attempting to *amplify* rights. *)
+
+val revoke : t -> unit
+(** Recursively revoke this capability and all its descendants. *)
+
+module Cspace : sig
+  type cap = t
+  type t
+
+  val create : unit -> t
+  val insert : t -> cap -> int
+  (** Returns the slot number. *)
+
+  val lookup : t -> int -> cap option
+  val delete : t -> int -> unit
+  val slots : t -> (int * cap) list
+
+  val invoke : t -> slot:int -> access:[ `Read | `Write | `Exec ] -> cap
+  (** Validate and return the capability for a kernel-checked operation.
+      Raises [Invalid_argument] if the slot is empty, the capability is
+      revoked, or rights are insufficient. *)
+end

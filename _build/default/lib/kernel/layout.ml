@@ -1,0 +1,25 @@
+open Sj_util
+
+let text_base = 0x40_0000
+let data_base = 0x60_0000
+let stack_top = 0x7f_ffff_f000
+let stack_gap = Size.mib 1
+let private_limit = Size.tib 1
+let global_base = private_limit
+let is_private va = va >= 0 && va < private_limit
+let is_global va = va >= global_base && va < Addr.va_limit
+
+let global_cursor = ref global_base
+
+let next_global_base ~size =
+  let base = !global_cursor in
+  let span = Size.round_up size ~align:(Size.gib 1) in
+  global_cursor := base + span;
+  if !global_cursor >= Addr.va_limit then failwith "Layout: global address range exhausted";
+  base
+
+let reset_global_allocator () = global_cursor := global_base
+
+let reserve_global ~base ~size =
+  let top = Size.round_up (base + size) ~align:(Size.gib 1) in
+  if top > !global_cursor then global_cursor := top

@@ -1,0 +1,40 @@
+(** Address-space layout policy.
+
+    The DragonFly implementation avoids collisions between globally
+    visible segments and process-private segments (code, globals,
+    stacks) by "ensuring both globally visible and process-private
+    segments are created in disjoint address ranges" (§4.1). We encode
+    that policy here: private segments live below 1 TiB, global
+    (VAS-shareable) segments above it. *)
+
+val text_base : int
+(** Default program-text base (0x40_0000, the ELF default). *)
+
+val data_base : int
+(** Default globals/data base. *)
+
+val stack_top : int
+(** Top of the first thread's stack; stacks grow down, successive
+    thread stacks are placed below with a guard gap. *)
+
+val stack_gap : int
+val private_limit : int
+(** Exclusive upper bound of the private range (1 TiB). *)
+
+val global_base : int
+(** Base of the globally visible segment range (= [private_limit]). *)
+
+val is_private : int -> bool
+val is_global : int -> bool
+
+val next_global_base : size:int -> int
+(** Process-wide sequential allocator for global segment bases, aligned
+    to 1 GiB so segment translations can be cached as whole PDPT-slot
+    subtrees (§4.4). Deterministic across runs. *)
+
+val reset_global_allocator : unit -> unit
+(** Reset the sequential allocator (test isolation). *)
+
+val reserve_global : base:int -> size:int -> unit
+(** Advance the allocator past an externally placed range (segments
+    restored from a persistence image keep their original bases). *)

@@ -1,0 +1,104 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Prot = Sj_paging.Prot
+
+type thread = { tid : int; stack_base : int; stack_size : int; stack_obj : Vm_object.t }
+
+type t = {
+  pid : int;
+  name : string;
+  cred : Acl.cred;
+  machine : Machine.t;
+  cspace : Cap.Cspace.t;
+  primary : Vmspace.t;
+  text_obj : Vm_object.t;
+  data_obj : Vm_object.t;
+  text_size : int;
+  data_size : int;
+  mutable thread_list : thread list; (* newest first *)
+  mutable next_tid : int;
+  mutable live : bool;
+}
+
+let next_pid = ref 0
+
+let create ?(text_size = Size.kib 512) ?(data_size = Size.mib 2) ?(stack_size = Size.mib 8)
+    ?(cred = Acl.root) ~name machine =
+  let text_size = Size.round_up text_size ~align:Addr.page_size in
+  let data_size = Size.round_up data_size ~align:Addr.page_size in
+  let stack_size = Size.round_up stack_size ~align:Addr.page_size in
+  let primary = Vmspace.create machine ~charge_to:None in
+  let text_obj = Vm_object.create ~name:(name ^ ".text") machine ~size:text_size ~charge_to:None in
+  let data_obj = Vm_object.create ~name:(name ^ ".data") machine ~size:data_size ~charge_to:None in
+  let stack_obj =
+    Vm_object.create ~name:(name ^ ".stack0") machine ~size:stack_size ~charge_to:None
+  in
+  Vmspace.map_object primary ~charge_to:None ~base:Layout.text_base ~name:"text" ~prot:Prot.rx
+    text_obj;
+  Vmspace.map_object primary ~charge_to:None ~base:Layout.data_base ~name:"data" ~prot:Prot.rw
+    data_obj;
+  let stack_base = Layout.stack_top - stack_size in
+  Vmspace.map_object primary ~charge_to:None ~base:stack_base ~name:"stack0" ~prot:Prot.rw
+    stack_obj;
+  incr next_pid;
+  {
+    pid = !next_pid;
+    name;
+    cred;
+    machine;
+    cspace = Cap.Cspace.create ();
+    primary;
+    text_obj;
+    data_obj;
+    text_size;
+    data_size;
+    thread_list = [ { tid = 0; stack_base; stack_size; stack_obj } ];
+    next_tid = 1;
+    live = true;
+  }
+
+let pid t = t.pid
+let name t = t.name
+let cred t = t.cred
+let machine t = t.machine
+let cspace t = t.cspace
+let primary_vmspace t = t.primary
+let threads t = List.rev t.thread_list
+
+let main_thread t =
+  match List.rev t.thread_list with
+  | th :: _ -> th
+  | [] -> assert false
+
+let spawn_thread t =
+  if not t.live then invalid_arg "Process.spawn_thread: process exited";
+  let prev_bottom =
+    List.fold_left (fun acc th -> min acc th.stack_base) Layout.stack_top t.thread_list
+  in
+  let stack_size = (main_thread t).stack_size in
+  let stack_base = prev_bottom - Layout.stack_gap - stack_size in
+  let stack_obj =
+    Vm_object.create
+      ~name:(Printf.sprintf "%s.stack%d" t.name t.next_tid)
+      t.machine ~size:stack_size ~charge_to:None
+  in
+  Vmspace.map_object t.primary ~charge_to:None ~base:stack_base
+    ~name:(Printf.sprintf "stack%d" t.next_tid) ~prot:Prot.rw stack_obj;
+  let th = { tid = t.next_tid; stack_base; stack_size; stack_obj } in
+  t.next_tid <- t.next_tid + 1;
+  t.thread_list <- th :: t.thread_list;
+  th
+
+let private_regions t =
+  List.filter (fun (r : Vmspace.region) -> Layout.is_private r.base) (Vmspace.regions t.primary)
+
+let exit t =
+  if t.live then begin
+    t.live <- false;
+    Vmspace.destroy t.primary ~charge_to:None;
+    Vm_object.destroy t.machine t.text_obj;
+    Vm_object.destroy t.machine t.data_obj;
+    List.iter (fun th -> Vm_object.destroy t.machine th.stack_obj) t.thread_list
+  end
+
+let is_live t = t.live

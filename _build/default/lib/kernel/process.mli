@@ -1,0 +1,45 @@
+(** Processes and threads.
+
+    A process owns credentials, a capability space, and an initial
+    ("primary") vmspace populated with its private segments: program
+    text, globals, and one stack per thread. These private segments
+    form the paper's *common region* (§3.3) — the runtime maps them
+    into every VAS the process attaches, so code, globals and stacks
+    stay valid across switches (Fig. 2). *)
+
+type t
+
+type thread = { tid : int; stack_base : int; stack_size : int; stack_obj : Vm_object.t }
+
+val create :
+  ?text_size:int ->
+  ?data_size:int ->
+  ?stack_size:int ->
+  ?cred:Acl.cred ->
+  name:string ->
+  Sj_machine.Machine.t ->
+  t
+(** Build a process with one thread. Segment sizes default to 512 KiB
+    text, 2 MiB data, 8 MiB stack. *)
+
+val pid : t -> int
+val name : t -> string
+val cred : t -> Acl.cred
+val machine : t -> Sj_machine.Machine.t
+val cspace : t -> Cap.Cspace.t
+val primary_vmspace : t -> Vmspace.t
+val threads : t -> thread list
+val main_thread : t -> thread
+
+val spawn_thread : t -> thread
+(** Add a thread with a fresh stack below the previous one. *)
+
+val private_regions : t -> Vmspace.region list
+(** The common-region descriptors (text, data, every thread stack) to
+    replicate into attached VASes. *)
+
+val exit : t -> unit
+(** Tear down: destroy the primary vmspace and free private segment
+    memory. VASes the process created live on (§3.2). *)
+
+val is_live : t -> bool

@@ -1,0 +1,96 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+
+type t = {
+  id : int;
+  name : string option;
+  mutable frames : Sj_mem.Phys_mem.frame array;
+  (* Per-page owner counts; the cell (not just the value) is shared
+     with COW clones so splits and destroys stay coherent. *)
+  mutable shares : int ref array;
+  mutable destroyed : bool;
+}
+
+let next_id = ref 0
+
+let create ?name ?node ?contiguous machine ~size ~charge_to =
+  if size <= 0 then invalid_arg "Vm_object.create: size must be positive";
+  let pages = (size + Addr.page_size - 1) / Addr.page_size in
+  let frames = Machine.alloc_pages ?node ?contiguous machine ~n:pages ~charge_to in
+  incr next_id;
+  { id = !next_id; name; frames; shares = Array.init pages (fun _ -> ref 1); destroyed = false }
+
+let id t = t.id
+let name t = t.name
+let pages t = Array.length t.frames
+let size t = pages t * Addr.page_size
+let frames t = t.frames
+
+let frame_at t ~page =
+  if page < 0 || page >= Array.length t.frames then
+    invalid_arg "Vm_object.frame_at: page out of range";
+  t.frames.(page)
+
+let grow ?node machine t ~by_pages ~charge_to =
+  if t.destroyed then invalid_arg "Vm_object.grow: destroyed";
+  if by_pages <= 0 then invalid_arg "Vm_object.grow: by_pages must be positive";
+  let extra = Machine.alloc_pages ?node machine ~n:by_pages ~charge_to in
+  t.frames <- Array.append t.frames extra;
+  t.shares <- Array.append t.shares (Array.init by_pages (fun _ -> ref 1))
+
+let destroy machine t =
+  if not t.destroyed then begin
+    Array.iteri
+      (fun i frame ->
+        let r = t.shares.(i) in
+        decr r;
+        if !r = 0 then Sj_mem.Phys_mem.free_frame (Machine.mem machine) frame)
+      t.frames;
+    t.destroyed <- true;
+    t.frames <- [||];
+    t.shares <- [||]
+  end
+
+let is_destroyed t = t.destroyed
+
+let cow_clone ?name t =
+  if t.destroyed then invalid_arg "Vm_object.cow_clone: destroyed";
+  Array.iter incr t.shares;
+  incr next_id;
+  {
+    id = !next_id;
+    name = (match name with Some _ -> name | None -> t.name);
+    frames = Array.copy t.frames;
+    shares = Array.copy t.shares (* same ref cells, private array *);
+    destroyed = false;
+  }
+
+let page_shared t ~page = !(t.shares.(page)) > 1
+
+let is_contiguous t =
+  let n = Array.length t.frames in
+  n > 0
+  &&
+  let rec go i =
+    i >= n || ((t.frames.(i) :> int) = (t.frames.(0) :> int) + i && go (i + 1))
+  in
+  go 1
+
+let resolve_cow_write t ~page machine ~charge_to =
+  let r = t.shares.(page) in
+  if !r <= 1 then t.frames.(page)
+  else begin
+    let mem = Machine.mem machine in
+    let fresh = Machine.alloc_pages machine ~n:1 ~charge_to in
+    let dst = fresh.(0) in
+    let data =
+      Sj_mem.Phys_mem.read_bytes mem
+        ~pa:(Sj_mem.Phys_mem.base_of_frame t.frames.(page))
+        ~len:Sj_util.Addr.page_size
+    in
+    Sj_mem.Phys_mem.write_bytes mem ~pa:(Sj_mem.Phys_mem.base_of_frame dst) data;
+    decr r;
+    t.frames.(page) <- dst;
+    t.shares.(page) <- ref 1;
+    dst
+  end

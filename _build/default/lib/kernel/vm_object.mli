@@ -1,0 +1,58 @@
+(** Mach-style VM objects (§4.1): reservations of physical frames that
+    back mappings. A SpaceJMP segment wraps one VM object.
+
+    Frames are reserved eagerly at creation and are not swappable,
+    matching the paper's DragonFly implementation ("Physical pages are
+    reserved at the time a segment is created, and are not swappable"). *)
+
+type t
+
+val create :
+  ?name:string -> ?node:int -> ?contiguous:bool -> Sj_machine.Machine.t -> size:int ->
+  charge_to:Sj_machine.Machine.Core.core option -> t
+(** Reserve [size] bytes (rounded up to whole pages) of zeroed physical
+    memory, charging page-zeroing cost to [charge_to] when given. *)
+
+val id : t -> int
+val name : t -> string option
+val size : t -> int
+(** Reserved size in bytes (page multiple). *)
+
+val pages : t -> int
+
+val is_contiguous : t -> bool
+(** True iff the frames form one physical run (eligible for huge-page
+    mapping). *)
+
+val frames : t -> Sj_mem.Phys_mem.frame array
+val frame_at : t -> page:int -> Sj_mem.Phys_mem.frame
+
+val grow :
+  ?node:int -> Sj_machine.Machine.t -> t -> by_pages:int ->
+  charge_to:Sj_machine.Machine.Core.core option -> unit
+(** Reserve additional frames at the end of the object. *)
+
+val destroy : Sj_machine.Machine.t -> t -> unit
+(** Release the reserved frames (shared COW frames are freed when their
+    last owner is destroyed). The caller must ensure no mapping still
+    references them. *)
+
+val is_destroyed : t -> bool
+
+(** {2 Copy-on-write (paper sec 7: snapshotting / versioning)} *)
+
+val cow_clone : ?name:string -> t -> t
+(** A logical copy sharing every physical page with the original. Both
+    objects' shared pages must be mapped read-only until split. *)
+
+val page_shared : t -> page:int -> bool
+(** True while the page's frame is owned by more than one object. *)
+
+val resolve_cow_write :
+  t -> page:int -> Sj_machine.Machine.t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  Sj_mem.Phys_mem.frame
+(** Make [page] exclusively owned and writable: if shared, allocate a
+    fresh frame, copy the contents (charged as a page copy), and point
+    this object at it; the other owners keep the original frame.
+    Returns the (possibly new) frame to map. *)

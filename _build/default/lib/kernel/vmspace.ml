@@ -1,0 +1,179 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Page_table = Sj_paging.Page_table
+module Prot = Sj_paging.Prot
+
+type region = {
+  base : int;
+  size : int;
+  prot : Prot.t;
+  obj : Vm_object.t;
+  obj_page : int;
+  global : bool;
+  cow : bool;
+  page : Page_table.page_size;
+  region_name : string option;
+}
+
+type t = {
+  id : int;
+  machine : Machine.t;
+  pt : Page_table.t;
+  mutable regions : region list; (* sorted by base *)
+}
+
+let next_id = ref 0
+
+(* Charge the page-table work performed since [before] to a core. *)
+let charge_pt_delta t charge_to (before : Page_table.stats) =
+  match charge_to with
+  | None -> ()
+  | Some core ->
+    let after = Page_table.stats t.pt in
+    let cost = Machine.cost t.machine in
+    let d_tables = after.tables_allocated - before.tables_allocated in
+    let d_writes = after.pte_writes - before.pte_writes in
+    let d_clears = after.pte_clears - before.pte_clears in
+    Core.charge core
+      ((d_tables * cost.table_alloc) + (d_writes * cost.pte_write) + (d_clears * cost.pte_clear))
+
+let snapshot_stats t : Page_table.stats =
+  let s = Page_table.stats t.pt in
+  {
+    tables_allocated = s.tables_allocated;
+    tables_freed = s.tables_freed;
+    pte_writes = s.pte_writes;
+    pte_clears = s.pte_clears;
+  }
+
+let create machine ~charge_to =
+  let pt = Page_table.create (Machine.mem machine) in
+  (match charge_to with
+  | Some core -> Core.charge core (Machine.cost machine).table_alloc
+  | None -> ());
+  incr next_id;
+  { id = !next_id; machine; pt; regions = [] }
+
+let id t = t.id
+let page_table t = t.pt
+let regions t = t.regions
+
+let find_region t ~va =
+  List.find_opt (fun r -> Addr.range_contains ~base:r.base ~size:r.size va) t.regions
+
+let check_no_overlap t ~base ~size =
+  List.iter
+    (fun r ->
+      if Addr.range_overlaps ~base1:base ~size1:size ~base2:r.base ~size2:r.size then
+        invalid_arg
+          (Printf.sprintf "Vmspace.map_object: [%s,+%s) overlaps region at %s"
+             (Addr.to_string base) (Size.to_string size) (Addr.to_string r.base)))
+    t.regions
+
+let insert_region t r =
+  t.regions <- List.sort (fun a b -> compare a.base b.base) (r :: t.regions)
+
+let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow = false)
+    ?(page = Page_table.P4K) ?name ~prot obj =
+  if not (Addr.is_page_aligned base) then invalid_arg "Vmspace.map_object: base not aligned";
+  let pages = match pages with Some p -> p | None -> Vm_object.pages obj - obj_page in
+  if pages <= 0 || obj_page < 0 || obj_page + pages > Vm_object.pages obj then
+    invalid_arg "Vmspace.map_object: page range outside object";
+  let size = pages * Addr.page_size in
+  check_no_overlap t ~base ~size;
+  let before = snapshot_stats t in
+  (match page with
+  | Page_table.P4K ->
+    for i = 0 to pages - 1 do
+      let page = obj_page + i in
+      let frame = Vm_object.frame_at obj ~page in
+      (* COW: shared pages are installed read-only; the write fault
+         splits them. *)
+      let hw_prot =
+        if cow && Vm_object.page_shared obj ~page then { prot with Prot.write = false }
+        else prot
+      in
+      Page_table.map ~global t.pt
+        ~va:(base + (i * Addr.page_size))
+        ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
+        ~prot:hw_prot ~size:Page_table.P4K
+    done
+  | Page_table.P2M ->
+    let huge = Size.mib 2 / Addr.page_size in
+    if cow then invalid_arg "Vmspace.map_object: COW requires 4 KiB granularity";
+    if not (Vm_object.is_contiguous obj) then
+      invalid_arg "Vmspace.map_object: 2 MiB mapping needs a contiguous object";
+    if base mod Size.mib 2 <> 0 || obj_page mod huge <> 0 || pages mod huge <> 0 then
+      invalid_arg "Vmspace.map_object: 2 MiB mapping needs 2 MiB alignment";
+    for i = 0 to (pages / huge) - 1 do
+      let frame = Vm_object.frame_at obj ~page:(obj_page + (i * huge)) in
+      Page_table.map ~global t.pt
+        ~va:(base + (i * Size.mib 2))
+        ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
+        ~prot ~size:Page_table.P2M
+    done);
+  charge_pt_delta t charge_to before;
+  insert_region t { base; size; prot; obj; obj_page; global; cow; page; region_name = name }
+
+let unmap_region t ~charge_to ~base =
+  match List.find_opt (fun r -> r.base = base) t.regions with
+  | None -> invalid_arg "Vmspace.unmap_region: no region at base"
+  | Some r ->
+    let before = snapshot_stats t in
+    (match r.page with
+    | Page_table.P4K -> Page_table.unmap_range t.pt ~va:r.base ~pages:(r.size / Addr.page_size)
+    | Page_table.P2M ->
+      for i = 0 to (r.size / Size.mib 2) - 1 do
+        Page_table.unmap t.pt ~va:(r.base + (i * Size.mib 2)) ~size:Page_table.P2M
+      done);
+    charge_pt_delta t charge_to before;
+    t.regions <- List.filter (fun r' -> r'.base <> base) t.regions
+
+let remap_page t ~charge_to ~va ~frame ~prot =
+  let before = snapshot_stats t in
+  let va = Sj_util.Size.round_down va ~align:Addr.page_size in
+  Page_table.unmap t.pt ~va ~size:Page_table.P4K;
+  Page_table.map t.pt ~va ~pa:(Sj_mem.Phys_mem.base_of_frame frame) ~prot
+    ~size:Page_table.P4K;
+  charge_pt_delta t charge_to before
+
+let write_protect_region t ~charge_to ~base =
+  match List.find_opt (fun r -> r.base = base) t.regions with
+  | None -> invalid_arg "Vmspace.write_protect_region: no region at base"
+  | Some r ->
+    let before = snapshot_stats t in
+    for i = 0 to (r.size / Addr.page_size) - 1 do
+      let va = r.base + (i * Addr.page_size) in
+      match Page_table.walk t.pt ~va with
+      | Some m when m.prot.write ->
+        Page_table.protect t.pt ~va ~size:Page_table.P4K
+          ~prot:{ m.prot with Prot.write = false }
+      | Some _ | None -> ()
+    done;
+    charge_pt_delta t charge_to before;
+    t.regions <-
+      List.map (fun r' -> if r'.base = base then { r' with cow = true } else r') t.regions
+
+let graft_cached t ~charge_to ~base ~subtree ~region =
+  check_no_overlap t ~base ~size:region.size;
+  let before = snapshot_stats t in
+  Page_table.graft_subtree t.pt ~va:base subtree;
+  charge_pt_delta t charge_to before;
+  insert_region t region
+
+let prune_cached t ~charge_to ~base ~gib_spans =
+  let before = snapshot_stats t in
+  for i = 0 to gib_spans - 1 do
+    Page_table.prune_subtree t.pt ~va:(base + (i * Size.gib 1)) ~level:2
+  done;
+  charge_pt_delta t charge_to before;
+  t.regions <-
+    List.filter
+      (fun r -> not (r.base >= base && r.base < base + (gib_spans * Size.gib 1)))
+      t.regions
+
+let destroy t ~charge_to =
+  ignore charge_to;
+  Page_table.destroy t.pt;
+  t.regions <- []

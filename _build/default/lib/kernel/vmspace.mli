@@ -1,0 +1,105 @@
+(** A concrete address space instance: BSD's [vmspace] (§4.1) — a list
+    of region descriptors plus the architecture-specific translation
+    tree. Mapping is eager (all PTEs installed at map time), matching
+    the prototype: SpaceJMP segments are backed by reserved physical
+    memory, so there is no demand paging, and page faults indicate
+    program errors.
+
+    All construction/destruction work charges mechanical costs
+    (PTE writes, table allocations) to the optional [charge_to] core,
+    which is how Figure 1's curves are measured. *)
+
+type t
+
+type region = {
+  base : int;
+  size : int;  (** bytes, page multiple *)
+  prot : Sj_paging.Prot.t;  (** the *logical* protection *)
+  obj : Vm_object.t;
+  obj_page : int;  (** first backing page within [obj] *)
+  global : bool;  (** mapped with the TLB-global bit (common region) *)
+  cow : bool;
+      (** copy-on-write region: shared pages are hardware-mapped
+          read-only even when [prot] permits writes; the fault handler
+          splits and upgrades them (sec 7 snapshotting) *)
+  page : Sj_paging.Page_table.page_size;
+      (** mapping granularity; 2 MiB needs a contiguous object and
+          2 MiB-aligned base/size (a Barrelfish-style user policy,
+          sec 4.2) *)
+  region_name : string option;
+}
+
+val create :
+  Sj_machine.Machine.t -> charge_to:Sj_machine.Machine.Core.core option -> t
+
+val id : t -> int
+val page_table : t -> Sj_paging.Page_table.t
+val regions : t -> region list
+(** Sorted by base address. *)
+
+val find_region : t -> va:int -> region option
+
+val map_object :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  base:int ->
+  ?obj_page:int ->
+  ?pages:int ->
+  ?global:bool ->
+  ?cow:bool ->
+  ?page:Sj_paging.Page_table.page_size ->
+  ?name:string ->
+  prot:Sj_paging.Prot.t ->
+  Vm_object.t ->
+  unit
+(** Map [pages] 4 KiB pages of the object (default: all, starting at
+    [obj_page] = 0) at [base]. Unlike Linux [mmap] (§2.4 criticism),
+    overlapping an existing region raises [Invalid_argument] rather
+    than silently clobbering it. With [~page:P2M] the range is mapped
+    with 2 MiB entries (object must be contiguous; base, offset and
+    size 2 MiB-aligned; incompatible with [cow]). *)
+
+val unmap_region : t -> charge_to:Sj_machine.Machine.Core.core option -> base:int -> unit
+(** Remove the region starting exactly at [base] and clear its PTEs.
+    The caller is responsible for TLB shootdown on cores that may cache
+    translations. *)
+
+val remap_page :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  va:int ->
+  frame:Sj_mem.Phys_mem.frame ->
+  prot:Sj_paging.Prot.t ->
+  unit
+(** Point one 4 KiB translation at a (possibly different) frame with new
+    protections — the fault handler's repair primitive. The region
+    descriptor is unchanged. *)
+
+val write_protect_region : t -> charge_to:Sj_machine.Machine.Core.core option -> base:int -> unit
+(** Strip write permission from every PTE of the region (its logical
+    [prot] is unchanged) and mark it COW — performed on the *original*
+    when a snapshot is taken. *)
+
+val graft_cached :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  base:int ->
+  subtree:Sj_paging.Page_table.subtree ->
+  region:region ->
+  unit
+(** Attach a segment whose translations were pre-built as a shared
+    page-table subtree (§4.1 "cached translations"): one PTE write
+    instead of thousands. The [region] descriptor records the logical
+    mapping. *)
+
+val prune_cached :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  base:int ->
+  gib_spans:int ->
+  unit
+(** Inverse of {!graft_cached}: unlink [gib_spans] grafted 1 GiB
+    subtrees starting at [base] and drop the region descriptor. *)
+
+val destroy : t -> charge_to:Sj_machine.Machine.Core.core option -> unit
+(** Free the translation tree (not the VM objects). *)

@@ -1,0 +1,1 @@
+lib/kvstore/dict.ml: Array Bytes Hashtbl Kv_mem List String

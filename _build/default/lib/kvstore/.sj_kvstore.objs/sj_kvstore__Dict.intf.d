@@ -1,0 +1,1 @@
+lib/kvstore/dict.mli: Kv_mem

@@ -1,0 +1,1 @@
+lib/kvstore/kv_mem.ml: Sj_alloc Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging

@@ -1,0 +1,1 @@
+lib/kvstore/kv_mem.mli: Sj_core Sj_kernel Sj_machine

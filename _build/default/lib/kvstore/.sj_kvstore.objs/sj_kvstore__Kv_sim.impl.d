@@ -1,0 +1,1 @@
+lib/kvstore/kv_sim.ml: Array Bytes Fun Printf Redisjmp Resp Rng Server Size Sj_core Sj_des Sj_kernel Sj_machine Sj_tlb Sj_util

@@ -1,0 +1,1 @@
+lib/kvstore/kv_sim.mli: Sj_machine

@@ -1,0 +1,1 @@
+lib/kvstore/notify.ml: Bytes Hashtbl List Queue Sj_machine String

@@ -1,0 +1,1 @@
+lib/kvstore/notify.mli: Sj_machine

@@ -1,0 +1,1 @@
+lib/kvstore/redisjmp.ml: Bytes Dict Hashtbl Kv_mem Notify Option Printf Resp Size Sj_alloc Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util Store

@@ -1,0 +1,1 @@
+lib/kvstore/redisjmp.mli: Notify Resp Sj_core Store

@@ -1,0 +1,1 @@
+lib/kvstore/resp.ml: Buffer Bytes List Printf Result String

@@ -1,0 +1,1 @@
+lib/kvstore/server.ml: Bytes Kv_mem Resp Sj_ipc Sj_kernel Sj_machine Store

@@ -1,0 +1,1 @@
+lib/kvstore/server.mli: Resp Sj_machine Store

@@ -1,0 +1,232 @@
+type entry = {
+  key : string;
+  entry_va : int; (* the entry header (hash, pointers) in store memory *)
+  key_va : int; (* where the key bytes live in store memory *)
+  mutable val_va : int;
+  mutable val_len : int;
+  hash : int;
+}
+
+type table = {
+  mutable buckets : entry list array;
+  mutable used : int;
+  mutable buckets_va : int; (* the bucket-pointer array in store memory; 0 until laid out *)
+}
+
+type t = {
+  mutable mem : Kv_mem.t;
+  mutable ht0 : table;
+  mutable ht1 : table option; (* present while rehashing *)
+  mutable rehash_idx : int;
+  mutable rehash_allowed : bool;
+  mutable want_resize : bool;
+}
+
+let initial_size = 16
+let hash_key key = Hashtbl.hash key land max_int
+
+let make_table n = { buckets = Array.make n []; used = 0; buckets_va = 0 }
+
+let create mem =
+  {
+    mem;
+    ht0 = make_table initial_size;
+    ht1 = None;
+    rehash_idx = 0;
+    rehash_allowed = true;
+    want_resize = false;
+  }
+
+let set_mem t mem = t.mem <- mem
+let is_rehashing t = t.ht1 <> None
+let set_rehash_allowed t b = t.rehash_allowed <- b
+let rehash_pending t = t.want_resize || is_rehashing t
+let length t = t.ht0.used + match t.ht1 with Some h -> h.used | None -> 0
+
+(* Lay out a table's bucket array in store memory (lazily: the dict is
+   created before any real memory backend is attached). *)
+let ensure_layout t tbl =
+  if tbl.buckets_va = 0 then tbl.buckets_va <- t.mem.alloc (8 * Array.length tbl.buckets)
+
+(* Touch the bucket head pointer for [hash] in [tbl]: the first hop of
+   every dict operation's pointer chase. *)
+let touch_bucket t tbl hash =
+  if tbl.buckets_va <> 0 then
+    t.mem.touch ~va:(tbl.buckets_va + (8 * (hash land (Array.length tbl.buckets - 1))))
+
+(* Move one bucket from ht0 to ht1. *)
+let migrate_bucket t =
+  match t.ht1 with
+  | None -> ()
+  | Some ht1 ->
+    let n0 = Array.length t.ht0.buckets in
+    (* Find the next non-empty bucket. *)
+    while t.rehash_idx < n0 && t.ht0.buckets.(t.rehash_idx) = [] do
+      t.rehash_idx <- t.rehash_idx + 1
+    done;
+    if t.rehash_idx >= n0 then begin
+      (* Done: ht1 becomes ht0. *)
+      t.ht0 <- ht1;
+      t.ht1 <- None;
+      t.rehash_idx <- 0
+    end
+    else begin
+      let moved = t.ht0.buckets.(t.rehash_idx) in
+      t.ht0.buckets.(t.rehash_idx) <- [];
+      List.iter
+        (fun e ->
+          (* Touching the entry models the pointer chase. *)
+          t.mem.touch ~va:e.entry_va;
+          t.mem.touch ~va:e.key_va;
+          let b = e.hash land (Array.length ht1.buckets - 1) in
+          ht1.buckets.(b) <- e :: ht1.buckets.(b);
+          ht1.used <- ht1.used + 1;
+          t.ht0.used <- t.ht0.used - 1)
+        moved;
+      t.rehash_idx <- t.rehash_idx + 1
+    end
+
+let start_rehash t =
+  match t.ht1 with
+  | Some _ -> ()
+  | None ->
+    let new_size = Array.length t.ht0.buckets * 2 in
+    let tbl = make_table new_size in
+    ensure_layout t tbl;
+    t.ht1 <- Some tbl;
+    t.rehash_idx <- 0;
+    t.want_resize <- false
+
+(* Redis performs one step of incremental rehashing on every access. *)
+let step t =
+  if t.rehash_allowed then begin
+    if t.want_resize && not (is_rehashing t) then start_rehash t;
+    if is_rehashing t then migrate_bucket t
+  end
+
+let force_rehash_step t n =
+  if t.want_resize && not (is_rehashing t) then start_rehash t;
+  for _ = 1 to n do
+    migrate_bucket t
+  done
+
+let maybe_schedule_resize t =
+  if (not (is_rehashing t)) && (not t.want_resize)
+     && t.ht0.used > Array.length t.ht0.buckets
+  then t.want_resize <- true
+
+let bucket_of tbl hash = hash land (Array.length tbl.buckets - 1)
+
+let find_entry t key =
+  let h = hash_key key in
+  let probe tbl =
+    touch_bucket t tbl h;
+    let rec go = function
+      | [] -> None
+      | e :: rest ->
+        (* Walk the chain: read the entry header (hash check) and, on a
+           hash match, the key bytes for the comparison. *)
+        t.mem.touch ~va:e.entry_va;
+        if e.hash = h then begin
+          t.mem.touch ~va:e.key_va;
+          if e.key = key then Some e else go rest
+        end
+        else go rest
+    in
+    go tbl.buckets.(bucket_of tbl h)
+  in
+  match probe t.ht0 with
+  | Some e -> Some e
+  | None -> ( match t.ht1 with Some ht1 -> probe ht1 | None -> None)
+
+let set t ~key value =
+  step t;
+  match find_entry t key with
+  | Some e ->
+    (* In-place overwrite: free + alloc + write. *)
+    t.mem.free e.val_va;
+    let val_va = t.mem.alloc (max 1 (Bytes.length value)) in
+    t.mem.write ~va:val_va value;
+    e.val_va <- val_va;
+    e.val_len <- Bytes.length value
+  | None ->
+    let h = hash_key key in
+    ensure_layout t t.ht0;
+    let entry_va = t.mem.alloc 48 in
+    let key_va = t.mem.alloc (max 1 (String.length key)) in
+    t.mem.write ~va:key_va (Bytes.of_string key);
+    let val_va = t.mem.alloc (max 1 (Bytes.length value)) in
+    t.mem.write ~va:val_va value;
+    t.mem.touch ~va:entry_va;
+    let e = { key; entry_va; key_va; val_va; val_len = Bytes.length value; hash = h } in
+    let target = match t.ht1 with Some ht1 -> ht1 | None -> t.ht0 in
+    ensure_layout t target;
+    touch_bucket t target h;
+    let b = bucket_of target h in
+    target.buckets.(b) <- e :: target.buckets.(b);
+    target.used <- target.used + 1;
+    maybe_schedule_resize t
+
+let get t ~key =
+  step t;
+  match find_entry t key with
+  | Some e -> Some (t.mem.read ~va:e.val_va ~len:e.val_len)
+  | None -> None
+
+let mem t ~key =
+  step t;
+  find_entry t key <> None
+
+let delete t ~key =
+  step t;
+  let h = hash_key key in
+  let remove tbl =
+    let b = bucket_of tbl h in
+    let before = List.length tbl.buckets.(b) in
+    let removed = ref None in
+    tbl.buckets.(b) <-
+      List.filter
+        (fun e ->
+          if e.hash = h && e.key = key then begin
+            removed := Some e;
+            false
+          end
+          else true)
+        tbl.buckets.(b);
+    if List.length tbl.buckets.(b) < before then begin
+      tbl.used <- tbl.used - 1;
+      (match !removed with
+      | Some e ->
+        t.mem.free e.entry_va;
+        t.mem.free e.key_va;
+        t.mem.free e.val_va
+      | None -> ());
+      true
+    end
+    else false
+  in
+  remove t.ht0 || (match t.ht1 with Some ht1 -> remove ht1 | None -> false)
+
+let iter t f =
+  let each tbl = Array.iter (List.iter (fun e -> f e.key (t.mem.read ~va:e.val_va ~len:e.val_len))) tbl.buckets in
+  each t.ht0;
+  match t.ht1 with Some ht1 -> each ht1 | None -> ()
+
+let check_invariants t =
+  let count tbl = Array.fold_left (fun acc l -> acc + List.length l) 0 tbl.buckets in
+  if count t.ht0 <> t.ht0.used then failwith "Dict: ht0 used-count drift";
+  (match t.ht1 with
+  | Some ht1 -> if count ht1 <> ht1.used then failwith "Dict: ht1 used-count drift"
+  | None -> ());
+  (* Every entry is findable in the bucket its hash selects. *)
+  let check tbl =
+    Array.iteri
+      (fun i l ->
+        List.iter
+          (fun e ->
+            if bucket_of tbl e.hash <> i then failwith "Dict: entry in wrong bucket")
+          l)
+      tbl.buckets
+  in
+  check t.ht0;
+  match t.ht1 with Some ht1 -> check ht1 | None -> ()

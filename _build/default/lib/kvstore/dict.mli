@@ -1,0 +1,46 @@
+(** Redis-style hash table with incremental rehashing.
+
+    Two bucket tables coexist: while rehashing, each operation migrates
+    one bucket from the old table to the new, so resizes never stall a
+    single request for long. RedisJMP requires a further twist (§5.3):
+    rehashing races with lock-free readers in other address spaces, so
+    migration must be *deferred* until the caller holds the exclusive
+    segment lock — the [rehash_allowed] switch.
+
+    Keys and values live in store memory ({!Kv_mem.t}); lookups charge
+    the accesses a pointer-chasing hash table would perform. *)
+
+type t
+
+val create : Kv_mem.t -> t
+(** Initial size 16 buckets. *)
+
+val set_mem : t -> Kv_mem.t -> unit
+(** Swap the memory backend. The dict state is conceptually *inside*
+    the shared segment; each RedisJMP client accesses it through its
+    own core, so the acting client installs its backend (which charges
+    its core) before operating. *)
+
+val set : t -> key:string -> bytes -> unit
+(** Insert or overwrite. *)
+
+val get : t -> key:string -> bytes option
+val mem : t -> key:string -> bool
+val delete : t -> key:string -> bool
+(** True if the key existed. *)
+
+val length : t -> int
+val is_rehashing : t -> bool
+
+val set_rehash_allowed : t -> bool -> unit
+(** When false, pending resizes are deferred (RedisJMP read paths). *)
+
+val rehash_pending : t -> bool
+(** A resize has been deemed necessary but migration is incomplete. *)
+
+val force_rehash_step : t -> int -> unit
+(** Migrate up to N buckets now (called under the exclusive lock). *)
+
+val iter : t -> (string -> bytes -> unit) -> unit
+val check_invariants : t -> unit
+(** Every key findable, counts consistent; raises [Failure] if not. *)

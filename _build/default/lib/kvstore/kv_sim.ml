@@ -1,0 +1,219 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Layout = Sj_kernel.Layout
+module Api = Sj_core.Api
+module Registry = Sj_core.Registry
+module Engine = Sj_des.Engine
+module Resource = Sj_des.Resource
+
+type mode = Redisjmp of { tags : bool } | Redis of { instances : int }
+
+type config = {
+  platform : Platform.t;
+  clients : int;
+  set_fraction : float;
+  value_size : int;
+  keyspace : int;
+  duration_cycles : int;
+  cores : int;
+  force_exclusive : bool;
+  mode : mode;
+  seed : int;
+}
+
+let default_config =
+  {
+    platform = Platform.m1;
+    clients = 1;
+    set_fraction = 0.0;
+    value_size = 4;
+    keyspace = 1000;
+    duration_cycles = 50_000_000;
+    cores = 12;
+    force_exclusive = false;
+    mode = Redisjmp { tags = false };
+    seed = 11;
+  }
+
+type result = {
+  requests : int;
+  gets : int;
+  sets : int;
+  seconds : float;
+  throughput : float;
+  lock_wait_cycles : int;
+  switches : int;
+  tlb_misses : int;
+}
+
+(* Acquire/release of the kernel rwlock is a short serialized critical
+   section (cache-line RMW + wait-queue bookkeeping). *)
+let lock_mgr_section = 1_200
+
+let key_of rng cfg = Printf.sprintf "key:%06d" (Rng.int rng cfg.keyspace)
+
+(* ---------------- RedisJMP ---------------- *)
+
+let run_redisjmp cfg ~tags =
+  Layout.reset_global_allocator ();
+  Redisjmp.reset ();
+  let machine = Machine.create cfg.platform in
+  let ncores_machine = Platform.total_cores cfg.platform in
+  let sys = Api.boot ~backend:Api.Dragonfly machine in
+  (* Bootstrap: first client initializes and pre-populates the store. *)
+  let boot_proc = Process.create ~name:"boot" machine in
+  let boot_ctx = Api.context sys boot_proc (Machine.core machine 0) in
+  let store = Redisjmp.init boot_ctx ~name:"redis" ~size:(Size.mib 64) in
+  if tags then begin
+    Api.vas_ctl boot_ctx (`Request_tag (Api.vas_find boot_ctx ~name:"redis.rw"));
+    Api.vas_ctl boot_ctx (`Request_tag (Api.vas_find boot_ctx ~name:"redis.ro"))
+  end;
+  let boot_client = Redisjmp.connect store boot_ctx () in
+  let seed_rng = Rng.create ~seed:cfg.seed in
+  for i = 0 to cfg.keyspace - 1 do
+    ignore seed_rng;
+    Redisjmp.set boot_client (Printf.sprintf "key:%06d" i) (Bytes.create cfg.value_size)
+  done;
+  (* Clients. *)
+  let clients =
+    Array.init cfg.clients (fun i ->
+        let proc = Process.create ~name:(Printf.sprintf "client%d" i) machine in
+        let core = Machine.core machine (i mod ncores_machine) in
+        let ctx = Api.context sys proc core in
+        (Redisjmp.connect store ctx (), core, Rng.create ~seed:(cfg.seed + (31 * i) + 1)))
+  in
+  let reg = Api.registry sys in
+  Registry.reset_stats reg;
+  Array.iter (fun c -> Sj_tlb.Tlb.reset_stats (Core.tlb (Machine.core machine c)))
+    (Array.init ncores_machine Fun.id);
+  (* Discrete-event harness. *)
+  let eng = Engine.create () in
+  let cores = Resource.Cores.create eng ~n:cfg.cores in
+  let lock = Resource.Rwlock.create eng in
+  let lock_mgr = Resource.Cores.create eng ~n:1 in
+  let completed = ref 0 and gets = ref 0 and sets = ref 0 in
+  let rec client_loop (client, core, rng) () =
+    if Engine.now eng < cfg.duration_cycles then begin
+      let is_set = Rng.float rng 1.0 < cfg.set_fraction in
+      let lock_write = is_set || cfg.force_exclusive in
+      let key = key_of rng cfg in
+      (* Lock-manager critical section, then the rwlock itself. *)
+      Resource.Cores.exec lock_mgr ~cycles:lock_mgr_section (fun () ->
+          Resource.Rwlock.acquire lock ~write:lock_write (fun () ->
+              (* Service time: run the real operation on the simulated core. *)
+              let t0 = Core.cycles core in
+              (if is_set then
+                 Redisjmp.set client key (Bytes.create cfg.value_size)
+               else ignore (Redisjmp.get client key));
+              let service = Core.cycles core - t0 in
+              Resource.Cores.exec cores ~cycles:service (fun () ->
+                  Resource.Cores.exec lock_mgr ~cycles:lock_mgr_section (fun () ->
+                      Resource.Rwlock.release lock ~write:lock_write;
+                      incr completed;
+                      if is_set then incr sets else incr gets;
+                      client_loop (client, core, rng) ()))))
+    end
+  in
+  Array.iter (fun c -> client_loop c ()) clients;
+  Engine.run ~until:cfg.duration_cycles eng;
+  let seconds =
+    Sj_machine.Cost_model.cycles_to_seconds (Machine.cost machine) cfg.duration_cycles
+  in
+  let tlb_misses =
+    Array.fold_left
+      (fun acc i -> acc + (Sj_tlb.Tlb.stats (Core.tlb (Machine.core machine i))).misses)
+      0
+      (Array.init ncores_machine Fun.id)
+  in
+  {
+    requests = !completed;
+    gets = !gets;
+    sets = !sets;
+    seconds;
+    throughput = float_of_int !completed /. seconds;
+    lock_wait_cycles = Resource.Rwlock.wait_cycles lock;
+    switches = Registry.switch_count reg;
+    tlb_misses;
+  }
+
+(* ---------------- Classic Redis ---------------- *)
+
+let run_redis cfg ~instances =
+  Layout.reset_global_allocator ();
+  let machine = Machine.create cfg.platform in
+  let ncores_machine = Platform.total_cores cfg.platform in
+  (* Server instances pinned to distinct cores. *)
+  let servers =
+    Array.init instances (fun i ->
+        Server.create machine
+          ~core:(Machine.core machine (i mod ncores_machine))
+          ~heap_size:(Size.mib 64))
+  in
+  (* Pre-populate each instance (clients shard by instance). *)
+  Array.iteri
+    (fun i server ->
+      let seeder =
+        Server.connect server ~core:(Machine.core machine ((instances + i) mod ncores_machine))
+      in
+      for k = 0 to cfg.keyspace - 1 do
+        ignore (Server.request seeder (Resp.Set (Printf.sprintf "key:%06d" k, Bytes.create cfg.value_size)))
+      done)
+    servers;
+  let clients =
+    Array.init cfg.clients (fun i ->
+        let inst = i mod instances in
+        let core = Machine.core machine ((instances + i) mod ncores_machine) in
+        (Server.connect servers.(inst) ~core, inst, core, Rng.create ~seed:(cfg.seed + (37 * i) + 5)))
+  in
+  let eng = Engine.create () in
+  (* Each server instance owns one core; clients share the remainder. *)
+  let server_cores = Array.init instances (fun _ -> Resource.Cores.create eng ~n:1) in
+  let client_cores = Resource.Cores.create eng ~n:(max 1 (cfg.cores - instances)) in
+  let completed = ref 0 and gets = ref 0 and sets = ref 0 in
+  let rec client_loop (conn, inst, core, rng) () =
+    if Engine.now eng < cfg.duration_cycles then begin
+      let is_set = Rng.float rng 1.0 < cfg.set_fraction in
+      let key = key_of rng cfg in
+      (* Execute the real request once, attributing client-side and
+         server-side cycles to the right resources. *)
+      let server = servers.(inst) in
+      let c0 = Core.cycles core and s0 = Core.cycles (Server.core server) in
+      let cmd =
+        if is_set then Resp.Set (key, Bytes.create cfg.value_size) else Resp.Get key
+      in
+      ignore (Server.request conn cmd);
+      let client_cycles = Core.cycles core - c0 in
+      let server_cycles = Core.cycles (Server.core server) - s0 in
+      (* Pipeline through the resources: client prepares/sends, server
+         processes, client receives. *)
+      Resource.Cores.exec client_cores ~cycles:(client_cycles / 2) (fun () ->
+          Resource.Cores.exec server_cores.(inst) ~cycles:server_cycles (fun () ->
+              Resource.Cores.exec client_cores ~cycles:(client_cycles / 2) (fun () ->
+                  incr completed;
+                  if is_set then incr sets else incr gets;
+                  client_loop (conn, inst, core, rng) ())))
+    end
+  in
+  Array.iter (fun c -> client_loop c ()) clients;
+  Engine.run ~until:cfg.duration_cycles eng;
+  let seconds =
+    Sj_machine.Cost_model.cycles_to_seconds (Machine.cost machine) cfg.duration_cycles
+  in
+  {
+    requests = !completed;
+    gets = !gets;
+    sets = !sets;
+    seconds;
+    throughput = float_of_int !completed /. seconds;
+    lock_wait_cycles = 0;
+    switches = 0;
+    tlb_misses = 0;
+  }
+
+let run cfg =
+  match cfg.mode with
+  | Redisjmp { tags } -> run_redisjmp cfg ~tags
+  | Redis { instances } -> run_redis cfg ~instances

@@ -1,0 +1,50 @@
+(** Multi-client throughput harness for Figure 10.
+
+    Clients are discrete-event state machines contending for cores, the
+    lockable segment's reader/writer lock (RedisJMP) or server instances
+    (classic Redis). Per-request *service times* are not constants: each
+    simulated request executes the real store code on a simulated core
+    (switches, TLB, caches, dict walks) and the measured cycles feed the
+    event engine. Throughput therefore reflects both the machine model
+    and queueing effects.
+
+    The lock manager is a serialization point: acquiring or releasing
+    the kernel reader/writer lock performs a short critical section on
+    the lock's cache line, which is what ultimately caps RedisJMP's read
+    scalability ("synchronization overhead limits scalability", §5.3). *)
+
+type mode =
+  | Redisjmp of { tags : bool }
+  | Redis of { instances : int }
+
+type config = {
+  platform : Sj_machine.Platform.t;
+  clients : int;
+  set_fraction : float;  (** 0.0 = pure GET, 1.0 = pure SET *)
+  value_size : int;  (** payload bytes (paper: 4) *)
+  keyspace : int;  (** number of distinct keys *)
+  duration_cycles : int;  (** simulated time window *)
+  cores : int;  (** schedulable cores (paper treats M1 as 12) *)
+  force_exclusive : bool;
+      (** ablation: take the segment lock exclusively even for reads
+          (what a plain mutex would do) *)
+  mode : mode;
+  seed : int;
+}
+
+val default_config : config
+(** M1, 12 cores, 4-byte values, 1000 keys, 50M-cycle window, pure GET,
+    RedisJMP untagged. *)
+
+type result = {
+  requests : int;
+  gets : int;
+  sets : int;
+  seconds : float;
+  throughput : float;  (** requests per second *)
+  lock_wait_cycles : int;  (** total simulated wait on the segment lock *)
+  switches : int;  (** VAS switches performed (RedisJMP) *)
+  tlb_misses : int;
+}
+
+val run : config -> result

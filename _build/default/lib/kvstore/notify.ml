@@ -1,0 +1,66 @@
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+
+type subscriber = {
+  id : int;
+  channel : string;
+  sub_core : Core.core;
+  queue : bytes Queue.t;
+  service : t;
+}
+
+and t = {
+  machine : Machine.t;
+  core : Core.core;
+  subs : (string, subscriber list ref) Hashtbl.t;
+  mutable next_id : int;
+}
+
+(* Service-side bookkeeping per operation. *)
+let register_cost = 900
+let fanout_cost_per_sub = 350
+
+let hop machine ~len =
+  let c = Machine.cost machine in
+  let line = (Machine.platform machine).line in
+  c.syscall_generic + (((len + line - 1) / line) * c.l1_hit * 2)
+
+let create machine ~core = { machine; core; subs = Hashtbl.create 8; next_id = 0 }
+
+let subscribe t ~channel ~core =
+  Core.charge core (hop t.machine ~len:(String.length channel));
+  Core.charge t.core register_cost;
+  t.next_id <- t.next_id + 1;
+  let sub = { id = t.next_id; channel; sub_core = core; queue = Queue.create (); service = t } in
+  (match Hashtbl.find_opt t.subs channel with
+  | Some l -> l := sub :: !l
+  | None -> Hashtbl.replace t.subs channel (ref [ sub ]));
+  sub
+
+let unsubscribe t sub =
+  match Hashtbl.find_opt t.subs sub.channel with
+  | Some l -> l := List.filter (fun s -> s.id <> sub.id) !l
+  | None -> ()
+
+let publish t ~from ~channel payload =
+  Core.charge from (hop t.machine ~len:(Bytes.length payload + String.length channel));
+  match Hashtbl.find_opt t.subs channel with
+  | None -> 0
+  | Some l ->
+    let receivers = !l in
+    Core.charge t.core (List.length receivers * fanout_cost_per_sub);
+    List.iter (fun s -> Queue.push (Bytes.copy payload) s.queue) receivers;
+    List.length receivers
+
+let poll sub =
+  match Queue.take_opt sub.queue with
+  | None -> None
+  | Some payload ->
+    Core.charge sub.sub_core (hop sub.service.machine ~len:(Bytes.length payload));
+    Some payload
+
+let pending sub = Queue.length sub.queue
+
+let channels t =
+  Hashtbl.fold (fun k l acc -> if !l <> [] then k :: acc else acc) t.subs []
+  |> List.sort compare

@@ -1,0 +1,34 @@
+(** Dedicated notification service.
+
+    §5.3 notes that publish–subscribe "could be implemented in a
+    dedicated notification service" — RedisJMP deliberately has no
+    server process to deliver pushes from, so notification fan-out
+    moves to a small standalone service. Publishers send one message to
+    the service (socket hop); the service enqueues per subscriber;
+    subscribers poll their queues (socket hop each). Channel state
+    lives host-side in the service, as kernel/service state would. *)
+
+type t
+(** The service instance (conceptually its own process, pinned to a
+    core whose cycles absorb the fan-out work). *)
+
+type subscriber
+
+val create : Sj_machine.Machine.t -> core:Sj_machine.Machine.Core.core -> t
+val subscribe : t -> channel:string -> core:Sj_machine.Machine.Core.core -> subscriber
+(** Register interest; [core] is charged for the registration RPC. *)
+
+val unsubscribe : t -> subscriber -> unit
+
+val publish : t -> from:Sj_machine.Machine.Core.core -> channel:string -> bytes -> int
+(** Deliver to every current subscriber of [channel]; returns the
+    receiver count. The publisher pays one send; the service core pays
+    the per-subscriber fan-out. *)
+
+val poll : subscriber -> bytes option
+(** Dequeue the subscriber's next pending message ([None] when idle),
+    charging its receive cost. Messages from one publisher arrive in
+    publication order. *)
+
+val pending : subscriber -> int
+val channels : t -> string list

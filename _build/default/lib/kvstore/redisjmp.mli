@@ -1,0 +1,61 @@
+(** RedisJMP — Redis re-architected over SpaceJMP (§5.3).
+
+    There is no server process. The store's data structures live in a
+    lockable segment inside a named VAS; clients execute server code
+    *themselves* by switching into that address space. Reads enter
+    through a read-only attachment (shared lock — parallel readers);
+    writes enter read-write (exclusive lock). Each client carries a
+    small private scratch segment for command parsing, because even GET
+    handling allocates transient objects and the shared segment is
+    read-only on that path. Hash-table resizing is deferred until a
+    client holds the exclusive lock.
+
+    Locking here is the *immediate-mode* segment lock (single timeline);
+    the discrete-event harness in {!Kv_sim} layers queued waiting on
+    top for the multi-client throughput experiments. *)
+
+type t
+(** A named RedisJMP store in the system. *)
+
+type client
+
+val init :
+  Sj_core.Api.ctx -> name:string -> size:int -> t
+(** First-client initialization: creates the VASes (one read-write,
+    one read-only view), the lockable data segment, and the store
+    structures (lazy server-state construction as in §5.3). *)
+
+val find : Sj_core.Api.ctx -> name:string -> t
+(** Look up an existing store (raises [Errors.Unknown_name]). *)
+
+val reset : unit -> unit
+(** Forget all stores (experiment isolation across machine instances). *)
+
+val connect : t -> Sj_core.Api.ctx -> ?scratch_size:int -> unit -> client
+(** Attach the calling process: builds its rw and ro attachments and
+    its private scratch segment. *)
+
+val execute : client -> Resp.command -> Resp.reply
+(** Run a command by jumping into the store's address space. Write
+    commands take the exclusive path, read commands the shared path.
+    If store memory runs out mid-write, the acting client doubles the
+    shared segment under its exclusive lock and retries — no other
+    client coordinates (§1, §2.3). Raises [Errors.Would_block] if the
+    segment lock is unavailable. *)
+
+val get : client -> string -> bytes option
+val set : client -> string -> bytes -> unit
+val store : t -> Store.t
+val data_segment : t -> Sj_core.Segment.t
+
+val is_write_command : Resp.command -> bool
+
+(** {2 Keyspace notifications}
+
+    §5.3: publish–subscribe features live in a dedicated notification
+    service. With notifications enabled, every successful write command
+    publishes an event on the written key's channel. *)
+
+val enable_notifications : client -> Notify.t -> unit
+val keyspace_channel : string -> string
+(** The channel carrying events for one key ("keyspace:<key>"). *)

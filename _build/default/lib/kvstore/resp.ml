@@ -1,0 +1,185 @@
+type command =
+  | Set of string * bytes
+  | Get of string
+  | Del of string
+  | Exists of string
+  | Incr of string
+  | Append of string * bytes
+  | Strlen of string
+  | Setnx of string * bytes
+  | Getset of string * bytes
+  | Mget of string list
+  | Dbsize
+  | Flushall
+  | Ping
+
+type reply = Ok_simple | Bulk of bytes | Nil | Int of int | Err of string | Multi of reply list | Pong
+
+let bulk buf s =
+  Buffer.add_string buf (Printf.sprintf "$%d\r\n" (String.length s));
+  Buffer.add_string buf s;
+  Buffer.add_string buf "\r\n"
+
+let array_of_strings parts =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "*%d\r\n" (List.length parts));
+  List.iter (bulk buf) parts;
+  Buffer.to_bytes buf
+
+let encode_command = function
+  | Set (k, v) -> array_of_strings [ "SET"; k; Bytes.to_string v ]
+  | Get k -> array_of_strings [ "GET"; k ]
+  | Del k -> array_of_strings [ "DEL"; k ]
+  | Exists k -> array_of_strings [ "EXISTS"; k ]
+  | Incr k -> array_of_strings [ "INCR"; k ]
+  | Append (k, v) -> array_of_strings [ "APPEND"; k; Bytes.to_string v ]
+  | Strlen k -> array_of_strings [ "STRLEN"; k ]
+  | Setnx (k, v) -> array_of_strings [ "SETNX"; k; Bytes.to_string v ]
+  | Getset (k, v) -> array_of_strings [ "GETSET"; k; Bytes.to_string v ]
+  | Mget ks -> array_of_strings ("MGET" :: ks)
+  | Dbsize -> array_of_strings [ "DBSIZE" ]
+  | Flushall -> array_of_strings [ "FLUSHALL" ]
+  | Ping -> array_of_strings [ "PING" ]
+
+(* --- decoding --- *)
+
+let find_crlf b pos =
+  let n = Bytes.length b in
+  let rec go i =
+    if i + 1 >= n then None
+    else if Bytes.get b i = '\r' && Bytes.get b (i + 1) = '\n' then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let parse_int_line b pos =
+  match find_crlf b pos with
+  | None -> Error "truncated integer line"
+  | Some stop -> (
+    let s = Bytes.sub_string b pos (stop - pos) in
+    match int_of_string_opt s with
+    | Some n -> Ok (n, stop + 2)
+    | None -> Error ("bad integer: " ^ s))
+
+let parse_bulk b pos =
+  if pos >= Bytes.length b || Bytes.get b pos <> '$' then Error "expected bulk string"
+  else
+    Result.bind (parse_int_line b (pos + 1)) (fun (len, pos) ->
+        if len < 0 then Ok (None, pos)
+        else if pos + len + 2 > Bytes.length b then Error "truncated bulk string"
+        else Ok (Some (Bytes.sub_string b pos len), pos + len + 2))
+
+let decode_command b =
+  let ( let* ) = Result.bind in
+  if Bytes.length b = 0 || Bytes.get b 0 <> '*' then Error "expected array"
+  else
+    let* count, pos = parse_int_line b 1 in
+    let rec parts pos acc = function
+      | 0 -> Ok (List.rev acc)
+      | n ->
+        let* part, pos = parse_bulk b pos in
+        (match part with
+        | Some s -> parts pos (s :: acc) (n - 1)
+        | None -> Error "nil command part")
+    in
+    let* parts = parts pos [] count in
+    match
+      match parts with [] -> [] | cmd :: rest -> String.uppercase_ascii cmd :: rest
+    with
+    | [ "SET"; k; v ] -> Ok (Set (k, Bytes.of_string v))
+    | [ "GET"; k ] -> Ok (Get k)
+    | [ "DEL"; k ] -> Ok (Del k)
+    | [ "EXISTS"; k ] -> Ok (Exists k)
+    | [ "INCR"; k ] -> Ok (Incr k)
+    | [ "APPEND"; k; v ] -> Ok (Append (k, Bytes.of_string v))
+    | [ "STRLEN"; k ] -> Ok (Strlen k)
+    | [ "SETNX"; k; v ] -> Ok (Setnx (k, Bytes.of_string v))
+    | [ "GETSET"; k; v ] -> Ok (Getset (k, Bytes.of_string v))
+    | "MGET" :: (_ :: _ as ks) -> Ok (Mget ks)
+    | [ "DBSIZE" ] -> Ok Dbsize
+    | [ "FLUSHALL" ] -> Ok Flushall
+    | [ "PING" ] -> Ok Ping
+    | cmd :: _ -> Error ("unknown command " ^ cmd)
+    | [] -> Error "empty command"
+
+let rec encode_reply = function
+  | Ok_simple -> Bytes.of_string "+OK\r\n"
+  | Pong -> Bytes.of_string "+PONG\r\n"
+  | Bulk v ->
+    let buf = Buffer.create (Bytes.length v + 16) in
+    bulk buf (Bytes.to_string v);
+    Buffer.to_bytes buf
+  | Nil -> Bytes.of_string "$-1\r\n"
+  | Int n -> Bytes.of_string (Printf.sprintf ":%d\r\n" n)
+  | Err e -> Bytes.of_string (Printf.sprintf "-%s\r\n" e)
+  | Multi rs ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Printf.sprintf "*%d\r\n" (List.length rs));
+    List.iter (fun r -> Buffer.add_bytes buf (encode_reply r)) rs;
+    Buffer.to_bytes buf
+
+let rec decode_reply_at b pos =
+  let ( let* ) = Result.bind in
+  if pos >= Bytes.length b then Error "empty reply"
+  else
+    match Bytes.get b pos with
+    | '+' -> (
+      match find_crlf b (pos + 1) with
+      | Some stop -> (
+        match Bytes.sub_string b (pos + 1) (stop - pos - 1) with
+        | "OK" -> Ok (Ok_simple, stop + 2)
+        | "PONG" -> Ok (Pong, stop + 2)
+        | s -> Error ("unexpected simple string " ^ s))
+      | None -> Error "truncated simple string")
+    | ':' ->
+      let* n, p = parse_int_line b (pos + 1) in
+      Ok (Int n, p)
+    | '$' -> (
+      let* part, p = parse_bulk b pos in
+      match part with
+      | Some s -> Ok (Bulk (Bytes.of_string s), p)
+      | None -> Ok (Nil, p))
+    | '-' -> (
+      match find_crlf b (pos + 1) with
+      | Some stop -> Ok (Err (Bytes.sub_string b (pos + 1) (stop - pos - 1)), stop + 2)
+      | None -> Error "truncated error")
+    | '*' ->
+      let* count, p = parse_int_line b (pos + 1) in
+      let rec go p acc = function
+        | 0 -> Ok (Multi (List.rev acc), p)
+        | n ->
+          let* r, p = decode_reply_at b p in
+          go p (r :: acc) (n - 1)
+      in
+      go p [] count
+    | c -> Error (Printf.sprintf "bad reply tag %c" c)
+
+let decode_reply b = Result.map fst (decode_reply_at b 0)
+
+let _legacy_decode_reply b =
+  let ( let* ) = Result.bind in
+  if Bytes.length b = 0 then Error "empty reply"
+  else
+    match Bytes.get b 0 with
+    | '+' -> (
+      match find_crlf b 1 with
+      | Some stop -> (
+        match Bytes.sub_string b 1 (stop - 1) with
+        | "OK" -> Ok Ok_simple
+        | "PONG" -> Ok Pong
+        | s -> Error ("unexpected simple string " ^ s))
+      | None -> Error "truncated simple string")
+    | ':' ->
+      let* n, _ = parse_int_line b 1 in
+      Ok (Int n)
+    | '$' -> (
+      let* part, _ = parse_bulk b 0 in
+      match part with Some s -> Ok (Bulk (Bytes.of_string s)) | None -> Ok Nil)
+    | '-' -> (
+      match find_crlf b 1 with
+      | Some stop -> Ok (Err (Bytes.sub_string b 1 (stop - 1)))
+      | None -> Error "truncated error")
+    | c -> Error (Printf.sprintf "bad reply tag %c" c)
+
+(* ~2 cycles/byte scanning plus fixed dispatch cost. *)
+let parse_cycles ~len = 60 + (2 * len)

@@ -1,0 +1,38 @@
+(** Minimal RESP (REdis Serialization Protocol) codec.
+
+    Classic clients marshal commands into RESP arrays of bulk strings
+    and servers answer with simple strings, bulk strings, integers or
+    errors — exactly enough of the protocol for the §5.3 workload. *)
+
+type command =
+  | Set of string * bytes
+  | Get of string
+  | Del of string
+  | Exists of string
+  | Incr of string
+  | Append of string * bytes
+  | Strlen of string
+  | Setnx of string * bytes  (** set only if absent; replies 1/0 *)
+  | Getset of string * bytes  (** set, replying with the old value *)
+  | Mget of string list
+  | Dbsize
+  | Flushall
+  | Ping
+
+type reply =
+  | Ok_simple
+  | Bulk of bytes
+  | Nil
+  | Int of int
+  | Err of string
+  | Multi of reply list  (** array reply (MGET) *)
+  | Pong
+
+val encode_command : command -> bytes
+val decode_command : bytes -> (command, string) result
+val encode_reply : reply -> bytes
+val decode_reply : bytes -> (reply, string) result
+
+val parse_cycles : len:int -> int
+(** CPU cost of scanning/parsing a RESP payload of [len] bytes (charged
+    by server and client code). *)

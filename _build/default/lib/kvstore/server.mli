@@ -1,0 +1,29 @@
+(** Classic single-threaded Redis server over UNIX domain sockets.
+
+    One process, one core, one private heap. Clients marshal RESP
+    commands through a per-client socket; the server's event loop
+    drains sockets, parses, executes, and replies. Costs per request:
+    two socket hops (syscall + copy each side), RESP parsing, the
+    store's memory accesses, and a fixed event-loop overhead. *)
+
+type t
+type client
+
+val create :
+  Sj_machine.Machine.t -> core:Sj_machine.Machine.Core.core -> heap_size:int -> t
+(** Boot a server instance pinned to [core]. *)
+
+val core : t -> Sj_machine.Machine.Core.core
+val store : t -> Store.t
+
+val connect : t -> core:Sj_machine.Machine.Core.core -> client
+(** Open a client connection from the given core. *)
+
+val request : client -> Resp.command -> Resp.reply
+(** Synchronous request/response, charging client and server cores. *)
+
+val loop_overhead : int
+(** Per-request server event-loop cost (epoll, fd bookkeeping). *)
+
+val client_overhead : int
+(** Per-request client-side benchmark overhead. *)

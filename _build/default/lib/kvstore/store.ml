@@ -1,0 +1,78 @@
+type stats = { mutable gets : int; mutable sets : int; mutable hits : int }
+type t = { dict : Dict.t; stats : stats }
+
+let create mem = { dict = Dict.create mem; stats = { gets = 0; sets = 0; hits = 0 } }
+let dict t = t.dict
+let size t = Dict.length t.dict
+let stats t = t.stats
+
+let execute t (cmd : Resp.command) : Resp.reply =
+  match cmd with
+  | Set (k, v) ->
+    t.stats.sets <- t.stats.sets + 1;
+    Dict.set t.dict ~key:k v;
+    Ok_simple
+  | Get k -> (
+    t.stats.gets <- t.stats.gets + 1;
+    match Dict.get t.dict ~key:k with
+    | Some v ->
+      t.stats.hits <- t.stats.hits + 1;
+      Bulk v
+    | None -> Nil)
+  | Del k -> Int (if Dict.delete t.dict ~key:k then 1 else 0)
+  | Exists k -> Int (if Dict.mem t.dict ~key:k then 1 else 0)
+  | Incr k -> (
+    let current =
+      match Dict.get t.dict ~key:k with
+      | None -> Some 0
+      | Some v -> int_of_string_opt (Bytes.to_string v)
+    in
+    match current with
+    | None -> Err "value is not an integer"
+    | Some n ->
+      let v = Bytes.of_string (string_of_int (n + 1)) in
+      Dict.set t.dict ~key:k v;
+      Int (n + 1))
+  | Append (k, v) ->
+    let merged =
+      match Dict.get t.dict ~key:k with
+      | Some old -> Bytes.cat old v
+      | None -> v
+    in
+    Dict.set t.dict ~key:k merged;
+    Int (Bytes.length merged)
+  | Strlen k -> (
+    match Dict.get t.dict ~key:k with
+    | Some v -> Int (Bytes.length v)
+    | None -> Int 0)
+  | Setnx (k, v) ->
+    if Dict.mem t.dict ~key:k then Int 0
+    else begin
+      t.stats.sets <- t.stats.sets + 1;
+      Dict.set t.dict ~key:k v;
+      Int 1
+    end
+  | Getset (k, v) ->
+    let old = Dict.get t.dict ~key:k in
+    t.stats.sets <- t.stats.sets + 1;
+    Dict.set t.dict ~key:k v;
+    (match old with Some o -> Bulk o | None -> Nil)
+  | Mget ks ->
+    t.stats.gets <- t.stats.gets + List.length ks;
+    Multi
+      (List.map
+         (fun k : Resp.reply ->
+           match Dict.get t.dict ~key:k with
+           | Some v ->
+             t.stats.hits <- t.stats.hits + 1;
+             Resp.Bulk v
+           | None -> Resp.Nil)
+         ks)
+  | Dbsize -> Int (Dict.length t.dict)
+  | Flushall ->
+    (* Delete all keys (frees their store memory). *)
+    let keys = ref [] in
+    Dict.iter t.dict (fun k _ -> keys := k :: !keys);
+    List.iter (fun k -> ignore (Dict.delete t.dict ~key:k)) !keys;
+    Ok_simple
+  | Ping -> Pong

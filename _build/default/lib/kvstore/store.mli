@@ -1,0 +1,16 @@
+(** The key-value engine shared by classic Redis and RedisJMP: command
+    execution over the incremental-rehash dict. *)
+
+type t
+
+val create : Kv_mem.t -> t
+val dict : t -> Dict.t
+
+val execute : t -> Resp.command -> Resp.reply
+(** Run one command against the store. *)
+
+val size : t -> int
+
+type stats = { mutable gets : int; mutable sets : int; mutable hits : int }
+
+val stats : t -> stats

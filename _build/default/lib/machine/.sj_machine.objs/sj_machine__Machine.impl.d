@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Addr Array Bytes Cache Cost_model Int64 Platform Size Sj_mem Sj_paging Sj_tlb Sj_util

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cost_model Platform Sj_mem Sj_paging Sj_tlb

@@ -1,0 +1,1 @@
+lib/machine/platform.ml: Cost_model Format Size Sj_tlb Sj_util

@@ -1,0 +1,1 @@
+lib/machine/platform.mli: Cost_model Format Sj_tlb

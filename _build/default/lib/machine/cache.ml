@@ -1,0 +1,101 @@
+open Sj_util
+
+type level = L1 | LLC | Memory
+
+type t = {
+  sets : int;
+  ways : int;
+  line : int;
+  line_shift : int;
+  tags : int array array; (* [set].[way]; -1 = invalid *)
+  lru : int array array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size ~ways ~line =
+  if not (Size.is_power_of_two line) then invalid_arg "Cache.create: line size";
+  let lines = size / line in
+  if lines mod ways <> 0 then invalid_arg "Cache.create: size/ways mismatch";
+  let sets = lines / ways in
+  if sets <= 0 then invalid_arg "Cache.create: set count";
+  {
+    sets;
+    ways;
+    line;
+    line_shift = Size.log2 line;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_addr t pa = pa lsr t.line_shift
+
+(* Power-of-two set counts index by mask; LLCs with non-power-of-two
+   associativity products (e.g. 25 MiB / 20-way) index by modulo. *)
+let set_of t la = if t.sets land (t.sets - 1) = 0 then la land (t.sets - 1) else la mod t.sets
+
+let find t la =
+  let s = set_of t la in
+  let tags = t.tags.(s) in
+  let rec go i = if i >= t.ways then None else if tags.(i) = la then Some i else go (i + 1) in
+  go 0
+
+let touch t s w =
+  t.clock <- t.clock + 1;
+  t.lru.(s).(w) <- t.clock
+
+let access t ~pa =
+  let la = line_addr t pa in
+  let s = set_of t la in
+  match find t la with
+  | Some w ->
+    touch t s w;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Fill, evicting LRU. *)
+    let tags = t.tags.(s) and lru = t.lru.(s) in
+    let victim = ref 0 in
+    (try
+       for i = 0 to t.ways - 1 do
+         if tags.(i) = -1 then begin
+           victim := i;
+           raise Exit
+         end;
+         if lru.(i) < lru.(!victim) then victim := i
+       done
+     with Exit -> ());
+    tags.(!victim) <- la;
+    touch t s !victim;
+    false
+
+let probe t ~pa =
+  let la = line_addr t pa in
+  match find t la with
+  | Some w ->
+    touch t (set_of t la) w;
+    true
+  | None -> false
+
+let invalidate_line t ~pa =
+  let la = line_addr t pa in
+  match find t la with
+  | Some w -> t.tags.(set_of t la).(w) <- -1
+  | None -> ()
+
+let clear t =
+  Array.iter (fun tags -> Array.fill tags 0 t.ways (-1)) t.tags
+
+let hits t = t.hits
+let misses t = t.misses
+let line_size t = t.line
+
+let pp_level fmt = function
+  | L1 -> Format.pp_print_string fmt "L1"
+  | LLC -> Format.pp_print_string fmt "LLC"
+  | Memory -> Format.pp_print_string fmt "DRAM"

@@ -1,0 +1,80 @@
+type t = {
+  clock_ghz : float;
+  cr3_load : int;
+  cr3_load_tagged : int;
+  syscall_dragonfly : int;
+  syscall_barrelfish : int;
+  switch_bookkeeping_df : int;
+  switch_bookkeeping_df_tagged : int;
+  cap_invoke_bf : int;
+  cap_invoke_bf_tagged : int;
+  tlb_hit : int;
+  walk_per_level : int;
+  pte_write : int;
+  pte_clear : int;
+  table_alloc : int;
+  page_zero : int;
+  l1_hit : int;
+  llc_hit : int;
+  dram_local : int;
+  dram_remote : int;
+  dram_capacity : int;
+  cacheline_intra : int;
+  cacheline_cross : int;
+  syscall_generic : int;
+  lock_uncontended : int;
+  lock_xfer : int;
+}
+
+(* Table 2 measured the M2 platform; the switching constants below make
+   [vas_switch_cost] reproduce its four cells exactly:
+     DragonFly untagged: 357 + 130 + 640 = 1127
+     DragonFly tagged:   357 + 224 + 226 =  807
+     Barrelfish untagged:130 + 130 + 404 =  664
+     Barrelfish tagged:  130 + 224 + 108 =  462 *)
+let base =
+  {
+    clock_ghz = 2.5;
+    cr3_load = 130;
+    cr3_load_tagged = 224;
+    syscall_dragonfly = 357;
+    syscall_barrelfish = 130;
+    switch_bookkeeping_df = 640;
+    switch_bookkeeping_df_tagged = 226;
+    cap_invoke_bf = 404;
+    cap_invoke_bf_tagged = 108;
+    tlb_hit = 0;
+    walk_per_level = 20;
+    pte_write = 42;
+    pte_clear = 30;
+    table_alloc = 550;
+    page_zero = 700;
+    l1_hit = 4;
+    llc_hit = 42;
+    dram_local = 200;
+    dram_remote = 310;
+    dram_capacity = 900;
+    cacheline_intra = 150;
+    cacheline_cross = 600;
+    syscall_generic = 300;
+    lock_uncontended = 40;
+    lock_xfer = 220;
+  }
+
+let m1 = { base with clock_ghz = 2.66; dram_local = 230; dram_remote = 360 }
+let m2 = base
+let m3 = { base with clock_ghz = 2.3; llc_hit = 48; dram_local = 190; dram_remote = 290 }
+
+let cycles_to_seconds t c = float_of_int c /. (t.clock_ghz *. 1e9)
+let cycles_to_ms t c = cycles_to_seconds t c *. 1e3
+let cycles_to_us t c = cycles_to_seconds t c *. 1e6
+
+let vas_switch_cost t ~os ~tagged =
+  let cr3 = if tagged then t.cr3_load_tagged else t.cr3_load in
+  match os with
+  | `Dragonfly ->
+    t.syscall_dragonfly + cr3
+    + if tagged then t.switch_bookkeeping_df_tagged else t.switch_bookkeeping_df
+  | `Barrelfish ->
+    t.syscall_barrelfish + cr3
+    + if tagged then t.cap_invoke_bf_tagged else t.cap_invoke_bf

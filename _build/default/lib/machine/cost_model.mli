@@ -1,0 +1,59 @@
+(** Cycle-cost constants for the simulated machine.
+
+    Wherever the paper reports a directly measured hardware cost we use
+    the paper's own number (Table 2 / §5.1, measured on platform M2);
+    remaining constants are representative Xeon figures calibrated so the
+    derived curves (Fig. 1, Fig. 6, Fig. 7) land in the paper's ranges. *)
+
+type t = {
+  clock_ghz : float;  (** cycles -> seconds conversion *)
+  (* Address-space switching (Table 2) *)
+  cr3_load : int;  (** CR3 write, tags disabled: 130 *)
+  cr3_load_tagged : int;  (** CR3 write with PCID logic: 224 *)
+  syscall_dragonfly : int;  (** DragonFly syscall entry/exit: 357 *)
+  syscall_barrelfish : int;  (** Barrelfish syscall: 130 *)
+  switch_bookkeeping_df : int;  (** DragonFly kernel vmspace juggling, untagged *)
+  switch_bookkeeping_df_tagged : int;
+  cap_invoke_bf : int;  (** Barrelfish capability invocation, untagged *)
+  cap_invoke_bf_tagged : int;
+  (* Translation machinery *)
+  tlb_hit : int;  (** added latency of a TLB hit (folded into L1) *)
+  walk_per_level : int;  (** page-walker cost per level touched *)
+  pte_write : int;  (** kernel writing one PTE (Fig. 1 slope) *)
+  pte_clear : int;
+  table_alloc : int;  (** allocating+zeroing one page-table page *)
+  page_zero : int;  (** zeroing a data page on first allocation *)
+  (* Memory hierarchy *)
+  l1_hit : int;
+  llc_hit : int;
+  dram_local : int;
+  dram_remote : int;  (** cross-socket access penalty included *)
+  dram_capacity : int;
+      (** capacity-tier (NVM-class) access — the sec 7 heterogeneous
+          memory story *)
+  (* Interconnect / IPC *)
+  cacheline_intra : int;  (** cache-line ping between cores, same socket *)
+  cacheline_cross : int;  (** across sockets *)
+  (* Software constants *)
+  syscall_generic : int;  (** non-SpaceJMP syscalls (read/write/mmap entry) *)
+  lock_uncontended : int;  (** acquiring a free lockable-segment lock *)
+  lock_xfer : int;  (** handing a contended lock between cores *)
+}
+
+val m1 : t
+(** 2x12c Xeon X5650 2.66 GHz, 92 GiB (Table 1). *)
+
+val m2 : t
+(** 2x10c Xeon E5-2670v2 2.50 GHz, 256 GiB -- the Table 2 platform. *)
+
+val m3 : t
+(** 2x18c Xeon E5-2699v3 2.30 GHz, 512 GiB -- the GUPS/Fig. 6 platform. *)
+
+val cycles_to_seconds : t -> int -> float
+val cycles_to_ms : t -> int -> float
+val cycles_to_us : t -> int -> float
+
+val vas_switch_cost : t -> os:[ `Dragonfly | `Barrelfish ] -> tagged:bool -> int
+(** Immediate cost of one [vas_switch] (Table 2's bottom row):
+    syscall + CR3 write + bookkeeping. Subsequent TLB-refill costs are
+    charged organically as the TLB misses. *)

@@ -1,0 +1,265 @@
+open Sj_util
+module Phys_mem = Sj_mem.Phys_mem
+module Page_table = Sj_paging.Page_table
+module Prot = Sj_paging.Prot
+module Tlb = Sj_tlb.Tlb
+
+type access = Read | Write
+
+exception Page_fault of { va : int; access : access }
+exception Protection_fault of { va : int; access : access }
+exception No_page_table
+
+type core_state = {
+  id : int;
+  socket : int;
+  machine : t;
+  mutable cycles : int;
+  tlb : Tlb.t;
+  l1 : Cache.t;
+  mutable pt : Page_table.t option;
+  mutable tag : int;
+  mutable fault_handler : (va:int -> access:access -> bool) option;
+}
+
+and t = {
+  platform : Platform.t;
+  mem : Phys_mem.t;
+  cost : Cost_model.t;
+  llcs : Cache.t array; (* one per socket *)
+  mutable core_list : core_state array;
+}
+
+let create (platform : Platform.t) =
+  let mem =
+    Phys_mem.create_tiered ~size:platform.mem_size ~numa_nodes:platform.sockets
+      ~capacity_size:platform.capacity_size
+  in
+  let llcs =
+    Array.init platform.sockets (fun _ ->
+        Cache.create ~size:platform.llc_size ~ways:platform.llc_ways ~line:platform.line)
+  in
+  let t = { platform; mem; cost = platform.cost; llcs; core_list = [||] } in
+  let cores =
+    Array.init (Platform.total_cores platform) (fun i ->
+        {
+          id = i;
+          socket = i / platform.cores_per_socket;
+          machine = t;
+          cycles = 0;
+          tlb = Tlb.create platform.tlb;
+          l1 = Cache.create ~size:platform.l1_size ~ways:platform.l1_ways ~line:platform.line;
+          pt = None;
+          tag = 0;
+          fault_handler = None;
+        })
+  in
+  t.core_list <- cores;
+  t
+
+let platform t = t.platform
+let mem t = t.mem
+let cost t = t.cost
+
+module Core = struct
+  type core = core_state
+
+  let id c = c.id
+  let socket c = c.socket
+  let set_fault_handler c h = c.fault_handler <- h
+  let cycles c = c.cycles
+  let charge c n = c.cycles <- c.cycles + n
+  let tlb c = c.tlb
+  let current_tag c = c.tag
+
+  let set_page_table c ?(tag = 0) pt =
+    let m = c.machine in
+    if tag < 0 || tag > Tlb.max_tag c.tlb then invalid_arg "Core.set_page_table: bad tag";
+    c.pt <- pt;
+    c.tag <- tag;
+    (match pt with
+    | None -> ()
+    | Some _ ->
+      charge c (if tag = 0 then m.cost.cr3_load else m.cost.cr3_load_tagged));
+    if tag = 0 then Tlb.flush_nonglobal c.tlb
+
+  (* One data access of up to a cache line: L1 -> socket LLC -> DRAM. *)
+  let line_access c ~pa =
+    let m = c.machine in
+    if Cache.access c.l1 ~pa then charge c m.cost.l1_hit
+    else if Cache.access m.llcs.(c.socket) ~pa then charge c m.cost.llc_hit
+    else begin
+      let node = Phys_mem.node_of_frame m.mem (Phys_mem.frame_of_addr pa) in
+      charge c
+        (match Phys_mem.node_kind m.mem node with
+        | Phys_mem.Capacity -> m.cost.dram_capacity
+        | Phys_mem.Performance ->
+          if node = c.socket then m.cost.dram_local else m.cost.dram_remote)
+    end
+
+  (* Charge for all lines overlapped by [pa, pa+len). *)
+  let data_access c ~pa ~len =
+    let line = c.machine.platform.line in
+    let first = pa / line and last = (pa + len - 1) / line in
+    for l = first to last do
+      line_access c ~pa:(l * line)
+    done
+
+  let translate_once c ~va ~access =
+    let m = c.machine in
+    match c.pt with
+    | None -> raise No_page_table
+    | Some pt -> (
+      charge c m.cost.tlb_hit;
+      let check (prot : Prot.t) =
+        let ok = match access with Read -> prot.read | Write -> prot.write in
+        if not ok then raise (Protection_fault { va; access })
+      in
+      match Tlb.lookup c.tlb ~tag:c.tag ~va with
+      | Some hit ->
+        check hit.prot;
+        hit.pa
+      | None -> (
+        match Page_table.walk pt ~va with
+        | None -> raise (Page_fault { va; access })
+        | Some mapping ->
+          (* The page walker touches one table entry per level; its
+             accesses go through the cache hierarchy like data. *)
+          charge c (mapping.levels * m.cost.walk_per_level);
+          Tlb.insert c.tlb ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot
+            ~size:mapping.size ~global:mapping.global;
+          check mapping.prot;
+          let page = Page_table.bytes_of_page_size mapping.size in
+          mapping.pa + (va land (page - 1))))
+
+  (* A faulting translation gives the installed handler a chance to
+     repair the mapping (demand splits, COW) and retry. *)
+  let translate c ~va ~access =
+    let rec go attempts =
+      try translate_once c ~va ~access
+      with (Page_fault _ | Protection_fault _) as fault -> (
+        match c.fault_handler with
+        | Some handler when attempts > 0 ->
+          (* A stale TLB entry may be what faulted; the handler will
+             change the mapping, so drop it before retrying. *)
+          if handler ~va ~access then begin
+            Tlb.invalidate_page c.tlb ~va;
+            go (attempts - 1)
+          end
+          else raise fault
+        | Some _ | None -> raise fault)
+    in
+    go 4
+
+  let load8 c ~va =
+    let pa = translate c ~va ~access:Read in
+    data_access c ~pa ~len:1;
+    Phys_mem.read8 c.machine.mem ~pa
+
+  let store8 c ~va v =
+    let pa = translate c ~va ~access:Write in
+    data_access c ~pa ~len:1;
+    Phys_mem.write8 c.machine.mem ~pa v
+
+  (* Multi-byte accesses may cross a page boundary; split per page. *)
+  let split_pages ~va ~len f =
+    let pos = ref 0 in
+    while !pos < len do
+      let a = va + !pos in
+      let chunk = min (len - !pos) (Addr.page_size - Addr.offset_in_page a) in
+      f ~va:a ~off:!pos ~len:chunk;
+      pos := !pos + chunk
+    done
+
+  let load64 c ~va =
+    if Addr.offset_in_page va <= Addr.page_size - 8 then begin
+      let pa = translate c ~va ~access:Read in
+      data_access c ~pa ~len:8;
+      Phys_mem.read64 c.machine.mem ~pa
+    end
+    else begin
+      let v = ref 0L in
+      for i = 7 downto 0 do
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (load8 c ~va:(va + i)))
+      done;
+      !v
+    end
+
+  let store64 c ~va v =
+    if Addr.offset_in_page va <= Addr.page_size - 8 then begin
+      let pa = translate c ~va ~access:Write in
+      data_access c ~pa ~len:8;
+      Phys_mem.write64 c.machine.mem ~pa v
+    end
+    else
+      for i = 0 to 7 do
+        store8 c ~va:(va + i) (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+      done
+
+  let load_bytes c ~va ~len =
+    let out = Bytes.create len in
+    split_pages ~va ~len (fun ~va ~off ~len ->
+        let pa = translate c ~va ~access:Read in
+        data_access c ~pa ~len;
+        Bytes.blit (Phys_mem.read_bytes c.machine.mem ~pa ~len) 0 out off len);
+    out
+
+  let store_bytes c ~va src =
+    split_pages ~va ~len:(Bytes.length src) (fun ~va ~off ~len ->
+        let pa = translate c ~va ~access:Write in
+        data_access c ~pa ~len;
+        Phys_mem.write_bytes c.machine.mem ~pa (Bytes.sub src off len))
+
+  let touch c ~va ~access =
+    let pa = translate c ~va ~access in
+    data_access c ~pa ~len:1
+
+  let memset c ~va ~len x =
+    split_pages ~va ~len (fun ~va ~off:_ ~len ->
+        let pa = translate c ~va ~access:Write in
+        data_access c ~pa ~len;
+        Phys_mem.write_bytes c.machine.mem ~pa (Bytes.make len x))
+
+  let memcpy c ~dst ~src ~len =
+    (* Chunked through a bounce buffer; charges both streams. Copies
+       are sequential, so hardware prefetching and write combining
+       overlap most memory stalls: refund 7/8 of the serially
+       accumulated cycles (a streaming bandwidth of roughly 8x the
+       dependent-access rate, representative of rep-movsb copies). *)
+    let before = c.cycles in
+    let chunk = 4096 in
+    let pos = ref 0 in
+    while !pos < len do
+      let n = min chunk (len - !pos) in
+      let data = load_bytes c ~va:(src + !pos) ~len:n in
+      store_bytes c ~va:(dst + !pos) data;
+      pos := !pos + n
+    done;
+    let delta = c.cycles - before in
+    charge c (-(delta - ((delta + 7) / 8)))
+
+  let tlb_misses c = (Tlb.stats c.tlb).misses
+  let tlb_hits c = (Tlb.stats c.tlb).hits
+end
+
+let core t i = t.core_list.(i)
+let cores t = t.core_list
+
+let capacity_node t = Phys_mem.capacity_node t.mem
+
+let cool_caches t =
+  Array.iter (fun c -> Cache.clear c.l1) t.core_list;
+  Array.iter Cache.clear t.llcs
+
+let alloc_pages ?node ?(contiguous = false) t ~n ~charge_to =
+  let frames =
+    (* Contiguous runs are 2 MiB-aligned so they are mappable with huge
+       pages. *)
+    if contiguous then
+      Phys_mem.alloc_frames_contiguous ?node ~align:(Size.mib 2 / Addr.page_size) t.mem ~n
+    else Phys_mem.alloc_frames ?node t.mem ~n
+  in
+  (match charge_to with
+  | Some c -> Core.charge c (n * t.cost.page_zero)
+  | None -> ());
+  frames

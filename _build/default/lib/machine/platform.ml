@@ -1,0 +1,79 @@
+open Sj_util
+
+type t = {
+  name : string;
+  description : string;
+  mem_size : int;
+  capacity_size : int;
+  sockets : int;
+  cores_per_socket : int;
+  cost : Cost_model.t;
+  tlb : Sj_tlb.Tlb.config;
+  l1_size : int;
+  l1_ways : int;
+  llc_size : int;
+  llc_ways : int;
+  line : int;
+}
+
+let xeon_tlb = Sj_tlb.Tlb.default_config
+
+(* Simulated memories are scaled to 1/16 of the physical machines so
+   that host memory stays modest; every experiment sizes its working
+   sets in absolute bytes, far below even the scaled capacity. *)
+let m1 =
+  {
+    name = "M1";
+    description = "92 GiB, 2x12c Xeon X5650, 2.66 GHz";
+    mem_size = Size.gib 6;
+    capacity_size = 0;
+    sockets = 2;
+    cores_per_socket = 12;
+    cost = Cost_model.m1;
+    tlb = xeon_tlb;
+    l1_size = Size.kib 32;
+    l1_ways = 8;
+    llc_size = Size.mib 12;
+    llc_ways = 16;
+    line = 64;
+  }
+
+let m2 =
+  {
+    name = "M2";
+    description = "256 GiB, 2x10c Xeon E5-2670v2, 2.50 GHz";
+    mem_size = Size.gib 16;
+    capacity_size = 0;
+    sockets = 2;
+    cores_per_socket = 10;
+    cost = Cost_model.m2;
+    tlb = xeon_tlb;
+    l1_size = Size.kib 32;
+    l1_ways = 8;
+    llc_size = Size.mib 25;
+    llc_ways = 20;
+    line = 64;
+  }
+
+let m3 =
+  {
+    name = "M3";
+    description = "512 GiB, 2x18c Xeon E5-2699v3, 2.30 GHz";
+    mem_size = Size.gib 32;
+    capacity_size = 0;
+    sockets = 2;
+    cores_per_socket = 18;
+    cost = Cost_model.m3;
+    tlb = xeon_tlb;
+    l1_size = Size.kib 32;
+    l1_ways = 8;
+    llc_size = Size.mib 45;
+    llc_ways = 20;
+    line = 64;
+  }
+
+let total_cores t = t.sockets * t.cores_per_socket
+let with_capacity_tier t ~size = { t with capacity_size = size }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %s (simulated %a)" t.name t.description Size.pp t.mem_size

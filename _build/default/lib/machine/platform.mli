@@ -1,0 +1,34 @@
+(** Hardware platform descriptions (paper Table 1). *)
+
+type t = {
+  name : string;
+  description : string;
+  mem_size : int;  (** installed performance-tier memory, bytes *)
+  capacity_size : int;  (** capacity-tier (NVM-class) memory, bytes; 0 = none *)
+  sockets : int;
+  cores_per_socket : int;
+  cost : Cost_model.t;
+  tlb : Sj_tlb.Tlb.config;
+  l1_size : int;
+  l1_ways : int;
+  llc_size : int;  (** per socket *)
+  llc_ways : int;
+  line : int;
+}
+
+val m1 : t
+(** 92 GiB, 2x12c Xeon X5650, 2.66 GHz. *)
+
+val m2 : t
+(** 256 GiB, 2x10c Xeon E5-2670v2, 2.50 GHz. *)
+
+val m3 : t
+(** 512 GiB, 2x18c Xeon E5-2699v3, 2.30 GHz. *)
+
+val total_cores : t -> int
+
+val with_capacity_tier : t -> size:int -> t
+(** The same platform plus a capacity tier (sec 7 heterogeneous
+    memory). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mem/phys_mem.ml: Addr Array Bytes Char Fun Hashtbl Int64 List Printf Sj_util

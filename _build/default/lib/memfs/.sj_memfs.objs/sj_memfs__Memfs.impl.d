@@ -1,0 +1,1 @@
+lib/memfs/memfs.ml: Addr Bytes Hashtbl List Size Sj_kernel Sj_machine Sj_mem Sj_util

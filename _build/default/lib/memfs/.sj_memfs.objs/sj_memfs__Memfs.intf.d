@@ -1,0 +1,1 @@
+lib/memfs/memfs.mli: Sj_kernel Sj_machine

@@ -1,0 +1,117 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Pm = Sj_mem.Phys_mem
+module Vm_object = Sj_kernel.Vm_object
+
+type file = { mutable obj : Vm_object.t; mutable size : int }
+type t = { machine : Machine.t; files : (string, file) Hashtbl.t }
+type fd = { fs : t; file : file; mutable pos : int }
+
+let create machine = { machine; files = Hashtbl.create 16 }
+let machine t = t.machine
+
+let charge t charge_to cycles =
+  ignore t;
+  match charge_to with Some core -> Core.charge core cycles | None -> ()
+
+let copy_cost t ~len =
+  let c = Machine.cost t.machine in
+  let line = (Machine.platform t.machine).line in
+  ((len + line - 1) / line) * c.l1_hit * 2
+
+let create_file t ~path =
+  (match Hashtbl.find_opt t.files path with
+  | Some old -> Vm_object.destroy t.machine old.obj
+  | None -> ());
+  let file =
+    { obj = Vm_object.create ~name:path t.machine ~size:Addr.page_size ~charge_to:None; size = 0 }
+  in
+  Hashtbl.replace t.files path file;
+  { fs = t; file; pos = 0 }
+
+let open_file t ~path =
+  match Hashtbl.find_opt t.files path with
+  | Some file -> { fs = t; file; pos = 0 }
+  | None -> raise Not_found
+
+let exists t ~path = Hashtbl.mem t.files path
+
+let delete t ~path =
+  match Hashtbl.find_opt t.files path with
+  | Some file ->
+    Vm_object.destroy t.machine file.obj;
+    Hashtbl.remove t.files path
+  | None -> raise Not_found
+
+let list_files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+
+let file_size t ~path =
+  match Hashtbl.find_opt t.files path with Some f -> f.size | None -> raise Not_found
+
+let ensure_capacity fd needed =
+  let have = Vm_object.size fd.file.obj in
+  if needed > have then begin
+    (* Grow geometrically to keep appends O(1) amortized. *)
+    let want = max needed (have * 2) in
+    let by_pages = (Size.round_up want ~align:Addr.page_size - have) / Addr.page_size in
+    Vm_object.grow fd.fs.machine fd.file.obj ~by_pages ~charge_to:None
+  end
+
+(* Frame-spanning copy between host bytes and the file's object. *)
+let blit_to_file fd ~at src =
+  let mem = Machine.mem fd.fs.machine in
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let off = at + !pos in
+    let page = off / Addr.page_size and inpage = off mod Addr.page_size in
+    let chunk = min (len - !pos) (Addr.page_size - inpage) in
+    let pa = Pm.base_of_frame (Vm_object.frame_at fd.file.obj ~page) + inpage in
+    Pm.write_bytes mem ~pa (Bytes.sub src !pos chunk);
+    pos := !pos + chunk
+  done
+
+let blit_from_file fd ~at ~len =
+  let mem = Machine.mem fd.fs.machine in
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let off = at + !pos in
+    let page = off / Addr.page_size and inpage = off mod Addr.page_size in
+    let chunk = min (len - !pos) (Addr.page_size - inpage) in
+    let pa = Pm.base_of_frame (Vm_object.frame_at fd.file.obj ~page) + inpage in
+    Bytes.blit (Pm.read_bytes mem ~pa ~len:chunk) 0 out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let write fd ~charge_to data =
+  let len = Bytes.length data in
+  let c = Machine.cost fd.fs.machine in
+  charge fd.fs charge_to (c.syscall_generic + copy_cost fd.fs ~len);
+  ensure_capacity fd (fd.pos + len);
+  blit_to_file fd ~at:fd.pos data;
+  fd.pos <- fd.pos + len;
+  if fd.pos > fd.file.size then fd.file.size <- fd.pos
+
+let read fd ~charge_to ~len =
+  let len = max 0 (min len (fd.file.size - fd.pos)) in
+  let c = Machine.cost fd.fs.machine in
+  charge fd.fs charge_to (c.syscall_generic + copy_cost fd.fs ~len);
+  let out = blit_from_file fd ~at:fd.pos ~len in
+  fd.pos <- fd.pos + len;
+  out
+
+let read_all fd ~charge_to =
+  fd.pos <- 0;
+  read fd ~charge_to ~len:fd.file.size
+
+let seek fd pos =
+  if pos < 0 then invalid_arg "Memfs.seek: negative";
+  fd.pos <- pos
+
+let offset fd = fd.pos
+
+let vm_object t ~path =
+  match Hashtbl.find_opt t.files path with Some f -> f.obj | None -> raise Not_found

@@ -1,0 +1,41 @@
+(** In-memory file system (tmpfs substitute).
+
+    The paper stores SAM/BAM inputs on an in-memory file system to
+    factor disk out of the comparison (§5.4); we do the same. Files are
+    extents of simulated physical frames (VM objects), so they can be
+    accessed through the file API — paying syscall + copy costs — or
+    mapped into an address space like any mmap'd file, paying page-table
+    construction costs instead. That duality is exactly what Fig. 12
+    (mmap vs SpaceJMP) exercises. *)
+
+type t
+type fd
+
+val create : Sj_machine.Machine.t -> t
+val machine : t -> Sj_machine.Machine.t
+
+val create_file : t -> path:string -> fd
+(** Create empty (truncates existing). *)
+
+val open_file : t -> path:string -> fd
+(** Raises [Not_found] for missing paths. The offset starts at 0. *)
+
+val exists : t -> path:string -> bool
+val delete : t -> path:string -> unit
+val list_files : t -> string list
+val file_size : t -> path:string -> int
+
+val write : fd -> charge_to:Sj_machine.Machine.Core.core option -> bytes -> unit
+(** Append-style write at the current offset; grows the file. Charges a
+    syscall plus line-granular copy costs. *)
+
+val read : fd -> charge_to:Sj_machine.Machine.Core.core option -> len:int -> bytes
+(** Read up to [len] bytes at the current offset (short at EOF). *)
+
+val read_all : fd -> charge_to:Sj_machine.Machine.Core.core option -> bytes
+val seek : fd -> int -> unit
+val offset : fd -> int
+
+val vm_object : t -> path:string -> Sj_kernel.Vm_object.t
+(** The file's backing object, for mmap-style mapping. The file's
+    logical size may be smaller than the object (page rounding). *)

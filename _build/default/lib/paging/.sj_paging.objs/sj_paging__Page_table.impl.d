@@ -1,0 +1,1 @@
+lib/paging/page_table.ml: Addr Array Printf Prot Size Sj_mem Sj_util

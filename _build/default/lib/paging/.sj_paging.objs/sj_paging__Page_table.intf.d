@@ -1,0 +1,1 @@
+lib/paging/page_table.mli: Prot Sj_mem

@@ -1,0 +1,1 @@
+lib/paging/prot.mli: Format

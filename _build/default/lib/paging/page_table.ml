@@ -1,0 +1,254 @@
+open Sj_util
+module Phys_mem = Sj_mem.Phys_mem
+
+type page_size = P4K | P2M
+
+let bytes_of_page_size = function P4K -> Size.kib 4 | P2M -> Size.mib 2
+
+type mapping = { pa : int; prot : Prot.t; size : page_size; global : bool; levels : int }
+
+type stats = {
+  mutable tables_allocated : int;
+  mutable tables_freed : int;
+  mutable pte_writes : int;
+  mutable pte_clears : int;
+}
+
+type node = {
+  level : int; (* 4 = PML4 (root), 3 = PDPT, 2 = PD, 1 = PT *)
+  frame : Phys_mem.frame;
+  entries : entry array; (* 512 slots *)
+  mutable live : int; (* non-empty entries *)
+  mutable refs : int; (* owners: parent links + subtree handles *)
+}
+
+and entry =
+  | Empty
+  | Table of node
+  | Leaf of { pa : int; prot : Prot.t; size : page_size; global : bool }
+
+type t = { mem : Phys_mem.t; root : node; stats : stats }
+type subtree = node
+
+let fresh_stats () = { tables_allocated = 0; tables_freed = 0; pte_writes = 0; pte_clears = 0 }
+
+let alloc_node t ~level =
+  t.stats.tables_allocated <- t.stats.tables_allocated + 1;
+  { level; frame = Phys_mem.alloc_frame t.mem; entries = Array.make 512 Empty; live = 0; refs = 1 }
+
+let create mem =
+  let stats = fresh_stats () in
+  let root =
+    { level = 4; frame = Phys_mem.alloc_frame mem; entries = Array.make 512 Empty; live = 0; refs = 1 }
+  in
+  stats.tables_allocated <- stats.tables_allocated + 1;
+  { mem; root; stats }
+
+let root_frame t = t.root.frame
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.tables_allocated <- 0;
+  t.stats.tables_freed <- 0;
+  t.stats.pte_writes <- 0;
+  t.stats.pte_clears <- 0
+
+let index_at ~level va =
+  match level with
+  | 4 -> Addr.pml4_index va
+  | 3 -> Addr.pdpt_index va
+  | 2 -> Addr.pd_index va
+  | 1 -> Addr.pt_index va
+  | _ -> invalid_arg "Page_table.index_at: bad level"
+
+(* Level at which a leaf for the given page size lives. *)
+let leaf_level = function P4K -> 1 | P2M -> 2
+
+let rec decref t node =
+  node.refs <- node.refs - 1;
+  if node.refs = 0 then begin
+    Array.iter (function Table child -> decref t child | Empty | Leaf _ -> ()) node.entries;
+    Phys_mem.free_frame t.mem node.frame;
+    t.stats.tables_freed <- t.stats.tables_freed + 1
+  end
+
+let destroy t = decref t t.root
+
+let check_aligned va size name =
+  if va land (bytes_of_page_size size - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Page_table.%s: address %s not %s-aligned" name
+                   (Addr.to_string va) (Size.to_string (bytes_of_page_size size)))
+
+(* Descend to the table holding the slot for [va] at [target_level],
+   creating intermediate tables when [create_missing]. *)
+let rec descend t node ~va ~target_level ~create_missing =
+  if node.level = target_level then Some node
+  else
+    let i = index_at ~level:node.level va in
+    match node.entries.(i) with
+    | Table child -> descend t child ~va ~target_level ~create_missing
+    | Leaf _ ->
+      invalid_arg
+        (Printf.sprintf "Page_table: %s already covered by a larger mapping" (Addr.to_string va))
+    | Empty ->
+      if not create_missing then None
+      else begin
+        let child = alloc_node t ~level:(node.level - 1) in
+        node.entries.(i) <- Table child;
+        node.live <- node.live + 1;
+        t.stats.pte_writes <- t.stats.pte_writes + 1;
+        descend t child ~va ~target_level ~create_missing
+      end
+
+let map ?(global = false) t ~va ~pa ~prot ~size =
+  check_aligned va size "map";
+  check_aligned pa size "map";
+  if va < 0 || va >= Addr.va_limit then invalid_arg "Page_table.map: VA out of range";
+  let level = leaf_level size in
+  match descend t t.root ~va ~target_level:level ~create_missing:true with
+  | None -> assert false
+  | Some node ->
+    let i = index_at ~level va in
+    (match node.entries.(i) with
+    | Empty ->
+      node.entries.(i) <- Leaf { pa; prot; size; global };
+      node.live <- node.live + 1;
+      t.stats.pte_writes <- t.stats.pte_writes + 1
+    | Leaf _ | Table _ ->
+      invalid_arg (Printf.sprintf "Page_table.map: %s already mapped" (Addr.to_string va)))
+
+(* Remove a leaf and prune now-empty exclusively-owned interior tables. *)
+let unmap t ~va ~size =
+  check_aligned va size "unmap";
+  let level = leaf_level size in
+  let rec go node =
+    if node.level = level then begin
+      let i = index_at ~level va in
+      match node.entries.(i) with
+      | Leaf _ ->
+        node.entries.(i) <- Empty;
+        node.live <- node.live - 1;
+        t.stats.pte_clears <- t.stats.pte_clears + 1
+      | Empty | Table _ ->
+        invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
+    end
+    else begin
+      let i = index_at ~level:node.level va in
+      match node.entries.(i) with
+      | Table child ->
+        go child;
+        if child.live = 0 && child.refs = 1 then begin
+          node.entries.(i) <- Empty;
+          node.live <- node.live - 1;
+          t.stats.pte_clears <- t.stats.pte_clears + 1;
+          decref t child
+        end
+      | Empty | Leaf _ ->
+        invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
+    end
+  in
+  go t.root
+
+let walk t ~va =
+  if va < 0 || va >= Addr.va_limit then None
+  else
+    let rec go node levels =
+      let i = index_at ~level:node.level va in
+      match node.entries.(i) with
+      | Empty -> None
+      | Table child -> go child (levels + 1)
+      | Leaf { pa; prot; size; global } -> Some { pa; prot; size; global; levels }
+    in
+    go t.root 1
+
+let protect t ~va ~size ~prot =
+  check_aligned va size "protect";
+  let level = leaf_level size in
+  match descend t t.root ~va ~target_level:level ~create_missing:false with
+  | None -> invalid_arg "Page_table.protect: not mapped"
+  | Some node ->
+    let i = index_at ~level va in
+    (match node.entries.(i) with
+    | Leaf { pa; size; global; _ } ->
+      node.entries.(i) <- Leaf { pa; prot; size; global };
+      t.stats.pte_writes <- t.stats.pte_writes + 1
+    | Empty | Table _ -> invalid_arg "Page_table.protect: not mapped")
+
+let map_range ?(global = false) t ~va ~frames ~prot =
+  Array.iteri
+    (fun i frame ->
+      map ~global t
+        ~va:(va + (i * Addr.page_size))
+        ~pa:(Phys_mem.base_of_frame frame)
+        ~prot ~size:P4K)
+    frames
+
+let unmap_range t ~va ~pages =
+  for i = 0 to pages - 1 do
+    unmap t ~va:(va + (i * Addr.page_size)) ~size:P4K
+  done
+
+let subtree_level (n : subtree) = n.level
+
+let span_of_level = function
+  | 3 -> 1 lsl 39 (* a PML4 slot: 512 GiB *)
+  | 2 -> 1 lsl 30 (* a PDPT slot: 1 GiB *)
+  | 1 -> 1 lsl 21 (* a PD slot: 2 MiB *)
+  | _ -> invalid_arg "Page_table: shareable levels are 1, 2, 3"
+
+let extract_subtree t ~va ~level =
+  let span = span_of_level level in
+  let base = Size.round_down va ~align:span in
+  match descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false with
+  | None -> None
+  | Some parent -> (
+    let i = index_at ~level:(level + 1) base in
+    match parent.entries.(i) with
+    | Table child ->
+      child.refs <- child.refs + 1;
+      Some child
+    | Empty -> None
+    | Leaf _ -> invalid_arg "Page_table.extract_subtree: slot holds a large-page leaf")
+
+let graft_subtree t ~va (sub : subtree) =
+  let span = span_of_level sub.level in
+  if va land (span - 1) <> 0 then
+    invalid_arg "Page_table.graft_subtree: address not aligned to subtree span";
+  match descend t t.root ~va ~target_level:(sub.level + 1) ~create_missing:true with
+  | None -> assert false
+  | Some parent -> (
+    let i = index_at ~level:(sub.level + 1) va in
+    match parent.entries.(i) with
+    | Empty ->
+      sub.refs <- sub.refs + 1;
+      parent.entries.(i) <- Table sub;
+      parent.live <- parent.live + 1;
+      t.stats.pte_writes <- t.stats.pte_writes + 1
+    | Table _ | Leaf _ -> invalid_arg "Page_table.graft_subtree: slot occupied")
+
+let prune_subtree t ~va ~level =
+  let span = span_of_level level in
+  let base = Size.round_down va ~align:span in
+  match descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false with
+  | None -> invalid_arg "Page_table.prune_subtree: not present"
+  | Some parent -> (
+    let i = index_at ~level:(level + 1) base in
+    match parent.entries.(i) with
+    | Table child ->
+      parent.entries.(i) <- Empty;
+      parent.live <- parent.live - 1;
+      t.stats.pte_clears <- t.stats.pte_clears + 1;
+      decref t child
+    | Empty | Leaf _ -> invalid_arg "Page_table.prune_subtree: not present")
+
+let release_subtree t (sub : subtree) = decref t sub
+
+let rec count_leaves node =
+  Array.fold_left
+    (fun acc -> function
+      | Empty -> acc
+      | Leaf _ -> acc + 1
+      | Table child -> acc + count_leaves child)
+    0 node.entries
+
+let entries_mapped t = count_leaves t.root

@@ -1,0 +1,112 @@
+(** x86-64-style 4-level radix page tables.
+
+    Tables are genuine radix-tree nodes whose backing frames are
+    allocated from the simulated physical memory, so page-table
+    construction consumes (simulated) physical memory and its cost is
+    proportional to the number of PTEs written and tables allocated —
+    the mechanism behind the paper's Figure 1.
+
+    Interior subtrees may be *shared* between several roots
+    (reference-counted). This supports both the Barrelfish design where
+    all non-root tables of a VAS are shared among attaching processes
+    (§4.2) and the translation-caching optimization for segments
+    (§4.1, §4.4). *)
+
+type t
+(** One address space's translation tree (one root table). *)
+
+type page_size = P4K | P2M
+(** Mapping granularity: 4 KiB leaf PTEs or 2 MiB leaf PDEs. *)
+
+val bytes_of_page_size : page_size -> int
+
+type mapping = {
+  pa : int;  (** physical byte address of the mapped page's base *)
+  prot : Prot.t;
+  size : page_size;
+  global : bool;  (** x86 G bit: TLB entry survives untagged CR3 loads *)
+  levels : int;  (** tables touched by a walk resolving this mapping *)
+}
+
+type stats = {
+  mutable tables_allocated : int;
+  mutable tables_freed : int;
+  mutable pte_writes : int;
+  mutable pte_clears : int;
+}
+(** Cumulative construction/destruction work, read by the machine layer
+    to charge cycles. *)
+
+val create : Sj_mem.Phys_mem.t -> t
+(** Allocate a root table. *)
+
+val destroy : t -> unit
+(** Release the root and every exclusively-owned interior table (shared
+    subtrees survive until their last owner is destroyed). Leaf data
+    frames are never freed — they belong to VM objects. *)
+
+val root_frame : t -> Sj_mem.Phys_mem.frame
+(** The root table's frame (the value a CR3 write installs). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val map : ?global:bool -> t -> va:int -> pa:int -> prot:Prot.t -> size:page_size -> unit
+(** Install one mapping. [va]/[pa] must be aligned to [size]. Raises
+    [Invalid_argument] if the slot is already mapped (mmap-over-mapping
+    must be an explicit unmap+map, unlike Linux's silent clobber the
+    paper criticizes in §2.4). *)
+
+val unmap : t -> va:int -> size:page_size -> unit
+(** Remove one mapping; raises [Invalid_argument] if absent. Empty
+    interior tables are freed eagerly. *)
+
+val walk : t -> va:int -> mapping option
+(** Software page walk. [None] = page fault. *)
+
+val protect : t -> va:int -> size:page_size -> prot:Prot.t -> unit
+(** Change the protections of an existing mapping. *)
+
+val map_range :
+  ?global:bool ->
+  t -> va:int -> frames:Sj_mem.Phys_mem.frame array -> prot:Prot.t -> unit
+(** Map a contiguous virtual range of 4 KiB pages onto the given frames. *)
+
+val unmap_range : t -> va:int -> pages:int -> unit
+(** Unmap [pages] consecutive 4 KiB-page mappings starting at [va]. *)
+
+(** {2 Subtree sharing} *)
+
+type subtree
+(** A detached, shareable interior subtree covering one naturally
+    aligned region: 512 GiB (a PML4 slot), 1 GiB (a PDPT slot) or
+    2 MiB (a PD slot). *)
+
+val subtree_level : subtree -> int
+(** Level of the shared table: 3 = PDPT (512 GiB span), 2 = PD (1 GiB),
+    1 = PT (2 MiB). *)
+
+val extract_subtree : t -> va:int -> level:int -> subtree option
+(** Detach-and-share the interior table that translates the aligned
+    region containing [va] at [level] (see {!subtree_level}). Returns
+    [None] if nothing is mapped there. The table remains linked in [t]
+    and becomes shared. *)
+
+val graft_subtree : t -> va:int -> subtree -> unit
+(** Link a shared subtree into [t] at the aligned slot containing [va].
+    Counts as a single PTE write regardless of how many translations the
+    subtree carries — this is the attach-acceleration the paper's
+    cached-translation segments exploit. Raises [Invalid_argument] if
+    the slot is occupied. *)
+
+val prune_subtree : t -> va:int -> level:int -> unit
+(** Unlink a previously grafted subtree (drops one reference). *)
+
+val release_subtree : t -> subtree -> unit
+(** Drop the extra reference held by the [subtree] handle itself,
+    freeing the subtree's frames once no root links remain. Pass the
+    table whose memory pool should reclaim the frames. *)
+
+val entries_mapped : t -> int
+(** Number of leaf mappings reachable from this root (counts shared
+    subtrees' leaves too). *)

@@ -1,0 +1,26 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let r = { read = true; write = false; exec = false }
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let subsumes a b =
+  (b.read <= a.read) && (b.write <= a.write) && (b.exec <= a.exec)
+
+let allows t = function
+  | `Read -> t.read
+  | `Write -> t.write
+  | `Exec -> t.exec
+
+let pp fmt t =
+  Format.fprintf fmt "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.exec then 'x' else '-')
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_mode_bits bits =
+  { read = bits land 4 <> 0; write = bits land 2 <> 0; exec = bits land 1 <> 0 }

@@ -1,0 +1,20 @@
+(** Access protections on mappings and segments. *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] is true iff every access [b] allows, [a] also
+    allows (i.e. [b] is no more permissive than [a]). *)
+
+val allows : t -> [ `Read | `Write | `Exec ] -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_mode_bits : int -> t
+(** Interpret a Unix-style 3-bit rwx triplet (e.g. [0o6] -> rw). *)

@@ -1,0 +1,1 @@
+lib/persist/persist.ml: Addr Buffer Bytes List Printf Size Sj_alloc Sj_compress Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util String

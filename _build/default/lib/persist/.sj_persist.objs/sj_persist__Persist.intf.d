@@ -1,0 +1,1 @@
+lib/persist/persist.mli: Sj_core

@@ -1,0 +1,291 @@
+open Sj_util
+module Machine = Sj_machine.Machine
+module Pm = Sj_mem.Phys_mem
+module Prot = Sj_paging.Prot
+module Acl = Sj_kernel.Acl
+module Vm_object = Sj_kernel.Vm_object
+module Mspace = Sj_alloc.Mspace
+module Varint = Sj_compress.Varint
+module Block_lz = Sj_compress.Block_lz
+module Api = Sj_core.Api
+module Registry = Sj_core.Registry
+module Segment = Sj_core.Segment
+module Vas = Sj_core.Vas
+
+let magic = "SJIMG1"
+
+(* ---------- primitive writers/readers ---------- *)
+
+let w_string buf s =
+  Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let r_string b pos =
+  let len, pos = Varint.read b ~pos in
+  if pos + len > Bytes.length b then invalid_arg "Persist: truncated string";
+  (Bytes.sub_string b pos len, pos + len)
+
+let w_bytes buf s =
+  Varint.write buf (Bytes.length s);
+  Buffer.add_bytes buf s
+
+let r_bytes b pos =
+  let len, pos = Varint.read b ~pos in
+  if pos + len > Bytes.length b then invalid_arg "Persist: truncated bytes";
+  (Bytes.sub b pos len, pos + len)
+
+let prot_bits (p : Prot.t) =
+  (if p.read then 4 else 0) lor (if p.write then 2 else 0) lor if p.exec then 1 else 0
+
+let prot_of_bits = Prot.of_mode_bits
+
+let w_acl buf acl =
+  Varint.write buf (Acl.owner acl);
+  Varint.write buf (Acl.mode acl)
+
+let r_acl b pos =
+  let owner, pos = Varint.read b ~pos in
+  let mode, pos = Varint.read b ~pos in
+  (Acl.create ~owner ~group:owner ~mode, pos)
+
+(* ---------- segment contents ---------- *)
+
+let read_contents machine seg =
+  let mem = Machine.mem machine in
+  let obj = Segment.vm_object seg in
+  let out = Buffer.create (Segment.size seg) in
+  for p = 0 to Segment.pages seg - 1 do
+    Buffer.add_bytes out
+      (Pm.read_bytes mem
+         ~pa:(Pm.base_of_frame (Vm_object.frame_at obj ~page:p))
+         ~len:Addr.page_size)
+  done;
+  Buffer.to_bytes out
+
+let write_contents machine seg data =
+  let mem = Machine.mem machine in
+  let obj = Segment.vm_object seg in
+  for p = 0 to Segment.pages seg - 1 do
+    Pm.write_bytes mem
+      ~pa:(Pm.base_of_frame (Vm_object.frame_at obj ~page:p))
+      (Bytes.sub data (p * Addr.page_size) Addr.page_size)
+  done
+
+(* ---------- save ---------- *)
+
+let save sys =
+  let reg = Api.registry sys in
+  let machine = Api.machine sys in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let segs = List.sort (fun a b -> compare (Segment.name a) (Segment.name b)) (Registry.list_segs reg) in
+  Varint.write buf (List.length segs);
+  List.iter
+    (fun seg ->
+      w_string buf (Segment.name seg);
+      Varint.write buf (Segment.base seg);
+      Varint.write buf (Segment.size seg);
+      Varint.write buf (prot_bits (Segment.prot_max seg));
+      Varint.write buf (if Segment.lockable seg then 1 else 0);
+      Varint.write buf
+        (match Segment.page_size seg with Sj_paging.Page_table.P4K -> 0 | P2M -> 1);
+      w_acl buf (Segment.acl seg);
+      (* Allocator state, if the segment has served malloc. *)
+      if Registry.has_heap reg seg then begin
+        let chunks = Mspace.snapshot (Registry.heap reg seg) in
+        Varint.write buf (List.length chunks);
+        List.iter
+          (fun (c : Mspace.chunk_state) ->
+            Varint.write buf c.chunk_base;
+            Varint.write buf c.chunk_size;
+            Varint.write buf (if c.chunk_free then 1 else 0))
+          chunks
+      end
+      else Varint.write buf 0;
+      (* Contents, compressed. *)
+      w_bytes buf (Block_lz.compress (read_contents machine seg)))
+    segs;
+  let vases = List.sort (fun a b -> compare (Vas.name a) (Vas.name b)) (Registry.list_vases reg) in
+  Varint.write buf (List.length vases);
+  List.iter
+    (fun vas ->
+      w_string buf (Vas.name vas);
+      w_acl buf (Vas.acl vas);
+      Varint.write buf (match Vas.tag vas with Some t -> t | None -> 0);
+      let segs = Vas.segments vas in
+      Varint.write buf (List.length segs);
+      List.iter
+        (fun (seg, prot) ->
+          w_string buf (Segment.name seg);
+          Varint.write buf (prot_bits prot))
+        segs)
+    vases;
+  Buffer.to_bytes buf
+
+(* ---------- restore ---------- *)
+
+let check_magic b =
+  if Bytes.length b < String.length magic || Bytes.sub_string b 0 (String.length magic) <> magic
+  then invalid_arg "Persist: bad image magic"
+
+let restore sys image =
+  check_magic image;
+  let reg = Api.registry sys in
+  let machine = Api.machine sys in
+  let pos = ref (String.length magic) in
+  let next_varint () =
+    let v, p = Varint.read image ~pos:!pos in
+    pos := p;
+    v
+  in
+  let next_string () =
+    let v, p = r_string image !pos in
+    pos := p;
+    v
+  in
+  let n_segs = next_varint () in
+  for _ = 1 to n_segs do
+    let name = next_string () in
+    let base = next_varint () in
+    let size = next_varint () in
+    let prot = prot_of_bits (next_varint ()) in
+    let lockable = next_varint () = 1 in
+    let huge = next_varint () = 1 in
+    let acl, p = r_acl image !pos in
+    pos := p;
+    let n_chunks = next_varint () in
+    let chunks =
+      List.init n_chunks (fun _ ->
+          let chunk_base = next_varint () in
+          let chunk_size = next_varint () in
+          let chunk_free = next_varint () = 1 in
+          { Mspace.chunk_base; chunk_size; chunk_free })
+    in
+    let compressed, p = r_bytes image !pos in
+    pos := p;
+    let seg =
+      Segment.create ~lockable ~huge ~acl ~charge_to:None ~machine ~name ~base ~size ~prot ()
+    in
+    Sj_kernel.Layout.reserve_global ~base ~size;
+    write_contents machine seg (Block_lz.decompress compressed);
+    Registry.register_seg reg seg;
+    if chunks <> [] then
+      Registry.set_heap reg seg (Mspace.of_snapshot ~base ~size chunks)
+  done;
+  let n_vases = next_varint () in
+  for _ = 1 to n_vases do
+    let name = next_string () in
+    let acl, p = r_acl image !pos in
+    pos := p;
+    let tag = next_varint () in
+    let vas = Vas.create ~acl ~name () in
+    if tag <> 0 then Vas.assign_tag vas tag;
+    let n = next_varint () in
+    for _ = 1 to n do
+      let sname = next_string () in
+      let prot = prot_of_bits (next_varint ()) in
+      Vas.attach_segment vas (Registry.find_seg reg ~name:sname) ~prot
+    done;
+    Registry.register_vas reg vas
+  done
+
+let describe image =
+  check_magic image;
+  let buf = Buffer.create 512 in
+  let pos = ref (String.length magic) in
+  let next_varint () =
+    let v, p = Varint.read image ~pos:!pos in
+    pos := p;
+    v
+  in
+  let next_string () =
+    let v, p = r_string image !pos in
+    pos := p;
+    v
+  in
+  let n_segs = next_varint () in
+  Buffer.add_string buf (Printf.sprintf "segments (%d):\n" n_segs);
+  for _ = 1 to n_segs do
+    let name = next_string () in
+    let base = next_varint () in
+    let size = next_varint () in
+    let prot = prot_of_bits (next_varint ()) in
+    let lockable = next_varint () = 1 in
+    let huge = next_varint () = 1 in
+    let owner = next_varint () in
+    let mode = next_varint () in
+    let n_chunks = next_varint () in
+    let used = ref 0 and live = ref 0 in
+    for _ = 1 to n_chunks do
+      let _cbase = next_varint () in
+      let csize = next_varint () in
+      let cfree = next_varint () = 1 in
+      if not cfree then begin
+        used := !used + csize;
+        incr live
+      end
+    done;
+    let compressed, p = r_bytes image !pos in
+    pos := p;
+    Buffer.add_string buf
+      (Printf.sprintf "  %-20s %s  %-8s %s%s%s  uid=%d mode=%03o  heap: %d allocs, %s  (%s on disk)\n"
+         name (Addr.to_string base) (Size.to_string size) (Prot.to_string prot)
+         (if lockable then " lockable" else "")
+         (if huge then " 2MiB-pages" else "")
+         owner mode !live (Size.to_string !used)
+         (Size.to_string (Bytes.length compressed)))
+  done;
+  let n_vases = next_varint () in
+  Buffer.add_string buf (Printf.sprintf "address spaces (%d):\n" n_vases);
+  for _ = 1 to n_vases do
+    let name = next_string () in
+    let owner = next_varint () in
+    let mode = next_varint () in
+    let tag = next_varint () in
+    let n = next_varint () in
+    let segs =
+      List.init n (fun _ ->
+          let sname = next_string () in
+          let prot = prot_of_bits (next_varint ()) in
+          Printf.sprintf "%s(%s)" sname (Prot.to_string prot))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-20s uid=%d mode=%03o%s  [%s]\n" name owner mode
+         (if tag <> 0 then Printf.sprintf " tag=%d" tag else "")
+         (String.concat ", " segs))
+  done;
+  Buffer.contents buf
+
+let image_info image =
+  check_magic image;
+  let pos = ref (String.length magic) in
+  let next_varint () =
+    let v, p = Varint.read image ~pos:!pos in
+    pos := p;
+    v
+  in
+  let n_segs = next_varint () in
+  let total = ref 0 in
+  for _ = 1 to n_segs do
+    let _name, p = r_string image !pos in
+    pos := p;
+    let _base = next_varint () in
+    let size = next_varint () in
+    total := !total + size;
+    let _prot = next_varint () in
+    let _lockable = next_varint () in
+    let _huge = next_varint () in
+    let _owner = next_varint () in
+    let _mode = next_varint () in
+    let n_chunks = next_varint () in
+    for _ = 1 to 3 * n_chunks do
+      ignore (next_varint ())
+    done;
+    let contents, p = r_bytes image !pos in
+    ignore contents;
+    pos := p
+  done;
+  let n_vases = next_varint () in
+  Printf.sprintf "%d segment(s), %s logical, %d VAS(es), image %s" n_segs
+    (Size.to_string !total) n_vases
+    (Size.to_string (Bytes.length image))

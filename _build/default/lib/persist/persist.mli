@@ -1,0 +1,33 @@
+(** VAS persistence across reboots (paper sec 7).
+
+    With segment memory on NVM, address spaces would survive power
+    cycles by construction; on our simulated DRAM machine we provide the
+    equivalent systems feature explicitly: {!save} serializes every
+    registered segment (metadata, allocator state, and compressed
+    contents) and every VAS (segment list, protections, tags) into a
+    self-contained image; {!restore} rebuilds them — at the same virtual
+    addresses, so persisted pointers remain valid — inside a freshly
+    booted system.
+
+    Not persisted: processes and their attachments (they are, by
+    design, the transient part of the model), segment locks (released
+    by a reboot), and translation caches (rebuilt on demand).
+    Copy-on-write sharing is materialized: each snapshot segment is
+    saved with its full logical contents and restored as an independent
+    segment. *)
+
+val save : Sj_core.Api.system -> bytes
+(** Serialize all registered segments and VASes. Deterministic. *)
+
+val restore : Sj_core.Api.system -> bytes -> unit
+(** Rebuild the image's segments and VASes inside [system] (normally a
+    freshly booted one). Raises [Errors.Name_exists] if names collide
+    with already-registered objects, [Invalid_argument] on a corrupt
+    image. *)
+
+val image_info : bytes -> string
+(** One-line human summary of an image (for [sjctl]). *)
+
+val describe : bytes -> string
+(** Multi-line listing of an image: every segment (base, size, prot,
+    page size, heap usage) and every VAS (tag, attached segments). *)

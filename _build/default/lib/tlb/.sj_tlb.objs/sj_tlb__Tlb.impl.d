@@ -1,0 +1,1 @@
+lib/tlb/tlb.ml: Addr Array Page_table Prot Size Sj_paging Sj_util

@@ -1,0 +1,1 @@
+lib/tlb/tlb.mli: Sj_paging

@@ -1,0 +1,187 @@
+open Sj_util
+open Sj_paging
+
+type config = { sets_4k : int; ways_4k : int; entries_2m : int; tag_bits : int }
+
+let default_config = { sets_4k = 256; ways_4k = 4; entries_2m = 32; tag_bits = 12 }
+
+type hit = { pa : int; prot : Prot.t; size : Page_table.page_size }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable flushed_entries : int;
+}
+
+type entry = {
+  mutable valid : bool;
+  mutable vbase : int; (* virtual base of the translated page *)
+  mutable tag : int;
+  mutable global : bool;
+  mutable pa : int; (* physical base of the page *)
+  mutable prot : Prot.t;
+  mutable last_use : int;
+}
+
+type t = {
+  cfg : config;
+  array_4k : entry array array; (* [set].[way] *)
+  array_2m : entry array;
+  stats : stats;
+  mutable clock : int;
+}
+
+let fresh_entry () =
+  { valid = false; vbase = 0; tag = 0; global = false; pa = 0; prot = Prot.none; last_use = 0 }
+
+let fresh_stats () =
+  { hits = 0; misses = 0; insertions = 0; evictions = 0; flushes = 0; flushed_entries = 0 }
+
+let create cfg =
+  if not (Size.is_power_of_two cfg.sets_4k) then invalid_arg "Tlb.create: sets_4k";
+  if cfg.ways_4k <= 0 || cfg.entries_2m <= 0 then invalid_arg "Tlb.create: sizes";
+  {
+    cfg;
+    array_4k = Array.init cfg.sets_4k (fun _ -> Array.init cfg.ways_4k (fun _ -> fresh_entry ()));
+    array_2m = Array.init cfg.entries_2m (fun _ -> fresh_entry ());
+    stats = fresh_stats ();
+    clock = 0;
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.hits <- 0;
+  s.misses <- 0;
+  s.insertions <- 0;
+  s.evictions <- 0;
+  s.flushes <- 0;
+  s.flushed_entries <- 0
+
+let max_tag t = (1 lsl t.cfg.tag_bits) - 1
+let tick t = t.clock <- t.clock + 1; t.clock
+let set_of_4k t va = Addr.page_of va land (t.cfg.sets_4k - 1)
+let base_4k va = Size.round_down va ~align:Addr.page_size
+let base_2m va = Size.round_down va ~align:(Size.mib 2)
+
+let entry_matches e ~tag ~vbase = e.valid && e.vbase = vbase && (e.global || e.tag = tag)
+
+let lookup t ~tag ~va =
+  let hit_of e size = { pa = e.pa + (va - e.vbase); prot = e.prot; size } in
+  let find_4k () =
+    let set = t.array_4k.(set_of_4k t va) in
+    let vbase = base_4k va in
+    let n = Array.length set in
+    let rec go i =
+      if i >= n then None
+      else
+        let e = set.(i) in
+        if entry_matches e ~tag ~vbase then begin
+          e.last_use <- tick t;
+          Some (hit_of e Page_table.P4K)
+        end
+        else go (i + 1)
+    in
+    go 0
+  in
+  let find_2m () =
+    let vbase = base_2m va in
+    let n = Array.length t.array_2m in
+    let rec go i =
+      if i >= n then None
+      else
+        let e = t.array_2m.(i) in
+        if entry_matches e ~tag ~vbase then begin
+          e.last_use <- tick t;
+          Some (hit_of e Page_table.P2M)
+        end
+        else go (i + 1)
+    in
+    go 0
+  in
+  match find_4k () with
+  | Some h ->
+    t.stats.hits <- t.stats.hits + 1;
+    Some h
+  | None -> (
+    match find_2m () with
+    | Some h ->
+      t.stats.hits <- t.stats.hits + 1;
+      Some h
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None)
+
+let victim t entries =
+  (* Invalid entry first, else LRU. *)
+  let n = Array.length entries in
+  let best = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       if not entries.(i).valid then begin
+         best := i;
+         raise Exit
+       end;
+       if entries.(i).last_use < entries.(!best).last_use then best := i
+     done
+   with Exit -> ());
+  if entries.(!best).valid then t.stats.evictions <- t.stats.evictions + 1;
+  entries.(!best)
+
+let fill t e ~tag ~vbase ~pa ~prot ~global =
+  e.valid <- true;
+  e.vbase <- vbase;
+  e.tag <- tag;
+  e.global <- global;
+  e.pa <- pa;
+  e.prot <- prot;
+  e.last_use <- tick t;
+  t.stats.insertions <- t.stats.insertions + 1
+
+let insert t ~tag ~va ~pa ~prot ~size ~global =
+  if tag < 0 || tag > max_tag t then invalid_arg "Tlb.insert: tag out of range";
+  match size with
+  | Page_table.P4K ->
+    let vbase = base_4k va in
+    let pa = Size.round_down pa ~align:Addr.page_size in
+    let set = t.array_4k.(set_of_4k t va) in
+    (* Refresh in place if already present (same page, same tag). *)
+    let existing = Array.find_opt (fun e -> entry_matches e ~tag ~vbase) set in
+    let e = match existing with Some e -> e | None -> victim t set in
+    fill t e ~tag ~vbase ~pa ~prot ~global
+  | Page_table.P2M ->
+    let vbase = base_2m va in
+    let pa = Size.round_down pa ~align:(Size.mib 2) in
+    let existing = Array.find_opt (fun e -> entry_matches e ~tag ~vbase) t.array_2m in
+    let e = match existing with Some e -> e | None -> victim t t.array_2m in
+    fill t e ~tag ~vbase ~pa ~prot ~global
+
+let iter_entries t f =
+  Array.iter (fun set -> Array.iter f set) t.array_4k;
+  Array.iter f t.array_2m
+
+let flush_where t pred =
+  t.stats.flushes <- t.stats.flushes + 1;
+  iter_entries t (fun e ->
+      if e.valid && pred e then begin
+        e.valid <- false;
+        t.stats.flushed_entries <- t.stats.flushed_entries + 1
+      end)
+
+let flush_nonglobal t = flush_where t (fun e -> not e.global)
+let flush_all t = flush_where t (fun _ -> true)
+let flush_tag t ~tag = flush_where t (fun e -> (not e.global) && e.tag = tag)
+
+let invalidate_page t ~va =
+  let v4 = base_4k va and v2 = base_2m va in
+  iter_entries t (fun e -> if e.valid && (e.vbase = v4 || e.vbase = v2) then e.valid <- false)
+
+let occupancy t =
+  let n = ref 0 in
+  iter_entries t (fun e -> if e.valid then incr n);
+  !n

@@ -1,0 +1,19 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let va_bits = 48
+let va_limit = 1 lsl va_bits
+let is_page_aligned a = a land (page_size - 1) = 0
+let page_of va = va lsr page_shift
+let base_of_page pn = pn lsl page_shift
+let offset_in_page va = va land (page_size - 1)
+let pml4_index va = (va lsr 39) land 0x1ff
+let pdpt_index va = (va lsr 30) land 0x1ff
+let pd_index va = (va lsr 21) land 0x1ff
+let pt_index va = (va lsr 12) land 0x1ff
+let pp fmt a = Format.fprintf fmt "0x%012x" a
+let to_string a = Format.asprintf "%a" pp a
+
+let range_overlaps ~base1 ~size1 ~base2 ~size2 =
+  base1 < base2 + size2 && base2 < base1 + size1
+
+let range_contains ~base ~size a = a >= base && a < base + size

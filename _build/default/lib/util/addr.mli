@@ -1,0 +1,49 @@
+(** Virtual and physical addresses.
+
+    Addresses are plain non-negative [int]s. Virtual addresses occupy the
+    canonical lower 48-bit range of x86-64; physical addresses occupy at
+    most 46 bits (Table 1 platforms). Page-index arithmetic for the
+    4-level x86-64 radix tree lives here so that paging, TLB, and segment
+    code all agree on the split. *)
+
+val page_shift : int
+(** Base page shift: 12 (4 KiB pages). *)
+
+val page_size : int
+(** 4096. *)
+
+val va_bits : int
+(** Virtual-address width: 48 bits, i.e. 256 TiB (paper §2.1). *)
+
+val va_limit : int
+(** First invalid virtual address, [2^va_bits]. *)
+
+val is_page_aligned : int -> bool
+val page_of : int -> int
+(** [page_of va] is the virtual page number, [va lsr page_shift]. *)
+
+val base_of_page : int -> int
+val offset_in_page : int -> int
+
+val pml4_index : int -> int
+(** Index into the level-4 (root) table: bits 47..39. *)
+
+val pdpt_index : int -> int
+(** Index into the level-3 table: bits 38..30. *)
+
+val pd_index : int -> int
+(** Index into the level-2 table: bits 29..21. *)
+
+val pt_index : int -> int
+(** Index into the level-1 table: bits 20..12. *)
+
+val pp : Format.formatter -> int -> unit
+(** Hexadecimal address, e.g. [0x0000c0de0000]. *)
+
+val to_string : int -> string
+
+val range_overlaps : base1:int -> size1:int -> base2:int -> size2:int -> bool
+(** True iff [ [base1, base1+size1) ] intersects [ [base2, base2+size2) ]. *)
+
+val range_contains : base:int -> size:int -> int -> bool
+(** [range_contains ~base ~size a] is true iff [base <= a < base + size]. *)

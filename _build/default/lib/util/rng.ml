@@ -1,0 +1,107 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create ~seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.to_int (bits64 t) land max_int in
+  mask mod bound
+
+let int_in t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let mantissa = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int mantissa /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let geometric t ~p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.log u /. Float.log (1.0 -. p))
+
+(* Zipf via rejection-inversion (Hormann & Derflinger). For the modest
+   [n] used by workloads a simple cumulative-table method suffices and
+   is easier to verify. Tables are memoized per (n, s). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_table n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 1 to n do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int k) s);
+      tbl.(k - 1) <- !acc
+    done;
+    let total = !acc in
+    for k = 0 to n - 1 do
+      tbl.(k) <- tbl.(k) /. total
+    done;
+    Hashtbl.replace zipf_tables (n, s) tbl;
+    tbl
+
+let zipf t ~n ~s =
+  assert (n > 0);
+  let tbl = zipf_table n s in
+  let u = float t 1.0 in
+  (* Binary search for the first index with cumulative >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if tbl.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (n - 1)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    Every experiment in the benchmark harness is seeded so results are
+    reproducible bit-for-bit. The generator is splitmix64 (for seeding)
+    feeding xoshiro256**, the same family GUPS-style benchmarks use. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** Create a generator from a 63-bit seed. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** Derive an independent generator from [t]'s stream (advances [t]). *)
+
+val copy : t -> t
+(** Duplicate the current state; both copies then produce the same
+    stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before first success, [p] in (0,1]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [1, n] with exponent [s] (used by key-value
+    store workloads). *)

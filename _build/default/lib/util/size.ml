@@ -1,0 +1,32 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+let tib n = n * 1024 * 1024 * 1024 * 1024
+
+let pp fmt n =
+  let f = float_of_int n in
+  let units = [ "B"; "KiB"; "MiB"; "GiB"; "TiB"; "PiB" ] in
+  let rec pick f = function
+    | [ last ] -> (f, last)
+    | u :: rest -> if f < 1024.0 then (f, u) else pick (f /. 1024.0) rest
+    | [] -> assert false
+  in
+  let v, u = pick f units in
+  if Float.is_integer v then Format.fprintf fmt "%.0f%s" v u
+  else Format.fprintf fmt "%.1f%s" v u
+
+let to_string n = Format.asprintf "%a" pp n
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  assert (n > 0);
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let round_up n ~align =
+  assert (is_power_of_two align);
+  (n + align - 1) land lnot (align - 1)
+
+let round_down n ~align =
+  assert (is_power_of_two align);
+  n land lnot (align - 1)

@@ -1,0 +1,37 @@
+(** Byte-size constants and formatting.
+
+    All sizes in SpaceJMP are plain [int] byte counts; OCaml's 63-bit
+    native integers hold any 48-bit virtual or 46-bit physical quantity
+    without boxing. *)
+
+val kib : int -> int
+(** [kib n] is [n] kibibytes. *)
+
+val mib : int -> int
+(** [mib n] is [n] mebibytes. *)
+
+val gib : int -> int
+(** [gib n] is [n] gibibytes. *)
+
+val tib : int -> int
+(** [tib n] is [n] tebibytes. *)
+
+val pp : Format.formatter -> int -> unit
+(** Human-readable size, e.g. [pp fmt 1536] prints ["1.5KiB"]. *)
+
+val to_string : int -> string
+(** [to_string n] is [Format.asprintf "%a" pp n]. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is true iff [n] is a positive power of two. *)
+
+val log2 : int -> int
+(** [log2 n] for positive [n] is the floor of the base-2 logarithm. *)
+
+val round_up : int -> align:int -> int
+(** [round_up n ~align] rounds [n] up to a multiple of [align]
+    (a power of two). *)
+
+val round_down : int -> align:int -> int
+(** [round_down n ~align] rounds [n] down to a multiple of [align]
+    (a power of two). *)

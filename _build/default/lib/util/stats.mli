@@ -1,0 +1,30 @@
+(** Small statistics helpers for benchmark reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], by linear interpolation on the
+    sorted copy. Raises [Invalid_argument] on empty input. *)
+
+val median : float array -> float
+val min : float array -> float
+val max : float array -> float
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,90 @@
+type align = Left | Right
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  cols : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols = { title; cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.cols then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.cols in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Rule -> 0
+        in
+        List.fold_left (fun w r -> max w (cell_width r)) (String.length h) rows)
+      t.cols
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let width = List.nth widths i in
+        let _, align = List.nth t.cols i in
+        Buffer.add_string buf (pad align width cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells headers;
+  let total =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells cells -> emit_cells cells
+      | Rule ->
+        Buffer.add_string buf (String.make total '-');
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) v =
+  let a = Float.abs v in
+  if a <> 0.0 && (a < 0.001 || a >= 1e7) then Printf.sprintf "%.2e" v
+  else Printf.sprintf "%.*f" decimals v
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

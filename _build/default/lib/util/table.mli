@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every figure/table reproduction prints its series through this module
+    so the output of [bench/main.exe] lines up in fixed columns. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+val print : t -> unit
+(** Render to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell; adaptive scientific notation for very small or
+    large magnitudes. *)
+
+val cell_int : int -> string
+(** Format an int with thousands separators, e.g. ["1,127"]. *)

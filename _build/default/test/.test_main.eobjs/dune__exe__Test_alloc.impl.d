@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Gen List Option QCheck QCheck_alcotest Sj_alloc

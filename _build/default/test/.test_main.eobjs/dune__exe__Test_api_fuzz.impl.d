@@ -1,0 +1,1 @@
+test/test_api_fuzz.ml: Alcotest Api Array Errors Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest Segment Size Sj_core Sj_kernel Sj_machine Sj_paging Sj_util Vas

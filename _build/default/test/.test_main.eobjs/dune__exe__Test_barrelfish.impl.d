@@ -1,0 +1,1 @@
+test/test_barrelfish.ml: Alcotest Api List Printf Size Sj_core Sj_kernel Sj_machine Sj_paging Sj_util

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Analysis Format Interp Ir List Printf QCheck QCheck_alcotest Result Sj_checker Transform

@@ -1,0 +1,1 @@
+test/test_checker_parser.ml: Alcotest Analysis Filename Format Gen Interp Ir List Parser Printf QCheck QCheck_alcotest Sj_checker String Transform

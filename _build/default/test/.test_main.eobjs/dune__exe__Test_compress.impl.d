@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Buffer Bytes Char Gen List Printf QCheck QCheck_alcotest Sj_compress Sj_util String

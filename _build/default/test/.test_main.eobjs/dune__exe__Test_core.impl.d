@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Api Bytes Errors Gen List QCheck QCheck_alcotest Registry Segment Size Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util Vas

@@ -1,0 +1,1 @@
+test/test_cow.ml: Addr Alcotest Api Segment Size Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Engine Gen List QCheck QCheck_alcotest Resource Sj_des

@@ -1,0 +1,1 @@
+test/test_grow.ml: Alcotest Api Option Segment Size Sj_alloc Sj_core Sj_kernel Sj_machine Sj_paging Sj_persist Sj_util

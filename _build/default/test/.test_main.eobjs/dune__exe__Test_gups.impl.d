@@ -1,0 +1,1 @@
+test/test_gups.ml: Alcotest Float List Size Sj_gups Sj_util

@@ -1,0 +1,1 @@
+test/test_hugepages.ml: Addr Alcotest Api Array Bytes Printf Rng Segment Size Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_persist Sj_tlb Sj_util

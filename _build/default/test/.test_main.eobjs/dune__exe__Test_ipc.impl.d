@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Bytes Gen List QCheck QCheck_alcotest Size Sj_ipc Sj_machine Sj_util

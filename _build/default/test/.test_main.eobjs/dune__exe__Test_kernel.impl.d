@@ -1,0 +1,1 @@
+test/test_kernel.ml: Acl Alcotest Cap Layout List Process Size Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util Vm_object Vmspace

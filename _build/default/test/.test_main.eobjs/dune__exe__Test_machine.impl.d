@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Bytes Cost_model Machine Platform Size Sj_machine Sj_mem Sj_paging Sj_tlb Sj_util

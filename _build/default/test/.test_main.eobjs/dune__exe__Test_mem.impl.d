@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Alcotest Bytes QCheck QCheck_alcotest Size Sj_mem Sj_util String

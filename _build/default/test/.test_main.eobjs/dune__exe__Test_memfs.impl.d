@@ -1,0 +1,1 @@
+test/test_memfs.ml: Alcotest Bytes Gen List QCheck QCheck_alcotest Size Sj_machine Sj_mem Sj_memfs Sj_util String

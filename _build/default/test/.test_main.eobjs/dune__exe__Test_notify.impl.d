@@ -1,0 +1,1 @@
+test/test_notify.ml: Alcotest Bytes Notify Redisjmp Resp Size Sj_core Sj_kernel Sj_kvstore Sj_machine Sj_util

@@ -1,0 +1,1 @@
+test/test_paging.ml: Addr Alcotest Array Gen Hashtbl List Page_table Prot QCheck QCheck_alcotest Size Sj_mem Sj_paging Sj_util

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Api Bytes Errors Gen Int64 List QCheck QCheck_alcotest Segment Size Sj_core Sj_kernel Sj_machine Sj_paging Sj_persist Sj_util String Vas

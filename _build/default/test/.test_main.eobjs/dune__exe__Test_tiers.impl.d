@@ -1,0 +1,1 @@
+test/test_tiers.ml: Addr Alcotest Api Bytes Printf Rng Segment Size Sj_core Sj_kernel Sj_machine Sj_mem Sj_paging Sj_util

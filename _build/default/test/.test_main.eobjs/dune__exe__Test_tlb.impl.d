@@ -1,0 +1,1 @@
+test/test_tlb.ml: Addr Alcotest Gen Hashtbl List Page_table Prot QCheck QCheck_alcotest Size Sj_paging Sj_tlb Sj_util Test

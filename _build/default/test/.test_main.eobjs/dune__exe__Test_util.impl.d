@@ -1,0 +1,1 @@
+test/test_util.ml: Addr Alcotest Array Gen List QCheck QCheck_alcotest Rng Size Sj_util Stats String Table

@@ -1,0 +1,137 @@
+(* Tests for the dlmalloc-style mspace allocator. *)
+module Mspace = Sj_alloc.Mspace
+
+let mk ?(size = 65536) () = Mspace.create ~base:0x1000_0000 ~size
+
+let test_basic_alloc () =
+  let h = mk () in
+  match Mspace.malloc h 100 with
+  | Some va ->
+    Alcotest.(check bool) "aligned" true (va mod 16 = 0);
+    Alcotest.(check bool) "in range" true (Mspace.owns h va);
+    Alcotest.(check bool) "live" true (Mspace.is_allocated h va);
+    Alcotest.(check bool) "usable >= requested" true (Mspace.usable_size h va >= 100)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_free_reuse () =
+  let h = mk () in
+  let a = Option.get (Mspace.malloc h 1000) in
+  Mspace.free h a;
+  let b = Option.get (Mspace.malloc h 1000) in
+  Alcotest.(check int) "freed space reused" a b
+
+let test_double_free_rejected () =
+  let h = mk () in
+  let a = Option.get (Mspace.malloc h 64) in
+  Mspace.free h a;
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Mspace.free h a;
+       false
+     with Invalid_argument _ -> true)
+
+let test_foreign_pointer_rejected () =
+  let h = mk () in
+  let a = Option.get (Mspace.malloc h 64) in
+  Alcotest.(check bool) "interior pointer raises" true
+    (try
+       Mspace.free h (a + 8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_exhaustion () =
+  let h = mk ~size:1024 () in
+  Alcotest.(check bool) "too big" true (Mspace.malloc h 4096 = None);
+  let a = Mspace.malloc h 1000 in
+  Alcotest.(check bool) "close fit works" true (a <> None);
+  Alcotest.(check bool) "then exhausted" true (Mspace.malloc h 64 = None)
+
+let test_coalescing () =
+  let h = mk ~size:4096 () in
+  let a = Option.get (Mspace.malloc h 1000) in
+  let b = Option.get (Mspace.malloc h 1000) in
+  let c = Option.get (Mspace.malloc h 1000) in
+  ignore c;
+  Mspace.free h a;
+  Mspace.free h b;
+  (* After coalescing a+b, a 2000-byte allocation must fit at a. *)
+  match Mspace.malloc h 2000 with
+  | Some va -> Alcotest.(check int) "coalesced block reused" a va
+  | None -> Alcotest.fail "coalescing failed"
+
+let test_zero_size () =
+  let h = mk () in
+  match Mspace.malloc h 0 with
+  | Some va -> Alcotest.(check bool) "minimum chunk" true (Mspace.usable_size h va >= 16)
+  | None -> Alcotest.fail "zero-size alloc"
+
+let test_accounting () =
+  let h = mk () in
+  Alcotest.(check int) "initially empty" 0 (Mspace.used_bytes h);
+  let a = Option.get (Mspace.malloc h 100) in
+  let used = Mspace.used_bytes h in
+  Alcotest.(check bool) "used tracks" true (used >= 100);
+  Alcotest.(check int) "one allocation" 1 (Mspace.allocations h);
+  Mspace.free h a;
+  Alcotest.(check int) "empty again" 0 (Mspace.used_bytes h);
+  Alcotest.(check int) "free = total" 65536 (Mspace.free_bytes h);
+  Alcotest.(check int) "largest free = whole range" 65536 (Mspace.largest_free h)
+
+(* Random alloc/free interleavings preserve every invariant. *)
+let prop_invariants =
+  QCheck.Test.make ~name:"mspace invariants under random workloads" ~count:150
+    QCheck.(list_of_size Gen.(int_range 1 200) (pair bool (int_bound 2000)))
+    (fun ops ->
+      let h = Mspace.create ~base:0x4000_0000 ~size:(1 lsl 17) in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, n) ->
+          if do_alloc || !live = [] then begin
+            match Mspace.malloc h n with
+            | Some va -> live := va :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | va :: rest ->
+              Mspace.free h va;
+              live := rest
+            | [] -> ()
+          end;
+          Mspace.check_invariants h)
+        ops;
+      List.iter (Mspace.free h) !live;
+      Mspace.check_invariants h;
+      Mspace.used_bytes h = 0 && Mspace.largest_free h = 1 lsl 17)
+
+(* Live allocations never overlap. *)
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live allocations never overlap" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 3000))
+    (fun sizes ->
+      let h = Mspace.create ~base:0 ~size:(1 lsl 18) in
+      let allocs =
+        List.filter_map
+          (fun n -> Option.map (fun va -> (va, Mspace.usable_size h va)) (Mspace.malloc h n))
+          sizes
+      in
+      let sorted = List.sort compare allocs in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) as nb) :: rest -> a + sa <= b && disjoint (nb :: rest)
+        | _ -> true
+      in
+      disjoint sorted)
+
+let suite =
+  [
+    Alcotest.test_case "basic alloc" `Quick test_basic_alloc;
+    Alcotest.test_case "free and reuse" `Quick test_free_reuse;
+    Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
+    Alcotest.test_case "foreign pointer rejected" `Quick test_foreign_pointer_rejected;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "coalescing" `Quick test_coalescing;
+    Alcotest.test_case "zero-size request" `Quick test_zero_size;
+    Alcotest.test_case "accounting" `Quick test_accounting;
+    QCheck_alcotest.to_alcotest prop_invariants;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+  ]

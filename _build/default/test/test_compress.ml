@@ -1,0 +1,118 @@
+(* Tests for varint coding and the block-LZ compressor. *)
+module Varint = Sj_compress.Varint
+module Block_lz = Sj_compress.Block_lz
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Varint.write buf n;
+      let v, pos = Varint.read (Buffer.to_bytes buf) ~pos:0 in
+      Alcotest.(check int) (string_of_int n) n v;
+      Alcotest.(check int) "consumed all" (Buffer.length buf) pos)
+    [ 0; 1; 127; 128; 300; 16383; 16384; 1 lsl 40; max_int ]
+
+let test_varint_signed () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Varint.write_signed buf n;
+      let v, _ = Varint.read_signed (Buffer.to_bytes buf) ~pos:0 in
+      Alcotest.(check int) (string_of_int n) n v)
+    [ 0; 1; -1; 63; -64; 1000; -1000; 1 lsl 30; -(1 lsl 30) ]
+
+let test_varint_truncated () =
+  let buf = Buffer.create 8 in
+  Varint.write buf 100000;
+  let b = Buffer.to_bytes buf in
+  Alcotest.(check bool) "truncated raises" true
+    (try
+       ignore (Varint.read (Bytes.sub b 0 1) ~pos:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_varint_sequence () =
+  let buf = Buffer.create 16 in
+  List.iter (Varint.write buf) [ 5; 500; 50000 ];
+  let b = Buffer.to_bytes buf in
+  let a, p = Varint.read b ~pos:0 in
+  let bb, p = Varint.read b ~pos:p in
+  let c, _ = Varint.read b ~pos:p in
+  Alcotest.(check (list int)) "sequence" [ 5; 500; 50000 ] [ a; bb; c ]
+
+let roundtrip s =
+  Bytes.to_string (Block_lz.decompress (Block_lz.compress (Bytes.of_string s)))
+
+let test_lz_empty () = Alcotest.(check string) "empty" "" (roundtrip "")
+
+let test_lz_simple () =
+  let s = "hello hello hello hello hello" in
+  Alcotest.(check string) "repetitive" s (roundtrip s)
+
+let test_lz_compresses_repetition () =
+  let s = String.concat "" (List.init 1000 (fun _ -> "abcdefgh")) in
+  let c = Block_lz.compress (Bytes.of_string s) in
+  Alcotest.(check bool) "ratio > 10x" true (Bytes.length c * 10 < String.length s);
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Block_lz.decompress c))
+
+let test_lz_incompressible () =
+  let rng = Sj_util.Rng.create ~seed:5 in
+  let s = String.init 10000 (fun _ -> Char.chr (Sj_util.Rng.int rng 256)) in
+  let c = Block_lz.compress (Bytes.of_string s) in
+  (* Random data must not blow up much. *)
+  Alcotest.(check bool) "expansion < 5%" true
+    (Bytes.length c < String.length s * 105 / 100);
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Block_lz.decompress c))
+
+let test_lz_multi_block () =
+  let s = String.concat "" (List.init 12000 (fun i -> Printf.sprintf "line %d. " (i mod 97))) in
+  Alcotest.(check bool) "spans blocks" true (String.length s > Block_lz.block_size);
+  let c = Block_lz.compress (Bytes.of_string s) in
+  Alcotest.(check bool) "block count" true (Block_lz.compressed_blocks c >= 2);
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Block_lz.decompress c))
+
+let test_lz_rle_overlap () =
+  (* Overlapping match (distance 1): the RLE case. *)
+  let s = String.make 5000 'x' in
+  let c = Block_lz.compress (Bytes.of_string s) in
+  Alcotest.(check bool) "tiny" true (Bytes.length c < 100);
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Block_lz.decompress c))
+
+let test_lz_corrupt () =
+  let c = Block_lz.compress (Bytes.of_string "some reasonable input data here") in
+  Bytes.set c (Bytes.length c - 1) '\xff';
+  Alcotest.(check bool) "corrupt detected or diff output" true
+    (try Block_lz.decompress c <> Bytes.of_string "some reasonable input data here"
+     with Invalid_argument _ -> true)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"compress/decompress identity" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 5000))
+    (fun s -> roundtrip s = s)
+
+let prop_roundtrip_structured =
+  QCheck.Test.make ~name:"roundtrip on record-like text" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (pair small_nat (string_of_size Gen.(int_range 0 30))))
+    (fun rows ->
+      let s =
+        String.concat "\n"
+          (List.map (fun (n, txt) -> Printf.sprintf "read_%07d\t%d\t%s" n (n * 3) txt) rows)
+      in
+      roundtrip s = s)
+
+let suite =
+  [
+    Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+    Alcotest.test_case "varint signed" `Quick test_varint_signed;
+    Alcotest.test_case "varint truncated" `Quick test_varint_truncated;
+    Alcotest.test_case "varint sequence" `Quick test_varint_sequence;
+    Alcotest.test_case "lz empty" `Quick test_lz_empty;
+    Alcotest.test_case "lz simple" `Quick test_lz_simple;
+    Alcotest.test_case "lz compresses repetition" `Quick test_lz_compresses_repetition;
+    Alcotest.test_case "lz incompressible input" `Quick test_lz_incompressible;
+    Alcotest.test_case "lz multi-block" `Quick test_lz_multi_block;
+    Alcotest.test_case "lz RLE overlap" `Quick test_lz_rle_overlap;
+    Alcotest.test_case "lz corruption" `Quick test_lz_corrupt;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_structured;
+  ]

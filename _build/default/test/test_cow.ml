@@ -1,0 +1,250 @@
+(* Tests for copy-on-write segment snapshots (paper sec 7:
+   "copy-on-write, snapshotting, and versioning"). *)
+open Sj_util
+open Sj_core
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Layout = Sj_kernel.Layout
+module Pm = Sj_mem.Phys_mem
+module Prot = Sj_paging.Prot
+
+let tiny : Platform.t =
+  { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
+
+let setup () =
+  Layout.reset_global_allocator ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p = Process.create ~name:"p0" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  (m, sys, ctx)
+
+(* A VAS with one 1 MiB data segment, switched in, with some content. *)
+let with_data ctx =
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"data" ~size:(Size.mib 1) ~mode:0o666 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:(Segment.base seg) 111L;
+  Api.store64 ctx ~va:(Segment.base seg + Size.kib 512) 222L;
+  (vas, seg, vh)
+
+let test_snapshot_shares_frames () =
+  let m, _, ctx = setup () in
+  let _, seg, _ = with_data ctx in
+  let before = Pm.frames_allocated (Machine.mem m) in
+  let snap = Api.seg_snapshot ctx seg ~name:"data@1" in
+  (* A 1 MiB snapshot allocates no data frames. *)
+  Alcotest.(check int) "no frames copied" before (Pm.frames_allocated (Machine.mem m));
+  Alcotest.(check int) "same base" (Segment.base seg) (Segment.base snap);
+  Alcotest.(check bool) "both marked cow" true (Segment.is_cow seg && Segment.is_cow snap)
+
+let test_snapshot_reads_original_data () =
+  let _, _, ctx = setup () in
+  let vas, seg, vh = with_data ctx in
+  ignore vas;
+  let snap = Api.seg_snapshot ctx seg ~name:"data@1" in
+  Api.switch_home ctx;
+  (* Mount the snapshot in its own VAS. *)
+  let vas2 = Api.vas_create ctx ~name:"v@1" ~mode:0o666 in
+  Api.seg_attach ctx vas2 snap ~prot:Prot.rw;
+  let vh2 = Api.vas_attach ctx vas2 in
+  Api.vas_switch ctx vh2;
+  Alcotest.(check int64) "snapshot sees original data" 111L
+    (Api.load64 ctx ~va:(Segment.base seg));
+  Api.switch_home ctx;
+  ignore vh
+
+let test_write_isolation () =
+  let m, _, ctx = setup () in
+  let _, seg, vh = with_data ctx in
+  let snap = Api.seg_snapshot ctx seg ~name:"data@1" in
+  let vas2 = Api.vas_create ctx ~name:"v@1" ~mode:0o666 in
+  Api.seg_attach ctx vas2 snap ~prot:Prot.rw;
+  let vh2 = Api.vas_attach ctx vas2 in
+  let base = Segment.base seg in
+  (* Write through the ORIGINAL: faults, splits, succeeds. *)
+  let frames_before = Pm.frames_allocated (Machine.mem m) in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:base 999L;
+  Alcotest.(check int) "one page split" (frames_before + 1)
+    (Pm.frames_allocated (Machine.mem m));
+  Alcotest.(check int64) "original sees new value" 999L (Api.load64 ctx ~va:base);
+  (* The snapshot still sees the old value. *)
+  Api.switch_home ctx;
+  Api.vas_switch ctx vh2;
+  Alcotest.(check int64) "snapshot unchanged" 111L (Api.load64 ctx ~va:base);
+  (* Untouched pages still shared: reading costs no split. *)
+  Alcotest.(check int64) "other page intact" 222L (Api.load64 ctx ~va:(base + Size.kib 512));
+  (* Write through the SNAPSHOT to the already-split page: it is now the
+     sole owner of the original frame — upgrade without copying. *)
+  let frames_mid = Pm.frames_allocated (Machine.mem m) in
+  Api.store64 ctx ~va:base 333L;
+  Alcotest.(check int) "no second copy needed" frames_mid (Pm.frames_allocated (Machine.mem m));
+  Alcotest.(check int64) "snapshot write lands" 333L (Api.load64 ctx ~va:base);
+  Api.switch_home ctx;
+  (* And the original still has its own value. *)
+  Api.vas_switch ctx vh;
+  Alcotest.(check int64) "original still 999" 999L (Api.load64 ctx ~va:base)
+
+let test_multiple_snapshots () =
+  let _, _, ctx = setup () in
+  let _, seg, vh = with_data ctx in
+  let base = Segment.base seg in
+  (* Version 1. *)
+  let s1 = Api.seg_snapshot ctx seg ~name:"v1" in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:base 2L;
+  Api.switch_home ctx;
+  (* Version 2. *)
+  let s2 = Api.seg_snapshot ctx seg ~name:"v2" in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:base 3L;
+  Api.switch_home ctx;
+  let mount name s =
+    let v = Api.vas_create ctx ~name ~mode:0o666 in
+    Api.seg_attach ctx v s ~prot:Prot.rw;
+    Api.vas_attach ctx v
+  in
+  let vh1 = mount "m1" s1 and vh2 = mount "m2" s2 in
+  Api.vas_switch ctx vh1;
+  Alcotest.(check int64) "v1 frozen at 111" 111L (Api.load64 ctx ~va:base);
+  Api.switch_home ctx;
+  Api.vas_switch ctx vh2;
+  Alcotest.(check int64) "v2 frozen at 2" 2L (Api.load64 ctx ~va:base);
+  Api.switch_home ctx;
+  Api.vas_switch ctx vh;
+  Alcotest.(check int64) "head at 3" 3L (Api.load64 ctx ~va:base)
+
+let test_snapshot_heap_state () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"heap" ~size:(Size.mib 1) ~mode:0o666 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  let a = Api.malloc ctx 64 in
+  Api.store64 ctx ~va:a 7L;
+  Api.switch_home ctx;
+  let snap = Api.seg_snapshot ctx seg ~name:"heap@1" in
+  (* Allocating in the snapshot must not reuse the original's live
+     allocation (the allocator state was copied, not reset). *)
+  let vas2 = Api.vas_create ctx ~name:"v2" ~mode:0o666 in
+  Api.seg_attach ctx vas2 snap ~prot:Prot.rw;
+  let vh2 = Api.vas_attach ctx vas2 in
+  Api.vas_switch ctx vh2;
+  let b = Api.malloc ctx 64 in
+  Alcotest.(check bool) "fresh address" true (b <> a);
+  Alcotest.(check int64) "old allocation's data visible in snapshot" 7L (Api.load64 ctx ~va:a);
+  (* Freeing the inherited allocation in the snapshot works. *)
+  Api.free ctx a;
+  Api.switch_home ctx
+
+let test_fault_costs_charged () =
+  let _, _, ctx = setup () in
+  let _, seg, vh = with_data ctx in
+  let _ = Api.seg_snapshot ctx seg ~name:"s" in
+  Api.vas_switch ctx vh;
+  let core = Api.core ctx in
+  let c0 = Core.cycles core in
+  Api.store64 ctx ~va:(Segment.base seg) 5L;
+  let cow_write = Core.cycles core - c0 in
+  let c1 = Core.cycles core in
+  Api.store64 ctx ~va:(Segment.base seg + 8) 5L;
+  let plain_write = Core.cycles core - c1 in
+  Alcotest.(check bool) "COW fault markedly dearer than a plain store" true
+    (cow_write > plain_write + 1000)
+
+let test_reads_never_split () =
+  let m, _, ctx = setup () in
+  let _, seg, vh = with_data ctx in
+  let _ = Api.seg_snapshot ctx seg ~name:"s" in
+  Api.vas_switch ctx vh;
+  let frames = Pm.frames_allocated (Machine.mem m) in
+  for i = 0 to 63 do
+    ignore (Api.load64 ctx ~va:(Segment.base seg + (i * Addr.page_size)))
+  done;
+  Alcotest.(check int) "reads shared pages freely" frames (Pm.frames_allocated (Machine.mem m))
+
+let test_snapshot_of_cached_segment_rejected () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"cached" ~size:(Size.mib 1) ~mode:0o666 in
+  Api.seg_ctl ctx (`Cache_translations seg);
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Api.seg_snapshot ctx seg ~name:"nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_destroy_order_frees_everything () =
+  let m, _, ctx = setup () in
+  let _, seg, vh = with_data ctx in
+  let snap = Api.seg_snapshot ctx seg ~name:"s" in
+  (* Split one page so ownership is mixed, then destroy both. *)
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:(Segment.base seg) 1L;
+  Api.switch_home ctx;
+  Api.vas_detach ctx vh;
+  Api.seg_ctl ctx (`Destroy snap);
+  (* Destroying the snapshot first must not free frames the original
+     still owns: the original remains fully readable. *)
+  let vas2 = Api.vas_create ctx ~name:"check" ~mode:0o666 in
+  Api.seg_attach ctx vas2 seg ~prot:Prot.r;
+  let vh2 = Api.vas_attach ctx vas2 in
+  Api.vas_switch ctx vh2;
+  Alcotest.(check int64) "original intact after snapshot destroy" 1L
+    (Api.load64 ctx ~va:(Segment.base seg));
+  Api.switch_home ctx;
+  Api.vas_detach ctx vh2;
+  let before_final = Pm.frames_allocated (Machine.mem m) in
+  Api.seg_ctl ctx (`Destroy seg);
+  Alcotest.(check bool) "original's frames released" true
+    (Pm.frames_allocated (Machine.mem m) < before_final)
+
+let test_cross_core_shootdown () =
+  (* A second process on another core has warm, writable TLB entries for
+     the segment. Taking a snapshot must shoot those entries down so the
+     next write on that core faults into the COW path instead of
+     silently writing the shared frame. *)
+  let m, sys, ctx_a = setup () in
+  let _, seg, vh_a = with_data ctx_a in
+  Api.switch_home ctx_a;
+  let p2 = Process.create ~name:"other" m in
+  let ctx_b = Api.context sys p2 (Machine.core m 1) in
+  let vh_b = Api.vas_attach ctx_b (Api.vas_find ctx_b ~name:"v") in
+  Api.vas_switch ctx_b vh_b;
+  (* Warm core 1's TLB with a writable translation. *)
+  Api.store64 ctx_b ~va:(Segment.base seg) 111L;
+  Api.switch_home ctx_b;
+  ignore vh_a;
+  (* Snapshot from core 0. *)
+  let snap = Api.seg_snapshot ctx_a seg ~name:"shot" in
+  (* Core 1 writes again: must split, leaving the snapshot intact. *)
+  Api.vas_switch ctx_b vh_b;
+  Api.store64 ctx_b ~va:(Segment.base seg) 555L;
+  Api.switch_home ctx_b;
+  let vas2 = Api.vas_create ctx_a ~name:"mount" ~mode:0o666 in
+  Api.seg_attach ctx_a vas2 snap ~prot:Prot.r;
+  let vh_s = Api.vas_attach ctx_a vas2 in
+  Api.vas_switch ctx_a vh_s;
+  Alcotest.(check int64) "snapshot preserved despite warm remote TLB" 111L
+    (Api.load64 ctx_a ~va:(Segment.base seg))
+
+let suite =
+  [
+    Alcotest.test_case "snapshot shares frames" `Quick test_snapshot_shares_frames;
+    Alcotest.test_case "snapshot reads original data" `Quick test_snapshot_reads_original_data;
+    Alcotest.test_case "write isolation via COW" `Quick test_write_isolation;
+    Alcotest.test_case "multiple versions" `Quick test_multiple_snapshots;
+    Alcotest.test_case "heap state inherited" `Quick test_snapshot_heap_state;
+    Alcotest.test_case "fault costs charged" `Quick test_fault_costs_charged;
+    Alcotest.test_case "reads never split" `Quick test_reads_never_split;
+    Alcotest.test_case "cached segments rejected" `Quick test_snapshot_of_cached_segment_rejected;
+    Alcotest.test_case "destroy order safe" `Quick test_destroy_order_frees_everything;
+    Alcotest.test_case "cross-core TLB shootdown" `Quick test_cross_core_shootdown;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for the discrete-event engine and resources. *)
+open Sj_des
+
+let test_event_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~at:30 (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~at:10 (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~at:20 (fun () -> log := 2 :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "time at end" 30 (Engine.now eng)
+
+let test_fifo_at_same_time () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule eng ~at:10 (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO among equal stamps" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec step n = if n > 0 then Engine.schedule_after eng ~delay:5 (fun () ->
+      incr count;
+      step (n - 1))
+  in
+  step 10;
+  Engine.run eng;
+  Alcotest.(check int) "all steps ran" 10 !count;
+  Alcotest.(check int) "time advanced" 50 (Engine.now eng)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule eng ~at:(i * 10) (fun () -> incr count)
+  done;
+  Engine.run ~until:55 eng;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check int) "clock clamped" 55 (Engine.now eng);
+  Alcotest.(check int) "rest pending" 5 (Engine.pending eng)
+
+let test_past_event_rejected () =
+  let eng = Engine.create () in
+  Engine.schedule eng ~at:10 (fun () -> ());
+  Engine.run eng;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: event in the past")
+    (fun () -> Engine.schedule eng ~at:5 (fun () -> ()))
+
+let test_cores_serialize () =
+  let eng = Engine.create () in
+  let cores = Resource.Cores.create eng ~n:1 in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Resource.Cores.exec cores ~cycles:10 (fun () -> finish := (i, Engine.now eng) :: !finish)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "single core serializes"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (List.rev !finish)
+
+let test_cores_parallel () =
+  let eng = Engine.create () in
+  let cores = Resource.Cores.create eng ~n:3 in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Resource.Cores.exec cores ~cycles:10 (fun () -> finish := (i, Engine.now eng) :: !finish)
+  done;
+  Engine.run eng;
+  List.iter (fun (_, t) -> Alcotest.(check int) "all finish at 10" 10 t) !finish;
+  Alcotest.(check int) "busy cycles" 30 (Resource.Cores.busy_cycles cores)
+
+let test_rwlock_readers_share () =
+  let eng = Engine.create () in
+  let lock = Resource.Rwlock.create eng in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 4 do
+    Resource.Rwlock.acquire lock ~write:false (fun () ->
+        incr active;
+        peak := max !peak !active;
+        Engine.schedule_after eng ~delay:10 (fun () ->
+            decr active;
+            Resource.Rwlock.release lock ~write:false))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "readers overlapped" 4 !peak
+
+let test_rwlock_writer_excludes () =
+  let eng = Engine.create () in
+  let lock = Resource.Rwlock.create eng in
+  let log = ref [] in
+  let writer id =
+    Resource.Rwlock.acquire lock ~write:true (fun () ->
+        log := (id, Engine.now eng) :: !log;
+        Engine.schedule_after eng ~delay:10 (fun () -> Resource.Rwlock.release lock ~write:true))
+  in
+  writer 1;
+  writer 2;
+  Engine.run eng;
+  match List.rev !log with
+  | [ (1, t1); (2, t2) ] ->
+    Alcotest.(check int) "first at 0" 0 t1;
+    Alcotest.(check bool) "second waits" true (t2 >= 10)
+  | _ -> Alcotest.fail "expected two grants"
+
+let test_rwlock_writer_blocks_later_readers () =
+  let eng = Engine.create () in
+  let lock = Resource.Rwlock.create eng in
+  let order = ref [] in
+  (* Reader holds; writer queues; a later reader must not overtake the
+     queued writer (FIFO fairness). *)
+  Resource.Rwlock.acquire lock ~write:false (fun () ->
+      order := `R1 :: !order;
+      Engine.schedule_after eng ~delay:20 (fun () -> Resource.Rwlock.release lock ~write:false));
+  Engine.schedule_after eng ~delay:1 (fun () ->
+      Resource.Rwlock.acquire lock ~write:true (fun () ->
+          order := `W :: !order;
+          Engine.schedule_after eng ~delay:5 (fun () ->
+              Resource.Rwlock.release lock ~write:true)));
+  Engine.schedule_after eng ~delay:2 (fun () ->
+      Resource.Rwlock.acquire lock ~write:false (fun () ->
+          order := `R2 :: !order;
+          Resource.Rwlock.release lock ~write:false));
+  Engine.run eng;
+  Alcotest.(check bool) "writer before late reader" true (List.rev !order = [ `R1; `W; `R2 ]);
+  Alcotest.(check int) "two contended" 2 (Resource.Rwlock.contended_acquires lock)
+
+let prop_heap_order =
+  QCheck.Test.make ~name:"events always fire in timestamp order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 10_000))
+    (fun stamps ->
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun at -> Engine.schedule eng ~at (fun () -> fired := at :: !fired)) stamps;
+      Engine.run eng;
+      let fired = List.rev !fired in
+      fired = List.stable_sort compare stamps)
+
+let suite =
+  [
+    Alcotest.test_case "event ordering" `Quick test_event_order;
+    Alcotest.test_case "FIFO at equal timestamps" `Quick test_fifo_at_same_time;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "past events rejected" `Quick test_past_event_rejected;
+    Alcotest.test_case "cores serialize" `Quick test_cores_serialize;
+    Alcotest.test_case "cores run in parallel" `Quick test_cores_parallel;
+    Alcotest.test_case "rwlock readers share" `Quick test_rwlock_readers_share;
+    Alcotest.test_case "rwlock writer excludes" `Quick test_rwlock_writer_excludes;
+    Alcotest.test_case "rwlock FIFO fairness" `Quick test_rwlock_writer_blocks_later_readers;
+    QCheck_alcotest.to_alcotest prop_heap_order;
+  ]

@@ -1,0 +1,327 @@
+(* Tests for the genomics workload: record generation, SAM/BAM codecs,
+   operations, and cross-design pipeline equivalence. *)
+open Sj_util
+open Sj_genomics
+module Machine = Sj_machine.Machine
+module Platform = Sj_machine.Platform
+module Api = Sj_core.Api
+
+let tiny : Platform.t =
+  { Platform.m1 with name = "tiny"; mem_size = Size.mib 512; sockets = 2; cores_per_socket = 2 }
+
+let small_dataset ?(reads = 500) () =
+  Record.generate ~seed:7 ~references:Record.default_references ~reads ~read_len:50
+
+let test_generate_deterministic () =
+  let a = small_dataset () and b = small_dataset () in
+  Alcotest.(check bool) "equal datasets" true (a = b);
+  Alcotest.(check int) "count" 500 (Array.length a)
+
+let test_generate_flags_sane () =
+  let d = small_dataset ~reads:2000 () in
+  let mapped = Array.to_list d |> List.filter Record.is_mapped |> List.length in
+  Alcotest.(check bool) "mostly mapped" true (mapped > 1800);
+  Array.iter
+    (fun (r : Record.t) ->
+      Alcotest.(check bool) "paired" true (r.flag land Record.flag_paired <> 0);
+      if not (Record.is_mapped r) then begin
+        Alcotest.(check int) "unmapped pos 0" 0 r.pos;
+        Alcotest.(check string) "unmapped rname *" "*" r.rname
+      end
+      else Alcotest.(check bool) "mapped pos positive" true (r.pos > 0))
+    d
+
+let test_sam_roundtrip () =
+  let d = small_dataset () in
+  match Sam.decode (Sam.encode Record.default_references d) with
+  | Ok d' -> Alcotest.(check bool) "equal" true (d = d')
+  | Error e -> Alcotest.fail e
+
+let test_sam_rejects_garbage () =
+  Alcotest.(check bool) "bad line" true
+    (Result.is_error (Sam.of_line "only\tthree\tfields"));
+  Alcotest.(check bool) "bad number" true
+    (Result.is_error (Sam.of_line "q\tNaN\tchr1\t1\t60\t50M\t=\t1\t100\tACGT\tqqqq"))
+
+let test_bam_roundtrip () =
+  let d = small_dataset () in
+  match Bam.decode (Bam.encode Record.default_references d) with
+  | Ok d' -> Alcotest.(check bool) "equal" true (d = d')
+  | Error e -> Alcotest.fail e
+
+let test_bam_smaller_than_sam () =
+  let d = Record.generate ~seed:3 ~references:Record.default_references ~reads:3000 ~read_len:100 in
+  let sam = Bytes.length (Sam.encode Record.default_references d) in
+  let bam = Bytes.length (Bam.encode Record.default_references d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bam %d < sam %d (>=1.7x)" bam sam)
+    true
+    (bam * 17 < sam * 10)
+
+let test_bam_bad_magic () =
+  let data = Sj_compress.Block_lz.compress (Bytes.of_string "NOPE....") in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Bam.decode data))
+
+let test_flagstat () =
+  let d = small_dataset ~reads:1000 () in
+  let fs = Ops.flagstat (Ops.host_only d) in
+  Alcotest.(check int) "total" 1000 fs.Ops.total;
+  Alcotest.(check int) "paired = total" 1000 fs.Ops.paired;
+  Alcotest.(check int) "read1+read2 = total" 1000 (fs.Ops.read1 + fs.Ops.read2);
+  Alcotest.(check bool) "mapped <= total" true (fs.Ops.mapped <= fs.Ops.total);
+  let manual = Array.to_list d |> List.filter Record.is_mapped |> List.length in
+  Alcotest.(check int) "mapped count" manual fs.Ops.mapped
+
+let test_sorts () =
+  let d = small_dataset ~reads:1000 () in
+  let ds = Ops.host_only d in
+  let by_name = Ops.apply_permutation d (Ops.sort_permutation ds ~by:`Qname) in
+  let sorted_names = Array.map (fun (r : Record.t) -> r.qname) by_name in
+  let expected = Array.copy sorted_names in
+  Array.sort compare expected;
+  Alcotest.(check bool) "qname order" true (sorted_names = expected);
+  let by_coord = Ops.apply_permutation d (Ops.sort_permutation ds ~by:`Coordinate) in
+  Alcotest.(check bool) "coordinate order" true
+    (Ops.is_coordinate_sorted (Ops.host_only by_coord));
+  (* Sorting is a permutation. *)
+  let key (r : Record.t) = (r.qname, r.flag, r.rname, r.pos) in
+  let sort_keys a = List.sort compare (Array.to_list (Array.map key a)) in
+  Alcotest.(check bool) "permutation" true (sort_keys d = sort_keys by_coord)
+
+let test_index () =
+  let d = small_dataset ~reads:1000 () in
+  let sorted =
+    Ops.apply_permutation d (Ops.sort_permutation (Ops.host_only d) ~by:`Coordinate)
+  in
+  let idx = Ops.build_index (Ops.host_only sorted) ~bin_bp:16384 in
+  Alcotest.(check bool) "non-empty" true (List.length idx > 0);
+  (* Bin record counts sum to the mapped read count. *)
+  let total = List.fold_left (fun acc (e : Ops.index_entry) -> acc + e.count) 0 idx in
+  let mapped = Array.to_list sorted |> List.filter Record.is_mapped |> List.length in
+  Alcotest.(check int) "counts sum to mapped" mapped total;
+  (* Every entry's first record really starts in that bin. *)
+  List.iter
+    (fun (e : Ops.index_entry) ->
+      let r = sorted.(e.first) in
+      Alcotest.(check string) "rname" e.bin_rname r.Record.rname;
+      Alcotest.(check int) "bin" e.bin_id (r.Record.pos / 16384))
+    idx
+
+let test_pileup () =
+  let d = small_dataset ~reads:2000 () in
+  let refs = Record.default_references in
+  let r0 = List.hd refs in
+  let p = Ops.pileup (Ops.host_only d) ~rname:r0.Record.ref_name ~ref_length:r0.Record.length ~read_len:50 in
+  Alcotest.(check string) "rname" r0.Record.ref_name p.Ops.p_rname;
+  Alcotest.(check bool) "coverage positive" true (p.Ops.covered > 0);
+  Alcotest.(check bool) "max >= mean" true (float_of_int p.Ops.max_depth >= p.Ops.mean_depth);
+  (* Conservation: total depth mass = contributing reads x read_len
+     (clipped at the reference end). *)
+  let contributing =
+    Array.to_list d
+    |> List.filter (fun (r : Record.t) ->
+           Record.is_mapped r
+           && r.Record.rname = r0.Record.ref_name
+           && r.Record.flag land Record.flag_secondary = 0)
+    |> List.length
+  in
+  let mass = p.Ops.mean_depth *. float_of_int p.Ops.covered in
+  Alcotest.(check bool) "depth mass bounded by reads x len" true
+    (mass <= float_of_int (contributing * 50) +. 0.5);
+  (* An empty reference has no coverage. *)
+  let empty = Ops.pileup (Ops.host_only [||]) ~rname:"chrX" ~ref_length:1000 ~read_len:50 in
+  Alcotest.(check int) "empty" 0 empty.Ops.covered
+
+(* --- region queries (samtools view) --- *)
+
+let test_view_equivalence () =
+  let records =
+    Record.generate ~seed:9 ~references:Record.default_references ~reads:5000 ~read_len:80
+  in
+  let v = View.build Record.default_references records in
+  let sorted =
+    Ops.apply_permutation records (Ops.sort_permutation (Ops.host_only records) ~by:`Coordinate)
+  in
+  let naive rname lo hi =
+    Array.to_list sorted
+    |> List.filter (fun (r : Record.t) ->
+           Record.is_mapped r && r.Record.rname = rname && r.Record.pos >= lo && r.Record.pos < hi)
+  in
+  let rng = Rng.create ~seed:31 in
+  for _ = 1 to 40 do
+    let refs = Array.of_list Record.default_references in
+    let re = refs.(Rng.int rng (Array.length refs)) in
+    let lo = Rng.int rng re.Record.length in
+    let hi = min re.Record.length (lo + 1 + Rng.int rng 30_000) in
+    let got = View.query v ~rname:re.Record.ref_name ~lo ~hi in
+    let want = naive re.Record.ref_name lo hi in
+    Alcotest.(check int)
+      (Printf.sprintf "%s:%d-%d count" re.Record.ref_name lo hi)
+      (List.length want) (List.length got);
+    Alcotest.(check bool) "same records in order" true (got = want)
+  done;
+  (* Degenerate windows. *)
+  Alcotest.(check (list reject)) "empty window" []
+    (View.query v ~rname:"chr1" ~lo:5 ~hi:5 |> List.map ignore);
+  Alcotest.(check (list reject)) "unknown reference" []
+    (View.query v ~rname:"chrMT" ~lo:0 ~hi:1000 |> List.map ignore)
+
+let test_view_touches_few_blocks () =
+  let records =
+    Record.generate ~seed:9 ~references:Record.default_references ~reads:20_000 ~read_len:80
+  in
+  let v = View.build Record.default_references records in
+  let touched, total = View.blocks_for v ~rname:"chr1" ~lo:50_000 ~hi:52_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small window touches %d of %d blocks" touched total)
+    true
+    (total >= 10 && touched * 4 < total);
+  (* And the cost accounting reflects it: a narrow query charges far
+     less than decoding the whole file. *)
+  let m = Machine.create tiny in
+  let core = Machine.core m 0 in
+  let c0 = Machine.Core.cycles core in
+  ignore (View.query ~charge_to:core v ~rname:"chr1" ~lo:50_000 ~hi:52_000);
+  let narrow = Machine.Core.cycles core - c0 in
+  let full_cost =
+    Sj_compress.Block_lz.decompress_cycles
+      ~uncompressed:(total * Sj_compress.Block_lz.block_size)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "narrow query %d << full decompress %d" narrow full_cost)
+    true
+    (narrow * 3 < full_cost)
+
+let test_records_between_exactness () =
+  let records =
+    Record.generate ~seed:2 ~references:Record.default_references ~reads:3000 ~read_len:60
+  in
+  let data, offsets = Bam.encode_indexed Record.default_references records in
+  (* Arbitrary interior slices decode to exactly the right records. *)
+  let rng = Rng.create ~seed:77 in
+  for _ = 1 to 25 do
+    let first = Rng.int rng 2900 in
+    let count = 1 + Rng.int rng 99 in
+    let got = Bam.records_between data ~offsets ~first ~count in
+    Alcotest.(check bool) "slice matches" true
+      (got = Array.sub records first count)
+  done;
+  Alcotest.(check int) "empty slice" 0
+    (Array.length (Bam.records_between data ~offsets ~first:10 ~count:0));
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Bam.records_between data ~offsets ~first:2999 ~count:10);
+       false
+     with Invalid_argument _ -> true)
+
+let make_world () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  let machine = Machine.create tiny in
+  let sys = Api.boot machine in
+  let proc = Sj_kernel.Process.create ~name:"geno" machine in
+  let ctx = Api.context sys proc (Machine.core machine 0) in
+  let fs = Sj_memfs.Memfs.create machine in
+  let env = Pipelines.make_env machine fs (Machine.core machine 1) in
+  (machine, ctx, env)
+
+let test_pipelines_agree () =
+  (* The three storage designs must compute identical results. *)
+  let records = small_dataset ~reads:400 () in
+  let _, ctx, env = make_world () in
+  Pipelines.write_input_file env ~format:`Sam ~path:"in.sam" records;
+  Pipelines.write_input_file env ~format:`Bam ~path:"in.bam" records;
+  let mm = Pipelines.prepare_mmap env ~path:"region" records in
+  let sj = Pipelines.prepare_spacejmp ctx ~name:"geno" records in
+  (* The SpaceJMP store really holds the bytes: decode a few records
+     straight out of segment memory (original layout order). *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d intact in memory" i)
+        true
+        (Pipelines.spacejmp_record_at sj i = records.(i)))
+    [ 0; 17; Array.length records - 1 ];
+  (* flagstat equivalence *)
+  let run_flagstat f =
+    ignore (f Pipelines.Flagstat);
+    Option.get (Pipelines.last_flagstat ())
+  in
+  let f_sam =
+    run_flagstat (fun op -> Pipelines.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"o")
+  in
+  let f_bam =
+    run_flagstat (fun op -> Pipelines.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"o")
+  in
+  let f_mm = run_flagstat (fun op -> Pipelines.run_mmap mm op) in
+  let f_sj = run_flagstat (fun op -> Pipelines.run_spacejmp sj op) in
+  Alcotest.(check bool) "flagstat equal" true (f_sam = f_bam && f_bam = f_mm && f_mm = f_sj);
+  (* coordinate-sort equivalence: both in-memory designs end up sorted *)
+  ignore (Pipelines.run_mmap mm Pipelines.Coord_sort);
+  ignore (Pipelines.run_spacejmp sj Pipelines.Coord_sort);
+  Alcotest.(check bool) "mmap sorted" true
+    (Ops.is_coordinate_sorted (Ops.host_only (Pipelines.mmap_records mm)));
+  Alcotest.(check bool) "spacejmp sorted" true
+    (Ops.is_coordinate_sorted (Ops.host_only (Pipelines.spacejmp_records sj)));
+  Alcotest.(check bool) "same order" true
+    (Pipelines.mmap_records mm = Pipelines.spacejmp_records sj)
+
+let test_file_pipeline_writes_output () =
+  let records = small_dataset ~reads:200 () in
+  let _, _, env = make_world () in
+  Pipelines.write_input_file env ~format:`Sam ~path:"in.sam" records;
+  let _ = Pipelines.run_file env ~format:`Sam Pipelines.Coord_sort ~in_path:"in.sam" ~out_path:"out.sam" in
+  let out = Pipelines.file_records env ~format:`Sam ~path:"out.sam" in
+  Alcotest.(check int) "record count preserved" 200 (Array.length out);
+  Alcotest.(check bool) "output sorted" true (Ops.is_coordinate_sorted (Ops.host_only out))
+
+let test_spacejmp_cheaper_than_files () =
+  let records = small_dataset ~reads:400 () in
+  let _, ctx, env = make_world () in
+  Pipelines.write_input_file env ~format:`Sam ~path:"in.sam" records;
+  let sj = Pipelines.prepare_spacejmp ctx ~name:"geno2" records in
+  let sam = Pipelines.run_file env ~format:`Sam Pipelines.Flagstat ~in_path:"in.sam" ~out_path:"o" in
+  let sjc = Pipelines.run_spacejmp sj Pipelines.Flagstat in
+  Alcotest.(check bool) "spacejmp at least 3x cheaper" true (sjc * 3 < sam)
+
+let prop_sam_line_roundtrip =
+  QCheck.Test.make ~name:"SAM line roundtrip on generated records" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let d = Record.generate ~seed ~references:Record.default_references ~reads:2 ~read_len:20 in
+      Array.for_all (fun r -> Sam.of_line (Sam.to_line r) = Ok r) d)
+
+let prop_bam_record_roundtrip =
+  QCheck.Test.make ~name:"BAM record roundtrip" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let d = Record.generate ~seed ~references:Record.default_references ~reads:2 ~read_len:33 in
+      Array.for_all
+        (fun r ->
+          let buf = Buffer.create 64 in
+          Bam.encode_record buf r;
+          let r', _ = Bam.decode_record (Buffer.to_bytes buf) ~pos:0 in
+          r = r')
+        d)
+
+let suite =
+  [
+    Alcotest.test_case "generation deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "generated flags sane" `Quick test_generate_flags_sane;
+    Alcotest.test_case "SAM roundtrip" `Quick test_sam_roundtrip;
+    Alcotest.test_case "SAM rejects garbage" `Quick test_sam_rejects_garbage;
+    Alcotest.test_case "BAM roundtrip" `Quick test_bam_roundtrip;
+    Alcotest.test_case "BAM smaller than SAM" `Quick test_bam_smaller_than_sam;
+    Alcotest.test_case "BAM bad magic" `Quick test_bam_bad_magic;
+    Alcotest.test_case "flagstat" `Quick test_flagstat;
+    Alcotest.test_case "sorts" `Quick test_sorts;
+    Alcotest.test_case "index" `Quick test_index;
+    Alcotest.test_case "pileup" `Quick test_pileup;
+    Alcotest.test_case "view: equivalence with naive filter" `Quick test_view_equivalence;
+    Alcotest.test_case "view: block-granular access" `Quick test_view_touches_few_blocks;
+    Alcotest.test_case "records_between exactness" `Quick test_records_between_exactness;
+    Alcotest.test_case "pipelines agree" `Quick test_pipelines_agree;
+    Alcotest.test_case "file pipeline writes output" `Quick test_file_pipeline_writes_output;
+    Alcotest.test_case "spacejmp cheaper than files" `Quick test_spacejmp_cheaper_than_files;
+    QCheck_alcotest.to_alcotest prop_sam_line_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bam_record_roundtrip;
+  ]

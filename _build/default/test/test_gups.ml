@@ -1,0 +1,74 @@
+(* Tests for the GUPS workload (sec 5.2). Small configurations keep the
+   suite fast; the assertions target the paper's qualitative claims. *)
+module Gups = Sj_gups.Gups
+open Sj_util
+
+let small ?(windows = 4) ?(updates = 16) ?(tags = false) () =
+  {
+    Gups.default_config with
+    windows;
+    updates_per_set = updates;
+    window_size = Size.mib 4;
+    window_visits = 50;
+    tags;
+  }
+
+let test_all_designs_complete () =
+  List.iter
+    (fun design ->
+      let r = Gups.run (small ()) ~design in
+      Alcotest.(check int) "updates" (50 * 16) r.Gups.updates;
+      Alcotest.(check bool) "positive mups" true (r.Gups.mups > 0.0))
+    [ Gups.Spacejmp; Gups.Map; Gups.Mp ]
+
+let test_single_window_parity () =
+  (* Paper: with one window, all designs perform equally well. *)
+  let mups design = (Gups.run (small ~windows:1 ()) ~design).Gups.mups in
+  let sj = mups Gups.Spacejmp and map = mups Gups.Map and mp = mups Gups.Mp in
+  Alcotest.(check bool) "within 10%" true
+    (Float.abs (sj -. map) /. sj < 0.1 && Float.abs (sj -. mp) /. sj < 0.1)
+
+let test_map_collapses () =
+  let sj = (Gups.run (small ()) ~design:Gups.Spacejmp).Gups.mups in
+  let map = (Gups.run (small ()) ~design:Gups.Map).Gups.mups in
+  Alcotest.(check bool) "MAP at least 10x slower with remapping" true (map *. 10.0 < sj)
+
+let test_spacejmp_beats_mp () =
+  let sj = (Gups.run (small ()) ~design:Gups.Spacejmp).Gups.mups in
+  let mp = (Gups.run (small ()) ~design:Gups.Mp).Gups.mups in
+  Alcotest.(check bool) "SpaceJMP at least as fast as MP" true (sj >= mp *. 0.95)
+
+let test_switch_rate_counted () =
+  let r = Gups.run (small ()) ~design:Gups.Spacejmp in
+  Alcotest.(check bool) "switches happen" true (r.Gups.switches_per_sec > 0.0);
+  let r1 = Gups.run (small ~windows:1 ()) ~design:Gups.Spacejmp in
+  Alcotest.(check bool) "single window barely switches" true
+    (r1.Gups.switches_per_sec < r.Gups.switches_per_sec /. 5.0)
+
+let test_tags_help () =
+  let off = Gups.run (small ~windows:4 ()) ~design:Gups.Spacejmp in
+  let on = Gups.run (small ~windows:4 ~tags:true ()) ~design:Gups.Spacejmp in
+  Alcotest.(check bool) "tagged at least as fast" true (on.Gups.mups >= off.Gups.mups *. 0.99)
+
+let test_deterministic () =
+  let a = Gups.run (small ()) ~design:Gups.Spacejmp in
+  let b = Gups.run (small ()) ~design:Gups.Spacejmp in
+  Alcotest.(check int) "same cycles" a.Gups.cycles b.Gups.cycles
+
+let test_update_set_size_effect () =
+  (* Larger update sets amortize switching: higher MUPS. *)
+  let u16 = (Gups.run (small ~updates:16 ()) ~design:Gups.Spacejmp).Gups.mups in
+  let u64 = (Gups.run (small ~updates:64 ()) ~design:Gups.Spacejmp).Gups.mups in
+  Alcotest.(check bool) "64-update sets faster per update" true (u64 > u16)
+
+let suite =
+  [
+    Alcotest.test_case "all designs complete" `Quick test_all_designs_complete;
+    Alcotest.test_case "single-window parity" `Quick test_single_window_parity;
+    Alcotest.test_case "MAP collapses" `Quick test_map_collapses;
+    Alcotest.test_case "SpaceJMP >= MP" `Quick test_spacejmp_beats_mp;
+    Alcotest.test_case "switch rate counted" `Quick test_switch_rate_counted;
+    Alcotest.test_case "tags help" `Quick test_tags_help;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "update-set size effect" `Quick test_update_set_size_effect;
+  ]

@@ -1,0 +1,165 @@
+(* Tests for huge-page (2 MiB) segments — the Barrelfish-style
+   user-space page-size policy (sec 4.2). *)
+open Sj_util
+open Sj_core
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Layout = Sj_kernel.Layout
+module Pm = Sj_mem.Phys_mem
+module Prot = Sj_paging.Prot
+module Page_table = Sj_paging.Page_table
+
+let tiny : Platform.t =
+  { Platform.m2 with name = "tiny"; mem_size = Size.mib 512; sockets = 2; cores_per_socket = 2 }
+
+let setup () =
+  Layout.reset_global_allocator ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p = Process.create ~name:"p0" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  (m, sys, ctx)
+
+let test_contiguous_allocation () =
+  let m = Pm.create ~size:(Size.mib 16) ~numa_nodes:2 in
+  let run = Pm.alloc_frames_contiguous m ~n:16 in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check int) "sequential" (Pm.base_of_frame run.(0) + (i * Addr.page_size))
+        (Pm.base_of_frame f))
+    run;
+  (* Exhausting a node's run falls to the other node. *)
+  let m2 = Pm.create ~size:(Size.kib 32) ~numa_nodes:2 in
+  let a = Pm.alloc_frames_contiguous m2 ~n:4 in
+  let b = Pm.alloc_frames_contiguous m2 ~n:4 in
+  Alcotest.(check bool) "second run on other node" true
+    (Pm.node_of_frame m2 b.(0) <> Pm.node_of_frame m2 a.(0));
+  Alcotest.check_raises "no run left" Pm.Out_of_memory (fun () ->
+      ignore (Pm.alloc_frames_contiguous m2 ~n:4))
+
+let test_huge_segment_fewer_ptes () =
+  let m, _, ctx = setup () in
+  ignore m;
+  let vas4k = Api.vas_create ctx ~name:"v4k" ~mode:0o600 in
+  let vas2m = Api.vas_create ctx ~name:"v2m" ~mode:0o600 in
+  let small = Api.seg_alloc_anywhere ctx ~name:"small-pages" ~size:(Size.mib 32) ~mode:0o600 in
+  let huge = Api.seg_alloc_anywhere ~huge:true ctx ~name:"huge-pages" ~size:(Size.mib 32) ~mode:0o600 in
+  Api.seg_attach ctx vas4k small ~prot:Prot.rw;
+  Api.seg_attach ctx vas2m huge ~prot:Prot.rw;
+  let core = Api.core ctx in
+  let c0 = Core.cycles core in
+  let _vh1 = Api.vas_attach ctx vas4k in
+  let cost_4k = Core.cycles core - c0 in
+  let c1 = Core.cycles core in
+  let _vh2 = Api.vas_attach ctx vas2m in
+  let cost_2m = Core.cycles core - c1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "huge attach cheaper (%d vs %d)" cost_2m cost_4k)
+    true
+    (cost_2m * 2 < cost_4k)
+
+let test_huge_segment_data_access () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let seg = Api.seg_alloc_anywhere ~huge:true ctx ~name:"h" ~size:(Size.mib 8) ~mode:0o600 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  (* Read/write across the segment, including 2 MiB-boundary straddles. *)
+  let base = Segment.base seg in
+  Api.store64 ctx ~va:(base + Size.mib 2 - 4) 0x1122334455667788L;
+  Alcotest.(check int64) "straddle 2M boundary" 0x1122334455667788L
+    (Api.load64 ctx ~va:(base + Size.mib 2 - 4));
+  Api.store_bytes ctx ~va:(base + Size.mib 7) (Bytes.of_string "huge pages!");
+  Alcotest.(check string) "tail write" "huge pages!"
+    (Bytes.to_string (Api.load_bytes ctx ~va:(base + Size.mib 7) ~len:11));
+  (* The walk resolves in 3 levels and the TLB uses its 2 MiB array. *)
+  match
+    Page_table.walk
+      (Sj_kernel.Vmspace.page_table (Api.vmspace_of_vh vh))
+      ~va:(base + Size.mib 3)
+  with
+  | Some mapping ->
+    Alcotest.(check bool) "2M leaf" true (mapping.size = Page_table.P2M);
+    Alcotest.(check int) "3-level walk" 3 mapping.levels
+  | None -> Alcotest.fail "unmapped"
+
+let test_huge_tlb_coverage () =
+  (* A working set larger than the 4 KiB TLB footprint but within the
+     2 MiB entries' reach: huge pages avoid capacity misses. *)
+  let measure ~huge =
+    let _, _, ctx = setup () in
+    let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+    let seg = Api.seg_alloc_anywhere ~huge ctx ~name:"s" ~size:(Size.mib 16) ~mode:0o600 in
+    Api.seg_attach ctx vas seg ~prot:Prot.rw;
+    let vh = Api.vas_attach ctx vas in
+    Api.vas_switch ctx vh;
+    let core = Api.core ctx in
+    let rng = Rng.create ~seed:3 in
+    (* Warm. *)
+    for _ = 1 to 2000 do
+      ignore (Api.load64 ctx ~va:(Segment.base seg + (Rng.int rng (Size.mib 16 / 8) * 8)))
+    done;
+    Sj_tlb.Tlb.reset_stats (Core.tlb core);
+    for _ = 1 to 2000 do
+      ignore (Api.load64 ctx ~va:(Segment.base seg + (Rng.int rng (Size.mib 16 / 8) * 8)))
+    done;
+    (Sj_tlb.Tlb.stats (Core.tlb core)).misses
+  in
+  let misses_4k = measure ~huge:false in
+  let misses_2m = measure ~huge:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "huge pages kill TLB misses (%d vs %d)" misses_2m misses_4k)
+    true
+    (misses_2m * 10 < misses_4k)
+
+let test_huge_translation_cache () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let seg = Api.seg_alloc_anywhere ~huge:true ctx ~name:"s" ~size:(Size.mib 4) ~mode:0o600 in
+  Api.seg_ctl ctx (`Cache_translations seg);
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:(Segment.base seg) 5L;
+  Alcotest.(check int64) "grafted huge mapping works" 5L (Api.load64 ctx ~va:(Segment.base seg))
+
+let test_unaligned_huge_rejected () =
+  let _, _, ctx = setup () in
+  Alcotest.(check bool) "odd size rounded or rejected" true
+    (let seg = Api.seg_alloc_anywhere ~huge:true ctx ~name:"odd" ~size:(Size.mib 3) ~mode:0o600 in
+     Segment.size seg = Size.mib 4)
+
+let test_huge_persists () =
+  (* Huge segments survive save/restore (restored as huge). *)
+  let _, sys, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let seg = Api.seg_alloc_anywhere ~huge:true ctx ~name:"h" ~size:(Size.mib 4) ~mode:0o600 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:(Segment.base seg) 77L;
+  Api.switch_home ctx;
+  let image = Sj_persist.Persist.save sys in
+  Layout.reset_global_allocator ();
+  let m2 = Machine.create tiny in
+  let sys2 = Api.boot m2 in
+  let p2 = Process.create ~name:"p" m2 in
+  let ctx2 = Api.context sys2 p2 (Machine.core m2 0) in
+  Sj_persist.Persist.restore sys2 image;
+  let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"v") in
+  Api.vas_switch ctx2 vh2;
+  Alcotest.(check int64) "data back" 77L (Api.load64 ctx2 ~va:(Segment.base seg))
+
+let suite =
+  [
+    Alcotest.test_case "contiguous frame allocation" `Quick test_contiguous_allocation;
+    Alcotest.test_case "huge attach writes fewer PTEs" `Quick test_huge_segment_fewer_ptes;
+    Alcotest.test_case "huge data access" `Quick test_huge_segment_data_access;
+    Alcotest.test_case "huge TLB coverage" `Quick test_huge_tlb_coverage;
+    Alcotest.test_case "huge translation cache" `Quick test_huge_translation_cache;
+    Alcotest.test_case "size rounding" `Quick test_unaligned_huge_rejected;
+    Alcotest.test_case "huge segment persists" `Quick test_huge_persists;
+  ]

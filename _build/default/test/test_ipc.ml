@@ -1,0 +1,125 @@
+(* Tests for the IPC substrate: URPC rings, MPI-like channels, domain
+   sockets. *)
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Urpc = Sj_ipc.Urpc
+module Msg_channel = Sj_ipc.Msg_channel
+module Dsock = Sj_ipc.Dsock
+
+let tiny : Sj_machine.Platform.t =
+  { Sj_machine.Platform.m2 with name = "tiny"; mem_size = Size.mib 64; sockets = 2; cores_per_socket = 2 }
+
+let setup () =
+  let m = Machine.create tiny in
+  (m, Machine.core m 0, Machine.core m 1, Machine.core m 2)
+
+let test_urpc_fifo () =
+  let m, a, b, _ = setup () in
+  let ch = Urpc.create m ~a ~b () in
+  Urpc.send ch ~from:a (Bytes.of_string "first");
+  Urpc.send ch ~from:a (Bytes.of_string "second");
+  Alcotest.(check string) "fifo 1" "first" (Bytes.to_string (Urpc.recv ch ~at:b));
+  Alcotest.(check string) "fifo 2" "second" (Bytes.to_string (Urpc.recv ch ~at:b))
+
+let test_urpc_bidirectional () =
+  let m, a, b, _ = setup () in
+  let ch = Urpc.create m ~a ~b () in
+  Urpc.send ch ~from:a (Bytes.of_string "ping");
+  Urpc.send ch ~from:b (Bytes.of_string "pong");
+  Alcotest.(check string) "a->b" "ping" (Bytes.to_string (Urpc.recv ch ~at:b));
+  Alcotest.(check string) "b->a" "pong" (Bytes.to_string (Urpc.recv ch ~at:a))
+
+let test_urpc_ring_bounded () =
+  let m, a, b, _ = setup () in
+  let ch = Urpc.create m ~a ~b ~slots:2 () in
+  Urpc.send ch ~from:a (Bytes.create 8);
+  Urpc.send ch ~from:a (Bytes.create 8);
+  Alcotest.(check bool) "full ring fails" true
+    (try
+       Urpc.send ch ~from:a (Bytes.create 8);
+       false
+     with Failure _ -> true)
+
+let test_urpc_cross_socket_dearer () =
+  let m, a, b, _ = setup () in
+  let x = Machine.core m 2 (* socket 1 *) in
+  Alcotest.(check bool) "placement" true (Core.socket x <> Core.socket a);
+  let intra = Urpc.create m ~a ~b () in
+  let cross = Urpc.create m ~a ~b:x () in
+  Alcotest.(check bool) "detects cross" true (Urpc.cross_socket cross);
+  let cost core ch peer =
+    let c0 = Core.cycles peer in
+    Urpc.send ch ~from:core (Bytes.create 1024);
+    ignore (Urpc.recv ch ~at:peer);
+    Core.cycles peer - c0
+  in
+  let c_intra = cost a intra b in
+  let c_cross = cost a cross x in
+  Alcotest.(check bool) "cross socket costlier" true (c_cross > 2 * c_intra)
+
+let test_msg_channel_rpc () =
+  let m, a, b, _ = setup () in
+  let ch = Msg_channel.create m ~master:a ~slave:b () in
+  let reply = Msg_channel.rpc ch ~request:(Bytes.of_string "work") ~reply_len:16 in
+  Alcotest.(check int) "reply size" 16 (Bytes.length reply)
+
+let test_msg_channel_oversubscribed_dearer () =
+  let cost ~oversubscribed =
+    let m, a, b, _ = setup () in
+    let ch = Msg_channel.create m ~master:a ~slave:b ~oversubscribed () in
+    let c0 = Core.cycles b in
+    Msg_channel.send ch ~from:a (Bytes.create 64);
+    ignore (Msg_channel.recv ch ~at:b);
+    Core.cycles b - c0
+  in
+  Alcotest.(check bool) "scheduling penalty" true
+    (cost ~oversubscribed:true > cost ~oversubscribed:false)
+
+let test_dsock_roundtrip () =
+  let m, client, server, _ = setup () in
+  let s = Dsock.create m () in
+  Dsock.send s ~from:client ~dir:`To_server (Bytes.of_string "GET k");
+  (match Dsock.recv s ~at:server ~dir:`To_server with
+  | Some req -> Alcotest.(check string) "request" "GET k" (Bytes.to_string req)
+  | None -> Alcotest.fail "no request");
+  Dsock.send s ~from:server ~dir:`To_client (Bytes.of_string "42");
+  match Dsock.recv s ~at:client ~dir:`To_client with
+  | Some rep -> Alcotest.(check string) "reply" "42" (Bytes.to_string rep)
+  | None -> Alcotest.fail "no reply"
+
+let test_dsock_empty () =
+  let m, _, server, _ = setup () in
+  let s = Dsock.create m () in
+  Alcotest.(check bool) "empty" true (Dsock.recv s ~at:server ~dir:`To_server = None)
+
+let test_dsock_charges_syscalls () =
+  let m, client, _, _ = setup () in
+  let s = Dsock.create m () in
+  let c0 = Core.cycles client in
+  Dsock.send s ~from:client ~dir:`To_server (Bytes.create 64);
+  Alcotest.(check bool) "syscall priced" true
+    (Core.cycles client - c0 >= (Machine.cost m).syscall_generic)
+
+let prop_urpc_payload_integrity =
+  QCheck.Test.make ~name:"URPC preserves payloads in order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (string_of_size Gen.(int_range 0 300)))
+    (fun msgs ->
+      let m, a, b, _ = setup () in
+      let ch = Urpc.create m ~a ~b ~slots:64 () in
+      List.iter (fun s -> Urpc.send ch ~from:a (Bytes.of_string s)) msgs;
+      List.for_all (fun s -> Bytes.to_string (Urpc.recv ch ~at:b) = s) msgs)
+
+let suite =
+  [
+    Alcotest.test_case "urpc FIFO" `Quick test_urpc_fifo;
+    Alcotest.test_case "urpc bidirectional" `Quick test_urpc_bidirectional;
+    Alcotest.test_case "urpc ring bounded" `Quick test_urpc_ring_bounded;
+    Alcotest.test_case "urpc cross-socket dearer" `Quick test_urpc_cross_socket_dearer;
+    Alcotest.test_case "msg_channel rpc" `Quick test_msg_channel_rpc;
+    Alcotest.test_case "msg_channel oversubscription" `Quick test_msg_channel_oversubscribed_dearer;
+    Alcotest.test_case "dsock roundtrip" `Quick test_dsock_roundtrip;
+    Alcotest.test_case "dsock empty" `Quick test_dsock_empty;
+    Alcotest.test_case "dsock charges syscalls" `Quick test_dsock_charges_syscalls;
+    QCheck_alcotest.to_alcotest prop_urpc_payload_integrity;
+  ]

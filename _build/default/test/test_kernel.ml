@@ -1,0 +1,211 @@
+(* Tests for the kernel substrate: ACLs, capabilities, VM objects,
+   vmspaces, processes. *)
+open Sj_util
+open Sj_kernel
+module Machine = Sj_machine.Machine
+module Pm = Sj_mem.Phys_mem
+module Prot = Sj_paging.Prot
+module Page_table = Sj_paging.Page_table
+
+let tiny : Sj_machine.Platform.t =
+  { Sj_machine.Platform.m2 with name = "tiny"; mem_size = Size.mib 128; sockets = 2; cores_per_socket = 2 }
+
+(* --- ACL --- *)
+
+let test_acl_owner () =
+  let acl = Acl.create ~owner:100 ~group:10 ~mode:0o640 in
+  let u = Acl.cred ~uid:100 ~gids:[ 10 ] in
+  Alcotest.(check bool) "owner read" true (Acl.check acl u `Read);
+  Alcotest.(check bool) "owner write" true (Acl.check acl u `Write);
+  Alcotest.(check bool) "owner no exec" false (Acl.check acl u `Exec)
+
+let test_acl_group_other () =
+  let acl = Acl.create ~owner:100 ~group:10 ~mode:0o640 in
+  let g = Acl.cred ~uid:200 ~gids:[ 10 ] in
+  let o = Acl.cred ~uid:300 ~gids:[ 30 ] in
+  Alcotest.(check bool) "group read" true (Acl.check acl g `Read);
+  Alcotest.(check bool) "group no write" false (Acl.check acl g `Write);
+  Alcotest.(check bool) "other no read" false (Acl.check acl o `Read)
+
+let test_acl_root_and_entries () =
+  let acl = Acl.create ~owner:100 ~group:10 ~mode:0o600 in
+  Alcotest.(check bool) "root always" true (Acl.check acl Acl.root `Write);
+  let acl = Acl.add_entry acl ~uid:555 Prot.r in
+  let entry_user = Acl.cred ~uid:555 ~gids:[ 99 ] in
+  Alcotest.(check bool) "ACL entry read" true (Acl.check acl entry_user `Read);
+  Alcotest.(check bool) "ACL entry no write" false (Acl.check acl entry_user `Write)
+
+let test_acl_chmod () =
+  let acl = Acl.create ~owner:1 ~group:1 ~mode:0o600 in
+  let other = Acl.cred ~uid:2 ~gids:[ 2 ] in
+  Alcotest.(check bool) "before" false (Acl.check acl other `Read);
+  let acl = Acl.chmod acl ~mode:0o604 in
+  Alcotest.(check bool) "after" true (Acl.check acl other `Read)
+
+(* --- Capabilities --- *)
+
+let test_cap_retype () =
+  let ram = Cap.create_ram ~size:4096 in
+  let frame = Cap.retype ram ~into:Cap.Frame in
+  Alcotest.(check bool) "frame type" true (Cap.captype frame = Cap.Frame);
+  Alcotest.(check bool) "second retype rejected" true
+    (try
+       ignore (Cap.retype ram ~into:(Cap.Vnode 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_cap_mint_diminish () =
+  let c = Cap.create_vas_ref ~vas:1 ~rights:Prot.rw in
+  let ro = Cap.mint c ~rights:Prot.r in
+  Alcotest.(check bool) "diminished" true (Cap.rights ro = Prot.r);
+  Alcotest.(check bool) "amplification rejected" true
+    (try
+       ignore (Cap.mint ro ~rights:Prot.rw);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cap_revoke_recursive () =
+  let root = Cap.create_vas_ref ~vas:1 ~rights:Prot.rwx in
+  let child = Cap.mint root ~rights:Prot.rw in
+  let grandchild = Cap.mint child ~rights:Prot.r in
+  Cap.revoke root;
+  Alcotest.(check bool) "all revoked" true
+    (Cap.is_revoked root && Cap.is_revoked child && Cap.is_revoked grandchild)
+
+let test_cspace_invoke () =
+  let cs = Cap.Cspace.create () in
+  let c = Cap.create_vas_ref ~vas:1 ~rights:Prot.r in
+  let slot = Cap.Cspace.insert cs c in
+  Alcotest.(check bool) "read invoke ok" true (Cap.Cspace.invoke cs ~slot ~access:`Read == c);
+  Alcotest.(check bool) "write invoke rejected" true
+    (try
+       ignore (Cap.Cspace.invoke cs ~slot ~access:`Write);
+       false
+     with Invalid_argument _ -> true);
+  Cap.revoke c;
+  Alcotest.(check bool) "revoked invoke rejected" true
+    (try
+       ignore (Cap.Cspace.invoke cs ~slot ~access:`Read);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- VM objects & vmspace --- *)
+
+let test_vm_object_reserves () =
+  let m = Machine.create tiny in
+  let before = Pm.frames_allocated (Machine.mem m) in
+  let obj = Vm_object.create m ~size:(Size.kib 64) ~charge_to:None in
+  Alcotest.(check int) "16 pages reserved" (before + 16) (Pm.frames_allocated (Machine.mem m));
+  Alcotest.(check int) "pages" 16 (Vm_object.pages obj);
+  Vm_object.destroy m obj;
+  Alcotest.(check int) "released" before (Pm.frames_allocated (Machine.mem m))
+
+let test_vm_object_grow () =
+  let m = Machine.create tiny in
+  let obj = Vm_object.create m ~size:(Size.kib 16) ~charge_to:None in
+  Vm_object.grow m obj ~by_pages:4 ~charge_to:None;
+  Alcotest.(check int) "grown" 8 (Vm_object.pages obj)
+
+let test_vmspace_map_unmap () =
+  let m = Machine.create tiny in
+  let vms = Vmspace.create m ~charge_to:None in
+  let obj = Vm_object.create m ~size:(Size.kib 32) ~charge_to:None in
+  Vmspace.map_object vms ~charge_to:None ~base:0x100000 ~prot:Prot.rw obj;
+  (match Vmspace.find_region vms ~va:0x104000 with
+  | Some r -> Alcotest.(check int) "region found" 0x100000 r.base
+  | None -> Alcotest.fail "region missing");
+  (match Page_table.walk (Vmspace.page_table vms) ~va:0x101000 with
+  | Some mapping ->
+    Alcotest.(check int) "mapped to object frame"
+      (Pm.base_of_frame (Vm_object.frame_at obj ~page:1))
+      mapping.pa
+  | None -> Alcotest.fail "translation missing");
+  Vmspace.unmap_region vms ~charge_to:None ~base:0x100000;
+  Alcotest.(check bool) "unmapped" true
+    (Page_table.walk (Vmspace.page_table vms) ~va:0x101000 = None);
+  Alcotest.(check (list reject)) "no regions" [] (Vmspace.regions vms |> List.map ignore)
+
+let test_vmspace_overlap_rejected () =
+  let m = Machine.create tiny in
+  let vms = Vmspace.create m ~charge_to:None in
+  let obj = Vm_object.create m ~size:(Size.kib 32) ~charge_to:None in
+  let obj2 = Vm_object.create m ~size:(Size.kib 32) ~charge_to:None in
+  Vmspace.map_object vms ~charge_to:None ~base:0x100000 ~prot:Prot.rw obj;
+  Alcotest.(check bool) "overlap raises" true
+    (try
+       Vmspace.map_object vms ~charge_to:None ~base:0x104000 ~prot:Prot.rw obj2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_vmspace_charges_costs () =
+  let m = Machine.create tiny in
+  let core = Machine.core m 0 in
+  let vms = Vmspace.create m ~charge_to:(Some core) in
+  let obj = Vm_object.create m ~size:(Size.mib 1) ~charge_to:None in
+  let c0 = Machine.Core.cycles core in
+  Vmspace.map_object vms ~charge_to:(Some core) ~base:0x200000 ~prot:Prot.rw obj;
+  let mapped_cost = Machine.Core.cycles core - c0 in
+  (* 256 PTEs at 42 cycles each is the floor. *)
+  Alcotest.(check bool) "mapping charged" true (mapped_cost >= 256 * 42)
+
+(* --- Process --- *)
+
+let test_process_layout () =
+  let m = Machine.create tiny in
+  let p = Process.create ~name:"init" m in
+  let regions = Process.private_regions p in
+  Alcotest.(check int) "text+data+stack" 3 (List.length regions);
+  let names = List.filter_map (fun (r : Vmspace.region) -> r.region_name) regions in
+  Alcotest.(check (list string)) "names" [ "text"; "data"; "stack0" ] names;
+  let th = Process.main_thread p in
+  Alcotest.(check bool) "stack below limit" true (th.stack_base < Layout.private_limit)
+
+let test_process_threads () =
+  let m = Machine.create tiny in
+  let p = Process.create ~name:"worker" m in
+  let t1 = Process.spawn_thread p in
+  let t2 = Process.spawn_thread p in
+  Alcotest.(check int) "three threads" 3 (List.length (Process.threads p));
+  Alcotest.(check bool) "stacks descend" true
+    (t2.stack_base < t1.stack_base && t1.stack_base < (Process.main_thread p).stack_base)
+
+let test_process_exit_releases () =
+  let m = Machine.create tiny in
+  let before = Pm.frames_allocated (Machine.mem m) in
+  let p = Process.create ~name:"short" m in
+  Process.exit p;
+  Alcotest.(check int) "all memory released" before (Pm.frames_allocated (Machine.mem m));
+  Alcotest.(check bool) "not live" false (Process.is_live p)
+
+let test_layout_disjoint () =
+  Layout.reset_global_allocator ();
+  let b1 = Layout.next_global_base ~size:(Size.mib 4) in
+  let b2 = Layout.next_global_base ~size:(Size.gib 2) in
+  let b3 = Layout.next_global_base ~size:(Size.mib 1) in
+  Alcotest.(check bool) "global range" true (Layout.is_global b1 && Layout.is_global b2);
+  Alcotest.(check bool) "1 GiB aligned" true
+    (b1 mod Size.gib 1 = 0 && b2 mod Size.gib 1 = 0 && b3 mod Size.gib 1 = 0);
+  Alcotest.(check bool) "disjoint" true (b2 >= b1 + Size.gib 1 && b3 >= b2 + Size.gib 2);
+  Alcotest.(check bool) "private vs global disjoint" true
+    (not (Layout.is_global Layout.text_base) && not (Layout.is_private b1))
+
+let suite =
+  [
+    Alcotest.test_case "ACL owner bits" `Quick test_acl_owner;
+    Alcotest.test_case "ACL group/other" `Quick test_acl_group_other;
+    Alcotest.test_case "ACL root + entries" `Quick test_acl_root_and_entries;
+    Alcotest.test_case "ACL chmod" `Quick test_acl_chmod;
+    Alcotest.test_case "cap retype" `Quick test_cap_retype;
+    Alcotest.test_case "cap mint diminishes" `Quick test_cap_mint_diminish;
+    Alcotest.test_case "cap revoke recursive" `Quick test_cap_revoke_recursive;
+    Alcotest.test_case "cspace invoke" `Quick test_cspace_invoke;
+    Alcotest.test_case "vm_object reserves frames" `Quick test_vm_object_reserves;
+    Alcotest.test_case "vm_object grow" `Quick test_vm_object_grow;
+    Alcotest.test_case "vmspace map/unmap" `Quick test_vmspace_map_unmap;
+    Alcotest.test_case "vmspace overlap rejected" `Quick test_vmspace_overlap_rejected;
+    Alcotest.test_case "vmspace charges costs" `Quick test_vmspace_charges_costs;
+    Alcotest.test_case "process layout" `Quick test_process_layout;
+    Alcotest.test_case "process threads" `Quick test_process_threads;
+    Alcotest.test_case "process exit releases memory" `Quick test_process_exit_releases;
+    Alcotest.test_case "layout: disjoint global bases" `Quick test_layout_disjoint;
+  ]

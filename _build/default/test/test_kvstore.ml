@@ -1,0 +1,368 @@
+(* Tests for the key-value store: RESP codec, dict, store engine,
+   classic server, RedisJMP, and the DES throughput harness. *)
+open Sj_util
+module Machine = Sj_machine.Machine
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Api = Sj_core.Api
+open Sj_kvstore
+
+let tiny : Platform.t =
+  { Platform.m1 with name = "tiny"; mem_size = Size.mib 512; sockets = 2; cores_per_socket = 3 }
+
+(* ---------- RESP ---------- *)
+
+let test_resp_command_roundtrip () =
+  List.iter
+    (fun cmd ->
+      match Resp.decode_command (Resp.encode_command cmd) with
+      | Ok cmd' -> Alcotest.(check bool) "equal" true (cmd = cmd')
+      | Error e -> Alcotest.fail e)
+    [
+      Resp.Set ("key", Bytes.of_string "value with spaces");
+      Resp.Get "k";
+      Resp.Del "k";
+      Resp.Exists "k";
+      Resp.Incr "counter";
+      Resp.Append ("k", Bytes.of_string "tail");
+      Resp.Strlen "k";
+      Resp.Setnx ("k", Bytes.of_string "v");
+      Resp.Getset ("k", Bytes.of_string "v2");
+      Resp.Mget [ "a"; "b"; "c" ];
+      Resp.Dbsize;
+      Resp.Flushall;
+      Resp.Ping;
+    ]
+
+let test_resp_reply_roundtrip () =
+  List.iter
+    (fun r ->
+      match Resp.decode_reply (Resp.encode_reply r) with
+      | Ok r' -> Alcotest.(check bool) "equal" true (r = r')
+      | Error e -> Alcotest.fail e)
+    [
+      Resp.Ok_simple;
+      Resp.Bulk (Bytes.of_string "x\r\ny");
+      Resp.Nil;
+      Resp.Int (-3);
+      Resp.Err "oops";
+      Resp.Multi [ Resp.Bulk (Bytes.of_string "a"); Resp.Nil; Resp.Int 2 ];
+      Resp.Pong;
+    ]
+
+let test_resp_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Resp.decode_command (Bytes.of_string "hello")));
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error (Resp.decode_command (Bytes.of_string "*2\r\n$3\r\nGET\r\n$10\r\nsho")))
+
+(* ---------- Dict ---------- *)
+
+let host_mem () =
+  (* Pure host-side backend for dict unit tests. *)
+  let store : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 16 in
+  {
+    Kv_mem.alloc =
+      (fun n ->
+        let va = !next in
+        next := !next + max 16 n;
+        Hashtbl.replace store va (Bytes.create n);
+        va);
+    free = (fun va -> Hashtbl.remove store va);
+    read =
+      (fun ~va ~len ->
+        match Hashtbl.find_opt store va with
+        | Some b -> Bytes.sub b 0 (min len (Bytes.length b))
+        | None -> Bytes.create len);
+    write =
+      (fun ~va data ->
+        Hashtbl.replace store va (Bytes.copy data));
+    touch = (fun ~va:_ -> ());
+  }
+
+let test_dict_basic () =
+  let d = Dict.create (host_mem ()) in
+  Dict.set d ~key:"a" (Bytes.of_string "1");
+  Dict.set d ~key:"b" (Bytes.of_string "2");
+  Alcotest.(check int) "length" 2 (Dict.length d);
+  Alcotest.(check (option string)) "get a" (Some "1")
+    (Option.map Bytes.to_string (Dict.get d ~key:"a"));
+  Alcotest.(check (option string)) "missing" None
+    (Option.map Bytes.to_string (Dict.get d ~key:"zz"));
+  Dict.set d ~key:"a" (Bytes.of_string "updated");
+  Alcotest.(check (option string)) "overwrite" (Some "updated")
+    (Option.map Bytes.to_string (Dict.get d ~key:"a"));
+  Alcotest.(check bool) "delete" true (Dict.delete d ~key:"a");
+  Alcotest.(check bool) "delete again" false (Dict.delete d ~key:"a");
+  Alcotest.(check int) "length after" 1 (Dict.length d)
+
+let test_dict_rehash_growth () =
+  let d = Dict.create (host_mem ()) in
+  for i = 0 to 199 do
+    Dict.set d ~key:(Printf.sprintf "k%d" i) (Bytes.of_string (string_of_int i))
+  done;
+  (* Drive any in-flight incremental rehash to completion. *)
+  Dict.force_rehash_step d 1000;
+  Dict.check_invariants d;
+  Alcotest.(check int) "all present" 200 (Dict.length d);
+  for i = 0 to 199 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "k%d" i)
+      (Some (string_of_int i))
+      (Option.map Bytes.to_string (Dict.get d ~key:(Printf.sprintf "k%d" i)))
+  done
+
+let test_dict_deferred_rehash () =
+  let d = Dict.create (host_mem ()) in
+  Dict.set_rehash_allowed d false;
+  for i = 0 to 99 do
+    Dict.set d ~key:(string_of_int i) (Bytes.of_string "v")
+  done;
+  (* Resize wanted but deferred; reads still correct. *)
+  Alcotest.(check bool) "pending" true (Dict.rehash_pending d);
+  Alcotest.(check bool) "not started" false (Dict.is_rehashing d);
+  Alcotest.(check (option string)) "read during defer" (Some "v")
+    (Option.map Bytes.to_string (Dict.get d ~key:"42"));
+  (* Exclusive-lock holder catches up. *)
+  Dict.set_rehash_allowed d true;
+  Dict.force_rehash_step d 1000;
+  Alcotest.(check bool) "done" false (Dict.rehash_pending d);
+  Dict.check_invariants d
+
+let prop_dict_model =
+  QCheck.Test.make ~name:"dict agrees with Hashtbl model" ~count:100
+    QCheck.(
+      list_of_size Gen.(int_range 1 300)
+        (triple (int_bound 2) (int_bound 40) (string_of_size Gen.(int_range 0 12))))
+    (fun ops ->
+      let d = Dict.create (host_mem ()) in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      List.for_all
+        (fun (op, k, v) ->
+          let key = "key" ^ string_of_int k in
+          match op with
+          | 0 ->
+            Dict.set d ~key (Bytes.of_string v);
+            Hashtbl.replace model key v;
+            true
+          | 1 ->
+            let a = Dict.delete d ~key in
+            let b = Hashtbl.mem model key in
+            Hashtbl.remove model key;
+            a = b
+          | _ ->
+            let a = Option.map Bytes.to_string (Dict.get d ~key) in
+            let b = Hashtbl.find_opt model key in
+            a = b)
+        ops)
+
+(* ---------- Store engine ---------- *)
+
+let test_store_commands () =
+  let s = Store.create (host_mem ()) in
+  Alcotest.(check bool) "set" true (Store.execute s (Resp.Set ("k", Bytes.of_string "v")) = Resp.Ok_simple);
+  Alcotest.(check bool) "get" true (Store.execute s (Resp.Get "k") = Resp.Bulk (Bytes.of_string "v"));
+  Alcotest.(check bool) "nil" true (Store.execute s (Resp.Get "none") = Resp.Nil);
+  Alcotest.(check bool) "exists" true (Store.execute s (Resp.Exists "k") = Resp.Int 1);
+  Alcotest.(check bool) "strlen" true (Store.execute s (Resp.Strlen "k") = Resp.Int 1);
+  Alcotest.(check bool) "append" true (Store.execute s (Resp.Append ("k", Bytes.of_string "w")) = Resp.Int 2);
+  Alcotest.(check bool) "incr fresh" true (Store.execute s (Resp.Incr "n") = Resp.Int 1);
+  Alcotest.(check bool) "incr again" true (Store.execute s (Resp.Incr "n") = Resp.Int 2);
+  Alcotest.(check bool) "incr non-num" true
+    (match Store.execute s (Resp.Incr "k") with Resp.Err _ -> true | _ -> false);
+  Alcotest.(check bool) "dbsize" true (Store.execute s Resp.Dbsize = Resp.Int 2);
+  Alcotest.(check bool) "flushall" true (Store.execute s Resp.Flushall = Resp.Ok_simple);
+  Alcotest.(check bool) "empty after flush" true (Store.execute s Resp.Dbsize = Resp.Int 0);
+  Alcotest.(check bool) "ping" true (Store.execute s Resp.Ping = Resp.Pong)
+
+let test_store_extended_commands () =
+  let s = Store.create (host_mem ()) in
+  Alcotest.(check bool) "setnx fresh" true
+    (Store.execute s (Resp.Setnx ("k", Bytes.of_string "v1")) = Resp.Int 1);
+  Alcotest.(check bool) "setnx existing" true
+    (Store.execute s (Resp.Setnx ("k", Bytes.of_string "v2")) = Resp.Int 0);
+  Alcotest.(check bool) "setnx kept original" true
+    (Store.execute s (Resp.Get "k") = Resp.Bulk (Bytes.of_string "v1"));
+  Alcotest.(check bool) "getset returns old" true
+    (Store.execute s (Resp.Getset ("k", Bytes.of_string "v3")) = Resp.Bulk (Bytes.of_string "v1"));
+  Alcotest.(check bool) "getset on fresh returns nil" true
+    (Store.execute s (Resp.Getset ("fresh", Bytes.of_string "x")) = Resp.Nil);
+  Alcotest.(check bool) "mget mixes hits and misses" true
+    (Store.execute s (Resp.Mget [ "k"; "nope"; "fresh" ])
+    = Resp.Multi [ Resp.Bulk (Bytes.of_string "v3"); Resp.Nil; Resp.Bulk (Bytes.of_string "x") ])
+
+(* ---------- Classic server ---------- *)
+
+let test_server_roundtrip () =
+  let m = Machine.create tiny in
+  let server = Server.create m ~core:(Machine.core m 0) ~heap_size:(Size.mib 8) in
+  let client = Server.connect server ~core:(Machine.core m 1) in
+  Alcotest.(check bool) "set" true (Server.request client (Resp.Set ("x", Bytes.of_string "7")) = Resp.Ok_simple);
+  Alcotest.(check bool) "get" true (Server.request client (Resp.Get "x") = Resp.Bulk (Bytes.of_string "7"));
+  (* Both sides paid cycles. *)
+  Alcotest.(check bool) "server busy" true (Machine.Core.cycles (Server.core server) > 0)
+
+(* ---------- RedisJMP ---------- *)
+
+let redisjmp_setup () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  Redisjmp.reset ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p1 = Process.create ~name:"c1" m in
+  let ctx1 = Api.context sys p1 (Machine.core m 0) in
+  let t = Redisjmp.init ctx1 ~name:"kv" ~size:(Size.mib 16) in
+  (m, sys, t, ctx1)
+
+let test_redisjmp_basic () =
+  let _, _, t, ctx = redisjmp_setup () in
+  let c = Redisjmp.connect t ctx () in
+  Redisjmp.set c "greeting" (Bytes.of_string "hi");
+  Alcotest.(check (option string)) "get back" (Some "hi")
+    (Option.map Bytes.to_string (Redisjmp.get c "greeting"));
+  Alcotest.(check (option string)) "missing" None
+    (Option.map Bytes.to_string (Redisjmp.get c "none"))
+
+let test_redisjmp_shared_across_clients () =
+  let m, sys, t, ctx1 = redisjmp_setup () in
+  let c1 = Redisjmp.connect t ctx1 () in
+  Redisjmp.set c1 "shared" (Bytes.of_string "data");
+  let p2 = Process.create ~name:"c2" m in
+  let ctx2 = Api.context sys p2 (Machine.core m 1) in
+  let c2 = Redisjmp.connect (Redisjmp.find ctx2 ~name:"kv") ctx2 () in
+  Alcotest.(check (option string)) "visible to second client" (Some "data")
+    (Option.map Bytes.to_string (Redisjmp.get c2 "shared"));
+  Redisjmp.set c2 "back" (Bytes.of_string "atcha");
+  Alcotest.(check (option string)) "and back" (Some "atcha")
+    (Option.map Bytes.to_string (Redisjmp.get c1 "back"))
+
+let test_redisjmp_semantics_match_server () =
+  (* Same random command stream against both implementations must give
+     identical replies. *)
+  let _, _, t, ctx = redisjmp_setup () in
+  let cj = Redisjmp.connect t ctx () in
+  let m2 = Machine.create tiny in
+  let server = Server.create m2 ~core:(Machine.core m2 0) ~heap_size:(Size.mib 8) in
+  let cs = Server.connect server ~core:(Machine.core m2 1) in
+  let rng = Rng.create ~seed:77 in
+  for _ = 1 to 300 do
+    let key = Printf.sprintf "k%d" (Rng.int rng 20) in
+    let cmd =
+      match Rng.int rng 9 with
+      | 0 -> Resp.Set (key, Bytes.of_string (string_of_int (Rng.int rng 100)))
+      | 1 -> Resp.Get key
+      | 2 -> Resp.Del key
+      | 3 -> Resp.Exists key
+      | 4 -> Resp.Incr ("n" ^ string_of_int (Rng.int rng 3))
+      | 5 -> Resp.Setnx (key, Bytes.of_string "nx")
+      | 6 -> Resp.Getset (key, Bytes.of_string (string_of_int (Rng.int rng 50)))
+      | 7 -> Resp.Mget [ key; "k" ^ string_of_int (Rng.int rng 20) ]
+      | _ -> Resp.Strlen key
+    in
+    let a = Redisjmp.execute cj cmd in
+    let b = Server.request cs cmd in
+    Alcotest.(check bool) "same reply" true (a = b)
+  done
+
+let test_redisjmp_rehash_under_lock_only () =
+  let _, _, t, ctx = redisjmp_setup () in
+  let c = Redisjmp.connect t ctx () in
+  (* Enough inserts to trigger resizes. *)
+  for i = 0 to 300 do
+    Redisjmp.set c (Printf.sprintf "k%06d" i) (Bytes.of_string "x")
+  done;
+  for i = 0 to 300 do
+    Alcotest.(check bool) (Printf.sprintf "k%d readable" i) true
+      (Redisjmp.get c (Printf.sprintf "k%06d" i) <> None)
+  done;
+  Dict.check_invariants (Store.dict (Redisjmp.store t))
+
+let test_redisjmp_grows_under_load () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  Redisjmp.reset ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p1 = Process.create ~name:"w" m in
+  let ctx1 = Api.context sys p1 (Machine.core m 0) in
+  (* A deliberately tiny store: the workload outgrows it several times. *)
+  let t = Redisjmp.init ctx1 ~name:"small" ~size:(Size.kib 64) in
+  let c1 = Redisjmp.connect t ctx1 () in
+  let payload = Bytes.make 256 'x' in
+  for i = 0 to 999 do
+    Redisjmp.set c1 (Printf.sprintf "big%04d" i) payload
+  done;
+  Alcotest.(check bool) "segment grew" true
+    (Sj_core.Segment.size (Redisjmp.data_segment t) > Size.kib 64);
+  Alcotest.(check bool) "all keys live" true
+    (Redisjmp.execute c1 Resp.Dbsize = Resp.Int 1000);
+  (* A client that attached before the growth reads fine after it. *)
+  let p2 = Process.create ~name:"r" m in
+  let ctx2 = Api.context sys p2 (Machine.core m 1) in
+  let c2 = Redisjmp.connect (Redisjmp.find ctx2 ~name:"small") ctx2 () in
+  Alcotest.(check (option string)) "reader sees grown data" (Some (Bytes.to_string payload))
+    (Option.map Bytes.to_string (Redisjmp.get c2 "big0999"));
+  Dict.check_invariants (Store.dict (Redisjmp.store t))
+
+let test_redisjmp_counts_switches () =
+  let _, sys, t, ctx = redisjmp_setup () in
+  let c = Redisjmp.connect t ctx () in
+  Sj_core.Registry.reset_stats (Api.registry sys);
+  for _ = 1 to 10 do
+    ignore (Redisjmp.get c "k")
+  done;
+  Alcotest.(check int) "2 switches per request" 20
+    (Sj_core.Registry.switch_count (Api.registry sys))
+
+(* ---------- DES harness ---------- *)
+
+let sim_cfg ~clients ~set_fraction mode =
+  {
+    Kv_sim.default_config with
+    platform = tiny;
+    clients;
+    set_fraction;
+    duration_cycles = 5_000_000;
+    keyspace = 50;
+    mode;
+  }
+
+let test_sim_redisjmp_scales_reads () =
+  let t1 = (Kv_sim.run (sim_cfg ~clients:1 ~set_fraction:0.0 (Kv_sim.Redisjmp { tags = false }))).Kv_sim.throughput in
+  let t4 = (Kv_sim.run (sim_cfg ~clients:4 ~set_fraction:0.0 (Kv_sim.Redisjmp { tags = false }))).Kv_sim.throughput in
+  Alcotest.(check bool) "4 clients >= 2.5x one" true (t4 >= 2.5 *. t1)
+
+let test_sim_writes_serialize () =
+  let r1 = Kv_sim.run (sim_cfg ~clients:1 ~set_fraction:1.0 (Kv_sim.Redisjmp { tags = false })) in
+  let r4 = Kv_sim.run (sim_cfg ~clients:4 ~set_fraction:1.0 (Kv_sim.Redisjmp { tags = false })) in
+  Alcotest.(check bool) "writers do not scale" true
+    (r4.Kv_sim.throughput < r1.Kv_sim.throughput *. 1.6);
+  Alcotest.(check bool) "writers waited on the lock" true (r4.Kv_sim.lock_wait_cycles > 0)
+
+let test_sim_redis_modes () =
+  let r = Kv_sim.run (sim_cfg ~clients:2 ~set_fraction:0.5 (Kv_sim.Redis { instances = 1 })) in
+  Alcotest.(check bool) "some requests" true (r.Kv_sim.requests > 0);
+  Alcotest.(check bool) "mixed" true (r.Kv_sim.gets > 0 && r.Kv_sim.sets > 0)
+
+let suite =
+  [
+    Alcotest.test_case "RESP command roundtrip" `Quick test_resp_command_roundtrip;
+    Alcotest.test_case "RESP reply roundtrip" `Quick test_resp_reply_roundtrip;
+    Alcotest.test_case "RESP garbage rejected" `Quick test_resp_garbage;
+    Alcotest.test_case "dict basics" `Quick test_dict_basic;
+    Alcotest.test_case "dict rehash growth" `Quick test_dict_rehash_growth;
+    Alcotest.test_case "dict deferred rehash" `Quick test_dict_deferred_rehash;
+    QCheck_alcotest.to_alcotest prop_dict_model;
+    Alcotest.test_case "store commands" `Quick test_store_commands;
+    Alcotest.test_case "store extended commands" `Quick test_store_extended_commands;
+    Alcotest.test_case "server roundtrip" `Quick test_server_roundtrip;
+    Alcotest.test_case "redisjmp basics" `Quick test_redisjmp_basic;
+    Alcotest.test_case "redisjmp shared across clients" `Quick test_redisjmp_shared_across_clients;
+    Alcotest.test_case "redisjmp matches server semantics" `Quick test_redisjmp_semantics_match_server;
+    Alcotest.test_case "redisjmp rehash under lock" `Quick test_redisjmp_rehash_under_lock_only;
+    Alcotest.test_case "redisjmp grows under load" `Quick test_redisjmp_grows_under_load;
+    Alcotest.test_case "redisjmp counts switches" `Quick test_redisjmp_counts_switches;
+    Alcotest.test_case "sim: reads scale" `Quick test_sim_redisjmp_scales_reads;
+    Alcotest.test_case "sim: writes serialize" `Quick test_sim_writes_serialize;
+    Alcotest.test_case "sim: classic redis modes" `Quick test_sim_redis_modes;
+  ]

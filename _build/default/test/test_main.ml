@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "spacejmp"
+    [
+      ("util", Test_util.suite);
+      ("des", Test_des.suite);
+      ("mem", Test_mem.suite);
+      ("paging", Test_paging.suite);
+      ("tlb", Test_tlb.suite);
+      ("machine", Test_machine.suite);
+      ("kernel", Test_kernel.suite);
+      ("alloc", Test_alloc.suite);
+      ("core", Test_core.suite);
+      ("cow", Test_cow.suite);
+      ("threads", Test_threads.suite);
+      ("api-fuzz", Test_api_fuzz.suite);
+      ("barrelfish", Test_barrelfish.suite);
+      ("persist", Test_persist.suite);
+      ("hugepages", Test_hugepages.suite);
+      ("tiers", Test_tiers.suite);
+      ("grow", Test_grow.suite);
+      ("ipc", Test_ipc.suite);
+      ("compress", Test_compress.suite);
+      ("memfs", Test_memfs.suite);
+      ("checker", Test_checker.suite);
+      ("checker-parser", Test_checker_parser.suite);
+      ("gups", Test_gups.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("notify", Test_notify.suite);
+      ("genomics", Test_genomics.suite);
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the in-memory file system. *)
+open Sj_util
+module Machine = Sj_machine.Machine
+module Memfs = Sj_memfs.Memfs
+
+let tiny : Sj_machine.Platform.t =
+  { Sj_machine.Platform.m2 with name = "tiny"; mem_size = Size.mib 64; sockets = 2; cores_per_socket = 1 }
+
+let mk () =
+  let m = Machine.create tiny in
+  (m, Memfs.create m)
+
+let test_create_write_read () =
+  let _, fs = mk () in
+  let fd = Memfs.create_file fs ~path:"/a.txt" in
+  Memfs.write fd ~charge_to:None (Bytes.of_string "hello ");
+  Memfs.write fd ~charge_to:None (Bytes.of_string "world");
+  Alcotest.(check int) "size" 11 (Memfs.file_size fs ~path:"/a.txt");
+  let fd2 = Memfs.open_file fs ~path:"/a.txt" in
+  Alcotest.(check string) "contents" "hello world"
+    (Bytes.to_string (Memfs.read_all fd2 ~charge_to:None))
+
+let test_seek () =
+  let _, fs = mk () in
+  let fd = Memfs.create_file fs ~path:"/b" in
+  Memfs.write fd ~charge_to:None (Bytes.of_string "0123456789");
+  Memfs.seek fd 4;
+  Alcotest.(check string) "mid read" "456" (Bytes.to_string (Memfs.read fd ~charge_to:None ~len:3));
+  Alcotest.(check int) "offset advanced" 7 (Memfs.offset fd);
+  Memfs.seek fd 8;
+  Memfs.write fd ~charge_to:None (Bytes.of_string "XY");
+  Memfs.seek fd 0;
+  Alcotest.(check string) "overwrite" "01234567XY"
+    (Bytes.to_string (Memfs.read fd ~charge_to:None ~len:100))
+
+let test_short_read_at_eof () =
+  let _, fs = mk () in
+  let fd = Memfs.create_file fs ~path:"/c" in
+  Memfs.write fd ~charge_to:None (Bytes.of_string "abc");
+  Memfs.seek fd 2;
+  Alcotest.(check string) "short" "c" (Bytes.to_string (Memfs.read fd ~charge_to:None ~len:10));
+  Alcotest.(check string) "empty at eof" "" (Bytes.to_string (Memfs.read fd ~charge_to:None ~len:10))
+
+let test_growth_across_pages () =
+  let _, fs = mk () in
+  let fd = Memfs.create_file fs ~path:"/big" in
+  let chunk = Bytes.make 3000 'z' in
+  for _ = 1 to 10 do
+    Memfs.write fd ~charge_to:None chunk
+  done;
+  Alcotest.(check int) "30000 bytes" 30000 (Memfs.file_size fs ~path:"/big");
+  let fd2 = Memfs.open_file fs ~path:"/big" in
+  let all = Memfs.read_all fd2 ~charge_to:None in
+  Alcotest.(check bool) "all z" true (Bytes.for_all (fun c -> c = 'z') all)
+
+let test_delete_and_list () =
+  let _, fs = mk () in
+  ignore (Memfs.create_file fs ~path:"/x");
+  ignore (Memfs.create_file fs ~path:"/y");
+  Alcotest.(check (list string)) "list" [ "/x"; "/y" ] (Memfs.list_files fs);
+  Memfs.delete fs ~path:"/x";
+  Alcotest.(check bool) "gone" false (Memfs.exists fs ~path:"/x");
+  Alcotest.check_raises "open missing" Not_found (fun () ->
+      ignore (Memfs.open_file fs ~path:"/x"))
+
+let test_truncate_on_recreate () =
+  let _, fs = mk () in
+  let fd = Memfs.create_file fs ~path:"/t" in
+  Memfs.write fd ~charge_to:None (Bytes.of_string "old content");
+  let _ = Memfs.create_file fs ~path:"/t" in
+  Alcotest.(check int) "truncated" 0 (Memfs.file_size fs ~path:"/t")
+
+let test_io_charges () =
+  let m, fs = mk () in
+  let core = Machine.core m 0 in
+  let fd = Memfs.create_file fs ~path:"/charged" in
+  let c0 = Machine.Core.cycles core in
+  Memfs.write fd ~charge_to:(Some core) (Bytes.make 4096 'a');
+  Alcotest.(check bool) "write charged" true (Machine.Core.cycles core - c0 > 0)
+
+let test_frames_released_on_delete () =
+  let m, fs = mk () in
+  let before = Sj_mem.Phys_mem.frames_allocated (Machine.mem m) in
+  let fd = Memfs.create_file fs ~path:"/d" in
+  Memfs.write fd ~charge_to:None (Bytes.make 100000 'q');
+  Memfs.delete fs ~path:"/d";
+  Alcotest.(check int) "frames back" before (Sj_mem.Phys_mem.frames_allocated (Machine.mem m))
+
+let prop_write_read =
+  QCheck.Test.make ~name:"memfs write-then-read returns data" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (string_of_size Gen.(int_range 0 2000)))
+    (fun chunks ->
+      let _, fs = mk () in
+      let fd = Memfs.create_file fs ~path:"/p" in
+      List.iter (fun s -> Memfs.write fd ~charge_to:None (Bytes.of_string s)) chunks;
+      let expected = String.concat "" chunks in
+      let fd2 = Memfs.open_file fs ~path:"/p" in
+      Bytes.to_string (Memfs.read_all fd2 ~charge_to:None) = expected)
+
+let suite =
+  [
+    Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+    Alcotest.test_case "seek" `Quick test_seek;
+    Alcotest.test_case "short read at EOF" `Quick test_short_read_at_eof;
+    Alcotest.test_case "growth across pages" `Quick test_growth_across_pages;
+    Alcotest.test_case "delete and list" `Quick test_delete_and_list;
+    Alcotest.test_case "truncate on recreate" `Quick test_truncate_on_recreate;
+    Alcotest.test_case "I/O charges cycles" `Quick test_io_charges;
+    Alcotest.test_case "frames released on delete" `Quick test_frames_released_on_delete;
+    QCheck_alcotest.to_alcotest prop_write_read;
+  ]

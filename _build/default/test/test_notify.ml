@@ -1,0 +1,106 @@
+(* Tests for the notification service and RedisJMP keyspace events. *)
+open Sj_util
+open Sj_kvstore
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Api = Sj_core.Api
+
+let tiny : Platform.t =
+  { Platform.m1 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
+
+let setup () =
+  let m = Machine.create tiny in
+  (m, Notify.create m ~core:(Machine.core m 3))
+
+let test_pub_sub_basics () =
+  let m, svc = setup () in
+  let alice = Notify.subscribe svc ~channel:"news" ~core:(Machine.core m 0) in
+  let receivers = Notify.publish svc ~from:(Machine.core m 1) ~channel:"news" (Bytes.of_string "hello") in
+  Alcotest.(check int) "one receiver" 1 receivers;
+  Alcotest.(check int) "pending" 1 (Notify.pending alice);
+  (match Notify.poll alice with
+  | Some msg -> Alcotest.(check string) "payload" "hello" (Bytes.to_string msg)
+  | None -> Alcotest.fail "no message");
+  Alcotest.(check bool) "drained" true (Notify.poll alice = None)
+
+let test_fanout_and_isolation () =
+  let m, svc = setup () in
+  let a = Notify.subscribe svc ~channel:"c1" ~core:(Machine.core m 0) in
+  let b = Notify.subscribe svc ~channel:"c1" ~core:(Machine.core m 1) in
+  let other = Notify.subscribe svc ~channel:"c2" ~core:(Machine.core m 2) in
+  Alcotest.(check int) "both receive" 2
+    (Notify.publish svc ~from:(Machine.core m 2) ~channel:"c1" (Bytes.of_string "x"));
+  Alcotest.(check int) "a" 1 (Notify.pending a);
+  Alcotest.(check int) "b" 1 (Notify.pending b);
+  Alcotest.(check int) "other channel untouched" 0 (Notify.pending other);
+  Alcotest.(check (list string)) "channels" [ "c1"; "c2" ] (Notify.channels svc)
+
+let test_ordering () =
+  let m, svc = setup () in
+  let s = Notify.subscribe svc ~channel:"seq" ~core:(Machine.core m 0) in
+  for i = 1 to 5 do
+    ignore (Notify.publish svc ~from:(Machine.core m 1) ~channel:"seq" (Bytes.of_string (string_of_int i)))
+  done;
+  for i = 1 to 5 do
+    match Notify.poll s with
+    | Some msg -> Alcotest.(check string) "in order" (string_of_int i) (Bytes.to_string msg)
+    | None -> Alcotest.fail "missing message"
+  done
+
+let test_unsubscribe () =
+  let m, svc = setup () in
+  let s = Notify.subscribe svc ~channel:"c" ~core:(Machine.core m 0) in
+  Notify.unsubscribe svc s;
+  Alcotest.(check int) "no receivers" 0
+    (Notify.publish svc ~from:(Machine.core m 1) ~channel:"c" (Bytes.of_string "x"))
+
+let test_costs_charged () =
+  let m, svc = setup () in
+  let pub_core = Machine.core m 1 in
+  let svc_core = Machine.core m 3 in
+  let _ = Notify.subscribe svc ~channel:"c" ~core:(Machine.core m 0) in
+  let _ = Notify.subscribe svc ~channel:"c" ~core:(Machine.core m 0) in
+  let p0 = Core.cycles pub_core and s0 = Core.cycles svc_core in
+  ignore (Notify.publish svc ~from:pub_core ~channel:"c" (Bytes.create 64));
+  Alcotest.(check bool) "publisher pays a hop" true (Core.cycles pub_core > p0);
+  Alcotest.(check bool) "service pays fan-out" true (Core.cycles svc_core > s0)
+
+let test_redisjmp_keyspace_events () =
+  Sj_kernel.Layout.reset_global_allocator ();
+  Redisjmp.reset ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p1 = Process.create ~name:"writer" m in
+  let ctx1 = Api.context sys p1 (Machine.core m 0) in
+  let store = Redisjmp.init ctx1 ~name:"kv" ~size:(Size.mib 8) in
+  let writer = Redisjmp.connect store ctx1 () in
+  let svc = Notify.create m ~core:(Machine.core m 3) in
+  Redisjmp.enable_notifications writer svc;
+  (* A watcher subscribes to one key's channel. *)
+  let watcher =
+    Notify.subscribe svc ~channel:(Redisjmp.keyspace_channel "watched") ~core:(Machine.core m 1)
+  in
+  Redisjmp.set writer "watched" (Bytes.of_string "v1");
+  Redisjmp.set writer "other" (Bytes.of_string "x");
+  ignore (Redisjmp.execute writer (Resp.Del "watched"));
+  ignore (Redisjmp.get writer "watched");
+  (* set + del observed; writes to other keys and reads are not. *)
+  Alcotest.(check int) "two events" 2 (Notify.pending watcher);
+  (match Notify.poll watcher with
+  | Some e -> Alcotest.(check string) "set first" "set" (Bytes.to_string e)
+  | None -> Alcotest.fail "no event");
+  match Notify.poll watcher with
+  | Some e -> Alcotest.(check string) "then del" "del" (Bytes.to_string e)
+  | None -> Alcotest.fail "no second event"
+
+let suite =
+  [
+    Alcotest.test_case "pub/sub basics" `Quick test_pub_sub_basics;
+    Alcotest.test_case "fan-out and channel isolation" `Quick test_fanout_and_isolation;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
+    Alcotest.test_case "costs charged" `Quick test_costs_charged;
+    Alcotest.test_case "redisjmp keyspace events" `Quick test_redisjmp_keyspace_events;
+  ]

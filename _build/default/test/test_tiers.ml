@@ -1,0 +1,128 @@
+(* Heterogeneous memory tiers (sec 7): a performance tier plus an
+   NVM-class capacity tier, with segment placement policy. *)
+open Sj_util
+open Sj_core
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Layout = Sj_kernel.Layout
+module Pm = Sj_mem.Phys_mem
+module Prot = Sj_paging.Prot
+
+let tiny : Platform.t =
+  Platform.with_capacity_tier
+    { Platform.m2 with name = "tiny"; mem_size = Size.mib 64; sockets = 2; cores_per_socket = 2 }
+    ~size:(Size.mib 256)
+
+let setup () =
+  Layout.reset_global_allocator ();
+  let m = Machine.create tiny in
+  let sys = Api.boot m in
+  let p = Process.create ~name:"p" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  (m, sys, ctx)
+
+let test_topology () =
+  let m, _, _ = setup () in
+  let mem = Machine.mem m in
+  Alcotest.(check int) "three nodes" 3 (Pm.node_count mem);
+  Alcotest.(check bool) "node kinds" true
+    (Pm.node_kind mem 0 = Pm.Performance
+    && Pm.node_kind mem 1 = Pm.Performance
+    && Pm.node_kind mem 2 = Pm.Capacity);
+  Alcotest.(check (option int)) "capacity node" (Some 2) (Machine.capacity_node m);
+  Alcotest.(check (option int)) "no tier on stock platforms" None
+    (Machine.capacity_node (Machine.create Platform.m2))
+
+let test_default_allocations_avoid_capacity () =
+  let m, _, _ = setup () in
+  let mem = Machine.mem m in
+  let f = Pm.alloc_frame mem in
+  Alcotest.(check bool) "performance tier preferred" true
+    (Pm.node_kind mem (Pm.node_of_frame mem f) = Pm.Performance)
+
+let test_spill_into_capacity_when_dram_full () =
+  let m, _, _ = setup () in
+  let mem = Machine.mem m in
+  (* Exhaust the 64 MiB performance tier. *)
+  let dram_frames = Size.mib 64 / Addr.page_size in
+  let _ = Pm.alloc_frames mem ~n:dram_frames in
+  let f = Pm.alloc_frame mem in
+  Alcotest.(check bool) "spilled to capacity" true
+    (Pm.node_kind mem (Pm.node_of_frame mem f) = Pm.Capacity)
+
+let test_placement_policy () =
+  let m, _, ctx = setup () in
+  let mem = Machine.mem m in
+  let fast = Api.seg_alloc_anywhere ctx ~name:"hot" ~size:(Size.mib 1) ~mode:0o600 in
+  let slow = Api.seg_alloc_anywhere ~tier:`Capacity ctx ~name:"cold" ~size:(Size.mib 1) ~mode:0o600 in
+  let node_of seg =
+    Pm.node_of_frame mem (Sj_kernel.Vm_object.frame_at (Segment.vm_object seg) ~page:0)
+  in
+  Alcotest.(check bool) "hot in DRAM" true (Pm.node_kind mem (node_of fast) = Pm.Performance);
+  Alcotest.(check bool) "cold in capacity tier" true
+    (Pm.node_kind mem (node_of slow) = Pm.Capacity)
+
+let test_capacity_tier_slower () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let fast = Api.seg_alloc_anywhere ctx ~name:"hot" ~size:(Size.mib 1) ~mode:0o600 in
+  let slow = Api.seg_alloc_anywhere ~tier:`Capacity ctx ~name:"cold" ~size:(Size.mib 1) ~mode:0o600 in
+  Api.seg_attach ctx vas fast ~prot:Prot.rw;
+  Api.seg_attach ctx vas slow ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  let core = Api.core ctx in
+  let measure base =
+    (* Random single-line touches: cold TLB+caches dominate. *)
+    let rng = Rng.create ~seed:4 in
+    let c0 = Core.cycles core in
+    for _ = 1 to 500 do
+      ignore (Api.load64 ctx ~va:(base + (Rng.int rng (Size.mib 1 / 8) * 8)))
+    done;
+    Core.cycles core - c0
+  in
+  let hot = measure (Segment.base fast) in
+  let cold = measure (Segment.base slow) in
+  Alcotest.(check bool)
+    (Printf.sprintf "capacity tier dearer (%d vs %d)" cold hot)
+    true
+    (cold > hot * 2)
+
+let test_no_tier_requested_on_stock_platform () =
+  Layout.reset_global_allocator ();
+  let m = Machine.create Platform.m2 in
+  let sys = Api.boot m in
+  let p = Process.create ~name:"p" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  Alcotest.(check bool) "refused" true
+    (try
+       ignore (Api.seg_alloc_anywhere ~tier:`Capacity ctx ~name:"x" ~size:(Size.mib 1) ~mode:0o600);
+       false
+     with Invalid_argument _ -> true)
+
+let test_data_integrity_across_tiers () =
+  let _, _, ctx = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let slow = Api.seg_alloc_anywhere ~tier:`Capacity ctx ~name:"cold" ~size:(Size.mib 1) ~mode:0o600 in
+  Api.seg_attach ctx vas slow ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.store_bytes ctx ~va:(Segment.base slow) (Bytes.of_string "nvm-resident data");
+  Alcotest.(check string) "roundtrip" "nvm-resident data"
+    (Bytes.to_string (Api.load_bytes ctx ~va:(Segment.base slow) ~len:17))
+
+let suite =
+  [
+    Alcotest.test_case "tier topology" `Quick test_topology;
+    Alcotest.test_case "default allocations avoid capacity" `Quick
+      test_default_allocations_avoid_capacity;
+    Alcotest.test_case "spill into capacity when DRAM full" `Quick
+      test_spill_into_capacity_when_dram_full;
+    Alcotest.test_case "segment placement policy" `Quick test_placement_policy;
+    Alcotest.test_case "capacity tier slower" `Quick test_capacity_tier_slower;
+    Alcotest.test_case "tier refused without hardware" `Quick
+      test_no_tier_requested_on_stock_platform;
+    Alcotest.test_case "data integrity across tiers" `Quick test_data_integrity_across_tiers;
+  ]

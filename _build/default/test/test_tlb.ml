@@ -1,0 +1,140 @@
+(* Tests for the tagged TLB. *)
+open Sj_util
+open Sj_paging
+module Tlb = Sj_tlb.Tlb
+
+let small_cfg = { Tlb.sets_4k = 4; ways_4k = 2; entries_2m = 2; tag_bits = 12 }
+
+let insert t ~tag ~va ~pa =
+  Tlb.insert t ~tag ~va ~pa ~prot:Prot.rw ~size:Page_table.P4K ~global:false
+
+let test_hit_miss () =
+  let t = Tlb.create Tlb.default_config in
+  Alcotest.(check bool) "cold miss" true (Tlb.lookup t ~tag:0 ~va:0x1000 = None);
+  insert t ~tag:0 ~va:0x1000 ~pa:0x20000;
+  (match Tlb.lookup t ~tag:0 ~va:0x1234 with
+  | Some hit -> Alcotest.(check int) "offset preserved" 0x20234 hit.pa
+  | None -> Alcotest.fail "expected hit");
+  let st = Tlb.stats t in
+  Alcotest.(check int) "1 miss" 1 st.misses;
+  Alcotest.(check int) "1 hit" 1 st.hits
+
+let test_tag_isolation () =
+  let t = Tlb.create Tlb.default_config in
+  insert t ~tag:1 ~va:0x1000 ~pa:0x20000;
+  Alcotest.(check bool) "other tag misses" true (Tlb.lookup t ~tag:2 ~va:0x1000 = None);
+  Alcotest.(check bool) "same tag hits" true (Tlb.lookup t ~tag:1 ~va:0x1000 <> None)
+
+let test_global_entries () =
+  let t = Tlb.create Tlb.default_config in
+  Tlb.insert t ~tag:1 ~va:0x5000 ~pa:0x30000 ~prot:Prot.r ~size:Page_table.P4K ~global:true;
+  Alcotest.(check bool) "hits under any tag" true (Tlb.lookup t ~tag:7 ~va:0x5000 <> None);
+  Tlb.flush_nonglobal t;
+  Alcotest.(check bool) "survives untagged flush" true (Tlb.lookup t ~tag:0 ~va:0x5000 <> None);
+  Tlb.flush_all t;
+  Alcotest.(check bool) "full flush removes" true (Tlb.lookup t ~tag:0 ~va:0x5000 = None)
+
+let test_flush_tag () =
+  let t = Tlb.create Tlb.default_config in
+  insert t ~tag:1 ~va:0x1000 ~pa:0x10000;
+  insert t ~tag:2 ~va:0x2000 ~pa:0x20000;
+  Tlb.flush_tag t ~tag:1;
+  Alcotest.(check bool) "tag 1 flushed" true (Tlb.lookup t ~tag:1 ~va:0x1000 = None);
+  Alcotest.(check bool) "tag 2 kept" true (Tlb.lookup t ~tag:2 ~va:0x2000 <> None)
+
+let test_invalidate_page () =
+  let t = Tlb.create Tlb.default_config in
+  insert t ~tag:1 ~va:0x1000 ~pa:0x10000;
+  insert t ~tag:2 ~va:0x1000 ~pa:0x90000;
+  Tlb.invalidate_page t ~va:0x1000;
+  Alcotest.(check bool) "all tags invalidated" true
+    (Tlb.lookup t ~tag:1 ~va:0x1000 = None && Tlb.lookup t ~tag:2 ~va:0x1000 = None)
+
+let test_capacity_eviction () =
+  let t = Tlb.create small_cfg in
+  (* 4 sets x 2 ways = 8 entries; same set: pages whose vpn mod 4 equal. *)
+  let vas = List.init 3 (fun i -> (i * 4) * Addr.page_size) in
+  List.iter (fun va -> insert t ~tag:0 ~va ~pa:(va + Size.mib 1)) vas;
+  (* First entry of the set evicted (LRU): only 2 ways. *)
+  let resident = List.filter (fun va -> Tlb.lookup t ~tag:0 ~va <> None) vas in
+  Alcotest.(check int) "two resident in 2-way set" 2 (List.length resident);
+  Alcotest.(check int) "one eviction" 1 (Tlb.stats t).evictions
+
+let test_2m_entries () =
+  let t = Tlb.create Tlb.default_config in
+  Tlb.insert t ~tag:0 ~va:(Size.mib 2) ~pa:(Size.mib 32) ~prot:Prot.rw ~size:Page_table.P2M
+    ~global:false;
+  match Tlb.lookup t ~tag:0 ~va:(Size.mib 2 + 0x1234) with
+  | Some hit ->
+    Alcotest.(check int) "2M offset preserved" (Size.mib 32 + 0x1234) hit.pa;
+    Alcotest.(check bool) "size" true (hit.size = Page_table.P2M)
+  | None -> Alcotest.fail "expected 2M hit"
+
+let test_occupancy () =
+  let t = Tlb.create small_cfg in
+  Alcotest.(check int) "empty" 0 (Tlb.occupancy t);
+  insert t ~tag:0 ~va:0x1000 ~pa:0x10000;
+  insert t ~tag:0 ~va:0x2000 ~pa:0x20000;
+  Alcotest.(check int) "two" 2 (Tlb.occupancy t);
+  Tlb.flush_all t;
+  Alcotest.(check int) "flushed" 0 (Tlb.occupancy t)
+
+let test_refresh_in_place () =
+  let t = Tlb.create small_cfg in
+  insert t ~tag:0 ~va:0x1000 ~pa:0x10000;
+  insert t ~tag:0 ~va:0x1000 ~pa:0x90000;
+  Alcotest.(check int) "no duplicate entries" 1 (Tlb.occupancy t);
+  match Tlb.lookup t ~tag:0 ~va:0x1000 with
+  | Some hit -> Alcotest.(check int) "latest translation" 0x90000 hit.pa
+  | None -> Alcotest.fail "expected hit"
+
+(* Model-based property: a TLB with random insert/flush/lookup agrees
+   with a shadow association list. *)
+let prop_tlb_coherent =
+  let open QCheck in
+  Test.make ~name:"TLB agrees with shadow map (no-eviction config)" ~count:100
+    (list_of_size Gen.(int_range 1 60)
+       (triple (int_bound 3) (int_bound 30) (int_bound 2)))
+    (fun ops ->
+      (* Big enough that nothing is ever evicted. *)
+      let t = Tlb.create { Tlb.sets_4k = 64; ways_4k = 8; entries_2m = 8; tag_bits = 12 } in
+      let shadow = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, page, tag) ->
+          let va = page * Addr.page_size in
+          match op with
+          | 0 ->
+            let pa = (page + 1000) * Addr.page_size in
+            Tlb.insert t ~tag ~va ~pa ~prot:Prot.rw ~size:Page_table.P4K ~global:false;
+            Hashtbl.replace shadow (tag, page) pa;
+            true
+          | 1 ->
+            Tlb.flush_tag t ~tag;
+            Hashtbl.iter (fun (tg, pg) _ -> if tg = tag then Hashtbl.remove shadow (tg, pg))
+              (Hashtbl.copy shadow);
+            true
+          | 2 ->
+            Tlb.flush_nonglobal t;
+            Hashtbl.reset shadow;
+            true
+          | _ ->
+            let expect = Hashtbl.find_opt shadow (tag, page) in
+            let got =
+              match Tlb.lookup t ~tag ~va with Some h -> Some h.pa | None -> None
+            in
+            expect = got)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+    Alcotest.test_case "tag isolation" `Quick test_tag_isolation;
+    Alcotest.test_case "global entries" `Quick test_global_entries;
+    Alcotest.test_case "flush by tag" `Quick test_flush_tag;
+    Alcotest.test_case "invalidate page" `Quick test_invalidate_page;
+    Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+    Alcotest.test_case "2 MiB entries" `Quick test_2m_entries;
+    Alcotest.test_case "occupancy" `Quick test_occupancy;
+    Alcotest.test_case "refresh in place" `Quick test_refresh_in_place;
+    QCheck_alcotest.to_alcotest prop_tlb_coherent;
+  ]
