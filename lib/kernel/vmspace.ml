@@ -20,7 +20,7 @@ type t = {
   id : int;
   machine : Machine.t;
   pt : Page_table.t;
-  mutable regions : region list; (* sorted by base *)
+  mutable regions : region array; (* sorted by base, non-overlapping *)
 }
 
 let next_id = ref 0
@@ -53,26 +53,67 @@ let create machine ~charge_to =
   | Some core -> Core.charge core (Machine.cost machine).table_alloc
   | None -> ());
   incr next_id;
-  { id = !next_id; machine; pt; regions = [] }
+  { id = !next_id; machine; pt; regions = [||] }
 
 let id t = t.id
 let page_table t = t.pt
-let regions t = t.regions
+let regions t = Array.to_list t.regions
+
+(* Index of the last region with [base <= va], or -1. *)
+let floor_index regions va =
+  let lo = ref 0 and hi = ref (Array.length regions - 1) and ans = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if regions.(mid).base <= va then begin
+      ans := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !ans
 
 let find_region t ~va =
-  List.find_opt (fun r -> Addr.range_contains ~base:r.base ~size:r.size va) t.regions
+  let i = floor_index t.regions va in
+  if i < 0 then None
+  else
+    let r = t.regions.(i) in
+    if Addr.range_contains ~base:r.base ~size:r.size va then Some r else None
 
+(* Regions are sorted and non-overlapping, so a new range can only
+   collide with its two would-be neighbours. *)
 let check_no_overlap t ~base ~size =
-  List.iter
-    (fun r ->
-      if Addr.range_overlaps ~base1:base ~size1:size ~base2:r.base ~size2:r.size then
-        invalid_arg
-          (Printf.sprintf "Vmspace.map_object: [%s,+%s) overlaps region at %s"
-             (Addr.to_string base) (Size.to_string size) (Addr.to_string r.base)))
-    t.regions
+  let check r =
+    if Addr.range_overlaps ~base1:base ~size1:size ~base2:r.base ~size2:r.size then
+      invalid_arg
+        (Printf.sprintf "Vmspace.map_object: [%s,+%s) overlaps region at %s"
+           (Addr.to_string base) (Size.to_string size) (Addr.to_string r.base))
+  in
+  let i = floor_index t.regions base in
+  if i >= 0 then check t.regions.(i);
+  if i + 1 < Array.length t.regions then check t.regions.(i + 1)
 
 let insert_region t r =
-  t.regions <- List.sort (fun a b -> compare a.base b.base) (r :: t.regions)
+  let n = Array.length t.regions in
+  let i = floor_index t.regions r.base + 1 in
+  let dst = Array.make (n + 1) r in
+  Array.blit t.regions 0 dst 0 i;
+  Array.blit t.regions i dst (i + 1) (n - i);
+  t.regions <- dst
+
+(* Index of the region starting exactly at [base], or -1. *)
+let index_at_base t base =
+  let i = floor_index t.regions base in
+  if i >= 0 && t.regions.(i).base = base then i else -1
+
+let remove_region_index t i =
+  let n = Array.length t.regions in
+  if n = 1 then t.regions <- [||]
+  else begin
+    let dst = Array.make (n - 1) t.regions.(0) in
+    Array.blit t.regions 0 dst 0 i;
+    Array.blit t.regions (i + 1) dst i (n - 1 - i);
+    t.regions <- dst
+  end
 
 let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow = false)
     ?(page = Page_table.P4K) ?name ~prot obj =
@@ -117,18 +158,19 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
   insert_region t { base; size; prot; obj; obj_page; global; cow; page; region_name = name }
 
 let unmap_region t ~charge_to ~base =
-  match List.find_opt (fun r -> r.base = base) t.regions with
-  | None -> invalid_arg "Vmspace.unmap_region: no region at base"
-  | Some r ->
+  match index_at_base t base with
+  | -1 -> invalid_arg "Vmspace.unmap_region: no region at base"
+  | i ->
+    let r = t.regions.(i) in
     let before = snapshot_stats t in
     (match r.page with
     | Page_table.P4K -> Page_table.unmap_range t.pt ~va:r.base ~pages:(r.size / Addr.page_size)
     | Page_table.P2M ->
-      for i = 0 to (r.size / Size.mib 2) - 1 do
-        Page_table.unmap t.pt ~va:(r.base + (i * Size.mib 2)) ~size:Page_table.P2M
+      for j = 0 to (r.size / Size.mib 2) - 1 do
+        Page_table.unmap t.pt ~va:(r.base + (j * Size.mib 2)) ~size:Page_table.P2M
       done);
     charge_pt_delta t charge_to before;
-    t.regions <- List.filter (fun r' -> r'.base <> base) t.regions
+    remove_region_index t i
 
 let remap_page t ~charge_to ~va ~frame ~prot =
   let before = snapshot_stats t in
@@ -139,12 +181,13 @@ let remap_page t ~charge_to ~va ~frame ~prot =
   charge_pt_delta t charge_to before
 
 let write_protect_region t ~charge_to ~base =
-  match List.find_opt (fun r -> r.base = base) t.regions with
-  | None -> invalid_arg "Vmspace.write_protect_region: no region at base"
-  | Some r ->
+  match index_at_base t base with
+  | -1 -> invalid_arg "Vmspace.write_protect_region: no region at base"
+  | i ->
+    let r = t.regions.(i) in
     let before = snapshot_stats t in
-    for i = 0 to (r.size / Addr.page_size) - 1 do
-      let va = r.base + (i * Addr.page_size) in
+    for j = 0 to (r.size / Addr.page_size) - 1 do
+      let va = r.base + (j * Addr.page_size) in
       match Page_table.walk t.pt ~va with
       | Some m when m.prot.write ->
         Page_table.protect t.pt ~va ~size:Page_table.P4K
@@ -152,8 +195,7 @@ let write_protect_region t ~charge_to ~base =
       | Some _ | None -> ()
     done;
     charge_pt_delta t charge_to before;
-    t.regions <-
-      List.map (fun r' -> if r'.base = base then { r' with cow = true } else r') t.regions
+    t.regions.(i) <- { r with cow = true }
 
 let graft_cached t ~charge_to ~base ~subtree ~region =
   check_no_overlap t ~base ~size:region.size;
@@ -169,11 +211,12 @@ let prune_cached t ~charge_to ~base ~gib_spans =
   done;
   charge_pt_delta t charge_to before;
   t.regions <-
-    List.filter
-      (fun r -> not (r.base >= base && r.base < base + (gib_spans * Size.gib 1)))
-      t.regions
+    Array.of_list
+      (List.filter
+         (fun r -> not (r.base >= base && r.base < base + (gib_spans * Size.gib 1)))
+         (Array.to_list t.regions))
 
 let destroy t ~charge_to =
   ignore charge_to;
   Page_table.destroy t.pt;
-  t.regions <- []
+  t.regions <- [||]

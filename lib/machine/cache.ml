@@ -2,13 +2,21 @@ open Sj_util
 
 type level = L1 | LLC | Memory
 
+(* Cache metadata layout is tuned for the *host*: each set is one
+   contiguous row of (tag, lru) pairs in a single flat array —
+   [meta.(2*(set*ways+way))] is the tag, [... + 1] its LRU stamp. A
+   probe that hits way w therefore reads and writes one short
+   contiguous span (usually one host cache line), where per-set
+   sub-arrays plus a separate LRU array cost several dependent misses;
+   on multi-MiB LLCs whose metadata cannot stay host-resident this
+   dominates the simulator's own wall clock. *)
 type t = {
   sets : int;
   ways : int;
   line : int;
   line_shift : int;
-  tags : int array array; (* [set].[way]; -1 = invalid *)
-  lru : int array array;
+  set_mask : int; (* sets - 1 when a power of two, else -1 (use mod) *)
+  meta : int array; (* interleaved (tag, lru); tag -1 = invalid *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -20,13 +28,20 @@ let create ~size ~ways ~line =
   if lines mod ways <> 0 then invalid_arg "Cache.create: size/ways mismatch";
   let sets = lines / ways in
   if sets <= 0 then invalid_arg "Cache.create: set count";
+  let meta = Array.make (sets * ways * 2) 0 in
+  let i = ref 0 in
+  while !i < Array.length meta do
+    meta.(!i) <- -1;
+    (* tags start invalid, stamps at 0 *)
+    i := !i + 2
+  done;
   {
     sets;
     ways;
     line;
     line_shift = Size.log2 line;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    lru = Array.init sets (fun _ -> Array.make ways 0);
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
+    meta;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -36,60 +51,85 @@ let line_addr t pa = pa lsr t.line_shift
 
 (* Power-of-two set counts index by mask; LLCs with non-power-of-two
    associativity products (e.g. 25 MiB / 20-way) index by modulo. *)
-let set_of t la = if t.sets land (t.sets - 1) = 0 then la land (t.sets - 1) else la mod t.sets
+let set_of t la = if t.set_mask >= 0 then la land t.set_mask else la mod t.sets
 
-let find t la =
-  let s = set_of t la in
-  let tags = t.tags.(s) in
-  let rec go i = if i >= t.ways then None else if tags.(i) = la then Some i else go (i + 1) in
-  go 0
+(* Slot index (into [meta], i.e. already doubled) of [la] in its set's
+   row, or -1. *)
+let find_slot t base la =
+  let meta = t.meta in
+  let stop = base + (t.ways * 2) in
+  let i = ref base in
+  while !i < stop && Array.unsafe_get meta !i <> la do i := !i + 2 done;
+  if !i < stop then !i else -1
 
-let touch t s w =
+let touch t slot =
   t.clock <- t.clock + 1;
-  t.lru.(s).(w) <- t.clock
+  t.meta.(slot + 1) <- t.clock
+
+(* Fill on miss: first invalid way wins, else strict-min LRU with the
+   earliest way breaking ties. *)
+let fill t base la =
+  let meta = t.meta in
+  let stop = base + (t.ways * 2) in
+  let victim = ref base in
+  let i = ref base in
+  let go = ref true in
+  while !go && !i < stop do
+    if Array.unsafe_get meta !i = -1 then begin
+      victim := !i;
+      go := false
+    end
+    else begin
+      if Array.unsafe_get meta (!i + 1) < Array.unsafe_get meta (!victim + 1) then
+        victim := !i;
+      i := !i + 2
+    end
+  done;
+  meta.(!victim) <- la;
+  touch t !victim
 
 let access t ~pa =
   let la = line_addr t pa in
-  let s = set_of t la in
-  match find t la with
-  | Some w ->
-    touch t s w;
+  let base = set_of t la * t.ways * 2 in
+  let slot = find_slot t base la in
+  if slot >= 0 then begin
+    touch t slot;
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
-    (* Fill, evicting LRU. *)
-    let tags = t.tags.(s) and lru = t.lru.(s) in
-    let victim = ref 0 in
-    (try
-       for i = 0 to t.ways - 1 do
-         if tags.(i) = -1 then begin
-           victim := i;
-           raise Exit
-         end;
-         if lru.(i) < lru.(!victim) then victim := i
-       done
-     with Exit -> ());
-    tags.(!victim) <- la;
-    touch t s !victim;
+    fill t base la;
     false
+  end
+
+(* [access] is already allocation-free on the flat layout; the fast
+   path shares it. *)
+let access_fast = access
 
 let probe t ~pa =
   let la = line_addr t pa in
-  match find t la with
-  | Some w ->
-    touch t (set_of t la) w;
+  let base = set_of t la * t.ways * 2 in
+  let slot = find_slot t base la in
+  if slot >= 0 then begin
+    touch t slot;
     true
-  | None -> false
+  end
+  else false
 
 let invalidate_line t ~pa =
   let la = line_addr t pa in
-  match find t la with
-  | Some w -> t.tags.(set_of t la).(w) <- -1
-  | None -> ()
+  let base = set_of t la * t.ways * 2 in
+  let slot = find_slot t base la in
+  if slot >= 0 then t.meta.(slot) <- -1
 
 let clear t =
-  Array.iter (fun tags -> Array.fill tags 0 t.ways (-1)) t.tags
+  let meta = t.meta in
+  let i = ref 0 in
+  while !i < Array.length meta do
+    meta.(!i) <- -1;
+    i := !i + 2
+  done
 
 let hits t = t.hits
 let misses t = t.misses

@@ -20,6 +20,8 @@ type core_state = {
   mutable pt : Page_table.t option;
   mutable tag : int;
   mutable fault_handler : (va:int -> access:access -> bool) option;
+  wcache : Page_table.walk_cache; (* per-core paging-structure cache *)
+  scratch : Bytes.t; (* reusable memcpy bounce buffer (fast path) *)
 }
 
 and t = {
@@ -28,9 +30,27 @@ and t = {
   cost : Cost_model.t;
   llcs : Cache.t array; (* one per socket *)
   mutable core_list : core_state array;
+  (* Host-side translation/bulk fast path. Semantics-preserving: the
+     simulated cycles, TLB/page-table stats and data results are
+     bit-identical with [fast] on or off (test/test_fastpath.ml is the
+     oracle); only host wall-clock changes. *)
+  fast : bool;
 }
 
-let create (platform : Platform.t) =
+(* Default for machines whose creator does not pass [?fast] — lets the
+   bench harness drive whole workloads (which create their own
+   machines) down either path. *)
+let default_fast = ref true
+
+let with_fast_path enabled f =
+  let saved = !default_fast in
+  default_fast := enabled;
+  Fun.protect ~finally:(fun () -> default_fast := saved) f
+
+let memcpy_chunk = 4096
+
+let create ?fast (platform : Platform.t) =
+  let fast = match fast with Some f -> f | None -> !default_fast in
   let mem =
     Phys_mem.create_tiered ~size:platform.mem_size ~numa_nodes:platform.sockets
       ~capacity_size:platform.capacity_size
@@ -39,7 +59,7 @@ let create (platform : Platform.t) =
     Array.init platform.sockets (fun _ ->
         Cache.create ~size:platform.llc_size ~ways:platform.llc_ways ~line:platform.line)
   in
-  let t = { platform; mem; cost = platform.cost; llcs; core_list = [||] } in
+  let t = { platform; mem; cost = platform.cost; llcs; core_list = [||]; fast } in
   let cores =
     Array.init (Platform.total_cores platform) (fun i ->
         {
@@ -52,6 +72,8 @@ let create (platform : Platform.t) =
           pt = None;
           tag = 0;
           fault_handler = None;
+          wcache = Page_table.walk_cache_create ();
+          scratch = Bytes.create memcpy_chunk;
         })
   in
   t.core_list <- cores;
@@ -60,6 +82,7 @@ let create (platform : Platform.t) =
 let platform t = t.platform
 let mem t = t.mem
 let cost t = t.cost
+let fast_path_enabled t = t.fast
 
 module Core = struct
   type core = core_state
@@ -77,6 +100,7 @@ module Core = struct
     if tag < 0 || tag > Tlb.max_tag c.tlb then invalid_arg "Core.set_page_table: bad tag";
     c.pt <- pt;
     c.tag <- tag;
+    Page_table.walk_cache_reset c.wcache;
     (match pt with
     | None -> ()
     | Some _ ->
@@ -97,40 +121,101 @@ module Core = struct
           if node = c.socket then m.cost.dram_local else m.cost.dram_remote)
     end
 
-  (* Charge for all lines overlapped by [pa, pa+len). *)
+  let dram_line_cost c ~pa =
+    let m = c.machine in
+    let node = Phys_mem.node_of_frame m.mem (Phys_mem.frame_of_addr pa) in
+    match Phys_mem.node_kind m.mem node with
+    | Phys_mem.Capacity -> m.cost.dram_capacity
+    | Phys_mem.Performance ->
+      if node = c.socket then m.cost.dram_local else m.cost.dram_remote
+
+  (* Charge for all lines overlapped by [pa, pa+len). The fast path
+     performs the very same per-line cache accesses (the L1/LLC state
+     transitions must be identical), but accumulates the cost locally
+     with the DRAM latency resolved once for the run instead of per
+     missing line, and charges in one step. *)
   let data_access c ~pa ~len =
-    let line = c.machine.platform.line in
+    let m = c.machine in
+    let line = m.platform.line in
     let first = pa / line and last = (pa + len - 1) / line in
-    for l = first to last do
-      line_access c ~pa:(l * line)
-    done
+    if not m.fast then
+      for l = first to last do
+        line_access c ~pa:(l * line)
+      done
+    else if first = last then begin
+      (* Single line (loads, stores, touches): [line_access] with the
+         allocation-free cache probe. *)
+      if Cache.access_fast c.l1 ~pa then charge c m.cost.l1_hit
+      else if Cache.access_fast m.llcs.(c.socket) ~pa then charge c m.cost.llc_hit
+      else charge c (dram_line_cost c ~pa)
+    end
+    else begin
+      let dram = dram_line_cost c ~pa:(first * line) in
+      if dram <> dram_line_cost c ~pa:(last * line) then
+        (* Run straddles a latency-domain boundary (NUMA node or tier):
+           resolve per line like the slow path. *)
+        for l = first to last do
+          line_access c ~pa:(l * line)
+        done
+      else begin
+        let l1 = c.l1 and llc = m.llcs.(c.socket) in
+        let c_l1 = m.cost.l1_hit and c_llc = m.cost.llc_hit in
+        let acc = ref 0 in
+        for l = first to last do
+          let pa = l * line in
+          if Cache.access_fast l1 ~pa then acc := !acc + c_l1
+          else if Cache.access_fast llc ~pa then acc := !acc + c_llc
+          else acc := !acc + dram
+        done;
+        charge c !acc
+      end
+    end
+
+  let prot_allows (prot : Prot.t) access =
+    match access with Read -> prot.read | Write -> prot.write
+
+  (* TLB-miss path, shared by both translation paths; only the walk
+     itself differs (cached vs full descent — same result either way). *)
+  let translate_miss c pt ~va ~access =
+    let m = c.machine in
+    match
+      if m.fast then Page_table.walk_cached pt c.wcache ~va else Page_table.walk pt ~va
+    with
+    | None -> raise (Page_fault { va; access })
+    | Some mapping ->
+      (* The page walker touches one table entry per level; its
+         accesses go through the cache hierarchy like data. *)
+      charge c (mapping.levels * m.cost.walk_per_level);
+      Tlb.insert c.tlb ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot ~size:mapping.size
+        ~global:mapping.global;
+      if not (prot_allows mapping.prot access) then raise (Protection_fault { va; access });
+      let page = Page_table.bytes_of_page_size mapping.size in
+      mapping.pa + (va land (page - 1))
 
   let translate_once c ~va ~access =
     let m = c.machine in
     match c.pt with
     | None -> raise No_page_table
-    | Some pt -> (
+    | Some pt ->
       charge c m.cost.tlb_hit;
-      let check (prot : Prot.t) =
-        let ok = match access with Read -> prot.read | Write -> prot.write in
-        if not ok then raise (Protection_fault { va; access })
-      in
-      match Tlb.lookup c.tlb ~tag:c.tag ~va with
-      | Some hit ->
-        check hit.prot;
-        hit.pa
-      | None -> (
-        match Page_table.walk pt ~va with
-        | None -> raise (Page_fault { va; access })
-        | Some mapping ->
-          (* The page walker touches one table entry per level; its
-             accesses go through the cache hierarchy like data. *)
-          charge c (mapping.levels * m.cost.walk_per_level);
-          Tlb.insert c.tlb ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot
-            ~size:mapping.size ~global:mapping.global;
-          check mapping.prot;
-          let page = Page_table.bytes_of_page_size mapping.size in
-          mapping.pa + (va land (page - 1))))
+      if m.fast then begin
+        (* Allocation-free probe: MRU, then the normal scan. *)
+        let r =
+          Tlb.translate_probe c.tlb ~tag:c.tag ~va
+            ~write:(match access with Write -> true | Read -> false)
+        in
+        if r >= 0 then r
+        else if r = -1 then translate_miss c pt ~va ~access
+        else raise (Protection_fault { va; access })
+      end
+      else begin
+        match Tlb.lookup c.tlb ~tag:c.tag ~va with
+        | Some hit ->
+          if not (prot_allows hit.prot access) then
+            raise (Protection_fault { va; access });
+          hit.pa
+        | None -> translate_miss c pt ~va ~access
+      end
 
   (* A faulting translation gives the installed handler a chance to
      repair the mapping (demand splits, COW) and retry. *)
@@ -154,12 +239,14 @@ module Core = struct
   let load8 c ~va =
     let pa = translate c ~va ~access:Read in
     data_access c ~pa ~len:1;
-    Phys_mem.read8 c.machine.mem ~pa
+    if c.machine.fast then Phys_mem.read8_fast c.machine.mem ~pa
+    else Phys_mem.read8 c.machine.mem ~pa
 
   let store8 c ~va v =
     let pa = translate c ~va ~access:Write in
     data_access c ~pa ~len:1;
-    Phys_mem.write8 c.machine.mem ~pa v
+    if c.machine.fast then Phys_mem.write8_fast c.machine.mem ~pa v
+    else Phys_mem.write8 c.machine.mem ~pa v
 
   (* Multi-byte accesses may cross a page boundary; split per page. *)
   let split_pages ~va ~len f =
@@ -175,7 +262,8 @@ module Core = struct
     if Addr.offset_in_page va <= Addr.page_size - 8 then begin
       let pa = translate c ~va ~access:Read in
       data_access c ~pa ~len:8;
-      Phys_mem.read64 c.machine.mem ~pa
+      if c.machine.fast then Phys_mem.read64_fast c.machine.mem ~pa
+      else Phys_mem.read64 c.machine.mem ~pa
     end
     else begin
       let v = ref 0L in
@@ -189,36 +277,66 @@ module Core = struct
     if Addr.offset_in_page va <= Addr.page_size - 8 then begin
       let pa = translate c ~va ~access:Write in
       data_access c ~pa ~len:8;
-      Phys_mem.write64 c.machine.mem ~pa v
+      if c.machine.fast then Phys_mem.write64_fast c.machine.mem ~pa v
+      else Phys_mem.write64 c.machine.mem ~pa v
     end
     else
       for i = 0 to 7 do
         store8 c ~va:(va + i) (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
       done
 
+  (* Bulk operations translate once per page run and (on the fast path)
+     blit directly between the caller's buffer and physical memory —
+     no intermediate [bytes] per page, so big copies stop churning the
+     minor heap. Cycle charges and cache state are identical to the
+     slow path: same per-page translations, same per-line accesses. *)
+
+  let read_page_run c ~dst ~va ~off ~len =
+    let pa = translate c ~va ~access:Read in
+    data_access c ~pa ~len;
+    Phys_mem.read_into c.machine.mem ~pa ~dst ~off ~len
+
+  let write_page_run c ~src ~va ~off ~len =
+    let pa = translate c ~va ~access:Write in
+    data_access c ~pa ~len;
+    Phys_mem.write_from c.machine.mem ~pa ~src ~off ~len
+
   let load_bytes c ~va ~len =
     let out = Bytes.create len in
-    split_pages ~va ~len (fun ~va ~off ~len ->
-        let pa = translate c ~va ~access:Read in
-        data_access c ~pa ~len;
-        Bytes.blit (Phys_mem.read_bytes c.machine.mem ~pa ~len) 0 out off len);
+    if c.machine.fast then
+      split_pages ~va ~len (fun ~va ~off ~len -> read_page_run c ~dst:out ~va ~off ~len)
+    else
+      split_pages ~va ~len (fun ~va ~off ~len ->
+          let pa = translate c ~va ~access:Read in
+          data_access c ~pa ~len;
+          Bytes.blit (Phys_mem.read_bytes c.machine.mem ~pa ~len) 0 out off len);
     out
 
   let store_bytes c ~va src =
-    split_pages ~va ~len:(Bytes.length src) (fun ~va ~off ~len ->
-        let pa = translate c ~va ~access:Write in
-        data_access c ~pa ~len;
-        Phys_mem.write_bytes c.machine.mem ~pa (Bytes.sub src off len))
+    if c.machine.fast then
+      split_pages ~va ~len:(Bytes.length src) (fun ~va ~off ~len ->
+          write_page_run c ~src ~va ~off ~len)
+    else
+      split_pages ~va ~len:(Bytes.length src) (fun ~va ~off ~len ->
+          let pa = translate c ~va ~access:Write in
+          data_access c ~pa ~len;
+          Phys_mem.write_bytes c.machine.mem ~pa (Bytes.sub src off len))
 
   let touch c ~va ~access =
     let pa = translate c ~va ~access in
     data_access c ~pa ~len:1
 
   let memset c ~va ~len x =
-    split_pages ~va ~len (fun ~va ~off:_ ~len ->
-        let pa = translate c ~va ~access:Write in
-        data_access c ~pa ~len;
-        Phys_mem.write_bytes c.machine.mem ~pa (Bytes.make len x))
+    if c.machine.fast then
+      split_pages ~va ~len (fun ~va ~off:_ ~len ->
+          let pa = translate c ~va ~access:Write in
+          data_access c ~pa ~len;
+          Phys_mem.fill c.machine.mem ~pa ~len x)
+    else
+      split_pages ~va ~len (fun ~va ~off:_ ~len ->
+          let pa = translate c ~va ~access:Write in
+          data_access c ~pa ~len;
+          Phys_mem.write_bytes c.machine.mem ~pa (Bytes.make len x))
 
   let memcpy c ~dst ~src ~len =
     (* Chunked through a bounce buffer; charges both streams. Copies
@@ -227,14 +345,28 @@ module Core = struct
        accumulated cycles (a streaming bandwidth of roughly 8x the
        dependent-access rate, representative of rep-movsb copies). *)
     let before = c.cycles in
-    let chunk = 4096 in
+    let chunk = memcpy_chunk in
     let pos = ref 0 in
-    while !pos < len do
-      let n = min chunk (len - !pos) in
-      let data = load_bytes c ~va:(src + !pos) ~len:n in
-      store_bytes c ~va:(dst + !pos) data;
-      pos := !pos + n
-    done;
+    if c.machine.fast then begin
+      (* Same chunked bounce semantics (overlap behaves identically),
+         but through the core's reusable scratch buffer. *)
+      let scratch = c.scratch in
+      while !pos < len do
+        let n = min chunk (len - !pos) in
+        split_pages ~va:(src + !pos) ~len:n (fun ~va ~off ~len ->
+            read_page_run c ~dst:scratch ~va ~off ~len);
+        split_pages ~va:(dst + !pos) ~len:n (fun ~va ~off ~len ->
+            write_page_run c ~src:scratch ~va ~off ~len);
+        pos := !pos + n
+      done
+    end
+    else
+      while !pos < len do
+        let n = min chunk (len - !pos) in
+        let data = load_bytes c ~va:(src + !pos) ~len:n in
+        store_bytes c ~va:(dst + !pos) data;
+        pos := !pos + n
+      done;
     let delta = c.cycles - before in
     charge c (-(delta - ((delta + 7) / 8)))
 

@@ -20,7 +20,22 @@ exception Protection_fault of { va : int; access : access }
 exception No_page_table
 (** A data access was attempted with no page table installed. *)
 
-val create : Platform.t -> t
+val create : ?fast:bool -> Platform.t -> t
+(** [?fast] selects the host-side translation/bulk fast path (per-core
+    MRU translation cache, software page-walk cache, batched bulk
+    accesses). Semantics-preserving: simulated cycles, TLB/page-table
+    stats and data results are bit-identical either way
+    (test/test_fastpath.ml asserts this); only host wall-clock differs.
+    Defaults to the ambient {!with_fast_path} setting (initially
+    [true]); [~fast:false] is the escape hatch / baseline. *)
+
+val with_fast_path : bool -> (unit -> 'a) -> 'a
+(** [with_fast_path enabled f] runs [f] with the given default for
+    machines created without an explicit [?fast] — how the bench
+    harness drives whole workloads down either path. *)
+
+val fast_path_enabled : t -> bool
+
 val platform : t -> Platform.t
 val mem : t -> Sj_mem.Phys_mem.t
 val cost : t -> Cost_model.t

@@ -20,6 +20,12 @@ type t = {
   allocated : (frame, unit) Hashtbl.t;
   contents : (frame, bytes) Hashtbl.t; (* lazily materialized *)
   mutable n_allocated : int;
+  (* Last-frame memo for the machine's fast path: when [memo_frame]
+     is non-negative it is an allocated frame whose backing bytes are
+     [memo_bytes], so repeated accesses inside one frame skip both
+     hashtable probes. Invalidated on free and zero. *)
+  mutable memo_frame : frame;
+  mutable memo_bytes : bytes;
 }
 
 let create_tiered ~size ~numa_nodes ~capacity_size =
@@ -53,6 +59,8 @@ let create_tiered ~size ~numa_nodes ~capacity_size =
     allocated = Hashtbl.create 4096;
     contents = Hashtbl.create 4096;
     n_allocated = 0;
+    memo_frame = -1;
+    memo_bytes = Bytes.empty;
   }
 
 let create ~size ~numa_nodes = create_tiered ~size ~numa_nodes ~capacity_size:0
@@ -164,6 +172,10 @@ let free_frame t f =
     invalid_arg "Phys_mem.free_frame: frame not allocated";
   Hashtbl.remove t.allocated f;
   Hashtbl.remove t.contents f;
+  if t.memo_frame = f then begin
+    t.memo_frame <- -1;
+    t.memo_bytes <- Bytes.empty
+  end;
   t.n_allocated <- t.n_allocated - 1;
   let node = node_of_frame t f in
   t.free_lists.(node) <- f :: t.free_lists.(node)
@@ -251,6 +263,119 @@ let write_bytes t ~pa src =
     pos := !pos + chunk
   done
 
+let read_into t ~pa ~dst ~off ~len =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = pa + !pos in
+    let f = frame_of_addr a in
+    check_allocated t f "read_into";
+    let foff = Addr.offset_in_page a in
+    let chunk = min (len - !pos) (Addr.page_size - foff) in
+    (match Hashtbl.find_opt t.contents f with
+    | None -> Bytes.fill dst (off + !pos) chunk '\000'
+    | Some b -> Bytes.blit b foff dst (off + !pos) chunk);
+    pos := !pos + chunk
+  done
+
+let write_from t ~pa ~src ~off ~len =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = pa + !pos in
+    let f = frame_of_addr a in
+    check_allocated t f "write_from";
+    let foff = Addr.offset_in_page a in
+    let chunk = min (len - !pos) (Addr.page_size - foff) in
+    Bytes.blit src (off + !pos) (backing t f) foff chunk;
+    pos := !pos + chunk
+  done
+
+let fill t ~pa ~len x =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = pa + !pos in
+    let f = frame_of_addr a in
+    check_allocated t f "fill";
+    let foff = Addr.offset_in_page a in
+    let chunk = min (len - !pos) (Addr.page_size - foff) in
+    (* Filling a whole never-touched frame with zero stays lazy. *)
+    if x = '\000' && foff = 0 && chunk = Addr.page_size && not (Hashtbl.mem t.contents f)
+    then ()
+    else Bytes.fill (backing t f) foff chunk x;
+    pos := !pos + chunk
+  done
+
 let zero_frame t f =
   check_allocated t f "zero_frame";
-  Hashtbl.remove t.contents f
+  Hashtbl.remove t.contents f;
+  if t.memo_frame = f then begin
+    t.memo_frame <- -1;
+    t.memo_bytes <- Bytes.empty
+  end
+
+(* {2 Fast-path accessors}
+
+   Observably identical to their plain counterparts (including read
+   laziness: a never-written frame is not materialized by reads) but
+   allocation-free on the hot path via the last-frame memo. *)
+
+let read8_fast t ~pa =
+  let f = frame_of_addr pa in
+  if t.memo_frame = f then Char.code (Bytes.get t.memo_bytes (Addr.offset_in_page pa))
+  else begin
+    check_allocated t f "read8";
+    match Hashtbl.find_opt t.contents f with
+    | None -> 0
+    | Some b ->
+      t.memo_frame <- f;
+      t.memo_bytes <- b;
+      Char.code (Bytes.get b (Addr.offset_in_page pa))
+  end
+
+let write8_fast t ~pa v =
+  let f = frame_of_addr pa in
+  let b =
+    if t.memo_frame = f then t.memo_bytes
+    else begin
+      check_allocated t f "write8";
+      let b = backing t f in
+      t.memo_frame <- f;
+      t.memo_bytes <- b;
+      b
+    end
+  in
+  Bytes.set b (Addr.offset_in_page pa) (Char.chr (v land 0xff))
+
+let read64_fast t ~pa =
+  let off = Addr.offset_in_page pa in
+  if off <= Addr.page_size - 8 then begin
+    let f = frame_of_addr pa in
+    if t.memo_frame = f then Bytes.get_int64_le t.memo_bytes off
+    else begin
+      check_allocated t f "read64";
+      match Hashtbl.find_opt t.contents f with
+      | None -> 0L
+      | Some b ->
+        t.memo_frame <- f;
+        t.memo_bytes <- b;
+        Bytes.get_int64_le b off
+    end
+  end
+  else read64 t ~pa
+
+let write64_fast t ~pa v =
+  let off = Addr.offset_in_page pa in
+  if off <= Addr.page_size - 8 then begin
+    let f = frame_of_addr pa in
+    let b =
+      if t.memo_frame = f then t.memo_bytes
+      else begin
+        check_allocated t f "write64";
+        let b = backing t f in
+        t.memo_frame <- f;
+        t.memo_bytes <- b;
+        b
+      end
+    in
+    Bytes.set_int64_le b off v
+  end
+  else write64 t ~pa v

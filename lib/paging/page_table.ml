@@ -32,6 +32,15 @@ type subtree = node
 
 let fresh_stats () = { tables_allocated = 0; tables_freed = 0; pte_writes = 0; pte_clears = 0 }
 
+(* Structural-change epoch, deliberately *global*: interior subtrees may
+   be shared between roots (grafting), so a mutation through one root
+   can be visible in walks of another. Walk caches self-invalidate
+   whenever any table anywhere changed, which is trivially sound and
+   costs nothing on the mutation-free hot loops the caches target. *)
+let global_gen = ref 0
+
+let dirty _t = incr global_gen
+
 let alloc_node t ~level =
   t.stats.tables_allocated <- t.stats.tables_allocated + 1;
   { level; frame = Phys_mem.alloc_frame t.mem; entries = Array.make 512 Empty; live = 0; refs = 1 }
@@ -72,7 +81,9 @@ let rec decref t node =
     t.stats.tables_freed <- t.stats.tables_freed + 1
   end
 
-let destroy t = decref t t.root
+let destroy t =
+  dirty t;
+  decref t t.root
 
 let check_aligned va size name =
   if va land (bytes_of_page_size size - 1) <> 0 then
@@ -101,6 +112,7 @@ let rec descend t node ~va ~target_level ~create_missing =
       end
 
 let map ?(global = false) t ~va ~pa ~prot ~size =
+  dirty t;
   check_aligned va size "map";
   check_aligned pa size "map";
   if va < 0 || va >= Addr.va_limit then invalid_arg "Page_table.map: VA out of range";
@@ -119,6 +131,7 @@ let map ?(global = false) t ~va ~pa ~prot ~size =
 
 (* Remove a leaf and prune now-empty exclusively-owned interior tables. *)
 let unmap t ~va ~size =
+  dirty t;
   check_aligned va size "unmap";
   let level = leaf_level size in
   let rec go node =
@@ -161,7 +174,107 @@ let walk t ~va =
     in
     go t.root 1
 
+(* ---- Software page-walk cache (a per-core paging-structure cache) ----
+
+   Caches pointers to the interior tables (PDPT / PD / PT) that
+   translate the most recent 512 GiB / 1 GiB / 2 MiB span, so a walk
+   with spatial locality descends 1-2 levels instead of 4. Entries are
+   validated against [global_gen]; the returned [mapping] (including
+   [levels], which counts the tables the *full* walk would touch) is
+   identical to {!walk}'s because with no structural change the full
+   walk would reach the very same nodes. *)
+
+type walk_cache = {
+  mutable owner : t option; (* physical identity of the cached tree *)
+  mutable wgen : int;
+  mutable base_l1 : int; (* 2 MiB span base; -1 = empty *)
+  mutable node_l1 : node option;
+  mutable base_l2 : int; (* 1 GiB span base *)
+  mutable node_l2 : node option;
+  mutable base_l3 : int; (* 512 GiB span base *)
+  mutable node_l3 : node option;
+}
+
+let span_l1 = 1 lsl 21
+let span_l2 = 1 lsl 30
+let span_l3 = 1 lsl 39
+
+let walk_cache_create () =
+  {
+    owner = None;
+    wgen = -1;
+    base_l1 = -1;
+    node_l1 = None;
+    base_l2 = -1;
+    node_l2 = None;
+    base_l3 = -1;
+    node_l3 = None;
+  }
+
+let walk_cache_reset wc =
+  wc.owner <- None;
+  wc.wgen <- -1;
+  wc.base_l1 <- -1;
+  wc.node_l1 <- None;
+  wc.base_l2 <- -1;
+  wc.node_l2 <- None;
+  wc.base_l3 <- -1;
+  wc.node_l3 <- None
+
+let rec descend_cached wc node levels ~va =
+  (* Record the interior nodes we pass so the next walk can resume
+     deeper. Skip the store when the span is already recorded (same
+     epoch => it is necessarily the same node). *)
+  (match node.level with
+  | 3 ->
+    let b = va land lnot (span_l3 - 1) in
+    if wc.base_l3 <> b then begin
+      wc.base_l3 <- b;
+      wc.node_l3 <- Some node
+    end
+  | 2 ->
+    let b = va land lnot (span_l2 - 1) in
+    if wc.base_l2 <> b then begin
+      wc.base_l2 <- b;
+      wc.node_l2 <- Some node
+    end
+  | 1 ->
+    let b = va land lnot (span_l1 - 1) in
+    if wc.base_l1 <> b then begin
+      wc.base_l1 <- b;
+      wc.node_l1 <- Some node
+    end
+  | _ -> ());
+  let i = index_at ~level:node.level va in
+  match node.entries.(i) with
+  | Empty -> None
+  | Table child -> descend_cached wc child (levels + 1) ~va
+  | Leaf { pa; prot; size; global } -> Some { pa; prot; size; global; levels }
+
+let walk_cached t wc ~va =
+  if va < 0 || va >= Addr.va_limit then None
+  else begin
+    (match wc.owner with
+    | Some o when o == t && wc.wgen = !global_gen -> ()
+    | _ ->
+      walk_cache_reset wc;
+      wc.owner <- Some t;
+      wc.wgen <- !global_gen);
+    (* Resume from the deepest cached node covering [va]; a node at
+       level L is reached by the full walk with [levels] = 5 - L. *)
+    match wc.node_l1 with
+    | Some n when wc.base_l1 = va land lnot (span_l1 - 1) -> descend_cached wc n 4 ~va
+    | _ -> (
+      match wc.node_l2 with
+      | Some n when wc.base_l2 = va land lnot (span_l2 - 1) -> descend_cached wc n 3 ~va
+      | _ -> (
+        match wc.node_l3 with
+        | Some n when wc.base_l3 = va land lnot (span_l3 - 1) -> descend_cached wc n 2 ~va
+        | _ -> descend_cached wc t.root 1 ~va))
+  end
+
 let protect t ~va ~size ~prot =
+  dirty t;
   check_aligned va size "protect";
   let level = leaf_level size in
   match descend t t.root ~va ~target_level:level ~create_missing:false with
@@ -211,6 +324,7 @@ let extract_subtree t ~va ~level =
     | Leaf _ -> invalid_arg "Page_table.extract_subtree: slot holds a large-page leaf")
 
 let graft_subtree t ~va (sub : subtree) =
+  dirty t;
   let span = span_of_level sub.level in
   if va land (span - 1) <> 0 then
     invalid_arg "Page_table.graft_subtree: address not aligned to subtree span";
@@ -227,6 +341,7 @@ let graft_subtree t ~va (sub : subtree) =
     | Table _ | Leaf _ -> invalid_arg "Page_table.graft_subtree: slot occupied")
 
 let prune_subtree t ~va ~level =
+  dirty t;
   let span = span_of_level level in
   let base = Size.round_down va ~align:span in
   match descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false with

@@ -32,6 +32,17 @@ type t = {
   array_2m : entry array;
   stats : stats;
   mutable clock : int;
+  (* Host-side MRU fast path. [gen] is bumped whenever array contents
+     change (fill, flush, invalidate); the MRU record is only trusted
+     while [mru_gen = gen], which makes a hit provably identical to
+     re-running the full scan (nothing that affects matching changed
+     since the scan that recorded it). *)
+  mutable gen : int;
+  mutable mru_gen : int; (* -1 = empty *)
+  mutable mru_tag : int;
+  mutable mru_vbase : int; (* 4 KiB base of the access that recorded it *)
+  mutable mru_size : Page_table.page_size;
+  mutable mru_entry : entry;
 }
 
 let fresh_entry () =
@@ -49,7 +60,15 @@ let create cfg =
     array_2m = Array.init cfg.entries_2m (fun _ -> fresh_entry ());
     stats = fresh_stats ();
     clock = 0;
+    gen = 0;
+    mru_gen = -1;
+    mru_tag = 0;
+    mru_vbase = -1;
+    mru_size = Page_table.P4K;
+    mru_entry = fresh_entry ();
   }
+
+let dirty t = t.gen <- t.gen + 1
 
 let config t = t.cfg
 let stats t = t.stats
@@ -71,51 +90,121 @@ let base_2m va = Size.round_down va ~align:(Size.mib 2)
 
 let entry_matches e ~tag ~vbase = e.valid && e.vbase = vbase && (e.global || e.tag = tag)
 
+(* Sentinel results of [translate_probe]; PAs are non-negative, so
+   these cannot collide with a real translation. *)
+let missed = -1
+let prot_failed = -2
+
+(* Way index of the matching entry, or -1. A direct indexed loop so the
+   hot paths (lookup, insert refresh) allocate nothing. *)
+let probe_set set ~tag ~vbase =
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then -1 else if entry_matches set.(i) ~tag ~vbase then i else go (i + 1)
+  in
+  go 0
+
+let hit_entry t e =
+  e.last_use <- tick t;
+  t.stats.hits <- t.stats.hits + 1
+
 let lookup t ~tag ~va =
   let hit_of e size = { pa = e.pa + (va - e.vbase); prot = e.prot; size } in
-  let find_4k () =
-    let set = t.array_4k.(set_of_4k t va) in
-    let vbase = base_4k va in
-    let n = Array.length set in
-    let rec go i =
-      if i >= n then None
-      else
-        let e = set.(i) in
-        if entry_matches e ~tag ~vbase then begin
-          e.last_use <- tick t;
-          Some (hit_of e Page_table.P4K)
-        end
-        else go (i + 1)
-    in
-    go 0
-  in
-  let find_2m () =
-    let vbase = base_2m va in
-    let n = Array.length t.array_2m in
-    let rec go i =
-      if i >= n then None
-      else
-        let e = t.array_2m.(i) in
-        if entry_matches e ~tag ~vbase then begin
-          e.last_use <- tick t;
-          Some (hit_of e Page_table.P2M)
-        end
-        else go (i + 1)
-    in
-    go 0
-  in
-  match find_4k () with
-  | Some h ->
-    t.stats.hits <- t.stats.hits + 1;
-    Some h
-  | None -> (
-    match find_2m () with
-    | Some h ->
-      t.stats.hits <- t.stats.hits + 1;
-      Some h
-    | None ->
+  let set = t.array_4k.(set_of_4k t va) in
+  let i4 = probe_set set ~tag ~vbase:(base_4k va) in
+  if i4 >= 0 then begin
+    let e = set.(i4) in
+    hit_entry t e;
+    Some (hit_of e Page_table.P4K)
+  end
+  else begin
+    let i2 = probe_set t.array_2m ~tag ~vbase:(base_2m va) in
+    if i2 >= 0 then begin
+      let e = t.array_2m.(i2) in
+      hit_entry t e;
+      Some (hit_of e Page_table.P2M)
+    end
+    else begin
       t.stats.misses <- t.stats.misses + 1;
-      None)
+      None
+    end
+  end
+
+let record_mru t ~tag ~va e size =
+  t.mru_gen <- t.gen;
+  t.mru_tag <- tag;
+  t.mru_vbase <- base_4k va;
+  t.mru_size <- size;
+  t.mru_entry <- e
+
+let mru_matches t ~tag ~va =
+  t.mru_gen = t.gen && t.mru_tag = tag && t.mru_vbase = base_4k va
+
+let lookup_fast t ~tag ~va =
+  if mru_matches t ~tag ~va then begin
+    let e = t.mru_entry in
+    hit_entry t e;
+    Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = t.mru_size }
+  end
+  else begin
+    let set = t.array_4k.(set_of_4k t va) in
+    let i4 = probe_set set ~tag ~vbase:(base_4k va) in
+    if i4 >= 0 then begin
+      let e = set.(i4) in
+      hit_entry t e;
+      record_mru t ~tag ~va e Page_table.P4K;
+      Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P4K }
+    end
+    else begin
+      let i2 = probe_set t.array_2m ~tag ~vbase:(base_2m va) in
+      if i2 >= 0 then begin
+        let e = t.array_2m.(i2) in
+        hit_entry t e;
+        record_mru t ~tag ~va e Page_table.P2M;
+        Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P2M }
+      end
+      else begin
+        t.stats.misses <- t.stats.misses + 1;
+        None
+      end
+    end
+  end
+
+(* Protection check folded in so the machine's hot path needs no [hit]
+   record, no option, and no closure. *)
+let checked_pa ~write ~va e =
+  if if write then e.prot.Prot.write else e.prot.Prot.read then e.pa + (va - e.vbase)
+  else prot_failed
+
+let translate_probe t ~tag ~va ~write =
+  if mru_matches t ~tag ~va then begin
+    let e = t.mru_entry in
+    hit_entry t e;
+    checked_pa ~write ~va e
+  end
+  else begin
+    let set = t.array_4k.(set_of_4k t va) in
+    let i4 = probe_set set ~tag ~vbase:(base_4k va) in
+    if i4 >= 0 then begin
+      let e = set.(i4) in
+      hit_entry t e;
+      record_mru t ~tag ~va e Page_table.P4K;
+      checked_pa ~write ~va e
+    end
+    else begin
+      let i2 = probe_set t.array_2m ~tag ~vbase:(base_2m va) in
+      if i2 >= 0 then begin
+        let e = t.array_2m.(i2) in
+        hit_entry t e;
+        record_mru t ~tag ~va e Page_table.P2M;
+        checked_pa ~write ~va e
+      end
+      else begin
+        t.stats.misses <- t.stats.misses + 1;
+        missed
+      end
+    end
+  end
 
 let victim t entries =
   (* Invalid entry first, else LRU. *)
@@ -134,6 +223,7 @@ let victim t entries =
   entries.(!best)
 
 let fill t e ~tag ~vbase ~pa ~prot ~global =
+  dirty t;
   e.valid <- true;
   e.vbase <- vbase;
   e.tag <- tag;
@@ -151,14 +241,14 @@ let insert t ~tag ~va ~pa ~prot ~size ~global =
     let pa = Size.round_down pa ~align:Addr.page_size in
     let set = t.array_4k.(set_of_4k t va) in
     (* Refresh in place if already present (same page, same tag). *)
-    let existing = Array.find_opt (fun e -> entry_matches e ~tag ~vbase) set in
-    let e = match existing with Some e -> e | None -> victim t set in
+    let i = probe_set set ~tag ~vbase in
+    let e = if i >= 0 then set.(i) else victim t set in
     fill t e ~tag ~vbase ~pa ~prot ~global
   | Page_table.P2M ->
     let vbase = base_2m va in
     let pa = Size.round_down pa ~align:(Size.mib 2) in
-    let existing = Array.find_opt (fun e -> entry_matches e ~tag ~vbase) t.array_2m in
-    let e = match existing with Some e -> e | None -> victim t t.array_2m in
+    let i = probe_set t.array_2m ~tag ~vbase in
+    let e = if i >= 0 then t.array_2m.(i) else victim t t.array_2m in
     fill t e ~tag ~vbase ~pa ~prot ~global
 
 let iter_entries t f =
@@ -166,6 +256,7 @@ let iter_entries t f =
   Array.iter f t.array_2m
 
 let flush_where t pred =
+  dirty t;
   t.stats.flushes <- t.stats.flushes + 1;
   iter_entries t (fun e ->
       if e.valid && pred e then begin
@@ -178,8 +269,19 @@ let flush_all t = flush_where t (fun _ -> true)
 let flush_tag t ~tag = flush_where t (fun e -> (not e.global) && e.tag = tag)
 
 let invalidate_page t ~va =
+  dirty t;
   let v4 = base_4k va and v2 = base_2m va in
-  iter_entries t (fun e -> if e.valid && (e.vbase = v4 || e.vbase = v2) then e.valid <- false)
+  let kill e = if e.valid && (e.vbase = v4 || e.vbase = v2) then e.valid <- false in
+  (* A 4 KiB entry for [v4] can only live in [v4]'s set; the only other
+     4 KiB base the predicate can match is [v2] (a 2 MiB base is itself
+     page-aligned), which can only live in [v2]'s set. Every other 4 KiB
+     set is provably unaffected, so skip it. The small 2 MiB array is
+     scanned in full. *)
+  let s4 = set_of_4k t v4 in
+  Array.iter kill t.array_4k.(s4);
+  let s2 = set_of_4k t v2 in
+  if s2 <> s4 then Array.iter kill t.array_4k.(s2);
+  Array.iter kill t.array_2m
 
 let occupancy t =
   let n = ref 0 in

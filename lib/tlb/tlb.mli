@@ -47,6 +47,21 @@ val max_tag : t -> int
 val lookup : t -> tag:int -> va:int -> hit option
 (** Probe under ASID [tag]. Global entries hit regardless of tag. *)
 
+val lookup_fast : t -> tag:int -> va:int -> hit option
+(** Observably identical to {!lookup} (same result, same stats, same
+    LRU updates) but consults a host-side single-entry MRU cache keyed
+    on [(tag, 4 KiB page)] before scanning the arrays. The MRU record
+    carries a generation stamp and is discarded whenever any fill,
+    flush or invalidation touches the arrays, so a hit is provably the
+    entry the full scan would have found. *)
+
+val translate_probe : t -> tag:int -> va:int -> write:bool -> int
+(** Allocation-free variant of {!lookup_fast} for the machine's hot
+    path: returns the translated physical address with the protection
+    check folded in, [-1] on a TLB miss, or [-2] when the resident
+    entry forbids the access ([write] selects which permission is
+    required). Stats and LRU effects are identical to {!lookup}. *)
+
 val insert :
   t -> tag:int -> va:int -> pa:int -> prot:Sj_paging.Prot.t ->
   size:Sj_paging.Page_table.page_size -> global:bool -> unit

@@ -1,0 +1,344 @@
+(* Fast-path equivalence oracle.
+
+   The machine's host-side fast path (per-core MRU translation cache,
+   software page-walk cache, batched bulk accesses) must be *bit-identical*
+   to the slow path: same data, same simulated cycles, same TLB and
+   page-table statistics. These tests drive two machines -- one created
+   with ~fast:true, one with ~fast:false -- through identical random
+   programs of map / unmap / protect / switch / access / flush operations
+   and fail on the first divergence. *)
+open Sj_util
+open Sj_machine
+module Core = Machine.Core
+module Pm = Sj_mem.Phys_mem
+module Page_table = Sj_paging.Page_table
+module Prot = Sj_paging.Prot
+module Tlb = Sj_tlb.Tlb
+
+let tiny : Platform.t =
+  {
+    Platform.m2 with
+    name = "tiny";
+    mem_size = Size.mib 64;
+    sockets = 2;
+    cores_per_socket = 2;
+  }
+
+(* The VA pool: [n_slots] regions of 4 pages each, plus one 2 MiB slot. *)
+let n_slots = 6
+let slot_pages = 4
+let slot_bytes = slot_pages * Addr.page_size
+let slot_base s = 0x4000_0000 + (s * 0x10000)
+let huge_base = 0x8000_0000
+
+type op =
+  | Map of int * bool * bool (* slot, writable, global *)
+  | Unmap of int
+  | Protect of int * bool (* slot, writable *)
+  | Switch of int (* TLB tag 0..3 *)
+  | Load8 of int * int (* slot, offset *)
+  | Store8 of int * int * int
+  | Load64 of int * int
+  | Load_bytes of int * int * int (* slot, offset, len *)
+  | Store_bytes of int * int * int
+  | Memset of int * int * int * int (* slot, offset, len, byte *)
+  | Memcpy of int * int * int * int * int (* dst slot/off, src slot/off, len *)
+  | Touch of int * int * bool (* slot, offset, write *)
+  | Huge_map
+  | Huge_load of int (* offset within the 2 MiB page *)
+  | Inval_page of int * int (* slot, page *)
+  | Flush_nonglobal
+  | Flush_tag of int
+
+let op_to_string = function
+  | Map (s, w, g) -> Printf.sprintf "Map(%d,w=%b,g=%b)" s w g
+  | Unmap s -> Printf.sprintf "Unmap(%d)" s
+  | Protect (s, w) -> Printf.sprintf "Protect(%d,w=%b)" s w
+  | Switch t -> Printf.sprintf "Switch(%d)" t
+  | Load8 (s, o) -> Printf.sprintf "Load8(%d,%d)" s o
+  | Store8 (s, o, v) -> Printf.sprintf "Store8(%d,%d,%d)" s o v
+  | Load64 (s, o) -> Printf.sprintf "Load64(%d,%d)" s o
+  | Load_bytes (s, o, l) -> Printf.sprintf "Load_bytes(%d,%d,%d)" s o l
+  | Store_bytes (s, o, l) -> Printf.sprintf "Store_bytes(%d,%d,%d)" s o l
+  | Memset (s, o, l, b) -> Printf.sprintf "Memset(%d,%d,%d,%d)" s o l b
+  | Memcpy (d, dof, s, sof, l) -> Printf.sprintf "Memcpy(%d.%d<-%d.%d,%d)" d dof s sof l
+  | Touch (s, o, w) -> Printf.sprintf "Touch(%d,%d,w=%b)" s o w
+  | Huge_map -> "Huge_map"
+  | Huge_load o -> Printf.sprintf "Huge_load(%d)" o
+  | Inval_page (s, p) -> Printf.sprintf "Inval_page(%d,%d)" s p
+  | Flush_nonglobal -> "Flush_nonglobal"
+  | Flush_tag t -> Printf.sprintf "Flush_tag(%d)" t
+
+type outcome =
+  | R_unit
+  | R_int of int
+  | R_i64 of int64
+  | R_bytes of string
+  | R_fault of string
+
+type state = {
+  m : Machine.t;
+  core : Core.core;
+  pt : Page_table.t;
+  mapped : bool array; (* shadow: which slots hold a mapping *)
+  mutable huge_mapped : bool;
+}
+
+let make_state ~fast =
+  let m = Machine.create ~fast tiny in
+  let pt = Page_table.create (Machine.mem m) in
+  let core = Machine.core m 0 in
+  Core.set_page_table core ~tag:1 (Some pt);
+  { m; core; pt; mapped = Array.make n_slots false; huge_mapped = false }
+
+(* Run one op, catching faults as comparable outcomes. Ops that would
+   corrupt the shadow (double map, unmap of unmapped) are skipped
+   deterministically, so both machines always see the same sequence. *)
+let exec st op =
+  try
+    match op with
+    | Map (s, w, g) ->
+      if st.mapped.(s) then R_unit
+      else begin
+        let frames = Pm.alloc_frames (Machine.mem st.m) ~n:slot_pages in
+        let prot = if w then Prot.rw else Prot.r in
+        Array.iteri
+          (fun i f ->
+            Page_table.map ~global:g st.pt
+              ~va:(slot_base s + (i * Addr.page_size))
+              ~pa:(Pm.base_of_frame f) ~prot ~size:Page_table.P4K)
+          frames;
+        st.mapped.(s) <- true;
+        R_unit
+      end
+    | Unmap s ->
+      if not st.mapped.(s) then R_unit
+      else begin
+        Page_table.unmap_range st.pt ~va:(slot_base s) ~pages:slot_pages;
+        (* Shootdown so stale entries cannot reach freed frames; frames
+           are intentionally leaked to keep allocation order in
+           lockstep across both machines. *)
+        for i = 0 to slot_pages - 1 do
+          Tlb.invalidate_page (Core.tlb st.core) ~va:(slot_base s + (i * Addr.page_size))
+        done;
+        st.mapped.(s) <- false;
+        R_unit
+      end
+    | Protect (s, w) ->
+      if not st.mapped.(s) then R_unit
+      else begin
+        let prot = if w then Prot.rw else Prot.r in
+        for i = 0 to slot_pages - 1 do
+          Page_table.protect st.pt
+            ~va:(slot_base s + (i * Addr.page_size))
+            ~size:Page_table.P4K ~prot
+        done;
+        (* No TLB shootdown: stale protections must diverge identically
+           (or not at all) on both paths. *)
+        R_unit
+      end
+    | Switch tag ->
+      Core.set_page_table st.core ~tag (Some st.pt);
+      R_unit
+    | Load8 (s, o) -> R_int (Core.load8 st.core ~va:(slot_base s + o))
+    | Store8 (s, o, v) ->
+      Core.store8 st.core ~va:(slot_base s + o) v;
+      R_unit
+    | Load64 (s, o) -> R_i64 (Core.load64 st.core ~va:(slot_base s + min o (slot_bytes - 8)))
+    | Load_bytes (s, o, l) ->
+      let l = max 1 (min l (slot_bytes - o)) in
+      R_bytes (Bytes.to_string (Core.load_bytes st.core ~va:(slot_base s + o) ~len:l))
+    | Store_bytes (s, o, l) ->
+      let l = max 1 (min l (slot_bytes - o)) in
+      let data = Bytes.init l (fun i -> Char.chr ((i * 31) + o land 0xff)) in
+      Core.store_bytes st.core ~va:(slot_base s + o) data;
+      R_unit
+    | Memset (s, o, l, b) ->
+      let l = max 1 (min l (slot_bytes - o)) in
+      Core.memset st.core ~va:(slot_base s + o) ~len:l (Char.chr b);
+      R_unit
+    | Memcpy (d, dof, s, sof, l) ->
+      let l = max 1 (min l (min (slot_bytes - dof) (slot_bytes - sof))) in
+      Core.memcpy st.core ~dst:(slot_base d + dof) ~src:(slot_base s + sof) ~len:l;
+      R_unit
+    | Touch (s, o, w) ->
+      Core.touch st.core ~va:(slot_base s + o)
+        ~access:(if w then Machine.Write else Machine.Read);
+      R_unit
+    | Huge_map ->
+      if st.huge_mapped then R_unit
+      else begin
+        let frames =
+          Pm.alloc_frames_contiguous ~align:512 (Machine.mem st.m) ~n:512
+        in
+        Page_table.map st.pt ~va:huge_base
+          ~pa:(Pm.base_of_frame frames.(0))
+          ~prot:Prot.rw ~size:Page_table.P2M;
+        st.huge_mapped <- true;
+        R_unit
+      end
+    | Huge_load o -> R_int (Core.load8 st.core ~va:(huge_base + o))
+    | Inval_page (s, p) ->
+      Tlb.invalidate_page (Core.tlb st.core) ~va:(slot_base s + (p * Addr.page_size));
+      R_unit
+    | Flush_nonglobal ->
+      Tlb.flush_nonglobal (Core.tlb st.core);
+      R_unit
+    | Flush_tag tag ->
+      Tlb.flush_tag (Core.tlb st.core) ~tag;
+      R_unit
+  with
+  | Machine.Page_fault { va; access } ->
+    R_fault
+      (Printf.sprintf "page:%x:%s" va
+         (match access with Machine.Read -> "r" | Machine.Write -> "w"))
+  | Machine.Protection_fault { va; access } ->
+    R_fault
+      (Printf.sprintf "prot:%x:%s" va
+         (match access with Machine.Read -> "r" | Machine.Write -> "w"))
+  | Invalid_argument msg -> R_fault ("invalid:" ^ msg)
+
+let check_tlb_stats ctx (a : Tlb.stats) (b : Tlb.stats) =
+  if
+    a.hits <> b.hits || a.misses <> b.misses || a.insertions <> b.insertions
+    || a.evictions <> b.evictions || a.flushes <> b.flushes
+    || a.flushed_entries <> b.flushed_entries
+  then
+    QCheck.Test.fail_reportf
+      "%s: TLB stats diverge: fast h=%d m=%d i=%d e=%d f=%d fe=%d / slow h=%d m=%d i=%d e=%d f=%d fe=%d"
+      ctx a.hits a.misses a.insertions a.evictions a.flushes a.flushed_entries b.hits
+      b.misses b.insertions b.evictions b.flushes b.flushed_entries
+
+let check_pt_stats ctx (a : Page_table.stats) (b : Page_table.stats) =
+  if
+    a.tables_allocated <> b.tables_allocated || a.tables_freed <> b.tables_freed
+    || a.pte_writes <> b.pte_writes || a.pte_clears <> b.pte_clears
+  then QCheck.Test.fail_reportf "%s: page-table stats diverge" ctx
+
+(* Run [ops] on a fast and a slow machine in lockstep, comparing the
+   outcome and cycle clock after every step and all stats at the end. *)
+let run_both ops =
+  let fast = make_state ~fast:true in
+  let slow = make_state ~fast:false in
+  List.iteri
+    (fun i op ->
+      let a = exec fast op in
+      let b = exec slow op in
+      if a <> b then
+        QCheck.Test.fail_reportf "op %d (%s): outcomes diverge" i (op_to_string op);
+      let ca = Core.cycles fast.core and cb = Core.cycles slow.core in
+      if ca <> cb then
+        QCheck.Test.fail_reportf "op %d (%s): cycles diverge fast=%d slow=%d" i
+          (op_to_string op) ca cb)
+    ops;
+  check_tlb_stats "end" (Tlb.stats (Core.tlb fast.core)) (Tlb.stats (Core.tlb slow.core));
+  check_pt_stats "end" (Page_table.stats fast.pt) (Page_table.stats slow.pt);
+  true
+
+let gen_op =
+  let open QCheck.Gen in
+  let slot = int_bound (n_slots - 1) in
+  let off = int_bound (slot_bytes - 1) in
+  let len = int_bound 9000 in
+  frequency
+    [
+      (4, map3 (fun s w g -> Map (s, w, g)) slot bool bool);
+      (2, map (fun s -> Unmap s) slot);
+      (2, map2 (fun s w -> Protect (s, w)) slot bool);
+      (2, map (fun t -> Switch t) (int_bound 3));
+      (4, map2 (fun s o -> Load8 (s, o)) slot off);
+      (4, map3 (fun s o v -> Store8 (s, o, v)) slot off (int_bound 255));
+      (2, map2 (fun s o -> Load64 (s, o)) slot off);
+      (4, map3 (fun s o l -> Load_bytes (s, o, l)) slot off len);
+      (4, map3 (fun s o l -> Store_bytes (s, o, l)) slot off len);
+      ( 3,
+        map3
+          (fun s (o, l) b -> Memset (s, o, l, b))
+          slot (pair off len) (int_bound 255) );
+      ( 3,
+        map3
+          (fun (d, dof) (s, sof) l -> Memcpy (d, dof, s, sof, l))
+          (pair slot off) (pair slot off) len );
+      (2, map3 (fun s o w -> Touch (s, o, w)) slot off bool);
+      (1, return Huge_map);
+      (2, map (fun o -> Huge_load o) (int_bound ((Size.mib 2) - 1)));
+      (1, map2 (fun s p -> Inval_page (s, p)) slot (int_bound (slot_pages - 1)));
+      (1, return Flush_nonglobal);
+      (1, map (fun t -> Flush_tag t) (int_bound 3));
+    ]
+
+let arb_program =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+    QCheck.Gen.(list_size (int_range 20 80) gen_op)
+
+let prop_fast_slow_equivalent =
+  QCheck.Test.make ~name:"fast and slow paths are bit-identical" ~count:40 arb_program
+    run_both
+
+(* Deterministic regressions for the trickiest corners. *)
+
+let test_page_crossing_bulk () =
+  Alcotest.(check bool) "bulk ops crossing pages" true
+    (run_both
+       [
+         Map (0, true, false);
+         Store_bytes (0, Addr.page_size - 100, 300);
+         Load_bytes (0, Addr.page_size - 100, 300);
+         Memset (0, Addr.page_size - 7, 20, 0xAB);
+         Load_bytes (0, 0, slot_bytes);
+         Load64 (0, Addr.page_size - 4);
+       ])
+
+let test_overlapping_memcpy () =
+  Alcotest.(check bool) "overlapping memcpy" true
+    (run_both
+       [
+         Map (1, true, false);
+         Store_bytes (1, 0, 9000);
+         Memcpy (1, 100, 1, 0, 8192); (* forward overlap across chunks *)
+         Load_bytes (1, 0, slot_bytes);
+         Memcpy (1, 0, 1, 50, 5000); (* backward overlap *)
+         Load_bytes (1, 0, slot_bytes);
+       ])
+
+let test_protection_change_equivalent () =
+  Alcotest.(check bool) "stale-TLB protection behaviour identical" true
+    (run_both
+       [
+         Map (2, true, false);
+         Store8 (2, 10, 42);
+         Protect (2, false);
+         Store8 (2, 10, 43); (* stale writable TLB entry or prot fault -- same on both *)
+         Flush_nonglobal;
+         Store8 (2, 10, 44); (* now must fault on both *)
+         Load8 (2, 10);
+       ])
+
+let test_huge_page_equivalent () =
+  Alcotest.(check bool) "2 MiB mappings identical" true
+    (run_both
+       [
+         Huge_map;
+         Huge_load 0;
+         Huge_load 123456;
+         Huge_load ((Size.mib 2) - 1);
+         Map (3, true, false);
+         Load8 (3, 0);
+         Huge_load 77;
+       ])
+
+let test_unmapped_faults_equivalent () =
+  Alcotest.(check bool) "page faults identical" true
+    (run_both
+       [ Load8 (4, 0); Map (4, false, false); Load8 (4, 0); Store8 (4, 0, 1); Unmap 4; Load8 (4, 0) ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_fast_slow_equivalent;
+    Alcotest.test_case "page-crossing bulk ops" `Quick test_page_crossing_bulk;
+    Alcotest.test_case "overlapping memcpy" `Quick test_overlapping_memcpy;
+    Alcotest.test_case "protection changes" `Quick test_protection_change_equivalent;
+    Alcotest.test_case "2 MiB pages" `Quick test_huge_page_equivalent;
+    Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults_equivalent;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("paging", Test_paging.suite);
       ("tlb", Test_tlb.suite);
       ("machine", Test_machine.suite);
+      ("fastpath", Test_fastpath.suite);
       ("kernel", Test_kernel.suite);
       ("alloc", Test_alloc.suite);
       ("core", Test_core.suite);
