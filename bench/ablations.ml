@@ -26,14 +26,14 @@ let tlb_tags () =
         ("MUPS (tagged)", Table.Right); ("TLB miss/s untagged", Table.Right);
         ("TLB miss/s tagged", Table.Right) ]
   in
-  List.iter
-    (fun windows ->
-      let cfg tags =
-        { Gups.default_config with windows; window_size = Size.mib 16; window_visits = 300; tags }
-      in
-      let off = Gups.run (cfg false) ~design:Gups.Spacejmp in
-      let on = Gups.run (cfg true) ~design:Gups.Spacejmp in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun windows ->
+        let cfg tags =
+          { Gups.default_config with windows; window_size = Size.mib 16; window_visits = 300; tags }
+        in
+        let off = Gups.run (cfg false) ~design:Gups.Spacejmp in
+        let on = Gups.run (cfg true) ~design:Gups.Spacejmp in
         [
           string_of_int windows;
           Table.cell_float off.Gups.mups;
@@ -41,7 +41,9 @@ let tlb_tags () =
           Table.cell_int (int_of_float off.Gups.tlb_misses_per_sec);
           Table.cell_int (int_of_float on.Gups.tlb_misses_per_sec);
         ])
-    [ 1; 2; 4; 8; 16 ];
+      [ 1; 2; 4; 8; 16 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let translation_cache () =
@@ -57,30 +59,32 @@ let translation_cache () =
         ("speedup", Table.Right);
       ]
   in
-  List.iter
-    (fun size ->
-      let _, _, ctx = fresh_system () in
-      let core = Api.core ctx in
-      let v1 = Api.vas_create ctx ~name:"nc" ~mode:0o600 in
-      let v2 = Api.vas_create ctx ~name:"c" ~mode:0o600 in
-      let seg = Api.seg_alloc_anywhere ctx ~name:"seg" ~size ~mode:0o600 in
-      Api.seg_attach ctx v1 seg ~prot:Prot.rw;
-      Api.seg_attach ctx v2 seg ~prot:Prot.rw;
-      let c0 = Core.cycles core in
-      let _vh1 = Api.vas_attach ctx v1 in
-      let cold = Core.cycles core - c0 in
-      Api.seg_ctl ctx (`Cache_translations seg);
-      let c1 = Core.cycles core in
-      let _vh2 = Api.vas_attach ctx v2 in
-      let cached = Core.cycles core - c1 in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun size ->
+        let _, _, ctx = fresh_system () in
+        let core = Api.core ctx in
+        let v1 = Api.vas_create ctx ~name:"nc" ~mode:0o600 in
+        let v2 = Api.vas_create ctx ~name:"c" ~mode:0o600 in
+        let seg = Api.seg_alloc_anywhere ctx ~name:"seg" ~size ~mode:0o600 in
+        Api.seg_attach ctx v1 seg ~prot:Prot.rw;
+        Api.seg_attach ctx v2 seg ~prot:Prot.rw;
+        let c0 = Core.cycles core in
+        let _vh1 = Api.vas_attach ctx v1 in
+        let cold = Core.cycles core - c0 in
+        Api.seg_ctl ctx (`Cache_translations seg);
+        let c1 = Core.cycles core in
+        let _vh2 = Api.vas_attach ctx v2 in
+        let cached = Core.cycles core - c1 in
         [
           Size.to_string size;
           Table.cell_int cold;
           Table.cell_int cached;
           Printf.sprintf "%.1fx" (float_of_int cold /. float_of_int cached);
         ])
-    [ Size.mib 16; Size.mib 64; Size.mib 256; Size.gib 1 ];
+      [ Size.mib 16; Size.mib 64; Size.mib 256; Size.gib 1 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let lock_design () =
@@ -95,18 +99,20 @@ let lock_design () =
         ("mutex GET/s", Table.Right);
       ]
   in
-  List.iter
-    (fun clients ->
-      let base = { Kv.default_config with clients } in
-      let rw = Kv.run base in
-      let mutex = Kv.run { base with force_exclusive = true } in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun clients ->
+        let base = { Kv.default_config with clients } in
+        let rw = Kv.run base in
+        let mutex = Kv.run { base with force_exclusive = true } in
         [
           string_of_int clients;
           Table.cell_int (int_of_float rw.Kv.throughput);
           Table.cell_int (int_of_float mutex.Kv.throughput);
         ])
-    [ 1; 2; 4; 8; 12 ];
+      [ 1; 2; 4; 8; 12 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let page_size () =
@@ -122,8 +128,9 @@ let page_size () =
       ]
   in
   let platform = Sj_machine.Platform.m2 in
-  List.iter
-    (fun size ->
+  let rows =
+    par_map
+      (fun size ->
       let machine = Machine.create platform in
       let core = Machine.core machine 0 in
       let pt = Page_table.create (Machine.mem machine) in
@@ -157,13 +164,14 @@ let page_size () =
               ~pa:(i * Size.mib 2) ~prot:Prot.rw ~size:Page_table.P2M
           done);
       let huge = Core.cycles core - c1 in
-      Table.add_row t
-        [
-          Size.to_string size;
-          Table.cell_float ~decimals:4 (ms_of_cycles platform small);
-          Table.cell_float ~decimals:4 (ms_of_cycles platform huge);
-        ])
-    [ Size.mib 64; Size.mib 256; Size.gib 1 ];
+      [
+        Size.to_string size;
+        Table.cell_float ~decimals:4 (ms_of_cycles platform small);
+        Table.cell_float ~decimals:4 (ms_of_cycles platform huge);
+      ])
+      [ Size.mib 64; Size.mib 256; Size.gib 1 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let snapshot_vs_copy () =
@@ -180,33 +188,35 @@ let snapshot_vs_copy () =
         ("first write to a page [cyc]", Table.Right);
       ]
   in
-  List.iter
-    (fun size ->
-      let _, _, ctx = fresh_system () in
-      let core = Api.core ctx in
-      let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
-      let seg = Api.seg_alloc_anywhere ctx ~name:"data" ~size ~mode:0o600 in
-      Api.seg_attach ctx vas seg ~prot:Prot.rw;
-      let vh = Api.vas_attach ctx vas in
-      let c0 = Core.cycles core in
-      let _clone = Api.seg_clone ctx seg ~name:"clone" in
-      let clone_cost = Core.cycles core - c0 in
-      let c1 = Core.cycles core in
-      let _snap = Api.seg_snapshot ctx seg ~name:"snap" in
-      let snap_cost = Core.cycles core - c1 in
-      Api.vas_switch ctx vh;
-      let c2 = Core.cycles core in
-      Api.store64 ctx ~va:(Segment.base seg) 1L;
-      let write_cost = Core.cycles core - c2 in
-      Api.switch_home ctx;
-      Table.add_row t
+  let rows =
+    par_map
+      (fun size ->
+        let _, _, ctx = fresh_system () in
+        let core = Api.core ctx in
+        let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+        let seg = Api.seg_alloc_anywhere ctx ~name:"data" ~size ~mode:0o600 in
+        Api.seg_attach ctx vas seg ~prot:Prot.rw;
+        let vh = Api.vas_attach ctx vas in
+        let c0 = Core.cycles core in
+        let _clone = Api.seg_clone ctx seg ~name:"clone" in
+        let clone_cost = Core.cycles core - c0 in
+        let c1 = Core.cycles core in
+        let _snap = Api.seg_snapshot ctx seg ~name:"snap" in
+        let snap_cost = Core.cycles core - c1 in
+        Api.vas_switch ctx vh;
+        let c2 = Core.cycles core in
+        Api.store64 ctx ~va:(Segment.base seg) 1L;
+        let write_cost = Core.cycles core - c2 in
+        Api.switch_home ctx;
         [
           Size.to_string size;
           Table.cell_int clone_cost;
           Table.cell_int snap_cost;
           Table.cell_int write_cost;
         ])
-    [ Size.mib 4; Size.mib 16; Size.mib 64 ];
+      [ Size.mib 4; Size.mib 16; Size.mib 64 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let memory_tiers () =
@@ -217,9 +227,9 @@ let memory_tiers () =
     Table.create
       [ ("window tier", Table.Left); ("cycles / update", Table.Right); ("MUPS", Table.Right) ]
   in
-  List.iter
-    (fun (label, tier) ->
-      Sj_kernel.Layout.reset_global_allocator ();
+  let rows =
+    par_map
+      (fun (label, tier) ->
       let platform =
         Sj_machine.Platform.with_capacity_tier Sj_machine.Platform.m3 ~size:(Size.gib 4)
       in
@@ -245,13 +255,14 @@ let memory_tiers () =
       let seconds =
         Sj_machine.Cost_model.cycles_to_seconds (Machine.cost machine) cycles
       in
-      Table.add_row t
-        [
-          label;
-          Table.cell_int (cycles / updates);
-          Table.cell_float (float_of_int updates /. seconds /. 1e6);
-        ])
-    [ ("performance (DRAM)", `Performance); ("capacity (NVM-class)", `Capacity) ];
+      [
+        label;
+        Table.cell_int (cycles / updates);
+        Table.cell_float (float_of_int updates /. seconds /. 1e6);
+      ])
+      [ ("performance (DRAM)", `Performance); ("capacity (NVM-class)", `Capacity) ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let window_scaling () =
@@ -270,15 +281,15 @@ let window_scaling () =
         ("SpaceJMP/MP", Table.Right);
       ]
   in
-  List.iter
-    (fun window_size ->
-      let cfg =
-        { Gups.default_config with windows = 8; window_size; window_visits = 200 }
-      in
-      let sj = Gups.run cfg ~design:Gups.Spacejmp in
-      let mp = Gups.run cfg ~design:Gups.Mp in
-      let map = Gups.run cfg ~design:Gups.Map in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun window_size ->
+        let cfg =
+          { Gups.default_config with windows = 8; window_size; window_visits = 200 }
+        in
+        let sj = Gups.run cfg ~design:Gups.Spacejmp in
+        let mp = Gups.run cfg ~design:Gups.Mp in
+        let map = Gups.run cfg ~design:Gups.Map in
         [
           Size.to_string window_size;
           Table.cell_float sj.Gups.mups;
@@ -286,7 +297,9 @@ let window_scaling () =
           Table.cell_float map.Gups.mups;
           Printf.sprintf "%.2fx" (sj.Gups.mups /. mp.Gups.mups);
         ])
-    [ Size.mib 4; Size.mib 16; Size.mib 64 ];
+      [ Size.mib 4; Size.mib 16; Size.mib 64 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let region_queries () =
@@ -396,6 +409,8 @@ let region_queries () =
     ];
   Table.print t
 
+(* region_queries stays serial: its designs share one machine/core so
+   cycle counts compose; splitting it would change the measurement. *)
 let run () =
   window_scaling ();
   tlb_tags ();

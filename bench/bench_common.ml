@@ -12,7 +12,6 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
 
 (* A fresh machine + booted system + one process context on core 0. *)
 let fresh_system ?(platform = Platform.m2) ?(backend = Sj_core.Api.Dragonfly) () =
-  Sj_kernel.Layout.reset_global_allocator ();
   let machine = Machine.create platform in
   let sys = Sj_core.Api.boot ~backend machine in
   let proc = Sj_kernel.Process.create ~name:"bench" machine in
@@ -23,3 +22,25 @@ let ms_of_cycles platform cycles =
   Cost_model.cycles_to_ms (platform : Platform.t).cost cycles
 
 let pow2_label bytes = Printf.sprintf "2^%d" (Size.log2 bytes)
+
+(* ---- domain parallelism for the experiment drivers ----
+
+   Experiments fan independent trials (each builds its own machine, so
+   each carries its own Sim_ctx) across one shared pool and then emit
+   rows serially, in trial order — so the printed tables are
+   byte-identical to a serial run no matter what -j is. *)
+
+let jobs = ref 1
+let pool_cell = ref None
+
+let pool () =
+  match !pool_cell with
+  | Some p -> p
+  | None ->
+    let p = Par.create ~size:!jobs () in
+    pool_cell := Some p;
+    p
+
+(* Order-preserving parallel map; with -j 1 this runs inline on the
+   submitting domain (Par's size-1 pool spawns no domains at all). *)
+let par_map f xs = Par.map_list (pool ()) f xs

@@ -80,8 +80,11 @@ let run () =
         ("clean runs", Table.Right);
       ]
   in
-  List.iter
-    (fun switch_pct ->
+  (* Each density owns its RNG (seeded by the density), so batches fan
+     across the pool without sharing any state. *)
+  let rows =
+    par_map
+      (fun switch_pct ->
       let rng = Rng.create ~seed:(1000 + switch_pct) in
       let programs = 300 in
       let mem_ops = ref 0 and elided = ref 0 and checks = ref 0 in
@@ -101,17 +104,18 @@ let run () =
         | Interp.Faulted _ -> failwith "instrumented program faulted"
         | Interp.Out_of_fuel -> ()
       done;
-      Table.add_row t
-        [
-          Printf.sprintf "%d%%" switch_pct;
-          Table.cell_int programs;
-          Table.cell_int !mem_ops;
-          Table.cell_int !elided;
-          Printf.sprintf "%.0f%%" (100.0 *. float_of_int !elided /. float_of_int (max 1 !mem_ops));
-          Table.cell_int !checks;
-          Table.cell_int !rce;
-          Table.cell_int !trapped;
-          Table.cell_int !clean;
-        ])
-    [ 0; 5; 15; 30; 50 ];
+      [
+        Printf.sprintf "%d%%" switch_pct;
+        Table.cell_int programs;
+        Table.cell_int !mem_ops;
+        Table.cell_int !elided;
+        Printf.sprintf "%.0f%%" (100.0 *. float_of_int !elided /. float_of_int (max 1 !mem_ops));
+        Table.cell_int !checks;
+        Table.cell_int !rce;
+        Table.cell_int !trapped;
+        Table.cell_int !clean;
+      ])
+      [ 0; 5; 15; 30; 50 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t

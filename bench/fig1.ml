@@ -30,29 +30,31 @@ let run () =
   (* 32 KiB .. 1 GiB on the simulated machine (larger sizes scale
      linearly by construction; see EXPERIMENTS.md). *)
   let sizes = List.init 16 (fun i -> 1 lsl (15 + i)) in
-  List.iter
-    (fun size ->
-      let machine = Machine.create platform in
-      let core = Machine.core machine 0 in
-      let vms = Vmspace.create machine ~charge_to:None in
-      Core.set_page_table core (Some (Vmspace.page_table vms));
-      let base = Size.gib 2 in
-      (* Uncached: object allocation (zeroing) + mapping. *)
-      let c0 = Core.cycles core in
-      let obj = Vm_object.create machine ~size ~charge_to:(Some core) in
-      Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
-      let map_cold = Core.cycles core - c0 in
-      let c1 = Core.cycles core in
-      Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
-      let unmap_cold = Core.cycles core - c1 in
-      (* Cached: the object (page cache) already exists. *)
-      let c2 = Core.cycles core in
-      Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
-      let map_cached = Core.cycles core - c2 in
-      let c3 = Core.cycles core in
-      Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
-      let unmap_cached = Core.cycles core - c3 in
-      Table.add_row t
+  (* Each size simulates its own machine, so the trials fan across the
+     domain pool; rows come back in size order. *)
+  let rows =
+    par_map
+      (fun size ->
+        let machine = Machine.create platform in
+        let core = Machine.core machine 0 in
+        let vms = Vmspace.create machine ~charge_to:None in
+        Core.set_page_table core (Some (Vmspace.page_table vms));
+        let base = Size.gib 2 in
+        (* Uncached: object allocation (zeroing) + mapping. *)
+        let c0 = Core.cycles core in
+        let obj = Vm_object.create machine ~size ~charge_to:(Some core) in
+        Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
+        let map_cold = Core.cycles core - c0 in
+        let c1 = Core.cycles core in
+        Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
+        let unmap_cold = Core.cycles core - c1 in
+        (* Cached: the object (page cache) already exists. *)
+        let c2 = Core.cycles core in
+        Vmspace.map_object vms ~charge_to:(Some core) ~base ~prot:Prot.rw obj;
+        let map_cached = Core.cycles core - c2 in
+        let c3 = Core.cycles core in
+        Vmspace.unmap_region vms ~charge_to:(Some core) ~base;
+        let unmap_cached = Core.cycles core - c3 in
         [
           Printf.sprintf "%s (%s)" (pow2_label size) (Size.to_string size);
           Table.cell_float ~decimals:4 (ms_of_cycles platform map_cold);
@@ -60,5 +62,7 @@ let run () =
           Table.cell_float ~decimals:4 (ms_of_cycles platform map_cached);
           Table.cell_float ~decimals:4 (ms_of_cycles platform unmap_cached);
         ])
-    sizes;
+      sizes
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t

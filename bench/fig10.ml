@@ -31,13 +31,15 @@ let run () =
         ("Redis", Table.Right);
       ]
   in
-  List.iter
-    (fun clients ->
-      let rj = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = false }) in
-      let rjt = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = true }) in
-      let r6 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 6 }) in
-      let r1 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 1 }) in
-      Table.add_row t
+  (* Every Kv_sim.run simulates a fresh machine, so client counts fan
+     across the pool (four store variants per task). *)
+  let rows =
+    par_map
+      (fun clients ->
+        let rj = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = false }) in
+        let rjt = run_mode ~clients ~set_fraction:0.0 (Kv.Redisjmp { tags = true }) in
+        let r6 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 6 }) in
+        let r1 = run_mode ~clients ~set_fraction:0.0 (Kv.Redis { instances = 1 }) in
         [
           string_of_int clients;
           Table.cell_int (int_of_float rj.Kv.throughput);
@@ -45,7 +47,9 @@ let run () =
           Table.cell_int (int_of_float r6.Kv.throughput);
           Table.cell_int (int_of_float r1.Kv.throughput);
         ])
-    client_counts;
+      client_counts
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t;
 
   section "Figure 10b: SET throughput vs clients (M1)";
@@ -53,17 +57,19 @@ let run () =
     Table.create ~title:"requests/second"
       [ ("clients", Table.Right); ("RedisJMP", Table.Right); ("Redis", Table.Right) ]
   in
-  List.iter
-    (fun clients ->
-      let rj = run_mode ~clients ~set_fraction:1.0 (Kv.Redisjmp { tags = false }) in
-      let r1 = run_mode ~clients ~set_fraction:1.0 (Kv.Redis { instances = 1 }) in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun clients ->
+        let rj = run_mode ~clients ~set_fraction:1.0 (Kv.Redisjmp { tags = false }) in
+        let r1 = run_mode ~clients ~set_fraction:1.0 (Kv.Redis { instances = 1 }) in
         [
           string_of_int clients;
           Table.cell_int (int_of_float rj.Kv.throughput);
           Table.cell_int (int_of_float r1.Kv.throughput);
         ])
-    client_counts;
+      client_counts
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t;
 
   section "Figure 10c: throughput vs SET fraction (12 clients, M1)";
@@ -75,18 +81,20 @@ let run () =
         ("Redis GET/SET", Table.Right);
       ]
   in
-  List.iter
-    (fun pct ->
-      let f = float_of_int pct /. 100.0 in
-      let rj = run_mode ~clients:12 ~set_fraction:f (Kv.Redisjmp { tags = false }) in
-      let r1 = run_mode ~clients:12 ~set_fraction:f (Kv.Redis { instances = 1 }) in
-      Table.add_row t
+  let rows =
+    par_map
+      (fun pct ->
+        let f = float_of_int pct /. 100.0 in
+        let rj = run_mode ~clients:12 ~set_fraction:f (Kv.Redisjmp { tags = false }) in
+        let r1 = run_mode ~clients:12 ~set_fraction:f (Kv.Redis { instances = 1 }) in
         [
           string_of_int pct;
           Table.cell_int (int_of_float rj.Kv.throughput);
           Table.cell_int (int_of_float r1.Kv.throughput);
         ])
-    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+      [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t;
   (* The sec 5.3 text also reports TLB-miss and switch rates. *)
   let rj1 = run_mode ~clients:1 ~set_fraction:0.0 (Kv.Redisjmp { tags = false }) in

@@ -59,14 +59,18 @@ let run () =
         ("URPC X", Table.Right);
       ]
   in
-  List.iter
-    (fun size ->
-      Table.add_row t
+  (* All three measurements for one size form a task; sizes fan across
+     the pool (every measurement builds a fresh machine/system). *)
+  let rows =
+    par_map
+      (fun size ->
         [
           Size.to_string size;
           Table.cell_int (spacejmp_latency ~size);
           Table.cell_int (urpc_latency ~cross:false ~size);
           Table.cell_int (urpc_latency ~cross:true ~size);
         ])
-    [ 4; 64; 256; 1024; 4096; 16384; 65536; 262144 ];
+      [ 4; 64; 256; 1024; 4096; 16384; 65536; 262144 ]
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t

@@ -41,17 +41,23 @@ let run () =
         ("MAP(16)", Table.Right);
       ]
   in
-  let fig9_rows = ref [] in
+  (* One task per window count (six Gups runs, each its own machine);
+     results come back in window-count order for both figures. *)
+  let trials =
+    par_map
+      (fun windows ->
+        let run design updates = Gups.run (cfg ~windows ~updates) ~design in
+        let sj64 = run Gups.Spacejmp 64 in
+        let mp64 = run Gups.Mp 64 in
+        let map64 = run Gups.Map 64 in
+        let sj16 = run Gups.Spacejmp 16 in
+        let mp16 = run Gups.Mp 16 in
+        let map16 = run Gups.Map 16 in
+        (windows, sj64, mp64, map64, sj16, mp16, map16))
+      window_counts
+  in
   List.iter
-    (fun windows ->
-      let run design updates = Gups.run (cfg ~windows ~updates) ~design in
-      let sj64 = run Gups.Spacejmp 64 in
-      let mp64 = run Gups.Mp 64 in
-      let map64 = run Gups.Map 64 in
-      let sj16 = run Gups.Spacejmp 16 in
-      let mp16 = run Gups.Mp 16 in
-      let map16 = run Gups.Map 16 in
-      fig9_rows := (windows, sj64, sj16) :: !fig9_rows;
+    (fun (windows, sj64, mp64, map64, sj16, mp16, map16) ->
       Table.add_row t
         [
           string_of_int windows;
@@ -62,7 +68,7 @@ let run () =
           Table.cell_float mp16.Gups.mups;
           Table.cell_float map16.Gups.mups;
         ])
-    window_counts;
+    trials;
   Table.print t;
   section "Figure 9: GUPS switch and TLB-miss rates (SpaceJMP, tags off)";
   note "Paper shape: both rates are flat-to-slowly-varying in the window";
@@ -78,7 +84,7 @@ let run () =
       ]
   in
   List.iter
-    (fun (windows, (sj64 : Gups.result), (sj16 : Gups.result)) ->
+    (fun (windows, (sj64 : Gups.result), _, _, (sj16 : Gups.result), _, _) ->
       Table.add_row t9
         [
           string_of_int windows;
@@ -87,5 +93,5 @@ let run () =
           Table.cell_float (sj16.switches_per_sec /. 1e3);
           Table.cell_float (sj16.tlb_misses_per_sec /. 1e3);
         ])
-    (List.rev !fig9_rows);
+    trials;
   Table.print t9

@@ -1,284 +1,29 @@
-(* Wall-clock benchmark of the simulator's host-side fast path.
+(* Wall-clock benchmark harness over the shared suite (lib/bench_kit).
 
-   Runs a fixed suite -- bulk-access micros, GUPS, and the kvstore
-   simulation -- once with the fast path disabled and once enabled,
-   recording *simulated* cycles (which must be bit-identical between the
-   two modes; the run aborts if not) and *host* wall-clock seconds
-   (which is what the fast path improves). Results go to a JSON report.
+   Two phases, one refusal discipline:
 
-   Usage: harness [--quick] [--check] [--out FILE]
+   - serial phase: each bench runs with the host fast path disabled and
+     enabled (best of [repeats]); simulated fingerprints must be
+     bit-identical between the two modes or the harness exits 2.
+   - parallel phase: the whole suite is fanned across a domain pool in
+     both modes; every fingerprint must equal its serial counterpart or
+     the harness exits 2 before any report is written.
+
+   Usage: harness [--quick] [--check] [--out FILE] [-j N]
      --quick   small problem sizes (seconds; used by `dune runtest`)
      --check   validate the emitted JSON (schema + equivalence); exit
                non-zero on any failure
-     --out F   report path (default BENCH_fastpath.json) *)
+     --out F   report path (default BENCH_fastpath.json)
+     -j N      domain-pool size for the parallel phase (default: host
+               cores via Par.default_size) *)
 
 open Sj_util
-module Machine = Sj_machine.Machine
-module Core = Machine.Core
-module Platform = Sj_machine.Platform
-module Pm = Sj_mem.Phys_mem
-module Page_table = Sj_paging.Page_table
-module Prot = Sj_paging.Prot
-module Tlb = Sj_tlb.Tlb
-module Gups = Sj_gups.Gups
-module Kv_sim = Sj_kvstore.Kv_sim
-
-(* A fingerprint is the simulated-side outcome of a bench: cycles, TLB
-   stats, data checksums. Fast and slow runs must produce equal ones. *)
-type fingerprint = (string * int) list
-
-let core_fingerprint core extra : fingerprint =
-  let s = Tlb.stats (Core.tlb core) in
-  [
-    ("cycles", Core.cycles core);
-    ("tlb_hits", s.hits);
-    ("tlb_misses", s.misses);
-    ("tlb_insertions", s.insertions);
-  ]
-  @ extra
-
-(* ---- micro benches: a hot 4-page region on a small machine ---- *)
-
-let micro_platform : Platform.t =
-  {
-    Platform.m2 with
-    name = "bench-micro";
-    mem_size = Size.mib 128;
-    sockets = 2;
-    cores_per_socket = 2;
-  }
-
-(* The region fits the simulated L1, so after warm-up every line access
-   is a hit and the wall clock is pure simulator bookkeeping —
-   translation, per-line charging, and byte copies — which is exactly
-   the overhead the fast path attacks. *)
-let micro_pages = 4
-let micro_base = 0x4000_0000
-let micro_bytes = micro_pages * Addr.page_size
-
-let micro_setup () =
-  let m = Machine.create micro_platform in
-  let pt = Page_table.create (Machine.mem m) in
-  let frames = Pm.alloc_frames (Machine.mem m) ~n:micro_pages in
-  Page_table.map_range pt ~va:micro_base ~frames ~prot:Prot.rw;
-  let core = Machine.core m 0 in
-  Core.set_page_table core ~tag:1 (Some pt);
-  core
-
-let bench_load_bytes ~iters () =
-  let core = micro_setup () in
-  Core.store_bytes core ~va:micro_base
-    (Bytes.init 4096 (fun i -> Char.chr (i land 0xff)));
-  let span = 4096 in
-  let sum = ref 0 in
-  for i = 0 to iters - 1 do
-    let off = (i * 4099 * 8) mod (micro_bytes - span) in
-    let b = Core.load_bytes core ~va:(micro_base + off) ~len:span in
-    sum := !sum + Char.code (Bytes.get b (i mod span))
-  done;
-  core_fingerprint core [ ("checksum", !sum) ]
-
-let bench_memcpy ~iters () =
-  let core = micro_setup () in
-  Core.store_bytes core ~va:micro_base
-    (Bytes.init 8192 (fun i -> Char.chr ((i * 7) land 0xff)));
-  let half = micro_bytes / 2 in
-  for i = 0 to iters - 1 do
-    (* Ping-pong the two halves so both stay written-to. *)
-    let src = micro_base + (i land 1) * half in
-    let dst = micro_base + ((i + 1) land 1) * half in
-    Core.memcpy core ~dst ~src ~len:half
-  done;
-  let tail = Core.load_bytes core ~va:(micro_base + half) ~len:256 in
-  let sum = ref 0 in
-  Bytes.iter (fun ch -> sum := !sum + Char.code ch) tail;
-  core_fingerprint core [ ("checksum", !sum) ]
-
-let bench_memset ~iters () =
-  let core = micro_setup () in
-  let len = micro_bytes / 2 in
-  for i = 0 to iters - 1 do
-    let off = (i * 4099 * 8) mod (micro_bytes - len) in
-    Core.memset core ~va:(micro_base + off) ~len (Char.chr (i land 0xff))
-  done;
-  let b = Core.load_bytes core ~va:micro_base ~len:4096 in
-  let sum = ref 0 in
-  Bytes.iter (fun ch -> sum := !sum + Char.code ch) b;
-  core_fingerprint core [ ("checksum", !sum) ]
-
-(* ---- workload benches: whole simulations through either path ---- *)
-
-let bench_gups ~visits () =
-  let cfg =
-    {
-      Gups.default_config with
-      platform = Platform.m1;
-      windows = 4;
-      (* Small windows keep setup (page-table population) off the
-         measurement; the visit loop dominates the wall clock. *)
-      window_size = Size.mib 2;
-      updates_per_set = 64;
-      window_visits = visits;
-      tags = true;
-    }
-  in
-  let r = Gups.run cfg ~design:Gups.Spacejmp in
-  [ ("cycles", r.cycles); ("updates", r.updates) ]
-
-let bench_kvstore ~duration () =
-  let cfg =
-    {
-      Kv_sim.default_config with
-      clients = 8;
-      set_fraction = 0.2;
-      duration_cycles = duration;
-    }
-  in
-  let r = Kv_sim.run cfg in
-  [
-    ("requests", r.requests);
-    ("gets", r.gets);
-    ("sets", r.sets);
-    ("lock_wait_cycles", r.lock_wait_cycles);
-    ("switches", r.switches);
-    ("tlb_misses", r.tlb_misses);
-  ]
-
-(* ---- driver ---- *)
-
-type bench_result = {
-  name : string;
-  fp : fingerprint; (* shared: proven equal between modes *)
-  equal : bool;
-  wall_slow : float;
-  wall_fast : float;
-}
-
-let time_run f =
-  let t0 = Unix.gettimeofday () in
-  let fp = f () in
-  (Unix.gettimeofday () -. t0, fp)
-
-let run_bench ~repeats (name, f) =
-  Printf.printf "  %-12s" name;
-  let best_slow = ref infinity and best_fast = ref infinity in
-  let fp_slow = ref [] and fp_fast = ref [] in
-  for _ = 1 to repeats do
-    let t, fp = Machine.with_fast_path false (fun () -> time_run f) in
-    if t < !best_slow then best_slow := t;
-    fp_slow := fp;
-    let t, fp = Machine.with_fast_path true (fun () -> time_run f) in
-    if t < !best_fast then best_fast := t;
-    fp_fast := fp
-  done;
-  let equal = !fp_slow = !fp_fast in
-  Printf.printf " slow %7.3fs  fast %7.3fs  speedup %5.2fx  %s\n%!" !best_slow
-    !best_fast
-    (!best_slow /. !best_fast)
-    (if equal then "equal" else "DIVERGED");
-  if not equal then begin
-    let pp fp = String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fp) in
-    Printf.eprintf "FATAL: %s: fast/slow fingerprints diverge\n  slow: %s\n  fast: %s\n"
-      name (pp !fp_slow) (pp !fp_fast);
-    exit 2
-  end;
-  { name; fp = !fp_fast; equal; wall_slow = !best_slow; wall_fast = !best_fast }
-
-let json_of_results ~quick results =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"spacejmp-bench-fastpath/1\",\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
-  Buffer.add_string b "  \"benches\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string b "    {\n";
-      Buffer.add_string b (Printf.sprintf "      \"name\": \"%s\",\n" r.name);
-      Buffer.add_string b
-        (Printf.sprintf "      \"equal_between_modes\": %b,\n" r.equal);
-      Buffer.add_string b
-        (Printf.sprintf "      \"wall_slow_s\": %.6f,\n" r.wall_slow);
-      Buffer.add_string b
-        (Printf.sprintf "      \"wall_fast_s\": %.6f,\n" r.wall_fast);
-      Buffer.add_string b
-        (Printf.sprintf "      \"speedup\": %.3f,\n" (r.wall_slow /. r.wall_fast));
-      Buffer.add_string b "      \"simulated\": {";
-      List.iteri
-        (fun j (k, v) ->
-          if j > 0 then Buffer.add_string b ", ";
-          Buffer.add_string b (Printf.sprintf "\"%s\": %d" k v))
-        r.fp;
-      Buffer.add_string b "}\n";
-      Buffer.add_string b
-        (if i = List.length results - 1 then "    }\n" else "    },\n"))
-    results;
-  Buffer.add_string b "  ],\n";
-  let tot_slow = List.fold_left (fun a r -> a +. r.wall_slow) 0. results in
-  let tot_fast = List.fold_left (fun a r -> a +. r.wall_fast) 0. results in
-  Buffer.add_string b "  \"aggregate\": {\n";
-  Buffer.add_string b (Printf.sprintf "    \"wall_slow_s\": %.6f,\n" tot_slow);
-  Buffer.add_string b (Printf.sprintf "    \"wall_fast_s\": %.6f,\n" tot_fast);
-  Buffer.add_string b
-    (Printf.sprintf "    \"speedup\": %.3f\n" (tot_slow /. tot_fast));
-  Buffer.add_string b "  }\n}\n";
-  Buffer.contents b
-
-(* Minimal structural validation of the emitted report: no JSON library
-   in the tree, so check nesting balance (outside strings) and the
-   presence of required keys. *)
-let check_json path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  let depth = ref 0 and in_str = ref false and ok = ref true in
-  String.iteri
-    (fun i ch ->
-      if !in_str then begin
-        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
-      end
-      else
-        match ch with
-        | '"' -> in_str := true
-        | '{' | '[' -> incr depth
-        | '}' | ']' ->
-          decr depth;
-          if !depth < 0 then ok := false
-        | _ -> ())
-    s;
-  if !depth <> 0 || !in_str then ok := false;
-  let required =
-    [
-      "\"schema\": \"spacejmp-bench-fastpath/1\"";
-      "\"benches\"";
-      "\"aggregate\"";
-      "\"speedup\"";
-      "\"wall_slow_s\"";
-      "\"wall_fast_s\"";
-      "\"simulated\"";
-    ]
-  in
-  let contains sub =
-    let n = String.length s and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-    go 0
-  in
-  List.iter
-    (fun key ->
-      if not (contains key) then begin
-        Printf.eprintf "check: missing key %s in %s\n" key path;
-        ok := false
-      end)
-    required;
-  if contains "\"equal_between_modes\": false" then begin
-    Printf.eprintf "check: report records a fast/slow divergence\n";
-    ok := false
-  end;
-  !ok
+module Suite = Sj_bench.Suite
+module Report = Sj_bench.Report
 
 let () =
   let quick = ref false and check = ref false and out = ref "BENCH_fastpath.json" in
+  let jobs = ref (Par.default_size ()) in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -290,8 +35,17 @@ let () =
     | "--out" :: path :: rest ->
       out := path;
       parse rest
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "harness: -j expects a positive integer (got %s)\n" n;
+        exit 2)
     | arg :: _ ->
-      Printf.eprintf "usage: harness [--quick] [--check] [--out FILE] (got %s)\n" arg;
+      Printf.eprintf
+        "usage: harness [--quick] [--check] [--out FILE] [-j N] (got %s)\n" arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -304,26 +58,124 @@ let () =
   in
   let q = !quick in
   let repeats = if q then 1 else 3 in
-  let suite =
-    [
-      ("load_bytes", bench_load_bytes ~iters:(if q then 5_000 else 150_000));
-      ("memcpy", bench_memcpy ~iters:(if q then 5_000 else 150_000));
-      ("memset", bench_memset ~iters:(if q then 8_000 else 250_000));
-      ("gups", bench_gups ~visits:(if q then 400 else 4_000));
-      ("kvstore", bench_kvstore ~duration:(if q then 1_000_000 else 5_000_000));
-    ]
-  in
-  Printf.printf "fast-path harness (%s mode, best of %d)\n%!"
+  let benches = Suite.suite ~quick:q in
+  Printf.printf "bench harness (%s mode, best of %d, -j %d)\n%!"
     (if q then "quick" else "full")
-    repeats;
-  let results = List.map (run_bench ~repeats) suite in
-  let json = json_of_results ~quick:q results in
-  output_string oc json;
+    repeats !jobs;
+
+  (* Serial phase. Repeats of the same mode must also agree — a repeat
+     that shifts the fingerprint means the simulation itself is
+     nondeterministic, which is worse than a fast-path bug. *)
+  let serial_best ~fast b =
+    let first = Suite.run_one ~fast b in
+    let best = ref first in
+    for _ = 2 to repeats do
+      let r = Suite.run_one ~fast b in
+      if r.Suite.fp <> first.Suite.fp then begin
+        Printf.eprintf
+          "FATAL: %s: fingerprint changed between repeats (same mode)\n  was: %s\n  now: %s\n"
+          b.Suite.bname
+          (Suite.pp_fingerprint first.Suite.fp)
+          (Suite.pp_fingerprint r.Suite.fp);
+        exit 2
+      end;
+      if r.Suite.wall < !best.Suite.wall then best := r
+    done;
+    !best
+  in
+  let results =
+    List.map
+      (fun b ->
+        Printf.printf "  %-12s%!" b.Suite.bname;
+        let slow = serial_best ~fast:false b in
+        let fast = serial_best ~fast:true b in
+        let equal = slow.Suite.fp = fast.Suite.fp in
+        Printf.printf " slow %7.3fs  fast %7.3fs  speedup %5.2fx  %s\n%!"
+          slow.Suite.wall fast.Suite.wall
+          (slow.Suite.wall /. fast.Suite.wall)
+          (if equal then "equal" else "DIVERGED");
+        if not equal then begin
+          Printf.eprintf
+            "FATAL: %s: fast/slow fingerprints diverge\n  slow: %s\n  fast: %s\n"
+            b.Suite.bname
+            (Suite.pp_fingerprint slow.Suite.fp)
+            (Suite.pp_fingerprint fast.Suite.fp);
+          exit 2
+        end;
+        (b, slow, fast))
+      benches
+  in
+  let serial_slow = List.map (fun (_, s, _) -> s) results in
+  let serial_fast = List.map (fun (_, _, f) -> f) results in
+
+  (* Parallel phase: same suite, fanned across the pool, both modes. *)
+  Printf.printf "parallel phase: %d benches across %d domain(s)\n%!"
+    (List.length benches) !jobs;
+  let (par_slow, _), (par_fast, par_wall) =
+    Par.with_pool ~size:!jobs (fun pool ->
+        ( Suite.run_parallel pool ~fast:false benches,
+          Suite.run_parallel pool ~fast:true benches ))
+  in
+  let report_divergence tag serial par =
+    List.iter2
+      (fun s p ->
+        if s.Suite.fp <> p.Suite.fp then
+          Printf.eprintf "  %s (%s):\n    serial:   %s\n    parallel: %s\n"
+            s.Suite.tname tag
+            (Suite.pp_fingerprint s.Suite.fp)
+            (Suite.pp_fingerprint p.Suite.fp))
+      serial par
+  in
+  if
+    not
+      (Suite.fingerprints_equal serial_slow par_slow
+      && Suite.fingerprints_equal serial_fast par_fast)
+  then begin
+    Printf.eprintf "FATAL: serial/parallel fingerprints diverge (-j %d)\n" !jobs;
+    report_divergence "slow" serial_slow par_slow;
+    report_divergence "fast" serial_fast par_fast;
+    exit 2
+  end;
+  (* Serial aggregate is the sum of best-of walls — conservative: the
+     parallel batch competes against serial's best case. *)
+  let wall_serial = List.fold_left (fun a t -> a +. t.Suite.wall) 0. serial_fast in
+  Printf.printf "  parallel batch %7.3fs vs serial %7.3fs  speedup %5.2fx  equal\n%!"
+    par_wall wall_serial (wall_serial /. par_wall);
+
+  let breports =
+    List.map
+      (fun (b, slow, fast) ->
+        let find rs = List.find (fun t -> t.Suite.tname = b.Suite.bname) rs in
+        let ps = find par_slow and pf = find par_fast in
+        {
+          Report.name = b.Suite.bname;
+          equal_between_modes = slow.Suite.fp = fast.Suite.fp;
+          equal_serial_parallel =
+            slow.Suite.fp = ps.Suite.fp && fast.Suite.fp = pf.Suite.fp;
+          wall_slow = slow.Suite.wall;
+          wall_fast = fast.Suite.wall;
+          simulated = fast.Suite.fp;
+        })
+      results
+  in
+  let report =
+    {
+      Report.quick = q;
+      jobs = !jobs;
+      cores = Domain.recommended_domain_count ();
+      ocaml_version = Sys.ocaml_version;
+      benches = breports;
+      wall_serial;
+      wall_parallel = par_wall;
+    }
+  in
+  output_string oc (Report.to_json report);
   close_out oc;
   Printf.printf "wrote %s\n%!" !out;
   if !check then
-    if check_json !out then print_endline "check: OK"
-    else begin
+    match Report.check_file !out with
+    | Ok () -> print_endline "check: OK"
+    | Error es ->
+      List.iter (fun e -> Printf.eprintf "check: %s\n" e) es;
       prerr_endline "check: FAILED";
       exit 1
-    end

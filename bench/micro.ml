@@ -12,7 +12,6 @@ module Api = Sj_core.Api
 module Prot = Sj_paging.Prot
 
 let make_switch_test () =
-  Sj_kernel.Layout.reset_global_allocator ();
   let machine = Machine.create Sj_machine.Platform.m2 in
   let sys = Api.boot machine in
   let proc = Sj_kernel.Process.create ~name:"micro" machine in

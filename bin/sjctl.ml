@@ -69,7 +69,6 @@ let demo_cmd =
     let module Machine = Sj_machine.Machine in
     let module Process = Sj_kernel.Process in
     let module Prot = Sj_paging.Prot in
-    Sj_kernel.Layout.reset_global_allocator ();
     let machine = Machine.create Platform.m2 in
     let sys = Api.boot machine in
     let producer = Process.create ~name:"producer" machine in
@@ -167,7 +166,6 @@ let persist_cmd =
     let module Machine = Sj_machine.Machine in
     let module Process = Sj_kernel.Process in
     let module Prot = Sj_paging.Prot in
-    Sj_kernel.Layout.reset_global_allocator ();
     (* Life before the reboot. *)
     let m1 = Machine.create Platform.m2 in
     let sys1 = Api.boot m1 in
@@ -187,7 +185,6 @@ let persist_cmd =
     close_out oc;
     Format.printf "saved %s to %s@." (Sj_persist.Persist.image_info image) image_path;
     (* "Reboot": a brand new machine, restore from the file. *)
-    Sj_kernel.Layout.reset_global_allocator ();
     let m2 = Machine.create Platform.m2 in
     let sys2 = Api.boot m2 in
     let p2 = Process.create ~name:"after" m2 in
@@ -272,7 +269,6 @@ let samtools_cmd =
       | "index" -> P.Index
       | o -> failwith ("unknown op " ^ o)
     in
-    Sj_kernel.Layout.reset_global_allocator ();
     let platform = Platform.m1 in
     let machine = Machine.create platform in
     let sys = Sj_core.Api.boot machine in
@@ -283,27 +279,31 @@ let samtools_cmd =
     let records =
       Record.generate ~seed:42 ~references:Record.default_references ~reads ~read_len:100
     in
-    let cycles =
+    let cycles, flagstat =
       match design with
       | "sam" ->
         P.write_input_file env ~format:`Sam ~path:"in.sam" records;
-        P.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"out.sam"
+        let c = P.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"out.sam" in
+        (c, P.flagstat_result env)
       | "bam" ->
         P.write_input_file env ~format:`Bam ~path:"in.bam" records;
-        P.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"out.bam"
+        let c = P.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"out.bam" in
+        (c, P.flagstat_result env)
       | "mmap" ->
         let store = P.prepare_mmap env ~path:"region" records in
-        P.run_mmap store op
+        let c = P.run_mmap store op in
+        (c, P.flagstat_result env)
       | "spacejmp" ->
         let store = P.prepare_spacejmp ctx ~name:"samtools" records in
-        P.run_spacejmp store op
+        let c = P.run_spacejmp store op in
+        (c, P.spacejmp_flagstat store)
       | d -> failwith ("unknown design " ^ d)
     in
     Format.printf "%s / %s over %d records: %d cycles (%.3f ms on %s)@." design
       (P.op_name op) reads cycles
       (Sj_machine.Cost_model.cycles_to_ms platform.cost cycles)
       platform.name;
-    match (op, P.last_flagstat ()) with
+    match (op, flagstat) with
     | P.Flagstat, Some f ->
       Format.printf "%d total, %d mapped, %d paired, %d proper, %d dup, %d secondary@."
         f.Sj_genomics.Ops.total f.Sj_genomics.Ops.mapped f.Sj_genomics.Ops.paired
@@ -314,6 +314,93 @@ let samtools_cmd =
   Cmd.v (Cmd.info "samtools" ~doc:"Run one SAMTools operation under a storage design (sec 5.4)")
     Term.(const run $ op $ design $ reads $ region)
 
+let bench_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small problem sizes (seconds, not minutes)") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the JSON report (schema spacejmp-bench/2) to $(docv)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sj_util.Par.default_size ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domain-pool size for the parallel phase (default: host cores)")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "bench: --jobs must be >= 1";
+      exit 2
+    end;
+    let module Suite = Sj_bench.Suite in
+    let module Report = Sj_bench.Report in
+    let benches = Suite.suite ~quick in
+    let serial_slow = Suite.run_serial ~fast:false benches in
+    let serial_fast = Suite.run_serial ~fast:true benches in
+    let (par_slow, _), (par_fast, par_wall) =
+      Sj_util.Par.with_pool ~size:jobs (fun pool ->
+          ( Suite.run_parallel pool ~fast:false benches,
+            Suite.run_parallel pool ~fast:true benches ))
+    in
+    (* Same refusal discipline as bench/harness.exe: no numbers unless
+       every strategy simulated the same world. *)
+    if
+      not
+        (List.for_all2 (fun s f -> s.Suite.fp = f.Suite.fp) serial_slow serial_fast
+        && Suite.fingerprints_equal serial_slow par_slow
+        && Suite.fingerprints_equal serial_fast par_fast)
+    then begin
+      prerr_endline "bench: fingerprints diverge between execution strategies";
+      exit 2
+    end;
+    List.iter2
+      (fun s f ->
+        Format.printf "%-12s slow %7.3fs  fast %7.3fs  speedup %5.2fx@." s.Suite.tname
+          s.Suite.wall f.Suite.wall
+          (s.Suite.wall /. f.Suite.wall))
+      serial_slow serial_fast;
+    let wall_serial = List.fold_left (fun a t -> a +. t.Suite.wall) 0. serial_fast in
+    Format.printf "parallel -j %d: batch %.3fs vs serial %.3fs (%.2fx); fingerprints equal@."
+      jobs par_wall wall_serial (wall_serial /. par_wall);
+    match out with
+    | None -> ()
+    | Some path ->
+      let report =
+        {
+          Report.quick;
+          jobs;
+          cores = Domain.recommended_domain_count ();
+          ocaml_version = Sys.ocaml_version;
+          benches =
+            List.map2
+              (fun s f ->
+                {
+                  Report.name = s.Suite.tname;
+                  (* Proven above, or we exited 2. *)
+                  equal_between_modes = true;
+                  equal_serial_parallel = true;
+                  wall_slow = s.Suite.wall;
+                  wall_fast = f.Suite.wall;
+                  simulated = f.Suite.fp;
+                })
+              serial_slow serial_fast;
+          wall_serial;
+          wall_parallel = par_wall;
+        }
+      in
+      let oc = open_out path in
+      output_string oc (Report.to_json report);
+      close_out oc;
+      Format.printf "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the wall-clock bench suite (fast path + domain parallelism)")
+    Term.(const run $ quick $ out $ jobs)
+
 let () =
   let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
   exit
@@ -321,5 +408,5 @@ let () =
        (Cmd.group info
           [
             platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
-            samtools_cmd;
+            samtools_cmd; bench_cmd;
           ]))

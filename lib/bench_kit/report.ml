@@ -1,0 +1,134 @@
+(* BENCH report, schema "spacejmp-bench/2".
+
+   v2 extends PR 1's fastpath schema with host metadata (cores, OCaml
+   version, -j) and the serial-vs-parallel comparison: aggregate wall
+   times for the suite run serially and fanned across the domain pool,
+   plus a per-bench equivalence bit for each comparison. The emitter
+   never writes a divergent report — the harness exits 2 first — but
+   the checker still refuses any report that records one, so a report
+   that exists and checks is trustworthy. *)
+
+type bench_report = {
+  name : string;
+  equal_between_modes : bool;  (* fast path on vs off *)
+  equal_serial_parallel : bool;  (* serial vs domain pool *)
+  wall_slow : float;  (* serial, fast path off *)
+  wall_fast : float;  (* serial, fast path on *)
+  simulated : Suite.fingerprint;
+}
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  benches : bench_report list;
+  wall_serial : float;  (* fast path on, whole suite, serial *)
+  wall_parallel : float;  (* fast path on, whole suite, pool batch wall *)
+}
+
+let schema = "spacejmp-bench/2"
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"%s\",\n" schema;
+  add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
+  add "  \"host\": {\n";
+  add "    \"cores\": %d,\n" r.cores;
+  add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
+  add "    \"jobs\": %d\n" r.jobs;
+  add "  },\n";
+  add "  \"benches\": [\n";
+  List.iteri
+    (fun i br ->
+      add "    {\n";
+      add "      \"name\": \"%s\",\n" br.name;
+      add "      \"equal_between_modes\": %b,\n" br.equal_between_modes;
+      add "      \"equal_serial_parallel\": %b,\n" br.equal_serial_parallel;
+      add "      \"wall_slow_s\": %.6f,\n" br.wall_slow;
+      add "      \"wall_fast_s\": %.6f,\n" br.wall_fast;
+      add "      \"speedup\": %.3f,\n" (br.wall_slow /. br.wall_fast);
+      add "      \"simulated\": {";
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then add ", ";
+          add "\"%s\": %d" k v)
+        br.simulated;
+      add "}\n";
+      add (if i = List.length r.benches - 1 then "    }\n" else "    },\n"))
+    r.benches;
+  add "  ],\n";
+  let tot_slow = List.fold_left (fun a br -> a +. br.wall_slow) 0. r.benches in
+  let tot_fast = List.fold_left (fun a br -> a +. br.wall_fast) 0. r.benches in
+  add "  \"aggregate\": {\n";
+  add "    \"wall_slow_s\": %.6f,\n" tot_slow;
+  add "    \"wall_fast_s\": %.6f,\n" tot_fast;
+  add "    \"speedup\": %.3f,\n" (tot_slow /. tot_fast);
+  add "    \"wall_serial_s\": %.6f,\n" r.wall_serial;
+  add "    \"wall_parallel_s\": %.6f,\n" r.wall_parallel;
+  add "    \"parallel_speedup\": %.3f\n" (r.wall_serial /. r.wall_parallel);
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Minimal structural validation of an emitted report: no JSON library
+   in the tree, so check nesting balance (outside strings) and the
+   presence of required keys; refuse any recorded divergence. *)
+let check_string s =
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !in_str then begin
+        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  if !depth <> 0 || !in_str then ok := false;
+  let required =
+    [
+      Printf.sprintf "\"schema\": \"%s\"" schema;
+      "\"host\"";
+      "\"cores\"";
+      "\"ocaml_version\"";
+      "\"jobs\"";
+      "\"benches\"";
+      "\"aggregate\"";
+      "\"speedup\"";
+      "\"wall_slow_s\"";
+      "\"wall_fast_s\"";
+      "\"wall_serial_s\"";
+      "\"wall_parallel_s\"";
+      "\"parallel_speedup\"";
+      "\"simulated\"";
+    ]
+  in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let errors = ref [] in
+  List.iter
+    (fun key -> if not (contains key) then errors := Printf.sprintf "missing key %s" key :: !errors)
+    required;
+  if contains "\"equal_between_modes\": false" then
+    errors := "report records a fast/slow divergence" :: !errors;
+  if contains "\"equal_serial_parallel\": false" then
+    errors := "report records a serial/parallel divergence" :: !errors;
+  if not !ok then errors := "unbalanced JSON nesting" :: !errors;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  check_string s

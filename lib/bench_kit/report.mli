@@ -1,0 +1,36 @@
+(** BENCH JSON report, schema ["spacejmp-bench/2"].
+
+    v2 adds host metadata (cores, OCaml version, [-j]) and the
+    serial-vs-parallel comparison to PR 1's fastpath schema. The
+    checker refuses any report recording a fingerprint divergence, so
+    a report that exists and checks is trustworthy. *)
+
+type bench_report = {
+  name : string;
+  equal_between_modes : bool;  (** fast path on vs off *)
+  equal_serial_parallel : bool;  (** serial vs domain pool *)
+  wall_slow : float;  (** serial, fast path off *)
+  wall_fast : float;  (** serial, fast path on *)
+  simulated : Suite.fingerprint;
+}
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  benches : bench_report list;
+  wall_serial : float;  (** fast path on, whole suite, serial *)
+  wall_parallel : float;  (** fast path on, whole suite, pool batch wall *)
+}
+
+val schema : string
+
+val to_json : t -> string
+
+val check_string : string -> (unit, string list) result
+(** Structural validation: balanced nesting, required v2 keys present,
+    and no recorded divergence ([equal_between_modes] or
+    [equal_serial_parallel] false). *)
+
+val check_file : string -> (unit, string list) result

@@ -1,0 +1,195 @@
+(* The wall-clock benchmark suite shared by bench/harness.exe, `sjctl
+   bench`, and the parallel-determinism test.
+
+   Each bench is an isolated simulation (its own machine, RNGs,
+   contexts) returning a *fingerprint* of its simulated outcome. The
+   fingerprint is the equivalence currency of the harness: it must be
+   bit-identical between the slow and fast host paths, and between a
+   serial run and a domain-parallel run — otherwise the harness refuses
+   to report (exit 2 discipline). *)
+
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Pm = Sj_mem.Phys_mem
+module Page_table = Sj_paging.Page_table
+module Prot = Sj_paging.Prot
+module Tlb = Sj_tlb.Tlb
+module Gups = Sj_gups.Gups
+module Kv_sim = Sj_kvstore.Kv_sim
+
+(* A fingerprint is the simulated-side outcome of a bench: cycles, TLB
+   stats, data checksums. All execution strategies must produce equal
+   ones. *)
+type fingerprint = (string * int) list
+
+let pp_fingerprint fp =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fp)
+
+let core_fingerprint core extra : fingerprint =
+  let s = Tlb.stats (Core.tlb core) in
+  [
+    ("cycles", Core.cycles core);
+    ("tlb_hits", s.hits);
+    ("tlb_misses", s.misses);
+    ("tlb_insertions", s.insertions);
+  ]
+  @ extra
+
+(* ---- micro benches: a hot 4-page region on a small machine ---- *)
+
+let micro_platform : Platform.t =
+  {
+    Platform.m2 with
+    name = "bench-micro";
+    mem_size = Size.mib 128;
+    sockets = 2;
+    cores_per_socket = 2;
+  }
+
+(* The region fits the simulated L1, so after warm-up every line access
+   is a hit and the wall clock is pure simulator bookkeeping —
+   translation, per-line charging, and byte copies — which is exactly
+   the overhead the fast path attacks. *)
+let micro_pages = 4
+let micro_base = 0x4000_0000
+let micro_bytes = micro_pages * Addr.page_size
+
+let micro_setup () =
+  let m = Machine.create micro_platform in
+  let pt = Page_table.create (Machine.mem m) in
+  let frames = Pm.alloc_frames (Machine.mem m) ~n:micro_pages in
+  Page_table.map_range pt ~va:micro_base ~frames ~prot:Prot.rw;
+  let core = Machine.core m 0 in
+  Core.set_page_table core ~tag:1 (Some pt);
+  core
+
+let bench_load_bytes ~iters () =
+  let core = micro_setup () in
+  Core.store_bytes core ~va:micro_base
+    (Bytes.init 4096 (fun i -> Char.chr (i land 0xff)));
+  let span = 4096 in
+  let sum = ref 0 in
+  for i = 0 to iters - 1 do
+    let off = (i * 4099 * 8) mod (micro_bytes - span) in
+    let b = Core.load_bytes core ~va:(micro_base + off) ~len:span in
+    sum := !sum + Char.code (Bytes.get b (i mod span))
+  done;
+  core_fingerprint core [ ("checksum", !sum) ]
+
+let bench_memcpy ~iters () =
+  let core = micro_setup () in
+  Core.store_bytes core ~va:micro_base
+    (Bytes.init 8192 (fun i -> Char.chr ((i * 7) land 0xff)));
+  let half = micro_bytes / 2 in
+  for i = 0 to iters - 1 do
+    (* Ping-pong the two halves so both stay written-to. *)
+    let src = micro_base + ((i land 1) * half) in
+    let dst = micro_base + (((i + 1) land 1) * half) in
+    Core.memcpy core ~dst ~src ~len:half
+  done;
+  let tail = Core.load_bytes core ~va:(micro_base + half) ~len:256 in
+  let sum = ref 0 in
+  Bytes.iter (fun ch -> sum := !sum + Char.code ch) tail;
+  core_fingerprint core [ ("checksum", !sum) ]
+
+let bench_memset ~iters () =
+  let core = micro_setup () in
+  let len = micro_bytes / 2 in
+  for i = 0 to iters - 1 do
+    let off = (i * 4099 * 8) mod (micro_bytes - len) in
+    Core.memset core ~va:(micro_base + off) ~len (Char.chr (i land 0xff))
+  done;
+  let b = Core.load_bytes core ~va:micro_base ~len:4096 in
+  let sum = ref 0 in
+  Bytes.iter (fun ch -> sum := !sum + Char.code ch) b;
+  core_fingerprint core [ ("checksum", !sum) ]
+
+(* ---- workload benches: whole simulations through either path ---- *)
+
+let bench_gups ~visits () =
+  let cfg =
+    {
+      Gups.default_config with
+      platform = Platform.m1;
+      windows = 4;
+      (* Small windows keep setup (page-table population) off the
+         measurement; the visit loop dominates the wall clock. *)
+      window_size = Size.mib 2;
+      updates_per_set = 64;
+      window_visits = visits;
+      tags = true;
+    }
+  in
+  let r = Gups.run cfg ~design:Gups.Spacejmp in
+  [ ("cycles", r.cycles); ("updates", r.updates) ]
+
+let bench_kvstore ~duration () =
+  let cfg =
+    {
+      Kv_sim.default_config with
+      clients = 8;
+      set_fraction = 0.2;
+      duration_cycles = duration;
+    }
+  in
+  let r = Kv_sim.run cfg in
+  [
+    ("requests", r.requests);
+    ("gets", r.gets);
+    ("sets", r.sets);
+    ("lock_wait_cycles", r.lock_wait_cycles);
+    ("switches", r.switches);
+    ("tlb_misses", r.tlb_misses);
+  ]
+
+type bench = { bname : string; body : unit -> fingerprint }
+
+let suite ~quick =
+  let q = quick in
+  [
+    { bname = "load_bytes"; body = bench_load_bytes ~iters:(if q then 5_000 else 150_000) };
+    { bname = "memcpy"; body = bench_memcpy ~iters:(if q then 5_000 else 150_000) };
+    { bname = "memset"; body = bench_memset ~iters:(if q then 8_000 else 250_000) };
+    { bname = "gups"; body = bench_gups ~visits:(if q then 400 else 4_000) };
+    { bname = "kvstore"; body = bench_kvstore ~duration:(if q then 1_000_000 else 5_000_000) };
+  ]
+
+(* A tiny suite for unit tests: same benches, sizes chosen to finish in
+   well under a second even times four domains times two modes. *)
+let tiny_suite () =
+  [
+    { bname = "load_bytes"; body = bench_load_bytes ~iters:300 };
+    { bname = "memcpy"; body = bench_memcpy ~iters:300 };
+    { bname = "memset"; body = bench_memset ~iters:400 };
+    { bname = "gups"; body = bench_gups ~visits:40 };
+    { bname = "kvstore"; body = bench_kvstore ~duration:200_000 };
+  ]
+
+(* ---- execution strategies ---- *)
+
+type timed = { tname : string; fp : fingerprint; wall : float }
+
+(* [Machine.with_fast_path] is domain-local state, so each task fixes
+   its own mode — a task inherits nothing from the submitting domain. *)
+let run_one ~fast b =
+  Machine.with_fast_path fast (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let fp = b.body () in
+      { tname = b.bname; fp; wall = Unix.gettimeofday () -. t0 })
+
+let run_serial ~fast benches = List.map (run_one ~fast) benches
+
+(* Fan the suite across a pool; results come back in suite order, so a
+   parallel run is directly comparable to a serial one. Returns the
+   per-bench results and the batch wall-clock (the number parallelism
+   improves; the per-bench walls still sum to total CPU work). *)
+let run_parallel pool ~fast benches =
+  let t0 = Unix.gettimeofday () in
+  let rs = Par.map_list pool (run_one ~fast) benches in
+  (rs, Unix.gettimeofday () -. t0)
+
+let fingerprints_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x.tname = y.tname && x.fp = y.fp) a b

@@ -1,0 +1,35 @@
+(** The shared fast-path/parallelism benchmark suite.
+
+    Used by [bench/harness.exe], [sjctl bench], and the test suite's
+    parallel-determinism check. Every bench is an isolated simulation
+    whose {!fingerprint} must be bit-identical across host execution
+    strategies (slow vs fast path, serial vs domain-parallel). *)
+
+type fingerprint = (string * int) list
+
+val pp_fingerprint : fingerprint -> string
+
+type bench = { bname : string; body : unit -> fingerprint }
+
+val suite : quick:bool -> bench list
+(** The harness suite: bulk-access micros, GUPS, kvstore. [quick] uses
+    small problem sizes (seconds; `dune runtest` smoke). *)
+
+val tiny_suite : unit -> bench list
+(** Unit-test sizes: sub-second even across modes and domains. *)
+
+type timed = { tname : string; fp : fingerprint; wall : float }
+
+val run_one : fast:bool -> bench -> timed
+(** Run one bench with the given fast-path mode (set domain-locally for
+    the duration, so this is safe from any domain). *)
+
+val run_serial : fast:bool -> bench list -> timed list
+
+val run_parallel : Sj_util.Par.t -> fast:bool -> bench list -> timed list * float
+(** Fan the suite across the pool. Results are in suite order; the
+    second component is the batch wall-clock. *)
+
+val fingerprints_equal : timed list -> timed list -> bool
+(** Same benches, same fingerprints, same order. Wall times are
+    (necessarily) ignored. *)

@@ -113,7 +113,7 @@ let vas_create ctx ~name ~mode =
   api_charge ctx;
   let cred = Process.cred ctx.proc in
   let acl = Acl.create ~owner:cred.uid ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0) ~mode in
-  let vas = Vas.create ~acl ~name () in
+  let vas = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl ~name () in
   Registry.register_vas ctx.sys.reg vas;
   Log.debug (fun m -> m "vas_create %s (vid %d) by pid %d" name (Vas.vid vas) (Process.pid ctx.proc));
   vas
@@ -125,7 +125,7 @@ let vas_find ctx ~name =
 let vas_clone ctx vas ~name =
   api_charge ctx;
   check_acl ctx (Vas.acl vas) `Read "vas_clone";
-  let clone = Vas.create ~acl:(Vas.acl vas) ~name () in
+  let clone = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl:(Vas.acl vas) ~name () in
   List.iter (fun (seg, prot) -> Vas.attach_segment clone seg ~prot) (Vas.segments vas);
   Registry.register_vas ctx.sys.reg clone;
   clone
@@ -263,7 +263,7 @@ let vas_attach ctx vas =
     let cspace = Process.cspace ctx.proc in
     let c = cost ctx in
     for _ = 1 to tables do
-      let ram = Cap.create_ram ~size:Addr.page_size in
+      let ram = Cap.create_ram (Machine.sim_ctx ctx.sys.machine) ~size:Addr.page_size in
       let vnode = Cap.retype ram ~into:(Cap.Vnode 1) in
       ignore (Cap.Cspace.insert cspace vnode);
       Core.charge ctx.core c.syscall_barrelfish
@@ -427,7 +427,9 @@ let seg_alloc ?(huge = false) ?(tier = `Performance) ctx ~name ~base ~size ~mode
   seg
 
 let seg_alloc_anywhere ?huge ?tier ctx ~name ~size ~mode =
-  seg_alloc ?huge ?tier ctx ~name ~base:(Layout.next_global_base ~size) ~size ~mode
+  seg_alloc ?huge ?tier ctx ~name
+    ~base:(Layout.next_global_base (Machine.sim_ctx ctx.sys.machine) ~size)
+    ~size ~mode
 
 let seg_find ctx ~name =
   api_charge ctx;

@@ -2,6 +2,12 @@ module Machine = Sj_machine.Machine
 module Mspace = Sj_alloc.Mspace
 module Cap = Sj_kernel.Cap
 
+type service = ..
+(* Open sum of per-system service states (e.g. RedisJMP stores). Keeps
+   service-level mutable state scoped to the registry that owns it
+   instead of in process-global tables, without the registry depending
+   on the service libraries above it. *)
+
 type t = {
   machine : Machine.t;
   vases : (string, Vas.t) Hashtbl.t;
@@ -11,6 +17,7 @@ type t = {
   heaps : (int, Mspace.t) Hashtbl.t;
   caps : (int, Cap.t) Hashtbl.t; (* vid -> root capability *)
   live_maps : (int, Sj_kernel.Vmspace.t list ref) Hashtbl.t; (* sid -> vmspaces *)
+  services : (string, service) Hashtbl.t;
   mutable next_tag : int;
   mutable switches : int;
 }
@@ -25,6 +32,7 @@ let create machine =
     heaps = Hashtbl.create 16;
     caps = Hashtbl.create 16;
     live_maps = Hashtbl.create 16;
+    services = Hashtbl.create 8;
     next_tag = 1;
     switches = 0;
   }
@@ -163,6 +171,15 @@ let root_cap t vas =
   match Hashtbl.find_opt t.caps vid with
   | Some c -> c
   | None ->
-    let c = Cap.create_vas_ref ~vas:vid ~rights:Sj_paging.Prot.rwx in
+    let c =
+      Cap.create_vas_ref (Machine.sim_ctx t.machine) ~vas:vid ~rights:Sj_paging.Prot.rwx
+    in
     Hashtbl.replace t.caps vid c;
     c
+
+let set_service t ~name s =
+  if Hashtbl.mem t.services name then raise (Errors.Name_exists name);
+  Hashtbl.replace t.services name s
+
+let find_service t ~name = Hashtbl.find_opt t.services name
+let remove_service t ~name = Hashtbl.remove t.services name

@@ -9,6 +9,13 @@
 
 type t
 
+type service = ..
+(** Open sum of per-system service state. A service library (e.g.
+    RedisJMP) extends this with its own constructor and keeps its
+    instances in the registry via {!set_service}/{!find_service}, so a
+    fresh system starts with no services — nothing leaks across
+    simulations or domains. *)
+
 val create : Sj_machine.Machine.t -> t
 val machine : t -> Sj_machine.Machine.t
 
@@ -76,3 +83,12 @@ val root_cap : t -> Vas.t -> Sj_kernel.Cap.t
 (** The service's root capability for a VAS (created on demand);
     attachments hold minted children, so revoking this bars every
     process from switching into the VAS. *)
+
+(** {2 Per-system services} *)
+
+val set_service : t -> name:string -> service -> unit
+(** Raises [Errors.Name_exists] on duplicate names (namespace the name
+    with the service kind, e.g. ["redisjmp:" ^ store]). *)
+
+val find_service : t -> name:string -> service option
+val remove_service : t -> name:string -> unit

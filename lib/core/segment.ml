@@ -27,8 +27,6 @@ type t = {
   mutable destroyed : bool;
 }
 
-let next_sid = ref 0
-
 let create ?(lockable = true) ?acl ?node ?(huge = false) ~charge_to ~machine ~name ~base
     ~size ~prot () =
   if not (Addr.is_page_aligned base) then
@@ -41,9 +39,8 @@ let create ?(lockable = true) ?acl ?node ?(huge = false) ~charge_to ~machine ~na
   if base + size > Addr.va_limit then invalid_arg "Segment.create: beyond virtual range";
   let obj = Vm_object.create ~name ?node ~contiguous:huge machine ~size ~charge_to in
   let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
-  incr next_sid;
   {
-    sid = !next_sid;
+    sid = Sim_ctx.next_sid (Machine.sim_ctx machine);
     name;
     base;
     size;
@@ -64,9 +61,8 @@ let create_with_object ?(lockable = true) ?acl ~machine ~name ~base ~prot obj =
   if not (Addr.is_page_aligned base) then
     invalid_arg "Segment.create_with_object: base must be page aligned";
   let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
-  incr next_sid;
   {
-    sid = !next_sid;
+    sid = Sim_ctx.next_sid (Machine.sim_ctx machine);
     name;
     base;
     size = Vm_object.size obj;

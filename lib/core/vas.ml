@@ -12,12 +12,17 @@ type t = {
   mutable destroyed : bool;
 }
 
-let next_vid = ref 0
-
-let create ?acl ~name () =
+let create ctx ?acl ~name () =
   let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
-  incr next_vid;
-  { vid = !next_vid; name; acl; segments = []; tag = None; generation = 0; destroyed = false }
+  {
+    vid = Sim_ctx.next_vid ctx;
+    name;
+    acl;
+    segments = [];
+    tag = None;
+    generation = 0;
+    destroyed = false;
+  }
 
 let vid t = t.vid
 let name t = t.name

@@ -14,7 +14,10 @@
 
 type t
 
-val create : ?acl:Sj_kernel.Acl.t -> name:string -> unit -> t
+val create : Sj_util.Sim_ctx.t -> ?acl:Sj_kernel.Acl.t -> name:string -> unit -> t
+(** VAS ids come from the simulation's [Sim_ctx]; callers with a
+    machine pass [Machine.sim_ctx machine]. *)
+
 val vid : t -> int
 val name : t -> string
 val acl : t -> Sj_kernel.Acl.t

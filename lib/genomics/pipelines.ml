@@ -22,16 +22,17 @@ type env = {
   fs : Memfs.t;
   core : Core.core;
   refs : Record.reference list;
+  flagstat : Ops.flagstat option ref;
 }
 
-let make_env machine fs core = { machine; fs; core; refs = Record.default_references }
+let make_env machine fs core =
+  { machine; fs; core; refs = Record.default_references; flagstat = ref None }
 
 (* Cost of a demand-paging fault: trap entry/exit, VM object lookup,
    PTE install bookkeeping (the PTE write itself charges separately). *)
 let fault_trap = 1_100
 
-let last_flagstat_result : Ops.flagstat option ref = ref None
-let last_flagstat () = !last_flagstat_result
+let flagstat_result env = !(env.flagstat)
 
 (* Lay records out at consecutive addresses from [base]. *)
 let layout_addrs base records =
@@ -45,11 +46,13 @@ let layout_addrs base records =
   (addrs, !cursor - base)
 
 (* Run one operation over an in-memory dataset, producing the records
-   of the "result" (sorted copy for sorts, input for scans). *)
-let run_op d op =
+   of the "result" (sorted copy for sorts, input for scans). The
+   flagstat result lands in the caller's cell — env- or store-scoped,
+   never process-global, so concurrent simulations stay independent. *)
+let run_op cell d op =
   match op with
   | Flagstat ->
-    last_flagstat_result := Some (Ops.flagstat d);
+    cell := Some (Ops.flagstat d);
     d.Ops.records
   | Qname_sort -> Ops.apply_permutation d.records (Ops.sort_permutation d ~by:`Qname)
   | Coord_sort -> Ops.apply_permutation d.records (Ops.sort_permutation d ~by:`Coordinate)
@@ -118,7 +121,7 @@ let run_file env ~format op ~in_path ~out_path =
   (* Building the structures writes every record once. *)
   Core.charge env.core (span / 64 * (Machine.cost env.machine).l1_hit);
   let d = Ops.in_memory records ~addrs ~core:env.core in
-  let result = run_op d op in
+  let result = run_op env.flagstat d op in
   (match op with
   | Flagstat -> ()
   | Qname_sort | Coord_sort ->
@@ -200,7 +203,7 @@ let run_mmap store op =
   Core.set_page_table env.core (Some (Sj_kernel.Vmspace.page_table vms));
   proc_vms := Some vms;
   let d = Ops.in_memory store.m_records ~addrs:store.m_addrs ~core:env.core in
-  let result = run_op d op in
+  let result = run_op env.flagstat d op in
   (match op with Qname_sort | Coord_sort -> store.m_records <- result | Flagstat | Index -> ());
   (* Timers stop before unmapping (as the paper does). *)
   let elapsed = Core.cycles env.core - t0 in
@@ -219,6 +222,7 @@ type sj_store = {
   s_vh : Api.vh;
   mutable s_records : Record.t array;
   s_addrs : int array;
+  s_flagstat : Ops.flagstat option ref;
 }
 
 let prepare_spacejmp ctx ~name records =
@@ -237,7 +241,7 @@ let prepare_spacejmp ctx ~name records =
   Api.store_bytes ctx ~va:(Segment.base seg)
     (region_image (Segment.base seg) records addrs span);
   Api.switch_home ctx;
-  { s_ctx = ctx; s_vh = vh; s_records = records; s_addrs = addrs }
+  { s_ctx = ctx; s_vh = vh; s_records = records; s_addrs = addrs; s_flagstat = ref None }
 
 let run_spacejmp store op =
   let ctx = store.s_ctx in
@@ -246,13 +250,14 @@ let run_spacejmp store op =
   let t0 = Core.cycles core in
   Api.vas_switch ctx store.s_vh;
   let d = Ops.in_memory store.s_records ~addrs:store.s_addrs ~core in
-  let result = run_op d op in
+  let result = run_op store.s_flagstat d op in
   (match op with Qname_sort | Coord_sort -> store.s_records <- result | Flagstat | Index -> ());
   (* Results stay in the address space for the next process. *)
   Api.switch_home ctx;
   Core.cycles core - t0
 
 let spacejmp_records store = store.s_records
+let spacejmp_flagstat store = !(store.s_flagstat)
 
 let spacejmp_record_at store i =
   let ctx = store.s_ctx in

@@ -23,6 +23,7 @@ type env = {
   fs : Sj_memfs.Memfs.t;
   core : Sj_machine.Machine.Core.core;
   refs : Record.reference list;
+  flagstat : Ops.flagstat option ref;
 }
 
 val make_env : Sj_machine.Machine.t -> Sj_memfs.Memfs.t -> Sj_machine.Machine.Core.core -> env
@@ -66,5 +67,10 @@ val spacejmp_record_at : sj_store -> int -> Record.t
     (integrity check: the in-memory design really stores the bytes).
     Sorts record permutations; they do not rewrite the slots. *)
 
-val last_flagstat : unit -> Ops.flagstat option
-(** The flagstat result of the most recent Flagstat run (any design). *)
+val flagstat_result : env -> Ops.flagstat option
+(** The flagstat result of this environment's most recent Flagstat run
+    (file and mmap designs). Scoped to the env — not process-global —
+    so independent simulations never observe each other's results. *)
+
+val spacejmp_flagstat : sj_store -> Ops.flagstat option
+(** The flagstat result of this store's most recent Flagstat run. *)

@@ -38,10 +38,16 @@ let bases = [| 'A'; 'C'; 'G'; 'T' |]
 
 (* Reads are substrings of a per-reference random genome (with rare
    substitution errors), so overlapping reads share sequence — giving
-   BAM-style compression something to find, as real genomic data does. *)
+   BAM-style compression something to find, as real genomic data does.
+   The memo's content is a pure function of the reference identity, so
+   sharing it across simulations cannot leak state between them; the
+   mutex only makes concurrent misses race-free. Allowlisted in
+   test/lint_globals.sh. *)
 let genomes : (string, string) Hashtbl.t = Hashtbl.create 4
+let genomes_mutex = Mutex.create ()
 
 let genome_of _rng (r : reference) =
+  Mutex.protect genomes_mutex @@ fun () ->
   match Hashtbl.find_opt genomes r.ref_name with
   | Some g when String.length g = r.length -> g
   | Some _ | None ->

@@ -56,8 +56,9 @@ let pp_design fmt d = Format.pp_print_string fmt (design_name d)
    inherently serial). *)
 let apply_updates core rng ~window_base ~window_size ~count ~mlp =
   let before = Core.cycles core in
+  let slots = window_size / 8 in
   for _ = 1 to count do
-    let idx = Rng.int rng (window_size / 8) in
+    let idx = Rng.int rng slots in
     let va = window_base + (idx * 8) in
     let v = Core.load64 core ~va in
     Core.store64 core ~va (Int64.logxor v (Rng.bits64 rng))
@@ -83,7 +84,6 @@ let finish ~design ~cfg ~machine ~cycles ~switches ~tlb_misses =
 (* ---------- SpaceJMP design ---------- *)
 
 let run_spacejmp cfg =
-  Layout.reset_global_allocator ();
   let machine = Machine.create cfg.platform in
   let sys = Api.boot ~backend:Api.Dragonfly machine in
   let proc = Process.create ~name:"gups" machine in
@@ -129,7 +129,6 @@ let run_spacejmp cfg =
 (* ---------- MAP design (mmap/munmap on the critical path) ---------- *)
 
 let run_map cfg =
-  Layout.reset_global_allocator ();
   let machine = Machine.create cfg.platform in
   let proc = Process.create ~name:"gups-map" machine in
   let core = Machine.core machine 0 in
@@ -144,7 +143,7 @@ let run_map cfg =
           ~name:(Printf.sprintf "gups.obj%d" w)
           machine ~size:cfg.window_size ~charge_to:None)
   in
-  let window_base = Layout.next_global_base ~size:cfg.window_size in
+  let window_base = Layout.next_global_base (Machine.sim_ctx machine) ~size:cfg.window_size in
   (* Window 0 starts mapped (steady state before the timer). *)
   Vmspace.map_object vms ~charge_to:None ~base:window_base ~prot:Prot.rw objects.(0);
   let current = ref 0 in
@@ -175,7 +174,6 @@ let run_map cfg =
 (* ---------- MP design (multi-process message passing) ---------- *)
 
 let run_mp cfg =
-  Layout.reset_global_allocator ();
   let machine = Machine.create cfg.platform in
   let cores_total = Platform.total_cores cfg.platform in
   let oversubscribed = cfg.windows > cores_total in

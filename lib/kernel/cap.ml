@@ -1,9 +1,11 @@
 open Sj_paging
+module Sim_ctx = Sj_util.Sim_ctx
 
 type captype = Ram of int | Frame | Vnode of int | Vas_ref of int | Endpoint of int
 
 type t = {
   id : int;
+  ctx : Sim_ctx.t; (* id generator; children inherit it *)
   captype : captype;
   rights : Prot.t;
   mutable revoked : bool;
@@ -11,18 +13,23 @@ type t = {
   mutable children : t list;
 }
 
-let next_id = ref 0
-
-let make captype rights =
-  incr next_id;
-  { id = !next_id; captype; rights; revoked = false; retyped = false; children = [] }
+let make ctx captype rights =
+  {
+    id = Sim_ctx.next_cap_id ctx;
+    ctx;
+    captype;
+    rights;
+    revoked = false;
+    retyped = false;
+    children = [];
+  }
 
 let captype t = t.captype
 let rights t = t.rights
 let is_revoked t = t.revoked
-let create_ram ~size = make (Ram size) Prot.rwx
-let create_endpoint ~service = make (Endpoint service) Prot.rw
-let create_vas_ref ~vas ~rights = make (Vas_ref vas) rights
+let create_ram ctx ~size = make ctx (Ram size) Prot.rwx
+let create_endpoint ctx ~service = make ctx (Endpoint service) Prot.rw
+let create_vas_ref ctx ~vas ~rights = make ctx (Vas_ref vas) rights
 
 let retype t ~into =
   if t.revoked then invalid_arg "Cap.retype: revoked";
@@ -34,14 +41,14 @@ let retype t ~into =
   | Frame | Vnode _ -> ()
   | Ram _ | Vas_ref _ | Endpoint _ -> invalid_arg "Cap.retype: invalid target type");
   t.retyped <- true;
-  let child = make into t.rights in
+  let child = make t.ctx into t.rights in
   t.children <- child :: t.children;
   child
 
 let mint t ~rights =
   if t.revoked then invalid_arg "Cap.mint: revoked";
   if not (Prot.subsumes t.rights rights) then invalid_arg "Cap.mint: rights amplification";
-  let child = make t.captype rights in
+  let child = make t.ctx t.captype rights in
   t.children <- child :: t.children;
   child
 

@@ -27,11 +27,14 @@ val captype : t -> captype
 val rights : t -> Sj_paging.Prot.t
 val is_revoked : t -> bool
 
-val create_ram : size:int -> t
-(** A fresh untyped memory capability (memory-server allocation). *)
+val create_ram : Sj_util.Sim_ctx.t -> size:int -> t
+(** A fresh untyped memory capability (memory-server allocation).
+    Capability ids come from the simulation's [Sim_ctx] (callers with a
+    machine pass [Machine.sim_ctx machine]); children made by {!retype}
+    and {!mint} inherit the parent's generator. *)
 
-val create_endpoint : service:int -> t
-val create_vas_ref : vas:int -> rights:Sj_paging.Prot.t -> t
+val create_endpoint : Sj_util.Sim_ctx.t -> service:int -> t
+val create_vas_ref : Sj_util.Sim_ctx.t -> vas:int -> rights:Sj_paging.Prot.t -> t
 
 val retype : t -> into:captype -> t
 (** Retype untyped memory. Raises [Invalid_argument] if the source is

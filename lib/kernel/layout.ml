@@ -9,17 +9,20 @@ let global_base = private_limit
 let is_private va = va >= 0 && va < private_limit
 let is_global va = va >= global_base && va < Addr.va_limit
 
-let global_cursor = ref global_base
+(* The cursor lives in the simulation's Sim_ctx (as an offset above
+   [global_base]) so two machines place their global segments
+   identically and independently. *)
 
-let next_global_base ~size =
-  let base = !global_cursor in
+let next_global_base ctx ~size =
+  let base = global_base + Sim_ctx.layout_offset ctx in
   let span = Size.round_up size ~align:(Size.gib 1) in
-  global_cursor := base + span;
-  if !global_cursor >= Addr.va_limit then failwith "Layout: global address range exhausted";
+  Sim_ctx.set_layout_offset ctx (base + span - global_base);
+  if base + span >= Addr.va_limit then failwith "Layout: global address range exhausted";
   base
 
-let reset_global_allocator () = global_cursor := global_base
+let reset_global_allocator ctx = Sim_ctx.set_layout_offset ctx 0
 
-let reserve_global ~base ~size =
+let reserve_global ctx ~base ~size =
   let top = Size.round_up (base + size) ~align:(Size.gib 1) in
-  if top > !global_cursor then global_cursor := top
+  if top - global_base > Sim_ctx.layout_offset ctx then
+    Sim_ctx.set_layout_offset ctx (top - global_base)

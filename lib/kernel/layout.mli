@@ -27,14 +27,17 @@ val global_base : int
 val is_private : int -> bool
 val is_global : int -> bool
 
-val next_global_base : size:int -> int
-(** Process-wide sequential allocator for global segment bases, aligned
-    to 1 GiB so segment translations can be cached as whole PDPT-slot
-    subtrees (§4.4). Deterministic across runs. *)
+val next_global_base : Sj_util.Sim_ctx.t -> size:int -> int
+(** Per-simulation sequential allocator for global segment bases,
+    aligned to 1 GiB so segment translations can be cached as whole
+    PDPT-slot subtrees (§4.4). The cursor lives in the simulation's
+    [Sim_ctx] (callers with a machine pass [Machine.sim_ctx machine]),
+    so bases are deterministic per machine regardless of what else the
+    process has simulated. *)
 
-val reset_global_allocator : unit -> unit
-(** Reset the sequential allocator (test isolation). *)
+val reset_global_allocator : Sj_util.Sim_ctx.t -> unit
+(** Reset the sequential allocator (machine reuse within one test). *)
 
-val reserve_global : base:int -> size:int -> unit
+val reserve_global : Sj_util.Sim_ctx.t -> base:int -> size:int -> unit
 (** Advance the allocator past an externally placed range (segments
     restored from a persistence image keep their original bases). *)

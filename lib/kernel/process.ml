@@ -20,8 +20,6 @@ type t = {
   mutable live : bool;
 }
 
-let next_pid = ref 0
-
 let create ?(text_size = Size.kib 512) ?(data_size = Size.mib 2) ?(stack_size = Size.mib 8)
     ?(cred = Acl.root) ~name machine =
   let text_size = Size.round_up text_size ~align:Addr.page_size in
@@ -40,9 +38,8 @@ let create ?(text_size = Size.kib 512) ?(data_size = Size.mib 2) ?(stack_size = 
   let stack_base = Layout.stack_top - stack_size in
   Vmspace.map_object primary ~charge_to:None ~base:stack_base ~name:"stack0" ~prot:Prot.rw
     stack_obj;
-  incr next_pid;
   {
-    pid = !next_pid;
+    pid = Sim_ctx.next_pid (Machine.sim_ctx machine);
     name;
     cred;
     machine;

@@ -3,6 +3,7 @@ module Machine = Sj_machine.Machine
 
 type t = {
   id : int;
+  ctx : Sim_ctx.t; (* id generator for COW clones of this object *)
   name : string option;
   mutable frames : Sj_mem.Phys_mem.frame array;
   (* Per-page owner counts; the cell (not just the value) is shared
@@ -11,14 +12,19 @@ type t = {
   mutable destroyed : bool;
 }
 
-let next_id = ref 0
-
 let create ?name ?node ?contiguous machine ~size ~charge_to =
   if size <= 0 then invalid_arg "Vm_object.create: size must be positive";
   let pages = (size + Addr.page_size - 1) / Addr.page_size in
   let frames = Machine.alloc_pages ?node ?contiguous machine ~n:pages ~charge_to in
-  incr next_id;
-  { id = !next_id; name; frames; shares = Array.init pages (fun _ -> ref 1); destroyed = false }
+  let ctx = Machine.sim_ctx machine in
+  {
+    id = Sim_ctx.next_vm_object_id ctx;
+    ctx;
+    name;
+    frames;
+    shares = Array.init pages (fun _ -> ref 1);
+    destroyed = false;
+  }
 
 let id t = t.id
 let name t = t.name
@@ -56,9 +62,9 @@ let is_destroyed t = t.destroyed
 let cow_clone ?name t =
   if t.destroyed then invalid_arg "Vm_object.cow_clone: destroyed";
   Array.iter incr t.shares;
-  incr next_id;
   {
-    id = !next_id;
+    id = Sim_ctx.next_vm_object_id t.ctx;
+    ctx = t.ctx;
     name = (match name with Some _ -> name | None -> t.name);
     frames = Array.copy t.frames;
     shares = Array.copy t.shares (* same ref cells, private array *);

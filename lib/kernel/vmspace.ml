@@ -23,8 +23,6 @@ type t = {
   mutable regions : region array; (* sorted by base, non-overlapping *)
 }
 
-let next_id = ref 0
-
 (* Charge the page-table work performed since [before] to a core. *)
 let charge_pt_delta t charge_to (before : Page_table.stats) =
   match charge_to with
@@ -52,8 +50,7 @@ let create machine ~charge_to =
   (match charge_to with
   | Some core -> Core.charge core (Machine.cost machine).table_alloc
   | None -> ());
-  incr next_id;
-  { id = !next_id; machine; pt; regions = [||] }
+  { id = Sim_ctx.next_vmspace_id (Machine.sim_ctx machine); machine; pt; regions = [||] }
 
 let id t = t.id
 let page_table t = t.pt

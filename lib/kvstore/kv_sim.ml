@@ -3,7 +3,6 @@ module Machine = Sj_machine.Machine
 module Core = Machine.Core
 module Platform = Sj_machine.Platform
 module Process = Sj_kernel.Process
-module Layout = Sj_kernel.Layout
 module Api = Sj_core.Api
 module Registry = Sj_core.Registry
 module Engine = Sj_des.Engine
@@ -53,13 +52,17 @@ type result = {
    section (cache-line RMW + wait-queue bookkeeping). *)
 let lock_mgr_section = 1_200
 
-let key_of rng cfg = Printf.sprintf "key:%06d" (Rng.int rng cfg.keyspace)
+(* The request loops are the simulator's hottest paths: every request
+   used to Printf a fresh key string and allocate a fresh value buffer,
+   which dominated host-side time. Precompute the whole keyspace once
+   per run and share one value buffer — the store copies request bytes
+   into simulated memory, so reuse is safe. *)
+let make_key_pool cfg = Array.init cfg.keyspace (Printf.sprintf "key:%06d")
+let key_of keys rng cfg = keys.(Rng.int rng cfg.keyspace)
 
 (* ---------------- RedisJMP ---------------- *)
 
 let run_redisjmp cfg ~tags =
-  Layout.reset_global_allocator ();
-  Redisjmp.reset ();
   let machine = Machine.create cfg.platform in
   let ncores_machine = Platform.total_cores cfg.platform in
   let sys = Api.boot ~backend:Api.Dragonfly machine in
@@ -72,10 +75,12 @@ let run_redisjmp cfg ~tags =
     Api.vas_ctl boot_ctx (`Request_tag (Api.vas_find boot_ctx ~name:"redis.ro"))
   end;
   let boot_client = Redisjmp.connect store boot_ctx () in
+  let keys = make_key_pool cfg in
+  let value = Bytes.create cfg.value_size in
   let seed_rng = Rng.create ~seed:cfg.seed in
   for i = 0 to cfg.keyspace - 1 do
     ignore seed_rng;
-    Redisjmp.set boot_client (Printf.sprintf "key:%06d" i) (Bytes.create cfg.value_size)
+    Redisjmp.set boot_client keys.(i) value
   done;
   (* Clients. *)
   let clients =
@@ -99,14 +104,13 @@ let run_redisjmp cfg ~tags =
     if Engine.now eng < cfg.duration_cycles then begin
       let is_set = Rng.float rng 1.0 < cfg.set_fraction in
       let lock_write = is_set || cfg.force_exclusive in
-      let key = key_of rng cfg in
+      let key = key_of keys rng cfg in
       (* Lock-manager critical section, then the rwlock itself. *)
       Resource.Cores.exec lock_mgr ~cycles:lock_mgr_section (fun () ->
           Resource.Rwlock.acquire lock ~write:lock_write (fun () ->
               (* Service time: run the real operation on the simulated core. *)
               let t0 = Core.cycles core in
-              (if is_set then
-                 Redisjmp.set client key (Bytes.create cfg.value_size)
+              (if is_set then Redisjmp.set client key value
                else ignore (Redisjmp.get client key));
               let service = Core.cycles core - t0 in
               Resource.Cores.exec cores ~cycles:service (fun () ->
@@ -142,8 +146,9 @@ let run_redisjmp cfg ~tags =
 (* ---------------- Classic Redis ---------------- *)
 
 let run_redis cfg ~instances =
-  Layout.reset_global_allocator ();
   let machine = Machine.create cfg.platform in
+  let keys = make_key_pool cfg in
+  let value = Bytes.create cfg.value_size in
   let ncores_machine = Platform.total_cores cfg.platform in
   (* Server instances pinned to distinct cores. *)
   let servers =
@@ -159,7 +164,7 @@ let run_redis cfg ~instances =
         Server.connect server ~core:(Machine.core machine ((instances + i) mod ncores_machine))
       in
       for k = 0 to cfg.keyspace - 1 do
-        ignore (Server.request seeder (Resp.Set (Printf.sprintf "key:%06d" k, Bytes.create cfg.value_size)))
+        ignore (Server.request seeder (Resp.Set (keys.(k), value)))
       done)
     servers;
   let clients =
@@ -176,14 +181,12 @@ let run_redis cfg ~instances =
   let rec client_loop (conn, inst, core, rng) () =
     if Engine.now eng < cfg.duration_cycles then begin
       let is_set = Rng.float rng 1.0 < cfg.set_fraction in
-      let key = key_of rng cfg in
+      let key = key_of keys rng cfg in
       (* Execute the real request once, attributing client-side and
          server-side cycles to the right resources. *)
       let server = servers.(inst) in
       let c0 = Core.cycles core and s0 = Core.cycles (Server.core server) in
-      let cmd =
-        if is_set then Resp.Set (key, Bytes.create cfg.value_size) else Resp.Get key
-      in
+      let cmd = if is_set then Resp.Set (key, value) else Resp.Get key in
       ignore (Server.request conn cmd);
       let client_cycles = Core.cycles core - c0 in
       let server_cycles = Core.cycles (Server.core server) - s0 in

@@ -54,20 +54,26 @@ let init ctx ~name ~size =
   in
   { name; vas_rw; vas_ro; seg; store = Store.create boot_mem }
 
-let stores : (string, t) Hashtbl.t = Hashtbl.create 8
+(* Stores are registered in the owning system's registry (service map),
+   not in a process-global table: a fresh system starts with no stores,
+   and concurrent simulations cannot see each other's. *)
+type Sj_core.Registry.service += Store_service of t
+
+let service_name name = "redisjmp:" ^ name
 
 let init ctx ~name ~size =
-  if Hashtbl.mem stores name then invalid_arg ("Redisjmp.init: store exists: " ^ name);
+  let reg = Api.registry (Api.system ctx) in
+  (match Sj_core.Registry.find_service reg ~name:(service_name name) with
+  | Some _ -> invalid_arg ("Redisjmp.init: store exists: " ^ name)
+  | None -> ());
   let t = init ctx ~name ~size in
-  Hashtbl.replace stores name t;
+  Sj_core.Registry.set_service reg ~name:(service_name name) (Store_service t);
   t
 
-let reset () = Hashtbl.reset stores
-
-let find _ctx ~name =
-  match Hashtbl.find_opt stores name with
-  | Some t -> t
-  | None -> raise (Errors.Unknown_name name)
+let find ctx ~name =
+  match Sj_core.Registry.find_service (Api.registry (Api.system ctx)) ~name:(service_name name) with
+  | Some (Store_service t) -> t
+  | Some _ | None -> raise (Errors.Unknown_name name)
 
 let connect t ctx ?(scratch_size = Size.mib 1) () =
   let vh_rw = Api.vas_attach ctx (Api.vas_find ctx ~name:(t.name ^ ".rw")) in

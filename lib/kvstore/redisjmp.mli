@@ -26,10 +26,10 @@ val init :
     structures (lazy server-state construction as in §5.3). *)
 
 val find : Sj_core.Api.ctx -> name:string -> t
-(** Look up an existing store (raises [Errors.Unknown_name]). *)
-
-val reset : unit -> unit
-(** Forget all stores (experiment isolation across machine instances). *)
+(** Look up an existing store in the calling context's system (raises
+    [Errors.Unknown_name]). Stores live in the system registry's
+    service map, not in process-global state, so a fresh system starts
+    with none and concurrent simulations are independent. *)
 
 val connect : t -> Sj_core.Api.ctx -> ?scratch_size:int -> unit -> client
 (** Attach the calling process: builds its rw and ro attachments and

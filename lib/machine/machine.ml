@@ -30,6 +30,11 @@ and t = {
   cost : Cost_model.t;
   llcs : Cache.t array; (* one per socket *)
   mutable core_list : core_state array;
+  (* Per-simulation world state: id generators and the layout cursor
+     for everything built on this machine. Scoped here (not globally)
+     so machines are independent of each other — bit-identical results
+     no matter how many machines exist or which domain runs them. *)
+  ctx : Sim_ctx.t;
   (* Host-side translation/bulk fast path. Semantics-preserving: the
      simulated cycles, TLB/page-table stats and data results are
      bit-identical with [fast] on or off (test/test_fastpath.ml is the
@@ -39,18 +44,21 @@ and t = {
 
 (* Default for machines whose creator does not pass [?fast] — lets the
    bench harness drive whole workloads (which create their own
-   machines) down either path. *)
-let default_fast = ref true
+   machines) down either path. Domain-local: each domain carries its
+   own default, so parallel tasks control their mode independently
+   (a fresh domain starts at [true]; tasks needing a specific mode
+   wrap themselves in [with_fast_path]). *)
+let default_fast = Domain.DLS.new_key (fun () -> true)
 
 let with_fast_path enabled f =
-  let saved = !default_fast in
-  default_fast := enabled;
-  Fun.protect ~finally:(fun () -> default_fast := saved) f
+  let saved = Domain.DLS.get default_fast in
+  Domain.DLS.set default_fast enabled;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set default_fast saved) f
 
 let memcpy_chunk = 4096
 
 let create ?fast (platform : Platform.t) =
-  let fast = match fast with Some f -> f | None -> !default_fast in
+  let fast = match fast with Some f -> f | None -> Domain.DLS.get default_fast in
   let mem =
     Phys_mem.create_tiered ~size:platform.mem_size ~numa_nodes:platform.sockets
       ~capacity_size:platform.capacity_size
@@ -59,7 +67,10 @@ let create ?fast (platform : Platform.t) =
     Array.init platform.sockets (fun _ ->
         Cache.create ~size:platform.llc_size ~ways:platform.llc_ways ~line:platform.line)
   in
-  let t = { platform; mem; cost = platform.cost; llcs; core_list = [||]; fast } in
+  let t =
+    { platform; mem; cost = platform.cost; llcs; core_list = [||];
+      ctx = Sim_ctx.create (); fast }
+  in
   let cores =
     Array.init (Platform.total_cores platform) (fun i ->
         {
@@ -82,6 +93,7 @@ let create ?fast (platform : Platform.t) =
 let platform t = t.platform
 let mem t = t.mem
 let cost t = t.cost
+let sim_ctx t = t.ctx
 let fast_path_enabled t = t.fast
 
 module Core = struct

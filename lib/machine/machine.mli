@@ -32,13 +32,22 @@ val create : ?fast:bool -> Platform.t -> t
 val with_fast_path : bool -> (unit -> 'a) -> 'a
 (** [with_fast_path enabled f] runs [f] with the given default for
     machines created without an explicit [?fast] — how the bench
-    harness drives whole workloads down either path. *)
+    harness drives whole workloads down either path. The default is
+    *domain-local*: setting it in one domain does not affect tasks
+    running in others, so a parallel task that needs a specific mode
+    wraps its own body (fresh domains start at [true]). *)
 
 val fast_path_enabled : t -> bool
 
 val platform : t -> Platform.t
 val mem : t -> Sj_mem.Phys_mem.t
 val cost : t -> Cost_model.t
+
+val sim_ctx : t -> Sj_util.Sim_ctx.t
+(** The machine's private world state: id generators and the global-
+    segment layout cursor for everything simulated on this machine.
+    One per machine — never shared — which is what makes two machines
+    in one process (or two domains) fully independent. *)
 
 module Core : sig
   type core

@@ -26,6 +26,9 @@ type t = {
      hashtable probes. Invalidated on free and zero. *)
   mutable memo_frame : frame;
   mutable memo_bytes : bytes;
+  (* Structural-change epoch for the page tables built over this
+     memory; see {!bump_pt_epoch}. *)
+  mutable pt_epoch : int;
 }
 
 let create_tiered ~size ~numa_nodes ~capacity_size =
@@ -61,6 +64,7 @@ let create_tiered ~size ~numa_nodes ~capacity_size =
     n_allocated = 0;
     memo_frame = -1;
     memo_bytes = Bytes.empty;
+    pt_epoch = 0;
   }
 
 let create ~size ~numa_nodes = create_tiered ~size ~numa_nodes ~capacity_size:0
@@ -86,6 +90,8 @@ let node_of_frame t f =
   go 0
 
 let is_allocated t f = Hashtbl.mem t.allocated f
+let pt_epoch t = t.pt_epoch
+let bump_pt_epoch t = t.pt_epoch <- t.pt_epoch + 1
 
 let alloc_on_node t node =
   match t.free_lists.(node) with

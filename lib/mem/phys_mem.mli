@@ -68,6 +68,18 @@ val node_of_frame : t -> frame -> int
 
 val is_allocated : t -> frame -> bool
 
+val pt_epoch : t -> int
+(** Structural-change epoch of the page tables built over this memory.
+    Interior page-table subtrees may be shared between roots (grafting),
+    but only among tables over the *same* physical memory — so a
+    per-memory epoch is exactly wide enough to invalidate software
+    walk caches soundly, while keeping independent simulations (each
+    with its own [Phys_mem.t]) from perturbing each other. Maintained by
+    [Sj_paging.Page_table]. *)
+
+val bump_pt_epoch : t -> unit
+(** Record a structural page-table change (map/unmap/graft/...). *)
+
 (** {2 Contents access}
 
     All accessors take raw physical addresses and may cross frame

@@ -32,14 +32,15 @@ type subtree = node
 
 let fresh_stats () = { tables_allocated = 0; tables_freed = 0; pte_writes = 0; pte_clears = 0 }
 
-(* Structural-change epoch, deliberately *global*: interior subtrees may
-   be shared between roots (grafting), so a mutation through one root
-   can be visible in walks of another. Walk caches self-invalidate
-   whenever any table anywhere changed, which is trivially sound and
-   costs nothing on the mutation-free hot loops the caches target. *)
-let global_gen = ref 0
-
-let dirty _t = incr global_gen
+(* Structural-change epoch, kept per *physical memory*: interior
+   subtrees may be shared between roots (grafting), so a mutation
+   through one root can be visible in walks of another — but only among
+   tables over the same [Phys_mem.t]. Walk caches self-invalidate
+   whenever any table over that memory changed, which is trivially
+   sound, costs nothing on the mutation-free hot loops the caches
+   target, and keeps independent simulations (each with its own
+   physical memory) from invalidating each other's caches. *)
+let dirty t = Phys_mem.bump_pt_epoch t.mem
 
 let alloc_node t ~level =
   t.stats.tables_allocated <- t.stats.tables_allocated + 1;
@@ -255,11 +256,11 @@ let walk_cached t wc ~va =
   if va < 0 || va >= Addr.va_limit then None
   else begin
     (match wc.owner with
-    | Some o when o == t && wc.wgen = !global_gen -> ()
+    | Some o when o == t && wc.wgen = Phys_mem.pt_epoch t.mem -> ()
     | _ ->
       walk_cache_reset wc;
       wc.owner <- Some t;
-      wc.wgen <- !global_gen);
+      wc.wgen <- Phys_mem.pt_epoch t.mem);
     (* Resume from the deepest cached node covering [va]; a node at
        level L is reached by the full walk with [levels] = 5 - L. *)
     match wc.node_l1 with

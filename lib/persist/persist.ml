@@ -166,7 +166,7 @@ let restore sys image =
     let seg =
       Segment.create ~lockable ~huge ~acl ~charge_to:None ~machine ~name ~base ~size ~prot ()
     in
-    Sj_kernel.Layout.reserve_global ~base ~size;
+    Sj_kernel.Layout.reserve_global (Machine.sim_ctx machine) ~base ~size;
     write_contents machine seg (Block_lz.decompress compressed);
     Registry.register_seg reg seg;
     if chunks <> [] then
@@ -178,7 +178,7 @@ let restore sys image =
     let acl, p = r_acl image !pos in
     pos := p;
     let tag = next_varint () in
-    let vas = Vas.create ~acl ~name () in
+    let vas = Vas.create (Machine.sim_ctx machine) ~acl ~name () in
     if tag <> 0 then Vas.assign_tag vas tag;
     let n = next_varint () in
     for _ = 1 to n do

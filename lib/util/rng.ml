@@ -73,25 +73,35 @@ let geometric t ~p =
 
 (* Zipf via rejection-inversion (Hormann & Derflinger). For the modest
    [n] used by workloads a simple cumulative-table method suffices and
-   is easier to verify. Tables are memoized per (n, s). *)
+   is easier to verify. Tables are memoized per (n, s) — the memo is a
+   process-wide cache of *deterministic* content (identical for every
+   simulation), so sharing it across domains is benign; the mutex only
+   protects the table structure itself. Allowlisted in the
+   domain-safety lint (test/lint_globals.sh). *)
 let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+let zipf_mutex = Mutex.create ()
 
 let zipf_table n s =
-  match Hashtbl.find_opt zipf_tables (n, s) with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    for k = 1 to n do
-      acc := !acc +. (1.0 /. Float.pow (float_of_int k) s);
-      tbl.(k - 1) <- !acc
-    done;
-    let total = !acc in
-    for k = 0 to n - 1 do
-      tbl.(k) <- tbl.(k) /. total
-    done;
-    Hashtbl.replace zipf_tables (n, s) tbl;
-    tbl
+  Mutex.lock zipf_mutex;
+  let tbl =
+    match Hashtbl.find_opt zipf_tables (n, s) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for k = 1 to n do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int k) s);
+        tbl.(k - 1) <- !acc
+      done;
+      let total = !acc in
+      for k = 0 to n - 1 do
+        tbl.(k) <- tbl.(k) /. total
+      done;
+      Hashtbl.replace zipf_tables (n, s) tbl;
+      tbl
+  in
+  Mutex.unlock zipf_mutex;
+  tbl
 
 let zipf t ~n ~s =
   assert (n > 0);

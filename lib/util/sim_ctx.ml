@@ -1,0 +1,55 @@
+(* Per-simulation world state. One value of this record backs every
+   id generator and policy cursor that used to be a process-global ref,
+   so two machines built in the same process (or in two domains) are
+   fully independent and each one numbers its objects from scratch. *)
+
+type t = {
+  mutable next_vm_object : int;
+  mutable next_cap : int;
+  mutable next_vmspace : int;
+  mutable next_pid : int;
+  mutable next_vid : int;
+  mutable next_sid : int;
+  (* Global-segment layout cursor, stored as a byte offset above the
+     layout's global base so this module stays policy-free; only
+     Sj_kernel.Layout interprets it. *)
+  mutable layout_offset : int;
+}
+
+let create () =
+  {
+    next_vm_object = 0;
+    next_cap = 0;
+    next_vmspace = 0;
+    next_pid = 0;
+    next_vid = 0;
+    next_sid = 0;
+    layout_offset = 0;
+  }
+
+let next_vm_object_id t =
+  t.next_vm_object <- t.next_vm_object + 1;
+  t.next_vm_object
+
+let next_cap_id t =
+  t.next_cap <- t.next_cap + 1;
+  t.next_cap
+
+let next_vmspace_id t =
+  t.next_vmspace <- t.next_vmspace + 1;
+  t.next_vmspace
+
+let next_pid t =
+  t.next_pid <- t.next_pid + 1;
+  t.next_pid
+
+let next_vid t =
+  t.next_vid <- t.next_vid + 1;
+  t.next_vid
+
+let next_sid t =
+  t.next_sid <- t.next_sid + 1;
+  t.next_sid
+
+let layout_offset t = t.layout_offset
+let set_layout_offset t off = t.layout_offset <- off

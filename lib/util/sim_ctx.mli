@@ -1,0 +1,35 @@
+(** Per-simulation world state.
+
+    Every id generator and allocation cursor that would otherwise be a
+    process-global mutable ref lives here, one instance per simulated
+    machine. That scoping is what makes simulations independent: a
+    machine's object ids and segment bases do not depend on how many
+    machines were built earlier in the process, and two simulations can
+    run concurrently in different domains without sharing any mutable
+    state (see HACKING.md, "Domain safety").
+
+    A context is owned by exactly one simulation and is not itself
+    thread-safe; concurrency comes from giving each domain its own. *)
+
+type t
+
+val create : unit -> t
+(** A fresh context with every counter at zero. [Sj_machine.Machine.create]
+    makes one per machine; standalone kernel tests can create their own. *)
+
+(** Id generators. Each call returns the next id, starting at 1 —
+    the same sequence the former global counters produced in a fresh
+    process. *)
+
+val next_vm_object_id : t -> int
+val next_cap_id : t -> int
+val next_vmspace_id : t -> int
+val next_pid : t -> int
+val next_vid : t -> int
+val next_sid : t -> int
+
+val layout_offset : t -> int
+(** Byte offset of the global-segment layout cursor above the layout's
+    global base. Interpreted by [Sj_kernel.Layout] only. *)
+
+val set_layout_offset : t -> int -> unit

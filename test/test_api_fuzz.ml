@@ -45,7 +45,6 @@ type world = {
 }
 
 let build_world () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p = Process.create ~name:"fuzz" m in

@@ -15,7 +15,6 @@ let tiny : Platform.t =
   { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
 
 let setup () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot ~backend:Api.Barrelfish m in
   let p = Process.create ~name:"bf" m in
@@ -65,7 +64,6 @@ let test_switch_cheaper_than_dragonfly () =
   (* Same workload, both backends: Barrelfish's switch path must be the
      cheaper one (Table 2: 664 vs 1127). *)
   let measure backend =
-    Layout.reset_global_allocator ();
     let m = Machine.create tiny in
     let sys = Api.boot ~backend m in
     let p = Process.create ~name:"x" m in
@@ -85,7 +83,7 @@ let test_switch_cheaper_than_dragonfly () =
 let test_retype_discipline () =
   (* The capability system refuses aliasing: the RAM behind a page
      table cannot be retyped twice. *)
-  let ram = Cap.create_ram ~size:4096 in
+  let ram = Cap.create_ram (Sim_ctx.create ()) ~size:4096 in
   let _ = Cap.retype ram ~into:(Cap.Vnode 1) in
   Alcotest.(check bool) "second retype refused" true
     (try

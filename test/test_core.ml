@@ -13,7 +13,6 @@ let tiny : Platform.t =
   { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
 
 let setup ?backend () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot ?backend m in
   let p = Process.create ~name:"p0" m in
@@ -221,9 +220,9 @@ let test_local_scratch_segment () =
      with Machine.Page_fault _ -> true)
 
 let test_address_conflict_detected () =
-  let _, _, ctx = setup () in
+  let m, _, ctx = setup () in
   let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
-  let base = Sj_kernel.Layout.next_global_base ~size:(Size.mib 2) in
+  let base = Sj_kernel.Layout.next_global_base (Machine.sim_ctx m) ~size:(Size.mib 2) in
   let s1 = Api.seg_alloc ctx ~name:"a" ~base ~size:(Size.mib 2) ~mode:0o600 in
   let s2 = Api.seg_alloc ctx ~name:"b" ~base:(base + Size.mib 1) ~size:(Size.mib 2) ~mode:0o600 in
   Api.seg_attach ctx vas s1 ~prot:Prot.rw;
@@ -237,7 +236,6 @@ let test_switch_costs_by_backend () =
   (* Table 2: switching costs differ by OS and tagging. The segment is
      non-lockable so the measured path is exactly syscall+CR3+bookkeeping. *)
   let measure ~backend ~tagged =
-    Layout.reset_global_allocator ();
     let m = Machine.create tiny in
     let sys = Api.boot ~backend m in
     let p = Process.create ~name:"bench" m in
@@ -246,7 +244,7 @@ let test_switch_costs_by_backend () =
     if tagged then Api.vas_ctl ctx (`Request_tag vas);
     let seg =
       Segment.create ~lockable:false ~charge_to:None ~machine:m ~name:"s"
-        ~base:(Layout.next_global_base ~size:(Size.mib 1))
+        ~base:(Layout.next_global_base (Machine.sim_ctx m) ~size:(Size.mib 1))
         ~size:(Size.mib 1) ~prot:Prot.rw ()
     in
     Registry.register_seg (Api.registry sys) seg;
@@ -433,11 +431,10 @@ let prop_segment_lock_model =
   QCheck.Test.make ~name:"segment lock agrees with reader/writer model" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 3))
     (fun ops ->
-      Layout.reset_global_allocator ();
       let m = Machine.create tiny in
       let seg =
         Segment.create ~charge_to:None ~machine:m ~name:"lk"
-          ~base:(Layout.next_global_base ~size:Size.(kib 4))
+          ~base:(Layout.next_global_base (Machine.sim_ctx m) ~size:Size.(kib 4))
           ~size:(Size.kib 4) ~prot:Prot.rw ()
       in
       let readers = ref 0 and writer = ref false in

@@ -215,7 +215,6 @@ let test_records_between_exactness () =
      with Invalid_argument _ -> true)
 
 let make_world () =
-  Sj_kernel.Layout.reset_global_allocator ();
   let machine = Machine.create tiny in
   let sys = Api.boot machine in
   let proc = Sj_kernel.Process.create ~name:"geno" machine in
@@ -242,18 +241,25 @@ let test_pipelines_agree () =
         (Pipelines.spacejmp_record_at sj i = records.(i)))
     [ 0; 17; Array.length records - 1 ];
   (* flagstat equivalence *)
-  let run_flagstat f =
+  let run_flagstat f result =
     ignore (f Pipelines.Flagstat);
-    Option.get (Pipelines.last_flagstat ())
+    Option.get (result ())
   in
+  let env_result () = Pipelines.flagstat_result env in
   let f_sam =
-    run_flagstat (fun op -> Pipelines.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"o")
+    run_flagstat
+      (fun op -> Pipelines.run_file env ~format:`Sam op ~in_path:"in.sam" ~out_path:"o")
+      env_result
   in
   let f_bam =
-    run_flagstat (fun op -> Pipelines.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"o")
+    run_flagstat
+      (fun op -> Pipelines.run_file env ~format:`Bam op ~in_path:"in.bam" ~out_path:"o")
+      env_result
   in
-  let f_mm = run_flagstat (fun op -> Pipelines.run_mmap mm op) in
-  let f_sj = run_flagstat (fun op -> Pipelines.run_spacejmp sj op) in
+  let f_mm = run_flagstat (fun op -> Pipelines.run_mmap mm op) env_result in
+  let f_sj =
+    run_flagstat (fun op -> Pipelines.run_spacejmp sj op) (fun () -> Pipelines.spacejmp_flagstat sj)
+  in
   Alcotest.(check bool) "flagstat equal" true (f_sam = f_bam && f_bam = f_mm && f_mm = f_sj);
   (* coordinate-sort equivalence: both in-memory designs end up sorted *)
   ignore (Pipelines.run_mmap mm Pipelines.Coord_sort);

@@ -14,7 +14,6 @@ let tiny : Platform.t =
   { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
 
 let setup () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p = Process.create ~name:"p" m in
@@ -142,7 +141,6 @@ let test_grown_segment_persists () =
   Api.store64 ctx ~va:(Segment.base seg + Size.kib 100) 9L;
   Api.switch_home ctx;
   let image = Sj_persist.Persist.save sys in
-  Layout.reset_global_allocator ();
   let m2 = Machine.create tiny in
   let sys2 = Api.boot m2 in
   let p2 = Process.create ~name:"p" m2 in

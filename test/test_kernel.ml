@@ -45,7 +45,7 @@ let test_acl_chmod () =
 (* --- Capabilities --- *)
 
 let test_cap_retype () =
-  let ram = Cap.create_ram ~size:4096 in
+  let ram = Cap.create_ram (Sim_ctx.create ()) ~size:4096 in
   let frame = Cap.retype ram ~into:Cap.Frame in
   Alcotest.(check bool) "frame type" true (Cap.captype frame = Cap.Frame);
   Alcotest.(check bool) "second retype rejected" true
@@ -55,7 +55,7 @@ let test_cap_retype () =
      with Invalid_argument _ -> true)
 
 let test_cap_mint_diminish () =
-  let c = Cap.create_vas_ref ~vas:1 ~rights:Prot.rw in
+  let c = Cap.create_vas_ref (Sim_ctx.create ()) ~vas:1 ~rights:Prot.rw in
   let ro = Cap.mint c ~rights:Prot.r in
   Alcotest.(check bool) "diminished" true (Cap.rights ro = Prot.r);
   Alcotest.(check bool) "amplification rejected" true
@@ -65,7 +65,7 @@ let test_cap_mint_diminish () =
      with Invalid_argument _ -> true)
 
 let test_cap_revoke_recursive () =
-  let root = Cap.create_vas_ref ~vas:1 ~rights:Prot.rwx in
+  let root = Cap.create_vas_ref (Sim_ctx.create ()) ~vas:1 ~rights:Prot.rwx in
   let child = Cap.mint root ~rights:Prot.rw in
   let grandchild = Cap.mint child ~rights:Prot.r in
   Cap.revoke root;
@@ -74,7 +74,7 @@ let test_cap_revoke_recursive () =
 
 let test_cspace_invoke () =
   let cs = Cap.Cspace.create () in
-  let c = Cap.create_vas_ref ~vas:1 ~rights:Prot.r in
+  let c = Cap.create_vas_ref (Sim_ctx.create ()) ~vas:1 ~rights:Prot.r in
   let slot = Cap.Cspace.insert cs c in
   Alcotest.(check bool) "read invoke ok" true (Cap.Cspace.invoke cs ~slot ~access:`Read == c);
   Alcotest.(check bool) "write invoke rejected" true
@@ -178,10 +178,10 @@ let test_process_exit_releases () =
   Alcotest.(check bool) "not live" false (Process.is_live p)
 
 let test_layout_disjoint () =
-  Layout.reset_global_allocator ();
-  let b1 = Layout.next_global_base ~size:(Size.mib 4) in
-  let b2 = Layout.next_global_base ~size:(Size.gib 2) in
-  let b3 = Layout.next_global_base ~size:(Size.mib 1) in
+  let ctx = Sim_ctx.create () in
+  let b1 = Layout.next_global_base ctx ~size:(Size.mib 4) in
+  let b2 = Layout.next_global_base ctx ~size:(Size.gib 2) in
+  let b3 = Layout.next_global_base ctx ~size:(Size.mib 1) in
   Alcotest.(check bool) "global range" true (Layout.is_global b1 && Layout.is_global b2);
   Alcotest.(check bool) "1 GiB aligned" true
     (b1 mod Size.gib 1 = 0 && b2 mod Size.gib 1 = 0 && b3 mod Size.gib 1 = 0);

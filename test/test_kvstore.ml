@@ -206,8 +206,6 @@ let test_server_roundtrip () =
 (* ---------- RedisJMP ---------- *)
 
 let redisjmp_setup () =
-  Sj_kernel.Layout.reset_global_allocator ();
-  Redisjmp.reset ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p1 = Process.create ~name:"c1" m in
@@ -279,8 +277,6 @@ let test_redisjmp_rehash_under_lock_only () =
   Dict.check_invariants (Store.dict (Redisjmp.store t))
 
 let test_redisjmp_grows_under_load () =
-  Sj_kernel.Layout.reset_global_allocator ();
-  Redisjmp.reset ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p1 = Process.create ~name:"w" m in

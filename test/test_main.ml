@@ -28,4 +28,5 @@ let () =
       ("kvstore", Test_kvstore.suite);
       ("notify", Test_notify.suite);
       ("genomics", Test_genomics.suite);
+      ("parallel", Test_parallel.suite);
     ]

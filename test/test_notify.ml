@@ -68,8 +68,6 @@ let test_costs_charged () =
   Alcotest.(check bool) "service pays fan-out" true (Core.cycles svc_core > s0)
 
 let test_redisjmp_keyspace_events () =
-  Sj_kernel.Layout.reset_global_allocator ();
-  Redisjmp.reset ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p1 = Process.create ~name:"writer" m in

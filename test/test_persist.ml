@@ -21,7 +21,6 @@ let boot () =
 (* Build a world: one VAS, a data segment with heap allocations and a
    raw-data segment; return the image plus facts to check later. *)
 let build_world () =
-  Layout.reset_global_allocator ();
   let _, sys, ctx = boot () in
   let vas = Api.vas_create ctx ~name:"world" ~mode:0o640 in
   Api.vas_ctl ctx (`Request_tag vas);
@@ -41,7 +40,6 @@ let build_world () =
 
 let reboot () =
   (* A new machine entirely: nothing survives but the image. *)
-  Layout.reset_global_allocator ();
   boot ()
 
 let test_roundtrip_data () =
@@ -131,7 +129,6 @@ let prop_persist_roundtrip =
   QCheck.Test.make ~name:"persist roundtrip preserves arbitrary data" ~count:25
     QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 3) (int_bound 100_000)))
     (fun ops ->
-      Layout.reset_global_allocator ();
       let _, sys, ctx = boot () in
       let vas = Api.vas_create ctx ~name:"w" ~mode:0o600 in
       let seg = Api.seg_alloc_anywhere ctx ~name:"s" ~size:(Size.mib 1) ~mode:0o600 in
@@ -161,7 +158,6 @@ let prop_persist_roundtrip =
         ops;
       Api.switch_home ctx;
       let image = Persist.save sys in
-      Layout.reset_global_allocator ();
       let _, sys2, ctx2 = boot () in
       Persist.restore sys2 image;
       let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"w") in

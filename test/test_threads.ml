@@ -15,7 +15,6 @@ let tiny : Platform.t =
   { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
 
 let setup () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p = Process.create ~name:"mt" m in

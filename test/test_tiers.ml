@@ -16,7 +16,6 @@ let tiny : Platform.t =
     ~size:(Size.mib 256)
 
 let setup () =
-  Layout.reset_global_allocator ();
   let m = Machine.create tiny in
   let sys = Api.boot m in
   let p = Process.create ~name:"p" m in
@@ -91,7 +90,6 @@ let test_capacity_tier_slower () =
     (cold > hot * 2)
 
 let test_no_tier_requested_on_stock_platform () =
-  Layout.reset_global_allocator ();
   let m = Machine.create Platform.m2 in
   let sys = Api.boot m in
   let p = Process.create ~name:"p" m in
