@@ -60,7 +60,10 @@ let gups_cmd =
 
 let demo_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log SpaceJMP API events") in
-  let run verbose =
+  let counters =
+    Arg.(value & flag & info [ "counters" ] ~doc:"Print the per-syscall ABI counters at the end")
+  in
+  let run verbose counters =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level ~all:true (Some Logs.Debug)
@@ -91,9 +94,14 @@ let demo_cmd =
     let s = Api.load_bytes ctx2 ~va:p ~len:23 in
     Format.printf "consumer read back: %S@." (Bytes.to_string s);
     Format.printf "switches performed: %d@.@." (Registry.switch_count (Api.registry sys));
-    print_string (Registry.describe (Api.registry sys))
+    print_string (Registry.describe (Api.registry sys));
+    if counters then begin
+      Format.printf "@.syscall counters:@.";
+      print_string (Sj_abi.Sys.describe (Api.syscalls sys))
+    end
   in
-  Cmd.v (Cmd.info "demo" ~doc:"Scripted end-to-end SpaceJMP session") Term.(const run $ verbose)
+  Cmd.v (Cmd.info "demo" ~doc:"Scripted end-to-end SpaceJMP session")
+    Term.(const run $ verbose $ counters)
 
 let redis_cmd =
   let clients = Arg.(value & opt int 1 & info [ "clients"; "c" ] ~doc:"Number of clients") in
@@ -108,7 +116,7 @@ let redis_cmd =
       | "redisjmp-tags" -> Sj_kvstore.Kv_sim.Redisjmp { tags = true }
       | "redis" -> Sj_kvstore.Kv_sim.Redis { instances = 1 }
       | "redis6x" -> Sj_kvstore.Kv_sim.Redis { instances = 6 }
-      | m -> failwith ("unknown mode " ^ m)
+      | m -> Sj_abi.Error.fail Invalid ~op:"redis" ("unknown mode " ^ m)
     in
     let cfg = { Sj_kvstore.Kv_sim.default_config with clients; set_fraction; mode } in
     let r = Sj_kvstore.Kv_sim.run cfg in
@@ -239,8 +247,8 @@ let samtools_cmd =
         | [ rname; span ] -> (
           match String.split_on_char '-' span with
           | [ lo; hi ] -> (rname, int_of_string lo, int_of_string hi)
-          | _ -> failwith "bad region (rname:lo-hi)")
-        | _ -> failwith "bad region (rname:lo-hi)"
+          | _ -> Sj_abi.Error.fail Invalid ~op:"samtools" "bad region (rname:lo-hi)")
+        | _ -> Sj_abi.Error.fail Invalid ~op:"samtools" "bad region (rname:lo-hi)"
       in
       let records =
         Record.generate ~seed:42 ~references:Record.default_references ~reads ~read_len:100
@@ -267,7 +275,7 @@ let samtools_cmd =
       | "qname-sort" -> P.Qname_sort
       | "coord-sort" -> P.Coord_sort
       | "index" -> P.Index
-      | o -> failwith ("unknown op " ^ o)
+      | o -> Sj_abi.Error.fail Invalid ~op:"samtools" ("unknown op " ^ o)
     in
     let platform = Platform.m1 in
     let machine = Machine.create platform in
@@ -297,7 +305,7 @@ let samtools_cmd =
         let store = P.prepare_spacejmp ctx ~name:"samtools" records in
         let c = P.run_spacejmp store op in
         (c, P.spacejmp_flagstat store)
-      | d -> failwith ("unknown design " ^ d)
+      | d -> Sj_abi.Error.fail Invalid ~op:"samtools" ("unknown design " ^ d)
     in
     Format.printf "%s / %s over %d records: %d cycles (%.3f ms on %s)@." design
       (P.op_name op) reads cycles
@@ -403,10 +411,20 @@ let bench_cmd =
 
 let () =
   let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
-            samtools_cmd; bench_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
+        samtools_cmd; bench_cmd;
+      ]
+  in
+  (* Typed ABI faults (and their legacy exception spellings) become a
+     one-line message plus a per-code exit status (10 + errno); anything
+     else is a crash and keeps its backtrace. *)
+  try exit (Cmd.eval ~catch:false group)
+  with e -> (
+    match Sj_core.Errors.fault_of_exn e with
+    | Some f ->
+      prerr_endline ("sjctl: " ^ Sj_abi.Error.to_string f);
+      exit (Sj_abi.Error.exit_code f.code)
+    | None -> raise e)

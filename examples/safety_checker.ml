@@ -17,7 +17,9 @@ let describe name prog =
   Format.printf "--- %s ---@.%a" name Ir.pp_program prog;
   (match Ir.validate prog with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e ->
+    Format.printf "invalid IR: %s@." e;
+    exit 1);
   let info = Analysis.analyze prog in
   let violations = Analysis.violations info in
   Format.printf "analysis: %d unsafe site(s)@." (List.length violations);

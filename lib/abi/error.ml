@@ -1,0 +1,58 @@
+type code =
+  | Permission_denied
+  | Would_block
+  | Name_exists
+  | Unknown_name
+  | Stale_handle
+  | Address_conflict
+  | Layout_exhausted
+  | Invalid
+  | Capacity
+
+type t = { code : code; op : string; detail : string }
+
+exception Fault of t
+
+let make code ~op detail = { code; op; detail }
+let fail code ~op detail = raise (Fault (make code ~op detail))
+let failf code ~op fmt = Printf.ksprintf (fail code ~op) fmt
+let code_of t = t.code
+
+let all_codes =
+  [
+    Permission_denied; Would_block; Name_exists; Unknown_name; Stale_handle;
+    Address_conflict; Layout_exhausted; Invalid; Capacity;
+  ]
+
+let code_name = function
+  | Permission_denied -> "EPERM"
+  | Would_block -> "EWOULDBLOCK"
+  | Name_exists -> "EEXIST"
+  | Unknown_name -> "ENOENT"
+  | Stale_handle -> "ESTALE"
+  | Address_conflict -> "EADDRINUSE"
+  | Layout_exhausted -> "ELAYOUT"
+  | Invalid -> "EINVAL"
+  | Capacity -> "ENOSPC"
+
+let errno = function
+  | Permission_denied -> 1
+  | Would_block -> 2
+  | Name_exists -> 3
+  | Unknown_name -> 4
+  | Stale_handle -> 5
+  | Address_conflict -> 6
+  | Layout_exhausted -> 7
+  | Invalid -> 8
+  | Capacity -> 9
+
+let exit_code c = 10 + errno c
+let to_string t = Printf.sprintf "%s: %s (%s)" t.op t.detail (code_name t.code)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let pp_code fmt c = Format.pp_print_string fmt (code_name c)
+let equal_code (a : code) (b : code) = a = b
+
+let () =
+  Printexc.register_printer (function
+    | Fault t -> Some ("Sj_abi.Error.Fault: " ^ to_string t)
+    | _ -> None)

@@ -144,12 +144,12 @@ let analyze prog =
   in
   (match prog.Ir.funcs with
   | main :: _ -> Hashtbl.replace info.entry_in main.Ir.fname (Vset.singleton (Velt.V primary))
-  | [] -> invalid_arg "Analysis.analyze: empty program");
+  | [] -> Sj_abi.Error.fail Invalid ~op:"checker" "Analysis.analyze: empty program");
   let rounds = ref 0 in
   while info.changed do
     info.changed <- false;
     incr rounds;
-    if !rounds > 1000 then failwith "Analysis.analyze: fixpoint did not converge";
+    if !rounds > 1000 then Sj_abi.Error.fail Invalid ~op:"checker" "Analysis.analyze: fixpoint did not converge";
     List.iter (analyze_func info) prog.Ir.funcs
   done;
   info

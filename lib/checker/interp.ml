@@ -44,13 +44,13 @@ let run_function ?(fuel = 100_000) prog ~name ~args =
   let rec exec_func fname args =
     let f = Ir.func st.prog fname in
     if List.length args <> List.length f.Ir.params then
-      invalid_arg (Printf.sprintf "Interp: arity mismatch calling %s" fname);
+      Sj_abi.Error.failf Invalid ~op:"checker" "Interp: arity mismatch calling %s" fname;
     let regs : (string, value) Hashtbl.t = Hashtbl.create 16 in
     List.iter2 (fun p a -> Hashtbl.replace regs p a) f.Ir.params args;
     let get r =
       match Hashtbl.find_opt regs r with
       | Some v -> v
-      | None -> invalid_arg (Printf.sprintf "Interp: %s/%s unbound" fname r)
+      | None -> Sj_abi.Error.failf Invalid ~op:"checker" "Interp: %s/%s unbound" fname r
     in
     let set r v = Hashtbl.replace regs r v in
     let rec exec_block (b : Ir.block) ~came_from =
@@ -75,11 +75,11 @@ let run_function ?(fuel = 100_000) prog ~name ~args =
           | Ir.Copy (x, y) -> set x (get y)
           | Ir.Phi (x, ins) -> (
             match came_from with
-            | None -> invalid_arg "Interp: phi in entry block"
+            | None -> Sj_abi.Error.fail Invalid ~op:"checker" "Interp: phi in entry block"
             | Some from -> (
               match List.assoc_opt from ins with
               | Some y -> set x (get y)
-              | None -> invalid_arg "Interp: phi has no edge for predecessor"))
+              | None -> Sj_abi.Error.fail Invalid ~op:"checker" "Interp: phi has no edge for predecessor"))
           | Ir.Load (x, p) -> (
             match get p with
             | Int _ -> raise (Tfault (site idx, "load through integer"))
@@ -155,4 +155,4 @@ let run_function ?(fuel = 100_000) prog ~name ~args =
 let run ?fuel prog =
   match prog.Ir.funcs with
   | main :: _ -> run_function ?fuel prog ~name:main.Ir.fname ~args:[]
-  | [] -> invalid_arg "Interp.run: empty program"
+  | [] -> Sj_abi.Error.fail Invalid ~op:"checker" "Interp.run: empty program"

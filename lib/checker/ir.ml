@@ -24,11 +24,11 @@ type program = { funcs : func list }
 let func p name = List.find (fun f -> f.fname = name) p.funcs
 
 let entry_block f =
-  match f.blocks with b :: _ -> b | [] -> invalid_arg "Ir.entry_block: empty function"
+  match f.blocks with b :: _ -> b | [] -> Sj_abi.Error.fail Invalid ~op:"checker" "Ir.entry_block: empty function"
 
 let block f label =
   try List.find (fun b -> b.label = label) f.blocks
-  with Not_found -> invalid_arg (Printf.sprintf "Ir.block: no block %s in %s" label f.fname)
+  with Not_found -> Sj_abi.Error.failf Invalid ~op:"checker" "Ir.block: no block %s in %s" label f.fname
 
 let defs_of_instr = function
   | Switch _ | Store _ | Check_deref _ | Check_store _ -> []

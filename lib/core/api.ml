@@ -11,6 +11,8 @@ module Vmspace = Sj_kernel.Vmspace
 module Vm_object = Sj_kernel.Vm_object
 module Layout = Sj_kernel.Layout
 module Mspace = Sj_alloc.Mspace
+module Error = Sj_abi.Error
+module Sys = Sj_abi.Sys
 
 (* Structured logging: silent unless the embedding application installs
    a reporter and raises the level (e.g. sjctl --verbose). *)
@@ -18,9 +20,9 @@ let log_src = Logs.Src.create "spacejmp" ~doc:"SpaceJMP core API events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type backend = Dragonfly | Barrelfish
+type backend = Sj_abi.Sys.backend = Dragonfly | Barrelfish
 
-type system = { backend : backend; machine : Machine.t; reg : Registry.t }
+type system = { backend : backend; machine : Machine.t; reg : Registry.t; tab : Sys.t }
 
 type vh = {
   vas : Vas.t;
@@ -49,10 +51,13 @@ type ctx = {
   mutable attachments : vh list; (* every live vh this context created *)
 }
 
-let boot ?(backend = Dragonfly) machine = { backend; machine; reg = Registry.create machine }
+let boot ?(backend = Dragonfly) machine =
+  { backend; machine; reg = Registry.create machine; tab = Sys.create backend }
+
 let backend sys = sys.backend
 let registry sys = sys.reg
 let machine sys = sys.machine
+let syscalls sys = sys.tab
 
 (* Kernel cost of fielding a copy-on-write fault: trap, region lookup,
    bookkeeping (the page copy and PTE work charge separately). *)
@@ -95,40 +100,42 @@ let vas_of_vh vh = vh.vas
 let vmspace_of_vh vh = vh.vmspace
 let cost ctx = Machine.cost ctx.sys.machine
 
-(* Every API call is kernel-mediated (DragonFly) or an RPC round trip to
-   the user-space SpaceJMP service (Barrelfish). *)
-let api_charge ctx =
-  let c = cost ctx in
-  match ctx.sys.backend with
-  | Dragonfly -> Core.charge ctx.core c.syscall_dragonfly
-  | Barrelfish -> Core.charge ctx.core ((2 * c.syscall_barrelfish) + (2 * c.cacheline_intra))
+(* Every API call crosses the kernel ABI through the dispatch table:
+   the table charges the entry cost of the booted backend (a DragonFly
+   syscall, or a Barrelfish RPC round trip to the SpaceJMP service) and
+   accounts the call against its ABI number. *)
+let call ctx nr body = Sys.invoke ctx.sys.tab ~cost:(cost ctx) ctx.core nr body
+let ok_exn = function Ok v -> v | Error f -> Errors.raise_legacy f
 
-let check_acl ctx acl access what =
+let check_acl ctx acl access ~op detail =
   if not (Acl.check acl (Process.cred ctx.proc) access) then
-    raise (Errors.Permission_denied what)
+    Error.fail Permission_denied ~op detail
 
 (* -------------------- VAS API -------------------- *)
 
-let vas_create ctx ~name ~mode =
-  api_charge ctx;
-  let cred = Process.cred ctx.proc in
-  let acl = Acl.create ~owner:cred.uid ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0) ~mode in
-  let vas = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl ~name () in
-  Registry.register_vas ctx.sys.reg vas;
-  Log.debug (fun m -> m "vas_create %s (vid %d) by pid %d" name (Vas.vid vas) (Process.pid ctx.proc));
-  vas
+let vas_create_c ctx ~name ~mode =
+  call ctx Vas_create (fun () ->
+      let cred = Process.cred ctx.proc in
+      let acl =
+        Acl.create ~owner:cred.uid
+          ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0)
+          ~mode
+      in
+      let vas = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl ~name () in
+      Registry.register_vas ctx.sys.reg vas;
+      Log.debug (fun m ->
+          m "vas_create %s (vid %d) by pid %d" name (Vas.vid vas) (Process.pid ctx.proc));
+      vas)
 
-let vas_find ctx ~name =
-  api_charge ctx;
-  Registry.find_vas ctx.sys.reg ~name
+let vas_find_c ctx ~name = call ctx Vas_find (fun () -> Registry.find_vas ctx.sys.reg ~name)
 
-let vas_clone ctx vas ~name =
-  api_charge ctx;
-  check_acl ctx (Vas.acl vas) `Read "vas_clone";
-  let clone = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl:(Vas.acl vas) ~name () in
-  List.iter (fun (seg, prot) -> Vas.attach_segment clone seg ~prot) (Vas.segments vas);
-  Registry.register_vas ctx.sys.reg clone;
-  clone
+let vas_clone_c ctx vas ~name =
+  call ctx Vas_clone (fun () ->
+      check_acl ctx (Vas.acl vas) `Read ~op:"vas_clone" "VAS not readable";
+      let clone = Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl:(Vas.acl vas) ~name () in
+      List.iter (fun (seg, prot) -> Vas.attach_segment clone seg ~prot) (Vas.segments vas);
+      Registry.register_vas ctx.sys.reg clone;
+      clone)
 
 (* Map one global segment into an attachment's vmspace, using cached
    translations when available. *)
@@ -228,51 +235,54 @@ let sync_attachment ctx vh =
     vh.synced_gen <- Vas.generation vh.vas
   end
 
-let vas_attach ctx vas =
-  api_charge ctx;
-  if Vas.is_destroyed vas then raise (Errors.Stale_handle "vas_attach: destroyed VAS");
-  check_acl ctx (Vas.acl vas) `Read "vas_attach";
-  let vms = Vmspace.create ctx.sys.machine ~charge_to:(Some ctx.core) in
-  let vh =
-    {
-      vas;
-      owner = ctx.proc;
-      vmspace = vms;
-      synced_gen = -1;
-      mapped = [];
-      mapped_pages = [];
-      local_segs = [];
-      private_bases = [];
-      cap_slot = None;
-      entered = 0;
-      held = [];
-      detached = false;
-    }
-  in
-  (* Replicates the common region (text, globals, stacks) and maps the
-     VAS's global segments. *)
-  sync_attachment ctx vh;
-  (match ctx.sys.backend with
-  | Dragonfly -> ()
-  | Barrelfish ->
-    (* §4.2: "a user-space process can allocate memory for its own page
-       tables". Model the capability work behind the vmspace just
-       built: one untyped-RAM capability retyped into a Vnode per
-       page-table node, each a kernel-checked invocation. *)
-    let tables = (Sj_paging.Page_table.stats (Vmspace.page_table vms)).tables_allocated in
-    let cspace = Process.cspace ctx.proc in
-    let c = cost ctx in
-    for _ = 1 to tables do
-      let ram = Cap.create_ram (Machine.sim_ctx ctx.sys.machine) ~size:Addr.page_size in
-      let vnode = Cap.retype ram ~into:(Cap.Vnode 1) in
-      ignore (Cap.Cspace.insert cspace vnode);
-      Core.charge ctx.core c.syscall_barrelfish
-    done;
-    let root = Registry.root_cap ctx.sys.reg vas in
-    let child = Cap.mint root ~rights:Prot.rwx in
-    vh.cap_slot <- Some (Cap.Cspace.insert cspace child));
-  ctx.attachments <- vh :: ctx.attachments;
-  vh
+let vas_attach_c ctx vas =
+  call ctx Vas_attach (fun () ->
+      if Vas.is_destroyed vas then
+        Error.fail Stale_handle ~op:"vas_attach" "destroyed VAS";
+      check_acl ctx (Vas.acl vas) `Read ~op:"vas_attach" "VAS not readable";
+      let vms = Vmspace.create ctx.sys.machine ~charge_to:(Some ctx.core) in
+      let vh =
+        {
+          vas;
+          owner = ctx.proc;
+          vmspace = vms;
+          synced_gen = -1;
+          mapped = [];
+          mapped_pages = [];
+          local_segs = [];
+          private_bases = [];
+          cap_slot = None;
+          entered = 0;
+          held = [];
+          detached = false;
+        }
+      in
+      (* Replicates the common region (text, globals, stacks) and maps the
+         VAS's global segments. *)
+      sync_attachment ctx vh;
+      (match ctx.sys.backend with
+      | Dragonfly -> ()
+      | Barrelfish ->
+        (* §4.2: "a user-space process can allocate memory for its own page
+           tables". Model the capability work behind the vmspace just
+           built: one untyped-RAM capability retyped into a Vnode per
+           page-table node, each a kernel-checked invocation. *)
+        let tables =
+          (Sj_paging.Page_table.stats (Vmspace.page_table vms)).tables_allocated
+        in
+        let cspace = Process.cspace ctx.proc in
+        let c = cost ctx in
+        for _ = 1 to tables do
+          let ram = Cap.create_ram (Machine.sim_ctx ctx.sys.machine) ~size:Addr.page_size in
+          let vnode = Cap.retype ram ~into:(Cap.Vnode 1) in
+          ignore (Cap.Cspace.insert cspace vnode);
+          Core.charge ctx.core c.syscall_barrelfish
+        done;
+        let root = Registry.root_cap ctx.sys.reg vas in
+        let child = Cap.mint root ~rights:Prot.rwx in
+        vh.cap_slot <- Some (Cap.Cspace.insert cspace child));
+      ctx.attachments <- vh :: ctx.attachments;
+      vh)
 
 (* Leave the attachment the context is currently in (if any): the last
    thread out releases the attachment's locks. *)
@@ -282,14 +292,19 @@ let leave_current ctx =
   | Some vh ->
     vh.entered <- vh.entered - 1;
     if vh.entered = 0 then begin
-      List.iter (fun (seg, mode) -> Segment.unlock seg ~mode) vh.held;
+      List.iter
+        (fun (seg, mode) ->
+          Sys.count ctx.sys.tab Seg_unlock;
+          Segment.unlock seg ~mode)
+        vh.held;
       vh.held <- []
     end;
     ctx.cur <- None
 
 (* First thread into an attachment acquires its segment locks: sorted by
    sid for a canonical order; shared when the attachment maps the
-   segment read-only, exclusive when writable (§3.1). *)
+   segment read-only, exclusive when writable (§3.1). Each acquisition
+   is a [Seg_lock] entry on the runtime's lock path. *)
 let enter ctx vh =
   if vh.entered = 0 then begin
     let lockables =
@@ -297,13 +312,12 @@ let enter ctx vh =
         (Vas.lockable_segments vh.vas
         @ List.filter (fun (s, _) -> Segment.lockable s) vh.local_segs)
     in
-    let c = cost ctx in
     let taken = ref [] in
     let ok =
       List.for_all
         (fun (seg, prot) ->
           let mode = if (prot : Prot.t).write then `Exclusive else `Shared in
-          Core.charge ctx.core c.lock_uncontended;
+          Sys.charge_entry ctx.sys.tab ~cost:(cost ctx) ctx.core Seg_lock;
           if Segment.try_lock seg ~mode then begin
             taken := (seg, mode) :: !taken;
             true
@@ -312,8 +326,12 @@ let enter ctx vh =
         lockables
     in
     if not ok then begin
-      List.iter (fun (seg, mode) -> Segment.unlock seg ~mode) !taken;
-      raise (Errors.Would_block "vas_switch: lockable segment busy")
+      List.iter
+        (fun (seg, mode) ->
+          Sys.count ctx.sys.tab Seg_unlock;
+          Segment.unlock seg ~mode)
+        !taken;
+      Error.fail Would_block ~op:"vas_switch" "lockable segment busy"
     end;
     vh.held <- !taken
   end;
@@ -327,22 +345,24 @@ let switch_cost ctx ~tagged =
   (* Core.set_page_table itself charges the CR3 write; charge the rest. *)
   total - if tagged then c.cr3_load_tagged else c.cr3_load
 
-let vas_switch ctx vh =
-  if vh.detached then raise (Errors.Stale_handle "vas_switch: detached handle");
+let vas_switch_body ctx vh =
+  if vh.detached then Error.fail Stale_handle ~op:"vas_switch" "detached handle";
   if not (Process.pid vh.owner = Process.pid ctx.proc) then
-    raise (Errors.Permission_denied "vas_switch: handle belongs to another process");
+    Error.fail Permission_denied ~op:"vas_switch" "handle belongs to another process";
   (match (ctx.sys.backend, vh.cap_slot) with
-  | Barrelfish, Some slot ->
+  | Barrelfish, Some slot -> (
     (* Capability invocation: fails if the VAS's root cap was revoked. *)
-    (try ignore (Cap.Cspace.invoke (Process.cspace ctx.proc) ~slot ~access:`Read)
-     with Invalid_argument m -> raise (Errors.Permission_denied ("vas_switch: " ^ m)))
+    try ignore (Cap.Cspace.invoke (Process.cspace ctx.proc) ~slot ~access:`Read)
+    with Error.Fault f ->
+      Error.failf Permission_denied ~op:"vas_switch" "capability invocation refused (%s)"
+        f.detail)
   | Barrelfish, None -> assert false
   | Dragonfly, _ -> ());
   sync_attachment ctx vh;
   let previous = ctx.cur in
   leave_current ctx;
   (try enter ctx vh
-   with Errors.Would_block _ as e ->
+   with Error.Fault f as e when f.code = Error.Would_block ->
      (* Roll back: re-enter the space the thread was in. *)
      (match previous with Some prev -> enter ctx prev | None -> ());
      raise e);
@@ -354,7 +374,9 @@ let vas_switch ctx vh =
         (Vas.name vh.vas) tag);
   Registry.count_switch ctx.sys.reg
 
-let switch_home ctx =
+let vas_switch_c ctx vh = call ctx Vas_switch (fun () -> vas_switch_body ctx vh)
+
+let switch_home_body ctx =
   leave_current ctx;
   let tag = 0 in
   Core.charge ctx.core (switch_cost ctx ~tagged:false);
@@ -362,9 +384,11 @@ let switch_home ctx =
     (Some (Vmspace.page_table (Process.primary_vmspace ctx.proc)));
   Registry.count_switch ctx.sys.reg
 
-let vas_detach ctx vh =
-  api_charge ctx;
-  if vh.detached then raise (Errors.Stale_handle "vas_detach: already detached");
+let switch_home_c ctx = call ctx Vas_switch_home (fun () -> switch_home_body ctx)
+let switch_home ctx = ok_exn (switch_home_c ctx)
+
+let vas_detach_body ctx vh =
+  if vh.detached then Error.fail Stale_handle ~op:"vas_detach" "already detached";
   (match ctx.cur with
   | Some cur when cur == vh -> switch_home ctx
   | Some _ | None -> ());
@@ -379,45 +403,55 @@ let vas_detach ctx vh =
   ctx.attachments <- List.filter (fun v -> not (v == vh)) ctx.attachments;
   vh.detached <- true
 
-let vas_ctl ctx cmd =
-  api_charge ctx;
-  match cmd with
-  | `Request_tag vas -> Vas.assign_tag vas (Registry.alloc_tag ctx.sys.reg)
-  | `Chmod (vas, mode) ->
-    check_acl ctx (Vas.acl vas) `Write "vas_ctl chmod";
-    Vas.set_acl vas (Acl.chmod (Vas.acl vas) ~mode)
-  | `Revoke vas -> Cap.revoke (Registry.root_cap ctx.sys.reg vas)
-  | `Destroy vas ->
-    check_acl ctx (Vas.acl vas) `Write "vas_ctl destroy";
-    Registry.unregister_vas ctx.sys.reg vas;
-    Vas.destroy vas
+let vas_detach_c ctx vh = call ctx Vas_detach (fun () -> vas_detach_body ctx vh)
+let vas_detach ctx vh = ok_exn (vas_detach_c ctx vh)
 
-let exit_process ctx =
-  (* Orderly death: leave whatever space the thread is in (releasing the
-     attachment's locks if it is the last thread out), tear down every
-     attachment this context created (their vmspaces and registry
-     mapping records), then let the kernel reclaim the process. VASes
-     and segments the process created live on (sec 3.2). *)
-  (match ctx.cur with Some _ -> switch_home ctx | None -> ());
-  List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
-  Core.set_fault_handler ctx.core None;
-  Core.set_page_table ctx.core None;
-  Process.exit ctx.proc;
-  Log.debug (fun m -> m "process %d exited" (Process.pid ctx.proc))
+let vas_ctl_c ctx cmd =
+  (* [`Destroy] is its own ABI entry (vas_delete); the rest share vas_ctl. *)
+  let nr : Sys.nr = match cmd with `Destroy _ -> Vas_delete | _ -> Vas_ctl in
+  call ctx nr (fun () ->
+      match cmd with
+      | `Request_tag vas -> Vas.assign_tag vas (Registry.alloc_tag ctx.sys.reg)
+      | `Chmod (vas, mode) ->
+        check_acl ctx (Vas.acl vas) `Write ~op:"vas_ctl" "chmod: VAS not writable";
+        Vas.set_acl vas (Acl.chmod (Vas.acl vas) ~mode)
+      | `Revoke vas -> Cap.revoke (Registry.root_cap ctx.sys.reg vas)
+      | `Destroy vas ->
+        check_acl ctx (Vas.acl vas) `Write ~op:"vas_delete" "VAS not writable";
+        Registry.unregister_vas ctx.sys.reg vas;
+        Vas.destroy vas)
+
+let exit_process_c ctx =
+  call ctx Proc_exit (fun () ->
+      (* Orderly death: leave whatever space the thread is in (releasing the
+         attachment's locks if it is the last thread out), tear down every
+         attachment this context created (their vmspaces and registry
+         mapping records), then let the kernel reclaim the process. VASes
+         and segments the process created live on (sec 3.2). The detaches
+         go through the ABI table like any runtime-issued call. *)
+      (match ctx.cur with Some _ -> switch_home ctx | None -> ());
+      List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
+      Core.set_fault_handler ctx.core None;
+      Core.set_page_table ctx.core None;
+      Process.exit ctx.proc;
+      Log.debug (fun m -> m "process %d exited" (Process.pid ctx.proc)))
 
 (* -------------------- Segment API -------------------- *)
 
-let seg_alloc ?(huge = false) ?(tier = `Performance) ctx ~name ~base ~size ~mode =
-  api_charge ctx;
+let seg_alloc_body ?(huge = false) ?(tier = `Performance) ctx ~name ~base ~size ~mode =
   let cred = Process.cred ctx.proc in
-  let acl = Acl.create ~owner:cred.uid ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0) ~mode in
+  let acl =
+    Acl.create ~owner:cred.uid
+      ~group:(List.nth_opt cred.gids 0 |> Option.value ~default:0)
+      ~mode
+  in
   let node =
     match tier with
     | `Performance -> None
     | `Capacity -> (
       match Machine.capacity_node ctx.sys.machine with
       | Some n -> Some n
-      | None -> invalid_arg "seg_alloc: this platform has no capacity tier")
+      | None -> Error.fail Invalid ~op:"seg_alloc" "this platform has no capacity tier")
   in
   let seg =
     Segment.create ~huge ?node ~acl ~charge_to:(Some ctx.core) ~machine:ctx.sys.machine ~name
@@ -426,142 +460,149 @@ let seg_alloc ?(huge = false) ?(tier = `Performance) ctx ~name ~base ~size ~mode
   Registry.register_seg ctx.sys.reg seg;
   seg
 
-let seg_alloc_anywhere ?huge ?tier ctx ~name ~size ~mode =
-  seg_alloc ?huge ?tier ctx ~name
-    ~base:(Layout.next_global_base (Machine.sim_ctx ctx.sys.machine) ~size)
-    ~size ~mode
+let seg_alloc_c ?huge ?tier ctx ~name ~base ~size ~mode =
+  call ctx Seg_alloc (fun () -> seg_alloc_body ?huge ?tier ctx ~name ~base ~size ~mode)
 
-let seg_find ctx ~name =
-  api_charge ctx;
-  Registry.find_seg ctx.sys.reg ~name
+let seg_alloc_anywhere_c ?huge ?tier ctx ~name ~size ~mode =
+  call ctx Seg_alloc (fun () ->
+      let base = Layout.next_global_base (Machine.sim_ctx ctx.sys.machine) ~size in
+      seg_alloc_body ?huge ?tier ctx ~name ~base ~size ~mode)
 
-let seg_attach ctx vas seg ~prot =
-  api_charge ctx;
-  check_acl ctx (Vas.acl vas) `Write "seg_attach: vas";
-  check_acl ctx (Segment.acl seg) (if (prot : Prot.t).write then `Write else `Read)
-    "seg_attach: segment";
-  Vas.attach_segment vas seg ~prot
+let seg_find_c ctx ~name = call ctx Seg_find (fun () -> Registry.find_seg ctx.sys.reg ~name)
 
-let seg_attach_local ctx vh seg ~prot =
-  api_charge ctx;
-  if vh.detached then raise (Errors.Stale_handle "seg_attach_local");
-  check_acl ctx (Segment.acl seg) (if (prot : Prot.t).write then `Write else `Read)
-    "seg_attach_local: segment";
-  Vmspace.map_object vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
-    ~name:(Segment.name seg) ~cow:(Segment.is_cow seg) ~prot (Segment.vm_object seg);
-  Registry.note_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
-  vh.local_segs <- (seg, prot) :: vh.local_segs
+let seg_attach_c ctx vas seg ~prot =
+  call ctx Seg_attach (fun () ->
+      check_acl ctx (Vas.acl vas) `Write ~op:"seg_attach" "VAS not writable";
+      check_acl ctx (Segment.acl seg)
+        (if (prot : Prot.t).write then `Write else `Read)
+        ~op:"seg_attach" "segment access denied";
+      Vas.attach_segment vas seg ~prot)
 
-let seg_detach ctx vas seg =
-  api_charge ctx;
-  check_acl ctx (Vas.acl vas) `Write "seg_detach: vas";
-  Vas.detach_segment vas seg
+let seg_attach_local_c ctx vh seg ~prot =
+  call ctx Seg_attach_local (fun () ->
+      if vh.detached then Error.fail Stale_handle ~op:"seg_attach_local" "detached handle";
+      check_acl ctx (Segment.acl seg)
+        (if (prot : Prot.t).write then `Write else `Read)
+        ~op:"seg_attach_local" "segment access denied";
+      Vmspace.map_object vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
+        ~name:(Segment.name seg) ~cow:(Segment.is_cow seg) ~prot (Segment.vm_object seg);
+      Registry.note_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
+      vh.local_segs <- (seg, prot) :: vh.local_segs)
 
-let seg_detach_local ctx vh seg =
-  api_charge ctx;
-  if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) vh.local_segs) then
-    invalid_arg "seg_detach_local: not attached locally";
-  Vmspace.unmap_region vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg);
-  Registry.forget_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
-  vh.local_segs <-
-    List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) vh.local_segs
+let seg_detach_c ctx vas seg =
+  call ctx Seg_detach (fun () ->
+      check_acl ctx (Vas.acl vas) `Write ~op:"seg_detach" "VAS not writable";
+      Vas.detach_segment vas seg)
 
-let seg_clone ctx seg ~name =
-  api_charge ctx;
-  check_acl ctx (Segment.acl seg) `Read "seg_clone";
-  let cred = Process.cred ctx.proc in
-  let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
-  let clone =
-    Segment.create ~acl ~charge_to:(Some ctx.core) ~machine:ctx.sys.machine ~name
-      ~base:(Segment.base seg) ~size:(Segment.size seg) ~prot:(Segment.prot_max seg) ()
-  in
-  (* Copy contents frame by frame, charging a copy cost per page. *)
-  let mem = Machine.mem ctx.sys.machine in
-  let src = Segment.vm_object seg and dst = Segment.vm_object clone in
-  let c = cost ctx in
-  for p = 0 to Segment.pages seg - 1 do
-    let data =
-      Sj_mem.Phys_mem.read_bytes mem
-        ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at src ~page:p))
-        ~len:Addr.page_size
-    in
-    Sj_mem.Phys_mem.write_bytes mem
-      ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at dst ~page:p))
-      data;
-    Core.charge ctx.core c.page_zero
-  done;
-  Registry.register_seg ctx.sys.reg clone;
-  clone
+let seg_detach_local_c ctx vh seg =
+  call ctx Seg_detach_local (fun () ->
+      if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) vh.local_segs) then
+        Error.fail Unknown_name ~op:"seg_detach_local" "not attached locally";
+      Vmspace.unmap_region vh.vmspace ~charge_to:(Some ctx.core) ~base:(Segment.base seg);
+      Registry.forget_mapping ctx.sys.reg ~sid:(Segment.sid seg) vh.vmspace;
+      vh.local_segs <-
+        List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) vh.local_segs)
 
-let seg_snapshot ctx seg ~name =
-  api_charge ctx;
-  check_acl ctx (Segment.acl seg) `Read "seg_snapshot";
-  if Segment.translation_cache seg <> None then
-    invalid_arg
-      "seg_snapshot: segments with cached translations cannot be snapshotted \
-       (shared page tables cannot be write-protected per attachment)";
-  let cred = Process.cred ctx.proc in
-  let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
-  (* Share every physical page copy-on-write. *)
-  let clone_obj = Vm_object.cow_clone ~name (Segment.vm_object seg) in
-  let snap =
-    Segment.create_with_object ~acl ~machine:ctx.sys.machine ~name ~base:(Segment.base seg)
-      ~prot:(Segment.prot_max seg) clone_obj
-  in
-  Segment.mark_cow seg;
-  Segment.mark_cow snap;
-  (* Write-protect the original wherever it is currently mapped, and
-     shoot down stale writable TLB entries machine-wide (one IPI per
-     core). *)
-  let c = cost ctx in
-  List.iter
-    (fun vms ->
-      Vmspace.write_protect_region vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg))
-    (Registry.mappings ctx.sys.reg ~sid:(Segment.sid seg));
-  Array.iter
-    (fun core ->
-      Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
-      Core.charge ctx.core c.cacheline_cross)
-    (Machine.cores ctx.sys.machine);
-  (* The snapshot inherits the allocator state frozen at this instant. *)
-  if Registry.has_heap ctx.sys.reg seg then begin
-    let orig = Registry.heap ctx.sys.reg seg in
-    let copy =
-      Mspace.of_snapshot ~base:(Segment.base seg) ~size:(Segment.size seg)
-        (Mspace.snapshot orig)
-    in
-    Registry.set_heap ctx.sys.reg snap copy
-  end;
-  Registry.register_seg ctx.sys.reg snap;
-  Log.info (fun m ->
-      m "seg_snapshot %s -> %s (%d pages shared COW)" (Segment.name seg) name
-        (Segment.pages seg));
-  snap
+let seg_clone_c ctx seg ~name =
+  call ctx Seg_clone (fun () ->
+      check_acl ctx (Segment.acl seg) `Read ~op:"seg_clone" "segment not readable";
+      let cred = Process.cred ctx.proc in
+      let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
+      let clone =
+        Segment.create ~acl ~charge_to:(Some ctx.core) ~machine:ctx.sys.machine ~name
+          ~base:(Segment.base seg) ~size:(Segment.size seg) ~prot:(Segment.prot_max seg) ()
+      in
+      (* Copy contents frame by frame, charging a copy cost per page. *)
+      let mem = Machine.mem ctx.sys.machine in
+      let src = Segment.vm_object seg and dst = Segment.vm_object clone in
+      let c = cost ctx in
+      for p = 0 to Segment.pages seg - 1 do
+        let data =
+          Sj_mem.Phys_mem.read_bytes mem
+            ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at src ~page:p))
+            ~len:Addr.page_size
+        in
+        Sj_mem.Phys_mem.write_bytes mem
+          ~pa:(Sj_mem.Phys_mem.base_of_frame (Vm_object.frame_at dst ~page:p))
+          data;
+        Core.charge ctx.core c.page_zero
+      done;
+      Registry.register_seg ctx.sys.reg clone;
+      clone)
 
-let seg_ctl ctx cmd =
-  api_charge ctx;
-  match cmd with
-  | `Grow (seg, by) ->
-    check_acl ctx (Segment.acl seg) `Write "seg_ctl grow";
-    let grown = Segment.grow seg ~by ~charge_to:(Some ctx.core) in
-    (* The shared heap (if any) gains the new space too. *)
-    if Registry.has_heap ctx.sys.reg seg then
-      Mspace.extend (Registry.heap ctx.sys.reg seg) ~by:grown;
-    (* Attachments pick the growth up at their next switch. *)
-    List.iter
-      (fun vas ->
-        if Vas.find_segment_by_sid vas (Segment.sid seg) <> None then
-          Vas.bump_generation vas)
-      (Registry.list_vases ctx.sys.reg);
-    Log.debug (fun m -> m "seg_grow %s by %s" (Segment.name seg) (Size.to_string grown))
-  | `Chmod (seg, mode) ->
-    check_acl ctx (Segment.acl seg) `Write "seg_ctl chmod";
-    Segment.set_acl seg (Acl.chmod (Segment.acl seg) ~mode)
-  | `Cache_translations seg -> Segment.build_translation_cache seg ~charge_to:(Some ctx.core)
-  | `Destroy seg ->
-    check_acl ctx (Segment.acl seg) `Write "seg_ctl destroy";
-    Registry.unregister_seg ctx.sys.reg seg;
-    Segment.destroy seg
+let seg_snapshot_c ctx seg ~name =
+  call ctx Seg_snapshot (fun () ->
+      check_acl ctx (Segment.acl seg) `Read ~op:"seg_snapshot" "segment not readable";
+      if Segment.translation_cache seg <> None then
+        Error.fail Invalid ~op:"seg_snapshot"
+          "segments with cached translations cannot be snapshotted (shared page tables \
+           cannot be write-protected per attachment)";
+      let cred = Process.cred ctx.proc in
+      let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
+      (* Share every physical page copy-on-write. *)
+      let clone_obj = Vm_object.cow_clone ~name (Segment.vm_object seg) in
+      let snap =
+        Segment.create_with_object ~acl ~machine:ctx.sys.machine ~name
+          ~base:(Segment.base seg) ~prot:(Segment.prot_max seg) clone_obj
+      in
+      Segment.mark_cow seg;
+      Segment.mark_cow snap;
+      (* Write-protect the original wherever it is currently mapped, and
+         shoot down stale writable TLB entries machine-wide (one IPI per
+         core). *)
+      let c = cost ctx in
+      List.iter
+        (fun vms ->
+          Vmspace.write_protect_region vms ~charge_to:(Some ctx.core)
+            ~base:(Segment.base seg))
+        (Registry.mappings ctx.sys.reg ~sid:(Segment.sid seg));
+      Array.iter
+        (fun core ->
+          Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
+          Core.charge ctx.core c.cacheline_cross)
+        (Machine.cores ctx.sys.machine);
+      (* The snapshot inherits the allocator state frozen at this instant. *)
+      if Registry.has_heap ctx.sys.reg seg then begin
+        let orig = Registry.heap ctx.sys.reg seg in
+        let copy =
+          Mspace.of_snapshot ~base:(Segment.base seg) ~size:(Segment.size seg)
+            (Mspace.snapshot orig)
+        in
+        Registry.set_heap ctx.sys.reg snap copy
+      end;
+      Registry.register_seg ctx.sys.reg snap;
+      Log.info (fun m ->
+          m "seg_snapshot %s -> %s (%d pages shared COW)" (Segment.name seg) name
+            (Segment.pages seg));
+      snap)
+
+let seg_ctl_c ctx cmd =
+  (* [`Destroy] is its own ABI entry (seg_delete); the rest share seg_ctl. *)
+  let nr : Sys.nr = match cmd with `Destroy _ -> Seg_delete | _ -> Seg_ctl in
+  call ctx nr (fun () ->
+      match cmd with
+      | `Grow (seg, by) ->
+        check_acl ctx (Segment.acl seg) `Write ~op:"seg_ctl" "grow: segment not writable";
+        let grown = Segment.grow seg ~by ~charge_to:(Some ctx.core) in
+        (* The shared heap (if any) gains the new space too. *)
+        if Registry.has_heap ctx.sys.reg seg then
+          Mspace.extend (Registry.heap ctx.sys.reg seg) ~by:grown;
+        (* Attachments pick the growth up at their next switch. *)
+        List.iter
+          (fun vas ->
+            if Vas.find_segment_by_sid vas (Segment.sid seg) <> None then
+              Vas.bump_generation vas)
+          (Registry.list_vases ctx.sys.reg);
+        Log.debug (fun m -> m "seg_grow %s by %s" (Segment.name seg) (Size.to_string grown))
+      | `Chmod (seg, mode) ->
+        check_acl ctx (Segment.acl seg) `Write ~op:"seg_ctl" "chmod: segment not writable";
+        Segment.set_acl seg (Acl.chmod (Segment.acl seg) ~mode)
+      | `Cache_translations seg ->
+        Segment.build_translation_cache seg ~charge_to:(Some ctx.core)
+      | `Destroy seg ->
+        check_acl ctx (Segment.acl seg) `Write ~op:"seg_delete" "segment not writable";
+        Registry.unregister_seg ctx.sys.reg seg;
+        Segment.destroy seg)
 
 (* -------------------- Runtime heaps -------------------- *)
 
@@ -572,42 +613,103 @@ let segments_of_current ctx =
   | None -> []
   | Some vh -> List.map (fun (s, p) -> (s, p)) (Vas.segments vh.vas) @ vh.local_segs
 
-let malloc ctx ?seg n =
-  let c = cost ctx in
-  Core.charge ctx.core c.lock_uncontended;
-  let seg, prot =
-    match seg with
-    | Some s -> (
-      match List.find_opt (fun (s', _) -> Segment.sid s' = Segment.sid s) (segments_of_current ctx) with
-      | Some sp -> sp
-      | None -> invalid_arg "malloc: segment not attached in the current address space")
-    | None -> (
-      match
-        List.find_opt (fun ((_ : Segment.t), (p : Prot.t)) -> p.write) (segments_of_current ctx)
-      with
-      | Some sp -> sp
-      | None -> invalid_arg "malloc: no writable segment in the current address space")
-  in
-  if not (prot : Prot.t).write then invalid_arg "malloc: segment mapped read-only";
-  let heap = Registry.heap ctx.sys.reg seg in
-  match Mspace.malloc heap n with
-  | Some va -> va
-  | None -> raise Out_of_memory
+let malloc_c ctx ?seg n =
+  call ctx Heap_malloc (fun () ->
+      let seg, prot =
+        match seg with
+        | Some s -> (
+          match
+            List.find_opt
+              (fun (s', _) -> Segment.sid s' = Segment.sid s)
+              (segments_of_current ctx)
+          with
+          | Some sp -> sp
+          | None ->
+            Error.fail Invalid ~op:"malloc" "segment not attached in the current address space")
+        | None -> (
+          match
+            List.find_opt
+              (fun ((_ : Segment.t), (p : Prot.t)) -> p.write)
+              (segments_of_current ctx)
+          with
+          | Some sp -> sp
+          | None ->
+            Error.fail Invalid ~op:"malloc" "no writable segment in the current address space")
+      in
+      if not (prot : Prot.t).write then
+        Error.fail Invalid ~op:"malloc" "segment mapped read-only";
+      let heap = Registry.heap ctx.sys.reg seg in
+      match Mspace.malloc heap n with
+      | Some va -> va
+      | None -> Error.fail Capacity ~op:"malloc" "mspace exhausted")
 
-let free ctx va =
-  let c = cost ctx in
-  Core.charge ctx.core c.lock_uncontended;
-  match
-    List.find_opt
-      (fun ((s : Segment.t), _) ->
-        Addr.range_contains ~base:(Segment.base s) ~size:(Segment.size s) va)
-      (segments_of_current ctx)
-  with
-  | None ->
-    invalid_arg "free: address not within any segment of the current address space"
-  | Some (seg, _) ->
-    let heap = Registry.heap ctx.sys.reg seg in
-    Mspace.free heap va
+let free_c ctx va =
+  call ctx Heap_free (fun () ->
+      match
+        List.find_opt
+          (fun ((s : Segment.t), _) ->
+            Addr.range_contains ~base:(Segment.base s) ~size:(Segment.size s) va)
+          (segments_of_current ctx)
+      with
+      | None ->
+        Error.fail Invalid ~op:"free" "address not within any segment of the current address space"
+      | Some (seg, _) -> (
+        let heap = Registry.heap ctx.sys.reg seg in
+        try Mspace.free heap va
+        with Invalid_argument m -> Error.fail Invalid ~op:"free" m))
+
+(* -------------------- Result-typed surface -------------------- *)
+
+module Checked = struct
+  let vas_create = vas_create_c
+  let vas_find = vas_find_c
+  let vas_clone = vas_clone_c
+  let vas_attach = vas_attach_c
+  let vas_detach = vas_detach_c
+  let vas_switch = vas_switch_c
+  let switch_home = switch_home_c
+  let vas_ctl = vas_ctl_c
+  let exit_process = exit_process_c
+  let seg_alloc = seg_alloc_c
+  let seg_alloc_anywhere = seg_alloc_anywhere_c
+  let seg_find = seg_find_c
+  let seg_attach = seg_attach_c
+  let seg_attach_local = seg_attach_local_c
+  let seg_detach = seg_detach_c
+  let seg_detach_local = seg_detach_local_c
+  let seg_clone = seg_clone_c
+  let seg_snapshot = seg_snapshot_c
+  let seg_ctl = seg_ctl_c
+  let malloc = malloc_c
+  let free = free_c
+end
+
+(* -------------------- Legacy exception-style surface -------------------- *)
+
+let vas_create ctx ~name ~mode = ok_exn (vas_create_c ctx ~name ~mode)
+let vas_find ctx ~name = ok_exn (vas_find_c ctx ~name)
+let vas_clone ctx vas ~name = ok_exn (vas_clone_c ctx vas ~name)
+let vas_attach ctx vas = ok_exn (vas_attach_c ctx vas)
+let vas_switch ctx vh = ok_exn (vas_switch_c ctx vh)
+let vas_ctl ctx cmd = ok_exn (vas_ctl_c ctx cmd)
+let exit_process ctx = ok_exn (exit_process_c ctx)
+
+let seg_alloc ?huge ?tier ctx ~name ~base ~size ~mode =
+  ok_exn (seg_alloc_c ?huge ?tier ctx ~name ~base ~size ~mode)
+
+let seg_alloc_anywhere ?huge ?tier ctx ~name ~size ~mode =
+  ok_exn (seg_alloc_anywhere_c ?huge ?tier ctx ~name ~size ~mode)
+
+let seg_find ctx ~name = ok_exn (seg_find_c ctx ~name)
+let seg_attach ctx vas seg ~prot = ok_exn (seg_attach_c ctx vas seg ~prot)
+let seg_attach_local ctx vh seg ~prot = ok_exn (seg_attach_local_c ctx vh seg ~prot)
+let seg_detach ctx vas seg = ok_exn (seg_detach_c ctx vas seg)
+let seg_detach_local ctx vh seg = ok_exn (seg_detach_local_c ctx vh seg)
+let seg_clone ctx seg ~name = ok_exn (seg_clone_c ctx seg ~name)
+let seg_snapshot ctx seg ~name = ok_exn (seg_snapshot_c ctx seg ~name)
+let seg_ctl ctx cmd = ok_exn (seg_ctl_c ctx cmd)
+let malloc ctx ?seg n = ok_exn (malloc_c ctx ?seg n)
+let free ctx va = ok_exn (free_c ctx va)
 
 (* -------------------- Data access -------------------- *)
 

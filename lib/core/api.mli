@@ -4,17 +4,24 @@
     ([vas_*]) and the segment API for library developers ([seg_*]),
     plus the runtime library's heap functions (§4.1). All calls execute
     against a {!system} (a booted OS personality on a machine) within a
-    {!ctx} (a thread of a process running on a core), and charge the
-    simulated costs of the backing OS implementation:
+    {!ctx} (a thread of a process running on a core), and every one of
+    them crosses the kernel ABI through the system's numbered dispatch
+    table ({!Sj_abi.Sys}), which charges the simulated entry cost of
+    the backing OS implementation and keeps per-call counters:
 
     - [`Dragonfly]: kernel-mediated — each call pays a DragonFly syscall;
       switches pay Table 2's DragonFly cost.
     - [`Barrelfish]: the API is RPC to a user-space service; switching is
       a capability invocation, cheaper than a DragonFly syscall chain
       (Table 2), and VAS access is mediated by capabilities — revoking a
-      VAS's root capability bars further switches into it (§4.2). *)
+      VAS's root capability bars further switches into it (§4.2).
 
-type backend = Dragonfly | Barrelfish
+    Failures are typed faults ({!Sj_abi.Error}): the {!Checked} module
+    returns them as [result] values straight from the dispatch table;
+    the top-level functions are thin wrappers that re-raise the legacy
+    {!Errors} exception for the same code. *)
+
+type backend = Sj_abi.Sys.backend = Dragonfly | Barrelfish
 
 type system
 (** A booted SpaceJMP OS instance on a simulated machine. *)
@@ -34,6 +41,11 @@ val boot : ?backend:backend -> Sj_machine.Machine.t -> system
 val backend : system -> backend
 val registry : system -> Registry.t
 val machine : system -> Sj_machine.Machine.t
+
+val syscalls : system -> Sj_abi.Sys.t
+(** The system's ABI dispatch table — query it for per-syscall call
+    counts and simulated-cycle totals ({!Sj_abi.Sys.counters},
+    {!Sj_abi.Sys.describe}). *)
 
 val context : system -> Sj_kernel.Process.t -> Sj_machine.Machine.Core.core -> ctx
 (** Bind a process thread to a core. Installs the process's primary
@@ -157,9 +169,10 @@ exception Out_of_memory
 val malloc : ctx -> ?seg:Segment.t -> int -> int
 (** Allocate from a segment's mspace. Default segment: the first
     writable lockable segment of the current VAS. Must be called while
-    switched into a VAS containing the segment; raises
-    [Invalid_argument] otherwise (the paper's allocator constraint).
-    Raises [Out_of_memory] when the mspace is exhausted. *)
+    switched into a VAS containing the segment; raises an
+    [Sj_abi.Error.Fault] with code [Invalid] otherwise (the paper's
+    allocator constraint). Raises [Out_of_memory] when the mspace is
+    exhausted. *)
 
 val free : ctx -> int -> unit
 (** Release a heap allocation. Valid only while inside an address space
@@ -167,6 +180,67 @@ val free : ctx -> int -> unit
 
 val vas_of_vh : vh -> Vas.t
 val vmspace_of_vh : vh -> Sj_kernel.Vmspace.t
+
+(** {2 Result-typed surface}
+
+    The same entry points, returning the typed fault from the dispatch
+    table instead of raising. Each call here IS the ABI crossing — the
+    top-level exception-style functions are wrappers over these. *)
+
+module Checked : sig
+  val vas_create : ctx -> name:string -> mode:int -> (Vas.t, Sj_abi.Error.t) result
+  val vas_find : ctx -> name:string -> (Vas.t, Sj_abi.Error.t) result
+  val vas_clone : ctx -> Vas.t -> name:string -> (Vas.t, Sj_abi.Error.t) result
+  val vas_attach : ctx -> Vas.t -> (vh, Sj_abi.Error.t) result
+  val vas_detach : ctx -> vh -> (unit, Sj_abi.Error.t) result
+  val vas_switch : ctx -> vh -> (unit, Sj_abi.Error.t) result
+  val switch_home : ctx -> (unit, Sj_abi.Error.t) result
+  val exit_process : ctx -> (unit, Sj_abi.Error.t) result
+
+  val vas_ctl :
+    ctx ->
+    [ `Request_tag of Vas.t | `Chmod of Vas.t * int | `Revoke of Vas.t | `Destroy of Vas.t ] ->
+    (unit, Sj_abi.Error.t) result
+  (** [`Destroy] is dispatched as the [vas_delete] ABI entry; the other
+      commands share [vas_ctl]. *)
+
+  val seg_alloc :
+    ?huge:bool ->
+    ?tier:[ `Performance | `Capacity ] ->
+    ctx -> name:string -> base:int -> size:int -> mode:int ->
+    (Segment.t, Sj_abi.Error.t) result
+
+  val seg_alloc_anywhere :
+    ?huge:bool ->
+    ?tier:[ `Performance | `Capacity ] ->
+    ctx -> name:string -> size:int -> mode:int -> (Segment.t, Sj_abi.Error.t) result
+  (** A base-range exhaustion surfaces as code [Layout_exhausted]. *)
+
+  val seg_find : ctx -> name:string -> (Segment.t, Sj_abi.Error.t) result
+
+  val seg_attach :
+    ctx -> Vas.t -> Segment.t -> prot:Sj_paging.Prot.t -> (unit, Sj_abi.Error.t) result
+
+  val seg_attach_local :
+    ctx -> vh -> Segment.t -> prot:Sj_paging.Prot.t -> (unit, Sj_abi.Error.t) result
+
+  val seg_detach : ctx -> Vas.t -> Segment.t -> (unit, Sj_abi.Error.t) result
+  val seg_detach_local : ctx -> vh -> Segment.t -> (unit, Sj_abi.Error.t) result
+  val seg_clone : ctx -> Segment.t -> name:string -> (Segment.t, Sj_abi.Error.t) result
+  val seg_snapshot : ctx -> Segment.t -> name:string -> (Segment.t, Sj_abi.Error.t) result
+
+  val seg_ctl :
+    ctx ->
+    [ `Grow of Segment.t * int
+    | `Chmod of Segment.t * int
+    | `Cache_translations of Segment.t
+    | `Destroy of Segment.t ] ->
+    (unit, Sj_abi.Error.t) result
+  (** [`Destroy] is dispatched as the [seg_delete] ABI entry. *)
+
+  val malloc : ctx -> ?seg:Segment.t -> int -> (int, Sj_abi.Error.t) result
+  val free : ctx -> int -> (unit, Sj_abi.Error.t) result
+end
 
 (** {2 Convenience data accessors (current address space)} *)
 

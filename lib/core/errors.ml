@@ -1,6 +1,31 @@
+module Error = Sj_abi.Error
+
 exception Permission_denied of string
 exception Would_block of string
 exception Name_exists of string
 exception Unknown_name of string
 exception Stale_handle of string
 exception Address_conflict of string
+
+let raise_legacy (f : Error.t) =
+  let msg = if f.op = "" then f.detail else f.op ^ ": " ^ f.detail in
+  match f.code with
+  | Error.Permission_denied -> raise (Permission_denied msg)
+  | Error.Would_block -> raise (Would_block msg)
+  | Error.Name_exists -> raise (Name_exists msg)
+  | Error.Unknown_name -> raise (Unknown_name msg)
+  | Error.Stale_handle -> raise (Stale_handle msg)
+  | Error.Address_conflict -> raise (Address_conflict msg)
+  | Error.Capacity -> raise Sj_mem.Phys_mem.Out_of_memory
+  | Error.Layout_exhausted | Error.Invalid -> raise (Error.Fault f)
+
+let fault_of_exn = function
+  | Error.Fault f -> Some f
+  | Permission_denied m -> Some (Error.make Permission_denied ~op:"" m)
+  | Would_block m -> Some (Error.make Would_block ~op:"" m)
+  | Name_exists m -> Some (Error.make Name_exists ~op:"" m)
+  | Unknown_name m -> Some (Error.make Unknown_name ~op:"" m)
+  | Stale_handle m -> Some (Error.make Stale_handle ~op:"" m)
+  | Address_conflict m -> Some (Error.make Address_conflict ~op:"" m)
+  | Sj_mem.Phys_mem.Out_of_memory -> Some (Error.make Capacity ~op:"" "out of physical memory")
+  | _ -> None

@@ -1,4 +1,12 @@
-(** Errors raised by the SpaceJMP API. *)
+(** Errors raised by the exception-style SpaceJMP API.
+
+    The source of truth for error classification is the typed fault
+    model in {!Sj_abi.Error}: every ABI entry reports failures as a
+    fault record carrying an errno-style code. The exceptions here are
+    the legacy surface that predates it, kept so existing callers (and
+    tests) continue to pattern-match on specific conditions; the
+    [Api] wrappers translate faults back into them via
+    {!raise_legacy}. *)
 
 exception Permission_denied of string
 (** The caller's credentials fail the ACL / capability check. *)
@@ -19,3 +27,16 @@ exception Stale_handle of string
 exception Address_conflict of string
 (** Segment placement collides with an existing mapping (§4.1
     "Inadvertent address collisions"). *)
+
+val raise_legacy : Sj_abi.Error.t -> 'a
+(** Re-raise a typed fault as the matching legacy exception:
+    the six codes above map to their namesake exceptions, [Capacity]
+    maps to [Sj_mem.Phys_mem.Out_of_memory], and codes with no legacy
+    spelling ([Layout_exhausted], [Invalid]) re-raise the
+    {!Sj_abi.Error.Fault} itself. *)
+
+val fault_of_exn : exn -> Sj_abi.Error.t option
+(** Classify an exception as a typed fault if it belongs to the API
+    error surface (a [Fault], one of the legacy exceptions above, or
+    [Out_of_memory]); [None] for anything else. Used by [sjctl] to
+    map failures to exit codes. *)

@@ -41,19 +41,19 @@ let machine t = t.machine
 
 let register_vas t vas =
   let name = Vas.name vas in
-  if Hashtbl.mem t.vases name then raise (Errors.Name_exists name);
+  if Hashtbl.mem t.vases name then Sj_abi.Error.fail Name_exists ~op:"vas_create" name;
   Hashtbl.replace t.vases name vas;
   Hashtbl.replace t.vases_by_id (Vas.vid vas) vas
 
 let find_vas t ~name =
   match Hashtbl.find_opt t.vases name with
   | Some v -> v
-  | None -> raise (Errors.Unknown_name name)
+  | None -> Sj_abi.Error.fail Unknown_name ~op:"vas_find" name
 
 let find_vas_by_id t vid =
   match Hashtbl.find_opt t.vases_by_id vid with
   | Some v -> v
-  | None -> raise (Errors.Unknown_name (Printf.sprintf "vid:%d" vid))
+  | None -> Sj_abi.Error.failf Unknown_name ~op:"vas_find" "vid:%d" vid
 
 let unregister_vas t vas =
   Hashtbl.remove t.vases (Vas.name vas);
@@ -64,19 +64,19 @@ let list_vases t = Hashtbl.fold (fun _ v acc -> v :: acc) t.vases []
 
 let register_seg t seg =
   let name = Segment.name seg in
-  if Hashtbl.mem t.segs name then raise (Errors.Name_exists name);
+  if Hashtbl.mem t.segs name then Sj_abi.Error.fail Name_exists ~op:"seg_alloc" name;
   Hashtbl.replace t.segs name seg;
   Hashtbl.replace t.segs_by_id (Segment.sid seg) seg
 
 let find_seg t ~name =
   match Hashtbl.find_opt t.segs name with
   | Some s -> s
-  | None -> raise (Errors.Unknown_name name)
+  | None -> Sj_abi.Error.fail Unknown_name ~op:"seg_find" name
 
 let find_seg_by_id t sid =
   match Hashtbl.find_opt t.segs_by_id sid with
   | Some s -> s
-  | None -> raise (Errors.Unknown_name (Printf.sprintf "sid:%d" sid))
+  | None -> Sj_abi.Error.failf Unknown_name ~op:"seg_find" "sid:%d" sid
 
 let unregister_seg t seg =
   Hashtbl.remove t.segs (Segment.name seg);
@@ -178,7 +178,7 @@ let root_cap t vas =
     c
 
 let set_service t ~name s =
-  if Hashtbl.mem t.services name then raise (Errors.Name_exists name);
+  if Hashtbl.mem t.services name then Sj_abi.Error.fail Name_exists ~op:"service" name;
   Hashtbl.replace t.services name s
 
 let find_service t ~name = Hashtbl.find_opt t.services name

@@ -30,13 +30,14 @@ type t = {
 let create ?(lockable = true) ?acl ?node ?(huge = false) ~charge_to ~machine ~name ~base
     ~size ~prot () =
   if not (Addr.is_page_aligned base) then
-    invalid_arg "Segment.create: base must be page aligned";
-  if size <= 0 then invalid_arg "Segment.create: size must be positive";
+    Sj_abi.Error.fail Invalid ~op:"seg_alloc" "base must be page aligned";
+  if size <= 0 then Sj_abi.Error.fail Invalid ~op:"seg_alloc" "size must be positive";
   let align = if huge then Size.mib 2 else Addr.page_size in
   if huge && base mod Size.mib 2 <> 0 then
-    invalid_arg "Segment.create: huge segments need a 2 MiB-aligned base";
+    Sj_abi.Error.fail Invalid ~op:"seg_alloc" "huge segments need a 2 MiB-aligned base";
   let size = Size.round_up size ~align in
-  if base + size > Addr.va_limit then invalid_arg "Segment.create: beyond virtual range";
+  if base + size > Addr.va_limit then
+    Sj_abi.Error.fail Invalid ~op:"seg_alloc" "beyond virtual range";
   let obj = Vm_object.create ~name ?node ~contiguous:huge machine ~size ~charge_to in
   let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
   {
@@ -59,7 +60,7 @@ let create ?(lockable = true) ?acl ?node ?(huge = false) ~charge_to ~machine ~na
 
 let create_with_object ?(lockable = true) ?acl ~machine ~name ~base ~prot obj =
   if not (Addr.is_page_aligned base) then
-    invalid_arg "Segment.create_with_object: base must be page aligned";
+    Sj_abi.Error.fail Invalid ~op:"seg_alloc" "base must be page aligned";
   let acl = match acl with Some a -> a | None -> Acl.create ~owner:0 ~group:0 ~mode:0o600 in
   {
     sid = Sim_ctx.next_sid (Machine.sim_ctx machine);
@@ -118,7 +119,8 @@ let unlock t ~mode =
     | Shared 1, `Shared -> t.lock <- Unlocked
     | Shared n, `Shared when n > 1 -> t.lock <- Shared (n - 1)
     | Exclusive, `Exclusive -> t.lock <- Unlocked
-    | _, _ -> invalid_arg (Printf.sprintf "Segment.unlock(%s): not held in that mode" t.name)
+    | _, _ ->
+      Sj_abi.Error.failf Invalid ~op:"seg_unlock" "%s: not held in that mode" t.name
 
 let lock_conflicts t = t.conflicts
 
@@ -131,7 +133,7 @@ let build_translation_cache t ~charge_to =
   | None ->
     let gib = Size.gib 1 in
     if t.base land (gib - 1) <> 0 then
-      invalid_arg "Segment.build_translation_cache: base must be 1 GiB aligned";
+      Sj_abi.Error.fail Invalid ~op:"seg_cache" "base must be 1 GiB aligned";
     (* Build the full mapping once in a scratch tree, then extract the
        per-GiB PD subtrees. The scratch tree stays alive as their owner. *)
     let scratch = Page_table.create (Machine.mem t.machine) in
@@ -165,16 +167,18 @@ let build_translation_cache t ~charge_to =
       Array.init n_gib (fun i ->
           match Page_table.extract_subtree scratch ~va:(t.base + (i * gib)) ~level:2 with
           | Some s -> s
-          | None -> failwith "Segment.build_translation_cache: subtree extraction failed")
+          | None -> Sj_abi.Error.fail Invalid ~op:"seg_cache" "subtree extraction failed")
     in
     t.cache <- Some (scratch, subtrees)
 
 let grow t ~by ~charge_to =
-  if t.destroyed then invalid_arg "Segment.grow: destroyed";
-  if t.cache <> None then invalid_arg "Segment.grow: segment has cached translations";
-  if t.cow then invalid_arg "Segment.grow: copy-on-write segments are frozen";
-  if t.page <> Page_table.P4K then invalid_arg "Segment.grow: huge-page segments are fixed";
-  if by <= 0 then invalid_arg "Segment.grow: by must be positive";
+  if t.destroyed then Sj_abi.Error.fail Stale_handle ~op:"seg_grow" "destroyed";
+  if t.cache <> None then
+    Sj_abi.Error.fail Invalid ~op:"seg_grow" "segment has cached translations";
+  if t.cow then Sj_abi.Error.fail Invalid ~op:"seg_grow" "copy-on-write segments are frozen";
+  if t.page <> Page_table.P4K then
+    Sj_abi.Error.fail Invalid ~op:"seg_grow" "huge-page segments are fixed";
+  if by <= 0 then Sj_abi.Error.fail Invalid ~op:"seg_grow" "by must be positive";
   let by_pages = (by + Addr.page_size - 1) / Addr.page_size in
   Vm_object.grow t.machine t.obj ~by_pages ~charge_to;
   let grown = by_pages * Addr.page_size in

@@ -36,12 +36,12 @@ let tag t = t.tag
 let assign_tag t tag = t.tag <- Some tag
 let segments t = t.segments
 
-let check_live t ctx = if t.destroyed then raise (Errors.Stale_handle ("Vas." ^ ctx))
+let check_live t op = if t.destroyed then Sj_abi.Error.fail Stale_handle ~op "VAS destroyed"
 
 let attach_segment t seg ~prot =
-  check_live t "attach_segment";
+  check_live t "seg_attach";
   if not (Prot.subsumes (Segment.prot_max seg) prot) then
-    invalid_arg "Vas.attach_segment: prot exceeds segment maximum";
+    Sj_abi.Error.fail Permission_denied ~op:"seg_attach" "prot exceeds segment maximum";
   let base = Segment.base seg and size = Segment.size seg in
   List.iter
     (fun (s, _) ->
@@ -49,10 +49,8 @@ let attach_segment t seg ~prot =
         Addr.range_overlaps ~base1:base ~size1:size ~base2:(Segment.base s)
           ~size2:(Segment.size s)
       then
-        raise
-          (Errors.Address_conflict
-             (Printf.sprintf "segment %s overlaps %s in VAS %s" (Segment.name seg)
-                (Segment.name s) t.name)))
+        Sj_abi.Error.failf Address_conflict ~op:"seg_attach" "segment %s overlaps %s in VAS %s"
+          (Segment.name seg) (Segment.name s) t.name)
     t.segments;
   t.segments <-
     List.sort (fun (a, _) (b, _) -> compare (Segment.base a) (Segment.base b))
@@ -60,9 +58,9 @@ let attach_segment t seg ~prot =
   t.generation <- t.generation + 1
 
 let detach_segment t seg =
-  check_live t "detach_segment";
+  check_live t "seg_detach";
   if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) t.segments) then
-    invalid_arg "Vas.detach_segment: segment not attached";
+    Sj_abi.Error.fail Unknown_name ~op:"seg_detach" "segment not attached";
   t.segments <- List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) t.segments;
   t.generation <- t.generation + 1
 

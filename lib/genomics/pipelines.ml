@@ -5,6 +5,7 @@ module Memfs = Sj_memfs.Memfs
 module Block_lz = Sj_compress.Block_lz
 module Api = Sj_core.Api
 module Segment = Sj_core.Segment
+module Error = Sj_abi.Error
 module Prot = Sj_paging.Prot
 
 type op = Flagstat | Qname_sort | Coord_sort | Index
@@ -76,7 +77,7 @@ let decode_charged env ~format data =
   match format with
   | `Sam ->
     Core.charge env.core (Sam.parse_cycles ~bytes:len);
-    (match Sam.decode data with Ok r -> r | Error e -> failwith ("SAM decode: " ^ e))
+    (match Sam.decode data with Ok r -> r | Error e -> Error.fail Invalid ~op:"sam_decode" e)
   | `Bam ->
     let raw_len = Bytes.length (Block_lz.decompress data) in
     Core.charge env.core (Block_lz.decompress_cycles ~uncompressed:raw_len);
@@ -84,7 +85,7 @@ let decode_charged env ~format data =
     | Ok r ->
       Core.charge env.core (Bam.decode_cycles ~raw_bytes:raw_len);
       r
-    | Error e -> failwith ("BAM decode: " ^ e))
+    | Error e -> Error.fail Invalid ~op:"bam_decode" e)
 
 let encode_charged env ~format records =
   match format with
@@ -141,8 +142,8 @@ let file_records env ~format ~path =
   let fd = Memfs.open_file env.fs ~path in
   let data = Memfs.read_all fd ~charge_to:None in
   match format with
-  | `Sam -> ( match Sam.decode data with Ok r -> r | Error e -> failwith e)
-  | `Bam -> ( match Bam.decode data with Ok r -> r | Error e -> failwith e)
+  | `Sam -> ( match Sam.decode data with Ok r -> r | Error e -> Error.fail Invalid ~op:"sam_decode" e)
+  | `Bam -> ( match Bam.decode data with Ok r -> r | Error e -> Error.fail Invalid ~op:"bam_decode" e)
 
 (* ---------------- mmap design ---------------- *)
 

@@ -32,22 +32,25 @@ let create_endpoint ctx ~service = make ctx (Endpoint service) Prot.rw
 let create_vas_ref ctx ~vas ~rights = make ctx (Vas_ref vas) rights
 
 let retype t ~into =
-  if t.revoked then invalid_arg "Cap.retype: revoked";
+  if t.revoked then Sj_abi.Error.fail Stale_handle ~op:"cap_retype" "revoked";
   (match t.captype with
   | Ram _ -> ()
-  | Frame | Vnode _ | Vas_ref _ | Endpoint _ -> invalid_arg "Cap.retype: source is not untyped RAM");
-  if t.retyped then invalid_arg "Cap.retype: already retyped";
+  | Frame | Vnode _ | Vas_ref _ | Endpoint _ ->
+    Sj_abi.Error.fail Invalid ~op:"cap_retype" "source is not untyped RAM");
+  if t.retyped then Sj_abi.Error.fail Invalid ~op:"cap_retype" "already retyped";
   (match into with
   | Frame | Vnode _ -> ()
-  | Ram _ | Vas_ref _ | Endpoint _ -> invalid_arg "Cap.retype: invalid target type");
+  | Ram _ | Vas_ref _ | Endpoint _ ->
+    Sj_abi.Error.fail Invalid ~op:"cap_retype" "invalid target type");
   t.retyped <- true;
   let child = make t.ctx into t.rights in
   t.children <- child :: t.children;
   child
 
 let mint t ~rights =
-  if t.revoked then invalid_arg "Cap.mint: revoked";
-  if not (Prot.subsumes t.rights rights) then invalid_arg "Cap.mint: rights amplification";
+  if t.revoked then Sj_abi.Error.fail Stale_handle ~op:"cap_mint" "revoked";
+  if not (Prot.subsumes t.rights rights) then
+    Sj_abi.Error.fail Permission_denied ~op:"cap_mint" "rights amplification";
   let child = make t.ctx t.captype rights in
   t.children <- child :: t.children;
   child
@@ -77,9 +80,10 @@ module Cspace = struct
 
   let invoke t ~slot ~access =
     match lookup t slot with
-    | None -> invalid_arg "Cspace.invoke: empty slot"
+    | None -> Sj_abi.Error.fail Unknown_name ~op:"cap_invoke" "empty slot"
     | Some cap ->
-      if cap.revoked then invalid_arg "Cspace.invoke: revoked capability";
-      if not (Prot.allows cap.rights access) then invalid_arg "Cspace.invoke: insufficient rights";
+      if cap.revoked then Sj_abi.Error.fail Stale_handle ~op:"cap_invoke" "revoked capability";
+      if not (Prot.allows cap.rights access) then
+        Sj_abi.Error.fail Permission_denied ~op:"cap_invoke" "insufficient rights";
       cap
 end

@@ -16,8 +16,13 @@ let is_global va = va >= global_base && va < Addr.va_limit
 let next_global_base ctx ~size =
   let base = global_base + Sim_ctx.layout_offset ctx in
   let span = Size.round_up size ~align:(Size.gib 1) in
+  if base + span >= Addr.va_limit then
+    Sj_abi.Error.failf Layout_exhausted ~op:"seg_alloc"
+      "global address range exhausted (cursor %s + %s exceeds %s)" (Addr.to_string base)
+      (Size.to_string span) (Addr.to_string Addr.va_limit);
+  (* The cursor only advances on success, so a caller that observes the
+     fault can release space (or pick another machine) and retry. *)
   Sim_ctx.set_layout_offset ctx (base + span - global_base);
-  if base + span >= Addr.va_limit then failwith "Layout: global address range exhausted";
   base
 
 let reset_global_allocator ctx = Sim_ctx.set_layout_offset ctx 0

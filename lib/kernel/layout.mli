@@ -33,7 +33,10 @@ val next_global_base : Sj_util.Sim_ctx.t -> size:int -> int
     PDPT-slot subtrees (§4.4). The cursor lives in the simulation's
     [Sim_ctx] (callers with a machine pass [Machine.sim_ctx machine]),
     so bases are deterministic per machine regardless of what else the
-    process has simulated. *)
+    process has simulated. When the range above [global_base] is spent,
+    raises [Sj_abi.Error.Fault] with code [Layout_exhausted] and leaves
+    the cursor unchanged, so callers can observe the fault and retry
+    after releasing space. *)
 
 val reset_global_allocator : Sj_util.Sim_ctx.t -> unit
 (** Reset the sequential allocator (machine reuse within one test). *)

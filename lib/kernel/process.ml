@@ -68,7 +68,7 @@ let main_thread t =
   | [] -> assert false
 
 let spawn_thread t =
-  if not t.live then invalid_arg "Process.spawn_thread: process exited";
+  if not t.live then Sj_abi.Error.fail Stale_handle ~op:"spawn_thread" "process exited";
   let prev_bottom =
     List.fold_left (fun acc th -> min acc th.stack_base) Layout.stack_top t.thread_list
   in

@@ -13,7 +13,7 @@ type t = {
 }
 
 let create ?name ?node ?contiguous machine ~size ~charge_to =
-  if size <= 0 then invalid_arg "Vm_object.create: size must be positive";
+  if size <= 0 then Sj_abi.Error.fail Invalid ~op:"vm_object_create" "size must be positive";
   let pages = (size + Addr.page_size - 1) / Addr.page_size in
   let frames = Machine.alloc_pages ?node ?contiguous machine ~n:pages ~charge_to in
   let ctx = Machine.sim_ctx machine in
@@ -34,12 +34,13 @@ let frames t = t.frames
 
 let frame_at t ~page =
   if page < 0 || page >= Array.length t.frames then
-    invalid_arg "Vm_object.frame_at: page out of range";
+    Sj_abi.Error.fail Invalid ~op:"vm_object_frame" "page out of range";
   t.frames.(page)
 
 let grow ?node machine t ~by_pages ~charge_to =
-  if t.destroyed then invalid_arg "Vm_object.grow: destroyed";
-  if by_pages <= 0 then invalid_arg "Vm_object.grow: by_pages must be positive";
+  if t.destroyed then Sj_abi.Error.fail Stale_handle ~op:"vm_object_grow" "destroyed";
+  if by_pages <= 0 then
+    Sj_abi.Error.fail Invalid ~op:"vm_object_grow" "by_pages must be positive";
   let extra = Machine.alloc_pages ?node machine ~n:by_pages ~charge_to in
   t.frames <- Array.append t.frames extra;
   t.shares <- Array.append t.shares (Array.init by_pages (fun _ -> ref 1))
@@ -60,7 +61,7 @@ let destroy machine t =
 let is_destroyed t = t.destroyed
 
 let cow_clone ?name t =
-  if t.destroyed then invalid_arg "Vm_object.cow_clone: destroyed";
+  if t.destroyed then Sj_abi.Error.fail Stale_handle ~op:"vm_object_clone" "destroyed";
   Array.iter incr t.shares;
   {
     id = Sim_ctx.next_vm_object_id t.ctx;

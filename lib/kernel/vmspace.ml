@@ -81,9 +81,8 @@ let find_region t ~va =
 let check_no_overlap t ~base ~size =
   let check r =
     if Addr.range_overlaps ~base1:base ~size1:size ~base2:r.base ~size2:r.size then
-      invalid_arg
-        (Printf.sprintf "Vmspace.map_object: [%s,+%s) overlaps region at %s"
-           (Addr.to_string base) (Size.to_string size) (Addr.to_string r.base))
+      Sj_abi.Error.failf Address_conflict ~op:"vm_map" "[%s,+%s) overlaps region at %s"
+        (Addr.to_string base) (Size.to_string size) (Addr.to_string r.base)
   in
   let i = floor_index t.regions base in
   if i >= 0 then check t.regions.(i);
@@ -114,10 +113,11 @@ let remove_region_index t i =
 
 let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow = false)
     ?(page = Page_table.P4K) ?name ~prot obj =
-  if not (Addr.is_page_aligned base) then invalid_arg "Vmspace.map_object: base not aligned";
+  if not (Addr.is_page_aligned base) then
+    Sj_abi.Error.fail Invalid ~op:"vm_map" "base not aligned";
   let pages = match pages with Some p -> p | None -> Vm_object.pages obj - obj_page in
   if pages <= 0 || obj_page < 0 || obj_page + pages > Vm_object.pages obj then
-    invalid_arg "Vmspace.map_object: page range outside object";
+    Sj_abi.Error.fail Invalid ~op:"vm_map" "page range outside object";
   let size = pages * Addr.page_size in
   check_no_overlap t ~base ~size;
   let before = snapshot_stats t in
@@ -139,11 +139,11 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
     done
   | Page_table.P2M ->
     let huge = Size.mib 2 / Addr.page_size in
-    if cow then invalid_arg "Vmspace.map_object: COW requires 4 KiB granularity";
+    if cow then Sj_abi.Error.fail Invalid ~op:"vm_map" "COW requires 4 KiB granularity";
     if not (Vm_object.is_contiguous obj) then
-      invalid_arg "Vmspace.map_object: 2 MiB mapping needs a contiguous object";
+      Sj_abi.Error.fail Invalid ~op:"vm_map" "2 MiB mapping needs a contiguous object";
     if base mod Size.mib 2 <> 0 || obj_page mod huge <> 0 || pages mod huge <> 0 then
-      invalid_arg "Vmspace.map_object: 2 MiB mapping needs 2 MiB alignment";
+      Sj_abi.Error.fail Invalid ~op:"vm_map" "2 MiB mapping needs 2 MiB alignment";
     for i = 0 to (pages / huge) - 1 do
       let frame = Vm_object.frame_at obj ~page:(obj_page + (i * huge)) in
       Page_table.map ~global t.pt
@@ -156,7 +156,7 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
 
 let unmap_region t ~charge_to ~base =
   match index_at_base t base with
-  | -1 -> invalid_arg "Vmspace.unmap_region: no region at base"
+  | -1 -> Sj_abi.Error.fail Unknown_name ~op:"vm_unmap" "no region at base"
   | i ->
     let r = t.regions.(i) in
     let before = snapshot_stats t in
@@ -179,7 +179,7 @@ let remap_page t ~charge_to ~va ~frame ~prot =
 
 let write_protect_region t ~charge_to ~base =
   match index_at_base t base with
-  | -1 -> invalid_arg "Vmspace.write_protect_region: no region at base"
+  | -1 -> Sj_abi.Error.fail Unknown_name ~op:"vm_write_protect" "no region at base"
   | i ->
     let r = t.regions.(i) in
     let before = snapshot_stats t in

@@ -3,6 +3,7 @@ module Api = Sj_core.Api
 module Segment = Sj_core.Segment
 module Vas = Sj_core.Vas
 module Errors = Sj_core.Errors
+module Error = Sj_abi.Error
 module Prot = Sj_paging.Prot
 module Core = Sj_machine.Machine.Core
 
@@ -45,7 +46,7 @@ let init ctx ~name ~size =
      their own. *)
   let boot_mem =
     {
-      Kv_mem.alloc = (fun _ -> invalid_arg "RedisJMP: boot backend");
+      Kv_mem.alloc = (fun _ -> Error.fail Invalid ~op:"redisjmp_init" "boot backend cannot allocate");
       free = ignore;
       read = (fun ~va:_ ~len -> Bytes.create len);
       write = (fun ~va:_ _ -> ());
@@ -64,7 +65,7 @@ let service_name name = "redisjmp:" ^ name
 let init ctx ~name ~size =
   let reg = Api.registry (Api.system ctx) in
   (match Sj_core.Registry.find_service reg ~name:(service_name name) with
-  | Some _ -> invalid_arg ("Redisjmp.init: store exists: " ^ name)
+  | Some _ -> Error.fail Name_exists ~op:"redisjmp_init" ("store exists: " ^ name)
   | None -> ());
   let t = init ctx ~name ~size in
   Sj_core.Registry.set_service reg ~name:(service_name name) (Store_service t);
@@ -170,7 +171,7 @@ let get c key = match execute c (Resp.Get key) with Bulk v -> Some v | _ -> None
 let set c key v =
   match execute c (Resp.Set (key, v)) with
   | Ok_simple -> ()
-  | _ -> failwith "Redisjmp.set failed"
+  | _ -> Error.fail Invalid ~op:"redisjmp_set" "unexpected reply"
 
 let store t = t.store
 let data_segment t = t.seg

@@ -11,6 +11,9 @@ module Api = Sj_core.Api
 module Registry = Sj_core.Registry
 module Segment = Sj_core.Segment
 module Vas = Sj_core.Vas
+module Errors = Sj_core.Errors
+module Error = Sj_abi.Error
+module Sys = Sj_abi.Sys
 
 let magic = "SJIMG1"
 
@@ -22,7 +25,7 @@ let w_string buf s =
 
 let r_string b pos =
   let len, pos = Varint.read b ~pos in
-  if pos + len > Bytes.length b then invalid_arg "Persist: truncated string";
+  if pos + len > Bytes.length b then Error.fail Invalid ~op:"persist_restore" "truncated string";
   (Bytes.sub_string b pos len, pos + len)
 
 let w_bytes buf s =
@@ -31,7 +34,7 @@ let w_bytes buf s =
 
 let r_bytes b pos =
   let len, pos = Varint.read b ~pos in
-  if pos + len > Bytes.length b then invalid_arg "Persist: truncated bytes";
+  if pos + len > Bytes.length b then Error.fail Invalid ~op:"persist_restore" "truncated bytes";
   (Bytes.sub b pos len, pos + len)
 
 let prot_bits (p : Prot.t) =
@@ -74,6 +77,7 @@ let write_contents machine seg data =
 (* ---------- save ---------- *)
 
 let save sys =
+  Sys.count (Api.syscalls sys) Persist_save;
   let reg = Api.registry sys in
   let machine = Api.machine sys in
   let buf = Buffer.create 4096 in
@@ -126,9 +130,13 @@ let save sys =
 
 let check_magic b =
   if Bytes.length b < String.length magic || Bytes.sub_string b 0 (String.length magic) <> magic
-  then invalid_arg "Persist: bad image magic"
+  then Error.fail Invalid ~op:"persist_restore" "bad image magic"
 
+(* Faults from the registry/VAS layer (e.g. a name collision with the
+   live system) surface as the namesake legacy exceptions; image-format
+   faults stay typed. *)
 let restore sys image =
+  Sys.count (Api.syscalls sys) Persist_restore;
   check_magic image;
   let reg = Api.registry sys in
   let machine = Api.machine sys in
@@ -168,7 +176,7 @@ let restore sys image =
     in
     Sj_kernel.Layout.reserve_global (Machine.sim_ctx machine) ~base ~size;
     write_contents machine seg (Block_lz.decompress compressed);
-    Registry.register_seg reg seg;
+    (try Registry.register_seg reg seg with Error.Fault f -> Errors.raise_legacy f);
     if chunks <> [] then
       Registry.set_heap reg seg (Mspace.of_snapshot ~base ~size chunks)
   done;
@@ -184,9 +192,10 @@ let restore sys image =
     for _ = 1 to n do
       let sname = next_string () in
       let prot = prot_of_bits (next_varint ()) in
-      Vas.attach_segment vas (Registry.find_seg reg ~name:sname) ~prot
+      try Vas.attach_segment vas (Registry.find_seg reg ~name:sname) ~prot
+      with Error.Fault f -> Errors.raise_legacy f
     done;
-    Registry.register_vas reg vas
+    (try Registry.register_vas reg vas with Error.Fault f -> Errors.raise_legacy f)
   done
 
 let describe image =

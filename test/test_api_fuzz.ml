@@ -73,6 +73,16 @@ let build_world () =
 
 let cell_va w seg cell = Segment.base w.segs.(seg) + (cell * 64)
 
+(* The typed-fault ABI guarantees no raw [Failure]/[Invalid_argument]
+   leaks out of the API — errors surface as [Sj_abi.Error.Fault] or the
+   legacy [Errors] exceptions. Every API call in the fuzz goes through
+   this guard; the model's own [failwith] diagnostics stay outside it,
+   so a raw escape is distinguishable from a model discrepancy. *)
+let api f =
+  try f () with
+  | Failure m -> Alcotest.failf "raw Failure escaped the API: %s" m
+  | Invalid_argument m -> Alcotest.failf "raw Invalid_argument escaped the API: %s" m
+
 (* Can the current model state see [seg]? *)
 let visible w seg =
   match w.model.current with
@@ -101,7 +111,7 @@ let apply w op =
   | Attach_seg (seg, vas) ->
     let already = List.mem seg w.model.vas_segs.(vas) in
     (try
-       Api.seg_attach ctx w.vases.(vas) w.segs.(seg) ~prot:Prot.rw;
+       api (fun () -> Api.seg_attach ctx w.vases.(vas) w.segs.(seg) ~prot:Prot.rw);
        if already then failwith "model: double attach should conflict";
        w.model.vas_segs.(vas) <- seg :: w.model.vas_segs.(vas)
      with Errors.Address_conflict _ ->
@@ -109,13 +119,13 @@ let apply w op =
   | Detach_seg (seg, vas) ->
     let present = List.mem seg w.model.vas_segs.(vas) in
     (try
-       Api.seg_detach ctx w.vases.(vas) w.segs.(seg);
+       api (fun () -> Api.seg_detach ctx w.vases.(vas) w.segs.(seg));
        if not present then failwith "model: detach of absent segment succeeded";
        w.model.vas_segs.(vas) <- List.filter (fun s -> s <> seg) w.model.vas_segs.(vas)
-     with Invalid_argument _ ->
+     with Errors.Unknown_name _ ->
        if present then failwith "model: detach unexpectedly failed")
   | Vas_attach vas ->
-    let vh = Api.vas_attach ctx w.vases.(vas) in
+    let vh = api (fun () -> Api.vas_attach ctx w.vases.(vas)) in
     let id = w.next_vh in
     w.next_vh <- id + 1;
     w.vhs <- (id, vh) :: w.vhs;
@@ -127,7 +137,7 @@ let apply w op =
     | [] -> ()
     | vhs ->
       let id, vh = List.nth vhs (k mod List.length vhs) in
-      Api.vas_switch ctx vh;
+      api (fun () -> Api.vas_switch ctx vh);
       (* Switching re-syncs the attachment to the VAS's current list. *)
       let vas = Hashtbl.find vh_vas id in
       (match List.assoc_opt id w.model.attachments with
@@ -135,21 +145,21 @@ let apply w op =
       | None -> failwith "model: switch into untracked attachment");
       w.model.current <- Some id)
   | Switch_home ->
-    Api.switch_home ctx;
+    api (fun () -> Api.switch_home ctx);
     w.model.current <- None
   | Detach_vh k -> (
     match w.vhs with
     | [] -> ()
     | vhs ->
       let id, vh = List.nth vhs (k mod List.length vhs) in
-      Api.vas_detach ctx vh;
+      api (fun () -> Api.vas_detach ctx vh);
       w.vhs <- List.filter (fun (i, _) -> i <> id) w.vhs;
       w.model.attachments <- List.remove_assoc id w.model.attachments;
       if w.model.current = Some id then w.model.current <- None)
   | Store (seg, cell, v) -> (
     let va = cell_va w seg cell in
     let expect = visible w seg in
-    match Api.store64 ctx ~va (Int64.of_int v) with
+    match api (fun () -> Api.store64 ctx ~va (Int64.of_int v)) with
     | () ->
       if not expect then failwith "model: store succeeded while segment invisible";
       w.model.cells.(seg).(cell) <- Some (Int64.of_int v)
@@ -158,7 +168,7 @@ let apply w op =
   | Load (seg, cell) -> (
     let va = cell_va w seg cell in
     let expect = visible w seg in
-    match Api.load64 ctx ~va with
+    match api (fun () -> Api.load64 ctx ~va) with
     | got ->
       if not expect then failwith "model: load succeeded while segment invisible";
       (match w.model.cells.(seg).(cell) with

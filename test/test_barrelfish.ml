@@ -89,7 +89,7 @@ let test_retype_discipline () =
     (try
        ignore (Cap.retype ram ~into:Cap.Frame);
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let suite =
   [

@@ -8,6 +8,7 @@ module Process = Sj_kernel.Process
 module Acl = Sj_kernel.Acl
 module Layout = Sj_kernel.Layout
 module Prot = Sj_paging.Prot
+module Error = Sj_abi.Error
 
 let tiny : Platform.t =
   { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
@@ -40,7 +41,7 @@ let test_malloc_requires_attachment () =
     (try
        ignore (Api.malloc ctx 8);
        false
-     with Invalid_argument _ -> true)
+     with Error.Fault f -> Error.equal_code f.code Error.Invalid)
 
 let test_data_persists_across_processes () =
   (* Process A writes a value; exits; process B switches into the same
@@ -461,7 +462,7 @@ let prop_segment_lock_model =
               try
                 Segment.unlock seg ~mode:`Shared;
                 false
-              with Invalid_argument _ -> true)
+              with Error.Fault f -> Error.equal_code f.code Error.Invalid)
           | _ ->
             if !writer then begin
               Segment.unlock seg ~mode:`Exclusive;
@@ -472,7 +473,7 @@ let prop_segment_lock_model =
               try
                 Segment.unlock seg ~mode:`Exclusive;
                 false
-              with Invalid_argument _ -> true))
+              with Error.Fault f -> Error.equal_code f.code Error.Invalid))
         ops
       && Segment.lock_state seg
          = (if !writer then Segment.Exclusive

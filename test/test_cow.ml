@@ -178,7 +178,7 @@ let test_snapshot_of_cached_segment_rejected () =
     (try
        ignore (Api.seg_snapshot ctx seg ~name:"nope");
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let test_destroy_order_frees_everything () =
   let m, _, ctx = setup () in

@@ -1,0 +1,129 @@
+(* The typed fault model and the numbered dispatch table (kernel ABI).
+
+   Every error code must be constructible through the public API, under
+   both OS personalities; the per-syscall counters must track calls and
+   simulated cycles; the numbering and exit-code mappings are part of
+   the ABI and must stay stable. *)
+open Sj_util
+open Sj_core
+module Machine = Sj_machine.Machine
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Layout = Sj_kernel.Layout
+module Acl = Sj_kernel.Acl
+module Prot = Sj_paging.Prot
+module Error = Sj_abi.Error
+module Sys = Sj_abi.Sys
+module C = Api.Checked
+
+let tiny : Platform.t =
+  { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
+
+let boot backend =
+  let m = Machine.create tiny in
+  let sys = Api.boot ~backend m in
+  let p = Process.create ~name:"errs" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  (m, sys, ctx)
+
+let code = Alcotest.testable Error.pp_code Error.equal_code
+
+let check_code name expect = function
+  | Ok _ -> Alcotest.failf "%s: expected %s but the call succeeded" name (Error.code_name expect)
+  | Error (f : Error.t) -> Alcotest.check code name expect f.code
+
+(* One world per backend that visits all nine codes. *)
+let exercise_all_codes backend () =
+  let m, sys, ctx = boot backend in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
+  check_code "Name_exists" Error.Name_exists (C.vas_create ctx ~name:"v" ~mode:0o666);
+  check_code "Unknown_name" Error.Unknown_name (C.vas_find ctx ~name:"nope");
+  (* A foreign credential fails the ACL check. *)
+  let priv = Api.vas_create ctx ~name:"priv" ~mode:0o600 in
+  let mallory = Process.create ~name:"mallory" ~cred:(Acl.cred ~uid:666 ~gids:[ 666 ]) m in
+  let ctx_m = Api.context sys mallory (Machine.core m 1) in
+  check_code "Permission_denied" Error.Permission_denied (C.vas_attach ctx_m priv);
+  let seg = Api.seg_alloc_anywhere ctx ~name:"s" ~size:(Size.mib 1) ~mode:0o666 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  check_code "Address_conflict" Error.Address_conflict (C.seg_attach ctx vas seg ~prot:Prot.rw);
+  (* Writer inside the VAS holds the segment lock exclusively. *)
+  let ro = Api.vas_create ctx ~name:"ro" ~mode:0o666 in
+  Api.seg_attach ctx ro seg ~prot:Prot.r;
+  let vh_w = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh_w;
+  let reader = Process.create ~name:"reader" m in
+  let ctx_r = Api.context sys reader (Machine.core m 2) in
+  let vh_r = Api.vas_attach ctx_r (Api.vas_find ctx_r ~name:"ro") in
+  check_code "Would_block" Error.Would_block (C.vas_switch ctx_r vh_r);
+  (* Heap faults while switched in: exhaustion and a bad free. *)
+  let a = Api.malloc ctx (Size.kib 16) in
+  check_code "Capacity" Error.Capacity (C.malloc ctx (Size.mib 2));
+  check_code "Invalid" Error.Invalid (C.free ctx (a + 8));
+  Api.switch_home ctx;
+  let dead = Api.vas_create ctx ~name:"dead" ~mode:0o666 in
+  Api.vas_ctl ctx (`Destroy dead);
+  check_code "Stale_handle" Error.Stale_handle (C.seg_attach ctx dead seg ~prot:Prot.r);
+  (* Burn the rest of the global range, then ask for more. *)
+  Layout.reserve_global (Machine.sim_ctx m) ~base:(Addr.va_limit - Size.gib 1)
+    ~size:(Size.gib 1);
+  check_code "Layout_exhausted" Error.Layout_exhausted
+    (C.seg_alloc_anywhere ctx ~name:"none" ~size:(Size.mib 1) ~mode:0o600)
+
+let test_counters_track_calls_and_cycles () =
+  let measure backend =
+    let _, sys, ctx = boot backend in
+    let tab = Api.syscalls sys in
+    let calls0, cycles0 = Sys.counters tab Sys.Vas_create in
+    Alcotest.(check (pair int int)) "fresh table" (0, 0) (calls0, cycles0);
+    ignore (Api.vas_create ctx ~name:"v" ~mode:0o600);
+    let calls, cycles = Sys.counters tab Sys.Vas_create in
+    Alcotest.(check int) "one call" 1 calls;
+    Alcotest.(check bool) "cycles accounted" true (cycles > 0);
+    cycles
+  in
+  let df = measure Sj_abi.Sys.Dragonfly in
+  let bf = measure Sj_abi.Sys.Barrelfish in
+  (* Same body, different boundary crossing: one syscall trap vs an RPC
+     round trip to the user-space service (Table 2). *)
+  Alcotest.(check bool) (Printf.sprintf "trap cost differs (df %d, bf %d)" df bf) true (df <> bf)
+
+let test_failed_calls_still_counted () =
+  let _, sys, ctx = boot Sj_abi.Sys.Dragonfly in
+  let tab = Api.syscalls sys in
+  ignore (Api.vas_create ctx ~name:"v" ~mode:0o600);
+  check_code "duplicate" Error.Name_exists (C.vas_create ctx ~name:"v" ~mode:0o600);
+  let calls, _ = Sys.counters tab Sys.Vas_create in
+  Alcotest.(check int) "both attempts counted" 2 calls
+
+let test_numbering_roundtrip () =
+  Alcotest.(check int) "table size" (Array.length Sys.all) Sys.nr_count;
+  Array.iteri
+    (fun i nr ->
+      Alcotest.(check int) (Sys.name nr) i (Sys.number nr);
+      Alcotest.(check bool) "of_number inverts" true (Sys.of_number i = Some nr))
+    Sys.all;
+  Alcotest.(check bool) "out of range" true (Sys.of_number Sys.nr_count = None);
+  Alcotest.(check bool) "negative" true (Sys.of_number (-1) = None)
+
+let test_exit_codes_distinct () =
+  let exits = List.map Error.exit_code Error.all_codes in
+  Alcotest.(check int) "all distinct" (List.length Error.all_codes)
+    (List.length (List.sort_uniq compare exits));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "leaves 0..10 to the tool and stays a valid status" true
+        (c > 10 && c < 128))
+    exits
+
+let suite =
+  [
+    Alcotest.test_case "all codes via API (DragonFly)" `Quick
+      (exercise_all_codes Sj_abi.Sys.Dragonfly);
+    Alcotest.test_case "all codes via API (Barrelfish)" `Quick
+      (exercise_all_codes Sj_abi.Sys.Barrelfish);
+    Alcotest.test_case "counters track calls and cycles" `Quick
+      test_counters_track_calls_and_cycles;
+    Alcotest.test_case "failed calls still counted" `Quick test_failed_calls_still_counted;
+    Alcotest.test_case "ABI numbering roundtrip" `Quick test_numbering_roundtrip;
+    Alcotest.test_case "exit codes distinct" `Quick test_exit_codes_distinct;
+  ]

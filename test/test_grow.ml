@@ -115,20 +115,20 @@ let test_grow_refused_for_special_segments () =
     (try
        Api.seg_ctl ctx (`Grow (cached, Size.kib 64));
        false
-     with Invalid_argument _ -> true);
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid);
   let huge = Api.seg_alloc_anywhere ~huge:true ctx ~name:"huge" ~size:(Size.mib 2) ~mode:0o600 in
   Alcotest.(check bool) "huge refused" true
     (try
        Api.seg_ctl ctx (`Grow (huge, Size.mib 2));
        false
-     with Invalid_argument _ -> true);
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid);
   let snapped = Api.seg_alloc_anywhere ctx ~name:"snapped" ~size:(Size.mib 1) ~mode:0o600 in
   let _ = Api.seg_snapshot ctx snapped ~name:"frozen" in
   Alcotest.(check bool) "cow refused" true
     (try
        Api.seg_ctl ctx (`Grow (snapped, Size.kib 64));
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let test_grown_segment_persists () =
   let _, sys, ctx = setup () in

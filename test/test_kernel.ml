@@ -6,6 +6,14 @@ module Machine = Sj_machine.Machine
 module Pm = Sj_mem.Phys_mem
 module Prot = Sj_paging.Prot
 module Page_table = Sj_paging.Page_table
+module Error = Sj_abi.Error
+
+(* [true] iff running [f] faults with [code]. *)
+let faults code f =
+  try
+    ignore (f ());
+    false
+  with Error.Fault e -> Error.equal_code e.code code
 
 let tiny : Sj_machine.Platform.t =
   { Sj_machine.Platform.m2 with name = "tiny"; mem_size = Size.mib 128; sockets = 2; cores_per_socket = 2 }
@@ -49,20 +57,14 @@ let test_cap_retype () =
   let frame = Cap.retype ram ~into:Cap.Frame in
   Alcotest.(check bool) "frame type" true (Cap.captype frame = Cap.Frame);
   Alcotest.(check bool) "second retype rejected" true
-    (try
-       ignore (Cap.retype ram ~into:(Cap.Vnode 1));
-       false
-     with Invalid_argument _ -> true)
+    (faults Error.Invalid (fun () -> Cap.retype ram ~into:(Cap.Vnode 1)))
 
 let test_cap_mint_diminish () =
   let c = Cap.create_vas_ref (Sim_ctx.create ()) ~vas:1 ~rights:Prot.rw in
   let ro = Cap.mint c ~rights:Prot.r in
   Alcotest.(check bool) "diminished" true (Cap.rights ro = Prot.r);
   Alcotest.(check bool) "amplification rejected" true
-    (try
-       ignore (Cap.mint ro ~rights:Prot.rw);
-       false
-     with Invalid_argument _ -> true)
+    (faults Error.Permission_denied (fun () -> Cap.mint ro ~rights:Prot.rw))
 
 let test_cap_revoke_recursive () =
   let root = Cap.create_vas_ref (Sim_ctx.create ()) ~vas:1 ~rights:Prot.rwx in
@@ -78,16 +80,10 @@ let test_cspace_invoke () =
   let slot = Cap.Cspace.insert cs c in
   Alcotest.(check bool) "read invoke ok" true (Cap.Cspace.invoke cs ~slot ~access:`Read == c);
   Alcotest.(check bool) "write invoke rejected" true
-    (try
-       ignore (Cap.Cspace.invoke cs ~slot ~access:`Write);
-       false
-     with Invalid_argument _ -> true);
+    (faults Error.Permission_denied (fun () -> Cap.Cspace.invoke cs ~slot ~access:`Write));
   Cap.revoke c;
   Alcotest.(check bool) "revoked invoke rejected" true
-    (try
-       ignore (Cap.Cspace.invoke cs ~slot ~access:`Read);
-       false
-     with Invalid_argument _ -> true)
+    (faults Error.Stale_handle (fun () -> Cap.Cspace.invoke cs ~slot ~access:`Read))
 
 (* --- VM objects & vmspace --- *)
 
@@ -132,10 +128,8 @@ let test_vmspace_overlap_rejected () =
   let obj2 = Vm_object.create m ~size:(Size.kib 32) ~charge_to:None in
   Vmspace.map_object vms ~charge_to:None ~base:0x100000 ~prot:Prot.rw obj;
   Alcotest.(check bool) "overlap raises" true
-    (try
-       Vmspace.map_object vms ~charge_to:None ~base:0x104000 ~prot:Prot.rw obj2;
-       false
-     with Invalid_argument _ -> true)
+    (faults Error.Address_conflict (fun () ->
+         Vmspace.map_object vms ~charge_to:None ~base:0x104000 ~prot:Prot.rw obj2))
 
 let test_vmspace_charges_costs () =
   let m = Machine.create tiny in

@@ -11,6 +11,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("alloc", Test_alloc.suite);
       ("core", Test_core.suite);
+      ("errors", Test_errors.suite);
       ("cow", Test_cow.suite);
       ("threads", Test_threads.suite);
       ("api-fuzz", Test_api_fuzz.suite);

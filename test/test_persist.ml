@@ -71,7 +71,7 @@ let test_allocator_state_survives () =
     (try
        Api.free ctx2 c;
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let test_metadata_survives () =
   let sys, _, _, _ = build_world () in
@@ -105,7 +105,7 @@ let test_corrupt_image_rejected () =
     (try
        Persist.restore sys2 (Bytes.of_string "not an image");
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let test_name_collision_rejected () =
   let sys, _, _, _ = build_world () in

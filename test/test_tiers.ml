@@ -98,7 +98,7 @@ let test_no_tier_requested_on_stock_platform () =
     (try
        ignore (Api.seg_alloc_anywhere ~tier:`Capacity ctx ~name:"x" ~size:(Size.mib 1) ~mode:0o600);
        false
-     with Invalid_argument _ -> true)
+     with Sj_abi.Error.Fault f -> f.code = Sj_abi.Error.Invalid)
 
 let test_data_integrity_across_tiers () =
   let _, _, ctx = setup () in
