@@ -322,6 +322,125 @@ let samtools_cmd =
   Cmd.v (Cmd.info "samtools" ~doc:"Run one SAMTools operation under a storage design (sec 5.4)")
     Term.(const run $ op $ design $ reads $ region)
 
+(* A scripted session that exercises every event family the obs layer
+   records: tagged VAS switches, a tag request, segment lock
+   acquisitions including a genuine conflict, a snapshot (machine-wide
+   TLB shootdown), a resolved COW write fault, and attachment teardown.
+   Returns the machine whose recorder holds the trace. *)
+let traced_session ~capacity =
+  let open Sj_core in
+  let module Machine = Sj_machine.Machine in
+  let module Process = Sj_kernel.Process in
+  let module Prot = Sj_paging.Prot in
+  Sj_obs.Recorder.with_tracing ~capacity true (fun () ->
+      let machine = Machine.create Platform.m2 in
+      let sys = Api.boot machine in
+      let producer = Process.create ~name:"producer" machine in
+      let ctx = Api.context sys producer (Machine.core machine 0) in
+      let vas = Api.vas_create ctx ~name:"traced" ~mode:0o666 in
+      let seg =
+        Api.seg_alloc_anywhere ctx ~name:"traced-heap" ~size:(Sj_util.Size.mib 8)
+          ~mode:0o666
+      in
+      Api.seg_attach ctx vas seg ~prot:Prot.rw;
+      Api.vas_ctl ctx (`Request_tag vas);
+      let vh = Api.vas_attach ctx vas in
+      Api.vas_switch ctx vh;
+      let p = Api.malloc ctx 256 in
+      Api.store_bytes ctx ~va:p (Bytes.of_string "traced payload");
+      (* A second process knocking on the exclusively locked segment:
+         its switch fails with Would_block — a recorded lock conflict. *)
+      let consumer = Process.create ~name:"consumer" machine in
+      let ctx2 = Api.context sys consumer (Machine.core machine 1) in
+      let vh2 = Api.vas_attach ctx2 (Api.vas_find ctx2 ~name:"traced") in
+      (try Api.vas_switch ctx2 vh2 with Errors.Would_block _ -> ());
+      (* Snapshot while mapped: write-protects the original everywhere
+         (machine-wide TLB shootdown), so the next store COW-faults. *)
+      ignore (Api.seg_snapshot ctx seg ~name:"traced-snap");
+      Api.store_bytes ctx ~va:p (Bytes.of_string "traced payload v2");
+      Api.switch_home ctx;
+      (* The lock is free now; the consumer gets in and reads. *)
+      Api.vas_switch ctx2 vh2;
+      ignore (Api.load_bytes ctx2 ~va:p ~len:17);
+      Api.switch_home ctx2;
+      (* Teardown: each detach destroys a vmspace (charged PTE clears). *)
+      Api.vas_detach ctx vh;
+      Api.vas_detach ctx2 vh2;
+      machine)
+
+let session_recorder machine =
+  match Sj_obs.Recorder.of_ctx (Sj_machine.Machine.sim_ctx machine) with
+  | Some r -> r
+  | None ->
+    prerr_endline "sjctl: no recorder attached (tracing was off?)";
+    exit 2
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt int Sj_obs.Recorder.default_capacity
+    & info [ "capacity" ] ~docv:"N"
+        ~doc:"Event ring-buffer capacity (oldest events drop beyond this)")
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of stdout")
+  in
+  let text =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"One event per line (seq, cycles, core, name, args) instead of \
+                Chrome trace JSON")
+  in
+  let run out text capacity =
+    let machine = traced_session ~capacity in
+    let r = session_recorder machine in
+    let events = Sj_obs.Recorder.events r in
+    let dropped = Sj_obs.Recorder.dropped r in
+    if dropped > 0 then
+      Printf.eprintf "sjctl trace: ring wrapped, %d oldest event(s) dropped\n"
+        dropped;
+    let doc =
+      if text then Sj_obs.Trace.to_text events
+      else Sj_obs.Trace.to_chrome_json events
+    in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+      let oc = open_out path in
+      output_string oc doc;
+      close_out oc;
+      Format.printf "wrote %d event(s) to %s%s@." (List.length events) path
+        (if text then "" else " (load in chrome://tracing or Perfetto)")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scripted session with tracing on and export the event trace \
+          (Chrome trace-event JSON for chrome://tracing / Perfetto)")
+    Term.(const run $ out $ text $ capacity_arg)
+
+let stats_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text") in
+  let run json capacity =
+    let machine = traced_session ~capacity in
+    let r = session_recorder machine in
+    let m = Sj_obs.Recorder.metrics r in
+    print_string
+      (if json then Sj_obs.Metrics.to_json m else Sj_obs.Metrics.describe m)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a scripted session with tracing on and print the aggregated \
+          metrics (per-syscall cycle histograms, TLB/lock/fault counters)")
+    Term.(const run $ json $ capacity_arg)
+
 let bench_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small problem sizes (seconds, not minutes)") in
   let out =
@@ -415,7 +534,7 @@ let () =
     Cmd.group info
       [
         platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
-        samtools_cmd; bench_cmd;
+        samtools_cmd; bench_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

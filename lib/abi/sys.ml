@@ -134,23 +134,60 @@ let count t nr =
   let i = number nr in
   t.counts.(i) <- t.counts.(i) + 1
 
+(* Observability: every dispatched entry brackets itself with
+   Syscall_enter/Syscall_exit events (test/lint_obs.sh holds this
+   invariant). The recorder guard keeps the disabled path allocation-
+   free: no event record exists unless tracing is on. *)
+module Recorder = Sj_obs.Recorder
+
+let emit_enter core nr =
+  match Recorder.active (Core.sim_ctx core) with
+  | Some r ->
+    Recorder.emit r ~core:(Core.id core) ~cycles:(Core.cycles core)
+      (Sj_obs.Event.Syscall_enter { nr = number nr; sname = name nr })
+  | None -> ()
+
+let emit_exit core nr ~c0 ~ok =
+  match Recorder.active (Core.sim_ctx core) with
+  | Some r ->
+    let now = Core.cycles core in
+    Recorder.emit r ~core:(Core.id core) ~cycles:now
+      (Sj_obs.Event.Syscall_exit
+         { nr = number nr; sname = name nr; cycles = now - c0; ok })
+  | None -> ()
+
 let charge_entry t ~cost core nr =
   let i = number nr in
   t.counts.(i) <- t.counts.(i) + 1;
-  match entry_cost cost t.backend nr with
+  let c0 = Core.cycles core in
+  emit_enter core nr;
+  (match entry_cost cost t.backend nr with
   | 0 -> ()
   | e ->
     Core.charge core e;
-    t.cycles.(i) <- t.cycles.(i) + e
+    t.cycles.(i) <- t.cycles.(i) + e);
+  emit_exit core nr ~c0 ~ok:true
 
 let invoke t ~cost core nr body =
   let i = number nr in
   t.counts.(i) <- t.counts.(i) + 1;
   let c0 = Core.cycles core in
+  emit_enter core nr;
   (match entry_cost cost t.backend nr with 0 -> () | e -> Core.charge core e);
-  Fun.protect
-    ~finally:(fun () -> t.cycles.(i) <- t.cycles.(i) + (Core.cycles core - c0))
-    (fun () -> match body () with v -> Ok v | exception Error.Fault f -> Error f)
+  let finish ok =
+    t.cycles.(i) <- t.cycles.(i) + (Core.cycles core - c0);
+    emit_exit core nr ~c0 ~ok
+  in
+  match body () with
+  | v ->
+    finish true;
+    Ok v
+  | exception Error.Fault f ->
+    finish false;
+    Error f
+  | exception e ->
+    finish false;
+    raise e
 
 let counters t nr =
   let i = number nr in

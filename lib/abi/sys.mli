@@ -81,12 +81,16 @@ val invoke : t -> cost:Cost_model.t -> Core.core -> nr -> (unit -> 'a) -> ('a, E
     call counter, charges {!entry_cost} to [core], runs [body], and
     accounts the full simulated-cycle delta of the call to [nr].
     {!Error.Fault} raised by [body] becomes [Error _]; every other
-    exception (page faults, host errors) propagates unchanged. *)
+    exception (page faults, host errors) propagates unchanged. When the
+    simulation's [Sj_obs] recorder is active, the call is bracketed with
+    [Syscall_enter]/[Syscall_exit] events carrying the cycle delta and
+    fault outcome — this one site instruments every dispatch entry. *)
 
 val charge_entry : t -> cost:Cost_model.t -> Core.core -> nr -> unit
 (** Count and charge just the entry cost — for operations embedded in
     another call's body (e.g. the per-segment lock acquisitions inside
-    [vas_switch]). *)
+    [vas_switch]). Emits the same enter/exit event pair as {!invoke}
+    around the entry charge when tracing is on. *)
 
 val count : t -> nr -> unit
 (** Count a call without charging (entries with no core at hand, e.g.

@@ -171,23 +171,26 @@ let tiny_suite () =
 
 type timed = { tname : string; fp : fingerprint; wall : float }
 
-(* [Machine.with_fast_path] is domain-local state, so each task fixes
-   its own mode — a task inherits nothing from the submitting domain. *)
-let run_one ~fast b =
+(* [Machine.with_fast_path] and [Recorder.with_tracing] are both
+   domain-local state, so each task fixes its own mode — a task inherits
+   nothing from the submitting domain. [?trace] exists for the obs
+   determinism tests; fingerprints must be identical either way. *)
+let run_one ?(trace = false) ~fast b =
   Machine.with_fast_path fast (fun () ->
-      let t0 = Unix.gettimeofday () in
-      let fp = b.body () in
-      { tname = b.bname; fp; wall = Unix.gettimeofday () -. t0 })
+      Sj_obs.Recorder.with_tracing trace (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let fp = b.body () in
+          { tname = b.bname; fp; wall = Unix.gettimeofday () -. t0 }))
 
-let run_serial ~fast benches = List.map (run_one ~fast) benches
+let run_serial ?trace ~fast benches = List.map (run_one ?trace ~fast) benches
 
 (* Fan the suite across a pool; results come back in suite order, so a
    parallel run is directly comparable to a serial one. Returns the
    per-bench results and the batch wall-clock (the number parallelism
    improves; the per-bench walls still sum to total CPU work). *)
-let run_parallel pool ~fast benches =
+let run_parallel pool ?trace ~fast benches =
   let t0 = Unix.gettimeofday () in
-  let rs = Par.map_list pool (run_one ~fast) benches in
+  let rs = Par.map_list pool (run_one ?trace ~fast) benches in
   (rs, Unix.gettimeofday () -. t0)
 
 let fingerprints_equal a b =

@@ -20,13 +20,17 @@ val tiny_suite : unit -> bench list
 
 type timed = { tname : string; fp : fingerprint; wall : float }
 
-val run_one : fast:bool -> bench -> timed
+val run_one : ?trace:bool -> fast:bool -> bench -> timed
 (** Run one bench with the given fast-path mode (set domain-locally for
-    the duration, so this is safe from any domain). *)
+    the duration, so this is safe from any domain). [?trace] (default
+    false) additionally enables [Sj_obs] tracing for the bench's
+    machines; fingerprints are identical either way — the obs tests
+    assert this. *)
 
-val run_serial : fast:bool -> bench list -> timed list
+val run_serial : ?trace:bool -> fast:bool -> bench list -> timed list
 
-val run_parallel : Sj_util.Par.t -> fast:bool -> bench list -> timed list * float
+val run_parallel :
+  Sj_util.Par.t -> ?trace:bool -> fast:bool -> bench list -> timed list * float
 (** Fan the suite across the pool. Results are in suite order; the
     second component is the batch wall-clock. *)
 

@@ -63,12 +63,27 @@ let syscalls sys = sys.tab
    bookkeeping (the page copy and PTE work charge separately). *)
 let cow_fault_overhead = 1_100
 
+(* The simulation's event recorder, None when tracing is off. Emitters
+   match on this and construct the event only inside the [Some] branch,
+   so the disabled path allocates nothing (HACKING.md, "Observability"). *)
+let obs ctx = Sj_obs.Recorder.active (Machine.sim_ctx ctx.sys.machine)
+
+let emit_to r ctx kind =
+  Sj_obs.Recorder.emit r ~core:(Core.id ctx.core) ~cycles:(Core.cycles ctx.core)
+    kind
+
 (* The page-fault handler: resolve copy-on-write write faults against
    the address space the context currently has installed (sec 7
    snapshotting). Everything else is a genuine fault. *)
 let fault_handler ctx ~va ~access =
   match access with
-  | Machine.Read -> false
+  | Machine.Read ->
+    (match obs ctx with
+    | Some rec_ ->
+      emit_to rec_ ctx
+        (Sj_obs.Event.Page_fault { va; write = false; resolved = false })
+    | None -> ());
+    false
   | Machine.Write -> (
     let vms =
       match ctx.cur with
@@ -83,8 +98,19 @@ let fault_handler ctx ~va ~access =
         Vm_object.resolve_cow_write r.obj ~page ctx.sys.machine ~charge_to:(Some ctx.core)
       in
       Vmspace.remap_page vms ~charge_to:(Some ctx.core) ~va ~frame ~prot:r.prot;
+      (match obs ctx with
+      | Some rec_ ->
+        emit_to rec_ ctx
+          (Sj_obs.Event.Page_fault { va; write = true; resolved = true })
+      | None -> ());
       true
-    | Some _ | None -> false)
+    | Some _ | None ->
+      (match obs ctx with
+      | Some rec_ ->
+        emit_to rec_ ctx
+          (Sj_obs.Event.Page_fault { va; write = true; resolved = false })
+      | None -> ());
+      false)
 
 let context sys proc core =
   Core.set_page_table core ~tag:0 (Some (Vmspace.page_table (Process.primary_vmspace proc)));
@@ -286,17 +312,24 @@ let vas_attach_c ctx vas =
 
 (* Leave the attachment the context is currently in (if any): the last
    thread out releases the attachment's locks. *)
+let unlock_all ctx held =
+  List.iter
+    (fun (seg, mode) ->
+      Sys.count ctx.sys.tab Seg_unlock;
+      Segment.unlock seg ~mode;
+      match obs ctx with
+      | Some r ->
+        emit_to r ctx (Sj_obs.Event.Seg_unlock { sid = Segment.sid seg })
+      | None -> ())
+    held
+
 let leave_current ctx =
   match ctx.cur with
   | None -> ()
   | Some vh ->
     vh.entered <- vh.entered - 1;
     if vh.entered = 0 then begin
-      List.iter
-        (fun (seg, mode) ->
-          Sys.count ctx.sys.tab Seg_unlock;
-          Segment.unlock seg ~mode)
-        vh.held;
+      unlock_all ctx vh.held;
       vh.held <- []
     end;
     ctx.cur <- None
@@ -318,7 +351,15 @@ let enter ctx vh =
         (fun (seg, prot) ->
           let mode = if (prot : Prot.t).write then `Exclusive else `Shared in
           Sys.charge_entry ctx.sys.tab ~cost:(cost ctx) ctx.core Seg_lock;
-          if Segment.try_lock seg ~mode then begin
+          let acquired = Segment.try_lock seg ~mode in
+          (match obs ctx with
+          | Some r ->
+            emit_to r ctx
+              (Sj_obs.Event.Seg_lock
+                 { sid = Segment.sid seg; exclusive = mode = `Exclusive;
+                   acquired })
+          | None -> ());
+          if acquired then begin
             taken := (seg, mode) :: !taken;
             true
           end
@@ -326,11 +367,7 @@ let enter ctx vh =
         lockables
     in
     if not ok then begin
-      List.iter
-        (fun (seg, mode) ->
-          Sys.count ctx.sys.tab Seg_unlock;
-          Segment.unlock seg ~mode)
-        !taken;
+      unlock_all ctx !taken;
       Error.fail Would_block ~op:"vas_switch" "lockable segment busy"
     end;
     vh.held <- !taken
@@ -369,6 +406,10 @@ let vas_switch_body ctx vh =
   let tag = match Vas.tag vh.vas with Some t -> t | None -> 0 in
   Core.charge ctx.core (switch_cost ctx ~tagged:(tag <> 0));
   Core.set_page_table ctx.core ~tag (Some (Vmspace.page_table vh.vmspace));
+  (match obs ctx with
+  | Some r ->
+    emit_to r ctx (Sj_obs.Event.Vas_switch { vid = Vas.vid vh.vas; tag })
+  | None -> ());
   Log.debug (fun m ->
       m "vas_switch pid %d core %d -> %s (tag %d)" (Process.pid ctx.proc) (Core.id ctx.core)
         (Vas.name vh.vas) tag);
@@ -382,6 +423,9 @@ let switch_home_body ctx =
   Core.charge ctx.core (switch_cost ctx ~tagged:false);
   Core.set_page_table ctx.core ~tag
     (Some (Vmspace.page_table (Process.primary_vmspace ctx.proc)));
+  (match obs ctx with
+  | Some r -> emit_to r ctx (Sj_obs.Event.Vas_switch { vid = 0; tag })
+  | None -> ());
   Registry.count_switch ctx.sys.reg
 
 let switch_home_c ctx = call ctx Vas_switch_home (fun () -> switch_home_body ctx)
@@ -411,7 +455,13 @@ let vas_ctl_c ctx cmd =
   let nr : Sys.nr = match cmd with `Destroy _ -> Vas_delete | _ -> Vas_ctl in
   call ctx nr (fun () ->
       match cmd with
-      | `Request_tag vas -> Vas.assign_tag vas (Registry.alloc_tag ctx.sys.reg)
+      | `Request_tag vas ->
+        let tag = Registry.alloc_tag ~charge_to:ctx.core ctx.sys.reg in
+        Vas.assign_tag vas tag;
+        (match obs ctx with
+        | Some r ->
+          emit_to r ctx (Sj_obs.Event.Tag_assign { vid = Vas.vid vas; tag })
+        | None -> ())
       | `Chmod (vas, mode) ->
         check_acl ctx (Vas.acl vas) `Write ~op:"vas_ctl" "chmod: VAS not writable";
         Vas.set_acl vas (Acl.chmod (Vas.acl vas) ~mode)

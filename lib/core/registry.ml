@@ -19,6 +19,8 @@ type t = {
   live_maps : (int, Sj_kernel.Vmspace.t list ref) Hashtbl.t; (* sid -> vmspaces *)
   services : (string, service) Hashtbl.t;
   mutable next_tag : int;
+  mutable tags_wrapped : bool; (* a wrap happened: every tag handed out
+                                  from now on has had a previous owner *)
   mutable switches : int;
 }
 
@@ -34,6 +36,7 @@ let create machine =
     live_maps = Hashtbl.create 16;
     services = Hashtbl.create 8;
     next_tag = 1;
+    tags_wrapped = false;
     switches = 0;
   }
 
@@ -110,10 +113,42 @@ let forget_mapping t ~sid vms =
 let mappings t ~sid =
   match Hashtbl.find_opt t.live_maps sid with Some l -> !l | None -> []
 
-let alloc_tag t =
+let alloc_tag ?charge_to t =
   let tag = t.next_tag in
+  (* Read the recycle flag before updating it: the first hand-out of
+     4095 is fresh; only tags issued after a wrap had a previous owner. *)
+  let recycled = t.tags_wrapped in
   (* 12-bit tag space; wrap rather than fail, like PCID reuse. *)
-  t.next_tag <- (if tag >= 4095 then 1 else tag + 1);
+  if tag >= 4095 then begin
+    t.next_tag <- 1;
+    t.tags_wrapped <- true
+  end
+  else t.next_tag <- tag + 1;
+  if recycled then begin
+    (* The previous owner's translations may still be resident under
+       this tag in any core's TLB; without a flush the new owner would
+       hit them (stale-translation hazard, §4.1). INVPCID broadcast:
+       flush the tag on every core, one IPI each charged to the
+       requester — same accounting as seg_snapshot's shootdown. *)
+    let c = Machine.cost t.machine in
+    Array.iter
+      (fun core ->
+        Sj_tlb.Tlb.flush_tag (Machine.Core.tlb core) ~tag;
+        match charge_to with
+        | Some requester -> Machine.Core.charge requester c.cacheline_cross
+        | None -> ())
+      (Machine.cores t.machine);
+    match Sj_obs.Recorder.active (Machine.sim_ctx t.machine) with
+    | Some r ->
+      let core, cycles =
+        match charge_to with
+        | Some requester ->
+          (Machine.Core.id requester, Machine.Core.cycles requester)
+        | None -> (-1, 0)
+      in
+      Sj_obs.Recorder.emit r ~core ~cycles (Sj_obs.Event.Tag_recycle { tag })
+    | None -> ()
+  end;
   tag
 
 let count_switch t = t.switches <- t.switches + 1

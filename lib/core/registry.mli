@@ -64,8 +64,13 @@ val mappings : t -> sid:int -> Sj_kernel.Vmspace.t list
 
 (** {2 TLB tags} *)
 
-val alloc_tag : t -> int
-(** Next free ASID (1..4095; 0 is reserved to mean "untagged"). *)
+val alloc_tag : ?charge_to:Sj_machine.Machine.Core.core -> t -> int
+(** Next ASID (1..4095; 0 is reserved to mean "untagged"). Once the
+    12-bit space wraps, every tag handed out is a recycle: the previous
+    owner's translations are flushed from every core's TLB (INVPCID
+    broadcast, one IPI per core charged to [charge_to]) and a
+    [Tag_recycle] event is emitted, so the new owner can never hit a
+    stale entry. *)
 
 (** {2 Statistics} *)
 

@@ -170,6 +170,15 @@ let unmap_region t ~charge_to ~base =
     remove_region_index t i
 
 let remap_page t ~charge_to ~va ~frame ~prot =
+  (* 4 KiB-granularity operation: inside a 2 MiB region the unmap/map
+     pair below would tear a hole in the huge mapping, so refuse with a
+     typed fault instead of corrupting it. *)
+  (match find_region t ~va with
+  | Some { page = Page_table.P2M; base; _ } ->
+    Sj_abi.Error.failf Invalid ~op:"vm_remap"
+      "%s lies in a 2 MiB region at %s; remap is 4 KiB-granular"
+      (Addr.to_string va) (Addr.to_string base)
+  | Some _ | None -> ());
   let before = snapshot_stats t in
   let va = Sj_util.Size.round_down va ~align:Addr.page_size in
   Page_table.unmap t.pt ~va ~size:Page_table.P4K;
@@ -214,6 +223,18 @@ let prune_cached t ~charge_to ~base ~gib_spans =
          (Array.to_list t.regions))
 
 let destroy t ~charge_to =
-  ignore charge_to;
+  let before = snapshot_stats t in
   Page_table.destroy t.pt;
+  (* Teardown is page-table work like any other: the PTE clears counted
+     by [Page_table.destroy] are charged to the detaching core. *)
+  charge_pt_delta t charge_to before;
+  (match charge_to with
+  | None -> ()
+  | Some core -> (
+    match Sj_obs.Recorder.active (Core.sim_ctx core) with
+    | Some r ->
+      let clears = (Page_table.stats t.pt).pte_clears - before.pte_clears in
+      Sj_obs.Recorder.emit r ~core:(Core.id core) ~cycles:(Core.cycles core)
+        (Sj_obs.Event.Pt_teardown { pte_clears = clears })
+    | None -> ()));
   t.regions <- [||]

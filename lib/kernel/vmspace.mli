@@ -73,7 +73,9 @@ val remap_page :
   unit
 (** Point one 4 KiB translation at a (possibly different) frame with new
     protections — the fault handler's repair primitive. The region
-    descriptor is unchanged. *)
+    descriptor is unchanged. Raises a typed [Invalid] fault when [va]
+    lies inside a 2 MiB region: the operation is 4 KiB-granular and
+    would otherwise corrupt the huge mapping. *)
 
 val write_protect_region : t -> charge_to:Sj_machine.Machine.Core.core option -> base:int -> unit
 (** Strip write permission from every PTE of the region (its logical
@@ -102,4 +104,6 @@ val prune_cached :
     subtrees starting at [base] and drop the region descriptor. *)
 
 val destroy : t -> charge_to:Sj_machine.Machine.Core.core option -> unit
-(** Free the translation tree (not the VM objects). *)
+(** Free the translation tree (not the VM objects). Teardown PTE clears
+    are charged to [charge_to] like every other page-table mutation, and
+    a [Pt_teardown] event is emitted when tracing is on. *)

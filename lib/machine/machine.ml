@@ -88,6 +88,25 @@ let create ?fast (platform : Platform.t) =
         })
   in
   t.core_list <- cores;
+  (* Ambient tracing (Recorder.with_tracing): give the machine its own
+     enabled recorder and point every core's TLB flush hook at it. With
+     tracing off nothing is attached and the TLB hooks stay None, so the
+     simulation runs exactly the pre-obs code paths. *)
+  (match Sj_obs.Recorder.ambient_capacity () with
+  | None -> ()
+  | Some capacity ->
+    Sj_obs.Recorder.attach t.ctx (Sj_obs.Recorder.create ~capacity ());
+    Array.iter
+      (fun c ->
+        Tlb.set_obs c.tlb
+          (Some
+             (fun flush entries ->
+               match Sj_obs.Recorder.active t.ctx with
+               | Some r ->
+                 Sj_obs.Recorder.emit r ~core:c.id ~cycles:c.cycles
+                   (Sj_obs.Event.Tlb_flush { flush; entries })
+               | None -> ())))
+      cores);
   t
 
 let platform t = t.platform
@@ -101,6 +120,7 @@ module Core = struct
 
   let id c = c.id
   let socket c = c.socket
+  let sim_ctx c = c.machine.ctx
   let set_fault_handler c h = c.fault_handler <- h
   let cycles c = c.cycles
   let charge c n = c.cycles <- c.cycles + n

@@ -54,6 +54,11 @@ module Core : sig
 
   val id : core -> int
   val socket : core -> int
+
+  val sim_ctx : core -> Sj_util.Sim_ctx.t
+  (** The owning machine's world state — how event emitters below
+      [sj_core] reach the simulation's [Sj_obs] recorder. *)
+
   val cycles : core -> int
   (** Cycle clock; monotonically increasing. *)
 

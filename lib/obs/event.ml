@@ -1,0 +1,72 @@
+(* Typed structured events. Every observable action in the simulator is
+   one of these constructors; the recorder stamps them with a sequence
+   number, emitting core and simulated-cycle timestamp. Timestamps are
+   simulated cycles — never host wall clock — so traces replay
+   bit-identically across -j N settings (HACKING.md, "Determinism"). *)
+
+type flush_kind =
+  | Flush_nonglobal
+  | Flush_all
+  | Flush_tag of int
+  | Flush_page of int  (** vbase of the invalidated page *)
+
+type kind =
+  | Syscall_enter of { nr : int; sname : string }
+  | Syscall_exit of { nr : int; sname : string; cycles : int; ok : bool }
+  | Vas_switch of { vid : int; tag : int }
+      (** [vid] 0 means the process's home space; [tag] is the hardware
+          ASID installed (0 = untagged CR3 write). *)
+  | Tag_assign of { vid : int; tag : int }
+  | Tag_recycle of { tag : int }
+  | Tlb_flush of { flush : flush_kind; entries : int }
+  | Seg_lock of { sid : int; exclusive : bool; acquired : bool }
+      (** [acquired = false] records a lock conflict. *)
+  | Seg_unlock of { sid : int }
+  | Page_fault of { va : int; write : bool; resolved : bool }
+  | Pt_teardown of { pte_clears : int }
+
+type t = { seq : int; core : int; cycles : int; kind : kind }
+
+let name = function
+  | Syscall_enter { sname; _ } | Syscall_exit { sname; _ } -> sname
+  | Vas_switch _ -> "vas_switch"
+  | Tag_assign _ -> "tag_assign"
+  | Tag_recycle _ -> "tag_recycle"
+  | Tlb_flush _ -> "tlb_flush"
+  | Seg_lock { acquired = true; _ } -> "seg_lock"
+  | Seg_lock { acquired = false; _ } -> "seg_lock_conflict"
+  | Seg_unlock _ -> "seg_unlock"
+  | Page_fault _ -> "page_fault"
+  | Pt_teardown _ -> "pt_teardown"
+
+let flush_to_string = function
+  | Flush_nonglobal -> "nonglobal"
+  | Flush_all -> "all"
+  | Flush_tag tag -> Printf.sprintf "tag:%d" tag
+  | Flush_page vbase -> Printf.sprintf "page:0x%x" vbase
+
+(* Chrome trace-event "args" object for a kind; keys and values must be
+   deterministic functions of the event alone. *)
+let args_json = function
+  | Syscall_enter { nr; _ } -> Printf.sprintf {|{"nr":%d}|} nr
+  | Syscall_exit { nr; cycles; ok; _ } ->
+      Printf.sprintf {|{"nr":%d,"cycles":%d,"ok":%b}|} nr cycles ok
+  | Vas_switch { vid; tag } -> Printf.sprintf {|{"vid":%d,"tag":%d}|} vid tag
+  | Tag_assign { vid; tag } -> Printf.sprintf {|{"vid":%d,"tag":%d}|} vid tag
+  | Tag_recycle { tag } -> Printf.sprintf {|{"tag":%d}|} tag
+  | Tlb_flush { flush; entries } ->
+      Printf.sprintf {|{"flush":"%s","entries":%d}|} (flush_to_string flush)
+        entries
+  | Seg_lock { sid; exclusive; acquired } ->
+      Printf.sprintf {|{"sid":%d,"exclusive":%b,"acquired":%b}|} sid exclusive
+        acquired
+  | Seg_unlock { sid } -> Printf.sprintf {|{"sid":%d}|} sid
+  | Page_fault { va; write; resolved } ->
+      Printf.sprintf {|{"va":"0x%x","write":%b,"resolved":%b}|} va write
+        resolved
+  | Pt_teardown { pte_clears } ->
+      Printf.sprintf {|{"pte_clears":%d}|} pte_clears
+
+let to_string e =
+  Printf.sprintf "%08d %10d c%d %-18s %s" e.seq e.cycles e.core (name e.kind)
+    (args_json e.kind)

@@ -1,0 +1,45 @@
+(** Typed structured events recorded by {!Recorder}.
+
+    Timestamps are simulated cycles, never host wall clock, so a trace
+    of a deterministic workload is itself deterministic: running under
+    [-j 1] and [-j 4] produces byte-identical event streams. *)
+
+type flush_kind =
+  | Flush_nonglobal
+  | Flush_all
+  | Flush_tag of int
+  | Flush_page of int  (** vbase of the invalidated page *)
+
+type kind =
+  | Syscall_enter of { nr : int; sname : string }
+  | Syscall_exit of { nr : int; sname : string; cycles : int; ok : bool }
+  | Vas_switch of { vid : int; tag : int }
+      (** [vid] 0 means the process's home space; [tag] is the hardware
+          ASID installed (0 = untagged CR3 write). *)
+  | Tag_assign of { vid : int; tag : int }
+  | Tag_recycle of { tag : int }
+  | Tlb_flush of { flush : flush_kind; entries : int }
+  | Seg_lock of { sid : int; exclusive : bool; acquired : bool }
+      (** [acquired = false] records a lock conflict. *)
+  | Seg_unlock of { sid : int }
+  | Page_fault of { va : int; write : bool; resolved : bool }
+  | Pt_teardown of { pte_clears : int }
+
+type t = {
+  seq : int;  (** per-recorder emission order, from 0 *)
+  core : int;  (** emitting core id, or -1 for machine-level events *)
+  cycles : int;  (** emitting core's simulated cycle counter *)
+  kind : kind;
+}
+
+val name : kind -> string
+(** Stable event name: the syscall name for enter/exit, a fixed slug
+    otherwise ([seg_lock] vs [seg_lock_conflict] distinguish outcome). *)
+
+val flush_to_string : flush_kind -> string
+
+val args_json : kind -> string
+(** The event's payload as a one-line JSON object (Chrome trace [args]). *)
+
+val to_string : t -> string
+(** One fixed-width text line: seq, cycles, core, name, args. *)

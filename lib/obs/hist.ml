@@ -1,0 +1,72 @@
+(* Log2-bucketed histogram of non-negative integer samples (simulated
+   cycles). Bucket i holds samples whose bit length is i, i.e. bucket 0
+   is exactly {0}, bucket i>=1 covers [2^(i-1), 2^i - 1]. 63 buckets
+   cover the full positive int range. *)
+
+let buckets = 63
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; n = 0; sum = 0; min = max_int; max = 0 }
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0 else t.min
+let max_value t = t.max
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+(* Upper bound of bucket i: largest value with bit length i. *)
+let bucket_hi i = if i = 0 then 0 else (1 lsl i) - 1
+
+(* Smallest bucket upper bound below which at least [q] of the samples
+   fall — a coarse quantile, precise to a power of two. *)
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int t.n)) in
+    let acc = ref 0 and res = ref (bucket_hi (buckets - 1)) in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= target then begin
+           res := bucket_hi i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let nonzero_buckets t =
+  let out = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then out := (bucket_hi i, t.counts.(i)) :: !out
+  done;
+  !out
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.n <- 0;
+  t.sum <- 0;
+  t.min <- max_int;
+  t.max <- 0

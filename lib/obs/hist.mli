@@ -1,0 +1,27 @@
+(** Log2-bucketed histogram of non-negative integers (simulated cycles).
+
+    Bucket [i] covers values of bit length [i]: bucket 0 is exactly
+    [{0}], bucket [i >= 1] covers [2^(i-1) .. 2^i - 1]. Deterministic:
+    the histogram state is a pure function of the sample sequence. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Negative samples are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] — upper bound of the first bucket at or below which a
+    fraction [q] of samples fall; precise to a power of two. *)
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket_upper_bound, count)] pairs, ascending, empty buckets
+    omitted. *)
+
+val clear : t -> unit

@@ -1,0 +1,154 @@
+(* Aggregated counters and histograms fed from the event stream. One
+   instance per recorder (so per Sim_ctx); updated on every emit, read
+   by `sjctl stats` and tests. Syscall slots are indexed by dispatch
+   number — 64 slots comfortably covers the ABI's 26 entries with room
+   for growth. *)
+
+let slots = 64
+
+type t = {
+  (* per-syscall, indexed by Sys.number *)
+  sys_names : string array;
+  sys_calls : int array;
+  sys_faults : int array;
+  sys_cycles : int array;
+  sys_hist : Hist.t array;
+  (* VAS / tag lifecycle *)
+  mutable switches : int;
+  mutable tag_assigns : int;
+  mutable tag_recycles : int;
+  (* TLB *)
+  mutable flushes : int;
+  mutable flushed_entries : int;
+  mutable page_invalidations : int;
+  (* segment locks *)
+  mutable lock_acquires : int;
+  mutable lock_conflicts : int;
+  mutable lock_releases : int;
+  (* faults / teardown *)
+  mutable faults : int;
+  mutable faults_resolved : int;
+  mutable teardowns : int;
+  mutable teardown_pte_clears : int;
+}
+
+let create () =
+  {
+    sys_names = Array.make slots "";
+    sys_calls = Array.make slots 0;
+    sys_faults = Array.make slots 0;
+    sys_cycles = Array.make slots 0;
+    sys_hist = Array.init slots (fun _ -> Hist.create ());
+    switches = 0;
+    tag_assigns = 0;
+    tag_recycles = 0;
+    flushes = 0;
+    flushed_entries = 0;
+    page_invalidations = 0;
+    lock_acquires = 0;
+    lock_conflicts = 0;
+    lock_releases = 0;
+    faults = 0;
+    faults_resolved = 0;
+    teardowns = 0;
+    teardown_pte_clears = 0;
+  }
+
+let record t (kind : Event.kind) =
+  match kind with
+  | Syscall_enter _ -> ()
+  | Syscall_exit { nr; sname; cycles; ok } ->
+      if nr >= 0 && nr < slots then begin
+        t.sys_names.(nr) <- sname;
+        t.sys_calls.(nr) <- t.sys_calls.(nr) + 1;
+        if not ok then t.sys_faults.(nr) <- t.sys_faults.(nr) + 1;
+        t.sys_cycles.(nr) <- t.sys_cycles.(nr) + cycles;
+        Hist.add t.sys_hist.(nr) cycles
+      end
+  | Vas_switch _ -> t.switches <- t.switches + 1
+  | Tag_assign _ -> t.tag_assigns <- t.tag_assigns + 1
+  | Tag_recycle _ -> t.tag_recycles <- t.tag_recycles + 1
+  | Tlb_flush { flush = Flush_page _; _ } ->
+      t.page_invalidations <- t.page_invalidations + 1
+  | Tlb_flush { entries; _ } ->
+      t.flushes <- t.flushes + 1;
+      t.flushed_entries <- t.flushed_entries + entries
+  | Seg_lock { acquired = true; _ } -> t.lock_acquires <- t.lock_acquires + 1
+  | Seg_lock { acquired = false; _ } ->
+      t.lock_conflicts <- t.lock_conflicts + 1
+  | Seg_unlock _ -> t.lock_releases <- t.lock_releases + 1
+  | Page_fault { resolved; _ } ->
+      t.faults <- t.faults + 1;
+      if resolved then t.faults_resolved <- t.faults_resolved + 1
+  | Pt_teardown { pte_clears } ->
+      t.teardowns <- t.teardowns + 1;
+      t.teardown_pte_clears <- t.teardown_pte_clears + pte_clears
+
+let syscall_rows t =
+  let out = ref [] in
+  for nr = slots - 1 downto 0 do
+    if t.sys_calls.(nr) > 0 then
+      out :=
+        ( nr,
+          t.sys_names.(nr),
+          t.sys_calls.(nr),
+          t.sys_faults.(nr),
+          t.sys_cycles.(nr),
+          t.sys_hist.(nr) )
+        :: !out
+  done;
+  !out
+
+let describe t =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "syscalls:\n";
+  p "  %-16s %8s %7s %12s %10s %10s %10s\n" "name" "calls" "faults" "cycles"
+    "mean" "p50" "max";
+  List.iter
+    (fun (_, name, calls, faults, cycles, hist) ->
+      p "  %-16s %8d %7d %12d %10.1f %10d %10d\n" name calls faults cycles
+        (Hist.mean hist)
+        (Hist.quantile hist 0.5)
+        (Hist.max_value hist))
+    (syscall_rows t);
+  p "vas:      switches=%d tag_assigns=%d tag_recycles=%d\n" t.switches
+    t.tag_assigns t.tag_recycles;
+  p "tlb:      flushes=%d flushed_entries=%d page_invalidations=%d\n"
+    t.flushes t.flushed_entries t.page_invalidations;
+  p "locks:    acquires=%d conflicts=%d releases=%d\n" t.lock_acquires
+    t.lock_conflicts t.lock_releases;
+  p "faults:   total=%d resolved=%d\n" t.faults t.faults_resolved;
+  p "teardown: vmspaces=%d pte_clears=%d\n" t.teardowns t.teardown_pte_clears;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{\n  \"syscalls\": [";
+  List.iteri
+    (fun i (nr, name, calls, faults, cycles, hist) ->
+      if i > 0 then p ",";
+      p
+        "\n    \
+         {\"nr\":%d,\"name\":%S,\"calls\":%d,\"faults\":%d,\"cycles\":%d,\
+         \"mean\":%.1f,\"p50\":%d,\"max\":%d}"
+        nr name calls faults cycles (Hist.mean hist)
+        (Hist.quantile hist 0.5)
+        (Hist.max_value hist))
+    (syscall_rows t);
+  p "\n  ],\n";
+  p "  \"vas\": {\"switches\":%d,\"tag_assigns\":%d,\"tag_recycles\":%d},\n"
+    t.switches t.tag_assigns t.tag_recycles;
+  p
+    "  \"tlb\": \
+     {\"flushes\":%d,\"flushed_entries\":%d,\"page_invalidations\":%d},\n"
+    t.flushes t.flushed_entries t.page_invalidations;
+  p "  \"locks\": {\"acquires\":%d,\"conflicts\":%d,\"releases\":%d},\n"
+    t.lock_acquires t.lock_conflicts t.lock_releases;
+  p "  \"faults\": {\"total\":%d,\"resolved\":%d},\n" t.faults
+    t.faults_resolved;
+  p "  \"teardown\": {\"vmspaces\":%d,\"pte_clears\":%d}\n" t.teardowns
+    t.teardown_pte_clears;
+  p "}\n";
+  Buffer.contents b

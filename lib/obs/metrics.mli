@@ -1,0 +1,23 @@
+(** Aggregated counters and histograms over the event stream.
+
+    One instance per {!Recorder}; every emitted event updates it, so the
+    metrics cover the whole run even when the ring buffer has wrapped.
+    Deterministic: a pure function of the event sequence. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Event.kind -> unit
+(** Fold one event into the aggregates. [Syscall_enter] is a no-op
+    (cycle deltas arrive with the matching [Syscall_exit]). *)
+
+val syscall_rows : t -> (int * string * int * int * int * Hist.t) list
+(** [(nr, name, calls, faults, total_cycles, hist)] for every dispatch
+    entry that was called at least once, ascending by number. *)
+
+val describe : t -> string
+(** Human-readable multi-line summary ([sjctl stats]). *)
+
+val to_json : t -> string
+(** The same summary as a JSON object ([sjctl stats --json]). *)

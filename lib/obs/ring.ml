@@ -1,0 +1,39 @@
+(* Bounded ring buffer of events. When full, the oldest events are
+   overwritten and counted in [dropped]; the trace therefore always
+   holds the most recent [capacity] events, which is what you want when
+   replaying the tail of a long run. Not thread-safe on its own — each
+   ring belongs to one recorder, which belongs to one Sim_ctx, which is
+   owned by one domain at a time. *)
+
+type t = {
+  buf : Event.t array;
+  capacity : int;
+  mutable next : int;  (* total events ever pushed *)
+}
+
+let dummy : Event.t =
+  { seq = -1; core = -1; cycles = 0; kind = Event.Tag_recycle { tag = -1 } }
+
+let create capacity =
+  let capacity = max 1 capacity in
+  { buf = Array.make capacity dummy; capacity; next = 0 }
+
+let capacity t = t.capacity
+let length t = min t.next t.capacity
+let dropped t = max 0 (t.next - t.capacity)
+
+let push t e =
+  t.buf.(t.next mod t.capacity) <- e;
+  t.next <- t.next + 1
+
+(* Oldest-first. *)
+let to_list t =
+  let n = length t in
+  let first = t.next - n in
+  List.init n (fun i -> t.buf.((first + i) mod t.capacity))
+
+let iter t f = List.iter f (to_list t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity dummy;
+  t.next <- 0

@@ -1,0 +1,25 @@
+(** Bounded ring buffer of {!Event.t}.
+
+    Overwrites oldest events when full (keeping the most recent
+    [capacity]); overwritten events are counted, not silently lost.
+    Owned by exactly one {!Recorder} and not separately thread-safe. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] — capacity is clamped to at least 1. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val push : t -> Event.t -> unit
+
+val to_list : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+val clear : t -> unit

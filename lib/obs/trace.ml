@@ -1,0 +1,188 @@
+(* Chrome trace-event JSON export (the JSON-object format understood by
+   chrome://tracing and Perfetto). Syscall enter/exit become duration
+   begin/end pairs ("B"/"E"); everything else is a thread-scoped instant
+   ("i"). [ts] is the event's simulated cycle count, [tid] the emitting
+   core, so the rendered timeline is the simulated machine, not the
+   host. Hand-rolled with Buffer — the toolchain has no JSON library,
+   and the event payloads are all printf-safe scalars. *)
+
+let event_json (e : Event.t) =
+  let name = Event.name e.kind in
+  let args = Event.args_json e.kind in
+  let common = Printf.sprintf {|"name":%S,"ts":%d,"pid":0,"tid":%d|} name
+      e.cycles e.core in
+  match e.kind with
+  | Event.Syscall_enter _ ->
+      Printf.sprintf {|{%s,"ph":"B","args":%s}|} common args
+  | Event.Syscall_exit _ ->
+      Printf.sprintf {|{%s,"ph":"E","args":%s}|} common args
+  | _ -> Printf.sprintf {|{%s,"ph":"i","s":"t","args":%s}|} common args
+
+let to_chrome_json events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (event_json e))
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b
+
+let to_text events =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Event.to_string e);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+(* Minimal JSON well-formedness checker used by the trace-shape tests
+   (and available to callers that want a sanity pass before shipping a
+   file to Perfetto). Recursive descent over the full grammar; on
+   success additionally requires a top-level object with a
+   "traceEvents" array. *)
+
+exception Bad of string
+
+let check_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> bad "expected '%c' at %d, got '%c'" c !pos c'
+    | None -> bad "expected '%c' at %d, got end of input" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> bad "unterminated string at %d" !pos
+      | Some '"' -> advance (); fin := true
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> bad "bad \\u escape at %d" !pos
+              done
+          | _ -> bad "bad escape at %d" !pos)
+      | Some _ -> advance ()
+    done
+  in
+  let parse_number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits = ref 0 in
+    let eat_digits () =
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        incr digits;
+        advance ()
+      done
+    in
+    eat_digits ();
+    if !digits = 0 then bad "expected digit at %d" !pos;
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits := 0;
+        eat_digits ();
+        if !digits = 0 then bad "expected fraction digit at %d" !pos
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits := 0;
+        eat_digits ();
+        if !digits = 0 then bad "expected exponent digit at %d" !pos
+    | _ -> ()
+  in
+  let parse_literal lit =
+    String.iter
+      (fun c ->
+        match peek () with
+        | Some c' when c' = c -> advance ()
+        | _ -> bad "expected %S at %d" lit !pos)
+      lit
+  in
+  (* parse_value returns the set of member keys when the value is an
+     object, so the caller can check for required keys. *)
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        let keys = ref [] in
+        (match peek () with
+        | Some '}' -> advance ()
+        | _ ->
+            let fin = ref false in
+            while not !fin do
+              skip_ws ();
+              let kstart = !pos + 1 in
+              parse_string ();
+              keys := String.sub s kstart (!pos - kstart - 1) :: !keys;
+              skip_ws ();
+              expect ':';
+              ignore (parse_value ());
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some '}' -> advance (); fin := true
+              | _ -> bad "expected ',' or '}' at %d" !pos
+            done);
+        `Obj !keys
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        (match peek () with
+        | Some ']' -> advance ()
+        | _ ->
+            let fin = ref false in
+            while not !fin do
+              ignore (parse_value ());
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some ']' -> advance (); fin := true
+              | _ -> bad "expected ',' or ']' at %d" !pos
+            done);
+        `Arr
+    | Some '"' -> parse_string (); `Other
+    | Some ('-' | '0' .. '9') -> parse_number (); `Other
+    | Some 't' -> parse_literal "true"; `Other
+    | Some 'f' -> parse_literal "false"; `Other
+    | Some 'n' -> parse_literal "null"; `Other
+    | Some c -> bad "unexpected '%c' at %d" c !pos
+    | None -> bad "unexpected end of input at %d" !pos
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing garbage at %d" !pos;
+    v
+  with
+  | `Obj keys when List.mem "traceEvents" keys -> Ok ()
+  | `Obj _ -> Error "top-level object lacks \"traceEvents\""
+  | `Arr | `Other -> Error "top-level value is not an object"
+  | exception Bad m -> Error m

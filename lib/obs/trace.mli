@@ -1,0 +1,21 @@
+(** Chrome trace-event JSON export.
+
+    Produces the JSON-object format consumed by [chrome://tracing] and
+    Perfetto: syscall enter/exit map to duration begin/end phases
+    ("B"/"E"), all other events to thread-scoped instants ("i").
+    Timestamps are simulated cycles and thread ids are simulated core
+    ids, so the timeline renders the simulated machine. *)
+
+val event_json : Event.t -> string
+(** One trace event as a single-line JSON object. *)
+
+val to_chrome_json : Event.t list -> string
+(** Full trace document: [{"traceEvents": [...], ...}]. *)
+
+val to_text : Event.t list -> string
+(** One {!Event.to_string} line per event — the deterministic text form
+    compared across [-j N] runs. *)
+
+val check_string : string -> (unit, string) result
+(** Well-formedness check: parses the full JSON grammar and requires a
+    top-level object containing a ["traceEvents"] member. *)

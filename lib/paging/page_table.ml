@@ -74,17 +74,30 @@ let index_at ~level va =
 (* Level at which a leaf for the given page size lives. *)
 let leaf_level = function P4K -> 1 | P2M -> 2
 
-let rec decref t node =
+(* [count_clears] makes freeing a table charge one [pte_clears] per
+   live (non-Empty) slot, modelling the teardown walk that zeroes each
+   PTE before the frame is returned. Incremental unmap/prune paths keep
+   the default [false]: they already account for the single slot they
+   clear, and the tables they release are empty by construction. *)
+let rec decref ?(count_clears = false) t node =
   node.refs <- node.refs - 1;
   if node.refs = 0 then begin
-    Array.iter (function Table child -> decref t child | Empty | Leaf _ -> ()) node.entries;
+    Array.iter
+      (function
+        | Table child ->
+          if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1;
+          decref ~count_clears t child
+        | Leaf _ ->
+          if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1
+        | Empty -> ())
+      node.entries;
     Phys_mem.free_frame t.mem node.frame;
     t.stats.tables_freed <- t.stats.tables_freed + 1
   end
 
 let destroy t =
   dirty t;
-  decref t t.root
+  decref ~count_clears:true t t.root
 
 let check_aligned va size name =
   if va land (bytes_of_page_size size - 1) <> 0 then

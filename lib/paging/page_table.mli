@@ -43,7 +43,10 @@ val create : Sj_mem.Phys_mem.t -> t
 val destroy : t -> unit
 (** Release the root and every exclusively-owned interior table (shared
     subtrees survive until their last owner is destroyed). Leaf data
-    frames are never freed — they belong to VM objects. *)
+    frames are never freed — they belong to VM objects. Each live PTE in
+    a freed table is counted in [stats.pte_clears], modelling the
+    teardown walk that zeroes entries before returning the frame, so
+    callers can charge teardown like any other page-table mutation. *)
 
 val root_frame : t -> Sj_mem.Phys_mem.frame
 (** The root table's frame (the value a CR3 write installs). *)

@@ -43,6 +43,11 @@ type t = {
   mutable mru_vbase : int; (* 4 KiB base of the access that recorded it *)
   mutable mru_size : Page_table.page_size;
   mutable mru_entry : entry;
+  (* Observability hook, installed by Machine.create when tracing is on;
+     called once per flush operation with the flush kind and the number
+     of entries invalidated. None (the default) costs one test per
+     flush — nothing on lookup/insert hot paths. *)
+  mutable obs : (Sj_obs.Event.flush_kind -> int -> unit) option;
 }
 
 let fresh_entry () =
@@ -66,9 +71,14 @@ let create cfg =
     mru_vbase = -1;
     mru_size = Page_table.P4K;
     mru_entry = fresh_entry ();
+    obs = None;
   }
 
 let dirty t = t.gen <- t.gen + 1
+let set_obs t hook = t.obs <- hook
+
+let notify_flush t kind entries =
+  match t.obs with None -> () | Some f -> f kind entries
 
 let config t = t.cfg
 let stats t = t.stats
@@ -101,6 +111,22 @@ let probe_set set ~tag ~vbase =
   let n = Array.length set in
   let rec go i =
     if i >= n then -1 else if entry_matches set.(i) ~tag ~vbase then i else go (i + 1)
+  in
+  go 0
+
+(* Exact-identity probe used by [insert]'s refresh-in-place path. Unlike
+   [entry_matches] it does NOT treat a global entry as matching every
+   tag: refreshing is only sound when (tag, global) are identical,
+   otherwise a non-global fill for tag T would silently overwrite a
+   global mapping that happens to share the vbase. *)
+let probe_exact set ~tag ~vbase ~global =
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then -1
+    else
+      let e = set.(i) in
+      if e.valid && e.vbase = vbase && e.tag = tag && e.global = global then i
+      else go (i + 1)
   in
   go 0
 
@@ -240,14 +266,16 @@ let insert t ~tag ~va ~pa ~prot ~size ~global =
     let vbase = base_4k va in
     let pa = Size.round_down pa ~align:Addr.page_size in
     let set = t.array_4k.(set_of_4k t va) in
-    (* Refresh in place if already present (same page, same tag). *)
-    let i = probe_set set ~tag ~vbase in
+    (* Refresh in place only when the exact (tag, global) identity is
+       already present; a looser probe would let a non-global fill
+       clobber a global entry at the same vbase. *)
+    let i = probe_exact set ~tag ~vbase ~global in
     let e = if i >= 0 then set.(i) else victim t set in
     fill t e ~tag ~vbase ~pa ~prot ~global
   | Page_table.P2M ->
     let vbase = base_2m va in
     let pa = Size.round_down pa ~align:(Size.mib 2) in
-    let i = probe_set t.array_2m ~tag ~vbase in
+    let i = probe_exact t.array_2m ~tag ~vbase ~global in
     let e = if i >= 0 then t.array_2m.(i) else victim t t.array_2m in
     fill t e ~tag ~vbase ~pa ~prot ~global
 
@@ -258,20 +286,36 @@ let iter_entries t f =
 let flush_where t pred =
   dirty t;
   t.stats.flushes <- t.stats.flushes + 1;
+  let n = ref 0 in
   iter_entries t (fun e ->
       if e.valid && pred e then begin
         e.valid <- false;
-        t.stats.flushed_entries <- t.stats.flushed_entries + 1
-      end)
+        incr n
+      end);
+  t.stats.flushed_entries <- t.stats.flushed_entries + !n;
+  !n
 
-let flush_nonglobal t = flush_where t (fun e -> not e.global)
-let flush_all t = flush_where t (fun _ -> true)
-let flush_tag t ~tag = flush_where t (fun e -> (not e.global) && e.tag = tag)
+let flush_nonglobal t =
+  notify_flush t Sj_obs.Event.Flush_nonglobal
+    (flush_where t (fun e -> not e.global))
+
+let flush_all t =
+  notify_flush t Sj_obs.Event.Flush_all (flush_where t (fun _ -> true))
+
+let flush_tag t ~tag =
+  notify_flush t (Sj_obs.Event.Flush_tag tag)
+    (flush_where t (fun e -> (not e.global) && e.tag = tag))
 
 let invalidate_page t ~va =
   dirty t;
   let v4 = base_4k va and v2 = base_2m va in
-  let kill e = if e.valid && (e.vbase = v4 || e.vbase = v2) then e.valid <- false in
+  let n = ref 0 in
+  let kill e =
+    if e.valid && (e.vbase = v4 || e.vbase = v2) then begin
+      e.valid <- false;
+      incr n
+    end
+  in
   (* A 4 KiB entry for [v4] can only live in [v4]'s set; the only other
      4 KiB base the predicate can match is [v2] (a 2 MiB base is itself
      page-aligned), which can only live in [v2]'s set. Every other 4 KiB
@@ -281,7 +325,8 @@ let invalidate_page t ~va =
   Array.iter kill t.array_4k.(s4);
   let s2 = set_of_4k t v2 in
   if s2 <> s4 then Array.iter kill t.array_4k.(s2);
-  Array.iter kill t.array_2m
+  Array.iter kill t.array_2m;
+  notify_flush t (Sj_obs.Event.Flush_page v4) !n
 
 let occupancy t =
   let n = ref 0 in

@@ -65,7 +65,10 @@ val translate_probe : t -> tag:int -> va:int -> write:bool -> int
 val insert :
   t -> tag:int -> va:int -> pa:int -> prot:Sj_paging.Prot.t ->
   size:Sj_paging.Page_table.page_size -> global:bool -> unit
-(** Fill after a walk. Evicts LRU within the set if needed. *)
+(** Fill after a walk. Refreshes in place only an entry with the exact
+    same [(tag, global)] identity at that vbase — in particular a
+    non-global fill never overwrites a global entry — and otherwise
+    evicts LRU within the set. *)
 
 val flush_nonglobal : t -> unit
 (** Untagged CR3 write: drop every non-global entry. *)
@@ -81,3 +84,9 @@ val invalidate_page : t -> va:int -> unit
 
 val occupancy : t -> int
 (** Number of valid entries currently resident. *)
+
+val set_obs : t -> (Sj_obs.Event.flush_kind -> int -> unit) option -> unit
+(** Install (or remove) the flush-observation hook. The hook is called
+    once per flush or page invalidation with the flush kind and the
+    number of entries dropped, after stats are updated. Installed by
+    [Machine.create] when tracing is enabled; [None] by default. *)

@@ -3,6 +3,12 @@
    so two machines built in the same process (or in two domains) are
    fully independent and each one numbers its objects from scratch. *)
 
+type obs = ..
+(* Open slot for the simulation's observability recorder
+   (Sj_obs.Recorder.t). An extensible variant keeps sj_util below
+   sj_obs in the layering while still scoping the recorder to the
+   simulation that owns it — the same trick as Registry.service. *)
+
 type t = {
   mutable next_vm_object : int;
   mutable next_cap : int;
@@ -14,6 +20,7 @@ type t = {
      layout's global base so this module stays policy-free; only
      Sj_kernel.Layout interprets it. *)
   mutable layout_offset : int;
+  mutable obs : obs option;
 }
 
 let create () =
@@ -25,6 +32,7 @@ let create () =
     next_vid = 0;
     next_sid = 0;
     layout_offset = 0;
+    obs = None;
   }
 
 let next_vm_object_id t =
@@ -53,3 +61,5 @@ let next_sid t =
 
 let layout_offset t = t.layout_offset
 let set_layout_offset t off = t.layout_offset <- off
+let obs t = t.obs
+let set_obs t o = t.obs <- o

@@ -11,6 +11,13 @@
     A context is owned by exactly one simulation and is not itself
     thread-safe; concurrency comes from giving each domain its own. *)
 
+type obs = ..
+(** Open slot for the simulation's observability recorder.
+    [Sj_obs.Recorder] extends this with its own constructor and stores a
+    recorder per context via [set_obs]; keeping the type extensible here
+    lets every layer above [sj_util] reach the recorder without this
+    module depending on [sj_obs] (same pattern as [Registry.service]). *)
+
 type t
 
 val create : unit -> t
@@ -33,3 +40,8 @@ val layout_offset : t -> int
     global base. Interpreted by [Sj_kernel.Layout] only. *)
 
 val set_layout_offset : t -> int -> unit
+
+val obs : t -> obs option
+(** The observability slot, [None] until a recorder is attached. *)
+
+val set_obs : t -> obs option -> unit

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Observability lint, run on every `dune runtest`.
+#
+# Invariant (see the Observability section of HACKING.md): every ABI
+# dispatch entry brackets itself with Syscall_enter/Syscall_exit
+# events. All entries funnel through Sys.charge_entry or Sys.invoke in
+# lib/abi/sys.ml, so the invariant reduces to two greppable facts:
+#
+#   1. every constructor of `type nr` appears in the `number` and
+#      `name` dispatch tables — no entry can exist outside the
+#      numbered, named (and therefore bracketed) table; and
+#   2. both dispatch helpers (charge_entry and invoke) call the
+#      emit_enter and emit_exit guards.
+set -u
+
+sys=lib/abi/sys.ml
+
+if [ ! -f "$sys" ]; then
+  echo "lint_obs: $sys not found (run from the repo root)" >&2
+  exit 1
+fi
+
+# 1. Enumerate the `nr` constructors from the type definition.
+ctors=$(sed -n '/^type nr =/,/^let all/p' "$sys" \
+  | grep -oE '\| *[A-Z][A-Za-z_0-9]*' | sed 's/| *//')
+
+if [ -z "$ctors" ]; then
+  echo "lint_obs: could not extract nr constructors from $sys" >&2
+  exit 1
+fi
+
+missing=
+for c in $ctors; do
+  grep -qE "\| $c -> [0-9]+" "$sys" || missing="$missing $c(number)"
+  grep -qE "\| $c -> \"" "$sys" || missing="$missing $c(name)"
+done
+if [ -n "$missing" ]; then
+  echo "lint_obs: ABI entries missing from the dispatch tables:$missing" >&2
+  echo "Every nr constructor must have a number and a name so enter/exit events cover it." >&2
+  exit 1
+fi
+
+# 2. Both dispatch helpers emit the bracketing events.
+for pat in emit_enter emit_exit; do
+  n=$(grep -cE "^[[:space:]]+$pat core nr" "$sys" || true)
+  if [ "$n" -lt 2 ]; then
+    echo "lint_obs: expected charge_entry AND invoke to call $pat (found $n call sites in $sys)" >&2
+    exit 1
+  fi
+done
+
+grep -q 'Syscall_enter' "$sys" && grep -q 'Syscall_exit' "$sys" || {
+  echo "lint_obs: $sys no longer constructs Syscall_enter/Syscall_exit events" >&2
+  exit 1
+}
+
+count=$(printf '%s\n' "$ctors" | wc -l | tr -d ' ')
+echo "lint_obs: OK ($count ABI entries covered by enter/exit bracketing)"

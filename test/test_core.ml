@@ -426,6 +426,34 @@ let test_exit_process_reclaims () =
   Alcotest.(check int64) "data survives its writer" 99L (Api.load64 ctx2 ~va:a);
   ignore baseline
 
+(* Regression: once the 12-bit tag space wrapped, alloc_tag handed the
+   same ASID to a new VAS without flushing the previous owner's
+   translations — a switch into the new VAS could hit stale entries and
+   silently read the wrong address space. A recycled tag is now flushed
+   from every core's TLB before reuse. *)
+let test_tag_recycle_flushes_stale () =
+  let m, sys, _ctx = setup () in
+  let reg = Api.registry sys in
+  let tlb = Core.tlb (Machine.core m 0) in
+  (* Occupy a tag with a translation, as its first owner would. *)
+  let first = Registry.alloc_tag reg in
+  Sj_tlb.Tlb.insert tlb ~tag:first ~va:0x9000 ~pa:0x70000 ~prot:Prot.rw
+    ~size:Sj_paging.Page_table.P4K ~global:false;
+  (* Fresh (never-recycled) allocations must not flush anyone. *)
+  ignore (Registry.alloc_tag reg);
+  Alcotest.(check bool) "fresh tags don't flush" true
+    (Sj_tlb.Tlb.lookup tlb ~tag:first ~va:0x9000 <> None);
+  (* Exhaust the 4095-tag space until [first] is handed out again. *)
+  let reissued = ref (Registry.alloc_tag reg) in
+  let guard = ref 0 in
+  while !reissued <> first && !guard < 8192 do
+    incr guard;
+    reissued := Registry.alloc_tag reg
+  done;
+  Alcotest.(check int) "tag space wrapped back around" first !reissued;
+  Alcotest.(check bool) "stale translation flushed on recycle" true
+    (Sj_tlb.Tlb.lookup tlb ~tag:first ~va:0x9000 = None)
+
 (* Lock state machine: random try_lock/unlock sequences agree with a
    reader-count model and never corrupt state. *)
 let prop_segment_lock_model =
@@ -502,5 +530,6 @@ let suite =
     Alcotest.test_case "vas destroy lifecycle" `Quick test_vas_destroy_lifecycle;
     Alcotest.test_case "segment destroy lifecycle" `Quick test_seg_destroy_lifecycle;
     Alcotest.test_case "exit_process reclaims everything" `Quick test_exit_process_reclaims;
+    Alcotest.test_case "tag recycle flushes stale entries" `Quick test_tag_recycle_flushes_stale;
     QCheck_alcotest.to_alcotest prop_segment_lock_model;
   ]

@@ -142,6 +142,55 @@ let test_vmspace_charges_costs () =
   (* 256 PTEs at 42 cycles each is the floor. *)
   Alcotest.(check bool) "mapping charged" true (mapped_cost >= 256 * 42)
 
+(* Regression: Vmspace.destroy used to free the translation tree
+   without charging the PTE clears to anyone — a detach looked ~free
+   while map paid full price. Teardown now charges the delta like every
+   other page-table mutation. *)
+let test_vmspace_destroy_charges () =
+  let m = Machine.create tiny in
+  let core = Machine.core m 0 in
+  let vms = Vmspace.create m ~charge_to:None in
+  let obj = Vm_object.create m ~size:(Size.mib 1) ~charge_to:None in
+  Vmspace.map_object vms ~charge_to:None ~base:0x200000 ~prot:Prot.rw obj;
+  let c0 = Machine.Core.cycles core in
+  Vmspace.destroy vms ~charge_to:(Some core);
+  let cost = Machine.Core.cycles core - c0 in
+  (* 256 leaf PTEs at the pte_clear rate (30 cycles) is the floor; the
+     table spine comes on top. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "teardown charged (%d cycles)" cost)
+    true
+    (cost >= 256 * 30)
+
+(* Regression: remap_page blindly rewrote a 4 KiB PTE even when the VA
+   lay inside a 2 MiB region, corrupting the huge mapping. It now
+   raises a typed Invalid fault for 2 MiB regions and keeps working for
+   4 KiB ones. *)
+let test_remap_page_granularity () =
+  let m = Machine.create tiny in
+  let vms = Vmspace.create m ~charge_to:None in
+  let huge = Vm_object.create ~contiguous:true m ~size:(Size.mib 2) ~charge_to:None in
+  Vmspace.map_object vms ~charge_to:None ~base:(Size.mib 4) ~page:Page_table.P2M
+    ~prot:Prot.rw huge;
+  let frame = (Pm.alloc_frames (Machine.mem m) ~n:1).(0) in
+  Alcotest.(check bool) "remap inside 2 MiB region faults Invalid" true
+    (faults Error.Invalid (fun () ->
+         Vmspace.remap_page vms ~charge_to:None ~va:(Size.mib 4 + Size.kib 4) ~frame
+           ~prot:Prot.rw));
+  (* The 2 MiB translation is untouched. *)
+  (match Page_table.walk (Vmspace.page_table vms) ~va:(Size.mib 4 + Size.kib 4) with
+  | Some mapping ->
+    Alcotest.(check bool) "huge mapping intact" true (mapping.size = Page_table.P2M)
+  | None -> Alcotest.fail "huge mapping lost");
+  (* The 4 KiB path still repairs translations. *)
+  let small = Vm_object.create m ~size:(Size.kib 16) ~charge_to:None in
+  Vmspace.map_object vms ~charge_to:None ~base:0x100000 ~prot:Prot.rw small;
+  Vmspace.remap_page vms ~charge_to:None ~va:0x101000 ~frame ~prot:Prot.r;
+  match Page_table.walk (Vmspace.page_table vms) ~va:0x101000 with
+  | Some mapping ->
+    Alcotest.(check int) "retargeted frame" (Pm.base_of_frame frame) mapping.pa
+  | None -> Alcotest.fail "4 KiB translation missing"
+
 (* --- Process --- *)
 
 let test_process_layout () =
@@ -198,6 +247,8 @@ let suite =
     Alcotest.test_case "vmspace map/unmap" `Quick test_vmspace_map_unmap;
     Alcotest.test_case "vmspace overlap rejected" `Quick test_vmspace_overlap_rejected;
     Alcotest.test_case "vmspace charges costs" `Quick test_vmspace_charges_costs;
+    Alcotest.test_case "vmspace destroy charges teardown" `Quick test_vmspace_destroy_charges;
+    Alcotest.test_case "remap_page is 4 KiB-granular" `Quick test_remap_page_granularity;
     Alcotest.test_case "process layout" `Quick test_process_layout;
     Alcotest.test_case "process threads" `Quick test_process_threads;
     Alcotest.test_case "process exit releases memory" `Quick test_process_exit_releases;

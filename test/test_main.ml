@@ -30,4 +30,5 @@ let () =
       ("notify", Test_notify.suite);
       ("genomics", Test_genomics.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -88,6 +88,27 @@ let test_refresh_in_place () =
   | Some hit -> Alcotest.(check int) "latest translation" 0x90000 hit.pa
   | None -> Alcotest.fail "expected hit"
 
+(* Regression: the insert refresh path used to probe by (tag, vbase)
+   only, so a non-global insert at a VA where a global entry lived
+   clobbered the global entry in place — losing the global bit and
+   letting flush_nonglobal kill a common-region translation. The probe
+   is now exact on (tag, global). *)
+let test_global_not_clobbered_by_refresh () =
+  let t = Tlb.create Tlb.default_config in
+  Tlb.insert t ~tag:1 ~va:0x7000 ~pa:0x40000 ~prot:Prot.r ~size:Page_table.P4K ~global:true;
+  insert t ~tag:1 ~va:0x7000 ~pa:0x50000;
+  Alcotest.(check int) "distinct entries" 2 (Tlb.occupancy t);
+  Tlb.flush_nonglobal t;
+  (match Tlb.lookup t ~tag:1 ~va:0x7000 with
+  | Some hit -> Alcotest.(check int) "global translation intact" 0x40000 hit.pa
+  | None -> Alcotest.fail "global entry clobbered by non-global insert");
+  (* Re-inserting with matching globality still refreshes in place. *)
+  Tlb.insert t ~tag:1 ~va:0x7000 ~pa:0x60000 ~prot:Prot.r ~size:Page_table.P4K ~global:true;
+  Alcotest.(check int) "no duplicate" 1 (Tlb.occupancy t);
+  match Tlb.lookup t ~tag:1 ~va:0x7000 with
+  | Some hit -> Alcotest.(check int) "refreshed translation" 0x60000 hit.pa
+  | None -> Alcotest.fail "expected hit"
+
 (* Model-based property: a TLB with random insert/flush/lookup agrees
    with a shadow association list. *)
 let prop_tlb_coherent =
@@ -136,5 +157,6 @@ let suite =
     Alcotest.test_case "2 MiB entries" `Quick test_2m_entries;
     Alcotest.test_case "occupancy" `Quick test_occupancy;
     Alcotest.test_case "refresh in place" `Quick test_refresh_in_place;
+    Alcotest.test_case "global not clobbered by refresh" `Quick test_global_not_clobbered_by_refresh;
     QCheck_alcotest.to_alcotest prop_tlb_coherent;
   ]
