@@ -1,0 +1,26 @@
+(* Availability under faults (lib/fault): kill a RedisJMP writer while
+   it holds the store's exclusive lock and measure what the survivors
+   see. Not a paper figure — it exercises the crash-reclamation path
+   (sec 3.1's lock discipline under the least graceful release) on both
+   kernel backends. Deterministic simulated cycles throughout. *)
+
+module Kv_avail = Sj_kvstore.Kv_avail
+module Api = Sj_core.Api
+
+let run () =
+  Bench_common.section "Availability under faults: RedisJMP lock-holder crash";
+  let cfg = Kv_avail.default_config in
+  Bench_common.note
+    "  %d reader clients, %d requests/phase, retry budget %d x %d cycles, seed %d"
+    cfg.clients cfg.requests_per_client cfg.retry_attempts cfg.backoff_cycles cfg.seed;
+  List.iter
+    (fun (label, backend) ->
+      let r = Kv_avail.run { cfg with backend } in
+      Bench_common.note
+        "  %-11s served %d | outage %d cycles (%d stalled reqs, %d cycles lost) | \
+         recovery %d cycles | served %d | reclaims %d crashes %d"
+        label r.served_before r.outage_cycles r.stalled_requests r.stall_cycles
+        r.recovery_cycles r.served_after r.lock_reclaims r.crashes;
+      Bench_common.note "  %-11s survivors_ok=%b lock_free=%b orphan_served=%b" label
+        r.survivors_ok r.lock_free r.orphan_served)
+    [ ("dragonfly", Api.Dragonfly); ("barrelfish", Api.Barrelfish) ]

@@ -126,6 +126,57 @@ let redis_cmd =
   Cmd.v (Cmd.info "redis" ~doc:"Run the Redis/RedisJMP throughput simulation (sec 5.3)")
     Term.(const run $ clients $ sets $ mode)
 
+let faults_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients"; "c" ] ~doc:"Surviving reader clients")
+  in
+  let requests =
+    Arg.(value & opt int 32 & info [ "requests"; "n" ] ~doc:"Requests per client per phase")
+  in
+  let attempts =
+    Arg.(value & opt int 4 & info [ "attempts" ] ~doc:"switch_retry budget per request")
+  in
+  let backend =
+    Arg.(value & opt string "dragonfly" & info [ "backend"; "b" ] ~doc:"dragonfly | barrelfish")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Injector seed") in
+  let run clients requests attempts backend seed =
+    let module Kv_avail = Sj_kvstore.Kv_avail in
+    let backend =
+      match backend with
+      | "dragonfly" -> Sj_core.Api.Dragonfly
+      | "barrelfish" -> Sj_core.Api.Barrelfish
+      | b -> Sj_abi.Error.fail Invalid ~op:"faults" ("unknown backend " ^ b)
+    in
+    let cfg =
+      {
+        Kv_avail.default_config with
+        clients;
+        requests_per_client = requests;
+        retry_attempts = attempts;
+        backend;
+        seed;
+      }
+    in
+    let r = Kv_avail.run cfg in
+    let ms c = Sj_machine.Cost_model.cycles_to_ms (cfg.platform : Platform.t).cost c in
+    Format.printf "healthy:   %d requests served@." r.served_before;
+    Format.printf
+      "outage:    lock wedged %d cycles (%.3f ms); %d requests exhausted their retry \
+       budget, %d survivor cycles lost@."
+      r.outage_cycles (ms r.outage_cycles) r.stalled_requests r.stall_cycles;
+    Format.printf "recovery:  crash teardown %d cycles (%.3f ms); %d lock(s) reclaimed, %d crash(es)@."
+      r.recovery_cycles (ms r.recovery_cycles) r.lock_reclaims r.crashes;
+    Format.printf "recovered: %d requests served@." r.served_after;
+    Format.printf "survivors_ok=%b lock_free=%b orphan_served=%b@." r.survivors_ok
+      r.lock_free r.orphan_served;
+    if not (r.survivors_ok && r.lock_free && r.orphan_served) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Kill a RedisJMP lock holder under fault injection; report availability")
+    Term.(const run $ clients $ requests $ attempts $ backend $ seed)
+
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IR source file") in
   let no_run = Arg.(value & flag & info [ "no-run" ] ~doc:"Analyze only; do not execute") in
@@ -533,8 +584,8 @@ let () =
   let group =
     Cmd.group info
       [
-        platforms_cmd; gups_cmd; demo_cmd; redis_cmd; check_cmd; persist_cmd; inspect_cmd;
-        samtools_cmd; bench_cmd; trace_cmd; stats_cmd;
+        platforms_cmd; gups_cmd; demo_cmd; redis_cmd; faults_cmd; check_cmd; persist_cmd;
+        inspect_cmd; samtools_cmd; bench_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

@@ -30,6 +30,7 @@ type nr =
   | Proc_exit
   | Persist_save
   | Persist_restore
+  | Proc_crash
 
 let all =
   [|
@@ -37,7 +38,7 @@ let all =
     Vas_switch_home; Vas_ctl; Vas_delete; Seg_alloc; Seg_find; Seg_attach;
     Seg_attach_local; Seg_detach; Seg_detach_local; Seg_clone; Seg_snapshot;
     Seg_ctl; Seg_delete; Seg_lock; Seg_unlock; Heap_malloc; Heap_free;
-    Proc_exit; Persist_save; Persist_restore;
+    Proc_exit; Persist_save; Persist_restore; Proc_crash;
   |]
 
 let nr_count = Array.length all
@@ -69,6 +70,7 @@ let number = function
   | Proc_exit -> 23
   | Persist_save -> 24
   | Persist_restore -> 25
+  | Proc_crash -> 26
 
 let of_number n = if n >= 0 && n < nr_count then Some all.(n) else None
 
@@ -99,6 +101,7 @@ let name = function
   | Proc_exit -> "proc_exit"
   | Persist_save -> "persist_save"
   | Persist_restore -> "persist_restore"
+  | Proc_crash -> "proc_crash"
 
 type crossing = Trap | Lock_path | Inline
 
@@ -110,7 +113,7 @@ let crossing = function
     Trap
   | Seg_lock | Heap_malloc | Heap_free -> Lock_path
   | Vas_switch | Vas_switch_home | Seg_unlock | Proc_exit | Persist_save
-  | Persist_restore ->
+  | Persist_restore | Proc_crash ->
     Inline
 
 (* DragonFly fields a call as one kernel syscall; Barrelfish as an RPC

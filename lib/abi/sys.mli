@@ -46,6 +46,7 @@ type nr =
   | Proc_exit  (** 23 *)
   | Persist_save  (** 24 *)
   | Persist_restore  (** 25 *)
+  | Proc_crash  (** 26 — involuntary teardown of a dead process *)
 
 val nr_count : int
 val number : nr -> int

@@ -1,0 +1,21 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   The table is filled eagerly at module init and never written again,
+   so it is safe to share across domains (HACKING.md, "Domain safety"). *)
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let update crc b ~pos ~len =
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let bytes b = update 0 b ~pos:0 ~len:(Bytes.length b)
+let string s = bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+
+    Used by the persistence layer to detect silent bit-flips and torn
+    writes in saved images. Pure and deterministic; values are in
+    [0, 2{^32}). *)
+
+val bytes : bytes -> int
+(** Checksum of a whole byte buffer. *)
+
+val string : string -> int
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** [update crc b ~pos ~len] extends [crc] over a slice, so a checksum
+    can be computed incrementally: [bytes b = update 0 b ~pos:0
+    ~len:(Bytes.length b)]. *)

@@ -22,9 +22,17 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type backend = Sj_abi.Sys.backend = Dragonfly | Barrelfish
 
-type system = { backend : backend; machine : Machine.t; reg : Registry.t; tab : Sys.t }
+type system = {
+  backend : backend;
+  machine : Machine.t;
+  reg : Registry.t;
+  tab : Sys.t;
+  (* Every live context on this system, so crash teardown can reach all
+     threads of a dead process (their attachments hold the locks). *)
+  mutable ctxs : ctx list;
+}
 
-type vh = {
+and vh = {
   vas : Vas.t;
   owner : Process.t;
   vmspace : Vmspace.t;
@@ -43,7 +51,7 @@ type vh = {
   mutable detached : bool;
 }
 
-type ctx = {
+and ctx = {
   sys : system;
   proc : Process.t;
   core : Core.core;
@@ -52,7 +60,8 @@ type ctx = {
 }
 
 let boot ?(backend = Dragonfly) machine =
-  { backend; machine; reg = Registry.create machine; tab = Sys.create backend }
+  { backend; machine; reg = Registry.create machine; tab = Sys.create backend;
+    ctxs = [] }
 
 let backend sys = sys.backend
 let registry sys = sys.reg
@@ -116,6 +125,7 @@ let context sys proc core =
   Core.set_page_table core ~tag:0 (Some (Vmspace.page_table (Process.primary_vmspace proc)));
   let ctx = { sys; proc; core; cur = None; attachments = [] } in
   Core.set_fault_handler core (Some (fun ~va ~access -> fault_handler ctx ~va ~access));
+  sys.ctxs <- ctx :: sys.ctxs;
   ctx
 
 let process ctx = ctx.proc
@@ -126,11 +136,159 @@ let vas_of_vh vh = vh.vas
 let vmspace_of_vh vh = vh.vmspace
 let cost ctx = Machine.cost ctx.sys.machine
 
+(* -------------------- Crash teardown (§3.2) -------------------- *)
+
+module Injector = Sj_fault.Injector
+
+(* Segment ids the context's process currently holds locks on, across
+   every thread of the process (locks belong to attachments, and an
+   attachment created by one thread can be entered by another). *)
+let held_sids ctx =
+  let pid = Process.pid ctx.proc in
+  List.concat_map
+    (fun c ->
+      if Process.pid c.proc = pid then
+        List.concat_map
+          (fun vh -> List.map (fun (s, _) -> Segment.sid s) vh.held)
+          c.attachments
+      else [])
+    ctx.sys.ctxs
+
+(* Force-release the locks of one attachment on behalf of a dead
+   process. Unlike the orderly seg_unlock path, the dead process is not
+   issuing calls: the kernel walks the lock list itself, charging one
+   uncontended lock operation per reclaim to the core fielding the
+   death and emitting [Lock_reclaim] so traces show who freed what. *)
+let reclaim_locks ctx ~pid vh =
+  let c = cost ctx in
+  let n = List.length vh.held in
+  List.iter
+    (fun (seg, mode) ->
+      Core.charge ctx.core c.lock_uncontended;
+      Segment.unlock seg ~mode;
+      match obs ctx with
+      | Some r ->
+        emit_to r ctx (Sj_obs.Event.Lock_reclaim { sid = Segment.sid seg; pid })
+      | None -> ())
+    vh.held;
+  vh.held <- [];
+  vh.entered <- 0;
+  n
+
+(* Involuntary death of a whole process: reclaim every segment lock its
+   attachments hold, destroy the attachments' vmspaces (counted
+   Page_table.destroy via Vmspace.destroy), drop the registry's mapping
+   records, flush the dead process's tagged TLB footprint, uninstall its
+   cores, and let the kernel reclaim the process. The VASes and segments
+   it created — and the data in them — survive (§3.2); a second process
+   can attach and observe consistent state. *)
+let crash_teardown ctx =
+  let sys = ctx.sys in
+  let pid = Process.pid ctx.proc in
+  let siblings = List.filter (fun c -> Process.pid c.proc = pid) sys.ctxs in
+  let atts =
+    List.fold_left
+      (fun acc c ->
+        List.fold_left
+          (fun acc vh -> if List.memq vh acc then acc else vh :: acc)
+          acc c.attachments)
+      [] siblings
+  in
+  let locks = ref 0 in
+  let attachments = ref 0 in
+  List.iter
+    (fun vh ->
+      if not vh.detached then begin
+        incr attachments;
+        locks := !locks + reclaim_locks ctx ~pid vh;
+        (match vh.cap_slot with
+        | Some slot -> Cap.Cspace.delete (Process.cspace vh.owner) slot
+        | None -> ());
+        List.iter
+          (fun (sid, _) -> Registry.forget_mapping sys.reg ~sid vh.vmspace)
+          vh.mapped;
+        List.iter
+          (fun (seg, _) ->
+            Registry.forget_mapping sys.reg ~sid:(Segment.sid seg) vh.vmspace)
+          vh.local_segs;
+        Vmspace.destroy vh.vmspace ~charge_to:(Some ctx.core);
+        vh.detached <- true
+      end)
+    atts;
+  (* Stale-translation hygiene: whatever ASID each dead core had
+     installed may still back TLB entries; flush it before the core is
+     handed to anyone else (one IPI per flushed core, like the other
+     shootdown paths). *)
+  let c = cost ctx in
+  List.iter
+    (fun cx ->
+      let tag = Core.current_tag cx.core in
+      if tag <> 0 then begin
+        Sj_tlb.Tlb.flush_tag (Core.tlb cx.core) ~tag;
+        Core.charge ctx.core c.cacheline_cross
+      end;
+      cx.cur <- None;
+      cx.attachments <- [];
+      Core.set_fault_handler cx.core None;
+      Core.set_page_table cx.core None)
+    siblings;
+  sys.ctxs <- List.filter (fun cx -> Process.pid cx.proc <> pid) sys.ctxs;
+  Process.exit ctx.proc;
+  (match obs ctx with
+  | Some r ->
+    emit_to r ctx
+      (Sj_obs.Event.Proc_crash { pid; locks = !locks; attachments = !attachments })
+  | None -> ());
+  Log.debug (fun m ->
+      m "process %d crashed: reclaimed %d locks, %d attachments" pid !locks
+        !attachments)
+
+(* Involuntary death of a single thread. The process lives on, and so
+   does the attachment lock state unless this thread was the last one
+   inside its current attachment — the §3.1 contract: locks belong to
+   the attaching process, the last thread out releases. *)
+let crash_thread_teardown ctx =
+  let sys = ctx.sys in
+  let pid = Process.pid ctx.proc in
+  (match ctx.cur with
+  | Some vh ->
+    vh.entered <- vh.entered - 1;
+    if vh.entered = 0 then ignore (reclaim_locks ctx ~pid vh);
+    ctx.cur <- None
+  | None -> ());
+  Core.set_fault_handler ctx.core None;
+  Core.set_page_table ctx.core None;
+  sys.ctxs <- List.filter (fun cx -> not (cx == ctx)) sys.ctxs
+
 (* Every API call crosses the kernel ABI through the dispatch table:
    the table charges the entry cost of the booted backend (a DragonFly
    syscall, or a Barrelfish RPC round trip to the SpaceJMP service) and
-   accounts the call against its ABI number. *)
-let call ctx nr body = Sys.invoke ctx.sys.tab ~cost:(cost ctx) ctx.core nr body
+   accounts the call against its ABI number. With a fault injector
+   attached, the injector decides before the body runs whether this
+   call proceeds, fails transiently, or kills the process; with no
+   injector (the default) the body is passed through untouched. *)
+let call ctx nr body =
+  let body =
+    match Injector.active (Machine.sim_ctx ctx.sys.machine) with
+    | None -> body
+    | Some inj ->
+      fun () ->
+        (match
+           Injector.on_syscall inj ~pid:(Process.pid ctx.proc)
+             ~nr:(Sys.number nr) ~held:(held_sids ctx)
+         with
+        | Injector.Pass -> ()
+        | Injector.Would_block ->
+          Error.fail Would_block ~op:(Sys.name nr) "injected transient failure"
+        | Injector.Kill ->
+          let pid = Process.pid ctx.proc in
+          Sys.count ctx.sys.tab Proc_crash;
+          crash_teardown ctx;
+          raise (Injector.Killed { pid; op = Sys.name nr }));
+        body ()
+  in
+  Sys.invoke ctx.sys.tab ~cost:(cost ctx) ctx.core nr body
+
 let ok_exn = function Ok v -> v | Error f -> Errors.raise_legacy f
 
 let check_acl ctx acl access ~op detail =
@@ -468,6 +626,11 @@ let vas_ctl_c ctx cmd =
       | `Revoke vas -> Cap.revoke (Registry.root_cap ctx.sys.reg vas)
       | `Destroy vas ->
         check_acl ctx (Vas.acl vas) `Write ~op:"vas_delete" "VAS not writable";
+        (* The ASID goes back to the registry's free list for reuse;
+           the next owner's alloc takes the recycle-flush path. *)
+        (match Vas.tag vas with
+        | Some tag -> Registry.release_tag ctx.sys.reg tag
+        | None -> ());
         Registry.unregister_vas ctx.sys.reg vas;
         Vas.destroy vas)
 
@@ -483,8 +646,17 @@ let exit_process_c ctx =
       List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
       Core.set_fault_handler ctx.core None;
       Core.set_page_table ctx.core None;
+      let pid = Process.pid ctx.proc in
+      ctx.sys.ctxs <- List.filter (fun cx -> Process.pid cx.proc <> pid) ctx.sys.ctxs;
       Process.exit ctx.proc;
-      Log.debug (fun m -> m "process %d exited" (Process.pid ctx.proc)))
+      Log.debug (fun m -> m "process %d exited" pid))
+
+(* Explicitly crash a process / thread — the same teardown the fault
+   injector runs on an injected kill, dispatched as the proc_crash ABI
+   entry (the kernel fields the death; the dead process issues
+   nothing). *)
+let crash_process_c ctx = call ctx Proc_crash (fun () -> crash_teardown ctx)
+let crash_thread_c ctx = call ctx Proc_crash (fun () -> crash_thread_teardown ctx)
 
 (* -------------------- Segment API -------------------- *)
 
@@ -633,6 +805,10 @@ let seg_ctl_c ctx cmd =
       match cmd with
       | `Grow (seg, by) ->
         check_acl ctx (Segment.acl seg) `Write ~op:"seg_ctl" "grow: segment not writable";
+        (match Injector.active (Machine.sim_ctx ctx.sys.machine) with
+        | Some inj when Injector.on_grow inj ->
+          Error.fail Capacity ~op:"seg_ctl" "injected allocation failure on grow"
+        | Some _ | None -> ());
         let grown = Segment.grow seg ~by ~charge_to:(Some ctx.core) in
         (* The shared heap (if any) gains the new space too. *)
         if Registry.has_heap ctx.sys.reg seg then
@@ -720,6 +896,25 @@ module Checked = struct
   let switch_home = switch_home_c
   let vas_ctl = vas_ctl_c
   let exit_process = exit_process_c
+  let crash_process = crash_process_c
+  let crash_thread = crash_thread_c
+
+  (* Bounded deterministic retry around transient [Would_block] on
+     vas_switch. Attempt k waits k * backoff_cycles before retrying
+     (linear backoff), charged to the calling core in simulated cycles
+     — pure simulation state, so -j 1 and -j N runs are byte-identical.
+     Any other fault, or Would_block past the attempt budget, is
+     returned to the caller. *)
+  let switch_retry ?(attempts = 8) ?(backoff_cycles = 1_000) ctx vh =
+    let rec go k =
+      match vas_switch_c ctx vh with
+      | Ok () -> Ok ()
+      | Error f when f.code = Error.Would_block && k < attempts ->
+        Core.charge ctx.core (k * backoff_cycles);
+        go (k + 1)
+      | Error f -> Error f
+    in
+    go 1
   let seg_alloc = seg_alloc_c
   let seg_alloc_anywhere = seg_alloc_anywhere_c
   let seg_find = seg_find_c
@@ -743,6 +938,8 @@ let vas_attach ctx vas = ok_exn (vas_attach_c ctx vas)
 let vas_switch ctx vh = ok_exn (vas_switch_c ctx vh)
 let vas_ctl ctx cmd = ok_exn (vas_ctl_c ctx cmd)
 let exit_process ctx = ok_exn (exit_process_c ctx)
+let crash_process ctx = ok_exn (crash_process_c ctx)
+let crash_thread ctx = ok_exn (crash_thread_c ctx)
 
 let seg_alloc ?huge ?tier ctx ~name ~base ~size ~mode =
   ok_exn (seg_alloc_c ?huge ?tier ctx ~name ~base ~size ~mode)

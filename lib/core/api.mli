@@ -93,6 +93,23 @@ val exit_process : ctx -> unit
     the process's private memory. VASes and segments it created live on
     (sec 3.2) — persistence beyond process lifetime is the point. *)
 
+val crash_process : ctx -> unit
+(** Involuntary process death (dispatched as the [proc_crash] ABI
+    entry) — the teardown a fault-injected kill runs. The kernel
+    reclaims on the dead process's behalf: every segment lock held by
+    any of its attachments is force-released (one charged lock
+    operation and a [Lock_reclaim] event per lock), attachments are
+    destroyed (counted page-table teardown), registry mapping records
+    dropped, the dead cores' tagged TLB footprints flushed, and the
+    process reclaimed. VASes and segments it created survive, orphaned
+    but consistent — a second process can attach (§3.2). *)
+
+val crash_thread : ctx -> unit
+(** Involuntary death of one thread. The process and its other threads
+    live on; the current attachment's locks are reclaimed only if this
+    thread was the last one switched into it (§3.1: locks belong to the
+    attaching process, the last thread out releases). *)
+
 val vas_ctl :
   ctx ->
   [ `Request_tag of Vas.t  (** assign a TLB tag (§4.4 tag hint) *)
@@ -196,6 +213,19 @@ module Checked : sig
   val vas_switch : ctx -> vh -> (unit, Sj_abi.Error.t) result
   val switch_home : ctx -> (unit, Sj_abi.Error.t) result
   val exit_process : ctx -> (unit, Sj_abi.Error.t) result
+  val crash_process : ctx -> (unit, Sj_abi.Error.t) result
+  val crash_thread : ctx -> (unit, Sj_abi.Error.t) result
+
+  val switch_retry :
+    ?attempts:int -> ?backoff_cycles:int -> ctx -> vh ->
+    (unit, Sj_abi.Error.t) result
+  (** {!vas_switch} with a bounded deterministic retry loop around
+      transient [Would_block]: attempt [k] (1-based) charges
+      [k * backoff_cycles] simulated cycles to the calling core before
+      retrying (linear backoff, default 8 attempts of 1000 cycles).
+      Purely simulated time — byte-identical at [-j 1] and [-j N]. Any
+      other fault, or [Would_block] after the last attempt, is
+      returned. *)
 
   val vas_ctl :
     ctx ->

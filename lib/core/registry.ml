@@ -21,6 +21,7 @@ type t = {
   mutable next_tag : int;
   mutable tags_wrapped : bool; (* a wrap happened: every tag handed out
                                   from now on has had a previous owner *)
+  mutable free_tags : int list; (* explicitly released tags, reused LIFO *)
   mutable switches : int;
 }
 
@@ -37,6 +38,7 @@ let create machine =
     services = Hashtbl.create 8;
     next_tag = 1;
     tags_wrapped = false;
+    free_tags = [];
     switches = 0;
   }
 
@@ -114,16 +116,28 @@ let mappings t ~sid =
   match Hashtbl.find_opt t.live_maps sid with Some l -> !l | None -> []
 
 let alloc_tag ?charge_to t =
-  let tag = t.next_tag in
-  (* Read the recycle flag before updating it: the first hand-out of
-     4095 is fresh; only tags issued after a wrap had a previous owner. *)
-  let recycled = t.tags_wrapped in
-  (* 12-bit tag space; wrap rather than fail, like PCID reuse. *)
-  if tag >= 4095 then begin
-    t.next_tag <- 1;
-    t.tags_wrapped <- true
-  end
-  else t.next_tag <- tag + 1;
+  (* Explicitly released tags (vas_delete, crash reclamation) are reused
+     first, LIFO; each has had a previous owner, so reuse takes the
+     recycle path below. Otherwise hand out the next fresh tag. *)
+  let tag, recycled =
+    match t.free_tags with
+    | tag :: rest ->
+      t.free_tags <- rest;
+      (tag, true)
+    | [] ->
+      let tag = t.next_tag in
+      (* Read the recycle flag before updating it: the first hand-out of
+         4095 is fresh; only tags issued after a wrap had a previous
+         owner. 12-bit tag space; wrap rather than fail, like PCID
+         reuse. *)
+      let recycled = t.tags_wrapped in
+      if tag >= 4095 then begin
+        t.next_tag <- 1;
+        t.tags_wrapped <- true
+      end
+      else t.next_tag <- tag + 1;
+      (tag, recycled)
+  in
   if recycled then begin
     (* The previous owner's translations may still be resident under
        this tag in any core's TLB; without a flush the new owner would
@@ -150,6 +164,10 @@ let alloc_tag ?charge_to t =
     | None -> ()
   end;
   tag
+
+let release_tag t tag =
+  if tag > 0 && not (List.mem tag t.free_tags) then
+    t.free_tags <- tag :: t.free_tags
 
 let count_switch t = t.switches <- t.switches + 1
 let switch_count t = t.switches

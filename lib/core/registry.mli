@@ -70,7 +70,15 @@ val alloc_tag : ?charge_to:Sj_machine.Machine.Core.core -> t -> int
     owner's translations are flushed from every core's TLB (INVPCID
     broadcast, one IPI per core charged to [charge_to]) and a
     [Tag_recycle] event is emitted, so the new owner can never hit a
-    stale entry. *)
+    stale entry. Tags released via {!release_tag} are reused first
+    (LIFO) and always take the recycle path. *)
+
+val release_tag : t -> int -> unit
+(** Return an ASID to the allocator (vas_delete, crash reclamation).
+    The next {!alloc_tag} prefers released tags and treats them as
+    recycled — flush broadcast and [Tag_recycle] event included.
+    [release_tag t 0] (untagged) is a no-op; double release is
+    idempotent. *)
 
 (** {2 Statistics} *)
 

@@ -1,0 +1,162 @@
+(* The per-simulation fault injector. Like Sj_obs.Recorder it hangs off
+   the simulation's Sim_ctx through an extensible slot ([Sim_ctx.fault]),
+   so the dispatch layer can consult it without depending on this
+   library's users, and two machines in two domains each fire their own
+   plan with no shared mutable state.
+
+   Hook discipline mirrors the observability emission guard: call sites
+   match on [active ctx] and do all injection work inside the [Some]
+   branch, so a run with no plan installed executes the exact same
+   instructions as before this module existed — zero cost, bit-identical
+   cycles and traces. *)
+
+module Sim_ctx = Sj_util.Sim_ctx
+module Rng = Sj_util.Rng
+
+exception Killed of { pid : int; op : string }
+
+(* Per-fault progress: a plan fault plus whether it already fired and,
+   for storms, how many injections remain. *)
+type slot = {
+  fault : Plan.fault;
+  mutable remaining : int; (* storms: injections left; others: unused *)
+  mutable done_ : bool;
+}
+
+type t = {
+  seed : int;
+  rng : Rng.t;
+  slots : slot list;
+  calls : (int * int, int) Hashtbl.t; (* (pid, nr) -> invocations so far *)
+  mutable grows : int;
+  mutable saves : int;
+  mutable fired_rev : Plan.fault list;
+}
+
+type Sim_ctx.fault += Injector of t
+
+type decision = Pass | Kill | Would_block
+
+let create ?(seed = 42) plan =
+  let slot f =
+    let remaining =
+      match f with Plan.Would_block_storm { count; _ } -> count | _ -> 0
+    in
+    { fault = f; remaining; done_ = false }
+  in
+  {
+    seed;
+    rng = Rng.create ~seed;
+    slots = List.map slot plan;
+    calls = Hashtbl.create 16;
+    grows = 0;
+    saves = 0;
+    fired_rev = [];
+  }
+
+let attach ctx t = Sim_ctx.set_fault ctx (Some (Injector t))
+
+let of_ctx ctx =
+  match Sim_ctx.fault ctx with Some (Injector t) -> Some t | _ -> None
+
+let active = of_ctx
+let seed t = t.seed
+let plan t = List.map (fun s -> s.fault) t.slots
+let fired t = List.rev t.fired_rev
+let record t f = t.fired_rev <- f :: t.fired_rev
+
+(* Called by the dispatch layer before an entry body runs. [held] is the
+   set of segment ids the invoking process currently holds locks on.
+   Kills take priority over storms; at most one fault fires per call. *)
+let on_syscall t ~pid ~nr ~held =
+  let key = (pid, nr) in
+  let count = 1 + (try Hashtbl.find t.calls key with Not_found -> 0) in
+  Hashtbl.replace t.calls key count;
+  let fire s = s.done_ <- true; record t s.fault in
+  let kill =
+    List.find_opt
+      (fun s ->
+        (not s.done_)
+        &&
+        match s.fault with
+        | Plan.Kill_at_syscall k ->
+          k.pid = pid && k.nr = nr && k.occurrence = count
+        | Plan.Kill_holding_lock k -> k.pid = pid && List.mem k.sid held
+        | _ -> false)
+      t.slots
+  in
+  match kill with
+  | Some s -> fire s; Kill
+  | None -> (
+    let storm =
+      List.find_opt
+        (fun s ->
+          s.remaining > 0
+          &&
+          match s.fault with
+          | Plan.Would_block_storm w -> w.pid = pid && w.nr = nr
+          | _ -> false)
+        t.slots
+    in
+    match storm with
+    | Some s ->
+      s.remaining <- s.remaining - 1;
+      if not s.done_ then fire s;
+      Would_block
+    | None -> Pass)
+
+(* Called once per segment grow; [true] means the grow must fail with
+   [Capacity]. *)
+let on_grow t =
+  t.grows <- t.grows + 1;
+  match
+    List.find_opt
+      (fun s ->
+        (not s.done_)
+        && match s.fault with Plan.Grow_fail g -> g.nth = t.grows | _ -> false)
+      t.slots
+  with
+  | Some s -> s.done_ <- true; record t s.fault; true
+  | None -> false
+
+(* Called with each complete persist image before it is handed to the
+   caller; a matching Torn_write truncates it at the planned (or
+   seeded-random) offset, simulating a writer that died mid-write. The
+   fired log records the resolved offset so a failing seed can be
+   replayed with an explicit [at_byte]. *)
+let tear_save t img =
+  t.saves <- t.saves + 1;
+  match
+    List.find_opt
+      (fun s ->
+        (not s.done_)
+        && match s.fault with Plan.Torn_write w -> w.save = t.saves | _ -> false)
+      t.slots
+  with
+  | None -> img
+  | Some s ->
+    s.done_ <- true;
+    let len = Bytes.length img in
+    let at =
+      match s.fault with
+      | Plan.Torn_write { at_byte; _ } when at_byte >= 0 && at_byte < len ->
+        at_byte
+      | _ -> 1 + Rng.int t.rng (max 1 (len - 1))
+    in
+    record t (Plan.Torn_write { save = t.saves; at_byte = at });
+    Bytes.sub img 0 at
+
+(* Ambient default, read by Machine.create: [None] means machines boot
+   with no injector; [Some (plan, seed)] means every machine created in
+   this dynamic extent gets a fresh injector for that plan. Domain-local
+   (like Recorder.with_tracing) so parallel trials each build their own
+   injector and -j 1 vs -j N runs fire identically. *)
+let ambient : (Plan.t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ambient_plan () = Domain.DLS.get ambient
+
+let with_plan ?(seed = 42) plan f =
+  let prev = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some (plan, seed));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient prev) f

@@ -1,0 +1,66 @@
+(** Per-simulation fault injector.
+
+    An injector is attached to a simulation's [Sim_ctx] (through the
+    extensible [Sim_ctx.fault] slot, like [Sj_obs.Recorder]) and
+    interprets one {!Plan}. Hook sites in the dispatch, grow and
+    persist paths consult it via [active ctx] and do all injection work
+    inside the [Some] branch, so a run with no plan installed is
+    bit-identical — same cycles, same traces — to a build without the
+    subsystem.
+
+    Determinism contract: faults fire at points defined purely by
+    simulation state (a pid's n-th invocation of a dispatch entry, the
+    n-th grow, the n-th save); the only randomness is the torn-write
+    offset when [at_byte = -1], drawn from the injector's own seeded
+    generator. Same plan + same seed = same faults at the same simulated
+    cycles, at [-j 1] and [-j N] alike. *)
+
+type t
+
+type Sj_util.Sim_ctx.fault += Injector of t
+
+exception Killed of { pid : int; op : string }
+(** Raised out of a dispatch call whose invoking process was killed by
+    the injector, after crash teardown has completed. Not an
+    [Sj_abi.Error.Fault]: death is not an errno. *)
+
+type decision = Pass | Kill | Would_block
+
+val create : ?seed:int -> Plan.t -> t
+(** Fresh injector for [plan]; [seed] (default 42) feeds the torn-write
+    offset generator. *)
+
+val attach : Sj_util.Sim_ctx.t -> t -> unit
+val of_ctx : Sj_util.Sim_ctx.t -> t option
+
+val active : Sj_util.Sim_ctx.t -> t option
+(** The attached injector, if any — the hook-site guard. *)
+
+val seed : t -> int
+val plan : t -> Plan.t
+
+val fired : t -> Plan.t
+(** Faults that have fired so far, in firing order. A [Torn_write] is
+    recorded with its resolved byte offset, so a failing seeded run can
+    be replayed with an explicit [at_byte]. *)
+
+val on_syscall : t -> pid:int -> nr:int -> held:int list -> decision
+(** Consulted by the dispatch layer before an entry body runs. [held]
+    lists the segment ids the invoking process holds locks on. Kills
+    take priority over storms; at most one fault fires per call. *)
+
+val on_grow : t -> bool
+(** Counts one segment grow; [true] means this grow must fail with
+    [Capacity]. *)
+
+val tear_save : t -> bytes -> bytes
+(** Counts one persist save; a matching [Torn_write] returns the image
+    truncated at the planned (or seeded-random) offset. *)
+
+val ambient_plan : unit -> (Plan.t * int) option
+(** Domain-local default consulted by [Machine.create]: [Some (plan,
+    seed)] means new machines boot with a fresh injector attached. *)
+
+val with_plan : ?seed:int -> Plan.t -> (unit -> 'a) -> 'a
+(** [with_plan plan f] runs [f] with the ambient default set (like
+    [Recorder.with_tracing]); domain-local, restored on exit. *)

@@ -1,0 +1,167 @@
+(* Availability under faults (lib/fault meets RedisJMP).
+
+   One writer — the victim — switches into the store's read-write VAS,
+   taking the data segment's exclusive lock, and is then killed by the
+   fault injector at its next syscall while still holding it. The
+   surviving reader clients keep issuing requests throughout: while the
+   dead holder wedges the lock they burn bounded, charged retry/backoff
+   budgets ([Redisjmp.execute_retry]); once the kernel's crash teardown
+   reclaims the lock they serve normally again. A late-arriving process
+   then attaches to the orphaned VAS and round-trips a write, the
+   paper's "address space outlives its creator" claim under the least
+   graceful exit possible.
+
+   Everything is measured in simulated cycles on the core that did the
+   work, and the whole run is a deterministic function of the config
+   (single timeline, seeded injector). *)
+
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Error = Sj_abi.Error
+module Plan = Sj_fault.Plan
+module Injector = Sj_fault.Injector
+module Recorder = Sj_obs.Recorder
+module Metrics = Sj_obs.Metrics
+
+type config = {
+  platform : Platform.t;
+  backend : Api.backend;
+  clients : int;
+  requests_per_client : int;  (** per phase: healthy, storm, recovered *)
+  value_size : int;
+  keyspace : int;
+  retry_attempts : int;
+  backoff_cycles : int;
+  victim_work_cycles : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    platform = Platform.m1;
+    backend = Api.Dragonfly;
+    clients = 4;
+    requests_per_client = 32;
+    value_size = 16;
+    keyspace = 128;
+    retry_attempts = 4;
+    backoff_cycles = 2_000;
+    victim_work_cycles = 250_000;
+    seed = 42;
+  }
+
+type result = {
+  served_before : int;
+  stalled_requests : int;
+  stall_cycles : int;
+  outage_cycles : int;
+  recovery_cycles : int;
+  served_after : int;
+  crashes : int;
+  lock_reclaims : int;
+  survivors_ok : bool;
+  lock_free : bool;
+  orphan_served : bool;
+}
+
+let run cfg =
+  let machine = Machine.create cfg.platform in
+  let rec_ = Recorder.create () in
+  Recorder.attach (Machine.sim_ctx machine) rec_;
+  let sys = Api.boot ~backend:cfg.backend machine in
+  let ncores = Platform.total_cores cfg.platform in
+  (* Bootstrap: initialize and pre-populate the store. *)
+  let boot_proc = Process.create ~name:"boot" machine in
+  let boot_ctx = Api.context sys boot_proc (Machine.core machine 0) in
+  let store = Redisjmp.init boot_ctx ~name:"redis" ~size:(Size.mib 8) in
+  let boot_client = Redisjmp.connect store boot_ctx () in
+  let keys = Array.init cfg.keyspace (Printf.sprintf "key:%06d") in
+  let value = Bytes.make cfg.value_size 'v' in
+  Array.iter (fun k -> Redisjmp.set boot_client k value) keys;
+  (* Surviving clients, one process each, spread over the machine. *)
+  let survivors =
+    Array.init cfg.clients (fun i ->
+        let proc = Process.create ~name:(Printf.sprintf "client%d" i) machine in
+        let core = Machine.core machine ((i + 2) mod ncores) in
+        let ctx = Api.context sys proc core in
+        (Redisjmp.connect store ctx (), core, Rng.create ~seed:(cfg.seed + (31 * i) + 1)))
+  in
+  (* The victim works at the API level: it holds the exclusive lock
+     across a window instead of for the duration of one command. *)
+  let victim_proc = Process.create ~name:"victim" machine in
+  let victim_core = Machine.core machine (1 mod ncores) in
+  let victim_ctx = Api.context sys victim_proc victim_core in
+  let victim_vh = Api.vas_attach victim_ctx (Api.vas_find victim_ctx ~name:"redis.rw") in
+  let serve (client, _, rng) =
+    let key = keys.(Rng.int rng cfg.keyspace) in
+    Redisjmp.execute_retry ~attempts:cfg.retry_attempts
+      ~backoff_cycles:cfg.backoff_cycles client (Resp.Get key)
+  in
+  let phase () =
+    let ok = ref 0 and stalled = ref 0 and cycles = ref 0 in
+    for _ = 1 to cfg.requests_per_client do
+      Array.iter
+        (fun ((_, core, _) as s) ->
+          let t0 = Core.cycles core in
+          (match serve s with Ok _ -> incr ok | Error _ -> incr stalled);
+          cycles := !cycles + (Core.cycles core - t0))
+        survivors
+    done;
+    (!ok, !stalled, !cycles)
+  in
+  (* Phase 1: healthy baseline. *)
+  let served_before, _, _ = phase () in
+  (* Phase 2: the victim takes the exclusive lock, then the injector is
+     armed to kill it at its next syscall while still holding it. *)
+  Api.vas_switch victim_ctx victim_vh;
+  let t_wedge = Core.cycles victim_core in
+  let data_sid = Segment.sid (Redisjmp.data_segment store) in
+  Injector.attach (Machine.sim_ctx machine)
+    (Injector.create ~seed:cfg.seed
+       [ Plan.kill_holding_lock ~pid:(Process.pid victim_proc) ~sid:data_sid ]);
+  (* Phase 3: the storm — the victim computes inside the space while
+     every survivor request finds the lock wedged by a holder that will
+     never release it, and exhausts its charged retry budget. *)
+  Core.charge victim_core cfg.victim_work_cycles;
+  let _, stalled_requests, stall_cycles = phase () in
+  (* Phase 4: the victim's next syscall fires the kill; crash teardown
+     reclaims its locks, detaches it, and recycles its cores. *)
+  let t_kill = Core.cycles victim_core in
+  let crashed =
+    match Api.switch_home victim_ctx with
+    | () -> false
+    | exception Injector.Killed _ -> true
+  in
+  let t_reclaimed = Core.cycles victim_core in
+  (* Phase 5: recovered — survivors serve normally again. *)
+  let served_after, _, _ = phase () in
+  (* A fresh process attaches to the orphaned VAS and round-trips a
+     write through it. *)
+  let late_proc = Process.create ~name:"late" machine in
+  let late_ctx = Api.context sys late_proc (Machine.core machine (1 mod ncores)) in
+  let late_client = Redisjmp.connect store late_ctx () in
+  let marker = Bytes.make cfg.value_size 'z' in
+  Redisjmp.set late_client keys.(0) marker;
+  let orphan_served = Redisjmp.get late_client keys.(0) = Some marker in
+  let m = Recorder.metrics rec_ in
+  let want = cfg.clients * cfg.requests_per_client in
+  {
+    served_before;
+    stalled_requests;
+    stall_cycles;
+    outage_cycles = t_reclaimed - t_wedge;
+    recovery_cycles = t_reclaimed - t_kill;
+    served_after;
+    crashes = Metrics.crashes m;
+    lock_reclaims = Metrics.lock_reclaims m;
+    survivors_ok =
+      crashed && served_before = want && served_after = want
+      && not (Process.is_live victim_proc);
+    lock_free = Segment.lock_state (Redisjmp.data_segment store) = Segment.Unlocked;
+    orphan_served;
+  }

@@ -1,0 +1,54 @@
+(** Availability-under-faults harness for RedisJMP.
+
+    Measures what the SpaceJMP model buys when a lock holder dies: a
+    writer is killed by the fault injector ({!Sj_fault.Injector}) while
+    holding the store segment's exclusive lock, reader clients keep
+    issuing requests through the bounded retry path
+    ({!Redisjmp.execute_retry}), and the run reports how long the lock
+    stayed wedged, what the survivors paid in charged backoff, and how
+    expensive the kernel's crash reclamation was — all in simulated
+    cycles on the core that did the work. Deterministic: same config,
+    same numbers. *)
+
+type config = {
+  platform : Sj_machine.Platform.t;
+  backend : Sj_core.Api.backend;
+  clients : int;  (** surviving reader clients *)
+  requests_per_client : int;  (** per phase: healthy, storm, recovered *)
+  value_size : int;
+  keyspace : int;
+  retry_attempts : int;  (** switch_retry budget per request *)
+  backoff_cycles : int;  (** switch_retry backoff unit *)
+  victim_work_cycles : int;
+      (** cycles the victim computes inside the space while holding the
+          lock, before the kill fires *)
+  seed : int;
+}
+
+val default_config : config
+(** M1, Dragonfly backend, 4 survivors, 32 requests per phase. *)
+
+type result = {
+  served_before : int;  (** requests served before the lock wedged *)
+  stalled_requests : int;
+      (** requests whose full retry budget ran out during the outage *)
+  stall_cycles : int;
+      (** survivor-core cycles burned on stalled requests (incl. the
+          charged backoff) *)
+  outage_cycles : int;
+      (** victim-core cycles from lock acquisition to reclamation *)
+  recovery_cycles : int;
+      (** victim-core cycles the crash teardown itself took *)
+  served_after : int;  (** requests served after reclamation *)
+  crashes : int;  (** [Proc_crash] events observed (expected 1) *)
+  lock_reclaims : int;  (** [Lock_reclaim] events observed *)
+  survivors_ok : bool;
+      (** the victim died, and every survivor request outside the
+          outage window completed *)
+  lock_free : bool;  (** data segment unlocked at the end *)
+  orphan_served : bool;
+      (** a process created after the crash attached to the orphaned
+          VAS and round-tripped a write *)
+}
+
+val run : config -> result

@@ -122,12 +122,12 @@ let with_scratch c f =
   Option.iter (Sj_alloc.Mspace.free c.scratch_heap) a;
   r
 
-let execute c cmd =
+let execute_with ~switch c cmd =
   let dict = Store.dict c.t.store in
   if is_write_command cmd then begin
     (* Exclusive path: switch in read-write, catch up deferred
        rehashing now that no readers can observe us. *)
-    Api.vas_switch c.ctx c.vh_rw;
+    switch c.ctx c.vh_rw;
     Dict.set_mem dict c.mem;
     Dict.set_rehash_allowed dict true;
     if Dict.rehash_pending dict then Dict.force_rehash_step dict 4;
@@ -141,7 +141,7 @@ let execute c cmd =
       with Sj_mem.Phys_mem.Out_of_memory when attempts > 0 ->
         Api.switch_home c.ctx;
         Api.seg_ctl c.ctx (`Grow (c.t.seg, Segment.size c.t.seg));
-        Api.vas_switch c.ctx c.vh_rw;
+        switch c.ctx c.vh_rw;
         Dict.set_mem dict c.mem;
         run_growing (attempts - 1)
     in
@@ -157,7 +157,7 @@ let execute c cmd =
   end
   else begin
     (* Shared path: read-only mapping, rehashing disabled. *)
-    Api.vas_switch c.ctx c.vh_ro;
+    switch c.ctx c.vh_ro;
     Dict.set_mem dict c.mem;
     Dict.set_rehash_allowed dict false;
     let reply = with_scratch c (fun () -> Store.execute c.t.store cmd) in
@@ -165,6 +165,21 @@ let execute c cmd =
     Api.switch_home c.ctx;
     reply
   end
+
+let execute c cmd = execute_with ~switch:Api.vas_switch c cmd
+
+(* Same jump, but admission goes through the bounded deterministic
+   retry loop: a client that finds the segment lock wedged (e.g. by a
+   crashed holder not yet reclaimed) backs off in simulated cycles
+   instead of faulting on the first conflict. *)
+let execute_retry ?attempts ?backoff_cycles c cmd =
+  let switch ctx vh =
+    match Api.Checked.switch_retry ?attempts ?backoff_cycles ctx vh with
+    | Ok () -> ()
+    | Error f -> raise (Error.Fault f)
+  in
+  try Ok (execute_with ~switch c cmd)
+  with Error.Fault f when f.code = Error.Would_block -> Error f
 
 let get c key = match execute c (Resp.Get key) with Bulk v -> Some v | _ -> None
 

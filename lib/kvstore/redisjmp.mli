@@ -43,6 +43,20 @@ val execute : client -> Resp.command -> Resp.reply
     client coordinates (§1, §2.3). Raises [Errors.Would_block] if the
     segment lock is unavailable. *)
 
+val execute_retry :
+  ?attempts:int ->
+  ?backoff_cycles:int ->
+  client ->
+  Resp.command ->
+  (Resp.reply, Sj_abi.Error.t) result
+(** Like {!execute}, but every switch into the store goes through
+    [Api.Checked.switch_retry]: on a lock conflict the client backs off
+    (charged, deterministic, linear in simulated cycles) and retries up
+    to [attempts] times before giving up with [Error] ([Would_block]).
+    The availability harness ({!Kv_avail}) uses this so surviving
+    clients ride out the window in which a crashed lock holder has not
+    yet been reclaimed. *)
+
 val get : client -> string -> bytes option
 val set : client -> string -> bytes -> unit
 val store : t -> Store.t

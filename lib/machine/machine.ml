@@ -107,6 +107,13 @@ let create ?fast (platform : Platform.t) =
                    (Sj_obs.Event.Tlb_flush { flush; entries })
                | None -> ())))
       cores);
+  (* Ambient fault plan (Injector.with_plan): give the machine its own
+     injector for the plan. With no plan nothing is attached and every
+     hook site short-circuits on [active = None]. *)
+  (match Sj_fault.Injector.ambient_plan () with
+  | None -> ()
+  | Some (plan, seed) ->
+    Sj_fault.Injector.attach t.ctx (Sj_fault.Injector.create ~seed plan));
   t
 
 let platform t = t.platform

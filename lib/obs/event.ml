@@ -24,6 +24,11 @@ type kind =
   | Seg_unlock of { sid : int }
   | Page_fault of { va : int; write : bool; resolved : bool }
   | Pt_teardown of { pte_clears : int }
+  | Proc_crash of { pid : int; locks : int; attachments : int }
+      (** Involuntary teardown: [locks] segment locks and [attachments]
+          VAS attachments were reclaimed from the dead process. *)
+  | Lock_reclaim of { sid : int; pid : int }
+      (** A segment lock force-released from crashed process [pid]. *)
 
 type t = { seq : int; core : int; cycles : int; kind : kind }
 
@@ -38,6 +43,8 @@ let name = function
   | Seg_unlock _ -> "seg_unlock"
   | Page_fault _ -> "page_fault"
   | Pt_teardown _ -> "pt_teardown"
+  | Proc_crash _ -> "proc_crash"
+  | Lock_reclaim _ -> "lock_reclaim"
 
 let flush_to_string = function
   | Flush_nonglobal -> "nonglobal"
@@ -66,6 +73,11 @@ let args_json = function
         resolved
   | Pt_teardown { pte_clears } ->
       Printf.sprintf {|{"pte_clears":%d}|} pte_clears
+  | Proc_crash { pid; locks; attachments } ->
+      Printf.sprintf {|{"pid":%d,"locks":%d,"attachments":%d}|} pid locks
+        attachments
+  | Lock_reclaim { sid; pid } ->
+      Printf.sprintf {|{"sid":%d,"pid":%d}|} sid pid
 
 let to_string e =
   Printf.sprintf "%08d %10d c%d %-18s %s" e.seq e.cycles e.core (name e.kind)

@@ -24,6 +24,11 @@ type kind =
   | Seg_unlock of { sid : int }
   | Page_fault of { va : int; write : bool; resolved : bool }
   | Pt_teardown of { pte_clears : int }
+  | Proc_crash of { pid : int; locks : int; attachments : int }
+      (** Involuntary teardown: [locks] segment locks and [attachments]
+          VAS attachments were reclaimed from the dead process. *)
+  | Lock_reclaim of { sid : int; pid : int }
+      (** A segment lock force-released from crashed process [pid]. *)
 
 type t = {
   seq : int;  (** per-recorder emission order, from 0 *)

@@ -30,6 +30,9 @@ type t = {
   mutable faults_resolved : int;
   mutable teardowns : int;
   mutable teardown_pte_clears : int;
+  (* crash recovery *)
+  mutable crashes : int;
+  mutable lock_reclaims : int;
 }
 
 let create () =
@@ -52,6 +55,8 @@ let create () =
     faults_resolved = 0;
     teardowns = 0;
     teardown_pte_clears = 0;
+    crashes = 0;
+    lock_reclaims = 0;
   }
 
 let record t (kind : Event.kind) =
@@ -83,6 +88,8 @@ let record t (kind : Event.kind) =
   | Pt_teardown { pte_clears } ->
       t.teardowns <- t.teardowns + 1;
       t.teardown_pte_clears <- t.teardown_pte_clears + pte_clears
+  | Proc_crash _ -> t.crashes <- t.crashes + 1
+  | Lock_reclaim _ -> t.lock_reclaims <- t.lock_reclaims + 1
 
 let syscall_rows t =
   let out = ref [] in
@@ -98,6 +105,9 @@ let syscall_rows t =
         :: !out
   done;
   !out
+
+let crashes t = t.crashes
+let lock_reclaims t = t.lock_reclaims
 
 let describe t =
   let b = Buffer.create 1024 in
@@ -120,6 +130,8 @@ let describe t =
     t.lock_conflicts t.lock_releases;
   p "faults:   total=%d resolved=%d\n" t.faults t.faults_resolved;
   p "teardown: vmspaces=%d pte_clears=%d\n" t.teardowns t.teardown_pte_clears;
+  if t.crashes > 0 || t.lock_reclaims > 0 then
+    p "crashes:  procs=%d lock_reclaims=%d\n" t.crashes t.lock_reclaims;
   Buffer.contents b
 
 let to_json t =
@@ -148,7 +160,9 @@ let to_json t =
     t.lock_acquires t.lock_conflicts t.lock_releases;
   p "  \"faults\": {\"total\":%d,\"resolved\":%d},\n" t.faults
     t.faults_resolved;
-  p "  \"teardown\": {\"vmspaces\":%d,\"pte_clears\":%d}\n" t.teardowns
+  p "  \"teardown\": {\"vmspaces\":%d,\"pte_clears\":%d},\n" t.teardowns
     t.teardown_pte_clears;
+  p "  \"crashes\": {\"procs\":%d,\"lock_reclaims\":%d}\n" t.crashes
+    t.lock_reclaims;
   p "}\n";
   Buffer.contents b

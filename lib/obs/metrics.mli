@@ -16,6 +16,12 @@ val syscall_rows : t -> (int * string * int * int * int * Hist.t) list
 (** [(nr, name, calls, faults, total_cycles, hist)] for every dispatch
     entry that was called at least once, ascending by number. *)
 
+val crashes : t -> int
+(** Processes torn down involuntarily ([Proc_crash] events). *)
+
+val lock_reclaims : t -> int
+(** Segment locks force-released from dead holders ([Lock_reclaim]). *)
+
 val describe : t -> string
 (** Human-readable multi-line summary ([sjctl stats]). *)
 

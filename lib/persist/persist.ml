@@ -14,8 +14,18 @@ module Vas = Sj_core.Vas
 module Errors = Sj_core.Errors
 module Error = Sj_abi.Error
 module Sys = Sj_abi.Sys
+module Crc32 = Sj_compress.Crc32
+module Injector = Sj_fault.Injector
 
-let magic = "SJIMG1"
+(* Two-phase image format (SJIMG2): a header, CRC-framed sections, and
+   a commit record written last. A torn write — the writer dying partway
+   through — leaves either a truncated section or a missing/mismatched
+   commit record, both detected before any state is rebuilt; a silent
+   bit-flip trips a section CRC. SJIMG1 (no checksums) is not read. *)
+let magic = "SJIMG2"
+let commit_marker = "SJOK"
+let sect_segs = 1
+let sect_vases = 2
 
 (* ---------- primitive writers/readers ---------- *)
 
@@ -76,12 +86,10 @@ let write_contents machine seg data =
 
 (* ---------- save ---------- *)
 
-let save sys =
-  Sys.count (Api.syscalls sys) Persist_save;
+let segs_payload sys =
   let reg = Api.registry sys in
   let machine = Api.machine sys in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
   let segs = List.sort (fun a b -> compare (Segment.name a) (Segment.name b)) (Registry.list_segs reg) in
   Varint.write buf (List.length segs);
   List.iter
@@ -109,6 +117,11 @@ let save sys =
       (* Contents, compressed. *)
       w_bytes buf (Block_lz.compress (read_contents machine seg)))
     segs;
+  Buffer.to_bytes buf
+
+let vases_payload sys =
+  let reg = Api.registry sys in
+  let buf = Buffer.create 1024 in
   let vases = List.sort (fun a b -> compare (Vas.name a) (Vas.name b)) (Registry.list_vases reg) in
   Varint.write buf (List.length vases);
   List.iter
@@ -126,31 +139,114 @@ let save sys =
     vases;
   Buffer.to_bytes buf
 
-(* ---------- restore ---------- *)
+let write_section buf ~kind payload =
+  Varint.write buf kind;
+  Varint.write buf (Bytes.length payload);
+  Buffer.add_bytes buf payload;
+  Varint.write buf (Crc32.bytes payload)
 
-let check_magic b =
-  if Bytes.length b < String.length magic || Bytes.sub_string b 0 (String.length magic) <> magic
-  then Error.fail Invalid ~op:"persist_restore" "bad image magic"
+(* Phase one writes the sections; phase two appends the commit record (a
+   marker plus a CRC over everything before it). An injected torn write
+   truncates the finished image, exactly as if the writer died mid-way. *)
+let save sys =
+  Sys.count (Api.syscalls sys) Persist_save;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Varint.write buf 2;
+  write_section buf ~kind:sect_segs (segs_payload sys);
+  write_section buf ~kind:sect_vases (vases_payload sys);
+  let body = Buffer.to_bytes buf in
+  let tail = Buffer.create 16 in
+  Buffer.add_string tail commit_marker;
+  Varint.write tail (Crc32.bytes body);
+  let img = Bytes.cat body (Buffer.to_bytes tail) in
+  match Injector.active (Machine.sim_ctx (Api.machine sys)) with
+  | Some inj -> Injector.tear_save inj img
+  | None -> img
+
+(* ---------- image verification ---------- *)
+
+let invalid detail = Error.fail Invalid ~op:"persist_restore" detail
+
+(* Parse and verify the two-phase frame: magic, every section's CRC,
+   and the commit record written last. Returns [(kind, payload)] in
+   file order. Any truncation (torn write) or checksum mismatch (bit
+   flip) raises the typed [Invalid] fault before a byte of simulation
+   state is touched. *)
+let sections image =
+  let mlen = String.length magic in
+  if Bytes.length image < mlen || Bytes.sub_string image 0 mlen <> magic then
+    invalid "bad image magic";
+  try
+    let pos = ref mlen in
+    let next_varint () =
+      let v, p = Varint.read image ~pos:!pos in
+      pos := p;
+      v
+    in
+    let n = next_varint () in
+    let sects =
+      List.init n (fun _ ->
+          let kind = next_varint () in
+          let len = next_varint () in
+          if !pos + len > Bytes.length image then
+            invalid "torn image: truncated section";
+          let payload = Bytes.sub image !pos len in
+          pos := !pos + len;
+          let crc = next_varint () in
+          if crc <> Crc32.bytes payload then invalid "section CRC mismatch";
+          (kind, payload))
+    in
+    let body_len = !pos in
+    let clen = String.length commit_marker in
+    if
+      body_len + clen > Bytes.length image
+      || Bytes.sub_string image body_len clen <> commit_marker
+    then invalid "torn image: missing commit record";
+    pos := body_len + clen;
+    let crc = next_varint () in
+    if crc <> Crc32.update 0 image ~pos:0 ~len:body_len then
+      invalid "commit record CRC mismatch";
+    sects
+  with Invalid_argument _ -> invalid "torn image: truncated varint"
+
+let committed image =
+  match sections image with
+  | _ -> true
+  | exception Error.Fault _ -> false
+
+let find_section sects kind =
+  match List.assoc_opt kind sects with
+  | Some payload -> payload
+  | None -> invalid "missing image section"
+
+(* Positioned readers over one section payload. *)
+let reader b =
+  let pos = ref 0 in
+  let next_varint () =
+    let v, p = Varint.read b ~pos:!pos in
+    pos := p;
+    v
+  in
+  let next_string () =
+    let v, p = r_string b !pos in
+    pos := p;
+    v
+  in
+  (pos, next_varint, next_string)
+
+(* ---------- restore ---------- *)
 
 (* Faults from the registry/VAS layer (e.g. a name collision with the
    live system) surface as the namesake legacy exceptions; image-format
    faults stay typed. *)
 let restore sys image =
   Sys.count (Api.syscalls sys) Persist_restore;
-  check_magic image;
+  let sects = sections image in
   let reg = Api.registry sys in
   let machine = Api.machine sys in
-  let pos = ref (String.length magic) in
-  let next_varint () =
-    let v, p = Varint.read image ~pos:!pos in
-    pos := p;
-    v
-  in
-  let next_string () =
-    let v, p = r_string image !pos in
-    pos := p;
-    v
-  in
+  let image = find_section sects sect_segs in
+  let pos, next_varint, next_string = reader image in
   let n_segs = next_varint () in
   for _ = 1 to n_segs do
     let name = next_string () in
@@ -180,6 +276,8 @@ let restore sys image =
     if chunks <> [] then
       Registry.set_heap reg seg (Mspace.of_snapshot ~base ~size chunks)
   done;
+  let image = find_section sects sect_vases in
+  let pos, next_varint, next_string = reader image in
   let n_vases = next_varint () in
   for _ = 1 to n_vases do
     let name = next_string () in
@@ -199,19 +297,10 @@ let restore sys image =
   done
 
 let describe image =
-  check_magic image;
+  let sects = sections image in
   let buf = Buffer.create 512 in
-  let pos = ref (String.length magic) in
-  let next_varint () =
-    let v, p = Varint.read image ~pos:!pos in
-    pos := p;
-    v
-  in
-  let next_string () =
-    let v, p = r_string image !pos in
-    pos := p;
-    v
-  in
+  let image = find_section sects sect_segs in
+  let pos, next_varint, next_string = reader image in
   let n_segs = next_varint () in
   Buffer.add_string buf (Printf.sprintf "segments (%d):\n" n_segs);
   for _ = 1 to n_segs do
@@ -244,6 +333,9 @@ let describe image =
          owner mode !live (Size.to_string !used)
          (Size.to_string (Bytes.length compressed)))
   done;
+  let image = find_section sects sect_vases in
+  let pos, next_varint, next_string = reader image in
+  ignore pos;
   let n_vases = next_varint () in
   Buffer.add_string buf (Printf.sprintf "address spaces (%d):\n" n_vases);
   for _ = 1 to n_vases do
@@ -266,13 +358,10 @@ let describe image =
   Buffer.contents buf
 
 let image_info image =
-  check_magic image;
-  let pos = ref (String.length magic) in
-  let next_varint () =
-    let v, p = Varint.read image ~pos:!pos in
-    pos := p;
-    v
-  in
+  let sects = sections image in
+  let total_len = Bytes.length image in
+  let image = find_section sects sect_segs in
+  let pos, next_varint, _next_string = reader image in
   let n_segs = next_varint () in
   let total = ref 0 in
   for _ = 1 to n_segs do
@@ -294,7 +383,75 @@ let image_info image =
     ignore contents;
     pos := p
   done;
+  let image = find_section sects sect_vases in
+  let _pos, next_varint, _next_string = reader image in
   let n_vases = next_varint () in
   Printf.sprintf "%d segment(s), %s logical, %d VAS(es), image %s" n_segs
     (Size.to_string !total) n_vases
-    (Size.to_string (Bytes.length image))
+    (Size.to_string total_len)
+
+(* ---------- journal ---------- *)
+
+(* An append-only sequence of committed images:
+   one entry = "SJNT" + varint length + image + varint CRC32(image) + "SJCM".
+   Recovery scans forward and keeps the last entry that is structurally
+   complete, CRC-clean, AND whose image carries a valid commit record —
+   so a torn write (whether it tore the journal tail or the image being
+   appended) falls back to the previous committed image instead of
+   faulting mid-restore. *)
+module Journal = struct
+  let entry_marker = "SJNT"
+  let entry_commit = "SJCM"
+  let empty = Bytes.create 0
+
+  let append journal image =
+    let buf = Buffer.create (Bytes.length journal + Bytes.length image + 32) in
+    Buffer.add_bytes buf journal;
+    Buffer.add_string buf entry_marker;
+    Varint.write buf (Bytes.length image);
+    Buffer.add_bytes buf image;
+    Varint.write buf (Crc32.bytes image);
+    Buffer.add_string buf entry_commit;
+    Buffer.to_bytes buf
+
+  (* One structurally complete entry at [pos], or None on a torn tail. *)
+  let read_entry journal pos =
+    let total = Bytes.length journal in
+    let mlen = String.length entry_marker in
+    if pos + mlen > total || Bytes.sub_string journal pos mlen <> entry_marker
+    then None
+    else
+      match Varint.read journal ~pos:(pos + mlen) with
+      | exception Invalid_argument _ -> None
+      | len, p -> (
+        if p + len > total then None
+        else
+          let img = Bytes.sub journal p len in
+          match Varint.read journal ~pos:(p + len) with
+          | exception Invalid_argument _ -> None
+          | crc, p ->
+            let clen = String.length entry_commit in
+            if
+              p + clen > total
+              || Bytes.sub_string journal p clen <> entry_commit
+            then None
+            else Some (img, crc, p + clen))
+
+  let fold f acc journal =
+    let rec go acc pos =
+      if pos >= Bytes.length journal then acc
+      else
+        match read_entry journal pos with
+        | None -> acc (* torn tail: ignore everything from here on *)
+        | Some (img, crc, next) -> go (f acc img crc) next
+    in
+    go acc 0
+
+  let entries journal = fold (fun n _ _ -> n + 1) 0 journal
+
+  let recover journal =
+    fold
+      (fun best img crc ->
+        if crc = Crc32.bytes img && committed img then Some img else best)
+      None journal
+end

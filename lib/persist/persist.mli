@@ -17,13 +17,42 @@
     segment. *)
 
 val save : Sj_core.Api.system -> bytes
-(** Serialize all registered segments and VASes. Deterministic. *)
+(** Serialize all registered segments and VASes as a two-phase image
+    (SJIMG2): header, per-section CRC32 frames, commit record last.
+    Deterministic. When the simulation has a fault injector attached, a
+    planned [Torn_write] truncates the returned image as if the writer
+    died mid-write. *)
 
 val restore : Sj_core.Api.system -> bytes -> unit
 (** Rebuild the image's segments and VASes inside [system] (normally a
-    freshly booted one). Raises [Errors.Name_exists] if names collide
-    with already-registered objects, [Invalid_argument] on a corrupt
-    image. *)
+    freshly booted one). The frame is verified before any state is
+    touched: a bad magic, truncated section, CRC mismatch, or missing
+    commit record raises the typed [Invalid] fault. Raises
+    [Errors.Name_exists] if names collide with already-registered
+    objects. *)
+
+val committed : bytes -> bool
+(** Whether the image verifies end to end (magic, section CRCs, commit
+    record) — a torn or bit-flipped image is not committed. *)
+
+(** Append-only journal of committed images. [save] produces one image;
+    journaling its history makes recovery robust to torn writes:
+    {!Journal.recover} returns the last fully committed image, skipping
+    torn or corrupt entries instead of faulting mid-restore. *)
+module Journal : sig
+  val empty : bytes
+
+  val append : bytes -> bytes -> bytes
+  (** [append journal image] is the journal with one entry added
+      (length-framed, CRC'd, commit-marked). *)
+
+  val entries : bytes -> int
+  (** Structurally complete entries (a torn tail is not counted). *)
+
+  val recover : bytes -> bytes option
+  (** The newest entry that is CRC-clean and whose image carries a valid
+      commit record; [None] if no committed image survives. *)
+end
 
 val image_info : bytes -> string
 (** One-line human summary of an image (for [sjctl]). *)

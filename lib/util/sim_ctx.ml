@@ -9,6 +9,11 @@ type obs = ..
    sj_obs in the layering while still scoping the recorder to the
    simulation that owns it — the same trick as Registry.service. *)
 
+type fault = ..
+(* Open slot for the simulation's fault injector (Sj_fault.Injector.t).
+   Same layering trick as [obs]: sj_util stays below sj_fault while the
+   injector is scoped to the simulation that owns it. *)
+
 type t = {
   mutable next_vm_object : int;
   mutable next_cap : int;
@@ -21,6 +26,7 @@ type t = {
      Sj_kernel.Layout interprets it. *)
   mutable layout_offset : int;
   mutable obs : obs option;
+  mutable fault : fault option;
 }
 
 let create () =
@@ -33,6 +39,7 @@ let create () =
     next_sid = 0;
     layout_offset = 0;
     obs = None;
+    fault = None;
   }
 
 let next_vm_object_id t =
@@ -63,3 +70,5 @@ let layout_offset t = t.layout_offset
 let set_layout_offset t off = t.layout_offset <- off
 let obs t = t.obs
 let set_obs t o = t.obs <- o
+let fault t = t.fault
+let set_fault t f = t.fault <- f

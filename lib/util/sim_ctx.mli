@@ -18,6 +18,11 @@ type obs = ..
     lets every layer above [sj_util] reach the recorder without this
     module depending on [sj_obs] (same pattern as [Registry.service]). *)
 
+type fault = ..
+(** Open slot for the simulation's fault injector. [Sj_fault.Injector]
+    extends this with its own constructor and stores an injector per
+    context via [set_fault] — the same layering trick as [obs]. *)
+
 type t
 
 val create : unit -> t
@@ -45,3 +50,8 @@ val obs : t -> obs option
 (** The observability slot, [None] until a recorder is attached. *)
 
 val set_obs : t -> obs option -> unit
+
+val fault : t -> fault option
+(** The fault-injection slot, [None] until an injector is attached. *)
+
+val set_fault : t -> fault option -> unit

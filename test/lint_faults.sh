@@ -1,0 +1,39 @@
+#!/bin/sh
+# Fault-coverage lint, run on every `dune runtest`.
+#
+# Invariant (see the Fault injection section of HACKING.md): every
+# injectable fault kind declared in lib/fault/plan.ml has at least one
+# regression test. Each Plan constructor has a lowercase builder of the
+# same name, so the check reduces to: for every constructor of
+# `type fault`, some test/*.ml calls its builder.
+set -u
+
+plan=lib/fault/plan.ml
+
+if [ ! -f "$plan" ]; then
+  echo "lint_faults: $plan not found (run from the repo root)" >&2
+  exit 1
+fi
+
+ctors=$(sed -n '/^type fault =/,/^type t/p' "$plan" \
+  | grep -oE '\| *[A-Z][A-Za-z_0-9]*' | sed 's/| *//')
+
+if [ -z "$ctors" ]; then
+  echo "lint_faults: could not extract fault constructors from $plan" >&2
+  exit 1
+fi
+
+missing=
+for c in $ctors; do
+  builder=$(printf '%s' "$c" | tr 'A-Z' 'a-z')
+  grep -q "Plan\.$builder" test/*.ml || missing="$missing $c"
+done
+
+if [ -n "$missing" ]; then
+  echo "lint_faults: injectable fault kinds with no regression test:$missing" >&2
+  echo "Every Plan fault constructor needs at least one test/*.ml calling Plan.<builder>." >&2
+  exit 1
+fi
+
+count=$(printf '%s\n' "$ctors" | wc -l | tr -d ' ')
+echo "lint_faults: OK ($count fault kinds covered by regression tests)"

@@ -31,4 +31,5 @@ let () =
       ("genomics", Test_genomics.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]
