@@ -41,6 +41,11 @@ let pool () =
     pool_cell := Some p;
     p
 
-(* Order-preserving parallel map; with -j 1 this runs inline on the
-   submitting domain (Par's size-1 pool spawns no domains at all). *)
-let par_map f xs = Par.map_list (pool ()) f xs
+(* Order-preserving parallel map. Trials are packed into a few
+   contiguous chunks per domain rather than one task per trial, so a
+   long trial list pays per-chunk scheduling while mildly oversubscribed
+   chunks (4 per domain) still balance uneven trial costs. With -j 1
+   this degrades to an inline [List.map] on the submitting domain. *)
+let par_map f xs =
+  let p = pool () in
+  Par.map_sharded p ~shards:(4 * Par.size p) f xs

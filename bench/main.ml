@@ -5,7 +5,7 @@
    Usage:
      main.exe [-j N]                 run everything
      main.exe [-j N] fig1 fig10 ...  run selected experiments
-   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro faults
+   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro des faults
    (fig8 includes fig9; fig11 includes fig12).
 
    -j N fans each experiment's independent trials across N domains
@@ -31,6 +31,7 @@ let experiments =
     ("ablations", Ablations.run);
     ("checker", Checker_eval.run);
     ("micro", Micro.run);
+    ("des", Desbench.run);
     ("faults", Faultbench.run);
   ]
 

@@ -499,7 +499,7 @@ let bench_cmd =
       value
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Write the JSON report (schema spacejmp-bench/2) to $(docv)")
+          ~doc:"Write the JSON report (schema spacejmp-bench/3) to $(docv)")
   in
   let jobs =
     Arg.(
@@ -554,17 +554,22 @@ let bench_cmd =
           ocaml_version = Sys.ocaml_version;
           benches =
             List.map2
-              (fun s f ->
+              (fun (b, s) (f, pf) ->
                 {
                   Report.name = s.Suite.tname;
+                  shards = Array.length b.Suite.shards;
                   (* Proven above, or we exited 2. *)
                   equal_between_modes = true;
                   equal_serial_parallel = true;
                   wall_slow = s.Suite.wall;
                   wall_fast = f.Suite.wall;
+                  wall_parallel = pf.Suite.wall;
+                  minor_words = f.Suite.minor_words;
+                  major_words = f.Suite.major_words;
                   simulated = f.Suite.fp;
                 })
-              serial_slow serial_fast;
+              (List.combine benches serial_slow)
+              (List.combine serial_fast par_fast);
           wall_serial;
           wall_parallel = par_wall;
         }

@@ -21,6 +21,12 @@ type t = {
   range_base : int;
   mutable range_size : int;
   bins : chunk option array;
+  (* One bit per bin, set iff the bin is nonempty (dlmalloc's binmap):
+     [find_fit] jumps to the first populated bin at or above the
+     request's class instead of scanning hundreds of empty ones. The
+     map is a pure index over [bins] — which chunk a malloc returns is
+     decided by bin order exactly as before. *)
+  binmap : int array;
   live : (int, chunk) Hashtbl.t; (* allocation base -> chunk *)
   mutable first : chunk;
   mutable used : int;
@@ -33,10 +39,35 @@ let bin_index size =
     let idx = n_small_bins + Sj_util.Size.log2 size - 12 in
     min idx (n_bins - 1)
 
+let binmap_words = (n_bins + 62) / 63
+
+let mark_bin t i = t.binmap.(i / 63) <- t.binmap.(i / 63) lor (1 lsl (i mod 63))
+
+let clear_bin t i =
+  t.binmap.(i / 63) <- t.binmap.(i / 63) land lnot (1 lsl (i mod 63))
+
+(* Lowest set bit's index in [w], which must be nonzero. *)
+let lowest_bit w =
+  let rec go i = if (w lsr i) land 1 = 1 then i else go (i + 1) in
+  go 0
+
+(* First nonempty bin >= [i], or -1. *)
+let next_bin t i =
+  let rec go word mask =
+    if word >= binmap_words then -1
+    else
+      let w = t.binmap.(word) land mask in
+      if w <> 0 then (word * 63) + lowest_bit w else go (word + 1) (-1)
+  in
+  go (i / 63) (-1 lsl (i mod 63))
+
 let unlink_free t c =
   (match c.fprev with
   | Some p -> p.fnext <- c.fnext
-  | None -> t.bins.(bin_index c.size) <- c.fnext);
+  | None ->
+    let i = bin_index c.size in
+    t.bins.(i) <- c.fnext;
+    if c.fnext = None then clear_bin t i);
   (match c.fnext with Some n -> n.fprev <- c.fprev | None -> ());
   c.fprev <- None;
   c.fnext <- None
@@ -45,7 +76,7 @@ let push_free t c =
   let i = bin_index c.size in
   c.fprev <- None;
   c.fnext <- t.bins.(i);
-  (match t.bins.(i) with Some head -> head.fprev <- Some c | None -> ());
+  (match t.bins.(i) with Some head -> head.fprev <- Some c | None -> mark_bin t i);
   t.bins.(i) <- Some c
 
 let create ~base ~size =
@@ -59,6 +90,7 @@ let create ~base ~size =
       range_base = base;
       range_size = size;
       bins = Array.make n_bins None;
+      binmap = Array.make binmap_words 0;
       live = Hashtbl.create 64;
       first;
       used = 0;
@@ -83,10 +115,14 @@ let find_fit t need =
     | None -> None
     | Some c -> if c.size >= need then Some c else scan_bin c.fnext
   in
-  let rec go i = if i >= n_bins then None else
-      match scan_bin t.bins.(i) with Some c -> Some c | None -> go (i + 1)
+  let rec go i =
+    if i < 0 then None
+    else
+      match scan_bin t.bins.(i) with
+      | Some c -> Some c
+      | None -> if i + 1 >= n_bins then None else go (next_bin t (i + 1))
   in
-  go (bin_index need)
+  go (next_bin t (bin_index need))
 
 let split t c need =
   if c.size - need >= min_chunk then begin
@@ -302,7 +338,16 @@ let check_invariants t =
   let n_free = count_free t.first 0 in
   if Hashtbl.length free_listed <> n_free then
     fail "free-list population %d <> free chunks %d" (Hashtbl.length free_listed) n_free;
-  (* 3. Accounting. *)
+  (* 3. The binmap is exactly the set of nonempty bins. *)
+  Array.iteri
+    (fun i bin ->
+      let mapped = t.binmap.(i / 63) land (1 lsl (i mod 63)) <> 0 in
+      match (bin, mapped) with
+      | Some _, false -> fail "nonempty bin %d missing from binmap" i
+      | None, true -> fail "empty bin %d set in binmap" i
+      | Some _, true | None, false -> ())
+    t.bins;
+  (* 4. Accounting. *)
   let rec sum_used c acc =
     let acc = if c.free then acc else acc + c.size in
     match c.next with Some n -> sum_used n acc | None -> acc

@@ -1,19 +1,26 @@
-(* BENCH report, schema "spacejmp-bench/2".
+(* BENCH report, schema "spacejmp-bench/3".
 
-   v2 extends PR 1's fastpath schema with host metadata (cores, OCaml
+   v2 extended PR 1's fastpath schema with host metadata (cores, OCaml
    version, -j) and the serial-vs-parallel comparison: aggregate wall
    times for the suite run serially and fanned across the domain pool,
-   plus a per-bench equivalence bit for each comparison. The emitter
-   never writes a divergent report — the harness exits 2 first — but
-   the checker still refuses any report that records one, so a report
-   that exists and checks is trustworthy. *)
+   plus a per-bench equivalence bit for each comparison. v3 adds, per
+   bench: the shard count, the wall spent on it during the parallel
+   batch, and the host GC allocation it caused (minor/major words,
+   serial fast-path run) — the counters the zero-allocation work is
+   held to. The emitter never writes a divergent report — the harness
+   exits 2 first — but the checker still refuses any report that
+   records one, so a report that exists and checks is trustworthy. *)
 
 type bench_report = {
   name : string;
+  shards : int;  (* parallel-phase tasks this bench contributes *)
   equal_between_modes : bool;  (* fast path on vs off *)
   equal_serial_parallel : bool;  (* serial vs domain pool *)
   wall_slow : float;  (* serial, fast path off *)
   wall_fast : float;  (* serial, fast path on *)
+  wall_parallel : float;  (* shard walls summed, parallel phase, fast *)
+  minor_words : float;  (* Gc minor words, serial fast run *)
+  major_words : float;  (* Gc major words, serial fast run *)
   simulated : Suite.fingerprint;
 }
 
@@ -27,7 +34,7 @@ type t = {
   wall_parallel : float;  (* fast path on, whole suite, pool batch wall *)
 }
 
-let schema = "spacejmp-bench/2"
+let schema = "spacejmp-bench/3"
 
 let to_json r =
   let b = Buffer.create 4096 in
@@ -45,11 +52,15 @@ let to_json r =
     (fun i br ->
       add "    {\n";
       add "      \"name\": \"%s\",\n" br.name;
+      add "      \"shards\": %d,\n" br.shards;
       add "      \"equal_between_modes\": %b,\n" br.equal_between_modes;
       add "      \"equal_serial_parallel\": %b,\n" br.equal_serial_parallel;
       add "      \"wall_slow_s\": %.6f,\n" br.wall_slow;
       add "      \"wall_fast_s\": %.6f,\n" br.wall_fast;
+      add "      \"wall_parallel_s\": %.6f,\n" br.wall_parallel;
       add "      \"speedup\": %.3f,\n" (br.wall_slow /. br.wall_fast);
+      add "      \"minor_words\": %.0f,\n" br.minor_words;
+      add "      \"major_words\": %.0f,\n" br.major_words;
       add "      \"simulated\": {";
       List.iteri
         (fun j (k, v) ->
@@ -68,7 +79,10 @@ let to_json r =
   add "    \"speedup\": %.3f,\n" (tot_slow /. tot_fast);
   add "    \"wall_serial_s\": %.6f,\n" r.wall_serial;
   add "    \"wall_parallel_s\": %.6f,\n" r.wall_parallel;
-  add "    \"parallel_speedup\": %.3f\n" (r.wall_serial /. r.wall_parallel);
+  (* Four decimals: on a single-core host this ratio's honest ceiling
+     is ~1.0, and whether sharding overhead is above or below zero
+     lives in the fourth digit. *)
+  add "    \"parallel_speedup\": %.4f\n" (r.wall_serial /. r.wall_parallel);
   add "  }\n}\n";
   Buffer.contents b
 
@@ -101,7 +115,10 @@ let check_string s =
       "\"jobs\"";
       "\"benches\"";
       "\"aggregate\"";
+      "\"shards\"";
       "\"speedup\"";
+      "\"minor_words\"";
+      "\"major_words\"";
       "\"wall_slow_s\"";
       "\"wall_fast_s\"";
       "\"wall_serial_s\"";

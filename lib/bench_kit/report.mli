@@ -1,16 +1,22 @@
-(** BENCH JSON report, schema ["spacejmp-bench/2"].
+(** BENCH JSON report, schema ["spacejmp-bench/3"].
 
-    v2 adds host metadata (cores, OCaml version, [-j]) and the
-    serial-vs-parallel comparison to PR 1's fastpath schema. The
-    checker refuses any report recording a fingerprint divergence, so
-    a report that exists and checks is trustworthy. *)
+    v2 added host metadata (cores, OCaml version, [-j]) and the
+    serial-vs-parallel comparison to PR 1's fastpath schema; v3 adds
+    per-bench shard counts, parallel-phase walls, and host GC
+    allocation counters. The checker refuses any report recording a
+    fingerprint divergence, so a report that exists and checks is
+    trustworthy. *)
 
 type bench_report = {
   name : string;
+  shards : int;  (** parallel-phase tasks this bench contributes *)
   equal_between_modes : bool;  (** fast path on vs off *)
   equal_serial_parallel : bool;  (** serial vs domain pool *)
   wall_slow : float;  (** serial, fast path off *)
   wall_fast : float;  (** serial, fast path on *)
+  wall_parallel : float;  (** shard walls summed, parallel phase, fast *)
+  minor_words : float;  (** Gc minor words allocated, serial fast run *)
+  major_words : float;  (** Gc major words allocated, serial fast run *)
   simulated : Suite.fingerprint;
 }
 
@@ -29,7 +35,7 @@ val schema : string
 val to_json : t -> string
 
 val check_string : string -> (unit, string list) result
-(** Structural validation: balanced nesting, required v2 keys present,
+(** Structural validation: balanced nesting, required v3 keys present,
     and no recorded divergence ([equal_between_modes] or
     [equal_serial_parallel] false). *)
 

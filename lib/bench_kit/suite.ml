@@ -125,16 +125,7 @@ let bench_gups ~visits () =
   let r = Gups.run cfg ~design:Gups.Spacejmp in
   [ ("cycles", r.cycles); ("updates", r.updates) ]
 
-let bench_kvstore ~duration () =
-  let cfg =
-    {
-      Kv_sim.default_config with
-      clients = 8;
-      set_fraction = 0.2;
-      duration_cycles = duration;
-    }
-  in
-  let r = Kv_sim.run cfg in
+let kv_fingerprint (r : Kv_sim.result) : fingerprint =
   [
     ("requests", r.requests);
     ("gets", r.gets);
@@ -144,54 +135,155 @@ let bench_kvstore ~duration () =
     ("tlb_misses", r.tlb_misses);
   ]
 
-type bench = { bname : string; body : unit -> fingerprint }
+let bench_kvstore ~duration () =
+  let cfg =
+    {
+      Kv_sim.default_config with
+      clients = 8;
+      set_fraction = 0.2;
+      duration_cycles = duration;
+    }
+  in
+  kv_fingerprint (Kv_sim.run cfg)
+
+(* One trial of the multi-shard kvstore bench: an independent
+   simulation per shard, distinguished only by RNG seed. Each shard is
+   deterministic on its own, so the merged fingerprint (elementwise
+   sum) is deterministic no matter which domain runs which shard. *)
+let kv_trial ~duration ~seed () =
+  let cfg =
+    {
+      Kv_sim.default_config with
+      clients = 8;
+      set_fraction = 0.2;
+      duration_cycles = duration;
+      seed;
+    }
+  in
+  kv_fingerprint (Kv_sim.run cfg)
+
+type bench = { bname : string; shards : (unit -> fingerprint) array }
+
+let single bname body = { bname; shards = [| body |] }
+
+let kv_mt ~duration ~trials =
+  {
+    bname = "kvstore_mt";
+    shards = Array.init trials (fun i -> kv_trial ~duration ~seed:(101 + (17 * i)));
+  }
 
 let suite ~quick =
   let q = quick in
   [
-    { bname = "load_bytes"; body = bench_load_bytes ~iters:(if q then 5_000 else 150_000) };
-    { bname = "memcpy"; body = bench_memcpy ~iters:(if q then 5_000 else 150_000) };
-    { bname = "memset"; body = bench_memset ~iters:(if q then 8_000 else 250_000) };
-    { bname = "gups"; body = bench_gups ~visits:(if q then 400 else 4_000) };
-    { bname = "kvstore"; body = bench_kvstore ~duration:(if q then 1_000_000 else 5_000_000) };
+    single "load_bytes" (bench_load_bytes ~iters:(if q then 5_000 else 150_000));
+    single "memcpy" (bench_memcpy ~iters:(if q then 5_000 else 150_000));
+    single "memset" (bench_memset ~iters:(if q then 8_000 else 250_000));
+    single "gups" (bench_gups ~visits:(if q then 400 else 4_000));
+    single "kvstore" (bench_kvstore ~duration:(if q then 1_000_000 else 5_000_000));
+    (* The only multi-shard bench: four independent kvstore trials that
+       the parallel phase schedules as separate pool tasks, so the batch
+       can balance across domains instead of waiting on one long bench. *)
+    kv_mt ~duration:(if q then 400_000 else 5_000_000) ~trials:4;
   ]
 
 (* A tiny suite for unit tests: same benches, sizes chosen to finish in
    well under a second even times four domains times two modes. *)
 let tiny_suite () =
   [
-    { bname = "load_bytes"; body = bench_load_bytes ~iters:300 };
-    { bname = "memcpy"; body = bench_memcpy ~iters:300 };
-    { bname = "memset"; body = bench_memset ~iters:400 };
-    { bname = "gups"; body = bench_gups ~visits:40 };
-    { bname = "kvstore"; body = bench_kvstore ~duration:200_000 };
+    single "load_bytes" (bench_load_bytes ~iters:300);
+    single "memcpy" (bench_memcpy ~iters:300);
+    single "memset" (bench_memset ~iters:400);
+    single "gups" (bench_gups ~visits:40);
+    single "kvstore" (bench_kvstore ~duration:200_000);
+    kv_mt ~duration:100_000 ~trials:4;
   ]
 
 (* ---- execution strategies ---- *)
 
-type timed = { tname : string; fp : fingerprint; wall : float }
+type timed = {
+  tname : string;
+  fp : fingerprint;
+  wall : float;
+  minor_words : float;
+  major_words : float;
+}
+
+(* Shard fingerprints merge by elementwise sum: every shard of a bench
+   emits the same keys in the same order, and the counters are all
+   additive (cycles, hits, requests, checksums). A single-shard bench's
+   fingerprint passes through untouched. *)
+let merge_fingerprints = function
+  | [] -> invalid_arg "Suite.merge_fingerprints: no shards"
+  | [ fp ] -> fp
+  | fp0 :: rest ->
+    List.fold_left
+      (fun acc fp ->
+        if List.map fst fp <> List.map fst acc then
+          invalid_arg "Suite.merge_fingerprints: shard key mismatch";
+        List.map2 (fun (k, a) (_, b) -> (k, a + b)) acc fp)
+      fp0 rest
 
 (* [Machine.with_fast_path] and [Recorder.with_tracing] are both
-   domain-local state, so each task fixes its own mode — a task inherits
-   nothing from the submitting domain. [?trace] exists for the obs
-   determinism tests; fingerprints must be identical either way. *)
-let run_one ?(trace = false) ~fast b =
+   domain-local state, so each shard task fixes its own mode — a task
+   inherits nothing from the submitting domain. [?trace] exists for the
+   obs determinism tests; fingerprints must be identical either way.
+   GC counters are read on the running domain, so a shard's allocation
+   is attributed wherever it actually ran. *)
+let run_shard ?(trace = false) ~fast body =
   Machine.with_fast_path fast (fun () ->
       Sj_obs.Recorder.with_tracing trace (fun () ->
+          let g0 = Gc.quick_stat () in
           let t0 = Unix.gettimeofday () in
-          let fp = b.body () in
-          { tname = b.bname; fp; wall = Unix.gettimeofday () -. t0 }))
+          let fp = body () in
+          let wall = Unix.gettimeofday () -. t0 in
+          let g1 = Gc.quick_stat () in
+          ( fp,
+            wall,
+            g1.Gc.minor_words -. g0.Gc.minor_words,
+            g1.Gc.major_words -. g0.Gc.major_words )))
+
+let collect bname parts =
+  let sum f = Array.fold_left (fun a p -> a +. f p) 0. parts in
+  {
+    tname = bname;
+    fp = merge_fingerprints (Array.to_list (Array.map (fun (fp, _, _, _) -> fp) parts));
+    wall = sum (fun (_, w, _, _) -> w);
+    minor_words = sum (fun (_, _, mn, _) -> mn);
+    major_words = sum (fun (_, _, _, mj) -> mj);
+  }
+
+let run_one ?trace ~fast b =
+  collect b.bname (Array.map (fun body -> run_shard ?trace ~fast body) b.shards)
 
 let run_serial ?trace ~fast benches = List.map (run_one ?trace ~fast) benches
 
-(* Fan the suite across a pool; results come back in suite order, so a
-   parallel run is directly comparable to a serial one. Returns the
-   per-bench results and the batch wall-clock (the number parallelism
-   improves; the per-bench walls still sum to total CPU work). *)
+(* Fan *shards* (not whole benches) across the pool; a multi-shard
+   bench becomes several independent tasks, so the batch balances
+   instead of serializing behind its longest bench. Shard results are
+   regrouped and merged in suite order, so a parallel run is directly
+   comparable to a serial one. Returns the per-bench results and the
+   batch wall-clock (the number parallelism improves; a bench's [wall]
+   still sums its shards' walls, i.e. its CPU work). *)
 let run_parallel pool ?trace ~fast benches =
   let t0 = Unix.gettimeofday () in
-  let rs = Par.map_list pool (run_one ?trace ~fast) benches in
-  (rs, Unix.gettimeofday () -. t0)
+  let tasks =
+    Array.concat
+      (List.map
+         (fun b -> Array.map (fun body () -> run_shard ?trace ~fast body) b.shards)
+         benches)
+  in
+  let rs = Par.run pool tasks in
+  let pos = ref 0 in
+  let timed =
+    List.map
+      (fun b ->
+        let n = Array.length b.shards in
+        let parts = Array.sub rs !pos n in
+        pos := !pos + n;
+        collect b.bname parts)
+      benches
+  in
+  (timed, Unix.gettimeofday () -. t0)
 
 let fingerprints_equal a b =
   List.length a = List.length b

@@ -9,29 +9,43 @@ type fingerprint = (string * int) list
 
 val pp_fingerprint : fingerprint -> string
 
-type bench = { bname : string; body : unit -> fingerprint }
+type bench = { bname : string; shards : (unit -> fingerprint) array }
+(** A bench is one or more *shards*: independent simulations whose
+    fingerprints merge by elementwise sum. Single-shard benches (most
+    of the suite) report their shard's fingerprint untouched; a
+    multi-shard bench is the unit of load balancing in the parallel
+    phase — each shard is its own pool task. Every shard must emit the
+    same keys in the same order. *)
 
 val suite : quick:bool -> bench list
-(** The harness suite: bulk-access micros, GUPS, kvstore. [quick] uses
-    small problem sizes (seconds; `dune runtest` smoke). *)
+(** The harness suite: bulk-access micros, GUPS, kvstore, plus the
+    multi-shard [kvstore_mt] (four independent trials, merged). [quick]
+    uses small problem sizes (seconds; `dune runtest` smoke). *)
 
 val tiny_suite : unit -> bench list
 (** Unit-test sizes: sub-second even across modes and domains. *)
 
-type timed = { tname : string; fp : fingerprint; wall : float }
+type timed = {
+  tname : string;
+  fp : fingerprint;  (** merged across shards *)
+  wall : float;  (** summed over shards (CPU work, not batch wall) *)
+  minor_words : float;  (** [Gc] minor words allocated, summed over shards *)
+  major_words : float;  (** [Gc] major words allocated, summed over shards *)
+}
 
 val run_one : ?trace:bool -> fast:bool -> bench -> timed
-(** Run one bench with the given fast-path mode (set domain-locally for
-    the duration, so this is safe from any domain). [?trace] (default
-    false) additionally enables [Sj_obs] tracing for the bench's
-    machines; fingerprints are identical either way — the obs tests
-    assert this. *)
+(** Run one bench's shards in order with the given fast-path mode (set
+    domain-locally for the duration, so this is safe from any domain).
+    [?trace] (default false) additionally enables [Sj_obs] tracing for
+    the bench's machines; fingerprints are identical either way — the
+    obs tests assert this. *)
 
 val run_serial : ?trace:bool -> fast:bool -> bench list -> timed list
 
 val run_parallel :
   Sj_util.Par.t -> ?trace:bool -> fast:bool -> bench list -> timed list * float
-(** Fan the suite across the pool. Results are in suite order; the
+(** Fan the suite's *shards* across the pool (a multi-shard bench is
+    several tasks). Results are merged per bench, in suite order; the
     second component is the batch wall-clock. *)
 
 val fingerprints_equal : timed list -> timed list -> bool

@@ -1,60 +1,136 @@
-type event = { time : int; seq : int; action : unit -> unit }
+(* Array-backed binary min-heap keyed by (time, seq), laid out as a
+   struct of unboxed int arrays plus one closure array. The three
+   arrays are parallel: slot [i] of the heap is (times.(i), seqs.(i),
+   actions.(i)). Compared with the previous pairing heap of closure
+   nodes, schedule/pop do no allocation at all in steady state — no
+   event records, no heap cons cells — so a simulation scheduling
+   millions of events never touches the minor heap on the engine's
+   account. Slots are recycled in place (the arrays *are* the event
+   pool); capacity grows by doubling, the only allocation the engine
+   ever performs after creation. *)
 
-(* Pairing-heap keyed by (time, seq): O(1) insert, amortized O(log n)
-   delete-min, no rebalancing bookkeeping. *)
-type heap = Empty | Node of event * heap list
+type t = {
+  mutable now : int;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
+  mutable n : int; (* live slots: heap occupies indices 0 .. n-1 *)
+  mutable seq : int; (* FIFO tiebreak among equal timestamps *)
+}
 
-let heap_le a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+(* Shared do-nothing closure marking a free slot, so popped slots don't
+   pin the caller's closures (and their environments) until overwrite. *)
+let nop () = ()
 
-let merge h1 h2 =
-  match (h1, h2) with
-  | Empty, h | h, Empty -> h
-  | Node (e1, c1), Node (e2, c2) ->
-    if heap_le e1 e2 then Node (e1, h2 :: c1) else Node (e2, h1 :: c2)
+let initial_capacity = 256
 
-let insert h e = merge h (Node (e, []))
+let create () =
+  {
+    now = 0;
+    times = Array.make initial_capacity 0;
+    seqs = Array.make initial_capacity 0;
+    actions = Array.make initial_capacity nop;
+    n = 0;
+    seq = 0;
+  }
 
-let rec merge_pairs = function
-  | [] -> Empty
-  | [ h ] -> h
-  | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
-
-let pop = function
-  | Empty -> None
-  | Node (e, children) -> Some (e, merge_pairs children)
-
-type t = { mutable now : int; mutable heap : heap; mutable seq : int; mutable count : int }
-
-let create () = { now = 0; heap = Empty; seq = 0; count = 0 }
 let now t = t.now
+let pending t = t.n
+
+(* (time, seq) lexicographic order; seq is unique, so this is total. *)
+let lt t i ~time ~seq =
+  let ti = Array.unsafe_get t.times i in
+  ti < time || (ti = time && Array.unsafe_get t.seqs i < seq)
+
+let grow t =
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let times = Array.make cap' 0
+  and seqs = Array.make cap' 0
+  and actions = Array.make cap' nop in
+  Array.blit t.times 0 times 0 t.n;
+  Array.blit t.seqs 0 seqs 0 t.n;
+  Array.blit t.actions 0 actions 0 t.n;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.actions <- actions
+
+(* Move the hole at [i] up until [key] fits, then store the event
+   there. Writing once at the final position (rather than swapping)
+   keeps the sift allocation- and store-minimal. *)
+let sift_up t i ~time ~seq action =
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt t parent ~time ~seq then continue_ := false
+    else begin
+      Array.unsafe_set t.times !i (Array.unsafe_get t.times parent);
+      Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs parent);
+      Array.unsafe_set t.actions !i (Array.unsafe_get t.actions parent);
+      i := parent
+    end
+  done;
+  Array.unsafe_set t.times !i time;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.actions !i action
+
+let sift_down t ~time ~seq action =
+  let n = t.n in
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 in
+    if l >= n then continue_ := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < n && lt t r ~time:t.times.(l) ~seq:t.seqs.(l) then r else l
+      in
+      if lt t c ~time ~seq then begin
+        Array.unsafe_set t.times !i (Array.unsafe_get t.times c);
+        Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs c);
+        Array.unsafe_set t.actions !i (Array.unsafe_get t.actions c);
+        i := c
+      end
+      else continue_ := false
+    end
+  done;
+  Array.unsafe_set t.times !i time;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.actions !i action
 
 let schedule t ~at action =
   if at < t.now then invalid_arg "Engine.schedule: event in the past";
-  t.heap <- insert t.heap { time = at; seq = t.seq; action };
-  t.seq <- t.seq + 1;
-  t.count <- t.count + 1
+  if t.n >= Array.length t.times then grow t;
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let i = t.n in
+  t.n <- i + 1;
+  sift_up t i ~time:at ~seq action
 
 let schedule_after t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~at:(t.now + delay) action
 
 let run ?until t =
-  let continue () =
-    match pop t.heap with
-    | None -> false
-    | Some (e, rest) -> (
-      match until with
-      | Some limit when e.time > limit -> false
-      | _ ->
-        t.heap <- rest;
-        t.count <- t.count - 1;
-        t.now <- e.time;
-        e.action ();
-        true)
-  in
-  while continue () do
-    ()
+  let limit = match until with Some l -> l | None -> max_int in
+  let continue_ = ref true in
+  while !continue_ && t.n > 0 do
+    let time = t.times.(0) in
+    if time > limit then continue_ := false
+    else begin
+      let action = t.actions.(0) in
+      (* Recycle: move the last slot into the freed root and restore
+         heap order; the vacated tail slot is cleared so it no longer
+         pins the popped closure. *)
+      let last = t.n - 1 in
+      t.n <- last;
+      if last > 0 then
+        sift_down t ~time:t.times.(last) ~seq:t.seqs.(last) t.actions.(last);
+      t.actions.(last) <- nop;
+      t.now <- time;
+      action ()
+    end
   done;
   match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
-
-let pending t = t.count

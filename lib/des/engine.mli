@@ -8,7 +8,14 @@
 
     The engine underpins the multi-client experiments (Redis Fig. 10,
     GUPS-MP Fig. 8) where throughput emerges from contention on cores
-    and locks rather than from a closed-form model. *)
+    and locks rather than from a closed-form model.
+
+    The queue is an array-backed binary heap over unboxed [(time, seq)]
+    int keys with recycled slots: steady-state [schedule]/[run] performs
+    no allocation at all (test/test_des.ml holds this with a
+    [Gc.minor_words] assertion), so event scheduling stays off the GC
+    even at millions of in-flight state machines. Capacity grows by
+    doubling — the only post-creation allocation. *)
 
 type t
 

@@ -60,8 +60,9 @@ let apply_updates core rng ~window_base ~window_size ~count ~mlp =
   for _ = 1 to count do
     let idx = Rng.int rng slots in
     let va = window_base + (idx * 8) in
-    let v = Core.load64 core ~va in
-    Core.store64 core ~va (Int64.logxor v (Rng.bits64 rng))
+    (* Fused load-xor-store: cycle-identical to load64 + store64 but
+       keeps the update value out of the caller (see Core.xor64). *)
+    Core.xor64 core ~va (Rng.bits64 rng)
   done;
   let delta = Core.cycles core - before in
   (* Refund the overlap the serial model cannot express. *)

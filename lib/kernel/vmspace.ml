@@ -123,20 +123,27 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
   let before = snapshot_stats t in
   (match page with
   | Page_table.P4K ->
-    for i = 0 to pages - 1 do
-      let page = obj_page + i in
-      let frame = Vm_object.frame_at obj ~page in
-      (* COW: shared pages are installed read-only; the write fault
-         splits them. *)
-      let hw_prot =
-        if cow && Vm_object.page_shared obj ~page then { prot with Prot.write = false }
-        else prot
-      in
-      Page_table.map ~global t.pt
-        ~va:(base + (i * Addr.page_size))
-        ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
-        ~prot:hw_prot ~size:Page_table.P4K
-    done
+    if not cow then
+      (* Uniform protection: install the whole run through the batched
+         path (identical PTEs and stats, one leaf-table walk per
+         2 MiB). *)
+      Page_table.map_run ~global t.pt ~va:base ~n:pages
+        ~frames:(Vm_object.frames obj) ~off:obj_page ~prot
+    else
+      for i = 0 to pages - 1 do
+        let page = obj_page + i in
+        let frame = Vm_object.frame_at obj ~page in
+        (* COW: shared pages are installed read-only; the write fault
+           splits them. *)
+        let hw_prot =
+          if Vm_object.page_shared obj ~page then { prot with Prot.write = false }
+          else prot
+        in
+        Page_table.map ~global t.pt
+          ~va:(base + (i * Addr.page_size))
+          ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
+          ~prot:hw_prot ~size:Page_table.P4K
+      done
   | Page_table.P2M ->
     let huge = Size.mib 2 / Addr.page_size in
     if cow then Sj_abi.Error.fail Invalid ~op:"vm_map" "COW requires 4 KiB granularity";

@@ -20,7 +20,13 @@ type core_state = {
   mutable pt : Page_table.t option;
   mutable tag : int;
   mutable fault_handler : (va:int -> access:access -> bool) option;
-  wcache : Page_table.walk_cache; (* per-core paging-structure cache *)
+  (* Per-core paging-structure caches, one slot per (low bits of) ASID
+     tag so they stay warm across vas_switch: switching away and back
+     finds the previous address space's interior-node pointers intact.
+     Each slot self-validates against the owning table's identity and
+     the Phys_mem structural epoch (see Page_table.walk_cached), so no
+     reset on CR3 load is needed for correctness. *)
+  wcaches : Page_table.walk_cache array;
   scratch : Bytes.t; (* reusable memcpy bounce buffer (fast path) *)
 }
 
@@ -56,6 +62,7 @@ let with_fast_path enabled f =
   Fun.protect ~finally:(fun () -> Domain.DLS.set default_fast saved) f
 
 let memcpy_chunk = 4096
+let wcache_slots = 16 (* power of two; slot = tag land (wcache_slots - 1) *)
 
 let create ?fast (platform : Platform.t) =
   let fast = match fast with Some f -> f | None -> Domain.DLS.get default_fast in
@@ -83,7 +90,7 @@ let create ?fast (platform : Platform.t) =
           pt = None;
           tag = 0;
           fault_handler = None;
-          wcache = Page_table.walk_cache_create ();
+          wcaches = Array.init wcache_slots (fun _ -> Page_table.walk_cache_create ());
           scratch = Bytes.create memcpy_chunk;
         })
   in
@@ -139,7 +146,11 @@ module Core = struct
     if tag < 0 || tag > Tlb.max_tag c.tlb then invalid_arg "Core.set_page_table: bad tag";
     c.pt <- pt;
     c.tag <- tag;
-    Page_table.walk_cache_reset c.wcache;
+    (* The walk-cache slots are NOT reset here: each slot revalidates
+       itself against the table it cached (walk_cached checks both the
+       table's identity and the structural epoch), so a switch back to
+       a recently used address space resumes with its paging-structure
+       cache warm — the host-side analogue of the tagged TLB below. *)
     (match pt with
     | None -> ()
     | Some _ ->
@@ -218,7 +229,9 @@ module Core = struct
   let translate_miss c pt ~va ~access =
     let m = c.machine in
     match
-      if m.fast then Page_table.walk_cached pt c.wcache ~va else Page_table.walk pt ~va
+      if m.fast then
+        Page_table.walk_cached pt c.wcaches.(c.tag land (wcache_slots - 1)) ~va
+      else Page_table.walk pt ~va
     with
     | None -> raise (Page_fault { va; access })
     | Some mapping ->
@@ -323,6 +336,27 @@ module Core = struct
       for i = 0 to 7 do
         store8 c ~va:(va + i) (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
       done
+
+  (* Fused read-xor-write of one aligned word: by construction exactly
+     [load64] followed by [store64] of the xored value — same
+     translations, same cache traffic, same cycle charges — but a
+     single call, so the value never round-trips boxed through the
+     caller and the write's translation hits the probe still warm from
+     the read. This is GUPS's inner loop (§5, Fig. 8). *)
+  let xor64 c ~va mask =
+    if c.machine.fast && Addr.offset_in_page va <= Addr.page_size - 8 then begin
+      let mem = c.machine.mem in
+      let pa_r = translate c ~va ~access:Read in
+      data_access c ~pa:pa_r ~len:8;
+      let v = Phys_mem.read64_fast mem ~pa:pa_r in
+      let pa_w = translate c ~va ~access:Write in
+      data_access c ~pa:pa_w ~len:8;
+      Phys_mem.write64_fast mem ~pa:pa_w (Int64.logxor v mask)
+    end
+    else begin
+      let v = load64 c ~va in
+      store64 c ~va (Int64.logxor v mask)
+    end
 
   (* Bulk operations translate once per page run and (on the fast path)
      blit directly between the caller's buffer and physical memory —

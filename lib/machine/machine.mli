@@ -92,6 +92,11 @@ module Core : sig
   val store8 : core -> va:int -> int -> unit
   val load64 : core -> va:int -> int64
   val store64 : core -> va:int -> int64 -> unit
+
+  (** Fused read-modify-write: observably identical (cycles, cache and
+      TLB state, stored value) to [load64] followed by [store64] of the
+      xored value, but one call — the GUPS update loop. *)
+  val xor64 : core -> va:int -> int64 -> unit
   val load_bytes : core -> va:int -> len:int -> bytes
   val store_bytes : core -> va:int -> bytes -> unit
 

@@ -17,7 +17,14 @@ type t = {
      previously released frames. *)
   bump : int array;
   free_lists : frame list array;
-  allocated : (frame, unit) Hashtbl.t;
+  (* One byte per frame ('\000' free / '\001' allocated): allocation
+     membership is checked on every simulated access, and setup maps
+     tens of thousands of frames, so this is a flat table rather than a
+     hashtable. *)
+  allocated : Bytes.t;
+  (* Node indices in default allocation preference order (performance
+     tier first), precomputed so [alloc_frame] builds no lists. *)
+  default_order : int array;
   contents : (frame, bytes) Hashtbl.t; (* lazily materialized *)
   mutable n_allocated : int;
   (* Last-frame memo for the machine's fast path: when [memo_frame]
@@ -29,6 +36,10 @@ type t = {
   (* Structural-change epoch for the page tables built over this
      memory; see {!bump_pt_epoch}. *)
   mutable pt_epoch : int;
+  (* Node arena for the page tables built over this memory. Lives here
+     (like the epoch) because grafting shares interior nodes across
+     tables, so their indices must resolve in one common store. *)
+  pt_store : Pt_store.t;
 }
 
 let create_tiered ~size ~numa_nodes ~capacity_size =
@@ -59,12 +70,17 @@ let create_tiered ~size ~numa_nodes ~capacity_size =
     nodes;
     bump = Array.make n 0;
     free_lists = Array.make n [];
-    allocated = Hashtbl.create 4096;
+    allocated = Bytes.make (perf_frames + capacity_frames) '\000';
+    default_order =
+      Array.append
+        (Array.init numa_nodes Fun.id)
+        (if capacity_frames > 0 then [| numa_nodes |] else [||]);
     contents = Hashtbl.create 4096;
     n_allocated = 0;
     memo_frame = -1;
     memo_bytes = Bytes.empty;
     pt_epoch = 0;
+    pt_store = Pt_store.create ();
   }
 
 let create ~size ~numa_nodes = create_tiered ~size ~numa_nodes ~capacity_size:0
@@ -89,9 +105,11 @@ let node_of_frame t f =
   in
   go 0
 
-let is_allocated t f = Hashtbl.mem t.allocated f
+let is_allocated t f =
+  f >= 0 && f < t.frames_total && Bytes.unsafe_get t.allocated f <> '\000'
 let pt_epoch t = t.pt_epoch
 let bump_pt_epoch t = t.pt_epoch <- t.pt_epoch + 1
+let pt_store t = t.pt_store
 
 let alloc_on_node t node =
   match t.free_lists.(node) with
@@ -107,27 +125,37 @@ let alloc_on_node t node =
     end
     else None
 
+(* Node preference: the requested node first, then the default order
+   (performance tier before capacity) skipping the duplicate. *)
 let alloc_frame ?node t =
-  let all = List.init (Array.length t.nodes) Fun.id in
-  let try_nodes =
+  let f =
     match node with
     | Some n ->
       if n < 0 || n >= Array.length t.nodes then invalid_arg "Phys_mem.alloc_frame: bad node";
-      (* Prefer the requested node, fall back to the others. *)
-      n :: List.filter (fun m -> m <> n) all
+      (match alloc_on_node t n with
+      | Some f -> f
+      | None ->
+        let rec go i =
+          if i >= Array.length t.nodes then raise Out_of_memory
+          else if i = n then go (i + 1)
+          else match alloc_on_node t i with Some f -> f | None -> go (i + 1)
+        in
+        go 0)
     | None ->
       (* Unpinned allocations stay in the performance tier; the capacity
          tier is only used when explicitly requested or when DRAM is
          exhausted. *)
-      List.filter (fun m -> t.nodes.(m).kind = Performance) all
-      @ List.filter (fun m -> t.nodes.(m).kind = Capacity) all
+      let order = t.default_order in
+      let rec go i =
+        if i >= Array.length order then raise Out_of_memory
+        else
+          match alloc_on_node t order.(i) with
+          | Some f -> f
+          | None -> go (i + 1)
+      in
+      go 0
   in
-  let rec go = function
-    | [] -> raise Out_of_memory
-    | n :: rest -> ( match alloc_on_node t n with Some f -> f | None -> go rest)
-  in
-  let f = go try_nodes in
-  Hashtbl.replace t.allocated f ();
+  Bytes.unsafe_set t.allocated f '\001';
   t.n_allocated <- t.n_allocated + 1;
   f
 
@@ -164,7 +192,7 @@ let alloc_frames_contiguous ?node ?(align = 1) t ~n =
         t.bump.(nd) <- start + n;
         Array.init n (fun i ->
             let f = first + i in
-            Hashtbl.replace t.allocated f ();
+            Bytes.unsafe_set t.allocated f '\001';
             f)
       end
       else go rest
@@ -174,9 +202,9 @@ let alloc_frames_contiguous ?node ?(align = 1) t ~n =
   frames
 
 let free_frame t f =
-  if not (Hashtbl.mem t.allocated f) then
+  if not (is_allocated t f) then
     invalid_arg "Phys_mem.free_frame: frame not allocated";
-  Hashtbl.remove t.allocated f;
+  Bytes.unsafe_set t.allocated f '\000';
   Hashtbl.remove t.contents f;
   if t.memo_frame = f then begin
     t.memo_frame <- -1;
@@ -187,7 +215,7 @@ let free_frame t f =
   t.free_lists.(node) <- f :: t.free_lists.(node)
 
 let check_allocated t f ctx =
-  if not (Hashtbl.mem t.allocated f) then
+  if not (is_allocated t f) then
     invalid_arg (Printf.sprintf "Phys_mem.%s: access to unallocated frame %d" ctx f)
 
 let backing t f =

@@ -80,6 +80,11 @@ val pt_epoch : t -> int
 val bump_pt_epoch : t -> unit
 (** Record a structural page-table change (map/unmap/graft/...). *)
 
+val pt_store : t -> Pt_store.t
+(** Node arena for the page tables built over this memory (shared
+    across tables for the same reason as {!pt_epoch}; used by
+    [Sj_paging.Page_table]). *)
+
 (** {2 Contents access}
 
     All accessors take raw physical addresses and may cross frame

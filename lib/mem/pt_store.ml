@@ -1,0 +1,115 @@
+(* Flat arena backing page-table nodes: all 512-slot tables built over
+   one physical memory live in per-chunk int arrays (plus small
+   per-node header arrays), and inter-node links are indices, not
+   pointers. A radix descent therefore chases no OCaml blocks — each
+   step is one int read from one flat chunk — and building or tearing
+   down a table allocates nothing on the OCaml heap. The store is owned
+   by the Phys_mem the tables translate (interior subtrees are shared
+   *across* tables over one memory, so indices must be meaningful to
+   all of them). Entry encoding is the owner's business (Sj_paging);
+   the store only hands out zeroed 512-int nodes and recycles them.
+
+   Entries live in fixed-size chunks of [chunk_nodes] nodes each:
+   growth appends one zeroed chunk instead of reallocating (and
+   re-zeroing, and copying) one ever-larger array, so arena growth
+   costs exactly the memory it adds. Node [i]'s entries are
+   [chunks.(i lsr chunk_shift)], offset [(i land chunk_mask) * 512]. *)
+
+let slots = 512
+let chunk_shift = 6
+let chunk_nodes = 1 lsl chunk_shift (* 64 nodes = 256 KiB per chunk *)
+let chunk_mask = chunk_nodes - 1
+
+type t = {
+  mutable chunks : int array array; (* slot [c] is one chunk or [||] *)
+  mutable level : int array;
+  mutable frame : int array;
+  mutable live : int array;
+  mutable refs : int array;
+  mutable cap : int; (* nodes the allocated chunks can hold *)
+  mutable next : int; (* bump cursor: indices >= next never used yet *)
+  mutable free : int list; (* recycled node indices *)
+  mutable free_count : int; (* monotone; bumped on every [free] *)
+}
+
+let initial_chunks = 8
+
+let create () =
+  let cap = chunk_nodes in
+  let chunks = Array.make initial_chunks [||] in
+  chunks.(0) <- Array.make (chunk_nodes * slots) 0;
+  {
+    chunks;
+    level = Array.make cap 0;
+    frame = Array.make cap 0;
+    live = Array.make cap 0;
+    refs = Array.make cap 0;
+    cap;
+    next = 0;
+    free = [];
+    free_count = 0;
+  }
+
+let grow t =
+  let c = t.cap lsr chunk_shift in
+  if c >= Array.length t.chunks then begin
+    (* Only the (tiny) chunk-pointer array is ever copied. *)
+    let chunks' = Array.make (2 * Array.length t.chunks) [||] in
+    Array.blit t.chunks 0 chunks' 0 (Array.length t.chunks);
+    t.chunks <- chunks'
+  end;
+  t.chunks.(c) <- Array.make (chunk_nodes * slots) 0;
+  let cap' = t.cap + chunk_nodes in
+  let grow_arr a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  in
+  t.level <- grow_arr t.level 0;
+  t.frame <- grow_arr t.frame 0;
+  t.live <- grow_arr t.live 0;
+  t.refs <- grow_arr t.refs 0;
+  t.cap <- cap'
+
+let alloc t ~level ~frame =
+  let idx =
+    match t.free with
+    | i :: rest ->
+      t.free <- rest;
+      (* Recycled nodes carry stale entries; hand out zeroed tables. *)
+      Array.fill t.chunks.(i lsr chunk_shift) ((i land chunk_mask) * slots) slots 0;
+      i
+    | [] ->
+      if t.next >= t.cap then grow t;
+      let i = t.next in
+      t.next <- i + 1;
+      i
+  in
+  t.level.(idx) <- level;
+  t.frame.(idx) <- frame;
+  t.live.(idx) <- 0;
+  t.refs.(idx) <- 1;
+  idx
+
+let free t idx =
+  t.free <- idx :: t.free;
+  t.free_count <- t.free_count + 1
+
+let free_count t = t.free_count
+let level t idx = Array.unsafe_get t.level idx
+let frame t idx = Array.unsafe_get t.frame idx
+let live t idx = Array.unsafe_get t.live idx
+let set_live t idx v = Array.unsafe_set t.live idx v
+let refs t idx = Array.unsafe_get t.refs idx
+let set_refs t idx v = Array.unsafe_set t.refs idx v
+
+let get t idx slot =
+  Array.unsafe_get
+    (Array.unsafe_get t.chunks (idx lsr chunk_shift))
+    (((idx land chunk_mask) * slots) + slot)
+
+let set t idx slot v =
+  Array.unsafe_set
+    (Array.unsafe_get t.chunks (idx lsr chunk_shift))
+    (((idx land chunk_mask) * slots) + slot)
+    v

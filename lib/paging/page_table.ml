@@ -1,5 +1,6 @@
 open Sj_util
 module Phys_mem = Sj_mem.Phys_mem
+module Pt_store = Sj_mem.Pt_store
 
 type page_size = P4K | P2M
 
@@ -14,21 +15,43 @@ type stats = {
   mutable pte_clears : int;
 }
 
-type node = {
-  level : int; (* 4 = PML4 (root), 3 = PDPT, 2 = PD, 1 = PT *)
-  frame : Phys_mem.frame;
-  entries : entry array; (* 512 slots *)
-  mutable live : int; (* non-empty entries *)
-  mutable refs : int; (* owners: parent links + subtree handles *)
+(* Nodes live in the flat arena owned by the physical memory
+   (Phys_mem.pt_store); a "node" here is an int index into it and an
+   entry is one packed int, so a walk is index arithmetic over two big
+   arrays instead of a chase through per-node records:
+
+     entry = 0                                     empty
+     entry land 3 = 1: (child_index lsl 2) lor 1   interior table
+     entry land 3 = 2: leaf —
+       bits 12..   page-aligned physical base (pa's low 12 bits are 0)
+       bits 4..6   protection (read=1 / write=2 / exec=4)
+       bit 3       page size (1 = 2 MiB)
+       bit 2       global
+       bits 0..1   tag 2
+
+   Protections decode through an 8-entry intern table, so unpacking
+   allocates nothing and yields structurally equal Prot values. *)
+type t = {
+  mem : Phys_mem.t;
+  store : Pt_store.t;
+  root : int;
+  stats : stats;
+  (* Host-side memo of the last level-1 table written by a 4 KiB [map]:
+     sequential attach loops install 512 leaves per table, and the memo
+     turns 511 of those root-down descents into one array read. Valid
+     while (a) the store has freed no node since it was recorded — node
+     indices are only recycled through [Pt_store.free], so an unchanged
+     count proves the index still names the same table — and (b) no
+     [prune_subtree] detached part of *this* tree without freeing it
+     (a shared subtree survives with refs > 0). Descending an existing
+     chain touches no stats, so a memo hit is observably identical to
+     the walk it skips. *)
+  mutable memo_block : int; (* va lsr 21; -1 = empty *)
+  mutable memo_node : int;
+  mutable memo_frees : int;
 }
 
-and entry =
-  | Empty
-  | Table of node
-  | Leaf of { pa : int; prot : Prot.t; size : page_size; global : bool }
-
-type t = { mem : Phys_mem.t; root : node; stats : stats }
-type subtree = node
+type subtree = { s_idx : int; s_level : int }
 
 let fresh_stats () = { tables_allocated = 0; tables_freed = 0; pte_writes = 0; pte_clears = 0 }
 
@@ -39,22 +62,49 @@ let fresh_stats () = { tables_allocated = 0; tables_freed = 0; pte_writes = 0; p
    whenever any table over that memory changed, which is trivially
    sound, costs nothing on the mutation-free hot loops the caches
    target, and keeps independent simulations (each with its own
-   physical memory) from invalidating each other's caches. *)
+   physical memory) from invalidating each other's caches. The epoch
+   also covers node-index reuse: indices are only allocated or freed
+   under a [dirty], so a cache can never see a recycled index as the
+   node it once cached. *)
 let dirty t = Phys_mem.bump_pt_epoch t.mem
+
+let prot_index (p : Prot.t) =
+  (if p.read then 1 else 0) lor (if p.write then 2 else 0) lor (if p.exec then 4 else 0)
+
+let prots =
+  Array.init 8 (fun i ->
+      { Prot.read = i land 1 <> 0; write = i land 2 <> 0; exec = i land 4 <> 0 })
+
+let e_table idx = (idx lsl 2) lor 1
+
+let e_leaf ~pa ~prot ~size ~global =
+  pa lor (prot_index prot lsl 4)
+  lor (match size with P2M -> 8 | P4K -> 0)
+  lor (if global then 4 else 0)
+  lor 2
+
+let leaf_pa e = e land lnot 4095
+let leaf_prot e = Array.unsafe_get prots ((e lsr 4) land 7)
+let leaf_size e = if e land 8 <> 0 then P2M else P4K
+let leaf_global e = e land 4 <> 0
 
 let alloc_node t ~level =
   t.stats.tables_allocated <- t.stats.tables_allocated + 1;
-  { level; frame = Phys_mem.alloc_frame t.mem; entries = Array.make 512 Empty; live = 0; refs = 1 }
+  let frame = Phys_mem.alloc_frame t.mem in
+  Pt_store.alloc t.store ~level ~frame:(frame :> int)
 
 let create mem =
   let stats = fresh_stats () in
-  let root =
-    { level = 4; frame = Phys_mem.alloc_frame mem; entries = Array.make 512 Empty; live = 0; refs = 1 }
-  in
+  let store = Phys_mem.pt_store mem in
+  let frame = Phys_mem.alloc_frame mem in
+  let root = Pt_store.alloc store ~level:4 ~frame:(frame :> int) in
   stats.tables_allocated <- stats.tables_allocated + 1;
-  { mem; root; stats }
+  { mem; store; root; stats; memo_block = -1; memo_node = -1; memo_frees = 0 }
 
-let root_frame t = t.root.frame
+let frame_of_node t idx =
+  Phys_mem.frame_of_addr (Pt_store.frame t.store idx * Addr.page_size)
+
+let root_frame t = frame_of_node t t.root
 let stats t = t.stats
 
 let reset_stats t =
@@ -80,18 +130,20 @@ let leaf_level = function P4K -> 1 | P2M -> 2
    the default [false]: they already account for the single slot they
    clear, and the tables they release are empty by construction. *)
 let rec decref ?(count_clears = false) t node =
-  node.refs <- node.refs - 1;
-  if node.refs = 0 then begin
-    Array.iter
-      (function
-        | Table child ->
-          if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1;
-          decref ~count_clears t child
-        | Leaf _ ->
-          if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1
-        | Empty -> ())
-      node.entries;
-    Phys_mem.free_frame t.mem node.frame;
+  let store = t.store in
+  Pt_store.set_refs store node (Pt_store.refs store node - 1);
+  if Pt_store.refs store node = 0 then begin
+    for i = 0 to Pt_store.slots - 1 do
+      let e = Pt_store.get store node i in
+      match e land 3 with
+      | 1 ->
+        if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1;
+        decref ~count_clears t (e lsr 2)
+      | 2 -> if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1
+      | _ -> ()
+    done;
+    Phys_mem.free_frame t.mem (frame_of_node t node);
+    Pt_store.free store node;
     t.stats.tables_freed <- t.stats.tables_freed + 1
   end
 
@@ -105,22 +157,24 @@ let check_aligned va size name =
                    (Addr.to_string va) (Size.to_string (bytes_of_page_size size)))
 
 (* Descend to the table holding the slot for [va] at [target_level],
-   creating intermediate tables when [create_missing]. *)
+   creating intermediate tables when [create_missing]; -1 = absent. *)
 let rec descend t node ~va ~target_level ~create_missing =
-  if node.level = target_level then Some node
+  let level = Pt_store.level t.store node in
+  if level = target_level then node
   else
-    let i = index_at ~level:node.level va in
-    match node.entries.(i) with
-    | Table child -> descend t child ~va ~target_level ~create_missing
-    | Leaf _ ->
+    let i = index_at ~level va in
+    let e = Pt_store.get t.store node i in
+    match e land 3 with
+    | 1 -> descend t (e lsr 2) ~va ~target_level ~create_missing
+    | 2 ->
       invalid_arg
         (Printf.sprintf "Page_table: %s already covered by a larger mapping" (Addr.to_string va))
-    | Empty ->
-      if not create_missing then None
+    | _ ->
+      if not create_missing then -1
       else begin
-        let child = alloc_node t ~level:(node.level - 1) in
-        node.entries.(i) <- Table child;
-        node.live <- node.live + 1;
+        let child = alloc_node t ~level:(level - 1) in
+        Pt_store.set t.store node i (e_table child);
+        Pt_store.set_live t.store node (Pt_store.live t.store node + 1);
         t.stats.pte_writes <- t.stats.pte_writes + 1;
         descend t child ~va ~target_level ~create_missing
       end
@@ -131,82 +185,159 @@ let map ?(global = false) t ~va ~pa ~prot ~size =
   check_aligned pa size "map";
   if va < 0 || va >= Addr.va_limit then invalid_arg "Page_table.map: VA out of range";
   let level = leaf_level size in
-  match descend t t.root ~va ~target_level:level ~create_missing:true with
-  | None -> assert false
-  | Some node ->
-    let i = index_at ~level va in
-    (match node.entries.(i) with
-    | Empty ->
-      node.entries.(i) <- Leaf { pa; prot; size; global };
-      node.live <- node.live + 1;
-      t.stats.pte_writes <- t.stats.pte_writes + 1
-    | Leaf _ | Table _ ->
-      invalid_arg (Printf.sprintf "Page_table.map: %s already mapped" (Addr.to_string va)))
+  let node =
+    let block = va lsr 21 in
+    if level = 1 && t.memo_block = block
+       && t.memo_frees = Pt_store.free_count t.store
+    then t.memo_node
+    else begin
+      let n = descend t t.root ~va ~target_level:level ~create_missing:true in
+      assert (n >= 0);
+      if level = 1 then begin
+        t.memo_block <- block;
+        t.memo_node <- n;
+        t.memo_frees <- Pt_store.free_count t.store
+      end;
+      n
+    end
+  in
+  let i = index_at ~level va in
+  if Pt_store.get t.store node i = 0 then begin
+    Pt_store.set t.store node i (e_leaf ~pa ~prot ~size ~global);
+    Pt_store.set_live t.store node (Pt_store.live t.store node + 1);
+    t.stats.pte_writes <- t.stats.pte_writes + 1
+  end
+  else invalid_arg (Printf.sprintf "Page_table.map: %s already mapped" (Addr.to_string va))
+
+(* Map [n] consecutive 4 KiB pages starting at [va], page [i] backed by
+   [frames.(off + i)]. Observably identical to [n] single [map] calls —
+   same PTEs, same stats and live counts, the same error text on a
+   mid-run occupied slot — but each 2 MiB leaf table is located once
+   for its whole 512-page run instead of once per page. Segment attach
+   loops live on this path. *)
+let map_run ?(global = false) t ~va ~n ~frames ~off ~prot =
+  if n > 0 then begin
+    dirty t;
+    check_aligned va P4K "map";
+    if va < 0 || va + ((n - 1) * Addr.page_size) >= Addr.va_limit then
+      invalid_arg "Page_table.map: VA out of range";
+    if off < 0 || off + n > Array.length frames then
+      invalid_arg "Page_table.map: frame range";
+    let store = t.store in
+    let bits = (prot_index prot lsl 4) lor (if global then 4 else 0) lor 2 in
+    let i = ref 0 in
+    while !i < n do
+      let va_i = va + (!i * Addr.page_size) in
+      let block = va_i lsr 21 in
+      let node =
+        if t.memo_block = block && t.memo_frees = Pt_store.free_count store
+        then t.memo_node
+        else begin
+          let nd = descend t t.root ~va:va_i ~target_level:1 ~create_missing:true in
+          assert (nd >= 0);
+          t.memo_block <- block;
+          t.memo_node <- nd;
+          t.memo_frees <- Pt_store.free_count store;
+          nd
+        end
+      in
+      let slot0 = index_at ~level:1 va_i in
+      let run = min (n - !i) (Pt_store.slots - slot0) in
+      (* Pages before a failure are all written (the loop stops at the
+         first occupied slot), so accounting for [j] pages after the
+         loop — before raising — leaves exactly the state a loop of
+         single [map] calls would. *)
+      let j = ref 0 in
+      let fail = ref false in
+      while (not !fail) && !j < run do
+        let slot = slot0 + !j in
+        if Pt_store.get store node slot = 0 then begin
+          Pt_store.set store node slot
+            (Phys_mem.base_of_frame (Array.unsafe_get frames (off + !i + !j)) lor bits);
+          incr j
+        end
+        else fail := true
+      done;
+      Pt_store.set_live store node (Pt_store.live store node + !j);
+      t.stats.pte_writes <- t.stats.pte_writes + !j;
+      if !fail then
+        invalid_arg
+          (Printf.sprintf "Page_table.map: %s already mapped"
+             (Addr.to_string (va + ((!i + !j) * Addr.page_size))));
+      i := !i + run
+    done
+  end
 
 (* Remove a leaf and prune now-empty exclusively-owned interior tables. *)
 let unmap t ~va ~size =
   dirty t;
   check_aligned va size "unmap";
   let level = leaf_level size in
+  let store = t.store in
   let rec go node =
-    if node.level = level then begin
+    if Pt_store.level store node = level then begin
       let i = index_at ~level va in
-      match node.entries.(i) with
-      | Leaf _ ->
-        node.entries.(i) <- Empty;
-        node.live <- node.live - 1;
+      if Pt_store.get store node i land 3 = 2 then begin
+        Pt_store.set store node i 0;
+        Pt_store.set_live store node (Pt_store.live store node - 1);
         t.stats.pte_clears <- t.stats.pte_clears + 1
-      | Empty | Table _ ->
-        invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
+      end
+      else invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
     end
     else begin
-      let i = index_at ~level:node.level va in
-      match node.entries.(i) with
-      | Table child ->
+      let i = index_at ~level:(Pt_store.level store node) va in
+      let e = Pt_store.get store node i in
+      if e land 3 = 1 then begin
+        let child = e lsr 2 in
         go child;
-        if child.live = 0 && child.refs = 1 then begin
-          node.entries.(i) <- Empty;
-          node.live <- node.live - 1;
+        if Pt_store.live store child = 0 && Pt_store.refs store child = 1 then begin
+          Pt_store.set store node i 0;
+          Pt_store.set_live store node (Pt_store.live store node - 1);
           t.stats.pte_clears <- t.stats.pte_clears + 1;
           decref t child
         end
-      | Empty | Leaf _ ->
-        invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
+      end
+      else invalid_arg (Printf.sprintf "Page_table.unmap: %s not mapped" (Addr.to_string va))
     end
   in
   go t.root
 
+let mapping_of_leaf e ~levels =
+  { pa = leaf_pa e; prot = leaf_prot e; size = leaf_size e; global = leaf_global e; levels }
+
 let walk t ~va =
   if va < 0 || va >= Addr.va_limit then None
-  else
-    let rec go node levels =
-      let i = index_at ~level:node.level va in
-      match node.entries.(i) with
-      | Empty -> None
-      | Table child -> go child (levels + 1)
-      | Leaf { pa; prot; size; global } -> Some { pa; prot; size; global; levels }
+  else begin
+    let store = t.store in
+    let rec go node level levels =
+      let e = Pt_store.get store node (index_at ~level va) in
+      match e land 3 with
+      | 1 -> go (e lsr 2) (level - 1) (levels + 1)
+      | 2 -> Some (mapping_of_leaf e ~levels)
+      | _ -> None
     in
-    go t.root 1
+    go t.root 4 1
+  end
 
 (* ---- Software page-walk cache (a per-core paging-structure cache) ----
 
-   Caches pointers to the interior tables (PDPT / PD / PT) that
+   Caches indices of the interior tables (PDPT / PD / PT) that
    translate the most recent 512 GiB / 1 GiB / 2 MiB span, so a walk
    with spatial locality descends 1-2 levels instead of 4. Entries are
-   validated against [global_gen]; the returned [mapping] (including
-   [levels], which counts the tables the *full* walk would touch) is
-   identical to {!walk}'s because with no structural change the full
-   walk would reach the very same nodes. *)
+   validated against the owning memory's structural epoch; the returned
+   [mapping] (including [levels], which counts the tables the *full*
+   walk would touch) is identical to {!walk}'s because with no
+   structural change the full walk would reach the very same nodes. *)
 
 type walk_cache = {
   mutable owner : t option; (* physical identity of the cached tree *)
   mutable wgen : int;
   mutable base_l1 : int; (* 2 MiB span base; -1 = empty *)
-  mutable node_l1 : node option;
+  mutable node_l1 : int; (* node index; -1 = none *)
   mutable base_l2 : int; (* 1 GiB span base *)
-  mutable node_l2 : node option;
+  mutable node_l2 : int;
   mutable base_l3 : int; (* 512 GiB span base *)
-  mutable node_l3 : node option;
+  mutable node_l3 : int;
 }
 
 let span_l1 = 1 lsl 21
@@ -218,52 +349,52 @@ let walk_cache_create () =
     owner = None;
     wgen = -1;
     base_l1 = -1;
-    node_l1 = None;
+    node_l1 = -1;
     base_l2 = -1;
-    node_l2 = None;
+    node_l2 = -1;
     base_l3 = -1;
-    node_l3 = None;
+    node_l3 = -1;
   }
 
 let walk_cache_reset wc =
   wc.owner <- None;
   wc.wgen <- -1;
   wc.base_l1 <- -1;
-  wc.node_l1 <- None;
+  wc.node_l1 <- -1;
   wc.base_l2 <- -1;
-  wc.node_l2 <- None;
+  wc.node_l2 <- -1;
   wc.base_l3 <- -1;
-  wc.node_l3 <- None
+  wc.node_l3 <- -1
 
-let rec descend_cached wc node levels ~va =
+let rec descend_cached t wc node level levels ~va =
   (* Record the interior nodes we pass so the next walk can resume
      deeper. Skip the store when the span is already recorded (same
      epoch => it is necessarily the same node). *)
-  (match node.level with
+  (match level with
   | 3 ->
     let b = va land lnot (span_l3 - 1) in
     if wc.base_l3 <> b then begin
       wc.base_l3 <- b;
-      wc.node_l3 <- Some node
+      wc.node_l3 <- node
     end
   | 2 ->
     let b = va land lnot (span_l2 - 1) in
     if wc.base_l2 <> b then begin
       wc.base_l2 <- b;
-      wc.node_l2 <- Some node
+      wc.node_l2 <- node
     end
   | 1 ->
     let b = va land lnot (span_l1 - 1) in
     if wc.base_l1 <> b then begin
       wc.base_l1 <- b;
-      wc.node_l1 <- Some node
+      wc.node_l1 <- node
     end
   | _ -> ());
-  let i = index_at ~level:node.level va in
-  match node.entries.(i) with
-  | Empty -> None
-  | Table child -> descend_cached wc child (levels + 1) ~va
-  | Leaf { pa; prot; size; global } -> Some { pa; prot; size; global; levels }
+  let e = Pt_store.get t.store node (index_at ~level va) in
+  match e land 3 with
+  | 1 -> descend_cached t wc (e lsr 2) (level - 1) (levels + 1) ~va
+  | 2 -> Some (mapping_of_leaf e ~levels)
+  | _ -> None
 
 let walk_cached t wc ~va =
   if va < 0 || va >= Addr.va_limit then None
@@ -276,46 +407,40 @@ let walk_cached t wc ~va =
       wc.wgen <- Phys_mem.pt_epoch t.mem);
     (* Resume from the deepest cached node covering [va]; a node at
        level L is reached by the full walk with [levels] = 5 - L. *)
-    match wc.node_l1 with
-    | Some n when wc.base_l1 = va land lnot (span_l1 - 1) -> descend_cached wc n 4 ~va
-    | _ -> (
-      match wc.node_l2 with
-      | Some n when wc.base_l2 = va land lnot (span_l2 - 1) -> descend_cached wc n 3 ~va
-      | _ -> (
-        match wc.node_l3 with
-        | Some n when wc.base_l3 = va land lnot (span_l3 - 1) -> descend_cached wc n 2 ~va
-        | _ -> descend_cached wc t.root 1 ~va))
+    if wc.node_l1 >= 0 && wc.base_l1 = va land lnot (span_l1 - 1) then
+      descend_cached t wc wc.node_l1 1 4 ~va
+    else if wc.node_l2 >= 0 && wc.base_l2 = va land lnot (span_l2 - 1) then
+      descend_cached t wc wc.node_l2 2 3 ~va
+    else if wc.node_l3 >= 0 && wc.base_l3 = va land lnot (span_l3 - 1) then
+      descend_cached t wc wc.node_l3 3 2 ~va
+    else descend_cached t wc t.root 4 1 ~va
   end
 
 let protect t ~va ~size ~prot =
   dirty t;
   check_aligned va size "protect";
   let level = leaf_level size in
-  match descend t t.root ~va ~target_level:level ~create_missing:false with
-  | None -> invalid_arg "Page_table.protect: not mapped"
-  | Some node ->
+  let node = descend t t.root ~va ~target_level:level ~create_missing:false in
+  if node < 0 then invalid_arg "Page_table.protect: not mapped"
+  else begin
     let i = index_at ~level va in
-    (match node.entries.(i) with
-    | Leaf { pa; size; global; _ } ->
-      node.entries.(i) <- Leaf { pa; prot; size; global };
+    let e = Pt_store.get t.store node i in
+    if e land 3 = 2 then begin
+      Pt_store.set t.store node i (e land lnot (7 lsl 4) lor (prot_index prot lsl 4));
       t.stats.pte_writes <- t.stats.pte_writes + 1
-    | Empty | Table _ -> invalid_arg "Page_table.protect: not mapped")
+    end
+    else invalid_arg "Page_table.protect: not mapped"
+  end
 
 let map_range ?(global = false) t ~va ~frames ~prot =
-  Array.iteri
-    (fun i frame ->
-      map ~global t
-        ~va:(va + (i * Addr.page_size))
-        ~pa:(Phys_mem.base_of_frame frame)
-        ~prot ~size:P4K)
-    frames
+  map_run ~global t ~va ~n:(Array.length frames) ~frames ~off:0 ~prot
 
 let unmap_range t ~va ~pages =
   for i = 0 to pages - 1 do
     unmap t ~va:(va + (i * Addr.page_size)) ~size:P4K
   done
 
-let subtree_level (n : subtree) = n.level
+let subtree_level (n : subtree) = n.s_level
 
 let span_of_level = function
   | 3 -> 1 lsl 39 (* a PML4 slot: 512 GiB *)
@@ -326,58 +451,68 @@ let span_of_level = function
 let extract_subtree t ~va ~level =
   let span = span_of_level level in
   let base = Size.round_down va ~align:span in
-  match descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false with
-  | None -> None
-  | Some parent -> (
+  let parent = descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false in
+  if parent < 0 then None
+  else begin
     let i = index_at ~level:(level + 1) base in
-    match parent.entries.(i) with
-    | Table child ->
-      child.refs <- child.refs + 1;
-      Some child
-    | Empty -> None
-    | Leaf _ -> invalid_arg "Page_table.extract_subtree: slot holds a large-page leaf")
+    let e = Pt_store.get t.store parent i in
+    match e land 3 with
+    | 1 ->
+      let child = e lsr 2 in
+      Pt_store.set_refs t.store child (Pt_store.refs t.store child + 1);
+      Some { s_idx = child; s_level = level }
+    | 2 -> invalid_arg "Page_table.extract_subtree: slot holds a large-page leaf"
+    | _ -> None
+  end
 
 let graft_subtree t ~va (sub : subtree) =
   dirty t;
-  let span = span_of_level sub.level in
+  let span = span_of_level sub.s_level in
   if va land (span - 1) <> 0 then
     invalid_arg "Page_table.graft_subtree: address not aligned to subtree span";
-  match descend t t.root ~va ~target_level:(sub.level + 1) ~create_missing:true with
-  | None -> assert false
-  | Some parent -> (
-    let i = index_at ~level:(sub.level + 1) va in
-    match parent.entries.(i) with
-    | Empty ->
-      sub.refs <- sub.refs + 1;
-      parent.entries.(i) <- Table sub;
-      parent.live <- parent.live + 1;
-      t.stats.pte_writes <- t.stats.pte_writes + 1
-    | Table _ | Leaf _ -> invalid_arg "Page_table.graft_subtree: slot occupied")
+  let parent = descend t t.root ~va ~target_level:(sub.s_level + 1) ~create_missing:true in
+  assert (parent >= 0);
+  let i = index_at ~level:(sub.s_level + 1) va in
+  if Pt_store.get t.store parent i = 0 then begin
+    Pt_store.set_refs t.store sub.s_idx (Pt_store.refs t.store sub.s_idx + 1);
+    Pt_store.set t.store parent i (e_table sub.s_idx);
+    Pt_store.set_live t.store parent (Pt_store.live t.store parent + 1);
+    t.stats.pte_writes <- t.stats.pte_writes + 1
+  end
+  else invalid_arg "Page_table.graft_subtree: slot occupied"
 
 let prune_subtree t ~va ~level =
   dirty t;
+  (* The detached subtree may survive (shared refs), so the free count
+     alone cannot witness that the memoized table left this tree. *)
+  t.memo_block <- -1;
   let span = span_of_level level in
   let base = Size.round_down va ~align:span in
-  match descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false with
-  | None -> invalid_arg "Page_table.prune_subtree: not present"
-  | Some parent -> (
+  let parent = descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false in
+  if parent < 0 then invalid_arg "Page_table.prune_subtree: not present"
+  else begin
     let i = index_at ~level:(level + 1) base in
-    match parent.entries.(i) with
-    | Table child ->
-      parent.entries.(i) <- Empty;
-      parent.live <- parent.live - 1;
+    let e = Pt_store.get t.store parent i in
+    if e land 3 = 1 then begin
+      Pt_store.set t.store parent i 0;
+      Pt_store.set_live t.store parent (Pt_store.live t.store parent - 1);
       t.stats.pte_clears <- t.stats.pte_clears + 1;
-      decref t child
-    | Empty | Leaf _ -> invalid_arg "Page_table.prune_subtree: not present")
+      decref t (e lsr 2)
+    end
+    else invalid_arg "Page_table.prune_subtree: not present"
+  end
 
-let release_subtree t (sub : subtree) = decref t sub
+let release_subtree t (sub : subtree) = decref t sub.s_idx
 
-let rec count_leaves node =
-  Array.fold_left
-    (fun acc -> function
-      | Empty -> acc
-      | Leaf _ -> acc + 1
-      | Table child -> acc + count_leaves child)
-    0 node.entries
+let rec count_leaves t node =
+  let acc = ref 0 in
+  for i = 0 to Pt_store.slots - 1 do
+    let e = Pt_store.get t.store node i in
+    match e land 3 with
+    | 1 -> acc := !acc + count_leaves t (e lsr 2)
+    | 2 -> incr acc
+    | _ -> ()
+  done;
+  !acc
 
-let entries_mapped t = count_leaves t.root
+let entries_mapped t = count_leaves t t.root

@@ -60,6 +60,15 @@ val map : ?global:bool -> t -> va:int -> pa:int -> prot:Prot.t -> size:page_size
     must be an explicit unmap+map, unlike Linux's silent clobber the
     paper criticizes in §2.4). *)
 
+val map_run :
+  ?global:bool ->
+  t -> va:int -> n:int -> frames:Sj_mem.Phys_mem.frame array -> off:int -> prot:Prot.t -> unit
+(** Install [n] consecutive 4 KiB mappings starting at [va], page [i]
+    backed by [frames.(off + i)]. Observably identical to [n] {!map}
+    calls (same PTEs, stats, and failure behaviour) but locates each
+    leaf table once per 2 MiB run instead of once per page — the
+    segment attach path for large objects. *)
+
 val unmap : t -> va:int -> size:page_size -> unit
 (** Remove one mapping; raises [Invalid_argument] if absent. Empty
     interior tables are freed eagerly. *)

@@ -26,23 +26,56 @@ type entry = {
   mutable last_use : int;
 }
 
+(* Host-side MRU fast path, one slot per (low bits of) ASID tag so the
+   cache stays warm across vas_switch: switching A -> B -> A finds A's
+   record intact as long as the arrays it depends on are unchanged.
+   Validation is per-set generation stamps rather than one global
+   counter — a fill or flush in set S only invalidates records whose
+   scan consulted S, so unrelated traffic (including the other tag's
+   fills) no longer evicts a warm record. A record of a 2 MiB hit also
+   stamps the 2 MiB array: its scan proved a 4 KiB-set miss *and* a
+   2 MiB hit, so both must be unchanged for a replay to be exact. *)
+type mru_slot = {
+  mutable m_tag : int; (* -1 = empty *)
+  mutable m_vbase : int; (* 4 KiB base of the access that recorded it *)
+  mutable m_size : Page_table.page_size;
+  mutable m_entry : entry;
+  mutable m_set : int; (* 4 KiB set index of m_vbase *)
+  mutable m_set_gen : int;
+  mutable m_2m_gen : int; (* only checked when m_size = P2M *)
+}
+
+let mru_slots = 64 (* power of two; slot = tag land (mru_slots - 1) *)
+
 type t = {
   cfg : config;
   array_4k : entry array array; (* [set].[way] *)
   array_2m : entry array;
   stats : stats;
   mutable clock : int;
-  (* Host-side MRU fast path. [gen] is bumped whenever array contents
-     change (fill, flush, invalidate); the MRU record is only trusted
-     while [mru_gen = gen], which makes a hit provably identical to
-     re-running the full scan (nothing that affects matching changed
-     since the scan that recorded it). *)
-  mutable gen : int;
-  mutable mru_gen : int; (* -1 = empty *)
-  mutable mru_tag : int;
-  mutable mru_vbase : int; (* 4 KiB base of the access that recorded it *)
-  mutable mru_size : Page_table.page_size;
-  mutable mru_entry : entry;
+  (* Per-set generation stamps (see [mru_slot]) and per-set counts of
+     valid entries. The counts let flushes skip provably empty sets, so
+     a flush costs O(resident entries), not O(capacity) — the dominant
+     host cost of switch-heavy workloads (every untagged vas_switch is
+     a flush_nonglobal over all sets). Stats are unaffected: a skipped
+     set contributes zero flushed entries either way. *)
+  set_gens : int array;
+  valid_4k : int array;
+  (* Worklist of 4 KiB set indices that *may* hold valid entries: every
+     set whose count went 0 -> 1 is pushed, and flushes visit only the
+     worklist instead of striding all [sets_4k] counters. Entries can
+     be stale (the count fell back to 0) or duplicated (refilled while
+     a stale entry remained) — both are harmless, since visits re-check
+     the count — and flushes compact the list to the survivors. If the
+     list ever fills, [occ_overflow] falls back to the full stride once
+     and rebuilds. Purely host-side: which entries a flush drops, and
+     every stat, is identical with or without the list. *)
+  occ : int array;
+  mutable n_occ : int;
+  mutable occ_overflow : bool;
+  mutable gen_2m : int;
+  mutable valid_2m : int;
+  mru : mru_slot array;
   (* Observability hook, installed by Machine.create when tracing is on;
      called once per flush operation with the flush kind and the number
      of entries invalidated. None (the default) costs one test per
@@ -56,25 +89,44 @@ let fresh_entry () =
 let fresh_stats () =
   { hits = 0; misses = 0; insertions = 0; evictions = 0; flushes = 0; flushed_entries = 0 }
 
+let fresh_slot () =
+  {
+    m_tag = -1;
+    m_vbase = -1;
+    m_size = Page_table.P4K;
+    m_entry = fresh_entry ();
+    m_set = 0;
+    m_set_gen = -1;
+    m_2m_gen = -1;
+  }
+
+(* 4 KiB set rows are allocated on first insert; untouched sets share
+   this sentinel (tested by physical equality). [probe_set] and
+   [kill_where] treat the empty row as what it is — a set with no
+   entries — so only [insert] needs to materialize rows, and creating
+   a TLB no longer allocates sets*ways entry records up front. *)
+let no_ways : entry array = [||]
+
 let create cfg =
   if not (Size.is_power_of_two cfg.sets_4k) then invalid_arg "Tlb.create: sets_4k";
   if cfg.ways_4k <= 0 || cfg.entries_2m <= 0 then invalid_arg "Tlb.create: sizes";
   {
     cfg;
-    array_4k = Array.init cfg.sets_4k (fun _ -> Array.init cfg.ways_4k (fun _ -> fresh_entry ()));
+    array_4k = Array.make cfg.sets_4k no_ways;
     array_2m = Array.init cfg.entries_2m (fun _ -> fresh_entry ());
     stats = fresh_stats ();
     clock = 0;
-    gen = 0;
-    mru_gen = -1;
-    mru_tag = 0;
-    mru_vbase = -1;
-    mru_size = Page_table.P4K;
-    mru_entry = fresh_entry ();
+    set_gens = Array.make cfg.sets_4k 0;
+    valid_4k = Array.make cfg.sets_4k 0;
+    occ = Array.make cfg.sets_4k 0;
+    n_occ = 0;
+    occ_overflow = false;
+    gen_2m = 0;
+    valid_2m = 0;
+    mru = Array.init mru_slots (fun _ -> fresh_slot ());
     obs = None;
   }
 
-let dirty t = t.gen <- t.gen + 1
 let set_obs t hook = t.obs <- hook
 
 let notify_flush t kind entries =
@@ -82,6 +134,13 @@ let notify_flush t kind entries =
 
 let config t = t.cfg
 let stats t = t.stats
+
+let note_occupied t set_idx =
+  if t.n_occ < Array.length t.occ then begin
+    t.occ.(t.n_occ) <- set_idx;
+    t.n_occ <- t.n_occ + 1
+  end
+  else t.occ_overflow <- true
 
 let reset_stats t =
   let s = t.stats in
@@ -156,29 +215,44 @@ let lookup t ~tag ~va =
     end
   end
 
-let record_mru t ~tag ~va e size =
-  t.mru_gen <- t.gen;
-  t.mru_tag <- tag;
-  t.mru_vbase <- base_4k va;
-  t.mru_size <- size;
-  t.mru_entry <- e
+(* A slot replay is exact when the arrays its recording scan consulted
+   are unchanged: for a 4 KiB hit that is just the home set (the scan
+   stopped there); for a 2 MiB hit it is the home set (which missed)
+   plus the 2 MiB array (which hit). The slot's entry is then provably
+   the entry a full scan would return right now. *)
+let slot_matches t s ~tag ~vbase =
+  s.m_tag = tag && s.m_vbase = vbase
+  && s.m_set_gen = Array.unsafe_get t.set_gens s.m_set
+  && (match s.m_size with
+     | Page_table.P4K -> true
+     | Page_table.P2M -> s.m_2m_gen = t.gen_2m)
 
-let mru_matches t ~tag ~va =
-  t.mru_gen = t.gen && t.mru_tag = tag && t.mru_vbase = base_4k va
+let record_mru t ~tag ~vbase e size ~set_idx =
+  let s = Array.unsafe_get t.mru (tag land (mru_slots - 1)) in
+  s.m_tag <- tag;
+  s.m_vbase <- vbase;
+  s.m_size <- size;
+  s.m_entry <- e;
+  s.m_set <- set_idx;
+  s.m_set_gen <- Array.unsafe_get t.set_gens set_idx;
+  s.m_2m_gen <- t.gen_2m
 
 let lookup_fast t ~tag ~va =
-  if mru_matches t ~tag ~va then begin
-    let e = t.mru_entry in
+  let vbase = base_4k va in
+  let s = Array.unsafe_get t.mru (tag land (mru_slots - 1)) in
+  if slot_matches t s ~tag ~vbase then begin
+    let e = s.m_entry in
     hit_entry t e;
-    Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = t.mru_size }
+    Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = s.m_size }
   end
   else begin
-    let set = t.array_4k.(set_of_4k t va) in
-    let i4 = probe_set set ~tag ~vbase:(base_4k va) in
+    let set_idx = set_of_4k t va in
+    let set = t.array_4k.(set_idx) in
+    let i4 = probe_set set ~tag ~vbase in
     if i4 >= 0 then begin
       let e = set.(i4) in
       hit_entry t e;
-      record_mru t ~tag ~va e Page_table.P4K;
+      record_mru t ~tag ~vbase e Page_table.P4K ~set_idx;
       Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P4K }
     end
     else begin
@@ -186,7 +260,7 @@ let lookup_fast t ~tag ~va =
       if i2 >= 0 then begin
         let e = t.array_2m.(i2) in
         hit_entry t e;
-        record_mru t ~tag ~va e Page_table.P2M;
+        record_mru t ~tag ~vbase e Page_table.P2M ~set_idx;
         Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P2M }
       end
       else begin
@@ -203,18 +277,21 @@ let checked_pa ~write ~va e =
   else prot_failed
 
 let translate_probe t ~tag ~va ~write =
-  if mru_matches t ~tag ~va then begin
-    let e = t.mru_entry in
+  let vbase = base_4k va in
+  let s = Array.unsafe_get t.mru (tag land (mru_slots - 1)) in
+  if slot_matches t s ~tag ~vbase then begin
+    let e = s.m_entry in
     hit_entry t e;
     checked_pa ~write ~va e
   end
   else begin
-    let set = t.array_4k.(set_of_4k t va) in
-    let i4 = probe_set set ~tag ~vbase:(base_4k va) in
+    let set_idx = set_of_4k t va in
+    let set = t.array_4k.(set_idx) in
+    let i4 = probe_set set ~tag ~vbase in
     if i4 >= 0 then begin
       let e = set.(i4) in
       hit_entry t e;
-      record_mru t ~tag ~va e Page_table.P4K;
+      record_mru t ~tag ~vbase e Page_table.P4K ~set_idx;
       checked_pa ~write ~va e
     end
     else begin
@@ -222,7 +299,7 @@ let translate_probe t ~tag ~va ~write =
       if i2 >= 0 then begin
         let e = t.array_2m.(i2) in
         hit_entry t e;
-        record_mru t ~tag ~va e Page_table.P2M;
+        record_mru t ~tag ~vbase e Page_table.P2M ~set_idx;
         checked_pa ~write ~va e
       end
       else begin
@@ -249,7 +326,6 @@ let victim t entries =
   entries.(!best)
 
 let fill t e ~tag ~vbase ~pa ~prot ~global =
-  dirty t;
   e.valid <- true;
   e.vbase <- vbase;
   e.tag <- tag;
@@ -265,33 +341,99 @@ let insert t ~tag ~va ~pa ~prot ~size ~global =
   | Page_table.P4K ->
     let vbase = base_4k va in
     let pa = Size.round_down pa ~align:Addr.page_size in
-    let set = t.array_4k.(set_of_4k t va) in
+    let set_idx = set_of_4k t va in
+    let set =
+      let s = t.array_4k.(set_idx) in
+      if s != no_ways then s
+      else begin
+        let s = Array.init t.cfg.ways_4k (fun _ -> fresh_entry ()) in
+        t.array_4k.(set_idx) <- s;
+        s
+      end
+    in
     (* Refresh in place only when the exact (tag, global) identity is
        already present; a looser probe would let a non-global fill
        clobber a global entry at the same vbase. *)
     let i = probe_exact set ~tag ~vbase ~global in
     let e = if i >= 0 then set.(i) else victim t set in
+    if not e.valid then begin
+      if t.valid_4k.(set_idx) = 0 then note_occupied t set_idx;
+      t.valid_4k.(set_idx) <- t.valid_4k.(set_idx) + 1
+    end;
+    t.set_gens.(set_idx) <- t.set_gens.(set_idx) + 1;
     fill t e ~tag ~vbase ~pa ~prot ~global
   | Page_table.P2M ->
     let vbase = base_2m va in
     let pa = Size.round_down pa ~align:(Size.mib 2) in
     let i = probe_exact t.array_2m ~tag ~vbase ~global in
     let e = if i >= 0 then t.array_2m.(i) else victim t t.array_2m in
+    if not e.valid then t.valid_2m <- t.valid_2m + 1;
+    t.gen_2m <- t.gen_2m + 1;
     fill t e ~tag ~vbase ~pa ~prot ~global
 
 let iter_entries t f =
   Array.iter (fun set -> Array.iter f set) t.array_4k;
   Array.iter f t.array_2m
 
-let flush_where t pred =
-  dirty t;
-  t.stats.flushes <- t.stats.flushes + 1;
-  let n = ref 0 in
-  iter_entries t (fun e ->
+(* Kill matching entries in one entry array; returns the kill count.
+   Callers decide which count/gen to charge it to. *)
+let kill_where entries pred =
+  let killed = ref 0 in
+  Array.iter
+    (fun e ->
       if e.valid && pred e then begin
         e.valid <- false;
-        incr n
-      end);
+        incr killed
+      end)
+    entries;
+  !killed
+
+let flush_where t pred =
+  t.stats.flushes <- t.stats.flushes + 1;
+  let n = ref 0 in
+  (* Visit only sets that may hold valid entries (the occupancy
+     worklist; all sets on overflow). Sets with a zero count are
+     skipped outright; sets where nothing matched keep their
+     generation, so MRU records over them stay warm — in both cases
+     the observable effect (zero entries dropped) is what the full
+     scan would have produced. Survivors are compacted back into the
+     worklist. *)
+  let visit si kept =
+    if t.valid_4k.(si) > 0 then begin
+      let killed = kill_where t.array_4k.(si) pred in
+      if killed > 0 then begin
+        t.valid_4k.(si) <- t.valid_4k.(si) - killed;
+        t.set_gens.(si) <- t.set_gens.(si) + 1;
+        n := !n + killed
+      end;
+      if t.valid_4k.(si) > 0 then begin
+        t.occ.(kept) <- si;
+        kept + 1
+      end
+      else kept
+    end
+    else kept
+  in
+  let kept = ref 0 in
+  if t.occ_overflow then begin
+    for si = 0 to Array.length t.array_4k - 1 do
+      kept := visit si !kept
+    done;
+    t.occ_overflow <- false
+  end
+  else
+    for k = 0 to t.n_occ - 1 do
+      kept := visit t.occ.(k) !kept
+    done;
+  t.n_occ <- !kept;
+  if t.valid_2m > 0 then begin
+    let killed = kill_where t.array_2m pred in
+    if killed > 0 then begin
+      t.valid_2m <- t.valid_2m - killed;
+      t.gen_2m <- t.gen_2m + 1;
+      n := !n + killed
+    end
+  end;
   t.stats.flushed_entries <- t.stats.flushed_entries + !n;
   !n
 
@@ -307,25 +449,36 @@ let flush_tag t ~tag =
     (flush_where t (fun e -> (not e.global) && e.tag = tag))
 
 let invalidate_page t ~va =
-  dirty t;
   let v4 = base_4k va and v2 = base_2m va in
   let n = ref 0 in
-  let kill e =
-    if e.valid && (e.vbase = v4 || e.vbase = v2) then begin
-      e.valid <- false;
-      incr n
-    end
-  in
+  let pred e = e.vbase = v4 || e.vbase = v2 in
   (* A 4 KiB entry for [v4] can only live in [v4]'s set; the only other
      4 KiB base the predicate can match is [v2] (a 2 MiB base is itself
      page-aligned), which can only live in [v2]'s set. Every other 4 KiB
      set is provably unaffected, so skip it. The small 2 MiB array is
      scanned in full. *)
+  let kill_set si =
+    if t.valid_4k.(si) > 0 then begin
+      let killed = kill_where t.array_4k.(si) pred in
+      if killed > 0 then begin
+        t.valid_4k.(si) <- t.valid_4k.(si) - killed;
+        t.set_gens.(si) <- t.set_gens.(si) + 1;
+        n := !n + killed
+      end
+    end
+  in
   let s4 = set_of_4k t v4 in
-  Array.iter kill t.array_4k.(s4);
+  kill_set s4;
   let s2 = set_of_4k t v2 in
-  if s2 <> s4 then Array.iter kill t.array_4k.(s2);
-  Array.iter kill t.array_2m;
+  if s2 <> s4 then kill_set s2;
+  if t.valid_2m > 0 then begin
+    let killed = kill_where t.array_2m pred in
+    if killed > 0 then begin
+      t.valid_2m <- t.valid_2m - killed;
+      t.gen_2m <- t.gen_2m + 1;
+      n := !n + killed
+    end
+  end;
   notify_flush t (Sj_obs.Event.Flush_page v4) !n
 
 let occupancy t =

@@ -49,11 +49,13 @@ val lookup : t -> tag:int -> va:int -> hit option
 
 val lookup_fast : t -> tag:int -> va:int -> hit option
 (** Observably identical to {!lookup} (same result, same stats, same
-    LRU updates) but consults a host-side single-entry MRU cache keyed
-    on [(tag, 4 KiB page)] before scanning the arrays. The MRU record
-    carries a generation stamp and is discarded whenever any fill,
-    flush or invalidation touches the arrays, so a hit is provably the
-    entry the full scan would have found. *)
+    LRU updates) but consults a host-side per-tag MRU cache keyed on
+    [(tag, 4 KiB page)] before scanning the arrays. Records survive
+    [vas_switch]: each tag has its own slot, and validity is stamped
+    against the generation of exactly the sets the recording scan
+    consulted, so fills and flushes that touch other sets (including
+    another address space's traffic) leave the record warm. A hit is
+    provably the entry the full scan would have found. *)
 
 val translate_probe : t -> tag:int -> va:int -> write:bool -> int
 (** Allocation-free variant of {!lookup_fast} for the machine's hot

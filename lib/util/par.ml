@@ -136,6 +136,31 @@ let map t f xs = run t (Array.map (fun x () -> f x) xs)
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
+(* Chunked map: pack the elements into at most [shards] contiguous,
+   balanced chunks and submit one pool task per chunk. Long trial
+   lists then pay one scheduling handoff per chunk instead of per
+   element, and each chunk's elements run serially, in order, on one
+   domain — so the flattened result is [List.map f xs] exactly. *)
+let map_sharded t ~shards f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let k = max 1 (min shards n) in
+  if k <= 1 then List.map f xs
+  else begin
+    let chunk i =
+      (* Chunk [i] covers [lo, hi); k <= n keeps every chunk nonempty. *)
+      let lo = i * n / k and hi = (i + 1) * n / k in
+      fun () ->
+        let out = Array.make (hi - lo) (f arr.(lo)) in
+        for j = 1 to hi - lo - 1 do
+          out.(j) <- f arr.(lo + j)
+        done;
+        out
+    in
+    let parts = run t (Array.init k chunk) in
+    List.concat_map Array.to_list (Array.to_list parts)
+  end
+
 let shutdown t =
   Mutex.lock t.m;
   t.stop <- true;

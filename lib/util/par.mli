@@ -37,6 +37,14 @@ val run : t -> (unit -> 'a) array -> 'a array
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val map_sharded : t -> shards:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map_list}, but packs the elements into at most [shards]
+    contiguous balanced chunks and submits one pool task per chunk:
+    long trial lists pay per-chunk (not per-element) scheduling, and a
+    chunk's elements run serially in order on one domain. The result
+    equals [List.map f xs]. On failure, {!Task_error} carries the
+    failing *chunk* index. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. The pool must be idle. *)
 

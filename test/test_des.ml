@@ -140,6 +140,77 @@ let prop_heap_order =
       let fired = List.rev !fired in
       fired = List.stable_sort compare stamps)
 
+(* FIFO among equal timestamps must survive any interleaving of
+   schedules, including re-schedules from inside running events: tag
+   every event with its submission index and check the fired order
+   equals a stable sort by timestamp. *)
+let prop_fifo_among_equals =
+  QCheck.Test.make ~name:"FIFO among equal timestamps (property)" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 20))
+    (fun stamps ->
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i at -> Engine.schedule eng ~at (fun () -> fired := (at, i) :: !fired))
+        stamps;
+      Engine.run eng;
+      let expected = List.stable_sort compare (List.mapi (fun i at -> (at, i)) stamps) in
+      List.rev !fired = expected)
+
+(* run ~until clamping: events at t <= until fire, the rest stay
+   queued, and [now] lands exactly on [until]; draining the remainder
+   afterwards fires them in order. *)
+let prop_until_clamp =
+  QCheck.Test.make ~name:"run ~until clamps and preserves the tail" ~count:200
+    QCheck.(pair (int_bound 1_000) (list_of_size Gen.(int_range 0 100) (int_bound 1_000)))
+    (fun (until, stamps) ->
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i at -> Engine.schedule eng ~at (fun () -> fired := (at, i) :: !fired))
+        stamps;
+      Engine.run ~until eng;
+      let early, late = List.partition (fun (at, _) -> at <= until)
+          (List.mapi (fun i at -> (at, i)) stamps) in
+      Engine.now eng = until
+      && List.rev !fired = List.stable_sort compare early
+      && Engine.pending eng = List.length late
+      && begin
+        Engine.run eng;
+        List.length !fired = List.length stamps
+      end)
+
+(* The tentpole invariant: once the heap's arrays have grown to cover
+   the live set, schedule/run allocates nothing per event. The handler
+   is preallocated and the engine recycles its slots, so the only
+   allocation [Gc.minor_words] may see is the measurement itself. *)
+let test_zero_alloc_steady_state () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec step () =
+    incr count;
+    if !count < 20_000 then Engine.schedule_after eng ~delay:3 step
+  in
+  (* Warm-up: force any capacity growth and minor-heap settling with a
+     burst of 2_000 in-flight events, then drain. *)
+  for i = 1 to 2_000 do
+    Engine.schedule eng ~at:i step
+  done;
+  Engine.run eng;
+  count := 0;
+  (* Steady state: one self-rescheduling chain plus a standing burst. *)
+  for i = 1 to 1_000 do
+    Engine.schedule_after eng ~delay:i step
+  done;
+  let before = Gc.minor_words () in
+  Engine.run eng;
+  let allocated = Gc.minor_words () -. before in
+  let events = !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady state allocated %.0f minor words over %d events" allocated events)
+    true
+    (events > 10_000 && allocated < 256.)
+
 let suite =
   [
     Alcotest.test_case "event ordering" `Quick test_event_order;
@@ -152,5 +223,8 @@ let suite =
     Alcotest.test_case "rwlock readers share" `Quick test_rwlock_readers_share;
     Alcotest.test_case "rwlock writer excludes" `Quick test_rwlock_writer_excludes;
     Alcotest.test_case "rwlock FIFO fairness" `Quick test_rwlock_writer_blocks_later_readers;
+    Alcotest.test_case "zero-allocation steady state" `Quick test_zero_alloc_steady_state;
     QCheck_alcotest.to_alcotest prop_heap_order;
+    QCheck_alcotest.to_alcotest prop_fifo_among_equals;
+    QCheck_alcotest.to_alcotest prop_until_clamp;
   ]

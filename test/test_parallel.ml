@@ -53,6 +53,35 @@ let test_par_inline_when_size_one () =
           Alcotest.(check bool) "size-1 pool runs on the calling domain" true (d = caller))
         doms)
 
+(* map_sharded is a chunked map_list: same results in the same order,
+   whatever the chunk count — including degenerate ones (more shards
+   than elements, one shard, empty input). *)
+let test_par_map_sharded () =
+  Par.with_pool ~size:4 (fun pool ->
+      let xs = List.init 57 (fun i -> i) in
+      let expect = List.map (fun x -> (3 * x) + 1) xs in
+      List.iter
+        (fun shards ->
+          let ys = Par.map_sharded pool ~shards (fun x -> (3 * x) + 1) xs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "map_sharded ~shards:%d = List.map" shards)
+            expect ys)
+        [ 1; 2; 7; 16; 57; 100 ];
+      Alcotest.(check (list int))
+        "map_sharded on []" []
+        (Par.map_sharded pool ~shards:8 (fun x -> x) []))
+
+(* A multi-shard bench's fingerprint is the elementwise sum of its
+   shards' fingerprints, with the shards' key order preserved. *)
+let test_shard_merge () =
+  let mk k () = [ ("a", 10 * k); ("b", k) ] in
+  let b = { Suite.bname = "merged"; shards = [| mk 1; mk 2; mk 4 |] } in
+  let r = Suite.run_one ~fast:true b in
+  Alcotest.(check (list (pair string int)))
+    "merged fingerprint sums shards"
+    [ ("a", 70); ("b", 7) ]
+    r.Suite.fp
+
 let test_par_error_lowest_index () =
   let got =
     try
@@ -98,6 +127,8 @@ let suite =
     Alcotest.test_case "par ordering" `Quick test_par_ordering;
     Alcotest.test_case "par size-1 inline" `Quick test_par_inline_when_size_one;
     Alcotest.test_case "par error lowest index" `Quick test_par_error_lowest_index;
+    Alcotest.test_case "par map_sharded" `Quick test_par_map_sharded;
+    Alcotest.test_case "shard merge" `Quick test_shard_merge;
     Alcotest.test_case "parallel determinism" `Quick test_parallel_determinism;
     Alcotest.test_case "mode determinism" `Quick test_mode_determinism;
   ]
