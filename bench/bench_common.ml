@@ -31,6 +31,12 @@ let pow2_label bytes = Printf.sprintf "2^%d" (Size.log2 bytes)
    byte-identical to a serial run no matter what -j is. *)
 
 let jobs = ref 1
+
+(* Set by main.ml's --quick: experiments that have a CI-sized mode
+   (currently `cluster`) read it; the table/figure experiments ignore
+   it. The standalone harness.exe has its own --quick. *)
+let quick = ref false
+
 let pool_cell = ref None
 
 let pool () =

@@ -1,0 +1,101 @@
+(* `bench cluster`: the sharded multi-machine KV cluster (lib/cluster)
+   end to end — headline single-op-vs-batched pair (a million simulated
+   clients in full mode), the shards x batch x pipeline x backend sweep,
+   availability through a shard crash, and the determinism audits. All
+   orchestration lives in Sj_cluster.Driver (shared with `sjctl
+   cluster`); this file only parses nothing, prints tables, and writes
+   BENCH_cluster.json — or exits 2 on any audit divergence, before any
+   report is written. *)
+
+module Cluster = Sj_cluster.Cluster
+module Driver = Sj_cluster.Driver
+module Creport = Sj_cluster.Cluster_report
+
+let out_path = "BENCH_cluster.json"
+
+let point_row label (p : Creport.point) =
+  let c = p.Creport.cfg and r = p.Creport.res in
+  Printf.printf "  %-10s %3d %5d %5d  %-10s %12.0f %10d %10d %10d %8.2f %8d\n"
+    label c.Cluster.shards c.Cluster.batch c.Cluster.pipeline
+    (Creport.backend_name c.Cluster.backend)
+    r.Cluster.throughput r.Cluster.p50 r.Cluster.p99 r.Cluster.p999
+    r.Cluster.avg_batch r.Cluster.ring_stalls
+
+let header () =
+  Printf.printf "  %-10s %3s %5s %5s  %-10s %12s %10s %10s %10s %8s %8s\n"
+    "run" "K" "batch" "pipe" "backend" "rps" "p50" "p99" "p999" "avg_b"
+    "stalls"
+
+let run () =
+  let quick = !Bench_common.quick in
+  Bench_common.section
+    (Printf.sprintf "Cluster: sharded KV, batched+pipelined request path%s"
+       (if quick then " (quick)" else ""));
+  let { Driver.report; divergences } =
+    Driver.run ~quick ~jobs:!Bench_common.jobs
+      ~progress:(fun s -> Bench_common.note "  -- %s" s)
+      ()
+  in
+  Bench_common.note "";
+  Bench_common.note "  headline (%d clients x %d requests):"
+    report.Creport.baseline.Creport.cfg.Cluster.clients
+    report.Creport.baseline.Creport.cfg.Cluster.requests_per_client;
+  header ();
+  point_row "single-op" report.Creport.baseline;
+  point_row "batched" report.Creport.batched;
+  let speedup =
+    report.Creport.batched.Creport.res.Cluster.throughput
+    /. report.Creport.baseline.Creport.res.Cluster.throughput
+  in
+  Bench_common.note "  batching+pipelining speedup: %.2fx" speedup;
+  Bench_common.note "";
+  Bench_common.note "  sweep grid:";
+  header ();
+  List.iter (point_row "grid") report.Creport.grid;
+  (match report.Creport.fault with
+  | None -> ()
+  | Some p ->
+    Bench_common.note "";
+    Bench_common.note "  fault: shard %d killed mid-storm"
+      (match p.Creport.cfg.Cluster.fault with
+      | Some f -> f.Cluster.victim_shard
+      | None -> -1);
+    (match p.Creport.res.Cluster.outage with
+    | None -> Bench_common.note "  (no outage recorded)"
+    | Some o ->
+      Bench_common.note
+        "  crashed at %d, recovered at %d: %d cycles of outage"
+        o.Cluster.crashed_at o.Cluster.recovered_at o.Cluster.outage_cycles);
+    let victim =
+      match p.Creport.cfg.Cluster.fault with
+      | Some f -> f.Cluster.victim_shard
+      | None -> 0
+    in
+    Printf.printf "  %-8s %12s %12s %12s\n" "window" "served" "victim"
+      "others";
+    Array.iteri
+      (fun w row ->
+        let total = Array.fold_left ( + ) 0 row in
+        Printf.printf "  %-8d %12d %12d %12d\n" w total row.(victim)
+          (total - row.(victim)))
+      p.Creport.res.Cluster.timeline);
+  Bench_common.note "";
+  match divergences with
+  | [] ->
+    Bench_common.note "  determinism audits: %s -> identical"
+      (String.concat ", " report.Creport.audits);
+    let json = Creport.to_json report in
+    let oc = open_out out_path in
+    output_string oc json;
+    close_out oc;
+    (match Creport.check_file out_path with
+    | Ok () -> Bench_common.note "  wrote %s (schema %s)" out_path Creport.schema
+    | Error es ->
+      Printf.eprintf "cluster: emitted report failed validation:\n";
+      List.iter (fun e -> Printf.eprintf "  - %s\n" e) es;
+      exit 2)
+  | ds ->
+    Printf.eprintf
+      "cluster: determinism audit divergence (%s); refusing to write %s\n"
+      (String.concat ", " ds) out_path;
+    exit 2

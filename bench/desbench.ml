@@ -31,6 +31,57 @@ let drive ~chains ~per_chain =
   Sj_des.Engine.run eng;
   !fired
 
+(* Same shape, but every event carries the kvstore switch-storm body:
+   jump into a shared segment, one line-sized op, jump home. The gap
+   between this row and the bare-event rows is the host price of the
+   machine model on the cluster's hot path — what the batched request
+   path has to amortize per simulated client wake-up. *)
+let drive_storm ~chains ~per_chain =
+  let module Machine = Sj_machine.Machine in
+  let module Core = Machine.Core in
+  let module Api = Sj_core.Api in
+  let open Sj_util in
+  let machine = Machine.create Sj_machine.Platform.m2 in
+  let sys = Api.boot machine in
+  let eng = Sj_des.Engine.create () in
+  let fired = ref 0 in
+  let mk i =
+    let proc =
+      Sj_kernel.Process.create ~name:(Printf.sprintf "storm%d" i) machine
+    in
+    let ctx = Api.context sys proc (Machine.core machine (i mod Array.length (Machine.cores machine))) in
+    let vas = Api.vas_create ctx ~name:(Printf.sprintf "s%d" i) ~mode:0o600 in
+    let seg =
+      Api.seg_alloc_anywhere ctx
+        ~name:(Printf.sprintf "s%d.seg" i)
+        ~size:(Size.kib 16) ~mode:0o600
+    in
+    Api.seg_attach ctx vas seg ~prot:Sj_paging.Prot.rw;
+    let vh = Api.vas_attach ctx vas in
+    let base = Sj_core.Segment.base seg in
+    let core = Api.core ctx in
+    let stride = 1 + (i mod 7) in
+    let remaining = ref per_chain in
+    let n = ref 0 in
+    let rec step () =
+      incr fired;
+      decr remaining;
+      Api.vas_switch ctx vh;
+      let va = base + (!n * 64 mod Size.kib 16) in
+      ignore (Core.load64 core ~va);
+      Core.store64 core ~va (Int64.of_int !n);
+      incr n;
+      Api.switch_home ctx;
+      if !remaining > 0 then Sj_des.Engine.schedule_after eng ~delay:stride step
+    in
+    Sj_des.Engine.schedule eng ~at:(i mod 13) step
+  in
+  for i = 0 to chains - 1 do
+    mk i
+  done;
+  Sj_des.Engine.run eng;
+  !fired
+
 let run () =
   Bench_common.section "DES core host throughput (events/sec)";
   Printf.printf "  %-24s %12s %10s %14s %12s\n" "shape" "events" "wall_s"
@@ -49,4 +100,14 @@ let run () =
       ("1 chain x 1M", 1, 1_000_000);
       ("1k chains x 1k", 1_000, 1_000);
       ("100k chains x 20", 100_000, 20);
-    ]
+    ];
+  List.iter
+    (fun (label, chains, per_chain) ->
+      ignore (drive_storm ~chains ~per_chain);
+      let minor0 = Gc.minor_words () in
+      let events, wall = time (fun () -> drive_storm ~chains ~per_chain) in
+      let minor = Gc.minor_words () -. minor0 in
+      Printf.printf "  %-24s %12d %10.3f %14.0f %12.3f\n" label events wall
+        (float_of_int events /. wall)
+        (minor /. float_of_int events))
+    [ ("switch-storm 64 x 4k", 64, 4_000) ]

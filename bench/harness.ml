@@ -142,19 +142,22 @@ let () =
       end
     in
     let ((slow0, _) as s0) = Suite.run_parallel pool ~fast:false benches in
-    let ((fast0, _) as f0) = Suite.run_parallel pool ~fast:true benches in
+    (* The fast batches also record shard -> pool-slot placement; the
+       report carries the placement of the best (reported) batch. *)
+    let ((fast0, _, _) as f0) = Suite.run_parallel_placed pool ~fast:true benches in
     let best_slow = ref s0 and best_fast = ref f0 in
     for _ = 2 to repeats do
       let ((rs, w) as s) = Suite.run_parallel pool ~fast:false benches in
       check_batch slow0 rs;
       if w < snd !best_slow then best_slow := s;
-      let ((rf, w) as f) = Suite.run_parallel pool ~fast:true benches in
+      let ((rf, _, w) as f) = Suite.run_parallel_placed pool ~fast:true benches in
       check_batch fast0 rf;
-      if w < snd !best_fast then best_fast := f
+      let _, _, best_w = !best_fast in
+      if w < best_w then best_fast := f
     done;
     (!best_slow, !best_fast)
   in
-  let (par_slow, _), (par_fast, par_wall) =
+  let (par_slow, _), (par_fast, placements, par_wall) =
     Par.with_pool ~size:!jobs (fun pool -> batch_pair pool)
   in
   let report_divergence tag serial par =
@@ -200,6 +203,8 @@ let () =
         {
           Report.name = b.Suite.bname;
           shards = Array.length b.Suite.shards;
+          placement =
+            (try List.assoc b.Suite.bname placements with Not_found -> [||]);
           equal_between_modes = slow.Suite.fp = fast.Suite.fp;
           equal_serial_parallel =
             slow.Suite.fp = ps.Suite.fp && fast.Suite.fp = pf.Suite.fp;
@@ -217,6 +222,7 @@ let () =
       Report.quick = q;
       jobs = !jobs;
       cores = Domain.recommended_domain_count ();
+      detected_cores = Report.detected_cores ();
       ocaml_version = Sys.ocaml_version;
       benches = breports;
       wall_serial;

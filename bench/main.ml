@@ -3,10 +3,11 @@
    bechamel micro section.
 
    Usage:
-     main.exe [-j N]                 run everything
-     main.exe [-j N] fig1 fig10 ...  run selected experiments
-   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro des faults
-   (fig8 includes fig9; fig11 includes fig12).
+     main.exe [-j N] [--quick]                 run everything
+     main.exe [-j N] [--quick] fig1 fig10 ...  run selected experiments
+   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro des faults cluster
+   (fig8 includes fig9; fig11 includes fig12). --quick selects CI
+   sizes for the experiments that have one (cluster).
 
    -j N fans each experiment's independent trials across N domains
    (default: host cores). Every trial simulates its own machine, so the
@@ -33,6 +34,7 @@ let experiments =
     ("micro", Micro.run);
     ("des", Desbench.run);
     ("faults", Faultbench.run);
+    ("cluster", Clusterbench.run);
   ]
 
 let () =
@@ -46,6 +48,9 @@ let () =
       | _ ->
         Printf.eprintf "main: -j expects a positive integer (got %s)\n" n;
         exit 1)
+    | "--quick" :: rest ->
+      Bench_common.quick := true;
+      parse_jobs rest
     | args -> args
   in
   let requested =

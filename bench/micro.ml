@@ -25,6 +25,33 @@ let make_switch_test () =
          Api.vas_switch ctx vh;
          Api.switch_home ctx))
 
+(* The kvstore pattern isolated: every iteration jumps into the shared
+   segment, does one line-sized op there, and jumps home — the
+   switch-heavy worst case the cluster's batched path amortizes. The
+   existing vas_switch+home test prices the bare jump; the storm adds
+   the small op so the ratio of the two shows how much of the kvstore
+   hot loop is pure switching. *)
+let make_switch_storm_test () =
+  let machine = Machine.create Sj_machine.Platform.m2 in
+  let sys = Api.boot machine in
+  let proc = Sj_kernel.Process.create ~name:"storm" machine in
+  let ctx = Api.context sys proc (Machine.core machine 0) in
+  let vas = Api.vas_create ctx ~name:"s" ~mode:0o600 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"s.seg" ~size:(Size.kib 64) ~mode:0o600 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  let base = Sj_core.Segment.base seg in
+  let core = Api.core ctx in
+  let i = ref 0 in
+  Test.make ~name:"switch-storm (switch+op+home)"
+    (Staged.stage (fun () ->
+         Api.vas_switch ctx vh;
+         let va = base + (!i * 64 mod Size.kib 64) in
+         ignore (Core.load64 core ~va);
+         Core.store64 core ~va (Int64.of_int !i);
+         incr i;
+         Api.switch_home ctx))
+
 let make_tlb_test () =
   let tlb = Sj_tlb.Tlb.create Sj_tlb.Tlb.default_config in
   Sj_tlb.Tlb.insert tlb ~tag:0 ~va:0x1000 ~pa:0x2000 ~prot:Prot.r
@@ -68,6 +95,7 @@ let run () =
         make_malloc_test ();
         make_load_test ();
         make_switch_test ();
+        make_switch_storm_test ();
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in

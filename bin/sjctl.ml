@@ -499,7 +499,7 @@ let bench_cmd =
       value
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Write the JSON report (schema spacejmp-bench/3) to $(docv)")
+          ~doc:"Write the JSON report (schema spacejmp-bench/4) to $(docv)")
   in
   let jobs =
     Arg.(
@@ -518,10 +518,10 @@ let bench_cmd =
     let benches = Suite.suite ~quick in
     let serial_slow = Suite.run_serial ~fast:false benches in
     let serial_fast = Suite.run_serial ~fast:true benches in
-    let (par_slow, _), (par_fast, par_wall) =
+    let (par_slow, _), (par_fast, placement, par_wall) =
       Sj_util.Par.with_pool ~size:jobs (fun pool ->
           ( Suite.run_parallel pool ~fast:false benches,
-            Suite.run_parallel pool ~fast:true benches ))
+            Suite.run_parallel_placed pool ~fast:true benches ))
     in
     (* Same refusal discipline as bench/harness.exe: no numbers unless
        every strategy simulated the same world. *)
@@ -551,6 +551,7 @@ let bench_cmd =
           Report.quick;
           jobs;
           cores = Domain.recommended_domain_count ();
+          detected_cores = Report.detected_cores ();
           ocaml_version = Sys.ocaml_version;
           benches =
             List.map2
@@ -558,6 +559,9 @@ let bench_cmd =
                 {
                   Report.name = s.Suite.tname;
                   shards = Array.length b.Suite.shards;
+                  placement =
+                    (try List.assoc s.Suite.tname placement
+                     with Not_found -> [||]);
                   (* Proven above, or we exited 2. *)
                   equal_between_modes = true;
                   equal_serial_parallel = true;
@@ -584,13 +588,90 @@ let bench_cmd =
        ~doc:"Run the wall-clock bench suite (fast path + domain parallelism)")
     Term.(const run $ quick $ out $ jobs)
 
+let cluster_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI problem sizes (seconds, not minutes)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_cluster.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the JSON report (schema spacejmp-bench/4-cluster) to $(docv)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sj_util.Par.default_size ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan sweep-grid points across $(docv) domains (wall clock only)")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "cluster: --jobs must be >= 1";
+      exit 2
+    end;
+    let module Cluster = Sj_cluster.Cluster in
+    let module Driver = Sj_cluster.Driver in
+    let module Creport = Sj_cluster.Cluster_report in
+    let { Driver.report; divergences } =
+      Driver.run ~quick ~jobs
+        ~progress:(fun s -> Format.printf "-- %s@." s)
+        ()
+    in
+    let row label (p : Creport.point) =
+      let c = p.Creport.cfg and r = p.Creport.res in
+      Format.printf
+        "%-10s K=%-3d batch=%-3d pipe=%-2d %-10s %10.0f rps  p50 %d p99 %d p999 %d@."
+        label c.Cluster.shards c.Cluster.batch c.Cluster.pipeline
+        (Creport.backend_name c.Cluster.backend)
+        r.Cluster.throughput r.Cluster.p50 r.Cluster.p99 r.Cluster.p999
+    in
+    row "single-op" report.Creport.baseline;
+    row "batched" report.Creport.batched;
+    Format.printf "speedup %.2fx@."
+      (report.Creport.batched.Creport.res.Cluster.throughput
+      /. report.Creport.baseline.Creport.res.Cluster.throughput);
+    List.iter (row "grid") report.Creport.grid;
+    (match report.Creport.fault with
+    | Some { Creport.res = { Cluster.outage = Some o; _ }; _ } ->
+      Format.printf "fault: crashed %d recovered %d (outage %d cycles)@."
+        o.Cluster.crashed_at o.Cluster.recovered_at o.Cluster.outage_cycles
+    | _ -> ());
+    (* Same refusal discipline as `sjctl bench`: no report unless every
+       audit simulated the same world. *)
+    (match divergences with
+    | [] -> ()
+    | ds ->
+      Format.eprintf "cluster: determinism audit divergence (%s)@."
+        (String.concat ", " ds);
+      exit 2);
+    let oc = open_out out in
+    output_string oc (Creport.to_json report);
+    close_out oc;
+    (match Creport.check_file out with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (Format.eprintf "cluster: invalid report: %s@.") es;
+      exit 2);
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the sharded multi-machine KV cluster bench (batched, pipelined \
+          request path; sweep + fault availability + determinism audits)")
+    Term.(const run $ quick $ out $ jobs)
+
 let () =
   let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
   let group =
     Cmd.group info
       [
         platforms_cmd; gups_cmd; demo_cmd; redis_cmd; faults_cmd; check_cmd; persist_cmd;
-        inspect_cmd; samtools_cmd; bench_cmd; trace_cmd; stats_cmd;
+        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

@@ -1,19 +1,26 @@
-(* BENCH report, schema "spacejmp-bench/3".
+(* BENCH report, schema "spacejmp-bench/4".
 
    v2 extended PR 1's fastpath schema with host metadata (cores, OCaml
    version, -j) and the serial-vs-parallel comparison: aggregate wall
    times for the suite run serially and fanned across the domain pool,
-   plus a per-bench equivalence bit for each comparison. v3 adds, per
+   plus a per-bench equivalence bit for each comparison. v3 added, per
    bench: the shard count, the wall spent on it during the parallel
    batch, and the host GC allocation it caused (minor/major words,
    serial fast-path run) — the counters the zero-allocation work is
-   held to. The emitter never writes a divergent report — the harness
-   exits 2 first — but the checker still refuses any report that
-   records one, so a report that exists and checks is trustworthy. *)
+   held to. v4 fixes the host block, which recorded only the domain
+   count and -j: it now also records the detected core count, and each
+   bench carries the shard -> pool-slot placement of the reported
+   parallel batch, so a reader can tell a genuinely spread batch from
+   one that serialized on a loaded host. Placement is a host artifact —
+   it never feeds the fingerprints. The emitter never writes a
+   divergent report — the harness exits 2 first — but the checker still
+   refuses any report that records one, so a report that exists and
+   checks is trustworthy. *)
 
 type bench_report = {
   name : string;
   shards : int;  (* parallel-phase tasks this bench contributes *)
+  placement : int array;  (* pool slot of each shard, reported batch *)
   equal_between_modes : bool;  (* fast path on vs off *)
   equal_serial_parallel : bool;  (* serial vs domain pool *)
   wall_slow : float;  (* serial, fast path off *)
@@ -27,14 +34,34 @@ type bench_report = {
 type t = {
   quick : bool;
   jobs : int;
-  cores : int;
+  cores : int;  (* Domain.recommended_domain_count *)
+  detected_cores : int;  (* OS-reported online processors *)
   ocaml_version : string;
   benches : bench_report list;
   wall_serial : float;  (* fast path on, whole suite, serial *)
   wall_parallel : float;  (* fast path on, whole suite, pool batch wall *)
 }
 
-let schema = "spacejmp-bench/3"
+let schema = "spacejmp-bench/4"
+
+(* Online processors as the OS reports them, as opposed to the runtime
+   heuristic in [cores]: on a cgroup-limited or SMT host the two
+   disagree, and a surprising parallel_speedup is only interpretable
+   with both on record. *)
+let detected_cores () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !n > 0 then !n else Domain.recommended_domain_count ()
+  with Sys_error _ -> Domain.recommended_domain_count ()
 
 let to_json r =
   let b = Buffer.create 4096 in
@@ -44,6 +71,7 @@ let to_json r =
   add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
   add "  \"host\": {\n";
   add "    \"cores\": %d,\n" r.cores;
+  add "    \"detected_cores\": %d,\n" r.detected_cores;
   add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
   add "    \"jobs\": %d\n" r.jobs;
   add "  },\n";
@@ -53,6 +81,9 @@ let to_json r =
       add "    {\n";
       add "      \"name\": \"%s\",\n" br.name;
       add "      \"shards\": %d,\n" br.shards;
+      add "      \"placement\": [%s],\n"
+        (String.concat ", "
+           (Array.to_list (Array.map string_of_int br.placement)));
       add "      \"equal_between_modes\": %b,\n" br.equal_between_modes;
       add "      \"equal_serial_parallel\": %b,\n" br.equal_serial_parallel;
       add "      \"wall_slow_s\": %.6f,\n" br.wall_slow;
@@ -113,6 +144,8 @@ let check_string s =
       "\"cores\"";
       "\"ocaml_version\"";
       "\"jobs\"";
+      "\"detected_cores\"";
+      "\"placement\"";
       "\"benches\"";
       "\"aggregate\"";
       "\"shards\"";

@@ -1,15 +1,19 @@
-(** BENCH JSON report, schema ["spacejmp-bench/3"].
+(** BENCH JSON report, schema ["spacejmp-bench/4"].
 
     v2 added host metadata (cores, OCaml version, [-j]) and the
-    serial-vs-parallel comparison to PR 1's fastpath schema; v3 adds
+    serial-vs-parallel comparison to PR 1's fastpath schema; v3 added
     per-bench shard counts, parallel-phase walls, and host GC
-    allocation counters. The checker refuses any report recording a
-    fingerprint divergence, so a report that exists and checks is
-    trustworthy. *)
+    allocation counters. v4 completes the host block: the OS-detected
+    processor count next to the runtime's domain heuristic, and the
+    shard -> pool-slot placement of the reported parallel batch per
+    bench (a host artifact, never part of a fingerprint). The checker
+    refuses any report recording a fingerprint divergence, so a report
+    that exists and checks is trustworthy. *)
 
 type bench_report = {
   name : string;
   shards : int;  (** parallel-phase tasks this bench contributes *)
+  placement : int array;  (** pool slot of each shard, reported batch *)
   equal_between_modes : bool;  (** fast path on vs off *)
   equal_serial_parallel : bool;  (** serial vs domain pool *)
   wall_slow : float;  (** serial, fast path off *)
@@ -23,7 +27,8 @@ type bench_report = {
 type t = {
   quick : bool;
   jobs : int;
-  cores : int;
+  cores : int;  (** [Domain.recommended_domain_count] *)
+  detected_cores : int;  (** OS-reported online processors *)
   ocaml_version : string;
   benches : bench_report list;
   wall_serial : float;  (** fast path on, whole suite, serial *)
@@ -32,10 +37,14 @@ type t = {
 
 val schema : string
 
+val detected_cores : unit -> int
+(** Online processors as the OS reports them (/proc/cpuinfo), falling
+    back to [Domain.recommended_domain_count] where unreadable. *)
+
 val to_json : t -> string
 
 val check_string : string -> (unit, string list) result
-(** Structural validation: balanced nesting, required v3 keys present,
+(** Structural validation: balanced nesting, required v4 keys present,
     and no recorded divergence ([equal_between_modes] or
     [equal_serial_parallel] false). *)
 

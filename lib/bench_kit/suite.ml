@@ -106,6 +106,41 @@ let bench_memset ~iters () =
   Bytes.iter (fun ch -> sum := !sum + Char.code ch) b;
   core_fingerprint core [ ("checksum", !sum) ]
 
+(* The kvstore's signature access pattern in isolation: alternate a
+   vas_switch into a shared segment with one small op there and a
+   switch back home. Every iteration pays the full jump price (switch
+   syscall, page-table swap, TLB effects under the platform's tagging
+   policy) against almost no useful work — the worst case the cluster's
+   batched path amortizes away, and the pattern most sensitive to
+   switch-cost regressions. *)
+let bench_switch_storm ~iters () =
+  let m = Machine.create micro_platform in
+  let sys = Sj_core.Api.boot m in
+  let proc = Sj_kernel.Process.create ~name:"storm" m in
+  let ctx = Sj_core.Api.context sys proc (Machine.core m 0) in
+  let open Sj_core in
+  let vas = Api.vas_create ctx ~name:"storm" ~mode:0o666 in
+  let seg =
+    Api.seg_alloc_anywhere ctx ~name:"storm.data" ~size:(Size.kib 64) ~mode:0o666
+  in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  let base = Segment.base seg in
+  let core = Api.core ctx in
+  let sum = ref 0 in
+  for i = 0 to iters - 1 do
+    Api.vas_switch ctx vh;
+    (* The small op: one line-sized read-modify-write in the segment. *)
+    let va = base + (i * 64 mod Size.kib 64) in
+    let b = Core.load_bytes core ~va ~len:8 in
+    Bytes.set b 0 (Char.chr (i land 0xff));
+    Core.store_bytes core ~va b;
+    sum := !sum + Char.code (Bytes.get b 0);
+    Api.switch_home ctx
+  done;
+  core_fingerprint core
+    [ ("checksum", !sum); ("switches", Registry.switch_count (Api.registry sys)) ]
+
 (* ---- workload benches: whole simulations through either path ---- *)
 
 let bench_gups ~visits () =
@@ -179,6 +214,7 @@ let suite ~quick =
     single "memcpy" (bench_memcpy ~iters:(if q then 5_000 else 150_000));
     single "memset" (bench_memset ~iters:(if q then 8_000 else 250_000));
     single "gups" (bench_gups ~visits:(if q then 400 else 4_000));
+    single "switch_storm" (bench_switch_storm ~iters:(if q then 2_000 else 60_000));
     single "kvstore" (bench_kvstore ~duration:(if q then 1_000_000 else 5_000_000));
     (* The only multi-shard bench: four independent kvstore trials that
        the parallel phase schedules as separate pool tasks, so the batch
@@ -194,6 +230,7 @@ let tiny_suite () =
     single "memcpy" (bench_memcpy ~iters:300);
     single "memset" (bench_memset ~iters:400);
     single "gups" (bench_gups ~visits:40);
+    single "switch_storm" (bench_switch_storm ~iters:150);
     single "kvstore" (bench_kvstore ~duration:200_000);
     kv_mt ~duration:100_000 ~trials:4;
   ]
@@ -264,7 +301,7 @@ let run_serial ?trace ~fast benches = List.map (run_one ?trace ~fast) benches
    comparable to a serial one. Returns the per-bench results and the
    batch wall-clock (the number parallelism improves; a bench's [wall]
    still sums its shards' walls, i.e. its CPU work). *)
-let run_parallel pool ?trace ~fast benches =
+let run_parallel_placed pool ?trace ~fast benches =
   let t0 = Unix.gettimeofday () in
   let tasks =
     Array.concat
@@ -272,18 +309,24 @@ let run_parallel pool ?trace ~fast benches =
          (fun b -> Array.map (fun body () -> run_shard ?trace ~fast body) b.shards)
          benches)
   in
-  let rs = Par.run pool tasks in
+  let rs, placed = Par.run_placed pool tasks in
   let pos = ref 0 in
-  let timed =
-    List.map
-      (fun b ->
-        let n = Array.length b.shards in
-        let parts = Array.sub rs !pos n in
-        pos := !pos + n;
-        collect b.bname parts)
-      benches
+  let timed, placement =
+    List.split
+      (List.map
+         (fun b ->
+           let n = Array.length b.shards in
+           let parts = Array.sub rs !pos n in
+           let slots = Array.sub placed !pos n in
+           pos := !pos + n;
+           (collect b.bname parts, (b.bname, slots)))
+         benches)
   in
-  (timed, Unix.gettimeofday () -. t0)
+  (timed, placement, Unix.gettimeofday () -. t0)
+
+let run_parallel pool ?trace ~fast benches =
+  let timed, _, wall = run_parallel_placed pool ?trace ~fast benches in
+  (timed, wall)
 
 let fingerprints_equal a b =
   List.length a = List.length b

@@ -48,6 +48,17 @@ val run_parallel :
     several tasks). Results are merged per bench, in suite order; the
     second component is the batch wall-clock. *)
 
+val run_parallel_placed :
+  Sj_util.Par.t ->
+  ?trace:bool ->
+  fast:bool ->
+  bench list ->
+  timed list * (string * int array) list * float
+(** {!run_parallel}, additionally reporting where each shard actually
+    ran: per bench (suite order), the pool slot of each of its shards
+    ({!Sj_util.Par.run_placed}). Placement is a host artifact for the
+    report's host block — never part of the fingerprint. *)
+
 val fingerprints_equal : timed list -> timed list -> bool
 (** Same benches, same fingerprints, same order. Wall times are
     (necessarily) ignored. *)

@@ -1,0 +1,763 @@
+(* Sharded multi-machine RedisJMP cluster (ROADMAP item 1).
+
+   K shard servers are placed round-robin over up to three simulated
+   machines (M1/M2/M3). Each shard is a full RedisJMP store — a
+   lockable segment inside named VASes — whose server process executes
+   commands by jumping into the store's address space. Clients are NOT
+   processes: a run simulates hundreds of thousands to millions of them
+   as lightweight discrete-event state machines (a few ints each) that
+   enter the fabric at their home machine's edge core. Requests route
+   by key hash ({!Topology.shard_of_key}), travel over [Sj_ipc] rings —
+   [Urpc] cache-line channels intra-machine, [Msg_channel] across
+   machines — and the hot path is batched and pipelined:
+
+   - clients keep up to [pipeline] requests outstanding;
+   - the edge coalesces up to [batch] requests per (machine, shard)
+     lane into one ring crossing (a linger timer flushes partial
+     batches);
+   - the server drains whole ring bursts and executes them under ONE
+     vas_switch / segment-lock admission ([Redisjmp.execute_batch]),
+     streaming replies back without per-op round trips. With
+     [batch = 1] the server instead runs the single-op baseline: one
+     [Redisjmp.execute] — its own switch, lock and full dispatch
+     overhead — per request, which is the comparison point for the
+     batching win.
+
+   Everything observable emerges from mechanisms: switch and lock
+   costs from the kernel layer, transfer costs from the ring/fabric
+   models, queueing from the DES resources. The run is a deterministic
+   function of the config — one event timeline, seeded pure
+   per-request randomness, no host state — so fingerprints are
+   byte-identical across -j settings, trace on/off, and an attached
+   empty fault plan.
+
+   The DES timeline is measured in reference cycles at the base
+   2.5 GHz clock (machines' own cost models still price their local
+   work); throughput converts through that clock. *)
+
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Cost_model = Sj_machine.Cost_model
+module Process = Sj_kernel.Process
+module Api = Sj_core.Api
+module Registry = Sj_core.Registry
+module Segment = Sj_core.Segment
+module Engine = Sj_des.Engine
+module Resource = Sj_des.Resource
+module Urpc = Sj_ipc.Urpc
+module Msg_channel = Sj_ipc.Msg_channel
+module Resp = Sj_kvstore.Resp
+module Redisjmp = Sj_kvstore.Redisjmp
+module Hist = Sj_obs.Hist
+module Plan = Sj_fault.Plan
+module Injector = Sj_fault.Injector
+
+(* ---------------- configuration ---------------- *)
+
+type fault_plan = {
+  kill_at : int;  (** engine time at which the injector is armed *)
+  victim_shard : int;
+  respawn_delay : int;  (** crash -> standby server ready, cycles *)
+}
+
+type config = {
+  machines : int;  (** 1..3 -> M1, M2, M3 *)
+  shards : int;
+  clients : int;
+  requests_per_client : int;
+  batch : int;  (** max requests coalesced per ring crossing; 1 = single-op baseline *)
+  pipeline : int;  (** outstanding requests per client *)
+  linger_cycles : int;  (** partial-batch flush timer *)
+  set_fraction : float;
+  value_size : int;
+  keys_per_shard : int;
+  store_size : int;
+  backend : Api.backend;
+  tags : bool;
+  window_cycles : int;  (** availability-timeline bucket width *)
+  fault : fault_plan option;
+  seed : int;
+}
+
+let default =
+  {
+    machines = 3;
+    shards = 8;
+    clients = 10_000;
+    requests_per_client = 4;
+    batch = 16;
+    pipeline = 2;
+    linger_cycles = 20_000;
+    set_fraction = 0.1;
+    value_size = 16;
+    keys_per_shard = 512;
+    store_size = Size.mib 16;
+    backend = Api.Dragonfly;
+    tags = true;
+    window_cycles = 20_000_000;
+    fault = None;
+    seed = 20_16;
+  }
+
+type outage = {
+  crashed_at : int;  (** engine time the lock holder died *)
+  recovered_at : int;  (** engine time the standby finished taking over *)
+  outage_cycles : int;
+}
+
+type result = {
+  requests : int;
+  sets : int;
+  gets : int;
+  duration_cycles : int;
+  seconds : float;
+  throughput : float;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  mean_latency : float;
+  batches : int;
+  avg_batch : float;
+  switches : int;
+  ring_stalls : int;
+  server_backlog_peak : int;
+  edge_backlog_peak : int;
+  shard_served : int array;
+  timeline : int array array;  (** window -> shard -> completions *)
+  outage : outage option;
+  crashed : bool;
+  fingerprint : (string * int) list;
+}
+
+(* ---------------- flat int-pair queue ----------------
+
+   Egress and in-flight bookkeeping store (rid, issue_time) pairs for
+   up to clients x pipeline requests at once; a pointer-free growable
+   ring keeps that off the GC entirely (64 MB of live tuples at the
+   million-client scale would otherwise dominate host time). *)
+
+module Iq = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 128 0; head = 0; len = 0 }
+  let length2 q = q.len / 2
+
+  let grow q ~need =
+    let cap = ref (Array.length q.buf) in
+    while need > !cap do
+      cap := !cap * 2
+    done;
+    let nb = Array.make !cap 0 in
+    let mask = Array.length q.buf - 1 in
+    for i = 0 to q.len - 1 do
+      nb.(i) <- q.buf.((q.head + i) land mask)
+    done;
+    q.buf <- nb;
+    q.head <- 0
+
+  let push2 q a b =
+    if q.len + 2 > Array.length q.buf then grow q ~need:(q.len + 2);
+    let mask = Array.length q.buf - 1 in
+    q.buf.((q.head + q.len) land mask) <- a;
+    q.buf.((q.head + q.len + 1) land mask) <- b;
+    q.len <- q.len + 2
+
+  let peek2 q =
+    let mask = Array.length q.buf - 1 in
+    (q.buf.(q.head), q.buf.((q.head + 1) land mask))
+
+  let drop2 q =
+    q.head <- (q.head + 2) land (Array.length q.buf - 1);
+    q.len <- q.len - 2
+
+  let pop2 q =
+    let p = peek2 q in
+    drop2 q;
+    p
+
+  (* Undo a pop: used to put entries a partial burst could not send
+     back at the front (callers restore original order by pushing the
+     rejected tail back last-entry-first). *)
+  let push_front2 q a b =
+    if q.len + 2 > Array.length q.buf then grow q ~need:(q.len + 2);
+    let mask = Array.length q.buf - 1 in
+    q.head <- (q.head - 2) land mask;
+    q.buf.(q.head) <- a;
+    q.buf.((q.head + 1) land mask) <- b;
+    q.len <- q.len + 2
+
+  (* dst := src ++ dst, clearing src — the retransmit path restoring
+     FIFO order after a connection reset (src holds the older,
+     sent-but-unacknowledged entries). *)
+  let prepend_into ~dst ~src =
+    if src.len > 0 then begin
+      let total = src.len + dst.len in
+      let cap = ref (Array.length dst.buf) in
+      while total > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Array.make !cap 0 in
+      let smask = Array.length src.buf - 1 in
+      for i = 0 to src.len - 1 do
+        nb.(i) <- src.buf.((src.head + i) land smask)
+      done;
+      let dmask = Array.length dst.buf - 1 in
+      for i = 0 to dst.len - 1 do
+        nb.(src.len + i) <- dst.buf.((dst.head + i) land dmask)
+      done;
+      dst.buf <- nb;
+      dst.head <- 0;
+      dst.len <- total;
+      src.head <- 0;
+      src.len <- 0
+    end
+end
+
+(* ---------------- per-request pure randomness ----------------
+
+   One splitmix64 finalizer over (seed, rid, salt) replaces per-client
+   generator state: a million clients carry no RNG objects at all, and
+   a request's key and kind can be recomputed anywhere (the flush path
+   re-derives the command rather than buffering encoded bytes). *)
+
+let mix64 (x : int64) =
+  let open Int64 in
+  let x = logxor x (shift_right_logical x 30) in
+  let x = mul x 0xbf58476d1ce4e5b9L in
+  let x = logxor x (shift_right_logical x 27) in
+  let x = mul x 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let mix3 ~seed ~rid ~salt =
+  let open Int64 in
+  let z =
+    add
+      (mul (of_int ((rid * 4) + salt + 1)) 0x9e3779b97f4a7c15L)
+      (mul (of_int seed) 0xd1342543de82ef95L)
+  in
+  to_int (mix64 z) land Stdlib.max_int
+
+(* ---------------- channels ---------------- *)
+
+type chan = Local of Urpc.t | Remote of Msg_channel.t
+
+let ch_send_burst ch ~from ps =
+  match ch with
+  | Local u -> Urpc.send_burst u ~from ps
+  | Remote m -> Msg_channel.send_burst m ~from ps
+
+let ch_drain ch ~at ?max () =
+  match ch with
+  | Local u -> Urpc.drain u ~at ?max ()
+  | Remote m -> Msg_channel.drain m ~at ?max ()
+
+let ch_pending ch ~at =
+  match ch with
+  | Local u -> Urpc.pending u ~at
+  | Remote m -> Msg_channel.pending m ~at
+
+(* ---------------- the run ---------------- *)
+
+let platform_of_machine = [| Platform.m1; Platform.m2; Platform.m3 |]
+
+type lane = {
+  chan : chan;
+  egress : Iq.t;  (* queued, not yet on the ring *)
+  inflight : Iq.t;  (* on the ring / at the server, awaiting reply *)
+  mutable timer_armed : bool;
+}
+
+type shard_srv = {
+  s_machine : int;
+  s_core : Core.core;
+  s_res : Resource.Cores.t;
+  store : Redisjmp.t;
+  mutable s_client : Redisjmp.client;
+  mutable s_pid : int;
+  mutable busy : bool;
+  mutable again : bool;
+  mutable alive : bool;
+}
+
+let fail_config msg = failwith ("Cluster.run: " ^ msg)
+
+let run cfg =
+  if cfg.machines < 1 || cfg.machines > 3 then fail_config "machines must be 1..3";
+  if cfg.shards < 1 then fail_config "shards must be >= 1";
+  if cfg.batch < 1 then fail_config "batch must be >= 1";
+  if cfg.pipeline < 1 then fail_config "pipeline must be >= 1";
+  (match cfg.fault with
+  | Some f when f.victim_shard < 0 || f.victim_shard >= cfg.shards ->
+    fail_config "victim_shard out of range"
+  | _ -> ());
+  let topo = Topology.make ~machines:cfg.machines ~shards:cfg.shards in
+  let machines =
+    Array.init cfg.machines (fun i -> Machine.create platform_of_machine.(i))
+  in
+  let systems = Array.map (fun m -> Api.boot ~backend:cfg.backend m) machines in
+  let boot_ctxs =
+    Array.init cfg.machines (fun i ->
+        let proc = Process.create ~name:(Printf.sprintf "boot%d" i) machines.(i) in
+        Api.context systems.(i) proc (Machine.core machines.(i) 0))
+  in
+  (* Server core c on its machine = position in the machine's shard
+     list; the edge core sits just past the machine's last server. *)
+  let servers_on = Array.make cfg.machines 0 in
+  let server_core_idx =
+    Array.init cfg.shards (fun s ->
+        let m = Topology.machine_of_shard topo s in
+        let c = servers_on.(m) in
+        servers_on.(m) <- c + 1;
+        c)
+  in
+  Array.iteri
+    (fun m n ->
+      if n + 1 > Platform.total_cores platform_of_machine.(m) then
+        fail_config "more shards than cores on a machine")
+    servers_on;
+  let edge_cores =
+    Array.init cfg.machines (fun m ->
+        Machine.core machines.(m) servers_on.(m))
+  in
+  (* DES world — created before the shards so each server gets its
+     dedicated unit-capacity core resource at construction. *)
+  let eng = Engine.create () in
+  (* Shard stores + server processes. *)
+  let mk_server_client s store =
+    let m = Topology.machine_of_shard topo s in
+    let proc =
+      Process.create ~name:(Printf.sprintf "shard%d.server" s) machines.(m)
+    in
+    let core = Machine.core machines.(m) server_core_idx.(s) in
+    let ctx = Api.context systems.(m) proc core in
+    (Process.pid proc, Redisjmp.connect store ctx ())
+  in
+  let shards =
+    Array.init cfg.shards (fun s ->
+        let m = Topology.machine_of_shard topo s in
+        let bctx = boot_ctxs.(m) in
+        let name = Printf.sprintf "shard%d" s in
+        let store = Redisjmp.init bctx ~name ~size:cfg.store_size in
+        if cfg.tags then begin
+          Api.vas_ctl bctx (`Request_tag (Api.vas_find bctx ~name:(name ^ ".rw")));
+          Api.vas_ctl bctx (`Request_tag (Api.vas_find bctx ~name:(name ^ ".ro")))
+        end;
+        let pid, client = mk_server_client s store in
+        {
+          s_machine = m;
+          s_core = Machine.core machines.(m) server_core_idx.(s);
+          s_res = Resource.Cores.create eng ~n:1;
+          store;
+          s_client = client;
+          s_pid = pid;
+          busy = false;
+          again = false;
+          alive = true;
+        })
+  in
+  (* Key pool: keys hash to shards; populate each store with its own
+     keys through its server (reset stats afterwards). *)
+  let total_keys = cfg.shards * cfg.keys_per_shard in
+  let keys = Array.init total_keys (Printf.sprintf "key:%08d") in
+  let key_shard = Array.map (Topology.shard_of_key topo) keys in
+  let value = Bytes.make cfg.value_size 'v' in
+  Array.iteri
+    (fun i key -> Redisjmp.set shards.(key_shard.(i)).s_client key value)
+    keys;
+  Array.iter (fun sys -> Registry.reset_stats (Api.registry sys)) systems;
+  Array.iter
+    (fun m ->
+      Array.iter (fun c -> Sj_tlb.Tlb.reset_stats (Core.tlb c)) (Machine.cores m))
+    machines;
+  let edge_res =
+    Array.init cfg.machines (fun _ -> Resource.Cores.create eng ~n:1)
+  in
+  let ring_slots = max 64 (4 * cfg.batch) in
+  let lanes =
+    Array.init cfg.machines (fun m ->
+        Array.init cfg.shards (fun s ->
+            let sm = Topology.machine_of_shard topo s in
+            let edge = edge_cores.(m) in
+            let sc = shards.(s).s_core in
+            let chan =
+              if sm = m then
+                Local (Urpc.create machines.(m) ~a:edge ~b:sc ~slots:ring_slots ())
+              else
+                Remote
+                  (Msg_channel.create_cross
+                     ~master:(machines.(m), edge)
+                     ~slave:(machines.(sm), sc)
+                     ~slots:ring_slots ())
+            in
+            { chan; egress = Iq.create (); inflight = Iq.create (); timer_armed = false }))
+  in
+  (* Per-request derivations (pure in (seed, rid)). *)
+  let rpc = cfg.requests_per_client in
+  let set_cut =
+    (* compare 24 mixed bits against the fraction, exactly *)
+    int_of_float (cfg.set_fraction *. 16_777_216.0)
+  in
+  let key_of_rid rid = mix3 ~seed:cfg.seed ~rid ~salt:0 mod total_keys in
+  let is_set_rid rid = mix3 ~seed:cfg.seed ~rid ~salt:1 land 0xFFFFFF < set_cut in
+  let command_of rid =
+    let k = keys.(key_of_rid rid) in
+    if is_set_rid rid then Resp.Set (k, value) else Resp.Get k
+  in
+  let shard_of_rid rid = key_shard.(key_of_rid rid) in
+  (* Client state: structure-of-arrays, two ints per client. *)
+  let issued = Array.make cfg.clients 0 in
+  let outstanding = Array.make cfg.clients 0 in
+  (* Accounting. *)
+  let total = cfg.clients * rpc in
+  let completed = ref 0 and sets = ref 0 and gets = ref 0 in
+  let batches = ref 0 and batched_reqs = ref 0 and ring_stalls = ref 0 in
+  let lat = Hist.create () in
+  let lat_sum = ref 0 in
+  let shard_served = Array.make cfg.shards 0 in
+  let timeline = ref (Array.make 0 [||]) in
+  let window_hit w s =
+    let tl = !timeline in
+    let n = Array.length tl in
+    if w >= n then begin
+      let nt = Array.make (max (w + 1) (max 8 (2 * n))) [||] in
+      Array.blit tl 0 nt 0 n;
+      for i = n to Array.length nt - 1 do
+        nt.(i) <- Array.make cfg.shards 0
+      done;
+      timeline := nt
+    end;
+    !timeline.(w).(s) <- !timeline.(w).(s) + 1
+  in
+  let crashed = ref false in
+  let crashed_at = ref 0 and recovered_at = ref 0 in
+
+  (* --- edge: flush one lane (up to [batch] requests per crossing) --- *)
+  let rec flush m s =
+    let lane = lanes.(m).(s) in
+    if Iq.length2 lane.egress > 0 then begin
+      let edge = edge_cores.(m) in
+      let t0 = Core.cycles edge in
+      (* One ring crossing: marshal up to [batch] requests (bounded by
+         the space the producer's poll shows) and push them as a single
+         burst — lines back-to-back, one doorbell across machines. *)
+      let space = ring_slots - ch_pending lane.chan ~at:shards.(s).s_core in
+      let k = min cfg.batch (min space (Iq.length2 lane.egress)) in
+      if k < min cfg.batch (Iq.length2 lane.egress) then incr ring_stalls;
+      let took = Array.make (max 1 (2 * k)) 0 in
+      let payloads = ref [] in
+      for i = 0 to k - 1 do
+        let rid, ti = Iq.pop2 lane.egress in
+        took.(2 * i) <- rid;
+        took.((2 * i) + 1) <- ti;
+        let p = Resp.encode_command (command_of rid) in
+        Core.charge edge (Resp.parse_cycles ~len:(Bytes.length p));
+        payloads := p :: !payloads
+      done;
+      let sent = ch_send_burst lane.chan ~from:edge (List.rev !payloads) in
+      for i = 0 to sent - 1 do
+        Iq.push2 lane.inflight took.(2 * i) took.((2 * i) + 1)
+      done;
+      for i = k - 1 downto sent do
+        Iq.push_front2 lane.egress took.(2 * i) took.((2 * i) + 1)
+      done;
+      let delta = Core.cycles edge - t0 in
+      if sent > 0 then
+        Resource.Cores.exec edge_res.(m) ~cycles:delta (fun () -> wake s)
+      else if delta > 0 then
+        Resource.Cores.exec edge_res.(m) ~cycles:delta (fun () -> ());
+      (* Whatever could not go out this crossing (over-batch backlog or
+         ring backpressure) retries on the linger timer. *)
+      if Iq.length2 lane.egress > 0 && not lane.timer_armed then begin
+        lane.timer_armed <- true;
+        Engine.schedule_after eng ~delay:cfg.linger_cycles (fun () ->
+            lane.timer_armed <- false;
+            flush m s)
+      end
+    end
+
+  (* --- server: drain bursts, execute under one switch, reply --- *)
+  and wake s =
+    let srv = shards.(s) in
+    if not srv.alive then ()
+    else if srv.busy then srv.again <- true
+    else begin
+      srv.busy <- true;
+      serve s
+    end
+
+  and serve s =
+    let srv = shards.(s) in
+    let core = srv.s_core in
+    let t0 = Core.cycles core in
+    (* Drain up to [batch] requests per lane this burst. *)
+    let cmds = ref [] and counts = Array.make cfg.machines 0 in
+    for m = 0 to cfg.machines - 1 do
+      let msgs = ch_drain lanes.(m).(s).chan ~at:core ~max:cfg.batch () in
+      counts.(m) <- List.length msgs;
+      List.iter
+        (fun b ->
+          Core.charge core (Resp.parse_cycles ~len:(Bytes.length b));
+          match Resp.decode_command b with
+          | Ok cmd -> cmds := cmd :: !cmds
+          | Error e -> fail_config ("request decode: " ^ e))
+        msgs
+    done;
+    let cmds = Array.of_list (List.rev !cmds) in
+    let n = Array.length cmds in
+    if n = 0 then begin
+      let delta = Core.cycles core - t0 in
+      Resource.Cores.exec srv.s_res ~cycles:delta (fun () -> finish_burst s)
+    end
+    else begin
+      match
+        (* [batch = 1] is the single-op baseline: each request pays its
+           own vas_switch, lock admission and full dispatch overhead.
+           Batched mode runs the whole burst under one jump. *)
+        if cfg.batch = 1 then
+          Ok (Array.map (fun cmd -> Redisjmp.execute srv.s_client cmd) cmds)
+        else Ok (Redisjmp.execute_batch srv.s_client cmds)
+      with
+      | exception Injector.Killed _ ->
+        (* The lock holder died mid-burst: crash teardown has already
+           reclaimed its locks. The drained requests are lost with it —
+           the edges retransmit them to the standby on recovery. *)
+        server_crashed s
+      | Ok replies ->
+        incr batches;
+        batched_reqs := !batched_reqs + n;
+        (* Stream replies back, one ring crossing per lane. The reply
+           ring can always take a full burst: at most one burst is in
+           flight per lane (the edge drains it before the server can
+           finish another) and rings hold 4x batch. *)
+        let idx = ref 0 in
+        for m = 0 to cfg.machines - 1 do
+          if counts.(m) > 0 then begin
+            let ps = ref [] in
+            for _ = 1 to counts.(m) do
+              ps := Resp.encode_reply replies.(!idx) :: !ps;
+              incr idx
+            done;
+            let sent = ch_send_burst lanes.(m).(s).chan ~from:core (List.rev !ps) in
+            if sent <> counts.(m) then fail_config "reply ring overflow"
+          end
+        done;
+        let delta = Core.cycles core - t0 in
+        Resource.Cores.exec srv.s_res ~cycles:delta (fun () ->
+            for m = 0 to cfg.machines - 1 do
+              if counts.(m) > 0 then edge_reply m s
+            done;
+            finish_burst s)
+      | Error _ -> assert false
+    end
+
+  and finish_burst s =
+    let srv = shards.(s) in
+    srv.busy <- false;
+    let more = ref srv.again in
+    srv.again <- false;
+    for m = 0 to cfg.machines - 1 do
+      if ch_pending lanes.(m).(s).chan ~at:srv.s_core > 0 then more := true
+    done;
+    if !more && srv.alive then begin
+      srv.busy <- true;
+      serve s
+    end
+
+  (* --- edge: deliver a burst of replies, complete clients --- *)
+  and edge_reply m s =
+    let lane = lanes.(m).(s) in
+    let edge = edge_cores.(m) in
+    let t0 = Core.cycles edge in
+    let msgs = ch_drain lane.chan ~at:edge () in
+    let finished = ref [] in
+    List.iter
+      (fun b ->
+        Core.charge edge (Resp.parse_cycles ~len:(Bytes.length b));
+        let rid, ti = Iq.pop2 lane.inflight in
+        finished := (rid, ti) :: !finished)
+      msgs;
+    let finished = List.rev !finished in
+    let delta = Core.cycles edge - t0 in
+    Resource.Cores.exec edge_res.(m) ~cycles:delta (fun () ->
+        let tnow = Engine.now eng in
+        List.iter (fun (rid, ti) -> complete rid ti tnow) finished)
+
+  and complete rid ti tnow =
+    incr completed;
+    if is_set_rid rid then incr sets else incr gets;
+    let lt = tnow - ti in
+    Hist.add lat lt;
+    lat_sum := !lat_sum + lt;
+    let s = shard_of_rid rid in
+    shard_served.(s) <- shard_served.(s) + 1;
+    window_hit (tnow / cfg.window_cycles) s;
+    let j = rid / rpc in
+    outstanding.(j) <- outstanding.(j) - 1;
+    if issued.(j) < rpc && outstanding.(j) < cfg.pipeline then issue j
+
+  and issue j =
+    let rid = (j * rpc) + issued.(j) in
+    issued.(j) <- issued.(j) + 1;
+    outstanding.(j) <- outstanding.(j) + 1;
+    let m = Topology.machine_of_client topo j in
+    let s = shard_of_rid rid in
+    let lane = lanes.(m).(s) in
+    Iq.push2 lane.egress rid (Engine.now eng);
+    if Iq.length2 lane.egress >= cfg.batch then flush m s
+    else if not lane.timer_armed then begin
+      lane.timer_armed <- true;
+      Engine.schedule_after eng ~delay:cfg.linger_cycles (fun () ->
+          lane.timer_armed <- false;
+          flush m s)
+    end
+
+  (* --- fault path: kill, retransmit, respawn --- *)
+  and server_crashed s =
+    let srv = shards.(s) in
+    crashed := true;
+    crashed_at := Engine.now eng;
+    srv.alive <- false;
+    srv.busy <- false;
+    srv.again <- false;
+    let f = match cfg.fault with Some f -> f | None -> assert false in
+    Engine.schedule_after eng ~delay:f.respawn_delay (fun () -> respawn s)
+
+  and respawn s =
+    let srv = shards.(s) in
+    (* The standby process connects to the orphaned store — the address
+       space outlived its creator — and the edges treat the outage as a
+       connection reset: in-flight ring bytes are dropped, every
+       unacknowledged request is requeued IN ORDER ahead of newer
+       traffic and retransmitted (at-least-once; GET/SET are
+       idempotent). *)
+    let pid, client = mk_server_client s srv.store in
+    srv.s_pid <- pid;
+    srv.s_client <- client;
+    srv.alive <- true;
+    recovered_at := Engine.now eng;
+    for m = 0 to cfg.machines - 1 do
+      let lane = lanes.(m).(s) in
+      (match lane.chan with
+      | Local u -> Urpc.reset u
+      | Remote c -> Msg_channel.reset c);
+      Iq.prepend_into ~dst:lane.egress ~src:lane.inflight;
+      flush m s
+    done
+  in
+
+  (* Arm the injector at the configured engine time: the victim dies at
+     its first syscall issued while holding the data segment's lock. *)
+  (match cfg.fault with
+  | Some f ->
+    Engine.schedule eng ~at:f.kill_at (fun () ->
+        let srv = shards.(f.victim_shard) in
+        if srv.alive then
+          Injector.attach
+            (Machine.sim_ctx machines.(srv.s_machine))
+            (Injector.create ~seed:cfg.seed
+               [
+                 Plan.kill_holding_lock ~pid:srv.s_pid
+                   ~sid:(Segment.sid (Redisjmp.data_segment srv.store));
+               ]))
+  | None -> ());
+
+  (* Client ramp: one event per chunk of clients, not one per client —
+     a million start closures would dominate the heap for no modelled
+     reason. Each client opens its pipeline window on start. *)
+  let chunk = 4096 in
+  let start_stride = 1_000 in
+  let nchunks = (cfg.clients + chunk - 1) / chunk in
+  for c = 0 to nchunks - 1 do
+    Engine.schedule eng ~at:(c * start_stride) (fun () ->
+        let lo = c * chunk and hi = min cfg.clients ((c + 1) * chunk) - 1 in
+        for j = lo to hi do
+          for _ = 1 to min cfg.pipeline rpc do
+            issue j
+          done
+        done)
+  done;
+  Engine.run eng;
+  if !completed <> total then
+    fail_config
+      (Printf.sprintf "run did not complete: %d of %d requests served"
+         !completed total);
+
+  let duration = Engine.now eng in
+  let seconds = Cost_model.cycles_to_seconds Cost_model.m2 duration in
+  let switches =
+    Array.fold_left
+      (fun acc sys -> acc + Registry.switch_count (Api.registry sys))
+      0 systems
+  in
+  let timeline =
+    (* trim trailing all-zero windows from over-allocation *)
+    let tl = !timeline in
+    let last = ref (-1) in
+    Array.iteri
+      (fun w row -> if Array.exists (fun x -> x > 0) row then last := w)
+      tl;
+    Array.sub tl 0 (!last + 1)
+  in
+  let p50 = Hist.quantile lat 0.5
+  and p99 = Hist.quantile lat 0.99
+  and p999 = Hist.quantile lat 0.999 in
+  let mixfold acc x = (acc * 1_000_003) + x land max_int in
+  let shard_mix = Array.fold_left mixfold 17 shard_served in
+  let timeline_mix =
+    Array.fold_left (fun acc row -> Array.fold_left mixfold acc row) 23 timeline
+  in
+  let fingerprint =
+    [
+      ("requests", !completed);
+      ("sets", !sets);
+      ("cycles", duration);
+      ("p50", p50);
+      ("p99", p99);
+      ("p999", p999);
+      ("switches", switches);
+      ("batches", !batches);
+      ("stalls", !ring_stalls);
+      ("shard_mix", shard_mix);
+      ("timeline_mix", timeline_mix);
+      ("crashes", if !crashed then 1 else 0);
+    ]
+  in
+  {
+    requests = !completed;
+    sets = !sets;
+    gets = !gets;
+    duration_cycles = duration;
+    seconds;
+    throughput = float_of_int !completed /. seconds;
+    p50;
+    p99;
+    p999;
+    mean_latency = float_of_int !lat_sum /. float_of_int (max 1 !completed);
+    batches = !batches;
+    avg_batch = float_of_int !batched_reqs /. float_of_int (max 1 !batches);
+    switches;
+    ring_stalls = !ring_stalls;
+    server_backlog_peak =
+      Array.fold_left
+        (fun acc srv -> max acc (Resource.Cores.queued_peak srv.s_res))
+        0 shards;
+    edge_backlog_peak =
+      Array.fold_left
+        (fun acc r -> max acc (Resource.Cores.queued_peak r))
+        0 edge_res;
+    shard_served;
+    timeline;
+    outage =
+      (if !crashed then
+         Some
+           {
+             crashed_at = !crashed_at;
+             recovered_at = !recovered_at;
+             outage_cycles = !recovered_at - !crashed_at;
+           }
+       else None);
+    crashed = !crashed;
+    fingerprint;
+  }

@@ -1,0 +1,95 @@
+(** Sharded multi-machine RedisJMP cluster (ROADMAP item 1).
+
+    K shard servers placed round-robin over up to three simulated
+    machines; clients are lightweight discrete-event state machines (a
+    few ints each — a run can carry a million of them) that route
+    requests by key hash through their home machine's edge core over
+    [Sj_ipc] channels: {!Sj_ipc.Urpc} cache-line rings intra-machine,
+    {!Sj_ipc.Msg_channel} across machines.
+
+    The hot path is batched and pipelined. Each client keeps up to
+    [pipeline] requests outstanding; the edge coalesces up to [batch]
+    requests per (machine, shard) lane into one ring crossing (a
+    linger timer flushes partial batches); the server drains whole
+    bursts and executes them under a single vas_switch / segment-lock
+    admission ({!Sj_kvstore.Redisjmp.execute_batch}), streaming replies
+    back without per-op round trips. [batch = 1] selects the single-op
+    baseline: one {!Sj_kvstore.Redisjmp.execute} — own switch, lock,
+    and full dispatch overhead — per request.
+
+    A run is a deterministic function of its config: fingerprints are
+    byte-identical across host parallelism, trace on/off, and attached
+    empty fault plans. The optional fault plan kills one shard's lock
+    holder mid-storm ({!Sj_fault.Plan.kill_holding_lock}); crash
+    teardown reclaims the segment lock, a standby server reconnects
+    after [respawn_delay], and the edges retransmit unacknowledged
+    requests in order (at-least-once; GET/SET are idempotent). The
+    per-window completion [timeline] charts cluster-wide availability
+    through the outage. *)
+
+type fault_plan = {
+  kill_at : int;  (** engine time at which the injector is armed *)
+  victim_shard : int;
+  respawn_delay : int;  (** crash -> standby server ready, cycles *)
+}
+
+type config = {
+  machines : int;  (** 1..3 -> M1, M2, M3 *)
+  shards : int;
+  clients : int;
+  requests_per_client : int;
+  batch : int;
+      (** max requests coalesced per ring crossing; 1 = single-op baseline *)
+  pipeline : int;  (** outstanding requests per client *)
+  linger_cycles : int;  (** partial-batch flush timer *)
+  set_fraction : float;
+  value_size : int;
+  keys_per_shard : int;
+  store_size : int;
+  backend : Sj_core.Api.backend;
+  tags : bool;
+  window_cycles : int;  (** availability-timeline bucket width *)
+  fault : fault_plan option;
+  seed : int;
+}
+
+val default : config
+
+type outage = {
+  crashed_at : int;  (** engine time the lock holder died *)
+  recovered_at : int;  (** engine time the standby finished taking over *)
+  outage_cycles : int;
+}
+
+type result = {
+  requests : int;
+  sets : int;
+  gets : int;
+  duration_cycles : int;  (** engine time at last completion *)
+  seconds : float;  (** at the 2.5 GHz reference clock *)
+  throughput : float;  (** requests per reference second *)
+  p50 : int;  (** request latency quantiles, engine cycles *)
+  p99 : int;
+  p999 : int;
+  mean_latency : float;
+  batches : int;  (** server bursts executed (batched mode) *)
+  avg_batch : float;
+  switches : int;  (** vas switches, summed over machines *)
+  ring_stalls : int;  (** flushes that hit ring backpressure *)
+  server_backlog_peak : int;
+      (** deepest any shard core's exec FIFO got
+          ({!Sj_des.Resource.Cores.queued_peak}) *)
+  edge_backlog_peak : int;  (** same, over the per-machine edge cores *)
+  shard_served : int array;
+  timeline : int array array;  (** window -> shard -> completions *)
+  outage : outage option;
+  crashed : bool;
+  fingerprint : (string * int) list;
+      (** integers only, byte-identical across -j / trace / empty-plan *)
+}
+
+val run : config -> result
+(** Build the machines, stores and channels, simulate the full
+    closed-loop request storm to completion, and report. Raises
+    [Failure] on nonsensical configs (shards that outnumber cores,
+    out-of-range victim, machines outside 1..3). *)

@@ -1,0 +1,191 @@
+(* BENCH_cluster.json, schema "spacejmp-bench/4-cluster".
+
+   Extends the spacejmp-bench report family to the sharded cluster:
+   the same host block and determinism discipline (a report that
+   records a divergence is refused by the checker; the harness exits 2
+   before writing one), plus cluster-specific sections — a headline
+   pair (single-op baseline vs batched+pipelined at the same scale), a
+   sweep grid over shards x batch x pipeline x backend, and an
+   optional fault section with the per-window availability timeline
+   through a shard crash. All simulated numbers are integers from the
+   runs' fingerprints; throughput and quantiles come from the DES
+   timeline and {!Sj_obs.Hist}, never from formulas. *)
+
+type point = { cfg : Cluster.config; res : Cluster.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  baseline : point;  (* batch = 1, pipeline = 1 *)
+  batched : point;  (* same scale, batched + pipelined *)
+  grid : point list;
+  fault : point option;
+  determinism_ok : bool;
+  audits : string list;  (* which identity audits ran *)
+}
+
+let schema = "spacejmp-bench/4-cluster"
+
+let backend_name = function
+  | Sj_core.Api.Dragonfly -> "dragonfly"
+  | Sj_core.Api.Barrelfish -> "barrelfish"
+
+let add_point b ~indent ~label p =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let pad = String.make indent ' ' in
+  let c = p.cfg and r = p.res in
+  add "%s\"%s\": {\n" pad label;
+  add "%s  \"machines\": %d,\n" pad c.Cluster.machines;
+  add "%s  \"shards\": %d,\n" pad c.shards;
+  add "%s  \"batch\": %d,\n" pad c.batch;
+  add "%s  \"pipeline\": %d,\n" pad c.pipeline;
+  add "%s  \"backend\": \"%s\",\n" pad (backend_name c.backend);
+  add "%s  \"tags\": %b,\n" pad c.tags;
+  add "%s  \"clients\": %d,\n" pad c.clients;
+  add "%s  \"requests\": %d,\n" pad r.Cluster.requests;
+  add "%s  \"duration_cycles\": %d,\n" pad r.duration_cycles;
+  add "%s  \"seconds\": %.6f,\n" pad r.seconds;
+  add "%s  \"throughput_rps\": %.0f,\n" pad r.throughput;
+  add "%s  \"p50_cycles\": %d,\n" pad r.p50;
+  add "%s  \"p99_cycles\": %d,\n" pad r.p99;
+  add "%s  \"p999_cycles\": %d,\n" pad r.p999;
+  add "%s  \"mean_latency_cycles\": %.0f,\n" pad r.mean_latency;
+  add "%s  \"switches\": %d,\n" pad r.switches;
+  add "%s  \"batches\": %d,\n" pad r.batches;
+  add "%s  \"avg_batch\": %.2f,\n" pad r.avg_batch;
+  add "%s  \"ring_stalls\": %d,\n" pad r.ring_stalls;
+  add "%s  \"server_backlog_peak\": %d,\n" pad r.server_backlog_peak;
+  add "%s  \"edge_backlog_peak\": %d,\n" pad r.edge_backlog_peak;
+  add "%s  \"simulated\": {" pad;
+  List.iteri
+    (fun j (k, v) ->
+      if j > 0 then add ", ";
+      add "\"%s\": %d" k v)
+    r.fingerprint;
+  add "}\n";
+  add "%s}" pad
+
+let to_json r =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"%s\",\n" schema;
+  add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
+  add "  \"host\": {\n";
+  add "    \"cores\": %d,\n" r.cores;
+  add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
+  add "    \"jobs\": %d\n" r.jobs;
+  add "  },\n";
+  add "  \"headline\": {\n";
+  add_point b ~indent:4 ~label:"baseline" r.baseline;
+  add ",\n";
+  add_point b ~indent:4 ~label:"batched" r.batched;
+  add ",\n";
+  add "    \"speedup\": %.3f\n"
+    (r.batched.res.Cluster.throughput /. r.baseline.res.Cluster.throughput);
+  add "  },\n";
+  add "  \"grid\": [\n";
+  List.iteri
+    (fun i p ->
+      add "    {\n";
+      add_point b ~indent:6 ~label:"point" p;
+      add "\n    }%s\n" (if i = List.length r.grid - 1 then "" else ","))
+    r.grid;
+  add "  ],\n";
+  (match r.fault with
+  | None -> add "  \"fault\": null,\n"
+  | Some p ->
+    add "  \"fault\": {\n";
+    add_point b ~indent:4 ~label:"run" p;
+    add ",\n";
+    (match p.res.Cluster.outage with
+    | None -> add "    \"outage\": null,\n"
+    | Some o ->
+      add "    \"outage\": {\n";
+      add "      \"crashed_at\": %d,\n" o.Cluster.crashed_at;
+      add "      \"recovered_at\": %d,\n" o.recovered_at;
+      add "      \"outage_cycles\": %d\n" o.outage_cycles;
+      add "    },\n");
+    add "    \"window_cycles\": %d,\n" p.cfg.Cluster.window_cycles;
+    add "    \"timeline\": [\n";
+    let nt = Array.length p.res.Cluster.timeline in
+    Array.iteri
+      (fun w row ->
+        add "      [%s]%s\n"
+          (String.concat ", " (Array.to_list (Array.map string_of_int row)))
+          (if w = nt - 1 then "" else ","))
+      p.res.Cluster.timeline;
+    add "    ]\n";
+    add "  },\n");
+  add "  \"determinism\": {\n";
+  add "    \"audits\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") r.audits));
+  add "    \"equal\": %b\n" r.determinism_ok;
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Same validation discipline as {!Sj_bench.Report.check_string}: no
+   JSON library in the tree, so check nesting balance outside strings,
+   required keys, and refuse any recorded divergence. *)
+let check_string s =
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !in_str then begin
+        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  if !depth <> 0 || !in_str then ok := false;
+  let required =
+    [
+      Printf.sprintf "\"schema\": \"%s\"" schema;
+      "\"host\"";
+      "\"cores\"";
+      "\"ocaml_version\"";
+      "\"jobs\"";
+      "\"headline\"";
+      "\"baseline\"";
+      "\"batched\"";
+      "\"speedup\"";
+      "\"grid\"";
+      "\"fault\"";
+      "\"throughput_rps\"";
+      "\"p50_cycles\"";
+      "\"p99_cycles\"";
+      "\"p999_cycles\"";
+      "\"simulated\"";
+      "\"determinism\"";
+    ]
+  in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let errors = ref [] in
+  List.iter
+    (fun key ->
+      if not (contains key) then
+        errors := Printf.sprintf "missing key %s" key :: !errors)
+    required;
+  if contains "\"equal\": false" then
+    errors := "report records a determinism divergence" :: !errors;
+  if not !ok then errors := "unbalanced JSON nesting" :: !errors;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  check_string s

@@ -1,0 +1,30 @@
+(** BENCH_cluster.json emission and validation.
+
+    Schema "spacejmp-bench/4-cluster" — the bench report family
+    extended to the sharded cluster: a headline single-op-vs-batched
+    pair at the same scale, the sweep grid over
+    shards x batch x pipeline x backend, an optional fault section
+    with the per-window availability timeline, and the determinism
+    audit verdict. The checker refuses a report that records a
+    divergence (the harness exits 2 before writing one). *)
+
+type point = { cfg : Cluster.config; res : Cluster.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  baseline : point;  (** batch = 1, pipeline = 1 *)
+  batched : point;  (** same scale, batched + pipelined *)
+  grid : point list;
+  fault : point option;
+  determinism_ok : bool;
+  audits : string list;  (** which identity audits ran *)
+}
+
+val schema : string
+val backend_name : Sj_core.Api.backend -> string
+val to_json : t -> string
+val check_string : string -> (unit, string list) result
+val check_file : string -> (unit, string list) result

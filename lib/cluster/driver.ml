@@ -1,0 +1,179 @@
+(* The `bench cluster` / `sjctl cluster` driver: one entry point that
+   runs the headline pair, the sweep grid, the fault composition, and
+   the determinism audits, and assembles the Cluster_report. Shared by
+   bench/clusterbench.ml and bin/sjctl.ml so the two front-ends cannot
+   drift: they differ only in argument parsing and table printing.
+
+   Determinism is audited here, not assumed: the audit config is run
+   once as reference and re-run under every host-side condition that
+   must not leak into simulated results (plain rerun, tracing on, empty
+   fault plan installed, inside a domain pool). Any fingerprint
+   mismatch is reported as a divergence; callers exit 2 without
+   writing a report. *)
+
+module Par = Sj_util.Par
+module Size = Sj_util.Size
+
+type outcome = {
+  report : Cluster_report.t;
+  divergences : string list;  (* empty iff report.determinism_ok *)
+}
+
+(* Headline scale: full mode is the million-client storm (the number
+   the ISSUE is named after); quick mode keeps the same shape at a
+   few-second size for CI and runtest smoke. Both compare batch=1/
+   pipeline=1 (every request its own ring crossing and switch) against
+   the batched+pipelined path at identical scale. *)
+let headline_cfg ~quick =
+  if quick then
+    {
+      Cluster.default with
+      clients = 5_000;
+      requests_per_client = 2;
+      window_cycles = 2_000_000;
+    }
+  else
+    {
+      Cluster.default with
+      clients = 1_000_000;
+      requests_per_client = 2;
+      keys_per_shard = 2_048;
+      store_size = Size.mib 32;
+      window_cycles = 50_000_000;
+    }
+
+(* Grid points are smaller than the headline — the sweep is about the
+   *shape* of the surface (where batching stops paying, what pipelining
+   buys, Dragonfly vs Barrelfish), not peak scale. *)
+let grid_cfg ~quick =
+  if quick then
+    {
+      Cluster.default with
+      clients = 1_500;
+      requests_per_client = 2;
+      keys_per_shard = 128;
+      store_size = Size.mib 8;
+      window_cycles = 1_000_000;
+    }
+  else
+    {
+      Cluster.default with
+      clients = 20_000;
+      requests_per_client = 2;
+      window_cycles = 5_000_000;
+    }
+
+let grid_axes ~quick =
+  if quick then
+    ([ 4; 8 ], [ 1; 16 ], [ 2 ], [ Sj_core.Api.Dragonfly; Sj_core.Api.Barrelfish ])
+  else
+    ( [ 4; 8; 16 ],
+      [ 1; 4; 16 ],
+      [ 1; 4 ],
+      [ Sj_core.Api.Dragonfly; Sj_core.Api.Barrelfish ] )
+
+(* Fault composition: kill shard 1's server mid-storm (it dies holding
+   the store's lock, mid-burst), respawn after the delay, and let the
+   timeline show the outage against the other shards' steady service.
+   kill_at and respawn_delay are sized so crash and full recovery both
+   land well inside the run. *)
+let fault_cfg ~quick =
+  if quick then
+    {
+      (grid_cfg ~quick) with
+      Cluster.clients = 1_500;
+      window_cycles = 400_000;
+      fault =
+        Some
+          { Cluster.kill_at = 400_000; victim_shard = 1; respawn_delay = 1_500_000 };
+    }
+  else
+    {
+      (grid_cfg ~quick) with
+      Cluster.window_cycles = 2_000_000;
+      fault =
+        Some
+          {
+            Cluster.kill_at = 6_000_000;
+            victim_shard = 1;
+            respawn_delay = 8_000_000;
+          };
+    }
+
+let fp_equal (a : Cluster.result) (b : Cluster.result) =
+  a.Cluster.fingerprint = b.Cluster.fingerprint
+
+let run ~quick ~jobs ?(progress = fun _ -> ()) () =
+  let point cfg = { Cluster_report.cfg; res = Cluster.run cfg } in
+  let hcfg = headline_cfg ~quick in
+  progress "headline: single-op baseline (batch=1, pipeline=1)";
+  let baseline = point { hcfg with Cluster.batch = 1; pipeline = 1 } in
+  progress "headline: batched + pipelined, same scale";
+  let batched = point hcfg in
+  let gcfg = grid_cfg ~quick in
+  let shards_l, batch_l, pipe_l, backends = grid_axes ~quick in
+  let cfgs =
+    List.concat_map
+      (fun shards ->
+        List.concat_map
+          (fun batch ->
+            List.concat_map
+              (fun pipeline ->
+                List.map
+                  (fun backend ->
+                    { gcfg with Cluster.shards; batch; pipeline; backend })
+                  backends)
+              pipe_l)
+          batch_l)
+      shards_l
+  in
+  progress
+    (Printf.sprintf "grid: %d points (shards x batch x pipeline x backend)"
+       (List.length cfgs));
+  (* Each grid point simulates its own machines, so fanning points
+     across domains changes only the wall clock; results are assembled
+     in config order either way. *)
+  let grid =
+    if jobs <= 1 then List.map point cfgs
+    else
+      Par.with_pool ~size:jobs (fun pool ->
+          List.map2
+            (fun cfg res -> { Cluster_report.cfg; res })
+            cfgs
+            (Par.map_list pool Cluster.run cfgs))
+  in
+  progress "fault: kill shard 1 mid-storm, watch the timeline";
+  let fault = point (fault_cfg ~quick) in
+  progress "determinism audits";
+  let acfg = gcfg in
+  let reference = Cluster.run acfg in
+  let divergences = ref [] in
+  let audit name r =
+    if not (fp_equal reference r) then divergences := name :: !divergences
+  in
+  audit "rerun" (Cluster.run acfg);
+  audit "trace-on" (Sj_obs.Recorder.with_tracing true (fun () -> Cluster.run acfg));
+  audit "empty-fault-plan"
+    (Sj_fault.Injector.with_plan [] (fun () -> Cluster.run acfg));
+  Par.with_pool ~size:(max 2 jobs) (fun pool ->
+      List.iter
+        (fun r -> audit "domains" r)
+        (Par.map_list pool Cluster.run [ acfg; acfg ]));
+  let fault_rerun = Cluster.run (fault_cfg ~quick) in
+  if not (fp_equal fault.Cluster_report.res fault_rerun) then
+    divergences := "fault-rerun" :: !divergences;
+  let report =
+    {
+      Cluster_report.quick;
+      jobs;
+      cores = Domain.recommended_domain_count ();
+      ocaml_version = Sys.ocaml_version;
+      baseline;
+      batched;
+      grid;
+      fault = Some fault;
+      determinism_ok = !divergences = [];
+      audits = [ "rerun"; "trace-on"; "empty-fault-plan"; "domains"; "fault-rerun" ];
+    }
+  in
+  { report; divergences = List.rev !divergences }

@@ -1,0 +1,28 @@
+(** Shared driver behind [bench cluster] and [sjctl cluster].
+
+    Runs the headline single-op-vs-batched pair, the
+    shards x batch x pipeline x backend sweep grid, the
+    shard-crash fault composition, and the determinism audits
+    (rerun, tracing on, empty fault plan, domain pool, fault rerun),
+    then assembles the {!Cluster_report.t}. The two front-ends differ
+    only in argument parsing and printing. *)
+
+type outcome = {
+  report : Cluster_report.t;
+  divergences : string list;
+      (** failed audits, in run order; empty iff
+          [report.determinism_ok]. Callers must exit 2 without writing
+          a report when non-empty. *)
+}
+
+val headline_cfg : quick:bool -> Cluster.config
+(** Million simulated clients in full mode; CI-sized in quick mode. *)
+
+val grid_cfg : quick:bool -> Cluster.config
+val fault_cfg : quick:bool -> Cluster.config
+
+val run :
+  quick:bool -> jobs:int -> ?progress:(string -> unit) -> unit -> outcome
+(** [jobs] > 1 fans grid points across a domain pool (wall clock only;
+    point results are identical and assembled in config order).
+    [progress] is called with a one-line note as each section starts. *)

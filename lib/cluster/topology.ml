@@ -1,0 +1,50 @@
+(* Cluster placement and key routing: pure arithmetic, no machine
+   state. Shards are laid round-robin over the machines; clients hash
+   keys to shards with FNV-1a, the classic Redis-cluster-style slot
+   function (deterministic, architecture-independent, no dependence on
+   OCaml's polymorphic hash). *)
+
+type t = {
+  machines : int;
+  shards : int;
+  shard_machine : int array; (* shard -> machine index *)
+}
+
+let make ~machines ~shards =
+  if machines < 1 then invalid_arg "Topology.make: machines < 1";
+  if shards < 1 then invalid_arg "Topology.make: shards < 1";
+  { machines; shards; shard_machine = Array.init shards (fun s -> s mod machines) }
+
+let machines t = t.machines
+let shards t = t.shards
+let machine_of_shard t s = t.shard_machine.(s)
+
+let shards_on t m =
+  let out = ref [] in
+  for s = t.shards - 1 downto 0 do
+    if t.shard_machine.(s) = m then out := s :: !out
+  done;
+  !out
+
+(* FNV-1a over the key bytes, folded into [0, shards). The 64-bit
+   primes keep the avalanche good enough that uniform key strings land
+   uniformly on shards (test_cluster holds the balance). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash_key key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) fnv_prime)
+    key;
+  (* Fold to a non-negative OCaml int (to_int truncates to 63 bits, so
+     mask the sign rather than shifting — a single shift still
+     overflows the native int). *)
+  Int64.to_int !h land max_int
+
+let shard_of_key t key = hash_key key mod t.shards
+
+(* Clients are spread round-robin over the machines: client [j]'s
+   requests enter the fabric at machine [j mod machines]'s edge core. *)
+let machine_of_client t j = j mod t.machines

@@ -1,0 +1,21 @@
+(** Cluster placement and key routing (pure, deterministic).
+
+    K shards laid round-robin across M simulated machines; keys route
+    to shards by FNV-1a hash (no dependence on the polymorphic hash),
+    clients enter at their home machine's edge core. *)
+
+type t
+
+val make : machines:int -> shards:int -> t
+val machines : t -> int
+val shards : t -> int
+
+val machine_of_shard : t -> int -> int
+val shards_on : t -> int -> int list
+(** Shards placed on machine [m], ascending. *)
+
+val hash_key : string -> int
+(** FNV-1a, folded to a non-negative int. *)
+
+val shard_of_key : t -> string -> int
+val machine_of_client : t -> int -> int

@@ -910,7 +910,14 @@ module Checked = struct
       match vas_switch_c ctx vh with
       | Ok () -> Ok ()
       | Error f when f.code = Error.Would_block && k < attempts ->
-        Core.charge ctx.core (k * backoff_cycles);
+        let backoff = k * backoff_cycles in
+        Core.charge ctx.core backoff;
+        (match obs ctx with
+        | Some r ->
+          emit_to r ctx
+            (Sj_obs.Event.Switch_retry
+               { vid = Vas.vid vh.vas; attempt = k; backoff })
+        | None -> ());
         go (k + 1)
       | Error f -> Error f
     in

@@ -5,11 +5,21 @@ module Cores = struct
     mutable free : int;
     waiting : (int * (unit -> unit)) Queue.t; (* cycles, continuation *)
     mutable busy_cycles : int;
+    mutable queued : int;
+    mutable queued_peak : int;
   }
 
   let create eng ~n =
     if n <= 0 then invalid_arg "Cores.create: n must be positive";
-    { eng; n; free = n; waiting = Queue.create (); busy_cycles = 0 }
+    {
+      eng;
+      n;
+      free = n;
+      waiting = Queue.create ();
+      busy_cycles = 0;
+      queued = 0;
+      queued_peak = 0;
+    }
 
   let n t = t.n
 
@@ -29,9 +39,17 @@ module Cores = struct
 
   let exec t ~cycles k =
     if cycles < 0 then invalid_arg "Cores.exec: negative cycles";
-    if t.free > 0 then start t cycles k else Queue.push (cycles, k) t.waiting
+    if t.free > 0 then start t cycles k
+    else begin
+      t.queued <- t.queued + 1;
+      if Queue.length t.waiting + 1 > t.queued_peak then
+        t.queued_peak <- Queue.length t.waiting + 1;
+      Queue.push (cycles, k) t.waiting
+    end
 
   let busy_cycles t = t.busy_cycles
+  let queued_execs t = t.queued
+  let queued_peak t = t.queued_peak
 end
 
 module Rwlock = struct

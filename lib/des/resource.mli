@@ -19,6 +19,14 @@ module Cores : sig
 
   val busy_cycles : t -> int
   (** Total core-cycles consumed so far (utilization numerator). *)
+
+  val queued_execs : t -> int
+  (** Requests that found every core busy and had to queue — the
+      backlog counterpart of {!Rwlock.contended_acquires}. *)
+
+  val queued_peak : t -> int
+  (** Deepest the FIFO backlog ever got (saturation marker: the
+      cluster bench reports it for server and edge cores). *)
 end
 
 module Rwlock : sig

@@ -6,7 +6,6 @@ type t = {
   master : Core.core;
   slave : Core.core;
   oversubscribed : bool;
-  machine : Sj_machine.Machine.t;
 }
 
 (* Software costs measured for shared-memory MPI stacks: envelope
@@ -15,16 +14,55 @@ let sw_overhead = 450
 let context_switch = 2600
 
 let create machine ~master ~slave ?(oversubscribed = false) () =
-  { urpc = Urpc.create machine ~a:master ~b:slave (); master; slave; oversubscribed; machine }
+  { urpc = Urpc.create machine ~a:master ~b:slave (); master; slave; oversubscribed }
+
+let create_cross ~master:(mm, master) ~slave:(sm, slave) ?slots
+    ?(oversubscribed = false) () =
+  {
+    urpc = Urpc.create_cross ~a:(mm, master) ~b:(sm, slave) ?slots ();
+    master;
+    slave;
+    oversubscribed;
+  }
+
+let cross_machine t = Urpc.cross_machine t.urpc
+let pending t ~at = Urpc.pending t.urpc ~at
+let reset t = Urpc.reset t.urpc
 
 let send t ~from payload =
   Core.charge from sw_overhead;
   Urpc.send t.urpc ~from payload
 
+let try_send t ~from payload =
+  (* Envelope bookkeeping happens only once the eager-send credit check
+     passes; a refused send cost just the Urpc-level poll. *)
+  if Urpc.try_send t.urpc ~from payload then begin
+    Core.charge from sw_overhead;
+    true
+  end
+  else false
+
+let send_burst t ~from payloads =
+  (* The coalesced burst goes out as ONE aggregated envelope: request
+     bookkeeping once, one doorbell at the Urpc layer — what a batching
+     MPI/verbs stack does with eager message aggregation. The receiver
+     still pays per-message matching in [drain] when it unpacks. *)
+  let n = Urpc.send_burst t.urpc ~from payloads in
+  if n > 0 then Core.charge from sw_overhead;
+  n
+
 let recv t ~at =
   Core.charge at sw_overhead;
   if t.oversubscribed then Core.charge at context_switch;
   Urpc.recv t.urpc ~at
+
+let drain t ~at ?max () =
+  (* One progress-engine wakeup services the whole burst: the context
+     switch (if any) is paid once, envelope matching per message. *)
+  if t.oversubscribed then Core.charge at context_switch;
+  let msgs = Urpc.drain t.urpc ~at ?max () in
+  Core.charge at (List.length msgs * sw_overhead);
+  msgs
 
 let rpc t ~request ~reply_len =
   send t ~from:t.master request;

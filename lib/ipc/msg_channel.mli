@@ -1,5 +1,6 @@
 (** OpenMPI-style message passing used by the GUPS multi-process
-    baseline (§5.2 "MP").
+    baseline (§5.2 "MP") and, via {!create_cross}, by the cluster's
+    machine-to-machine request path.
 
     Compared to raw URPC this adds the software overheads of a
     messaging stack — marshalling, envelope matching, progress-engine
@@ -20,8 +21,46 @@ val create :
 (** [oversubscribed] adds a scheduler context-switch penalty to every
     receive, modelling more runnable busy-waiting processes than cores. *)
 
+val create_cross :
+  master:Sj_machine.Machine.t * Sj_machine.Machine.Core.core ->
+  slave:Sj_machine.Machine.t * Sj_machine.Machine.Core.core ->
+  ?slots:int ->
+  ?oversubscribed:bool ->
+  unit ->
+  t
+(** A channel whose two endpoints live on different simulated machines;
+    transfers ride the fabric cost model (see {!Urpc.create_cross}). *)
+
+val cross_machine : t -> bool
+
+val pending : t -> at:Sj_machine.Machine.Core.core -> int
+(** Messages queued toward [at] (pure query). *)
+
+val reset : t -> unit
+(** Drop all in-flight messages, both directions, free of charge — the
+    crash/recovery path's connection reset. *)
+
+val send_burst :
+  t -> from:Sj_machine.Machine.Core.core -> bytes list -> int
+(** Send a coalesced burst as ONE aggregated envelope: software
+    bookkeeping once, one doorbell ({!Urpc.send_burst}); the receiver
+    still pays per-message matching when {!drain} unpacks. Returns the
+    number of messages accepted (longest prefix that fit the ring). *)
+
 val send : t -> from:Sj_machine.Machine.Core.core -> bytes -> unit
 val recv : t -> at:Sj_machine.Machine.Core.core -> bytes
+
+val try_send : t -> from:Sj_machine.Machine.Core.core -> bytes -> bool
+(** Backpressure-aware send: [false] (one poll charged) when the
+    underlying ring is full; the envelope bookkeeping is charged only
+    on acceptance. *)
+
+val drain :
+  t -> at:Sj_machine.Machine.Core.core -> ?max:int -> unit -> bytes list
+(** Receive a whole burst under one progress-engine wakeup: the
+    oversubscription context switch (if any) is paid once per drain,
+    envelope matching per message, and the line transfers stream as in
+    {!Urpc.drain}. *)
 
 val rpc :
   t -> request:bytes -> reply_len:int -> bytes

@@ -1,64 +1,202 @@
 module Machine = Sj_machine.Machine
 module Core = Machine.Core
 
+(* Endpoints carry their own machine so one channel can span two
+   simulated machines (cluster fabric). Direction is resolved by
+   physical identity of the endpoint cores — ids collide across
+   machines (both can be core 0), identities never do. *)
 type t = {
-  machine : Machine.t;
-  core_a : int;
+  machine_a : Machine.t;
+  machine_b : Machine.t;
+  a : Core.core;
+  b : Core.core;
   socket_a : int;
   socket_b : int;
+  cross_machine : bool;
   slots : int;
   line : int;
   q_ab : bytes Queue.t; (* messages travelling a -> b *)
   q_ba : bytes Queue.t;
 }
 
-let create machine ~a ~b ?(slots = 64) () =
+let make ~machine_a ~machine_b ~a ~b ~slots =
   {
-    machine;
-    core_a = Core.id a;
+    machine_a;
+    machine_b;
+    a;
+    b;
     socket_a = Core.socket a;
     socket_b = Core.socket b;
+    cross_machine = not (machine_a == machine_b);
     slots;
-    line = (Machine.platform machine).line;
+    line = (Machine.platform machine_a).line;
     q_ab = Queue.create ();
     q_ba = Queue.create ();
   }
 
+let create machine ~a ~b ?(slots = 64) () =
+  make ~machine_a:machine ~machine_b:machine ~a ~b ~slots
+
+let create_cross ~a:(machine_a, a) ~b:(machine_b, b) ?(slots = 64) () =
+  make ~machine_a ~machine_b ~a ~b ~slots
+
 let cross_socket t = t.socket_a <> t.socket_b
+let cross_machine t = t.cross_machine
+let slots t = t.slots
 
 let lines_of t len =
   (* One header line carries size + sequence; payload fills the rest. *)
   1 + ((len + t.line - 1) / t.line)
 
-let xfer_cost t =
-  let c = Machine.cost t.machine in
-  if cross_socket t then c.cacheline_cross else c.cacheline_intra
-
 let poll_cost = 20 (* one spin iteration on an already-hot line *)
 
-let dir_of t core = if Core.id core = t.core_a then `AB else `BA
+(* Endpoint [a] sends into q_ab; anything else is the b side (the old
+   single-machine behavior, kept for callers that poll with a third
+   observer core on the same machine). *)
+let dir_of t core = if core == t.a then `AB else `BA
+
+(* Cost model of the machine doing the charging, per direction-of-
+   travel endpoint: `AB producer = a side, `AB consumer = b side. *)
+let producer_cost t = function
+  | `AB -> Machine.cost t.machine_a
+  | `BA -> Machine.cost t.machine_b
+
+let consumer_cost t = function
+  | `AB -> Machine.cost t.machine_b
+  | `BA -> Machine.cost t.machine_a
+
+let send_cost t dir len =
+  (* The producer writes lines into its own cache: L1-priced stores —
+     plus, across machines, one NIC doorbell/descriptor per message. *)
+  let c = producer_cost t dir in
+  (lines_of t len * c.Sj_machine.Cost_model.l1_hit)
+  + if t.cross_machine then c.net_setup else 0
+
+(* Consumer-side cost of pulling [lines] consecutive lines in one
+   burst. Intra-machine the first line is a full interconnect transfer
+   and later lines stream behind it (producer and consumer pipeline on
+   the ring) at roughly 3/8 of the ping-pong latency; across machines
+   the burst is one NIC setup plus wire-rate per line. Draining n
+   queued messages as one burst therefore costs less than n separate
+   receives — the lines are consecutive, so only the first pays the
+   full transfer — which is exactly what the cluster's batched path
+   amortizes. *)
+let burst_cost t dir lines =
+  let c = consumer_cost t dir in
+  if t.cross_machine then c.Sj_machine.Cost_model.net_setup + (lines * c.net_link)
+  else
+    let xfer =
+      if cross_socket t then c.Sj_machine.Cost_model.cacheline_cross
+      else c.Sj_machine.Cost_model.cacheline_intra
+    in
+    xfer + ((lines - 1) * (xfer * 3 / 8))
 
 let send t ~from payload =
-  let q = match dir_of t from with `AB -> t.q_ab | `BA -> t.q_ba in
+  let dir = dir_of t from in
+  let q = match dir with `AB -> t.q_ab | `BA -> t.q_ba in
   if Queue.length q >= t.slots then failwith "Urpc.send: ring full";
-  (* The producer writes lines into its own cache: L1-priced stores. *)
-  let c = Machine.cost t.machine in
-  Core.charge from (lines_of t (Bytes.length payload) * c.l1_hit);
+  Core.charge from (send_cost t dir (Bytes.length payload));
   Queue.push (Bytes.copy payload) q
 
+let try_send t ~from payload =
+  let dir = dir_of t from in
+  let q = match dir with `AB -> t.q_ab | `BA -> t.q_ba in
+  if Queue.length q >= t.slots then begin
+    (* Producer observed a full ring: one poll of the head line. *)
+    Core.charge from poll_cost;
+    false
+  end
+  else begin
+    Core.charge from (send_cost t dir (Bytes.length payload));
+    Queue.push (Bytes.copy payload) q;
+    true
+  end
+
+(* Send up to ring-space messages as ONE crossing: the producer writes
+   all the lines back-to-back and, across machines, rings the NIC
+   doorbell once for the whole descriptor chain — the send-side twin of
+   [drain]'s consumer amortization, and the mechanism behind the
+   cluster's batched request path. Accepts the longest prefix that
+   fits; returns how many messages were enqueued (0 accepted charges
+   only the full-ring poll). *)
+let send_burst t ~from payloads =
+  let dir = dir_of t from in
+  let q = match dir with `AB -> t.q_ab | `BA -> t.q_ba in
+  let space = t.slots - Queue.length q in
+  let accepted = ref 0 in
+  let lines = ref 0 in
+  (try
+     List.iter
+       (fun p ->
+         if !accepted >= space then raise Exit;
+         Queue.push (Bytes.copy p) q;
+         lines := !lines + lines_of t (Bytes.length p);
+         incr accepted)
+       payloads
+   with Exit -> ());
+  let cost =
+    if !accepted = 0 then poll_cost
+    else
+      let c = producer_cost t dir in
+      (!lines * c.Sj_machine.Cost_model.l1_hit)
+      + if t.cross_machine then c.net_setup else 0
+  in
+  Core.charge from cost;
+  !accepted
+
+(* The queue [at] receives from travels in the opposite direction of
+   the one it sends into. *)
+let rx_queue t at =
+  match dir_of t at with `AB -> t.q_ba | `BA -> t.q_ab
+
+let rx_dir t at = match dir_of t at with `AB -> `BA | `BA -> `AB
+
+let pending t ~at = Queue.length (rx_queue t at)
+
+(* Connection reset: drop every in-flight message in both directions.
+   This is failure-model bookkeeping — the bytes die with the crashed
+   endpoint — so nobody is charged for it. *)
+let reset t =
+  Queue.clear t.q_ab;
+  Queue.clear t.q_ba
+
 let recv t ~at =
-  let q = match dir_of t at with `AB -> t.q_ba | `BA -> t.q_ab in
-  match Queue.take_opt q with
+  match Queue.take_opt (rx_queue t at) with
   | None -> failwith "Urpc.recv: empty ring"
   | Some payload ->
-    (* Consumer pulls each line across the interconnect. The first line
-       costs a full transfer; later lines stream behind it (producer and
-       consumer pipeline on the ring), at roughly 3/8 of the ping-pong
-       latency. *)
     let lines = lines_of t (Bytes.length payload) in
-    let xfer = xfer_cost t in
-    Core.charge at (poll_cost + xfer + ((lines - 1) * (xfer * 3 / 8)));
+    Core.charge at (poll_cost + burst_cost t (rx_dir t at) lines);
     payload
+
+let recv_opt t ~at =
+  match Queue.take_opt (rx_queue t at) with
+  | None ->
+    (* A speculative poll that found the ring empty. *)
+    Core.charge at poll_cost;
+    None
+  | Some payload ->
+    let lines = lines_of t (Bytes.length payload) in
+    Core.charge at (poll_cost + burst_cost t (rx_dir t at) lines);
+    Some payload
+
+let drain t ~at ?max () =
+  let q = rx_queue t at in
+  let limit = match max with Some m -> min m (Queue.length q) | None -> Queue.length q in
+  if limit = 0 then begin
+    Core.charge at poll_cost;
+    []
+  end
+  else begin
+    let lines = ref 0 in
+    let out = ref [] in
+    for _ = 1 to limit do
+      let payload = Queue.pop q in
+      lines := !lines + lines_of t (Bytes.length payload);
+      out := payload :: !out
+    done;
+    Core.charge at (poll_cost + burst_cost t (rx_dir t at) !lines);
+    List.rev !out
+  end
 
 let roundtrip t ~client ~server ~request ~reply_len =
   send t ~from:client request;

@@ -6,6 +6,11 @@
     intra-socket or cross-socket latency depending on core placement —
     the "URPC L" vs "URPC X" distinction in Figure 7.
 
+    A channel may also span two simulated machines ({!create_cross}),
+    in which case the consumer side is priced as NIC setup plus
+    wire-rate per line ([net_setup]/[net_link] in {!Sj_machine.Cost_model})
+    instead of cache-line transfers.
+
     The implementation is a real ring (messages are queued bytes, FIFO,
     bounded); latencies are charged to the participating cores. *)
 
@@ -21,17 +26,69 @@ val create :
 (** A bidirectional channel between two cores ([?slots] cache-line
     messages per direction, default 64). *)
 
+val create_cross :
+  a:Sj_machine.Machine.t * Sj_machine.Machine.Core.core ->
+  b:Sj_machine.Machine.t * Sj_machine.Machine.Core.core ->
+  ?slots:int ->
+  unit ->
+  t
+(** A channel whose endpoints live on (possibly) different machines.
+    With both endpoints on one machine this is exactly {!create}; across
+    machines, transfers are priced on the fabric instead of the cache
+    hierarchy. Direction is resolved by endpoint-core identity, so the
+    two machines' core numbering may overlap freely. *)
+
 val cross_socket : t -> bool
+val cross_machine : t -> bool
+
+val slots : t -> int
+(** Ring capacity per direction. *)
+
+val pending : t -> at:Sj_machine.Machine.Core.core -> int
+(** Messages queued toward [at]. Pure query — a real consumer learns
+    this from the polls it is already charged for in recv/drain. *)
+
+val reset : t -> unit
+(** Connection reset: silently drop every in-flight message in both
+    directions. Failure-model bookkeeping (the bytes die with a crashed
+    endpoint) — free of charge, senders learn nothing. *)
+
+val send_burst :
+  t -> from:Sj_machine.Machine.Core.core -> bytes list -> int
+(** Send up to ring-space messages as ONE crossing: all lines written
+    back-to-back, and (across machines) one NIC doorbell for the whole
+    descriptor chain — the send-side twin of {!drain}'s consumer
+    amortization. Accepts the longest prefix that fits and returns how
+    many messages were enqueued; accepting none charges only the
+    full-ring poll. *)
 
 val send : t -> from:Sj_machine.Machine.Core.core -> bytes -> unit
 (** Enqueue toward the peer, charging the sender's write-side costs.
     Raises [Failure] when the ring is full (callers size slots to the
     experiment). *)
 
+val try_send : t -> from:Sj_machine.Machine.Core.core -> bytes -> bool
+(** Like {!send} but a full ring is backpressure, not an error: charges
+    the producer one poll (it inspected the head line and found it still
+    owned by the consumer) and returns [false], leaving the ring
+    unchanged. *)
+
 val recv : t -> at:Sj_machine.Machine.Core.core -> bytes
 (** Dequeue the next message, charging the receiver's line-transfer
     costs (+ one poll iteration). Raises [Failure] when empty — these
     benchmarks are request/response, never speculative. *)
+
+val recv_opt : t -> at:Sj_machine.Machine.Core.core -> bytes option
+(** Speculative receive: [None] on an empty ring costs one poll. *)
+
+val drain :
+  t -> at:Sj_machine.Machine.Core.core -> ?max:int -> unit -> bytes list
+(** Dequeue up to [max] queued messages (default: all pending) in FIFO
+    order as one burst: one poll, then the burst's lines pulled
+    consecutively — the first at full transfer cost, the rest at the
+    streaming rate. Draining n messages is therefore cheaper than n
+    {!recv}s; this is the mechanism the cluster's batched server path
+    amortizes. An empty drain costs one poll and returns []. *)
 
 val roundtrip :
   t ->

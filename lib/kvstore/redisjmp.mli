@@ -57,6 +57,29 @@ val execute_retry :
     clients ride out the window in which a crashed lock holder has not
     yet been reclaimed. *)
 
+val execute_batch : client -> Resp.command array -> Resp.reply array
+(** Run a whole pipelined burst under ONE address-space jump: a single
+    switch (exclusive if the burst contains any write, shared
+    otherwise), one lock admission, one event-loop wakeup
+    ([batch_wakeup_overhead] = 5,000 cycles), then per-command work at
+    [batch_per_command] = 1,500 cycles each — the two constants sum to
+    the single-command [dispatch_overhead], so a burst of one costs
+    exactly what {!execute} charges for dispatch. Replies are in
+    command order. Mid-burst out-of-memory grows the segment under the
+    held lock and resumes at the failing command. This is the cluster
+    shard server's drain path. *)
+
+val execute_batch_retry :
+  ?attempts:int ->
+  ?backoff_cycles:int ->
+  client ->
+  Resp.command array ->
+  (Resp.reply array, Sj_abi.Error.t) result
+(** {!execute_batch} with the switch going through
+    [Api.Checked.switch_retry], as {!execute_retry} — how a respawned
+    shard server re-enters its segment while the crashed predecessor's
+    lock may not yet be reclaimed. *)
+
 val get : client -> string -> bytes option
 val set : client -> string -> bytes -> unit
 val store : t -> Store.t

@@ -24,6 +24,8 @@ type t = {
   syscall_generic : int;
   lock_uncontended : int;
   lock_xfer : int;
+  net_setup : int;
+  net_link : int;
 }
 
 (* Table 2 measured the M2 platform; the switching constants below make
@@ -59,6 +61,12 @@ let base =
     syscall_generic = 300;
     lock_uncontended = 40;
     lock_xfer = 220;
+    (* Machine-to-machine fabric (cluster runs): QDR InfiniBand-class
+       numbers — ~1.2 us one-way small-message latency = 3,000 cycles
+       at 2.5 GHz for doorbell + DMA descriptor + NIC traversal, then
+       one 64 B line every ~16 ns at 32 Gbit/s wire rate = 40 cycles. *)
+    net_setup = 3_000;
+    net_link = 40;
   }
 
 let m1 = { base with clock_ghz = 2.66; dram_local = 230; dram_remote = 360 }

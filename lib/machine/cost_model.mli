@@ -38,6 +38,9 @@ type t = {
   syscall_generic : int;  (** non-SpaceJMP syscalls (read/write/mmap entry) *)
   lock_uncontended : int;  (** acquiring a free lockable-segment lock *)
   lock_xfer : int;  (** handing a contended lock between cores *)
+  (* Machine-to-machine fabric (cluster channels) *)
+  net_setup : int;  (** per-message NIC doorbell + descriptor + traversal *)
+  net_link : int;  (** per cache-line-sized unit at wire rate *)
 }
 
 val m1 : t

@@ -29,6 +29,9 @@ type kind =
           VAS attachments were reclaimed from the dead process. *)
   | Lock_reclaim of { sid : int; pid : int }
       (** A segment lock force-released from crashed process [pid]. *)
+  | Switch_retry of { vid : int; attempt : int; backoff : int }
+      (** A [Would_block]ed vas_switch backing off before attempt
+          [attempt + 1]; [backoff] simulated cycles were charged. *)
 
 type t = { seq : int; core : int; cycles : int; kind : kind }
 
@@ -45,6 +48,7 @@ let name = function
   | Pt_teardown _ -> "pt_teardown"
   | Proc_crash _ -> "proc_crash"
   | Lock_reclaim _ -> "lock_reclaim"
+  | Switch_retry _ -> "switch_retry"
 
 let flush_to_string = function
   | Flush_nonglobal -> "nonglobal"
@@ -78,6 +82,9 @@ let args_json = function
         attachments
   | Lock_reclaim { sid; pid } ->
       Printf.sprintf {|{"sid":%d,"pid":%d}|} sid pid
+  | Switch_retry { vid; attempt; backoff } ->
+      Printf.sprintf {|{"vid":%d,"attempt":%d,"backoff":%d}|} vid attempt
+        backoff
 
 let to_string e =
   Printf.sprintf "%08d %10d c%d %-18s %s" e.seq e.cycles e.core (name e.kind)

@@ -29,6 +29,9 @@ type kind =
           VAS attachments were reclaimed from the dead process. *)
   | Lock_reclaim of { sid : int; pid : int }
       (** A segment lock force-released from crashed process [pid]. *)
+  | Switch_retry of { vid : int; attempt : int; backoff : int }
+      (** A [Would_block]ed vas_switch backing off before attempt
+          [attempt + 1]; [backoff] simulated cycles were charged. *)
 
 type t = {
   seq : int;  (** per-recorder emission order, from 0 *)

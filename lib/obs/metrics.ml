@@ -33,6 +33,10 @@ type t = {
   (* crash recovery *)
   mutable crashes : int;
   mutable lock_reclaims : int;
+  (* vas_switch contention: bounded-retry backoffs (Checked.switch_retry) *)
+  mutable switch_retries : int;
+  mutable switch_retry_cycles : int;
+  retry_hist : Hist.t;  (* backoff cycles per retry *)
 }
 
 let create () =
@@ -57,6 +61,9 @@ let create () =
     teardown_pte_clears = 0;
     crashes = 0;
     lock_reclaims = 0;
+    switch_retries = 0;
+    switch_retry_cycles = 0;
+    retry_hist = Hist.create ();
   }
 
 let record t (kind : Event.kind) =
@@ -90,6 +97,10 @@ let record t (kind : Event.kind) =
       t.teardown_pte_clears <- t.teardown_pte_clears + pte_clears
   | Proc_crash _ -> t.crashes <- t.crashes + 1
   | Lock_reclaim _ -> t.lock_reclaims <- t.lock_reclaims + 1
+  | Switch_retry { backoff; _ } ->
+      t.switch_retries <- t.switch_retries + 1;
+      t.switch_retry_cycles <- t.switch_retry_cycles + backoff;
+      Hist.add t.retry_hist backoff
 
 let syscall_rows t =
   let out = ref [] in
@@ -108,6 +119,8 @@ let syscall_rows t =
 
 let crashes t = t.crashes
 let lock_reclaims t = t.lock_reclaims
+let switch_retries t = t.switch_retries
+let switch_retry_cycles t = t.switch_retry_cycles
 
 let describe t =
   let b = Buffer.create 1024 in
@@ -132,6 +145,11 @@ let describe t =
   p "teardown: vmspaces=%d pte_clears=%d\n" t.teardowns t.teardown_pte_clears;
   if t.crashes > 0 || t.lock_reclaims > 0 then
     p "crashes:  procs=%d lock_reclaims=%d\n" t.crashes t.lock_reclaims;
+  if t.switch_retries > 0 then
+    p "retries:  switch_retries=%d backoff_cycles=%d p50=%d max=%d\n"
+      t.switch_retries t.switch_retry_cycles
+      (Hist.quantile t.retry_hist 0.5)
+      (Hist.max_value t.retry_hist);
   Buffer.contents b
 
 let to_json t =
@@ -162,7 +180,13 @@ let to_json t =
     t.faults_resolved;
   p "  \"teardown\": {\"vmspaces\":%d,\"pte_clears\":%d},\n" t.teardowns
     t.teardown_pte_clears;
-  p "  \"crashes\": {\"procs\":%d,\"lock_reclaims\":%d}\n" t.crashes
+  p "  \"crashes\": {\"procs\":%d,\"lock_reclaims\":%d},\n" t.crashes
     t.lock_reclaims;
+  p
+    "  \"retries\": \
+     {\"switch_retries\":%d,\"backoff_cycles\":%d,\"p50\":%d,\"max\":%d}\n"
+    t.switch_retries t.switch_retry_cycles
+    (Hist.quantile t.retry_hist 0.5)
+    (Hist.max_value t.retry_hist);
   p "}\n";
   Buffer.contents b

@@ -22,6 +22,13 @@ val crashes : t -> int
 val lock_reclaims : t -> int
 (** Segment locks force-released from dead holders ([Lock_reclaim]). *)
 
+val switch_retries : t -> int
+(** Backoffs taken by [Checked.switch_retry] ([Switch_retry] events) —
+    the visible cost of vas_switch contention. *)
+
+val switch_retry_cycles : t -> int
+(** Total simulated cycles charged as retry backoff. *)
+
 val describe : t -> string
 (** Human-readable multi-line summary ([sjctl stats]). *)
 

@@ -1,0 +1,191 @@
+(* Sharded multi-machine cluster (lib/cluster).
+
+   Topology routing, end-to-end storm completion, the batching win
+   over the single-op baseline, crash/recovery of one shard with the
+   rest of the cluster unaffected, and the determinism contracts:
+   byte-identical fingerprints serially vs across domains, trace
+   on/off, and with an attached empty fault plan. Cluster runs here
+   are deliberately small — the full million-client storm lives in
+   `bench cluster`. *)
+module Topology = Sj_cluster.Topology
+module Cluster = Sj_cluster.Cluster
+module Api = Sj_core.Api
+module Par = Sj_util.Par
+module Recorder = Sj_obs.Recorder
+module Injector = Sj_fault.Injector
+
+let tiny =
+  {
+    Cluster.default with
+    machines = 3;
+    shards = 4;
+    clients = 400;
+    requests_per_client = 3;
+    batch = 8;
+    pipeline = 2;
+    keys_per_shard = 64;
+    store_size = Sj_util.Size.mib 4;
+    window_cycles = 2_000_000;
+  }
+
+let fp_string r =
+  String.concat ";"
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.Cluster.fingerprint)
+
+(* ---------------- topology ---------------- *)
+
+let test_topology_placement () =
+  let t = Topology.make ~machines:3 ~shards:8 in
+  Alcotest.(check (list int)) "m0 shards" [ 0; 3; 6 ] (Topology.shards_on t 0);
+  Alcotest.(check (list int)) "m1 shards" [ 1; 4; 7 ] (Topology.shards_on t 1);
+  Alcotest.(check (list int)) "m2 shards" [ 2; 5 ] (Topology.shards_on t 2);
+  Alcotest.(check int) "client home" 2 (Topology.machine_of_client t 5)
+
+let test_topology_balance () =
+  (* FNV-1a spreads uniform key strings evenly enough that no shard
+     gets more than twice its fair share. *)
+  let t = Topology.make ~machines:3 ~shards:8 in
+  let counts = Array.make 8 0 in
+  for i = 0 to 4095 do
+    let s = Topology.shard_of_key t (Printf.sprintf "key:%08d" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      if c < 256 || c > 1024 then
+        Alcotest.failf "shard %d got %d of 4096 keys" s c)
+    counts
+
+(* ---------------- end-to-end storm ---------------- *)
+
+let test_storm_completes () =
+  let r = Cluster.run tiny in
+  let total = tiny.clients * tiny.requests_per_client in
+  Alcotest.(check int) "all requests served" total r.requests;
+  Alcotest.(check int) "sets + gets" total (r.sets + r.gets);
+  Alcotest.(check int) "shards sum" total (Array.fold_left ( + ) 0 r.shard_served);
+  let tl_sum =
+    Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 r.timeline
+  in
+  Alcotest.(check int) "timeline sums to served" total tl_sum;
+  Alcotest.(check bool) "no crash" false r.crashed;
+  Alcotest.(check bool) "made progress in time" true (r.duration_cycles > 0);
+  Alcotest.(check bool) "latency ordered" true (r.p50 <= r.p99 && r.p99 <= r.p999);
+  Alcotest.(check bool) "switched address spaces" true (r.switches > 0)
+
+let test_single_op_baseline_completes () =
+  let r = Cluster.run { tiny with batch = 1; pipeline = 1; clients = 200 } in
+  Alcotest.(check int) "all requests served" (200 * tiny.requests_per_client)
+    r.requests
+
+let test_batching_amortizes_switches () =
+  (* One switch per burst instead of one per request: the batched run
+     must switch far less and finish far sooner. *)
+  let base = { tiny with clients = 300 } in
+  let batched = Cluster.run base in
+  let single = Cluster.run { base with batch = 1; pipeline = 1 } in
+  Alcotest.(check bool) "fewer switches" true (batched.switches * 2 < single.switches);
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.0f >= 2x %.0f" batched.throughput single.throughput)
+    true
+    (batched.throughput >= 2.0 *. single.throughput)
+
+let test_backends_differ () =
+  let df = Cluster.run { tiny with backend = Api.Dragonfly } in
+  let bf = Cluster.run { tiny with backend = Api.Barrelfish } in
+  Alcotest.(check int) "same work" df.requests bf.requests;
+  Alcotest.(check bool) "different switch price, different timeline" true
+    (df.duration_cycles <> bf.duration_cycles)
+
+(* ---------------- determinism contracts ---------------- *)
+
+let test_deterministic () =
+  let a = Cluster.run tiny and b = Cluster.run tiny in
+  Alcotest.(check string) "fingerprints identical" (fp_string a) (fp_string b)
+
+let test_trace_identity () =
+  let quiet = Cluster.run tiny in
+  let traced = Recorder.with_tracing true (fun () -> Cluster.run tiny) in
+  Alcotest.(check string) "trace on/off identical" (fp_string quiet)
+    (fp_string traced)
+
+let test_empty_plan_identity () =
+  let bare = Cluster.run tiny in
+  let planned = Injector.with_plan [] (fun () -> Cluster.run tiny) in
+  Alcotest.(check string) "empty fault plan identical" (fp_string bare)
+    (fp_string planned)
+
+let test_domains_identity () =
+  let serial = fp_string (Cluster.run tiny) in
+  Par.with_pool ~size:4 (fun pool ->
+      let results =
+        Par.map_list pool (fun () -> fp_string (Cluster.run tiny)) [ (); (); (); () ]
+      in
+      List.iteri
+        (fun i r ->
+          Alcotest.(check string) (Printf.sprintf "domain %d" i) serial r)
+        results)
+
+(* ---------------- faults ---------------- *)
+
+(* The 600-client storm runs ~2.4M cycles; kill early enough to land
+   mid-storm and hold the victim down for a stretch of windows. *)
+let fault_cfg =
+  {
+    tiny with
+    clients = 600;
+    window_cycles = 400_000;
+    fault =
+      Some { Cluster.kill_at = 400_000; victim_shard = 1; respawn_delay = 1_500_000 };
+  }
+
+let test_fault_recovers () =
+  let r = Cluster.run fault_cfg in
+  let total = fault_cfg.clients * fault_cfg.requests_per_client in
+  Alcotest.(check bool) "crashed" true r.crashed;
+  Alcotest.(check int) "every request still served" total r.requests;
+  let o = match r.outage with Some o -> o | None -> Alcotest.fail "no outage" in
+  Alcotest.(check bool) "outage spans the respawn delay" true
+    (o.outage_cycles >= 1_500_000);
+  Alcotest.(check bool) "recovered after crash" true (o.recovered_at > o.crashed_at)
+
+let test_fault_leaves_other_shards_alone () =
+  (* During the victim's outage windows, every other shard keeps
+     completing requests. *)
+  let r = Cluster.run fault_cfg in
+  let o = match r.outage with Some o -> o | None -> Alcotest.fail "no outage" in
+  let w0 = o.crashed_at / fault_cfg.window_cycles
+  and w1 = min (o.recovered_at / fault_cfg.window_cycles) (Array.length r.timeline - 1) in
+  let victim_outage = ref 0 and others_outage = ref 0 in
+  for w = w0 to w1 do
+    Array.iteri
+      (fun s c ->
+        if s = 1 then victim_outage := !victim_outage + c
+        else others_outage := !others_outage + c)
+      r.timeline.(w)
+  done;
+  Alcotest.(check bool) "other shards served during outage" true (!others_outage > 0)
+
+let test_fault_deterministic () =
+  let a = Cluster.run fault_cfg and b = Cluster.run fault_cfg in
+  Alcotest.(check string) "fault run reproducible" (fp_string a) (fp_string b)
+
+let suite =
+  [
+    Alcotest.test_case "topology placement" `Quick test_topology_placement;
+    Alcotest.test_case "topology key balance" `Quick test_topology_balance;
+    Alcotest.test_case "storm runs to completion" `Quick test_storm_completes;
+    Alcotest.test_case "single-op baseline completes" `Quick
+      test_single_op_baseline_completes;
+    Alcotest.test_case "batching amortizes switches (>=2x)" `Quick
+      test_batching_amortizes_switches;
+    Alcotest.test_case "backends shift the timeline" `Quick test_backends_differ;
+    Alcotest.test_case "deterministic rerun" `Quick test_deterministic;
+    Alcotest.test_case "trace on/off identity" `Quick test_trace_identity;
+    Alcotest.test_case "empty fault plan identity" `Quick test_empty_plan_identity;
+    Alcotest.test_case "identical across domains" `Quick test_domains_identity;
+    Alcotest.test_case "shard crash recovers, nothing lost" `Quick test_fault_recovers;
+    Alcotest.test_case "other shards unaffected during outage" `Quick
+      test_fault_leaves_other_shards_alone;
+    Alcotest.test_case "fault run reproducible" `Quick test_fault_deterministic;
+  ]

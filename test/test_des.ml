@@ -61,7 +61,10 @@ let test_cores_serialize () =
   Alcotest.(check (list (pair int int)))
     "single core serializes"
     [ (1, 10); (2, 20); (3, 30) ]
-    (List.rev !finish)
+    (List.rev !finish);
+  (* Requests 2 and 3 queued; the backlog was 2 deep at its worst. *)
+  Alcotest.(check int) "queued execs" 2 (Resource.Cores.queued_execs cores);
+  Alcotest.(check int) "backlog peak" 2 (Resource.Cores.queued_peak cores)
 
 let test_cores_parallel () =
   let eng = Engine.create () in
@@ -72,7 +75,9 @@ let test_cores_parallel () =
   done;
   Engine.run eng;
   List.iter (fun (_, t) -> Alcotest.(check int) "all finish at 10" 10 t) !finish;
-  Alcotest.(check int) "busy cycles" 30 (Resource.Cores.busy_cycles cores)
+  Alcotest.(check int) "busy cycles" 30 (Resource.Cores.busy_cycles cores);
+  Alcotest.(check int) "no backlog with enough cores" 0
+    (Resource.Cores.queued_peak cores)
 
 let test_rwlock_readers_share () =
   let eng = Engine.create () in

@@ -6,6 +6,7 @@ module Core = Machine.Core
 module Urpc = Sj_ipc.Urpc
 module Msg_channel = Sj_ipc.Msg_channel
 module Dsock = Sj_ipc.Dsock
+module Par = Sj_util.Par
 
 let tiny : Sj_machine.Platform.t =
   { Sj_machine.Platform.m2 with name = "tiny"; mem_size = Size.mib 64; sockets = 2; cores_per_socket = 2 }
@@ -101,6 +102,106 @@ let test_dsock_charges_syscalls () =
   Alcotest.(check bool) "syscall priced" true
     (Core.cycles client - c0 >= (Machine.cost m).syscall_generic)
 
+(* ---- burst send + drain: the cluster's batched request path ---- *)
+
+let test_urpc_burst_fifo_drain () =
+  let m, a, b, _ = setup () in
+  let ch = Urpc.create m ~a ~b ~slots:16 () in
+  let payloads =
+    List.init 10 (fun i -> Bytes.of_string (Printf.sprintf "m%02d" i))
+  in
+  Alcotest.(check int) "all accepted" 10 (Urpc.send_burst ch ~from:a payloads);
+  Alcotest.(check (list string)) "drain preserves FIFO order"
+    (List.map Bytes.to_string payloads)
+    (List.map Bytes.to_string (Urpc.drain ch ~at:b ()))
+
+let test_urpc_burst_backpressure () =
+  let m, a, b, _ = setup () in
+  let ch = Urpc.create m ~a ~b ~slots:4 () in
+  let payloads =
+    List.init 7 (fun i -> Bytes.of_string (Printf.sprintf "m%02d" i))
+  in
+  Alcotest.(check int) "longest prefix that fits" 4
+    (Urpc.send_burst ch ~from:a payloads);
+  Alcotest.(check int) "ring holds exactly the prefix" 4 (Urpc.pending ch ~at:b);
+  (* A burst against the full ring accepts nothing and costs the
+     producer exactly one poll (it saw the head line still owned). *)
+  let c0 = Core.cycles a in
+  Alcotest.(check int) "full ring accepts none" 0
+    (Urpc.send_burst ch ~from:a payloads);
+  let refusal = Core.cycles a - c0 in
+  Alcotest.(check bool) "refusal priced as one poll" true
+    (refusal > 0 && refusal < 100);
+  Alcotest.(check (list string)) "accepted prefix intact"
+    [ "m00"; "m01"; "m02"; "m03" ]
+    (List.map Bytes.to_string (Urpc.drain ch ~at:b ()));
+  Alcotest.(check int) "drained ring accepts again" 3
+    (Urpc.send_burst ch ~from:a
+       [ Bytes.of_string "m04"; Bytes.of_string "m05"; Bytes.of_string "m06" ])
+
+let test_urpc_burst_one_doorbell () =
+  (* Across machines a burst rings the NIC doorbell once; n singleton
+     sends ring it n times. Line-transfer costs are identical, so the
+     gap is exactly (n-1) * net_setup. *)
+  let mk () =
+    let m1 = Machine.create tiny and m2 = Machine.create tiny in
+    let a = Machine.core m1 0 and b = Machine.core m2 0 in
+    (Urpc.create_cross ~a:(m1, a) ~b:(m2, b) ~slots:64 (), a, m1)
+  in
+  let payloads = List.init 8 (fun _ -> Bytes.create 64) in
+  let burst_ch, burst_core, m1 = mk () in
+  Alcotest.(check bool) "cross-machine" true (Urpc.cross_machine burst_ch);
+  let c0 = Core.cycles burst_core in
+  Alcotest.(check int) "burst accepted" 8
+    (Urpc.send_burst burst_ch ~from:burst_core payloads);
+  let burst_cost = Core.cycles burst_core - c0 in
+  let solo_ch, solo_core, _ = mk () in
+  let c0 = Core.cycles solo_core in
+  List.iter (fun p -> Urpc.send solo_ch ~from:solo_core p) payloads;
+  let solo_cost = Core.cycles solo_core - c0 in
+  Alcotest.(check int) "one doorbell per burst, not per message"
+    (7 * (Machine.cost m1).net_setup)
+    (solo_cost - burst_cost)
+
+(* Msg_channel across machines: the whole burst exchange is a pure
+   function of the configuration, so running copies of the scenario
+   inside a domain pool must be byte-identical to running them
+   serially (cycle counters included). *)
+let msg_scenario () =
+  let m1 = Machine.create tiny and m2 = Machine.create tiny in
+  let master = Machine.core m1 0 and slave = Machine.core m2 0 in
+  let ch =
+    Msg_channel.create_cross ~master:(m1, master) ~slave:(m2, slave) ~slots:32 ()
+  in
+  let sum = ref 0 in
+  for round = 0 to 9 do
+    let batch =
+      List.init
+        (1 + (round mod 5))
+        (fun i -> Bytes.make 64 (Char.chr (65 + ((round + i) mod 26))))
+    in
+    let n = Msg_channel.send_burst ch ~from:master batch in
+    let got = Msg_channel.drain ch ~at:slave () in
+    sum := !sum + (n * List.length got);
+    List.iter (fun p -> sum := !sum + Char.code (Bytes.get p 0)) got;
+    ignore
+      (Msg_channel.send_burst ch ~from:slave
+         (List.map (fun _ -> Bytes.create 64) got));
+    List.iter
+      (fun p -> sum := !sum + Bytes.length p)
+      (Msg_channel.drain ch ~at:master ())
+  done;
+  [ ("sum", !sum); ("master", Core.cycles master); ("slave", Core.cycles slave) ]
+
+let test_msg_channel_domain_identity () =
+  let serial = List.init 4 (fun _ -> msg_scenario ()) in
+  let parallel =
+    Par.with_pool ~size:4 (fun p ->
+        Par.map_list p (fun () -> msg_scenario ()) (List.init 4 (fun _ -> ())))
+  in
+  Alcotest.(check bool) "msg_channel bursts byte-identical -j1 vs -j4" true
+    (serial = parallel)
+
 let prop_urpc_payload_integrity =
   QCheck.Test.make ~name:"URPC preserves payloads in order" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 30) (string_of_size Gen.(int_range 0 300)))
@@ -121,5 +222,9 @@ let suite =
     Alcotest.test_case "dsock roundtrip" `Quick test_dsock_roundtrip;
     Alcotest.test_case "dsock empty" `Quick test_dsock_empty;
     Alcotest.test_case "dsock charges syscalls" `Quick test_dsock_charges_syscalls;
+    Alcotest.test_case "urpc burst FIFO via drain" `Quick test_urpc_burst_fifo_drain;
+    Alcotest.test_case "urpc burst backpressure" `Quick test_urpc_burst_backpressure;
+    Alcotest.test_case "urpc burst one doorbell" `Quick test_urpc_burst_one_doorbell;
+    Alcotest.test_case "msg_channel -j identity" `Quick test_msg_channel_domain_identity;
     QCheck_alcotest.to_alcotest prop_urpc_payload_integrity;
   ]

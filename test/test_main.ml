@@ -32,4 +32,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("cluster", Test_cluster.suite);
     ]

@@ -158,6 +158,53 @@ let test_metrics_aggregate () =
   Alcotest.(check bool) "text summary renders" true
     (String.length (Metrics.describe (Recorder.metrics r)) > 0)
 
+(* Retry backoffs (Checked.switch_retry under a Would_block storm) are
+   charged to the core *and* surfaced: counted, totalled, and present
+   in the stats text/JSON — the fix for backoff cycles that used to be
+   spent invisibly. *)
+let test_metrics_switch_retries () =
+  Recorder.with_tracing true (fun () ->
+      let m = Machine.create tiny in
+      let sys = Api.boot m in
+      let p = Process.create ~name:"victim" m in
+      let ctx = Api.context sys p (Machine.core m 0) in
+      let vas = Api.vas_create ctx ~name:"s" ~mode:0o666 in
+      let seg =
+        Api.seg_alloc_anywhere ctx ~name:"s.d" ~size:(Size.mib 1) ~mode:0o666
+      in
+      Api.seg_attach ctx vas seg ~prot:Prot.rw;
+      let vh = Api.vas_attach ctx vas in
+      Sj_fault.Injector.attach (Machine.sim_ctx m)
+        (Sj_fault.Injector.create
+           [
+             Sj_fault.Plan.would_block_storm ~pid:(Process.pid p)
+               ~nr:Sj_abi.Sys.(number Vas_switch) ~count:3;
+           ]);
+      Alcotest.(check bool) "retry rides out the storm" true
+        (Api.Checked.switch_retry ~attempts:5 ~backoff_cycles:1_000 ctx vh
+        = Ok ());
+      Api.switch_home ctx;
+      match Recorder.of_ctx (Machine.sim_ctx m) with
+      | None -> Alcotest.fail "recorder not attached"
+      | Some r ->
+        let mx = Recorder.metrics r in
+        Alcotest.(check int) "three backoffs counted" 3
+          (Metrics.switch_retries mx);
+        (* Linear backoff: 1k + 2k + 3k. *)
+        Alcotest.(check int) "backoff cycles totalled" 6_000
+          (Metrics.switch_retry_cycles mx);
+        let contains hay needle =
+          let n = String.length hay and m = String.length needle in
+          let rec go i =
+            i + m <= n && (String.sub hay i m = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "retries visible in describe" true
+          (contains (Metrics.describe mx) "retr");
+        Alcotest.(check bool) "retries visible in JSON" true
+          (contains (Metrics.to_json mx) "switch_retries"))
+
 (* --- export --- *)
 
 let test_chrome_json_shape () =
@@ -236,6 +283,7 @@ let suite =
     Alcotest.test_case "session emits every family" `Quick test_session_event_families;
     Alcotest.test_case "capacity drops oldest" `Quick test_capacity_drops_oldest;
     Alcotest.test_case "metrics aggregate the stream" `Quick test_metrics_aggregate;
+    Alcotest.test_case "metrics count switch retries" `Quick test_metrics_switch_retries;
     Alcotest.test_case "Chrome trace JSON shape" `Quick test_chrome_json_shape;
     Alcotest.test_case "event streams -j1 vs -j4" `Quick test_stream_determinism_parallel;
     Alcotest.test_case "disabled-mode fingerprint identity" `Quick test_disabled_fingerprint_identity;
