@@ -1,0 +1,76 @@
+(* `bench compartments`: the three-way crossing-mechanism comparison
+   (lib/compart) end to end — headline trio (one run per mechanism at
+   the same shape), the mechanism x compartments x crossing-frequency
+   sweep, the acceptance claims (pkey strictly cheapest, zero flushes
+   during pkey crossings, hostile probes contained), and the
+   determinism audits. All orchestration lives in Sj_compart.Driver
+   (shared with `sjctl compartments`); this file only prints tables and
+   writes BENCH_compartments.json — or exits 2 on any divergence or
+   failed claim, before any report is written. *)
+
+module Compart = Sj_compart.Compart
+module Driver = Sj_compart.Driver
+module Creport = Sj_compart.Compart_report
+
+let out_path = "BENCH_compartments.json"
+
+let point_row label (p : Creport.point) =
+  let c = p.Creport.cfg and r = p.Creport.res in
+  Printf.printf "  %-10s %-11s %5d %6d %6d %12d %10.2f %8d %8d %6d\n" label
+    (Compart.mechanism_name c.Compart.mechanism)
+    c.Compart.compartments c.Compart.loads_per_crossing r.Compart.crossings
+    r.Compart.total_cycles r.Compart.per_crossing r.Compart.flushes
+    r.Compart.pkey_switches r.Compart.violations
+
+let header () =
+  Printf.printf "  %-10s %-11s %5s %6s %6s %12s %10s %8s %8s %6s\n" "run"
+    "mechanism" "comps" "loads" "cross" "cycles" "per_cross" "flushes"
+    "wrpkru" "viol"
+
+let run () =
+  let quick = !Bench_common.quick in
+  Bench_common.section
+    (Printf.sprintf
+       "Compartments: crossing mechanisms compared (vas/cap/pkey)%s"
+       (if quick then " (quick)" else ""));
+  let { Driver.report; divergences; failed_claims } =
+    Driver.run ~quick ~jobs:!Bench_common.jobs
+      ~progress:(fun s -> Bench_common.note "  -- %s" s)
+      ()
+  in
+  Bench_common.note "";
+  Bench_common.note "  headline (same shape, three mechanisms):";
+  header ();
+  List.iter (point_row "headline") report.Creport.headline;
+  Bench_common.note "";
+  Bench_common.note "  sweep grid:";
+  header ();
+  List.iter (point_row "grid") report.Creport.grid;
+  Bench_common.note "";
+  if failed_claims <> [] then begin
+    Printf.eprintf "compartments: acceptance claims failed:\n";
+    List.iter (fun c -> Printf.eprintf "  - %s\n" c) failed_claims;
+    exit 2
+  end;
+  Bench_common.note
+    "  claims: pkey strictly cheapest, zero flushes during pkey \
+     crossings, probes contained -> all hold";
+  match divergences with
+  | [] ->
+    Bench_common.note "  determinism audits: %s -> identical"
+      (String.concat ", " report.Creport.audits);
+    let json = Creport.to_json report in
+    let oc = open_out out_path in
+    output_string oc json;
+    close_out oc;
+    (match Creport.check_file out_path with
+    | Ok () -> Bench_common.note "  wrote %s (schema %s)" out_path Creport.schema
+    | Error es ->
+      Printf.eprintf "compartments: emitted report failed validation:\n";
+      List.iter (fun e -> Printf.eprintf "  - %s\n" e) es;
+      exit 2)
+  | ds ->
+    Printf.eprintf
+      "compartments: determinism audit divergence (%s); refusing to write %s\n"
+      (String.concat ", " ds) out_path;
+    exit 2

@@ -399,6 +399,19 @@ let traced_session ~capacity =
       Api.vas_switch ctx vh;
       let p = Api.malloc ctx 256 in
       Api.store_bytes ctx ~va:p (Bytes.of_string "traced payload");
+      (* Compartments: tag the heap with a key, cross into it (recorded
+         pkey switches, zero flushes), then cross into a key that does
+         NOT own the heap and touch it — a recorded Key_violation the
+         session survives. *)
+      let key = Api.pkey_alloc ctx vas in
+      Api.pkey_assign ctx vas seg ~key;
+      Api.pkey_switch ctx ~key;
+      ignore (Api.load_bytes ctx ~va:p ~len:14);
+      let stranger = Api.pkey_alloc ctx vas in
+      Api.pkey_switch ctx ~key:stranger;
+      (try ignore (Api.load_bytes ctx ~va:p ~len:1)
+       with Sj_abi.Error.Fault f when f.code = Sj_abi.Error.Key_violation -> ());
+      Api.pkey_switch ctx ~key:0;
       (* A second process knocking on the exclusively locked segment:
          its switch fails with Would_block — a recorded lock conflict. *)
       let consumer = Process.create ~name:"consumer" machine in
@@ -665,13 +678,92 @@ let cluster_cmd =
           request path; sweep + fault availability + determinism audits)")
     Term.(const run $ quick $ out $ jobs)
 
+let compartments_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI problem sizes (sub-second)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_compartments.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report (schema spacejmp-bench/5-compartments) to \
+             $(docv)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sj_util.Par.default_size ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan sweep-grid points across $(docv) domains (wall clock only)")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "compartments: --jobs must be >= 1";
+      exit 2
+    end;
+    let module Compart = Sj_compart.Compart in
+    let module Driver = Sj_compart.Driver in
+    let module Creport = Sj_compart.Compart_report in
+    let { Driver.report; divergences; failed_claims } =
+      Driver.run ~quick ~jobs
+        ~progress:(fun s -> Format.printf "-- %s@." s)
+        ()
+    in
+    let row label (p : Creport.point) =
+      let c = p.Creport.cfg and r = p.Creport.res in
+      Format.printf
+        "%-10s %-11s comps=%-2d loads=%-3d %8.2f cycles/crossing  flushes=%d \
+         violations=%d@."
+        label
+        (Compart.mechanism_name c.Compart.mechanism)
+        c.Compart.compartments c.Compart.loads_per_crossing
+        r.Compart.per_crossing r.Compart.flushes r.Compart.violations
+    in
+    List.iter (row "headline") report.Creport.headline;
+    List.iter (row "grid") report.Creport.grid;
+    (* Same refusal discipline as `sjctl cluster`, with the acceptance
+       claims fatal too: no report unless pkey crossings were strictly
+       cheapest, flush-free, and the hostile probes were contained. *)
+    (match failed_claims with
+    | [] -> ()
+    | cs ->
+      List.iter (Format.eprintf "compartments: claim failed: %s@.") cs;
+      exit 2);
+    (match divergences with
+    | [] -> ()
+    | ds ->
+      Format.eprintf "compartments: determinism audit divergence (%s)@."
+        (String.concat ", " ds);
+      exit 2);
+    let oc = open_out out in
+    output_string oc (Creport.to_json report);
+    close_out oc;
+    (match Creport.check_file out with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (Format.eprintf "compartments: invalid report: %s@.") es;
+      exit 2);
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "compartments"
+       ~doc:
+         "Run the compartment-crossing bench (vas_switch vs capability \
+          invoke vs protection-key switch; sweep + claims + determinism \
+          audits)")
+    Term.(const run $ quick $ out $ jobs)
+
 let () =
   let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
   let group =
     Cmd.group info
       [
         platforms_cmd; gups_cmd; demo_cmd; redis_cmd; faults_cmd; check_cmd; persist_cmd;
-        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; trace_cmd; stats_cmd;
+        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; compartments_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

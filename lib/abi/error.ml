@@ -8,6 +8,7 @@ type code =
   | Layout_exhausted
   | Invalid
   | Capacity
+  | Key_violation
 
 type t = { code : code; op : string; detail : string }
 
@@ -21,7 +22,7 @@ let code_of t = t.code
 let all_codes =
   [
     Permission_denied; Would_block; Name_exists; Unknown_name; Stale_handle;
-    Address_conflict; Layout_exhausted; Invalid; Capacity;
+    Address_conflict; Layout_exhausted; Invalid; Capacity; Key_violation;
   ]
 
 let code_name = function
@@ -34,6 +35,7 @@ let code_name = function
   | Layout_exhausted -> "ELAYOUT"
   | Invalid -> "EINVAL"
   | Capacity -> "ENOSPC"
+  | Key_violation -> "EKEY"
 
 let errno = function
   | Permission_denied -> 1
@@ -45,6 +47,7 @@ let errno = function
   | Layout_exhausted -> 7
   | Invalid -> 8
   | Capacity -> 9
+  | Key_violation -> 10
 
 let exit_code c = 10 + errno c
 let to_string t = Printf.sprintf "%s: %s (%s)" t.op t.detail (code_name t.code)

@@ -22,6 +22,9 @@ type code =
   | Layout_exhausted  (** global address range has no room left (ELAYOUT) *)
   | Invalid  (** malformed argument or unsupported operation (EINVAL) *)
   | Capacity  (** quota/capacity: heap or reservation exhausted (ENOSPC) *)
+  | Key_violation
+      (** a data access was denied by the protection-key register — the
+          compartment stepped outside its keys (EKEY) *)
 
 type t = { code : code; op : string; detail : string }
 (** [op] is the ABI operation name (e.g. ["vas_switch"]); [detail] says
@@ -47,7 +50,7 @@ val code_name : code -> string
 (** Errno-style mnemonic, e.g. ["EPERM"], ["ELAYOUT"]. *)
 
 val errno : code -> int
-(** Stable small integer per code (1..9); part of the ABI. *)
+(** Stable small integer per code (1..10); part of the ABI. *)
 
 val exit_code : code -> int
 (** Distinct process exit code for CLI tools ([10 + errno]), leaving

@@ -31,6 +31,9 @@ type nr =
   | Persist_save
   | Persist_restore
   | Proc_crash
+  | Pkey_alloc
+  | Pkey_assign
+  | Pkey_switch
 
 let all =
   [|
@@ -38,7 +41,8 @@ let all =
     Vas_switch_home; Vas_ctl; Vas_delete; Seg_alloc; Seg_find; Seg_attach;
     Seg_attach_local; Seg_detach; Seg_detach_local; Seg_clone; Seg_snapshot;
     Seg_ctl; Seg_delete; Seg_lock; Seg_unlock; Heap_malloc; Heap_free;
-    Proc_exit; Persist_save; Persist_restore; Proc_crash;
+    Proc_exit; Persist_save; Persist_restore; Proc_crash; Pkey_alloc;
+    Pkey_assign; Pkey_switch;
   |]
 
 let nr_count = Array.length all
@@ -71,6 +75,9 @@ let number = function
   | Persist_save -> 24
   | Persist_restore -> 25
   | Proc_crash -> 26
+  | Pkey_alloc -> 27
+  | Pkey_assign -> 28
+  | Pkey_switch -> 29
 
 let of_number n = if n >= 0 && n < nr_count then Some all.(n) else None
 
@@ -102,6 +109,9 @@ let name = function
   | Persist_save -> "persist_save"
   | Persist_restore -> "persist_restore"
   | Proc_crash -> "proc_crash"
+  | Pkey_alloc -> "pkey_alloc"
+  | Pkey_assign -> "pkey_assign"
+  | Pkey_switch -> "pkey_switch"
 
 type crossing = Trap | Lock_path | Inline
 
@@ -109,11 +119,14 @@ let crossing = function
   | Vas_create | Vas_find | Vas_clone | Vas_attach | Vas_detach | Vas_ctl
   | Vas_delete | Seg_alloc | Seg_find | Seg_attach | Seg_attach_local
   | Seg_detach | Seg_detach_local | Seg_clone | Seg_snapshot | Seg_ctl
-  | Seg_delete ->
+  | Seg_delete | Pkey_alloc | Pkey_assign ->
     Trap
   | Seg_lock | Heap_malloc | Heap_free -> Lock_path
+  (* Pkey_switch is the point of the mechanism: a pure user-space
+     register write, no kernel entry. Its WRPKRU cost is charged by the
+     crossing layer (Api), like vas_switch's CR3 cost. *)
   | Vas_switch | Vas_switch_home | Seg_unlock | Proc_exit | Persist_save
-  | Persist_restore | Proc_crash ->
+  | Persist_restore | Proc_crash | Pkey_switch ->
     Inline
 
 (* DragonFly fields a call as one kernel syscall; Barrelfish as an RPC

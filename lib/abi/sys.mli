@@ -47,6 +47,9 @@ type nr =
   | Persist_save  (** 24 *)
   | Persist_restore  (** 25 *)
   | Proc_crash  (** 26 — involuntary teardown of a dead process *)
+  | Pkey_alloc  (** 27 — allocate a protection key in a VAS *)
+  | Pkey_assign  (** 28 — tag a segment's pages with a key *)
+  | Pkey_switch  (** 29 — rewrite the per-core key register (no trap) *)
 
 val nr_count : int
 val number : nr -> int

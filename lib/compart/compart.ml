@@ -1,0 +1,240 @@
+(* One compartment-crossing trial: the same workload shape driven
+   through each of the three isolation mechanisms so their crossing
+   costs are directly comparable.
+
+   The workload is N compartments, each holding one data segment, and a
+   client that repeatedly jumps to the next compartment and does a burst
+   of loads there (loads_per_crossing is the crossing-frequency axis:
+   small bursts = crossing-dominated, large bursts = work-dominated).
+
+   - [Vas_reload]    N VASes, one segment each; every crossing is a
+                     Dragonfly vas_switch (CR3 reload, Table 2 row 1).
+   - [Cap_invoke]    the same topology on the Barrelfish backend; every
+                     crossing invokes the target space's capability.
+   - [Pkey]          ONE VAS holding all N segments, each tagged with
+                     its own protection key; one vas_switch at setup,
+                     then every crossing is a pkey_switch — a register
+                     write, no CR3 reload, no flush, warm TLB.
+
+   Every trial builds its own machine and attaches its own recorder
+   (enabled regardless of ambient tracing, so the trace-on audit cannot
+   change behaviour), and reads metric deltas around the measured loop:
+   the pkey rows must show zero TLB flushes there, and the per-crossing
+   mechanism cycles feed the strictly-cheaper claim in the report. The
+   hostile probe then enters compartment 0 and pokes compartment 1's
+   segment — under keys that lands as the typed [Key_violation] fault
+   (counted, survived); under the VAS mechanisms the segment is simply
+   not mapped, so no probe is made. *)
+
+open Sj_util
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Error = Sj_abi.Error
+module Prot = Sj_paging.Prot
+module Recorder = Sj_obs.Recorder
+module Metrics = Sj_obs.Metrics
+
+type mechanism = Vas_reload | Cap_invoke | Pkey
+
+let mechanism_name = function
+  | Vas_reload -> "vas_reload"
+  | Cap_invoke -> "cap_invoke"
+  | Pkey -> "pkey_switch"
+
+let backend_of = function
+  | Cap_invoke -> Api.Barrelfish
+  | Vas_reload | Pkey -> Api.Dragonfly
+
+type config = {
+  mechanism : mechanism;
+  compartments : int;  (* 1..15: each needs its own protection key *)
+  crossings : int;  (* measured compartment entries *)
+  loads_per_crossing : int;  (* work per visit — the frequency axis *)
+  seg_size : int;
+  tags : bool;  (* give spaces TLB tags (vas mechanisms) *)
+  seed : int;
+}
+
+let default =
+  {
+    mechanism = Pkey;
+    compartments = 4;
+    crossings = 400;
+    loads_per_crossing = 8;
+    seg_size = Size.kib 64;
+    tags = true;
+    seed = 0x5EED;
+  }
+
+type result = {
+  crossings : int;
+  total_cycles : int;  (* whole measured loop, work included *)
+  crossing_cycles : int;  (* the mechanism operations alone *)
+  per_crossing : float;  (* crossing_cycles / crossings *)
+  flushes : int;  (* TLB flushes during the measured loop *)
+  page_invalidations : int;
+  pkey_switches : int;  (* during the measured loop *)
+  vas_switches : int;
+  violations : int;  (* hostile-probe denials (pkey only) *)
+  checksum : int;  (* folds every loaded value: the work is real *)
+  fingerprint : (string * int) list;
+}
+
+(* Deterministic seed data: every segment word is a mix of (seed,
+   compartment, word), so the loop checksum proves loads really hit the
+   per-compartment data — and differs whenever addressing slips. *)
+let word_value ~seed ~comp ~word =
+  let x = (seed * 0x9E3779B1) lxor (comp * 0x85EBCA77) lxor (word * 0xC2B2AE35) in
+  Int64.of_int (x land 0xFFFF_FFFF)
+
+let run cfg =
+  if cfg.compartments < 1 || cfg.compartments > 15 then
+    invalid_arg "Compart.run: compartments must be 1..15";
+  let n = cfg.compartments in
+  let machine = Machine.create Platform.m2 in
+  let rec_ = Recorder.create () in
+  Recorder.attach (Machine.sim_ctx machine) rec_;
+  let sys = Api.boot ~backend:(backend_of cfg.mechanism) machine in
+  let proc = Sj_kernel.Process.create ~name:"compart" machine in
+  let ctx = Api.context sys proc (Machine.core machine 0) in
+  let core = Api.core ctx in
+  let words = max 1 (min (cfg.seg_size / 8) 512) in
+  let seed_segment ~comp seg =
+    let base = Segment.base seg in
+    for w = 0 to words - 1 do
+      Api.store64 ctx ~va:(base + (8 * w)) (word_value ~seed:cfg.seed ~comp ~word:w)
+    done
+  in
+  (* Build the compartments; returns the per-crossing jump and the
+     segment array, leaving the context wherever the measured loop
+     expects to start. *)
+  let segs, cross, leave =
+    match cfg.mechanism with
+    | Pkey ->
+      let vas = Api.vas_create ctx ~name:"comp" ~mode:0o600 in
+      if cfg.tags then Api.vas_ctl ctx (`Request_tag vas);
+      let segs =
+        Array.init n (fun i ->
+            let seg =
+              Api.seg_alloc_anywhere ctx
+                ~name:(Printf.sprintf "comp.seg%d" i)
+                ~size:cfg.seg_size ~mode:0o600
+            in
+            Api.seg_attach ctx vas seg ~prot:Prot.rw;
+            seg)
+      in
+      let keys =
+        Array.map
+          (fun seg ->
+            let key = Api.pkey_alloc ctx vas in
+            Api.pkey_assign ctx vas seg ~key;
+            key)
+          segs
+      in
+      let vh = Api.vas_attach ctx vas in
+      Api.vas_switch ctx vh;
+      (* Unrestricted view (key register at default): seed the data. *)
+      Array.iteri (fun i seg -> seed_segment ~comp:i seg) segs;
+      ( segs,
+        (fun c -> Api.pkey_switch ctx ~key:keys.(c)),
+        fun () ->
+          Api.pkey_switch ctx ~key:0;
+          Api.switch_home ctx )
+    | Vas_reload | Cap_invoke ->
+      let vhs =
+        Array.init n (fun i ->
+            let vas =
+              Api.vas_create ctx ~name:(Printf.sprintf "comp%d" i) ~mode:0o600
+            in
+            if cfg.tags then Api.vas_ctl ctx (`Request_tag vas);
+            let seg =
+              Api.seg_alloc_anywhere ctx
+                ~name:(Printf.sprintf "comp%d.seg" i)
+                ~size:cfg.seg_size ~mode:0o600
+            in
+            Api.seg_attach ctx vas seg ~prot:Prot.rw;
+            Api.vas_attach ctx vas)
+      in
+      let segs =
+        Array.mapi
+          (fun i vh ->
+            let seg = Api.seg_find ctx ~name:(Printf.sprintf "comp%d.seg" i) in
+            Api.vas_switch ctx vh;
+            seed_segment ~comp:i seg;
+            seg)
+          vhs
+      in
+      Api.switch_home ctx;
+      (segs, (fun c -> Api.vas_switch ctx vhs.(c)), fun () -> Api.switch_home ctx)
+  in
+  (* Measured loop, bracketed by metric snapshots. *)
+  let m = Recorder.metrics rec_ in
+  let flushes0 = Metrics.tlb_flushes m
+  and inval0 = Metrics.page_invalidations m
+  and pkey0 = Metrics.pkey_switches m
+  and vswitch0 = Metrics.vas_switches m in
+  let t0 = Core.cycles core in
+  let crossing_cycles = ref 0 in
+  let checksum = ref 17 in
+  for j = 0 to cfg.crossings - 1 do
+    let c = j mod n in
+    let c0 = Core.cycles core in
+    cross c;
+    crossing_cycles := !crossing_cycles + (Core.cycles core - c0);
+    let base = Segment.base segs.(c) in
+    for l = 0 to cfg.loads_per_crossing - 1 do
+      let w = ((j * 7) + (l * 13) + cfg.seed) mod words in
+      let v = Api.load64 ctx ~va:(base + (8 * w)) in
+      checksum := ((!checksum * 1_000_003) + Int64.to_int v) land max_int
+    done
+  done;
+  let total_cycles = Core.cycles core - t0 in
+  let flushes = Metrics.tlb_flushes m - flushes0
+  and page_invalidations = Metrics.page_invalidations m - inval0
+  and pkey_switches = Metrics.pkey_switches m - pkey0
+  and vas_switches = Metrics.vas_switches m - vswitch0 in
+  (* Hostile probe (pkey only): from inside compartment 0, touch
+     compartment 1's segment. Both accesses must land as the typed
+     fault; compartment 0's own data must stay readable after. *)
+  let violations = ref 0 in
+  (match cfg.mechanism with
+  | Pkey when n >= 2 ->
+    cross 0;
+    let foreign = Segment.base segs.(1) in
+    (try ignore (Api.load64 ctx ~va:foreign)
+     with Error.Fault f when f.code = Error.Key_violation -> incr violations);
+    (try Api.store64 ctx ~va:foreign 0xBADL
+     with Error.Fault f when f.code = Error.Key_violation -> incr violations);
+    ignore (Api.load64 ctx ~va:(Segment.base segs.(0)))
+  | Pkey | Vas_reload | Cap_invoke -> ());
+  leave ();
+  let fingerprint =
+    [
+      ("crossings", cfg.crossings);
+      ("total_cycles", total_cycles);
+      ("crossing_cycles", !crossing_cycles);
+      ("flushes", flushes);
+      ("page_invalidations", page_invalidations);
+      ("pkey_switches", pkey_switches);
+      ("vas_switches", vas_switches);
+      ("violations", !violations);
+      ("checksum", !checksum);
+      ("final_cycles", Core.cycles core);
+    ]
+  in
+  {
+    crossings = cfg.crossings;
+    total_cycles;
+    crossing_cycles = !crossing_cycles;
+    per_crossing = float_of_int !crossing_cycles /. float_of_int (max 1 cfg.crossings);
+    flushes;
+    page_invalidations;
+    pkey_switches;
+    vas_switches;
+    violations = !violations;
+    checksum = !checksum;
+    fingerprint;
+  }

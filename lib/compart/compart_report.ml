@@ -1,0 +1,169 @@
+(* BENCH_compartments.json, schema "spacejmp-bench/5-compartments".
+
+   Extends the spacejmp-bench report family to the compartment bench:
+   the same host block and determinism discipline as the cluster report
+   (a report recording a divergence is refused by the checker; the
+   harness exits 2 before writing one), plus the mechanism comparison —
+   a headline trio (one run per mechanism at the same shape), the sweep
+   grid over mechanism x compartments x crossing frequency, and the
+   three claims the ISSUE's acceptance criteria name: pkey crossings
+   strictly cheaper than both alternatives at every sweep shape, zero
+   TLB flushes during pkey crossing loops, and hostile probes contained
+   as typed faults. A report with any claim false is refused too. *)
+
+type point = { cfg : Compart.config; res : Compart.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  headline : point list;  (* one per mechanism, same shape *)
+  grid : point list;
+  pkey_cheapest : bool;
+  zero_flush : bool;
+  violations_contained : bool;
+  determinism_ok : bool;
+  audits : string list;
+}
+
+let schema = "spacejmp-bench/5-compartments"
+
+let add_point b ~indent ~label p =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let pad = String.make indent ' ' in
+  let c = p.cfg and r = p.res in
+  add "%s\"%s\": {\n" pad label;
+  add "%s  \"mechanism\": \"%s\",\n" pad (Compart.mechanism_name c.Compart.mechanism);
+  add "%s  \"compartments\": %d,\n" pad c.compartments;
+  add "%s  \"crossings\": %d,\n" pad c.crossings;
+  add "%s  \"loads_per_crossing\": %d,\n" pad c.loads_per_crossing;
+  add "%s  \"tags\": %b,\n" pad c.tags;
+  add "%s  \"total_cycles\": %d,\n" pad r.Compart.total_cycles;
+  add "%s  \"crossing_cycles\": %d,\n" pad r.crossing_cycles;
+  add "%s  \"per_crossing_cycles\": %.2f,\n" pad r.per_crossing;
+  add "%s  \"flushes\": %d,\n" pad r.flushes;
+  add "%s  \"page_invalidations\": %d,\n" pad r.page_invalidations;
+  add "%s  \"pkey_switches\": %d,\n" pad r.pkey_switches;
+  add "%s  \"vas_switches\": %d,\n" pad r.vas_switches;
+  add "%s  \"violations\": %d,\n" pad r.violations;
+  add "%s  \"simulated\": {" pad;
+  List.iteri
+    (fun j (k, v) ->
+      if j > 0 then add ", ";
+      add "\"%s\": %d" k v)
+    r.fingerprint;
+  add "}\n";
+  add "%s}" pad
+
+let to_json r =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"%s\",\n" schema;
+  add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
+  add "  \"host\": {\n";
+  add "    \"cores\": %d,\n" r.cores;
+  add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
+  add "    \"jobs\": %d\n" r.jobs;
+  add "  },\n";
+  add "  \"headline\": {\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then add ",\n";
+      add_point b ~indent:4
+        ~label:(Compart.mechanism_name p.cfg.Compart.mechanism)
+        p)
+    r.headline;
+  add "\n  },\n";
+  add "  \"grid\": [\n";
+  List.iteri
+    (fun i p ->
+      add "    {\n";
+      add_point b ~indent:6 ~label:"point" p;
+      add "\n    }%s\n" (if i = List.length r.grid - 1 then "" else ","))
+    r.grid;
+  add "  ],\n";
+  add "  \"claims\": {\n";
+  add "    \"pkey_strictly_cheapest\": %b,\n" r.pkey_cheapest;
+  add "    \"zero_flush_pkey_crossings\": %b,\n" r.zero_flush;
+  add "    \"violations_contained\": %b\n" r.violations_contained;
+  add "  },\n";
+  add "  \"determinism\": {\n";
+  add "    \"audits\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") r.audits));
+  add "    \"equal\": %b\n" r.determinism_ok;
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Same validation discipline as {!Cluster_report.check_string}: no
+   JSON library in the tree, so check nesting balance outside strings,
+   required keys, and refuse any recorded divergence or failed claim. *)
+let check_string s =
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !in_str then begin
+        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  if !depth <> 0 || !in_str then ok := false;
+  let required =
+    [
+      Printf.sprintf "\"schema\": \"%s\"" schema;
+      "\"host\"";
+      "\"cores\"";
+      "\"ocaml_version\"";
+      "\"jobs\"";
+      "\"headline\"";
+      "\"vas_reload\"";
+      "\"cap_invoke\"";
+      "\"pkey_switch\"";
+      "\"grid\"";
+      "\"per_crossing_cycles\"";
+      "\"flushes\"";
+      "\"violations\"";
+      "\"simulated\"";
+      "\"claims\"";
+      "\"pkey_strictly_cheapest\"";
+      "\"zero_flush_pkey_crossings\"";
+      "\"violations_contained\"";
+      "\"determinism\"";
+    ]
+  in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let errors = ref [] in
+  List.iter
+    (fun key ->
+      if not (contains key) then
+        errors := Printf.sprintf "missing key %s" key :: !errors)
+    required;
+  if contains "\"equal\": false" then
+    errors := "report records a determinism divergence" :: !errors;
+  if contains "\"pkey_strictly_cheapest\": false" then
+    errors := "pkey crossing not strictly cheapest" :: !errors;
+  if contains "\"zero_flush_pkey_crossings\": false" then
+    errors := "TLB flush recorded during a pkey crossing loop" :: !errors;
+  if contains "\"violations_contained\": false" then
+    errors := "hostile probe not contained as typed faults" :: !errors;
+  if not !ok then errors := "unbalanced JSON nesting" :: !errors;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  check_string s

@@ -1,0 +1,37 @@
+(** BENCH_compartments.json — schema ["spacejmp-bench/5-compartments"].
+
+    The mechanism-comparison report: a headline trio (one run per
+    crossing mechanism at the same shape), the sweep grid over
+    mechanism x compartments x crossing frequency, the three acceptance
+    claims, and the determinism audit record. {!check_string} refuses a
+    report that records a divergence or a failed claim, so a published
+    file is evidence the claims held. *)
+
+type point = { cfg : Compart.config; res : Compart.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  headline : point list;  (** one per mechanism, same shape *)
+  grid : point list;
+  pkey_cheapest : bool;
+      (** pkey per-crossing strictly below both alternatives at every
+          sweep shape *)
+  zero_flush : bool;
+      (** no TLB flush observed during any pkey crossing loop *)
+  violations_contained : bool;
+      (** every hostile probe landed as a typed [Key_violation] *)
+  determinism_ok : bool;
+  audits : string list;
+}
+
+val schema : string
+val to_json : t -> string
+
+val check_string : string -> (unit, string list) result
+(** Validate report text: JSON nesting balance outside strings, required
+    keys, and refusal of ["equal": false] or any failed claim. *)
+
+val check_file : string -> (unit, string list) result

@@ -1,0 +1,175 @@
+(* The `bench compartments` / `sjctl compartments` driver: runs the
+   headline trio (one run per mechanism at the same shape), the sweep
+   grid over mechanism x compartments x crossing frequency, evaluates
+   the acceptance claims, and runs the same determinism audits as the
+   cluster driver. Shared by bench/compartbench.ml and bin/sjctl.ml so
+   the two front-ends cannot drift.
+
+   Two failure channels, both fatal to the front-ends (exit 2, no
+   report written):
+   - [divergences]: a fingerprint changed under a host-side condition
+     that must not leak into simulated results (rerun, tracing on,
+     empty fault plan installed, inside a domain pool);
+   - [failed_claims]: a sweep shape where the pkey crossing was not
+     strictly cheaper than both alternatives, a TLB flush during a pkey
+     crossing loop, or a hostile probe that was not contained. *)
+
+module Par = Sj_util.Par
+module Size = Sj_util.Size
+
+type outcome = {
+  report : Compart_report.t;
+  divergences : string list;  (* empty iff report.determinism_ok *)
+  failed_claims : string list;
+}
+
+let mechanisms = [ Compart.Vas_reload; Compart.Cap_invoke; Compart.Pkey ]
+
+(* Headline shape: enough crossings that the per-crossing mean is
+   stable, at the default 4-compartment / 8-loads shape. *)
+let headline_cfg ~quick =
+  if quick then { Compart.default with crossings = 400 }
+  else { Compart.default with crossings = 4_000; seg_size = Size.kib 256 }
+
+(* The sweep is about the *shape* of the surface: where the crossing
+   mechanism stops dominating (loads_per_crossing), and whether the
+   pkey advantage survives at every compartment count up to the full
+   15-key register. *)
+let grid_cfg ~quick =
+  if quick then { Compart.default with crossings = 200 }
+  else { Compart.default with crossings = 2_000 }
+
+let grid_axes ~quick =
+  if quick then ([ 2; 8 ], [ 1; 16 ]) else ([ 2; 4; 8; 15 ], [ 1; 8; 64 ])
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let fp_equal (a : Compart.result) (b : Compart.result) =
+  a.Compart.fingerprint = b.Compart.fingerprint
+
+(* The acceptance claims, evaluated over the sweep (headline included —
+   it is just another shape). *)
+let evaluate points =
+  let failed = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failed := s :: !failed) fmt in
+  let shape (p : Compart_report.point) =
+    (p.cfg.Compart.compartments, p.cfg.Compart.loads_per_crossing, p.cfg.Compart.crossings)
+  in
+  let per_crossing mech p0 =
+    List.find_opt
+      (fun (p : Compart_report.point) ->
+        p.cfg.Compart.mechanism = mech && shape p = shape p0)
+      points
+    |> Option.map (fun (p : Compart_report.point) -> p.res.Compart.per_crossing)
+  in
+  List.iter
+    (fun (p : Compart_report.point) ->
+      match p.cfg.Compart.mechanism with
+      | Compart.Pkey ->
+        let comps, loads, _ = shape p in
+        let pk = p.res.Compart.per_crossing in
+        List.iter
+          (fun mech ->
+            match per_crossing mech p with
+            | Some other when pk < other -> ()
+            | Some other ->
+              fail "pkey-not-cheapest(compartments=%d,loads=%d): %.2f >= %.2f vs %s"
+                comps loads pk other (Compart.mechanism_name mech)
+            | None -> fail "missing-%s-run(compartments=%d,loads=%d)"
+                (Compart.mechanism_name mech) comps loads)
+          [ Compart.Vas_reload; Compart.Cap_invoke ];
+        if p.res.Compart.flushes <> 0 || p.res.Compart.page_invalidations <> 0 then
+          fail "pkey-flushed(compartments=%d,loads=%d): %d flushes, %d invalidations"
+            comps loads p.res.Compart.flushes p.res.Compart.page_invalidations;
+        if p.res.Compart.pkey_switches <> p.res.Compart.crossings then
+          fail "pkey-switch-count(compartments=%d,loads=%d): %d of %d crossings"
+            comps loads p.res.Compart.pkey_switches p.res.Compart.crossings;
+        if comps >= 2 && p.res.Compart.violations <> 2 then
+          fail "probe-not-contained(compartments=%d,loads=%d): %d of 2 denials"
+            comps loads p.res.Compart.violations
+      | Compart.Vas_reload | Compart.Cap_invoke ->
+        if p.res.Compart.violations <> 0 then
+          fail "unexpected-violations(%s)" (Compart.mechanism_name p.cfg.Compart.mechanism))
+    points;
+  List.rev !failed
+
+let run ~quick ~jobs ?(progress = fun _ -> ()) () =
+  let point cfg = { Compart_report.cfg; res = Compart.run cfg } in
+  let hcfg = headline_cfg ~quick in
+  progress "headline: one run per crossing mechanism, same shape";
+  let headline =
+    List.map (fun mechanism -> point { hcfg with Compart.mechanism }) mechanisms
+  in
+  let gcfg = grid_cfg ~quick in
+  let comps_l, loads_l = grid_axes ~quick in
+  let cfgs =
+    List.concat_map
+      (fun mechanism ->
+        List.concat_map
+          (fun compartments ->
+            List.map
+              (fun loads_per_crossing ->
+                { gcfg with Compart.mechanism; compartments; loads_per_crossing })
+              loads_l)
+          comps_l)
+      mechanisms
+  in
+  progress
+    (Printf.sprintf "grid: %d points (mechanism x compartments x crossing frequency)"
+       (List.length cfgs));
+  (* Each point simulates its own machine, so fanning points across
+     domains changes only the wall clock; results are assembled in
+     config order either way. *)
+  let grid =
+    if jobs <= 1 then List.map point cfgs
+    else
+      Par.with_pool ~size:jobs (fun pool ->
+          List.map2
+            (fun cfg res -> { Compart_report.cfg; res })
+            cfgs
+            (Par.map_list pool Compart.run cfgs))
+  in
+  progress "claims: pkey strictly cheapest, zero flushes, probes contained";
+  let failed_claims = evaluate (headline @ grid) in
+  progress "determinism audits";
+  (* Audit the pkey path (the novel one) under every host condition,
+     plus a plain rerun of a CR3-reload config. *)
+  let acfg = { gcfg with Compart.mechanism = Compart.Pkey } in
+  let reference = Compart.run acfg in
+  let divergences = ref [] in
+  let audit name r =
+    if not (fp_equal reference r) then divergences := name :: !divergences
+  in
+  audit "rerun" (Compart.run acfg);
+  audit "trace-on" (Sj_obs.Recorder.with_tracing true (fun () -> Compart.run acfg));
+  audit "empty-fault-plan"
+    (Sj_fault.Injector.with_plan [] (fun () -> Compart.run acfg));
+  Par.with_pool ~size:(max 2 jobs) (fun pool ->
+      List.iter
+        (fun r -> audit "domains" r)
+        (Par.map_list pool Compart.run [ acfg; acfg ]));
+  let vcfg = { gcfg with Compart.mechanism = Compart.Vas_reload } in
+  let vref = Compart.run vcfg in
+  if not (fp_equal vref (Compart.run vcfg)) then
+    divergences := "rerun-vas" :: !divergences;
+  let report =
+    {
+      Compart_report.quick;
+      jobs;
+      cores = Domain.recommended_domain_count ();
+      ocaml_version = Sys.ocaml_version;
+      headline;
+      grid;
+      pkey_cheapest = not (List.exists (has_prefix "pkey-not-cheapest") failed_claims
+                           || List.exists (has_prefix "missing-") failed_claims);
+      zero_flush = not (List.exists (has_prefix "pkey-flushed") failed_claims
+                        || List.exists (has_prefix "pkey-switch-count") failed_claims);
+      violations_contained =
+        not (List.exists (has_prefix "probe-not-contained") failed_claims
+             || List.exists (has_prefix "unexpected-violations") failed_claims);
+      determinism_ok = !divergences = [];
+      audits = [ "rerun"; "trace-on"; "empty-fault-plan"; "domains"; "rerun-vas" ];
+    }
+  in
+  { report; divergences = List.rev !divergences; failed_claims }

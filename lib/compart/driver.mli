@@ -1,0 +1,23 @@
+(** The shared [bench compartments] / [sjctl compartments] driver:
+    headline trio, sweep grid, acceptance claims, determinism audits.
+    Front-ends differ only in argument parsing and printing; both exit
+    2 without writing a report when [divergences] or [failed_claims] is
+    non-empty. *)
+
+type outcome = {
+  report : Compart_report.t;
+  divergences : string list;
+      (** fingerprint mismatches under host-side conditions (rerun,
+          tracing, fault plan, domain pool); empty iff
+          [report.determinism_ok] *)
+  failed_claims : string list;
+      (** acceptance-claim failures: a sweep shape where pkey was not
+          strictly cheapest, a flush during a pkey crossing loop, or an
+          uncontained hostile probe *)
+}
+
+val headline_cfg : quick:bool -> Compart.config
+val grid_cfg : quick:bool -> Compart.config
+
+val run :
+  quick:bool -> jobs:int -> ?progress:(string -> unit) -> unit -> outcome

@@ -4,6 +4,7 @@ module Core = Machine.Core
 module Cost_model = Sj_machine.Cost_model
 module Prot = Sj_paging.Prot
 module Page_table = Sj_paging.Page_table
+module Pkey = Sj_paging.Pkey
 module Acl = Sj_kernel.Acl
 module Cap = Sj_kernel.Cap
 module Process = Sj_kernel.Process
@@ -175,6 +176,35 @@ let reclaim_locks ctx ~pid vh =
   vh.entered <- 0;
   n
 
+(* Reclaim the protection keys a dead (or exiting) process allocated:
+   free them in every VAS, untag the surviving live mappings of any
+   segment whose assignment died, and shoot down stale tags machine-wide
+   when anything was retagged. With no keys in use this is a no-op —
+   no charge, no events. *)
+let reclaim_pkeys ctx ~pid =
+  let dropped_sids =
+    List.concat_map
+      (fun vas -> snd (Vas.release_keys_of vas ~pid))
+      (Registry.list_vases ctx.sys.reg)
+  in
+  List.iter
+    (fun sid ->
+      let seg = Registry.find_seg_by_id ctx.sys.reg sid in
+      List.iter
+        (fun vms ->
+          Vmspace.set_region_key vms ~charge_to:(Some ctx.core)
+            ~base:(Segment.base seg) ~key:0)
+        (Registry.mappings ctx.sys.reg ~sid))
+    dropped_sids;
+  if dropped_sids <> [] then begin
+    let c = cost ctx in
+    Array.iter
+      (fun core ->
+        Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
+        Core.charge ctx.core c.cacheline_cross)
+      (Machine.cores ctx.sys.machine)
+  end
+
 (* Involuntary death of a whole process: reclaim every segment lock its
    attachments hold, destroy the attachments' vmspaces (counted
    Page_table.destroy via Vmspace.destroy), drop the registry's mapping
@@ -215,6 +245,9 @@ let crash_teardown ctx =
         vh.detached <- true
       end)
     atts;
+  (* The dead process's protection keys go back to their VASes'
+     allocators; stale tags on surviving mappings are erased. *)
+  reclaim_pkeys ctx ~pid;
   (* Stale-translation hygiene: whatever ASID each dead core had
      installed may still back TLB entries; flush it before the core is
      handed to anyone else (one IPI per flushed core, like the other
@@ -229,6 +262,7 @@ let crash_teardown ctx =
       end;
       cx.cur <- None;
       cx.attachments <- [];
+      Core.set_pkru cx.core Pkey.default;
       Core.set_fault_handler cx.core None;
       Core.set_page_table cx.core None)
     siblings;
@@ -256,6 +290,7 @@ let crash_thread_teardown ctx =
     if vh.entered = 0 then ignore (reclaim_locks ctx ~pid vh);
     ctx.cur <- None
   | None -> ());
+  Core.set_pkru ctx.core Pkey.default;
   Core.set_fault_handler ctx.core None;
   Core.set_page_table ctx.core None;
   sys.ctxs <- List.filter (fun cx -> not (cx == ctx)) sys.ctxs
@@ -354,8 +389,11 @@ let map_global_segment ctx vh seg prot =
           ~subtree:sub ~region)
       subtrees
   | None ->
+    (* The VAS's key assignment rides in with the mapping, so
+       attachments created after a pkey_assign are tagged from birth. *)
     Vmspace.map_object vms ~charge_to:(Some ctx.core) ~base:(Segment.base seg)
       ~name:(Segment.name seg) ~cow:(Segment.is_cow seg) ~page:(Segment.page_size seg)
+      ~key:(Vas.key_of vh.vas ~sid:(Segment.sid seg))
       ~prot (Segment.vm_object seg)
 
 let unmap_global_segment ctx vh seg =
@@ -533,26 +571,103 @@ let enter ctx vh =
   vh.entered <- vh.entered + 1;
   ctx.cur <- Some vh
 
-let switch_cost ctx ~tagged =
-  let c = cost ctx in
-  let os = match ctx.sys.backend with Dragonfly -> `Dragonfly | Barrelfish -> `Barrelfish in
-  let total = Cost_model.vas_switch_cost c ~os ~tagged in
-  (* Core.set_page_table itself charges the CR3 write; charge the rest. *)
-  total - if tagged then c.cr3_load_tagged else c.cr3_load
+(* -------------------- The crossing abstraction -------------------- *)
+
+(* Exactly three mechanisms move a thread's memory view: reloading the
+   translation root (DragonFly vas_switch — a CR3 write, §4.1), the
+   same reload authorized by a capability invocation (Barrelfish,
+   §4.2), and rewriting the per-core protection-key register
+   (compartment entry — WRPKRU, no CR3 write, no TLB flush). Each is a
+   [Crossing.t]: [authorize] runs the mechanism's permission step
+   before any state moves, and [commit] charges the mechanism's cost
+   and performs its hardware step — so the per-mechanism price and the
+   observability event each live in exactly one place. *)
+module Crossing = struct
+  type target = Attachment of vh | Home
+
+  type t =
+    | Vas_reload of target  (* kernel-mediated translation-root reload *)
+    | Cap_invoke of { vh : vh; slot : int }  (* cap-authorized reload *)
+    | Pkey_write of { vid : int; key : int; pkru : Pkey.reg }
+
+  let tag_of = function
+    | Vas_reload (Attachment vh) | Cap_invoke { vh; _ } -> (
+      match Vas.tag vh.vas with Some t -> t | None -> 0)
+    | Vas_reload Home | Pkey_write _ -> 0
+
+  (* Simulated cycles charged at commit. [Core.set_page_table] itself
+     charges the CR3 write, so the reload mechanisms charge Table 2's
+     total minus the CR3 load; the pkey mechanism never touches CR3 and
+     charges its full WRPKRU + bookkeeping cost here. *)
+  let commit_cost ctx crossing =
+    let c = cost ctx in
+    match crossing with
+    | Vas_reload _ | Cap_invoke _ ->
+      let tagged = tag_of crossing <> 0 in
+      let os =
+        match ctx.sys.backend with
+        | Dragonfly -> `Dragonfly
+        | Barrelfish -> `Barrelfish
+      in
+      Cost_model.vas_switch_cost c ~os ~tagged
+      - (if tagged then c.cr3_load_tagged else c.cr3_load)
+    | Pkey_write _ -> Cost_model.pkey_switch_cost c
+
+  (* The mechanism's permission step. Only the capability mechanism
+     checks anything here: invocation fails when the VAS's root cap was
+     revoked (§4.2). *)
+  let authorize ctx = function
+    | Cap_invoke { slot; _ } -> (
+      try ignore (Cap.Cspace.invoke (Process.cspace ctx.proc) ~slot ~access:`Read)
+      with Error.Fault f ->
+        Error.failf Permission_denied ~op:"vas_switch"
+          "capability invocation refused (%s)" f.detail)
+    | Vas_reload _ | Pkey_write _ -> ()
+
+  (* Charge the mechanism's cost and perform its hardware step. The
+     reload mechanisms install a translation root and reset the key
+     register (key meanings are per-VAS, so a compartment restriction
+     must not follow the thread into another space); the pkey mechanism
+     rewrites the key register only — cached translations stay warm. *)
+  let commit ctx crossing =
+    let cycles = commit_cost ctx crossing in
+    Core.charge ctx.core cycles;
+    match crossing with
+    | Vas_reload Home ->
+      Core.set_page_table ctx.core ~tag:0
+        (Some (Vmspace.page_table (Process.primary_vmspace ctx.proc)));
+      Core.set_pkru ctx.core Pkey.default;
+      (match obs ctx with
+      | Some r -> emit_to r ctx (Sj_obs.Event.Vas_switch { vid = 0; tag = 0 })
+      | None -> ())
+    | Vas_reload (Attachment vh) | Cap_invoke { vh; _ } ->
+      let tag = tag_of crossing in
+      Core.set_page_table ctx.core ~tag (Some (Vmspace.page_table vh.vmspace));
+      Core.set_pkru ctx.core Pkey.default;
+      (match obs ctx with
+      | Some r ->
+        emit_to r ctx (Sj_obs.Event.Vas_switch { vid = Vas.vid vh.vas; tag })
+      | None -> ())
+    | Pkey_write { vid; key; pkru } ->
+      Core.set_pkru ctx.core pkru;
+      (match obs ctx with
+      | Some r -> emit_to r ctx (Sj_obs.Event.Pkey_switch { vid; key; cycles })
+      | None -> ())
+end
+
+(* The crossing a vas_switch into [vh] uses on this system. *)
+let crossing_into ctx vh : Crossing.t =
+  match (ctx.sys.backend, vh.cap_slot) with
+  | Barrelfish, Some slot -> Crossing.Cap_invoke { vh; slot }
+  | Barrelfish, None -> assert false
+  | Dragonfly, _ -> Crossing.Vas_reload (Attachment vh)
 
 let vas_switch_body ctx vh =
   if vh.detached then Error.fail Stale_handle ~op:"vas_switch" "detached handle";
   if not (Process.pid vh.owner = Process.pid ctx.proc) then
     Error.fail Permission_denied ~op:"vas_switch" "handle belongs to another process";
-  (match (ctx.sys.backend, vh.cap_slot) with
-  | Barrelfish, Some slot -> (
-    (* Capability invocation: fails if the VAS's root cap was revoked. *)
-    try ignore (Cap.Cspace.invoke (Process.cspace ctx.proc) ~slot ~access:`Read)
-    with Error.Fault f ->
-      Error.failf Permission_denied ~op:"vas_switch" "capability invocation refused (%s)"
-        f.detail)
-  | Barrelfish, None -> assert false
-  | Dragonfly, _ -> ());
+  let crossing = crossing_into ctx vh in
+  Crossing.authorize ctx crossing;
   sync_attachment ctx vh;
   let previous = ctx.cur in
   leave_current ctx;
@@ -561,29 +676,17 @@ let vas_switch_body ctx vh =
      (* Roll back: re-enter the space the thread was in. *)
      (match previous with Some prev -> enter ctx prev | None -> ());
      raise e);
-  let tag = match Vas.tag vh.vas with Some t -> t | None -> 0 in
-  Core.charge ctx.core (switch_cost ctx ~tagged:(tag <> 0));
-  Core.set_page_table ctx.core ~tag (Some (Vmspace.page_table vh.vmspace));
-  (match obs ctx with
-  | Some r ->
-    emit_to r ctx (Sj_obs.Event.Vas_switch { vid = Vas.vid vh.vas; tag })
-  | None -> ());
+  Crossing.commit ctx crossing;
   Log.debug (fun m ->
       m "vas_switch pid %d core %d -> %s (tag %d)" (Process.pid ctx.proc) (Core.id ctx.core)
-        (Vas.name vh.vas) tag);
+        (Vas.name vh.vas) (Crossing.tag_of crossing));
   Registry.count_switch ctx.sys.reg
 
 let vas_switch_c ctx vh = call ctx Vas_switch (fun () -> vas_switch_body ctx vh)
 
 let switch_home_body ctx =
   leave_current ctx;
-  let tag = 0 in
-  Core.charge ctx.core (switch_cost ctx ~tagged:false);
-  Core.set_page_table ctx.core ~tag
-    (Some (Vmspace.page_table (Process.primary_vmspace ctx.proc)));
-  (match obs ctx with
-  | Some r -> emit_to r ctx (Sj_obs.Event.Vas_switch { vid = 0; tag })
-  | None -> ());
+  Crossing.commit ctx (Crossing.Vas_reload Home);
   Registry.count_switch ctx.sys.reg
 
 let switch_home_c ctx = call ctx Vas_switch_home (fun () -> switch_home_body ctx)
@@ -644,6 +747,8 @@ let exit_process_c ctx =
          go through the ABI table like any runtime-issued call. *)
       (match ctx.cur with Some _ -> switch_home ctx | None -> ());
       List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
+      reclaim_pkeys ctx ~pid:(Process.pid ctx.proc);
+      Core.set_pkru ctx.core Pkey.default;
       Core.set_fault_handler ctx.core None;
       Core.set_page_table ctx.core None;
       let pid = Process.pid ctx.proc in
@@ -657,6 +762,86 @@ let exit_process_c ctx =
    nothing). *)
 let crash_process_c ctx = call ctx Proc_crash (fun () -> crash_teardown ctx)
 let crash_thread_c ctx = call ctx Proc_crash (fun () -> crash_thread_teardown ctx)
+
+(* -------------------- Protection-key compartments -------------------- *)
+
+(* The register image for compartment [key]: every key except 0 and
+   [key] denied. Key 0 — the untagged default — stays accessible so the
+   common region (text, globals, stacks) keeps working inside the
+   compartment. *)
+let compartment_pkru key =
+  if key = 0 then Pkey.default
+  else begin
+    let reg = ref Pkey.default in
+    for k = 1 to Pkey.max_key do
+      if k <> key then reg := Pkey.set !reg ~key:k Pkey.Denied
+    done;
+    !reg
+  end
+
+let pkey_alloc_c ctx vas =
+  call ctx Pkey_alloc (fun () ->
+      check_acl ctx (Vas.acl vas) `Write ~op:"pkey_alloc" "VAS not writable";
+      let key = Vas.alloc_key vas ~pid:(Process.pid ctx.proc) in
+      Log.debug (fun m ->
+          m "pkey_alloc %d in VAS %s by pid %d" key (Vas.name vas)
+            (Process.pid ctx.proc));
+      key)
+
+let pkey_assign_c ctx vas seg ~key =
+  call ctx Pkey_assign (fun () ->
+      check_acl ctx (Vas.acl vas) `Write ~op:"pkey_assign" "VAS not writable";
+      check_acl ctx (Segment.acl seg) `Write ~op:"pkey_assign"
+        "segment not writable";
+      if key < 0 || key > Pkey.max_key then
+        Error.failf Invalid ~op:"pkey_assign" "key %d out of range 0..%d" key
+          Pkey.max_key;
+      if key <> 0 && Vas.key_owner vas ~key = None then
+        Error.fail Unknown_name ~op:"pkey_assign" "key not allocated in this VAS";
+      if Vas.find_segment_by_sid vas (Segment.sid seg) = None then
+        Error.fail Unknown_name ~op:"pkey_assign" "segment not attached to this VAS";
+      if Segment.translation_cache seg <> None then
+        Error.fail Invalid ~op:"pkey_assign"
+          "segments with cached translations cannot be key-tagged (the shared \
+           page-table subtree would leak the tag into every VAS grafting it)";
+      Vas.assign_seg_key vas ~sid:(Segment.sid seg) ~key;
+      (* Rewrite the key tag in every live mapping, then shoot down
+         machine-wide (one IPI per core). Key *rights* changes need no
+         flush — rights live in the register and are checked at every
+         TLB hit — but the *tag* lives in PTEs and is cached with them,
+         so retagging must invalidate. Attachments created later pick
+         the tag up at map time. *)
+      let c = cost ctx in
+      List.iter
+        (fun vms ->
+          Vmspace.set_region_key vms ~charge_to:(Some ctx.core)
+            ~base:(Segment.base seg) ~key)
+        (Registry.mappings ctx.sys.reg ~sid:(Segment.sid seg));
+      Array.iter
+        (fun core ->
+          Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
+          Core.charge ctx.core c.cacheline_cross)
+        (Machine.cores ctx.sys.machine))
+
+let pkey_switch_body ctx ~key =
+  if key < 0 || key > Pkey.max_key then
+    Error.failf Invalid ~op:"pkey_switch" "key %d out of range 0..%d" key
+      Pkey.max_key;
+  let vid = match ctx.cur with Some vh -> Vas.vid vh.vas | None -> 0 in
+  if key <> 0 then begin
+    let vas =
+      match ctx.cur with
+      | Some vh -> vh.vas
+      | None ->
+        Error.fail Invalid ~op:"pkey_switch"
+          "no VAS installed: compartments live inside a VAS"
+    in
+    if Vas.key_owner vas ~key = None then
+      Error.fail Unknown_name ~op:"pkey_switch" "key not allocated in this VAS"
+  end;
+  Crossing.commit ctx (Crossing.Pkey_write { vid; key; pkru = compartment_pkru key })
+
+let pkey_switch_c ctx ~key = call ctx Pkey_switch (fun () -> pkey_switch_body ctx ~key)
 
 (* -------------------- Segment API -------------------- *)
 
@@ -728,6 +913,22 @@ let seg_detach_local_c ctx vh seg =
 let seg_clone_c ctx seg ~name =
   call ctx Seg_clone (fun () ->
       check_acl ctx (Segment.acl seg) `Read ~op:"seg_clone" "segment not readable";
+      (* The documented refusals, each a typed fault: the clone is a
+         plain 4 KiB-backed segment, so sources whose identity lives in
+         shared page tables (cached translations), shared frames (COW)
+         or 2 MiB mappings cannot be represented faithfully. *)
+      if Segment.translation_cache seg <> None then
+        Error.fail Invalid ~op:"seg_clone"
+          "segments with cached translations cannot be cloned (the copy cannot \
+           share the pre-built page tables)";
+      if Segment.is_cow seg then
+        Error.fail Invalid ~op:"seg_clone"
+          "COW segments cannot be cloned (pages are shared with a snapshot; \
+           snapshot again instead)";
+      if Segment.page_size seg = Page_table.P2M then
+        Error.fail Invalid ~op:"seg_clone"
+          "huge-page segments cannot be cloned (the copy would be 4 KiB-backed \
+           at the same 2 MiB-aligned base)";
       let cred = Process.cred ctx.proc in
       let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
       let clone =
@@ -934,6 +1135,9 @@ module Checked = struct
   let seg_ctl = seg_ctl_c
   let malloc = malloc_c
   let free = free_c
+  let pkey_alloc = pkey_alloc_c
+  let pkey_assign = pkey_assign_c
+  let pkey_switch = pkey_switch_c
 end
 
 (* -------------------- Legacy exception-style surface -------------------- *)
@@ -964,10 +1168,48 @@ let seg_snapshot ctx seg ~name = ok_exn (seg_snapshot_c ctx seg ~name)
 let seg_ctl ctx cmd = ok_exn (seg_ctl_c ctx cmd)
 let malloc ctx ?seg n = ok_exn (malloc_c ctx ?seg n)
 let free ctx va = ok_exn (free_c ctx va)
+let pkey_alloc ctx vas = ok_exn (pkey_alloc_c ctx vas)
+let pkey_assign ctx vas seg ~key = ok_exn (pkey_assign_c ctx vas seg ~key)
+let pkey_switch ctx ~key = ok_exn (pkey_switch_c ctx ~key)
 
 (* -------------------- Data access -------------------- *)
 
-let load64 ctx ~va = Core.load64 ctx.core ~va
-let store64 ctx ~va v = Core.store64 ctx.core ~va v
-let load_bytes ctx ~va ~len = Core.load_bytes ctx.core ~va ~len
-let store_bytes ctx ~va data = Core.store_bytes ctx.core ~va data
+(* A key-denied access surfaces as the typed [Key_violation] fault. The
+   event carries the page's key tag, recovered by walking the installed
+   tables — the denial changed no state, so the walk sees exactly what
+   the hardware checked. *)
+let key_violation ctx ~va ~write =
+  let vms =
+    match ctx.cur with
+    | Some vh -> vh.vmspace
+    | None -> Process.primary_vmspace ctx.proc
+  in
+  let key =
+    match Page_table.walk (Vmspace.page_table vms) ~va with
+    | Some m -> m.key
+    | None -> 0
+  in
+  (match obs ctx with
+  | Some r -> emit_to r ctx (Sj_obs.Event.Key_violation { va; key; write })
+  | None -> ());
+  Error.failf Key_violation
+    ~op:(if write then "store" else "load")
+    "key %d denies %s access at 0x%x" key
+    (if write then "write" else "read")
+    va
+
+let load64 ctx ~va =
+  try Core.load64 ctx.core ~va
+  with Machine.Key_fault _ -> key_violation ctx ~va ~write:false
+
+let store64 ctx ~va v =
+  try Core.store64 ctx.core ~va v
+  with Machine.Key_fault _ -> key_violation ctx ~va ~write:true
+
+let load_bytes ctx ~va ~len =
+  try Core.load_bytes ctx.core ~va ~len
+  with Machine.Key_fault f -> key_violation ctx ~va:f.va ~write:false
+
+let store_bytes ctx ~va data =
+  try Core.store_bytes ctx.core ~va data
+  with Machine.Key_fault f -> key_violation ctx ~va:f.va ~write:true

@@ -154,7 +154,10 @@ val seg_detach_local : ctx -> vh -> Segment.t -> unit
 val seg_clone : ctx -> Segment.t -> name:string -> Segment.t
 (** Copy segment contents into fresh physical memory under a new name
     (same virtual base — a clone is an alternative version of the same
-    window, attachable to other VASes). *)
+    window, attachable to other VASes). Not available for cached/COW/
+    huge segments: the clone is a plain 4 KiB-backed segment, so each
+    of those sources is refused with a typed [Invalid] fault (tested
+    in [test_core]). Use {!seg_snapshot} for COW sources. *)
 
 val seg_snapshot : ctx -> Segment.t -> name:string -> Segment.t
 (** Copy-on-write snapshot (paper sec 7 "copy-on-write, snapshotting and
@@ -176,6 +179,42 @@ val seg_ctl :
   | `Cache_translations of Segment.t  (** §4.1: pre-build page tables *)
   | `Destroy of Segment.t ] ->
   unit
+
+(** {2 Protection-key compartments}
+
+    A third isolation mechanism besides the full VAS switch and the
+    Barrelfish capability invocation: per-segment protection keys in
+    the MPK style. A VAS owns 16 keys (key 0 = the permanent untagged
+    default); [pkey_assign] tags a segment's leaf PTEs with a key, and
+    [pkey_switch] rewrites the calling core's key-permission register
+    to enter (or leave) one compartment. Because access rights live in
+    the register — checked at every TLB hit, never cached — a switch
+    costs one WRPKRU-class register write: no CR3 reload, no TLB
+    flush, warm caches. A denied access lands as the typed
+    [Key_violation] fault. *)
+
+val pkey_alloc : ctx -> Vas.t -> int
+(** Allocate a free protection key (1..15) in the VAS to the calling
+    process. Requires ACL write access; raises a typed [Capacity]
+    fault when all 15 keys are taken. Keys are reclaimed by crash or
+    exit teardown of the owning process. *)
+
+val pkey_assign : ctx -> Vas.t -> Segment.t -> key:int -> unit
+(** Tag every page of the segment with [key] ([0] untags). The segment
+    must be attached to the VAS and the key allocated in it (or 0);
+    segments with cached translations are refused with a typed
+    [Invalid] fault — their shared page-table subtree would leak the
+    tag into every grafting VAS. Live mappings are rewritten and stale
+    cached translations shot down machine-wide (the *tag* is cached
+    with translations; only the *rights* are flush-free). *)
+
+val pkey_switch : ctx -> key:int -> unit
+(** Enter compartment [key] of the current VAS ([0] = return to the
+    unrestricted view): rewrites the core's key register so only keys
+    0 and [key] are accessible. Charged as one register write —
+    strictly cheaper than any VAS switch — with no CR3 write and no
+    TLB flush. The key must be allocated in the current VAS. Switching
+    address spaces resets the register (key meanings are per-VAS). *)
 
 (** {2 Runtime library: per-segment heaps (§4.1)} *)
 
@@ -270,6 +309,9 @@ module Checked : sig
 
   val malloc : ctx -> ?seg:Segment.t -> int -> (int, Sj_abi.Error.t) result
   val free : ctx -> int -> (unit, Sj_abi.Error.t) result
+  val pkey_alloc : ctx -> Vas.t -> (int, Sj_abi.Error.t) result
+  val pkey_assign : ctx -> Vas.t -> Segment.t -> key:int -> (unit, Sj_abi.Error.t) result
+  val pkey_switch : ctx -> key:int -> (unit, Sj_abi.Error.t) result
 end
 
 (** {2 Convenience data accessors (current address space)} *)

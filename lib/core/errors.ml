@@ -17,7 +17,8 @@ let raise_legacy (f : Error.t) =
   | Error.Stale_handle -> raise (Stale_handle msg)
   | Error.Address_conflict -> raise (Address_conflict msg)
   | Error.Capacity -> raise Sj_mem.Phys_mem.Out_of_memory
-  | Error.Layout_exhausted | Error.Invalid -> raise (Error.Fault f)
+  | Error.Layout_exhausted | Error.Invalid | Error.Key_violation ->
+      raise (Error.Fault f)
 
 let fault_of_exn = function
   | Error.Fault f -> Some f

@@ -10,6 +10,12 @@ type t = {
   mutable tag : int option;
   mutable generation : int;
   mutable destroyed : bool;
+  (* protection-key compartments: allocator over keys 1..Pkey.max_key
+     (key 0 is the permanent "no compartment" default) plus the
+     segment-to-key assignments. Assoc lists sorted ascending so
+     iteration order is deterministic. *)
+  mutable key_owners : (int * int) list;  (* key -> owning pid *)
+  mutable seg_keys : (int * int) list;  (* sid -> key *)
 }
 
 let create ctx ?acl ~name () =
@@ -22,6 +28,8 @@ let create ctx ?acl ~name () =
     tag = None;
     generation = 0;
     destroyed = false;
+    key_owners = [];
+    seg_keys = [];
   }
 
 let vid t = t.vid
@@ -62,6 +70,7 @@ let detach_segment t seg =
   if not (List.exists (fun (s, _) -> Segment.sid s = Segment.sid seg) t.segments) then
     Sj_abi.Error.fail Unknown_name ~op:"seg_detach" "segment not attached";
   t.segments <- List.filter (fun (s, _) -> Segment.sid s <> Segment.sid seg) t.segments;
+  t.seg_keys <- List.remove_assoc (Segment.sid seg) t.seg_keys;
   t.generation <- t.generation + 1
 
 let find_segment_by_sid t sid =
@@ -73,3 +82,44 @@ let find_segment_at t ~va =
     t.segments
 
 let lockable_segments t = List.filter (fun (s, _) -> Segment.lockable s) t.segments
+
+(* -- protection-key compartments ------------------------------------- *)
+
+let alloc_key t ~pid =
+  check_live t "pkey_alloc";
+  let rec first_free k =
+    if k > Sj_paging.Pkey.max_key then
+      Sj_abi.Error.failf Capacity ~op:"pkey_alloc"
+        "no free protection keys in VAS %s" t.name
+    else if List.mem_assoc k t.key_owners then first_free (k + 1)
+    else k
+  in
+  let key = first_free 1 in
+  t.key_owners <- List.sort compare ((key, pid) :: t.key_owners);
+  key
+
+let key_owner t ~key = List.assoc_opt key t.key_owners
+
+let assign_seg_key t ~sid ~key =
+  check_live t "pkey_assign";
+  t.seg_keys <-
+    List.sort compare
+      (if key = 0 then List.remove_assoc sid t.seg_keys
+       else (sid, key) :: List.remove_assoc sid t.seg_keys);
+  t.generation <- t.generation + 1
+
+let key_of t ~sid = Option.value ~default:0 (List.assoc_opt sid t.seg_keys)
+
+let release_keys_of t ~pid =
+  let dead, live = List.partition (fun (_, owner) -> owner = pid) t.key_owners in
+  let dead_keys = List.map fst dead in
+  if dead_keys = [] then ([], [])
+  else begin
+    let dropped, kept =
+      List.partition (fun (_, k) -> List.mem k dead_keys) t.seg_keys
+    in
+    t.key_owners <- live;
+    t.seg_keys <- kept;
+    t.generation <- t.generation + 1;
+    (dead_keys, List.map fst dropped)
+  end

@@ -52,3 +52,33 @@ val find_segment_at : t -> va:int -> (Segment.t * Sj_paging.Prot.t) option
 val lockable_segments : t -> (Segment.t * Sj_paging.Prot.t) list
 (** The segments whose locks a switch must take, with mapping prots
     deciding shared vs exclusive mode. *)
+
+(** {2 Protection-key compartments}
+
+    Each VAS owns an allocator over keys [1..Pkey.max_key] (key 0 is
+    the permanent unrestricted default) and a segment-to-key
+    assignment map. Both feed the per-attachment vmspaces: a segment
+    assigned key [k] has its leaf PTEs tagged [k], so translation
+    checks the accessing core's key register. Assignments bump the
+    generation like segment-list changes, forcing live attachments to
+    re-sync. *)
+
+val alloc_key : t -> pid:int -> int
+(** Allocate the lowest free key ([1..15]) to process [pid]. Raises
+    [Error.Fault Capacity] when all 15 are taken. *)
+
+val key_owner : t -> key:int -> int option
+(** The pid that allocated [key], if it is currently allocated. *)
+
+val assign_seg_key : t -> sid:int -> key:int -> unit
+(** Record segment [sid] as tagged with [key] ([0] clears the
+    assignment). Bumps the generation; the caller rewrites live PTEs. *)
+
+val key_of : t -> sid:int -> int
+(** The key assigned to segment [sid], or [0] (untagged). *)
+
+val release_keys_of : t -> pid:int -> int list * int list
+(** Free every key allocated by [pid] (crash/exit teardown), dropping
+    any segment assignments that used them. Returns [(freed_keys,
+    dropped_sids)] — the caller untags the dropped segments' live
+    PTEs. Bumps the generation when anything was released. *)

@@ -112,7 +112,7 @@ let remove_region_index t i =
   end
 
 let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow = false)
-    ?(page = Page_table.P4K) ?name ~prot obj =
+    ?(page = Page_table.P4K) ?(key = 0) ?name ~prot obj =
   if not (Addr.is_page_aligned base) then
     Sj_abi.Error.fail Invalid ~op:"vm_map" "base not aligned";
   let pages = match pages with Some p -> p | None -> Vm_object.pages obj - obj_page in
@@ -127,7 +127,7 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
       (* Uniform protection: install the whole run through the batched
          path (identical PTEs and stats, one leaf-table walk per
          2 MiB). *)
-      Page_table.map_run ~global t.pt ~va:base ~n:pages
+      Page_table.map_run ~global ~key t.pt ~va:base ~n:pages
         ~frames:(Vm_object.frames obj) ~off:obj_page ~prot
     else
       for i = 0 to pages - 1 do
@@ -139,7 +139,7 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
           if Vm_object.page_shared obj ~page then { prot with Prot.write = false }
           else prot
         in
-        Page_table.map ~global t.pt
+        Page_table.map ~global ~key t.pt
           ~va:(base + (i * Addr.page_size))
           ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
           ~prot:hw_prot ~size:Page_table.P4K
@@ -153,7 +153,7 @@ let map_object t ~charge_to ~base ?(obj_page = 0) ?pages ?(global = false) ?(cow
       Sj_abi.Error.fail Invalid ~op:"vm_map" "2 MiB mapping needs 2 MiB alignment";
     for i = 0 to (pages / huge) - 1 do
       let frame = Vm_object.frame_at obj ~page:(obj_page + (i * huge)) in
-      Page_table.map ~global t.pt
+      Page_table.map ~global ~key t.pt
         ~va:(base + (i * Size.mib 2))
         ~pa:(Sj_mem.Phys_mem.base_of_frame frame)
         ~prot ~size:Page_table.P2M
@@ -209,6 +209,25 @@ let write_protect_region t ~charge_to ~base =
     done;
     charge_pt_delta t charge_to before;
     t.regions.(i) <- { r with cow = true }
+
+let set_region_key t ~charge_to ~base ~key =
+  match index_at_base t base with
+  | -1 -> Sj_abi.Error.fail Unknown_name ~op:"pkey_assign" "no region at base"
+  | i ->
+    let r = t.regions.(i) in
+    let before = snapshot_stats t in
+    (match r.page with
+    | Page_table.P4K ->
+      for j = 0 to (r.size / Addr.page_size) - 1 do
+        Page_table.set_key t.pt
+          ~va:(r.base + (j * Addr.page_size))
+          ~size:Page_table.P4K ~key
+      done
+    | Page_table.P2M ->
+      for j = 0 to (r.size / Size.mib 2) - 1 do
+        Page_table.set_key t.pt ~va:(r.base + (j * Size.mib 2)) ~size:Page_table.P2M ~key
+      done);
+    charge_pt_delta t charge_to before
 
 let graft_cached t ~charge_to ~base ~subtree ~region =
   check_no_overlap t ~base ~size:region.size;

@@ -48,6 +48,7 @@ val map_object :
   ?global:bool ->
   ?cow:bool ->
   ?page:Sj_paging.Page_table.page_size ->
+  ?key:int ->
   ?name:string ->
   prot:Sj_paging.Prot.t ->
   Vm_object.t ->
@@ -57,7 +58,8 @@ val map_object :
     overlapping an existing region raises [Invalid_argument] rather
     than silently clobbering it. With [~page:P2M] the range is mapped
     with 2 MiB entries (object must be contiguous; base, offset and
-    size 2 MiB-aligned; incompatible with [cow]). *)
+    size 2 MiB-aligned; incompatible with [cow]). [key] (default 0)
+    tags every installed leaf PTE with a protection key. *)
 
 val unmap_region : t -> charge_to:Sj_machine.Machine.Core.core option -> base:int -> unit
 (** Remove the region starting exactly at [base] and clear its PTEs.
@@ -81,6 +83,18 @@ val write_protect_region : t -> charge_to:Sj_machine.Machine.Core.core option ->
 (** Strip write permission from every PTE of the region (its logical
     [prot] is unchanged) and mark it COW — performed on the *original*
     when a snapshot is taken. *)
+
+val set_region_key :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  base:int ->
+  key:int ->
+  unit
+(** Rewrite the protection-key tag of every PTE in the region starting
+    exactly at [base] — [pkey_assign]'s per-vmspace PTE rewrite. Prot
+    bits, frames and the region descriptor are untouched; each page
+    costs one PTE write. Raises a typed [Unknown_name] fault when no
+    region starts at [base]. *)
 
 val graft_cached :
   t ->

@@ -1,0 +1,104 @@
+(* Sandboxed plugins for RedisJMP, built on protection-key
+   compartments. The untrusted handler runs *inside* the store's
+   read-write VAS — same address space, warm TLB — but key-restricted:
+   the store's data segment is tagged with a host-owned key, the
+   plugin's scratch segment with a plugin-owned key, and the handler
+   executes with its register narrowed to its own compartment. A stray
+   access to the store lands as the typed [Key_violation] fault, which
+   the host catches and survives; an injected kill mid-handler runs the
+   ordinary crash teardown, which also reclaims the dead plugin's
+   keys. *)
+
+open Sj_util
+module Api = Sj_core.Api
+module Segment = Sj_core.Segment
+module Error = Sj_abi.Error
+module Prot = Sj_paging.Prot
+module Core = Sj_machine.Machine.Core
+
+type t = {
+  store : Redisjmp.t;
+  vas_rw : Sj_core.Vas.t;
+  data_key : int;
+}
+
+type plugin = {
+  sandbox : t;
+  ctx : Api.ctx;
+  vh : Api.vh;
+  seg : Segment.t;
+  key : int;
+}
+
+type step =
+  | Compute of int
+  | Read of int
+  | Write of int * int64
+  | Peek_store of int
+  | Poke_store of int * int64
+
+type outcome = Done of int64 | Violation of Error.t | Killed of int
+
+let install ctx store =
+  let vas_rw = Redisjmp.rw_vas store in
+  let data_key = Api.pkey_alloc ctx vas_rw in
+  Api.pkey_assign ctx vas_rw (Redisjmp.data_segment store) ~key:data_key;
+  { store; vas_rw; data_key }
+
+let connect t ctx ?(plugin_size = Size.kib 64) () =
+  let pid = Sj_kernel.Process.pid (Api.process ctx) in
+  let seg =
+    Api.seg_alloc_anywhere ctx
+      ~name:(Printf.sprintf "%s.plugin.%d" (Redisjmp.name t.store) pid)
+      ~size:plugin_size ~mode:0o600
+  in
+  (* The scratch is attached VAS-globally so it can be key-tagged; its
+     tag keeps other compartments (and hostile plugins) out of it just
+     as the data key keeps this plugin out of the store. *)
+  Api.seg_attach ctx t.vas_rw seg ~prot:Prot.rw;
+  let key = Api.pkey_alloc ctx t.vas_rw in
+  Api.pkey_assign ctx t.vas_rw seg ~key;
+  let vh = Api.vas_attach ctx t.vas_rw in
+  { sandbox = t; ctx; vh; seg; key }
+
+(* One handler invocation: jump into the store's VAS, narrow the key
+   register to the plugin's compartment (a pure register write — no CR3
+   reload, no TLB flush), interpret the handler program, widen and jump
+   home. Every boundary is an ABI call, so the fault injector can kill
+   the plugin at any of them. *)
+let run p ~program =
+  let ctx = p.ctx in
+  let base = Segment.base p.seg in
+  let data_base = Segment.base (Redisjmp.data_segment p.sandbox.store) in
+  try
+    Api.vas_switch ctx p.vh;
+    Api.pkey_switch ctx ~key:p.key;
+    let acc = ref 0L in
+    List.iter
+      (fun step ->
+        match step with
+        | Compute cycles -> Core.charge (Api.core ctx) cycles
+        | Read off -> acc := Api.load64 ctx ~va:(base + off)
+        | Write (off, v) -> Api.store64 ctx ~va:(base + off) v
+        | Peek_store off -> acc := Api.load64 ctx ~va:(data_base + off)
+        | Poke_store (off, v) -> Api.store64 ctx ~va:(data_base + off) v)
+      program;
+    Api.pkey_switch ctx ~key:0;
+    Api.switch_home ctx;
+    Done !acc
+  with
+  | Error.Fault f when f.code = Error.Key_violation ->
+    (* The denied access changed nothing: leave the compartment and the
+       VAS, hand the typed fault to the host. The store survives. *)
+    Api.pkey_switch ctx ~key:0;
+    Api.switch_home ctx;
+    Violation f
+  | Sj_fault.Injector.Killed { pid; _ } ->
+    (* Crash teardown already ran: locks reclaimed, attachments
+       destroyed, and the dead plugin's keys freed back to the VAS. *)
+    Killed pid
+
+let data_key t = t.data_key
+let plugin_key p = p.key
+let plugin_segment p = p.seg
+let sandbox_of p = p.sandbox

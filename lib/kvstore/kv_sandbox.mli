@@ -1,0 +1,67 @@
+(** Sandboxed plugins for RedisJMP over protection-key compartments.
+
+    The server-less RedisJMP design (§5.3) has clients execute store
+    code themselves by switching into the store's VAS — which means an
+    untrusted handler ("plugin") invited into that address space could
+    touch anything in it. Compartments close the gap without giving up
+    the shared space: the store's data segment is tagged with a
+    host-owned key at {!install}, each plugin gets a scratch segment
+    tagged with its own key at {!connect}, and {!run} executes the
+    handler with the core's key register narrowed to the plugin's
+    compartment ([pkey_switch] — one register write, no CR3 reload, no
+    TLB flush, the store's cached translations stay warm).
+
+    A handler access outside its compartment lands as the typed
+    [Key_violation] fault; {!run} catches it, restores the unrestricted
+    view, and reports {!Violation} — the store survives and stays
+    consistent. A fault-injected kill mid-handler runs the ordinary
+    crash teardown, which also releases the dead plugin's keys
+    ({!Killed}). *)
+
+type t
+(** A sandbox installed over one RedisJMP store: the store's data
+    segment is key-tagged, so only the unrestricted (host) view — and
+    no compartment — can touch it. *)
+
+type plugin
+(** A connected plugin runner: its own attachment to the store's VAS,
+    a private key-tagged scratch segment, and its compartment key
+    (owned by the plugin's process — reclaimed if it dies). *)
+
+(** One step of a handler program, interpreted by {!run}. Offsets are
+    bytes into the plugin's scratch segment ([Read]/[Write]) or into
+    the store's data segment ([Peek_store]/[Poke_store] — the hostile
+    accesses a compartment must not be able to make). *)
+type step =
+  | Compute of int  (** charge simulated cycles of handler work *)
+  | Read of int
+  | Write of int * int64
+  | Peek_store of int
+  | Poke_store of int * int64
+
+type outcome =
+  | Done of int64  (** handler finished; last value read *)
+  | Violation of Sj_abi.Error.t
+      (** a [Peek_store]/[Poke_store] was denied by the key register;
+          the host caught the typed fault and the store survives *)
+  | Killed of int
+      (** the fault injector killed the plugin's process (pid) mid-run;
+          crash teardown reclaimed its locks, attachments and keys *)
+
+val install : Sj_core.Api.ctx -> Redisjmp.t -> t
+(** Tag the store's data segment with a freshly allocated host key.
+    The host context keeps the unrestricted view; every compartment is
+    locked out of the data from here on. *)
+
+val connect : t -> Sj_core.Api.ctx -> ?plugin_size:int -> unit -> plugin
+(** Give the calling (plugin) process a scratch segment inside the
+    store's VAS, tagged with a key the plugin process owns, plus an
+    attachment to run in. [plugin_size] defaults to 64 KiB. *)
+
+val run : plugin -> program:step list -> outcome
+(** Execute one handler invocation inside the plugin's compartment. *)
+
+val data_key : t -> int
+val plugin_key : plugin -> int
+val plugin_segment : plugin -> Sj_core.Segment.t
+val sandbox_of : plugin -> t

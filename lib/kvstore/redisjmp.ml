@@ -268,3 +268,5 @@ let set c key v =
 
 let store t = t.store
 let data_segment t = t.seg
+let name t = t.name
+let rw_vas t = t.vas_rw

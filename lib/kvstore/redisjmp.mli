@@ -84,6 +84,11 @@ val get : client -> string -> bytes option
 val set : client -> string -> bytes -> unit
 val store : t -> Store.t
 val data_segment : t -> Sj_core.Segment.t
+val name : t -> string
+
+val rw_vas : t -> Sj_core.Vas.t
+(** The read-write VAS clients jump into — where {!Kv_sandbox} carves
+    its protection-key compartments. *)
 
 val is_write_command : Resp.command -> bool
 

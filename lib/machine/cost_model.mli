@@ -41,6 +41,10 @@ type t = {
   (* Machine-to-machine fabric (cluster channels) *)
   net_setup : int;  (** per-message NIC doorbell + descriptor + traversal *)
   net_link : int;  (** per cache-line-sized unit at wire rate *)
+  (* Protection-key compartments *)
+  wrpkru : int;  (** writing the per-core key-permission register *)
+  pkey_bookkeeping : int;
+      (** user-space lookup of the target compartment's register image *)
 }
 
 val m1 : t
@@ -55,6 +59,11 @@ val m3 : t
 val cycles_to_seconds : t -> int -> float
 val cycles_to_ms : t -> int -> float
 val cycles_to_us : t -> int -> float
+
+val pkey_switch_cost : t -> int
+(** Immediate cost of one compartment crossing: a WRPKRU plus the
+    runtime's bookkeeping. No kernel entry, no CR3 write, no flush —
+    strictly cheaper than every {!vas_switch_cost} cell. *)
 
 val vas_switch_cost : t -> os:[ `Dragonfly | `Barrelfish ] -> tagged:bool -> int
 (** Immediate cost of one [vas_switch] (Table 2's bottom row):

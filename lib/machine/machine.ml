@@ -3,11 +3,20 @@ module Phys_mem = Sj_mem.Phys_mem
 module Page_table = Sj_paging.Page_table
 module Prot = Sj_paging.Prot
 module Tlb = Sj_tlb.Tlb
+module Pkey = Sj_paging.Pkey
 
 type access = Read | Write
 
 exception Page_fault of { va : int; access : access }
 exception Protection_fault of { va : int; access : access }
+
+exception Key_fault of { va : int; access : access }
+(* Paging protections admit the access but the core's protection-key
+   register denies the page's key. Deliberately NOT caught by the
+   [translate] retry loop: the fault handler repairs *mappings* (COW
+   splits), and a key denial is a property of the register, which no
+   mapping repair can change. *)
+
 exception No_page_table
 
 type core_state = {
@@ -19,6 +28,10 @@ type core_state = {
   l1 : Cache.t;
   mutable pt : Page_table.t option;
   mutable tag : int;
+  (* Protection-key permission register (PKRU). 0 permits every key, so
+     key-free workloads never observe it; a pkey switch rewrites it
+     without touching [pt], [tag], the TLB or any cache. *)
+  mutable pkru : int;
   mutable fault_handler : (va:int -> access:access -> bool) option;
   (* Per-core paging-structure caches, one slot per (low bits of) ASID
      tag so they stay warm across vas_switch: switching away and back
@@ -89,6 +102,7 @@ let create ?fast (platform : Platform.t) =
           l1 = Cache.create ~size:platform.l1_size ~ways:platform.l1_ways ~line:platform.line;
           pt = None;
           tag = 0;
+          pkru = Pkey.default;
           fault_handler = None;
           wcaches = Array.init wcache_slots (fun _ -> Page_table.walk_cache_create ());
           scratch = Bytes.create memcpy_chunk;
@@ -140,6 +154,11 @@ module Core = struct
   let charge c n = c.cycles <- c.cycles + n
   let tlb c = c.tlb
   let current_tag c = c.tag
+  let pkru c = c.pkru
+
+  (* A WRPKRU: no CR3 write, no flush, no cache traffic — the caller
+     (the Crossing layer) charges the instruction's cost. *)
+  let set_pkru c reg = c.pkru <- reg
 
   let set_page_table c ?(tag = 0) pt =
     let m = c.machine in
@@ -238,9 +257,17 @@ module Core = struct
       (* The page walker touches one table entry per level; its
          accesses go through the cache hierarchy like data. *)
       charge c (mapping.levels * m.cost.walk_per_level);
-      Tlb.insert c.tlb ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot ~size:mapping.size
-        ~global:mapping.global;
+      (* The fill caches the key *tag* only; rights come from [pkru]
+         at every hit, so entries survive pkey switches unflushed. *)
+      Tlb.insert c.tlb ~key:mapping.key ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot
+        ~size:mapping.size ~global:mapping.global;
       if not (prot_allows mapping.prot access) then raise (Protection_fault { va; access });
+      if
+        mapping.key <> 0
+        && not
+             (Pkey.allows c.pkru ~key:mapping.key
+                ~write:(match access with Write -> true | Read -> false))
+      then raise (Key_fault { va; access });
       let page = Page_table.bytes_of_page_size mapping.size in
       mapping.pa + (va land (page - 1))
 
@@ -253,11 +280,12 @@ module Core = struct
       if m.fast then begin
         (* Allocation-free probe: MRU, then the normal scan. *)
         let r =
-          Tlb.translate_probe c.tlb ~tag:c.tag ~va
+          Tlb.translate_probe c.tlb ~tag:c.tag ~pkru:c.pkru ~va
             ~write:(match access with Write -> true | Read -> false)
         in
         if r >= 0 then r
-        else if r = -1 then translate_miss c pt ~va ~access
+        else if r = Tlb.missed then translate_miss c pt ~va ~access
+        else if r = Tlb.key_failed then raise (Key_fault { va; access })
         else raise (Protection_fault { va; access })
       end
       else begin
@@ -265,12 +293,20 @@ module Core = struct
         | Some hit ->
           if not (prot_allows hit.prot access) then
             raise (Protection_fault { va; access });
+          if
+            hit.key <> 0
+            && not
+                 (Pkey.allows c.pkru ~key:hit.key
+                    ~write:(match access with Write -> true | Read -> false))
+          then raise (Key_fault { va; access });
           hit.pa
         | None -> translate_miss c pt ~va ~access
       end
 
   (* A faulting translation gives the installed handler a chance to
-     repair the mapping (demand splits, COW) and retry. *)
+     repair the mapping (demand splits, COW) and retry. [Key_fault]
+     deliberately bypasses the handler: key rights live in the
+     register, not the mapping, so no repair can make the retry pass. *)
   let translate c ~va ~access =
     let rec go attempts =
       try translate_once c ~va ~access

@@ -17,6 +17,13 @@ exception Page_fault of { va : int; access : access }
 exception Protection_fault of { va : int; access : access }
 (** Translation present but the access violates its protections. *)
 
+exception Key_fault of { va : int; access : access }
+(** Translation present and paging protections admit the access, but
+    the core's protection-key register denies the page's key tag
+    ({!Sj_paging.Pkey}). Not repairable by the page-fault handler — key
+    rights live in the register, not the mapping — so [translate]
+    re-raises it without consulting the handler. *)
+
 exception No_page_table
 (** A data access was attempted with no page table installed. *)
 
@@ -75,6 +82,16 @@ module Core : sig
       process is descheduled). *)
 
   val current_tag : core -> int
+
+  val pkru : core -> Sj_paging.Pkey.reg
+  (** The core's protection-key permission register; {!Sj_paging.Pkey.default}
+      (all keys permitted) until a pkey switch writes it. *)
+
+  val set_pkru : core -> Sj_paging.Pkey.reg -> unit
+  (** Write the register (a WRPKRU). No CR3 write, no TLB flush, no
+      cache effect — resident translations simply re-evaluate their key
+      tags against the new register at their next hit. The caller (the
+      ABI's crossing layer) charges the instruction cost. *)
 
   val set_fault_handler : core -> (va:int -> access:access -> bool) option -> unit
   (** Install the OS's page-fault handler. When a data access raises

@@ -32,6 +32,15 @@ type kind =
   | Switch_retry of { vid : int; attempt : int; backoff : int }
       (** A [Would_block]ed vas_switch backing off before attempt
           [attempt + 1]; [backoff] simulated cycles were charged. *)
+  | Pkey_switch of { vid : int; key : int; cycles : int }
+      (** A compartment crossing: the core's key-permission register was
+          rewritten to enter compartment [key] of VAS [vid] ([key] 0 =
+          back to the unrestricted view). [cycles] is the charged WRPKRU
+          + bookkeeping cost; no CR3 write and no TLB flush occurs. *)
+  | Key_violation of { va : int; key : int; write : bool }
+      (** A data access denied by the key register: the page's key tag
+          [key] is not permitted by the current compartment. Lands as
+          the typed [Key_violation] fault. *)
 
 type t = { seq : int; core : int; cycles : int; kind : kind }
 
@@ -49,6 +58,8 @@ let name = function
   | Proc_crash _ -> "proc_crash"
   | Lock_reclaim _ -> "lock_reclaim"
   | Switch_retry _ -> "switch_retry"
+  | Pkey_switch _ -> "pkey_switch"
+  | Key_violation _ -> "key_violation"
 
 let flush_to_string = function
   | Flush_nonglobal -> "nonglobal"
@@ -85,6 +96,10 @@ let args_json = function
   | Switch_retry { vid; attempt; backoff } ->
       Printf.sprintf {|{"vid":%d,"attempt":%d,"backoff":%d}|} vid attempt
         backoff
+  | Pkey_switch { vid; key; cycles } ->
+      Printf.sprintf {|{"vid":%d,"key":%d,"cycles":%d}|} vid key cycles
+  | Key_violation { va; key; write } ->
+      Printf.sprintf {|{"va":"0x%x","key":%d,"write":%b}|} va key write
 
 let to_string e =
   Printf.sprintf "%08d %10d c%d %-18s %s" e.seq e.cycles e.core (name e.kind)

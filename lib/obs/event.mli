@@ -32,6 +32,15 @@ type kind =
   | Switch_retry of { vid : int; attempt : int; backoff : int }
       (** A [Would_block]ed vas_switch backing off before attempt
           [attempt + 1]; [backoff] simulated cycles were charged. *)
+  | Pkey_switch of { vid : int; key : int; cycles : int }
+      (** A compartment crossing: the core's key-permission register was
+          rewritten to enter compartment [key] of VAS [vid] ([key] 0 =
+          back to the unrestricted view). [cycles] is the charged WRPKRU
+          + bookkeeping cost; no CR3 write and no TLB flush occurs. *)
+  | Key_violation of { va : int; key : int; write : bool }
+      (** A data access denied by the key register: the page's key tag
+          [key] is not permitted by the current compartment. Lands as
+          the typed [Key_violation] fault. *)
 
 type t = {
   seq : int;  (** per-recorder emission order, from 0 *)

@@ -37,6 +37,10 @@ type t = {
   mutable switch_retries : int;
   mutable switch_retry_cycles : int;
   retry_hist : Hist.t;  (* backoff cycles per retry *)
+  (* protection-key compartments *)
+  mutable pkey_switches : int;
+  mutable pkey_switch_cycles : int;
+  mutable key_violations : int;
 }
 
 let create () =
@@ -64,6 +68,9 @@ let create () =
     switch_retries = 0;
     switch_retry_cycles = 0;
     retry_hist = Hist.create ();
+    pkey_switches = 0;
+    pkey_switch_cycles = 0;
+    key_violations = 0;
   }
 
 let record t (kind : Event.kind) =
@@ -101,6 +108,10 @@ let record t (kind : Event.kind) =
       t.switch_retries <- t.switch_retries + 1;
       t.switch_retry_cycles <- t.switch_retry_cycles + backoff;
       Hist.add t.retry_hist backoff
+  | Pkey_switch { cycles; _ } ->
+      t.pkey_switches <- t.pkey_switches + 1;
+      t.pkey_switch_cycles <- t.pkey_switch_cycles + cycles
+  | Key_violation _ -> t.key_violations <- t.key_violations + 1
 
 let syscall_rows t =
   let out = ref [] in
@@ -117,10 +128,16 @@ let syscall_rows t =
   done;
   !out
 
+let vas_switches t = t.switches
+let tlb_flushes t = t.flushes
+let page_invalidations t = t.page_invalidations
 let crashes t = t.crashes
 let lock_reclaims t = t.lock_reclaims
 let switch_retries t = t.switch_retries
 let switch_retry_cycles t = t.switch_retry_cycles
+let pkey_switches t = t.pkey_switches
+let pkey_switch_cycles t = t.pkey_switch_cycles
+let key_violations t = t.key_violations
 
 let describe t =
   let b = Buffer.create 1024 in
@@ -150,6 +167,9 @@ let describe t =
       t.switch_retries t.switch_retry_cycles
       (Hist.quantile t.retry_hist 0.5)
       (Hist.max_value t.retry_hist);
+  if t.pkey_switches > 0 || t.key_violations > 0 then
+    p "pkeys:    switches=%d switch_cycles=%d violations=%d\n" t.pkey_switches
+      t.pkey_switch_cycles t.key_violations;
   Buffer.contents b
 
 let to_json t =
@@ -184,9 +204,11 @@ let to_json t =
     t.lock_reclaims;
   p
     "  \"retries\": \
-     {\"switch_retries\":%d,\"backoff_cycles\":%d,\"p50\":%d,\"max\":%d}\n"
+     {\"switch_retries\":%d,\"backoff_cycles\":%d,\"p50\":%d,\"max\":%d},\n"
     t.switch_retries t.switch_retry_cycles
     (Hist.quantile t.retry_hist 0.5)
     (Hist.max_value t.retry_hist);
+  p "  \"pkeys\": {\"switches\":%d,\"switch_cycles\":%d,\"violations\":%d}\n"
+    t.pkey_switches t.pkey_switch_cycles t.key_violations;
   p "}\n";
   Buffer.contents b

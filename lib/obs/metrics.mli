@@ -16,6 +16,17 @@ val syscall_rows : t -> (int * string * int * int * int * Hist.t) list
 (** [(nr, name, calls, faults, total_cycles, hist)] for every dispatch
     entry that was called at least once, ascending by number. *)
 
+val vas_switches : t -> int
+(** Address-space switches committed ([Vas_switch] events). *)
+
+val tlb_flushes : t -> int
+(** Full and tagged TLB flushes ([Tlb_flush] events other than
+    single-page invalidations) — the counter the compartment bench
+    audits for zero during pkey crossings. *)
+
+val page_invalidations : t -> int
+(** Single-page TLB shootdowns ([Tlb_flush] with [Flush_page]). *)
+
 val crashes : t -> int
 (** Processes torn down involuntarily ([Proc_crash] events). *)
 
@@ -28,6 +39,17 @@ val switch_retries : t -> int
 
 val switch_retry_cycles : t -> int
 (** Total simulated cycles charged as retry backoff. *)
+
+val pkey_switches : t -> int
+(** Compartment crossings ([Pkey_switch] events) — the pkey analogue of
+    the vas_switch counter. *)
+
+val pkey_switch_cycles : t -> int
+(** Total simulated cycles charged to pkey switches (WRPKRU +
+    bookkeeping; no CR3, no flush). *)
+
+val key_violations : t -> int
+(** Accesses denied by the key register ([Key_violation] events). *)
 
 val describe : t -> string
 (** Human-readable multi-line summary ([sjctl stats]). *)

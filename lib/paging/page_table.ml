@@ -6,7 +6,14 @@ type page_size = P4K | P2M
 
 let bytes_of_page_size = function P4K -> Size.kib 4 | P2M -> Size.mib 2
 
-type mapping = { pa : int; prot : Prot.t; size : page_size; global : bool; levels : int }
+type mapping = {
+  pa : int;
+  prot : Prot.t;
+  key : int;
+  size : page_size;
+  global : bool;
+  levels : int;
+}
 
 type stats = {
   mutable tables_allocated : int;
@@ -24,6 +31,8 @@ type stats = {
      entry land 3 = 1: (child_index lsl 2) lor 1   interior table
      entry land 3 = 2: leaf —
        bits 12..   page-aligned physical base (pa's low 12 bits are 0)
+       bits 7..10  protection key (0 = default; key rights live in the
+                   per-core register, never in the entry)
        bits 4..6   protection (read=1 / write=2 / exec=4)
        bit 3       page size (1 = 2 MiB)
        bit 2       global
@@ -77,16 +86,23 @@ let prots =
 
 let e_table idx = (idx lsl 2) lor 1
 
-let e_leaf ~pa ~prot ~size ~global =
-  pa lor (prot_index prot lsl 4)
+let e_leaf ?(key = 0) ~pa ~prot ~size ~global () =
+  pa
+  lor (key lsl 7)
+  lor (prot_index prot lsl 4)
   lor (match size with P2M -> 8 | P4K -> 0)
   lor (if global then 4 else 0)
   lor 2
 
 let leaf_pa e = e land lnot 4095
 let leaf_prot e = Array.unsafe_get prots ((e lsr 4) land 7)
+let leaf_key e = (e lsr 7) land 15
 let leaf_size e = if e land 8 <> 0 then P2M else P4K
 let leaf_global e = e land 4 <> 0
+
+let check_key key name =
+  if key < 0 || key > Pkey.max_key then
+    invalid_arg (Printf.sprintf "Page_table.%s: key %d out of range" name key)
 
 let alloc_node t ~level =
   t.stats.tables_allocated <- t.stats.tables_allocated + 1;
@@ -179,10 +195,11 @@ let rec descend t node ~va ~target_level ~create_missing =
         descend t child ~va ~target_level ~create_missing
       end
 
-let map ?(global = false) t ~va ~pa ~prot ~size =
+let map ?(global = false) ?(key = 0) t ~va ~pa ~prot ~size =
   dirty t;
   check_aligned va size "map";
   check_aligned pa size "map";
+  check_key key "map";
   if va < 0 || va >= Addr.va_limit then invalid_arg "Page_table.map: VA out of range";
   let level = leaf_level size in
   let node =
@@ -203,7 +220,7 @@ let map ?(global = false) t ~va ~pa ~prot ~size =
   in
   let i = index_at ~level va in
   if Pt_store.get t.store node i = 0 then begin
-    Pt_store.set t.store node i (e_leaf ~pa ~prot ~size ~global);
+    Pt_store.set t.store node i (e_leaf ~key ~pa ~prot ~size ~global ());
     Pt_store.set_live t.store node (Pt_store.live t.store node + 1);
     t.stats.pte_writes <- t.stats.pte_writes + 1
   end
@@ -215,16 +232,19 @@ let map ?(global = false) t ~va ~pa ~prot ~size =
    mid-run occupied slot — but each 2 MiB leaf table is located once
    for its whole 512-page run instead of once per page. Segment attach
    loops live on this path. *)
-let map_run ?(global = false) t ~va ~n ~frames ~off ~prot =
+let map_run ?(global = false) ?(key = 0) t ~va ~n ~frames ~off ~prot =
   if n > 0 then begin
     dirty t;
     check_aligned va P4K "map";
+    check_key key "map";
     if va < 0 || va + ((n - 1) * Addr.page_size) >= Addr.va_limit then
       invalid_arg "Page_table.map: VA out of range";
     if off < 0 || off + n > Array.length frames then
       invalid_arg "Page_table.map: frame range";
     let store = t.store in
-    let bits = (prot_index prot lsl 4) lor (if global then 4 else 0) lor 2 in
+    let bits =
+      (key lsl 7) lor (prot_index prot lsl 4) lor (if global then 4 else 0) lor 2
+    in
     let i = ref 0 in
     while !i < n do
       let va_i = va + (!i * Addr.page_size) in
@@ -303,7 +323,14 @@ let unmap t ~va ~size =
   go t.root
 
 let mapping_of_leaf e ~levels =
-  { pa = leaf_pa e; prot = leaf_prot e; size = leaf_size e; global = leaf_global e; levels }
+  {
+    pa = leaf_pa e;
+    prot = leaf_prot e;
+    key = leaf_key e;
+    size = leaf_size e;
+    global = leaf_global e;
+    levels;
+  }
 
 let walk t ~va =
   if va < 0 || va >= Addr.va_limit then None
@@ -432,8 +459,28 @@ let protect t ~va ~size ~prot =
     else invalid_arg "Page_table.protect: not mapped"
   end
 
-let map_range ?(global = false) t ~va ~frames ~prot =
-  map_run ~global t ~va ~n:(Array.length frames) ~frames ~off:0 ~prot
+(* Retag an existing leaf. Mirrors [protect]: rewrites only the key
+   bits (7..10), so protections, page size and the global bit survive —
+   and, like [protect], counts one PTE write. *)
+let set_key t ~va ~size ~key =
+  dirty t;
+  check_aligned va size "set_key";
+  check_key key "set_key";
+  let level = leaf_level size in
+  let node = descend t t.root ~va ~target_level:level ~create_missing:false in
+  if node < 0 then invalid_arg "Page_table.set_key: not mapped"
+  else begin
+    let i = index_at ~level va in
+    let e = Pt_store.get t.store node i in
+    if e land 3 = 2 then begin
+      Pt_store.set t.store node i (e land lnot (15 lsl 7) lor (key lsl 7));
+      t.stats.pte_writes <- t.stats.pte_writes + 1
+    end
+    else invalid_arg "Page_table.set_key: not mapped"
+  end
+
+let map_range ?(global = false) ?(key = 0) t ~va ~frames ~prot =
+  map_run ~global ~key t ~va ~n:(Array.length frames) ~frames ~off:0 ~prot
 
 let unmap_range t ~va ~pages =
   for i = 0 to pages - 1 do

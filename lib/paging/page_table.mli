@@ -23,6 +23,9 @@ val bytes_of_page_size : page_size -> int
 type mapping = {
   pa : int;  (** physical byte address of the mapped page's base *)
   prot : Prot.t;
+  key : int;
+      (** protection-key tag ({!Pkey}); 0 = default. The tag only — key
+          *rights* live in the per-core register, never in the entry. *)
   size : page_size;
   global : bool;  (** x86 G bit: TLB entry survives untagged CR3 loads *)
   levels : int;  (** tables touched by a walk resolving this mapping *)
@@ -54,14 +57,17 @@ val root_frame : t -> Sj_mem.Phys_mem.frame
 val stats : t -> stats
 val reset_stats : t -> unit
 
-val map : ?global:bool -> t -> va:int -> pa:int -> prot:Prot.t -> size:page_size -> unit
-(** Install one mapping. [va]/[pa] must be aligned to [size]. Raises
+val map :
+  ?global:bool -> ?key:int ->
+  t -> va:int -> pa:int -> prot:Prot.t -> size:page_size -> unit
+(** Install one mapping. [va]/[pa] must be aligned to [size]. [key]
+    (default 0) tags the entry with a protection key. Raises
     [Invalid_argument] if the slot is already mapped (mmap-over-mapping
     must be an explicit unmap+map, unlike Linux's silent clobber the
     paper criticizes in §2.4). *)
 
 val map_run :
-  ?global:bool ->
+  ?global:bool -> ?key:int ->
   t -> va:int -> n:int -> frames:Sj_mem.Phys_mem.frame array -> off:int -> prot:Prot.t -> unit
 (** Install [n] consecutive 4 KiB mappings starting at [va], page [i]
     backed by [frames.(off + i)]. Observably identical to [n] {!map}
@@ -97,10 +103,14 @@ val walk_cached : t -> walk_cache -> va:int -> mapping option
     locality-heavy access patterns. *)
 
 val protect : t -> va:int -> size:page_size -> prot:Prot.t -> unit
-(** Change the protections of an existing mapping. *)
+(** Change the protections of an existing mapping (key tag preserved). *)
+
+val set_key : t -> va:int -> size:page_size -> key:int -> unit
+(** Retag an existing mapping with a protection key (protections
+    preserved); counts one PTE write, like {!protect}. *)
 
 val map_range :
-  ?global:bool ->
+  ?global:bool -> ?key:int ->
   t -> va:int -> frames:Sj_mem.Phys_mem.frame array -> prot:Prot.t -> unit
 (** Map a contiguous virtual range of 4 KiB pages onto the given frames. *)
 

@@ -1,0 +1,58 @@
+(* Memory protection keys (MPK/POE-style).
+
+   A 4-bit key tags each leaf PTE alongside its protection bits; a
+   per-core permission register (PKRU) holds two bits per key —
+   access-disable and write-disable — consulted at translation time
+   *after* the paging permission check. Changing the register changes
+   effective rights for every page carrying the key without touching
+   CR3 or the TLB, which is what makes a compartment crossing cheaper
+   than either Table 2 switch mechanism.
+
+   Key 0 is the default tag of every mapping and is never restrictable:
+   the all-permitted register is the integer 0, so a simulation that
+   never allocates a key computes with the same values it did before
+   keys existed (the empty-key identity the bench audits). *)
+
+type reg = int
+
+let count = 16
+let max_key = count - 1
+let default = 0
+
+type perm = Rw | Ro | Denied
+
+let check_key ~who key =
+  if key < 0 || key > max_key then
+    invalid_arg (Printf.sprintf "Pkey.%s: key %d out of range [0..%d]" who key max_key)
+
+(* Bit 2k: access-disable (AD). Bit 2k+1: write-disable (WD). *)
+let allows reg ~key ~write =
+  let bits = (reg lsr (2 * key)) land 3 in
+  bits land 1 = 0 && not (write && bits land 2 <> 0)
+
+let set reg ~key perm =
+  check_key ~who:"set" key;
+  if key = 0 && perm <> Rw then invalid_arg "Pkey.set: key 0 is not restrictable";
+  let cleared = reg land lnot (3 lsl (2 * key)) in
+  match perm with
+  | Rw -> cleared
+  | Ro -> cleared lor (2 lsl (2 * key))
+  | Denied -> cleared lor (1 lsl (2 * key))
+
+let get reg ~key =
+  check_key ~who:"get" key;
+  let bits = (reg lsr (2 * key)) land 3 in
+  if bits land 1 <> 0 then Denied else if bits land 2 <> 0 then Ro else Rw
+
+let perm_name = function Rw -> "rw" | Ro -> "ro" | Denied -> "none"
+
+let to_string reg =
+  let b = Buffer.create 32 in
+  for key = 0 to max_key do
+    match get reg ~key with
+    | Rw -> ()
+    | p ->
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%d:%s" key (perm_name p))
+  done;
+  if Buffer.length b = 0 then "all-rw" else Buffer.contents b

@@ -1,0 +1,41 @@
+(** Memory protection keys (MPK/POE-style compartments).
+
+    Each leaf PTE carries a 4-bit key tag alongside its protection
+    bits; a per-core permission register with two bits per key
+    (access-disable, write-disable) is consulted at translation time
+    after the paging permission check. Rewriting the register changes
+    effective rights for every page of a key with no CR3 write and no
+    TLB flush — the third, cheapest switch mechanism.
+
+    Key 0 tags every ordinary mapping and is never restrictable, so
+    the all-permitted register is [0] ({!default}) and key-free
+    simulations are bit-identical to a build without keys. *)
+
+type reg = int
+(** The permission-register image (PKRU). [0] permits everything. *)
+
+val count : int
+(** Keys per address space: 16. *)
+
+val max_key : int
+(** Largest valid key: 15. *)
+
+val default : reg
+(** All keys readable and writable. *)
+
+type perm = Rw | Ro | Denied
+
+val allows : reg -> key:int -> write:bool -> bool
+(** Does the register admit this access to a page tagged [key]?
+    Constant-time bit test — the translation hot path. *)
+
+val set : reg -> key:int -> perm -> reg
+(** Functional update of one key's two bits. Raises [Invalid_argument]
+    for out-of-range keys and for any attempt to restrict key 0. *)
+
+val get : reg -> key:int -> perm
+val perm_name : perm -> string
+
+val to_string : reg -> string
+(** Compact "key:perm" list of the restricted keys; ["all-rw"] for
+    {!default}. *)

@@ -5,7 +5,7 @@ type config = { sets_4k : int; ways_4k : int; entries_2m : int; tag_bits : int }
 
 let default_config = { sets_4k = 256; ways_4k = 4; entries_2m = 32; tag_bits = 12 }
 
-type hit = { pa : int; prot : Prot.t; size : Page_table.page_size }
+type hit = { pa : int; prot : Prot.t; key : int; size : Page_table.page_size }
 
 type stats = {
   mutable hits : int;
@@ -23,6 +23,11 @@ type entry = {
   mutable global : bool;
   mutable pa : int; (* physical base of the page *)
   mutable prot : Prot.t;
+  (* Protection-key *tag* of the PTE, never its rights: key rights are
+     evaluated against the core's current register at every hit, so a
+     pkey switch changes what resident entries permit without touching
+     them (zero flushes — the whole point of the mechanism). *)
+  mutable key : int;
   mutable last_use : int;
 }
 
@@ -84,7 +89,16 @@ type t = {
 }
 
 let fresh_entry () =
-  { valid = false; vbase = 0; tag = 0; global = false; pa = 0; prot = Prot.none; last_use = 0 }
+  {
+    valid = false;
+    vbase = 0;
+    tag = 0;
+    global = false;
+    pa = 0;
+    prot = Prot.none;
+    key = 0;
+    last_use = 0;
+  }
 
 let fresh_stats () =
   { hits = 0; misses = 0; insertions = 0; evictions = 0; flushes = 0; flushed_entries = 0 }
@@ -163,6 +177,7 @@ let entry_matches e ~tag ~vbase = e.valid && e.vbase = vbase && (e.global || e.t
    these cannot collide with a real translation. *)
 let missed = -1
 let prot_failed = -2
+let key_failed = -3
 
 (* Way index of the matching entry, or -1. A direct indexed loop so the
    hot paths (lookup, insert refresh) allocate nothing. *)
@@ -194,7 +209,7 @@ let hit_entry t e =
   t.stats.hits <- t.stats.hits + 1
 
 let lookup t ~tag ~va =
-  let hit_of e size = { pa = e.pa + (va - e.vbase); prot = e.prot; size } in
+  let hit_of e size = { pa = e.pa + (va - e.vbase); prot = e.prot; key = e.key; size } in
   let set = t.array_4k.(set_of_4k t va) in
   let i4 = probe_set set ~tag ~vbase:(base_4k va) in
   if i4 >= 0 then begin
@@ -243,7 +258,7 @@ let lookup_fast t ~tag ~va =
   if slot_matches t s ~tag ~vbase then begin
     let e = s.m_entry in
     hit_entry t e;
-    Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = s.m_size }
+    Some { pa = e.pa + (va - e.vbase); prot = e.prot; key = e.key; size = s.m_size }
   end
   else begin
     let set_idx = set_of_4k t va in
@@ -253,7 +268,7 @@ let lookup_fast t ~tag ~va =
       let e = set.(i4) in
       hit_entry t e;
       record_mru t ~tag ~vbase e Page_table.P4K ~set_idx;
-      Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P4K }
+      Some { pa = e.pa + (va - e.vbase); prot = e.prot; key = e.key; size = Page_table.P4K }
     end
     else begin
       let i2 = probe_set t.array_2m ~tag ~vbase:(base_2m va) in
@@ -261,7 +276,7 @@ let lookup_fast t ~tag ~va =
         let e = t.array_2m.(i2) in
         hit_entry t e;
         record_mru t ~tag ~vbase e Page_table.P2M ~set_idx;
-        Some { pa = e.pa + (va - e.vbase); prot = e.prot; size = Page_table.P2M }
+        Some { pa = e.pa + (va - e.vbase); prot = e.prot; key = e.key; size = Page_table.P2M }
       end
       else begin
         t.stats.misses <- t.stats.misses + 1;
@@ -271,18 +286,23 @@ let lookup_fast t ~tag ~va =
   end
 
 (* Protection check folded in so the machine's hot path needs no [hit]
-   record, no option, and no closure. *)
-let checked_pa ~write ~va e =
-  if if write then e.prot.Prot.write else e.prot.Prot.read then e.pa + (va - e.vbase)
+   record, no option, and no closure. The key check runs after the
+   paging check, against the *caller's current* register — the entry
+   contributes only its key tag, so a warm entry faults or passes
+   exactly as a fresh walk of the same PTE would under that register. *)
+let checked_pa ~pkru ~write ~va e =
+  if if write then e.prot.Prot.write else e.prot.Prot.read then
+    if e.key = 0 || Pkey.allows pkru ~key:e.key ~write then e.pa + (va - e.vbase)
+    else key_failed
   else prot_failed
 
-let translate_probe t ~tag ~va ~write =
+let translate_probe t ~tag ~pkru ~va ~write =
   let vbase = base_4k va in
   let s = Array.unsafe_get t.mru (tag land (mru_slots - 1)) in
   if slot_matches t s ~tag ~vbase then begin
     let e = s.m_entry in
     hit_entry t e;
-    checked_pa ~write ~va e
+    checked_pa ~pkru ~write ~va e
   end
   else begin
     let set_idx = set_of_4k t va in
@@ -292,7 +312,7 @@ let translate_probe t ~tag ~va ~write =
       let e = set.(i4) in
       hit_entry t e;
       record_mru t ~tag ~vbase e Page_table.P4K ~set_idx;
-      checked_pa ~write ~va e
+      checked_pa ~pkru ~write ~va e
     end
     else begin
       let i2 = probe_set t.array_2m ~tag ~vbase:(base_2m va) in
@@ -300,7 +320,7 @@ let translate_probe t ~tag ~va ~write =
         let e = t.array_2m.(i2) in
         hit_entry t e;
         record_mru t ~tag ~vbase e Page_table.P2M ~set_idx;
-        checked_pa ~write ~va e
+        checked_pa ~pkru ~write ~va e
       end
       else begin
         t.stats.misses <- t.stats.misses + 1;
@@ -325,18 +345,20 @@ let victim t entries =
   if entries.(!best).valid then t.stats.evictions <- t.stats.evictions + 1;
   entries.(!best)
 
-let fill t e ~tag ~vbase ~pa ~prot ~global =
+let fill t e ~tag ~vbase ~pa ~prot ~key ~global =
   e.valid <- true;
   e.vbase <- vbase;
   e.tag <- tag;
   e.global <- global;
   e.pa <- pa;
   e.prot <- prot;
+  e.key <- key;
   e.last_use <- tick t;
   t.stats.insertions <- t.stats.insertions + 1
 
-let insert t ~tag ~va ~pa ~prot ~size ~global =
+let insert ?(key = 0) t ~tag ~va ~pa ~prot ~size ~global =
   if tag < 0 || tag > max_tag t then invalid_arg "Tlb.insert: tag out of range";
+  if key < 0 || key > Pkey.max_key then invalid_arg "Tlb.insert: key out of range";
   match size with
   | Page_table.P4K ->
     let vbase = base_4k va in
@@ -361,7 +383,7 @@ let insert t ~tag ~va ~pa ~prot ~size ~global =
       t.valid_4k.(set_idx) <- t.valid_4k.(set_idx) + 1
     end;
     t.set_gens.(set_idx) <- t.set_gens.(set_idx) + 1;
-    fill t e ~tag ~vbase ~pa ~prot ~global
+    fill t e ~tag ~vbase ~pa ~prot ~key ~global
   | Page_table.P2M ->
     let vbase = base_2m va in
     let pa = Size.round_down pa ~align:(Size.mib 2) in
@@ -369,7 +391,7 @@ let insert t ~tag ~va ~pa ~prot ~size ~global =
     let e = if i >= 0 then t.array_2m.(i) else victim t t.array_2m in
     if not e.valid then t.valid_2m <- t.valid_2m + 1;
     t.gen_2m <- t.gen_2m + 1;
-    fill t e ~tag ~vbase ~pa ~prot ~global
+    fill t e ~tag ~vbase ~pa ~prot ~key ~global
 
 let iter_entries t f =
   Array.iter (fun set -> Array.iter f set) t.array_4k;

@@ -27,7 +27,14 @@ val default_config : config
     level merged as sets, 32-entry 2 MiB array, 12 tag bits --
     representative of the paper's Xeon platforms. *)
 
-type hit = { pa : int; prot : Sj_paging.Prot.t; size : Sj_paging.Page_table.page_size }
+type hit = {
+  pa : int;
+  prot : Sj_paging.Prot.t;
+  key : int;
+      (** the PTE's protection-key tag — callers evaluate it against
+          the current per-core register; rights are never cached *)
+  size : Sj_paging.Page_table.page_size;
+}
 
 type stats = {
   mutable hits : int;
@@ -44,6 +51,15 @@ val stats : t -> stats
 val reset_stats : t -> unit
 val max_tag : t -> int
 
+val missed : int
+(** {!translate_probe} sentinel: TLB miss (-1). *)
+
+val prot_failed : int
+(** {!translate_probe} sentinel: paging protections deny (-2). *)
+
+val key_failed : int
+(** {!translate_probe} sentinel: protection-key register denies (-3). *)
+
 val lookup : t -> tag:int -> va:int -> hit option
 (** Probe under ASID [tag]. Global entries hit regardless of tag. *)
 
@@ -57,14 +73,20 @@ val lookup_fast : t -> tag:int -> va:int -> hit option
     another address space's traffic) leave the record warm. A hit is
     provably the entry the full scan would have found. *)
 
-val translate_probe : t -> tag:int -> va:int -> write:bool -> int
+val translate_probe : t -> tag:int -> pkru:Sj_paging.Pkey.reg -> va:int -> write:bool -> int
 (** Allocation-free variant of {!lookup_fast} for the machine's hot
     path: returns the translated physical address with the protection
-    check folded in, [-1] on a TLB miss, or [-2] when the resident
-    entry forbids the access ([write] selects which permission is
-    required). Stats and LRU effects are identical to {!lookup}. *)
+    and protection-key checks folded in, [-1] on a TLB miss, [-2] when
+    the resident entry's paging protections forbid the access ([write]
+    selects which permission is required), or [-3] when the paging
+    protections admit it but [pkru] denies the entry's key. The key
+    check always consults the *current* [pkru] — entries cache only the
+    key tag — so a warm hit after a pkey switch faults or passes
+    exactly like a fresh walk, with no flush. Stats and LRU effects are
+    identical to {!lookup}. *)
 
 val insert :
+  ?key:int ->
   t -> tag:int -> va:int -> pa:int -> prot:Sj_paging.Prot.t ->
   size:Sj_paging.Page_table.page_size -> global:bool -> unit
 (** Fill after a walk. Refreshes in place only an entry with the exact

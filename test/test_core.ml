@@ -171,6 +171,32 @@ let test_seg_clone_copies_contents () =
   Api.vas_switch ctx vh;
   Alcotest.(check int64) "original untouched" 99L (Api.load64 ctx ~va:(Segment.base seg + 512))
 
+(* seg_clone copies into a plain 4 KiB-backed segment, so sources whose
+   backing it cannot reproduce are refused with typed Invalid faults
+   instead of silently cloning wrong: pre-built (cached) page tables,
+   COW sources (clone would copy while the snapshot still shares), and
+   2 MiB-backed segments. *)
+let test_seg_clone_refusals () =
+  let _, _, ctx = setup () in
+  let check_refused what r =
+    match r with
+    | Ok _ -> Alcotest.failf "%s: clone succeeded but must be refused" what
+    | Error (f : Sj_abi.Error.t) ->
+      Alcotest.(check bool) (what ^ ": Invalid") true (f.code = Sj_abi.Error.Invalid)
+  in
+  let cached =
+    Api.seg_alloc_anywhere ctx ~name:"cached" ~size:(Size.mib 1) ~mode:0o600
+  in
+  Api.seg_ctl ctx (`Cache_translations cached);
+  check_refused "cached source" (Api.Checked.seg_clone ctx cached ~name:"cached-copy");
+  let cow = Api.seg_alloc_anywhere ctx ~name:"cow" ~size:(Size.mib 1) ~mode:0o600 in
+  ignore (Api.seg_snapshot ctx cow ~name:"cow-snap");
+  check_refused "COW source" (Api.Checked.seg_clone ctx cow ~name:"cow-copy");
+  let huge =
+    Api.seg_alloc_anywhere ~huge:true ctx ~name:"huge" ~size:(Size.mib 2) ~mode:0o600
+  in
+  check_refused "huge source" (Api.Checked.seg_clone ctx huge ~name:"huge-copy")
+
 let test_seg_attach_propagates () =
   (* Attaching a segment VAS-globally becomes visible to existing
      attachments at their next switch (DragonFly propagation). *)
@@ -518,6 +544,8 @@ let suite =
     Alcotest.test_case "ACL enforcement" `Quick test_acl_enforcement;
     Alcotest.test_case "vas_clone" `Quick test_vas_clone;
     Alcotest.test_case "seg_clone copies contents" `Quick test_seg_clone_copies_contents;
+    Alcotest.test_case "seg_clone refusals (cached/COW/huge)" `Quick
+      test_seg_clone_refusals;
     Alcotest.test_case "seg_attach propagates to attachments" `Quick test_seg_attach_propagates;
     Alcotest.test_case "process-local scratch segments" `Quick test_local_scratch_segment;
     Alcotest.test_case "address conflicts detected" `Quick test_address_conflict_detected;

@@ -32,7 +32,7 @@ let check_code name expect = function
   | Ok _ -> Alcotest.failf "%s: expected %s but the call succeeded" name (Error.code_name expect)
   | Error (f : Error.t) -> Alcotest.check code name expect f.code
 
-(* One world per backend that visits all nine codes. *)
+(* One world per backend that visits all ten codes. *)
 let exercise_all_codes backend () =
   let m, sys, ctx = boot backend in
   let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
@@ -59,6 +59,19 @@ let exercise_all_codes backend () =
   let a = Api.malloc ctx (Size.kib 16) in
   check_code "Capacity" Error.Capacity (C.malloc ctx (Size.mib 2));
   check_code "Invalid" Error.Invalid (C.free ctx (a + 8));
+  (* The tenth code: tag the segment with one key, then cross into a
+     compartment that does not hold it — the data access is denied by
+     the key register, identically under both backends. *)
+  let key = Api.pkey_alloc ctx vas in
+  Api.pkey_assign ctx vas seg ~key;
+  let stranger = Api.pkey_alloc ctx vas in
+  Api.pkey_switch ctx ~key:stranger;
+  check_code "Key_violation" Error.Key_violation
+    (try
+       ignore (Api.load64 ctx ~va:(Segment.base seg));
+       Ok ()
+     with Error.Fault f -> Error f);
+  Api.pkey_switch ctx ~key:0;
   Api.switch_home ctx;
   let dead = Api.vas_create ctx ~name:"dead" ~mode:0o666 in
   Api.vas_ctl ctx (`Destroy dead);
@@ -105,6 +118,14 @@ let test_numbering_roundtrip () =
   Alcotest.(check bool) "out of range" true (Sys.of_number Sys.nr_count = None);
   Alcotest.(check bool) "negative" true (Sys.of_number (-1) = None)
 
+(* The tenth code's ABI numbers are frozen: EKEY is errno 10, so sjctl
+   maps a key violation to exit 20. *)
+let test_key_violation_numbering () =
+  Alcotest.(check int) "ten codes" 10 (List.length Error.all_codes);
+  Alcotest.(check int) "EKEY errno" 10 (Error.errno Error.Key_violation);
+  Alcotest.(check int) "EKEY exit code" 20 (Error.exit_code Error.Key_violation);
+  Alcotest.(check string) "EKEY name" "EKEY" (Error.code_name Error.Key_violation)
+
 let test_exit_codes_distinct () =
   let exits = List.map Error.exit_code Error.all_codes in
   Alcotest.(check int) "all distinct" (List.length Error.all_codes)
@@ -125,5 +146,7 @@ let suite =
       test_counters_track_calls_and_cycles;
     Alcotest.test_case "failed calls still counted" `Quick test_failed_calls_still_counted;
     Alcotest.test_case "ABI numbering roundtrip" `Quick test_numbering_roundtrip;
+    Alcotest.test_case "Key_violation numbering frozen" `Quick
+      test_key_violation_numbering;
     Alcotest.test_case "exit codes distinct" `Quick test_exit_codes_distinct;
   ]

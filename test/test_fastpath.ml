@@ -13,6 +13,7 @@ module Core = Machine.Core
 module Pm = Sj_mem.Phys_mem
 module Page_table = Sj_paging.Page_table
 module Prot = Sj_paging.Prot
+module Pkey = Sj_paging.Pkey
 module Tlb = Sj_tlb.Tlb
 
 let tiny : Platform.t =
@@ -49,6 +50,8 @@ type op =
   | Inval_page of int * int (* slot, page *)
   | Flush_nonglobal
   | Flush_tag of int
+  | Set_key of int * int (* slot, protection key (with shootdown) *)
+  | Pkru of int (* 0 = unrestricted; k = compartment holding only k *)
 
 let op_to_string = function
   | Map (s, w, g) -> Printf.sprintf "Map(%d,w=%b,g=%b)" s w g
@@ -68,6 +71,8 @@ let op_to_string = function
   | Inval_page (s, p) -> Printf.sprintf "Inval_page(%d,%d)" s p
   | Flush_nonglobal -> "Flush_nonglobal"
   | Flush_tag t -> Printf.sprintf "Flush_tag(%d)" t
+  | Set_key (s, k) -> Printf.sprintf "Set_key(%d,%d)" s k
+  | Pkru k -> Printf.sprintf "Pkru(%d)" k
 
 type outcome =
   | R_unit
@@ -187,7 +192,36 @@ let exec st op =
     | Flush_tag tag ->
       Tlb.flush_tag (Core.tlb st.core) ~tag;
       R_unit
+    | Set_key (s, k) ->
+      if not st.mapped.(s) then R_unit
+      else begin
+        (* Retag with shootdown, as pkey_assign does: the *tag* is
+           cached with translations, so changing it must invalidate. *)
+        for i = 0 to slot_pages - 1 do
+          let va = slot_base s + (i * Addr.page_size) in
+          Page_table.set_key st.pt ~va ~size:Page_table.P4K ~key:k;
+          Tlb.invalidate_page (Core.tlb st.core) ~va
+        done;
+        R_unit
+      end
+    | Pkru k ->
+      (* Key-register writes never flush anything: rights changes must
+         take effect on cached translations via the hit-time check. *)
+      let reg =
+        if k = 0 then Pkey.default
+        else
+          List.fold_left
+            (fun reg j -> if j = k then reg else Pkey.set reg ~key:j Pkey.Denied)
+            Pkey.default
+            (List.init Pkey.max_key (fun i -> i + 1))
+      in
+      Core.set_pkru st.core reg;
+      R_unit
   with
+  | Machine.Key_fault { va; access } ->
+    R_fault
+      (Printf.sprintf "key:%x:%s" va
+         (match access with Machine.Read -> "r" | Machine.Write -> "w"))
   | Machine.Page_fault { va; access } ->
     R_fault
       (Printf.sprintf "page:%x:%s" va
@@ -265,6 +299,8 @@ let gen_op =
       (1, map2 (fun s p -> Inval_page (s, p)) slot (int_bound (slot_pages - 1)));
       (1, return Flush_nonglobal);
       (1, map (fun t -> Flush_tag t) (int_bound 3));
+      (2, map2 (fun s k -> Set_key (s, k)) slot (int_bound 3));
+      (2, map (fun k -> Pkru k) (int_bound 3));
     ]
 
 let arb_program =
@@ -328,6 +364,29 @@ let test_huge_page_equivalent () =
          Huge_load 77;
        ])
 
+(* The compartment corner: warm the TLB (and the fast path's MRU cache)
+   inside a compartment, then narrow the key register. The next access
+   hits a *cached* translation whose key tag now loses the hit-time
+   rights check — it must fault exactly like the slow path's walk, with
+   zero flushes anywhere (Pkru never invalidates; run_both already
+   fails on any TLB-stat divergence). *)
+let test_pkey_switch_cached_hit_equivalent () =
+  Alcotest.(check bool) "cached hit after pkey_switch faults identically" true
+    (run_both
+       [
+         Map (2, true, false);
+         Set_key (2, 1);
+         Store8 (2, 10, 42); (* walk + insert: entry carries key tag 1 *)
+         Load8 (2, 10); (* warm hit under the unrestricted register *)
+         Pkru 2; (* narrow to key 2 — no flush, entry stays cached *)
+         Load8 (2, 10); (* cached hit must key-fault on both paths *)
+         Store8 (2, 10, 43); (* and the write denial too *)
+         Pkru 1; (* compartment that owns the tag: access returns *)
+         Load8 (2, 10);
+         Pkru 0;
+         Store8 (2, 10, 44);
+       ])
+
 let test_unmapped_faults_equivalent () =
   Alcotest.(check bool) "page faults identical" true
     (run_both
@@ -340,5 +399,7 @@ let suite =
     Alcotest.test_case "overlapping memcpy" `Quick test_overlapping_memcpy;
     Alcotest.test_case "protection changes" `Quick test_protection_change_equivalent;
     Alcotest.test_case "2 MiB pages" `Quick test_huge_page_equivalent;
+    Alcotest.test_case "pkey switch on cached hits" `Quick
+      test_pkey_switch_cached_hit_equivalent;
     Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults_equivalent;
   ]

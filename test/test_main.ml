@@ -12,6 +12,7 @@ let () =
       ("alloc", Test_alloc.suite);
       ("core", Test_core.suite);
       ("errors", Test_errors.suite);
+      ("pkey", Test_pkey.suite);
       ("cow", Test_cow.suite);
       ("threads", Test_threads.suite);
       ("api-fuzz", Test_api_fuzz.suite);

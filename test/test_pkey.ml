@@ -1,0 +1,253 @@
+(* Protection-key compartments: the third isolation mechanism.
+
+   Key allocation/assignment/switching semantics, the zero-flush
+   property of pkey_switch (rights are re-evaluated at every cached
+   hit, so changing them never invalidates), register reset on
+   address-space switches, crash-teardown key reclaim, the sandboxed
+   RedisJMP plugin workload, and the compartment bench's determinism. *)
+open Sj_util
+open Sj_core
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Platform = Sj_machine.Platform
+module Process = Sj_kernel.Process
+module Prot = Sj_paging.Prot
+module Pkey = Sj_paging.Pkey
+module Error = Sj_abi.Error
+module Recorder = Sj_obs.Recorder
+module Metrics = Sj_obs.Metrics
+module C = Api.Checked
+
+let tiny : Platform.t =
+  { Platform.m2 with name = "tiny"; mem_size = Size.mib 256; sockets = 2; cores_per_socket = 2 }
+
+let setup ?backend () =
+  let m = Machine.create tiny in
+  let rec_ = Recorder.create () in
+  Recorder.attach (Machine.sim_ctx m) rec_;
+  let sys = Api.boot ?backend m in
+  let p = Process.create ~name:"p0" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  (m, sys, ctx, rec_)
+
+(* A VAS with one rw segment, attached and switched into. *)
+let compartment_world ctx =
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o666 in
+  let seg = Api.seg_alloc_anywhere ctx ~name:"s" ~size:(Size.mib 1) ~mode:0o666 in
+  Api.seg_attach ctx vas seg ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  (vas, seg, vh)
+
+let code_of = function
+  | Ok _ -> None
+  | Error (f : Error.t) -> Some f.code
+
+let code_testable = Alcotest.testable Error.pp_code Error.equal_code
+
+let test_alloc_keys_distinct_until_full () =
+  let _, _, ctx, _ = setup () in
+  let vas = Api.vas_create ctx ~name:"v" ~mode:0o600 in
+  let keys = List.init Pkey.max_key (fun _ -> Api.pkey_alloc ctx vas) in
+  Alcotest.(check (list int)) "keys 1..15 in order"
+    (List.init Pkey.max_key (fun i -> i + 1))
+    keys;
+  Alcotest.(check (option code_testable)) "16th allocation: Capacity"
+    (Some Error.Capacity)
+    (code_of (C.pkey_alloc ctx vas))
+
+let test_assign_validation () =
+  let _, _, ctx, _ = setup () in
+  let vas, seg, _ = compartment_world ctx in
+  Api.switch_home ctx;
+  let check name expect r =
+    Alcotest.(check (option code_testable)) name (Some expect) (code_of r)
+  in
+  check "key out of range" Error.Invalid (C.pkey_assign ctx vas seg ~key:16);
+  check "unallocated key" Error.Unknown_name (C.pkey_assign ctx vas seg ~key:3);
+  let stray = Api.seg_alloc_anywhere ctx ~name:"stray" ~size:(Size.mib 1) ~mode:0o600 in
+  let key = Api.pkey_alloc ctx vas in
+  check "segment not attached" Error.Unknown_name (C.pkey_assign ctx vas stray ~key);
+  (* Cached translations pin the PTEs shared across attachments; the
+     key field lives in those PTEs, so retagging is refused. *)
+  let cached = Api.seg_alloc_anywhere ctx ~name:"cached" ~size:(Size.mib 1) ~mode:0o600 in
+  Api.seg_ctl ctx (`Cache_translations cached);
+  Api.seg_attach ctx vas cached ~prot:Prot.rw;
+  check "cached segment" Error.Invalid (C.pkey_assign ctx vas cached ~key);
+  (* And the good path sticks: assign, then clear with key 0. *)
+  Api.pkey_assign ctx vas seg ~key;
+  Alcotest.(check int) "tagged" key (Vas.key_of vas ~sid:(Segment.sid seg));
+  Api.pkey_assign ctx vas seg ~key:0;
+  Alcotest.(check int) "cleared" 0 (Vas.key_of vas ~sid:(Segment.sid seg))
+
+let test_switch_denies_and_allows () =
+  let _, _, ctx, _ = setup () in
+  let vas, seg, _ = compartment_world ctx in
+  let base = Segment.base seg in
+  Api.store64 ctx ~va:base 7L;
+  let mine = Api.pkey_alloc ctx vas in
+  let other = Api.pkey_alloc ctx vas in
+  Api.pkey_assign ctx vas seg ~key:mine;
+  Api.pkey_switch ctx ~key:mine;
+  Alcotest.(check int64) "own compartment reads" 7L (Api.load64 ctx ~va:base);
+  Api.store64 ctx ~va:base 8L;
+  Api.pkey_switch ctx ~key:other;
+  Alcotest.(check (option code_testable)) "foreign read denied"
+    (Some Error.Key_violation)
+    (code_of (try Ok (Api.load64 ctx ~va:base) with Error.Fault f -> Error f));
+  Alcotest.(check (option code_testable)) "foreign write denied"
+    (Some Error.Key_violation)
+    (code_of (try Ok (Api.store64 ctx ~va:base 9L) with Error.Fault f -> Error f));
+  Api.pkey_switch ctx ~key:0;
+  Alcotest.(check int64) "unrestricted again (denial changed nothing)" 8L
+    (Api.load64 ctx ~va:base)
+
+let test_switch_requires_space_and_key () =
+  let _, _, ctx, _ = setup () in
+  let vas, _, _ = compartment_world ctx in
+  let key = Api.pkey_alloc ctx vas in
+  Api.switch_home ctx;
+  Alcotest.(check (option code_testable)) "no current VAS" (Some Error.Invalid)
+    (code_of (C.pkey_switch ctx ~key));
+  Alcotest.(check (option code_testable)) "key 0 is always fine" None
+    (code_of (C.pkey_switch ctx ~key:0))
+
+let test_vas_switch_resets_register () =
+  (* Key meanings are per-VAS, so crossing spaces resets the register:
+     coming back, the thread is unrestricted again. *)
+  let _, _, ctx, _ = setup () in
+  let vas, seg, vh = compartment_world ctx in
+  let base = Segment.base seg in
+  Api.store64 ctx ~va:base 7L;
+  let mine = Api.pkey_alloc ctx vas in
+  let other = Api.pkey_alloc ctx vas in
+  Api.pkey_assign ctx vas seg ~key:mine;
+  Api.pkey_switch ctx ~key:other;
+  Api.switch_home ctx;
+  Api.vas_switch ctx vh;
+  Alcotest.(check int64) "register reset on re-entry" 7L (Api.load64 ctx ~va:base)
+
+let test_pkey_switch_never_flushes () =
+  let _, _, ctx, rec_ = setup () in
+  let vas, seg, _ = compartment_world ctx in
+  let base = Segment.base seg in
+  let key = Api.pkey_alloc ctx vas in
+  Api.pkey_assign ctx vas seg ~key;
+  (* Warm the TLB inside the compartment, then cross repeatedly. *)
+  Api.pkey_switch ctx ~key;
+  Api.store64 ctx ~va:base 1L;
+  let m = Recorder.metrics rec_ in
+  let flushes0 = Metrics.tlb_flushes m and inval0 = Metrics.page_invalidations m in
+  for _ = 1 to 50 do
+    Api.pkey_switch ctx ~key:0;
+    Api.pkey_switch ctx ~key
+  done;
+  Alcotest.(check int) "zero flushes across 100 crossings" 0
+    (Metrics.tlb_flushes m - flushes0);
+  Alcotest.(check int) "zero page invalidations" 0
+    (Metrics.page_invalidations m - inval0);
+  Alcotest.(check int64) "warm entry still serves" 1L (Api.load64 ctx ~va:base)
+
+let test_crash_reclaims_keys () =
+  let m, sys, ctx, _ = setup () in
+  let vas, seg, _ = compartment_world ctx in
+  Api.switch_home ctx;
+  (* A second process allocates a key, tags the segment, then dies. *)
+  let plug = Process.create ~name:"plug" m in
+  let ctx_p = Api.context sys plug (Machine.core m 1) in
+  let key = Api.pkey_alloc ctx_p vas in
+  Api.pkey_assign ctx_p vas seg ~key;
+  Alcotest.(check (option int)) "owned by the plugin" (Some (Process.pid plug))
+    (Vas.key_owner vas ~key);
+  Api.crash_process ctx_p;
+  Alcotest.(check (option int)) "key freed by crash teardown" None
+    (Vas.key_owner vas ~key);
+  Alcotest.(check int) "segment untagged" 0 (Vas.key_of vas ~sid:(Segment.sid seg));
+  (* The freed key is allocatable again, and the surviving process can
+     read the now-untagged segment from any compartment register. *)
+  Alcotest.(check int) "key recycled" key (Api.pkey_alloc ctx vas)
+
+let test_sandboxed_plugin () =
+  let m, sys, ctx, _ = setup () in
+  let store = Sj_kvstore.Redisjmp.init ctx ~name:"redis" ~size:(Size.mib 8) in
+  let host = Sj_kvstore.Redisjmp.connect store ctx () in
+  Sj_kvstore.Redisjmp.set host "k" (Bytes.of_string "v1");
+  let sandbox = Sj_kvstore.Kv_sandbox.install ctx store in
+  let plug_proc = Process.create ~name:"plug" m in
+  let ctx_p = Api.context sys plug_proc (Machine.core m 1) in
+  let plugin = Sj_kvstore.Kv_sandbox.connect sandbox ctx_p () in
+  (* Benign handler: compute + scratch reads/writes inside its own
+     compartment. *)
+  let open Sj_kvstore.Kv_sandbox in
+  (match run plugin ~program:[ Compute 500; Write (0, 42L); Read 0 ] with
+  | Done v -> Alcotest.(check int64) "benign handler result" 42L v
+  | Violation _ | Killed _ -> Alcotest.fail "benign handler must complete");
+  (* Hostile handler: pokes the store's data segment. The key register
+     denies it, the host survives, the store is intact. *)
+  (match run plugin ~program:[ Write (8, 1L); Poke_store (0, 0xDEADL) ] with
+  | Violation f ->
+    Alcotest.(check bool) "typed key violation" true (f.code = Error.Key_violation)
+  | Done _ -> Alcotest.fail "hostile poke must be denied"
+  | Killed _ -> Alcotest.fail "no kill was injected");
+  Alcotest.(check (option string)) "store intact after the attack" (Some "v1")
+    (Option.map Bytes.to_string (Sj_kvstore.Redisjmp.get host "k"));
+  (* And the host keeps full access: sandbox install did not lock the
+     owner out. *)
+  Sj_kvstore.Redisjmp.set host "k" (Bytes.of_string "v2");
+  Alcotest.(check (option string)) "host still writes" (Some "v2")
+    (Option.map Bytes.to_string (Sj_kvstore.Redisjmp.get host "k"))
+
+let test_compart_bench_deterministic () =
+  let cfg =
+    { Sj_compart.Compart.default with compartments = 3; crossings = 60; loads_per_crossing = 4 }
+  in
+  let a = Sj_compart.Compart.run cfg in
+  let b = Sj_compart.Compart.run cfg in
+  Alcotest.(check bool) "rerun fingerprints equal" true
+    (a.Sj_compart.Compart.fingerprint = b.Sj_compart.Compart.fingerprint);
+  Alcotest.(check int) "zero flushes in the pkey loop" 0 a.Sj_compart.Compart.flushes;
+  Alcotest.(check int) "both probes denied" 2 a.Sj_compart.Compart.violations;
+  let vas = Sj_compart.Compart.run { cfg with mechanism = Sj_compart.Compart.Vas_reload } in
+  let cap = Sj_compart.Compart.run { cfg with mechanism = Sj_compart.Compart.Cap_invoke } in
+  Alcotest.(check bool) "pkey crossing strictly cheapest" true
+    (a.Sj_compart.Compart.per_crossing < vas.Sj_compart.Compart.per_crossing
+    && a.Sj_compart.Compart.per_crossing < cap.Sj_compart.Compart.per_crossing)
+
+let both_backends name f =
+  [
+    Alcotest.test_case (name ^ " (DragonFly)") `Quick (fun () ->
+        f (setup ~backend:Sj_abi.Sys.Dragonfly ()));
+    Alcotest.test_case (name ^ " (Barrelfish)") `Quick (fun () ->
+        f (setup ~backend:Sj_abi.Sys.Barrelfish ()));
+  ]
+
+(* The violation path must be identical under both OS personalities —
+   the key check sits below the backend split. *)
+let backend_violation (_, _, ctx, _) =
+  let vas, seg, _ = compartment_world ctx in
+  let key = Api.pkey_alloc ctx vas in
+  Api.pkey_assign ctx vas seg ~key;
+  let stranger = Api.pkey_alloc ctx vas in
+  Api.pkey_switch ctx ~key:stranger;
+  Alcotest.(check (option code_testable)) "denied" (Some Error.Key_violation)
+    (code_of
+       (try Ok (Api.load64 ctx ~va:(Segment.base seg)) with Error.Fault f -> Error f))
+
+let suite =
+  [
+    Alcotest.test_case "alloc: distinct keys until Capacity" `Quick
+      test_alloc_keys_distinct_until_full;
+    Alcotest.test_case "assign: validation and clearing" `Quick test_assign_validation;
+    Alcotest.test_case "switch: denies foreign, allows own" `Quick
+      test_switch_denies_and_allows;
+    Alcotest.test_case "switch: needs a space and an allocated key" `Quick
+      test_switch_requires_space_and_key;
+    Alcotest.test_case "vas_switch resets the register" `Quick
+      test_vas_switch_resets_register;
+    Alcotest.test_case "pkey_switch never flushes" `Quick test_pkey_switch_never_flushes;
+    Alcotest.test_case "crash teardown reclaims keys" `Quick test_crash_reclaims_keys;
+    Alcotest.test_case "sandboxed RedisJMP plugin" `Quick test_sandboxed_plugin;
+    Alcotest.test_case "compartment bench deterministic" `Quick
+      test_compart_bench_deterministic;
+  ]
+  @ both_backends "violation" backend_violation
