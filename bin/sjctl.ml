@@ -757,13 +757,94 @@ let compartments_cmd =
           audits)")
     Term.(const run $ quick $ out $ jobs)
 
+let explore_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI sweep size (~150 configs, seconds)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_explore.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report (schema spacejmp-bench/6-explore) to \
+             $(docv)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sj_util.Par.default_size ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan sweep configs across $(docv) domains (wall clock only)")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "explore: --jobs must be >= 1";
+      exit 2
+    end;
+    let module Driver = Sj_explore.Driver in
+    let module Ereport = Sj_explore.Explore_report in
+    let { Driver.report; divergences; failed_claims } =
+      Driver.run ~quick ~jobs
+        ~progress:(fun s -> Format.printf "-- %s@." s)
+        ()
+    in
+    Format.printf "sweep: %d configs (%d distinct, %d fuzzed); backends: %s; kinds: %s@."
+      report.Ereport.configs_run report.Ereport.distinct_configs
+      report.Ereport.fuzz_configs
+      (String.concat "," report.Ereport.backends)
+      (String.concat "," report.Ereport.plan_kinds);
+    Format.printf "invariants: %s@."
+      (String.concat ", " (List.map fst report.Ereport.invariants));
+    List.iter
+      (fun (d : Ereport.detail) ->
+        Format.printf "violation [%s] %s seed=%d plan=[%s]%s@.  %s@."
+          d.Ereport.invariant d.Ereport.backend d.Ereport.seed d.Ereport.plan
+          (if d.Ereport.reproduced then "" else " (NOT REPRODUCED)")
+          d.Ereport.message)
+      report.Ereport.details;
+    Format.printf "violations: %d@." report.Ereport.violations;
+    (* Same refusal discipline as the other benches, and an unreproduced
+       violation counts as a divergence: every violation must replay
+       byte-identically from its (backend, seed, plan) key. *)
+    (match failed_claims with
+    | [] -> ()
+    | cs ->
+      List.iter (Format.eprintf "explore: claim failed: %s@.") cs;
+      exit 2);
+    (match divergences with
+    | [] -> ()
+    | ds ->
+      Format.eprintf "explore: divergence or unreproduced violation (%s)@."
+        (String.concat ", " ds);
+      exit 2);
+    let oc = open_out out in
+    output_string oc (Ereport.to_json report);
+    close_out oc;
+    (match Ereport.check_file out with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (Format.eprintf "explore: invalid report: %s@.") es;
+      exit 2);
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Run the invariant-exploration harness (fault plan x schedule x \
+          backend sweep; global invariants after every run; violations \
+          replayed from their (backend, seed, plan) keys)")
+    Term.(const run $ quick $ out $ jobs)
+
 let () =
   let info = Cmd.info "sjctl" ~doc:"SpaceJMP simulator control tool" in
   let group =
     Cmd.group info
       [
         platforms_cmd; gups_cmd; demo_cmd; redis_cmd; faults_cmd; check_cmd; persist_cmd;
-        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; compartments_cmd; trace_cmd; stats_cmd;
+        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; compartments_cmd; explore_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

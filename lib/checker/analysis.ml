@@ -86,7 +86,7 @@ let transfer info (f : Ir.func) site (i : Ir.instr) vin =
        (fixpoint will refine upward). *)
     let callee_out = get info.exit_out callee in
     if Vset.is_empty callee_out then vin else callee_out
-  | Ir.Check_deref _ | Ir.Check_store _ -> vin
+  | Ir.Check_deref _ | Ir.Check_store _ | Ir.Assert_valid _ -> vin
 
 let analyze_func info (f : Ir.func) =
   let fname = f.Ir.fname in
@@ -162,6 +162,7 @@ type reason =
   | Deref_ambiguous_current
   | Deref_wrong_vas
   | Store_pointer_escape
+  | Assert_failed of string
 
 type violation = { site : site; instr : Ir.instr; reasons : reason list }
 
@@ -208,6 +209,22 @@ let violations info =
                 | Ir.Store (p, q) ->
                   deref_reasons info f.Ir.fname site p
                   @ store_escape_reasons info f.Ir.fname p q
+                | Ir.Assert_valid (r, v) ->
+                  (* The modal claim holds statically iff every VAS the
+                     pointer may be valid in is the asserted one (or the
+                     common region, valid everywhere). An empty or
+                     unknown validity set cannot be proven. *)
+                  let vp = vas_valid info ~func:f.Ir.fname r in
+                  let ok =
+                    (not (Vset.is_empty vp))
+                    && Vset.for_all
+                         (function
+                           | Velt.V v' -> v' = v
+                           | Velt.Common -> true
+                           | Velt.Unknown -> false)
+                         vp
+                  in
+                  if ok then [] else [ Assert_failed v ]
                 | _ -> []
               in
               if reasons <> [] then out := { site; instr; reasons } :: !out)
@@ -234,6 +251,7 @@ let pp_reason fmt = function
   | Deref_ambiguous_current -> Format.pp_print_string fmt "ambiguous current VAS"
   | Deref_wrong_vas -> Format.pp_print_string fmt "target may differ from current VAS"
   | Store_pointer_escape -> Format.pp_print_string fmt "pointer may escape its VAS"
+  | Assert_failed v -> Format.fprintf fmt "cannot prove pointer valid in %s" v
 
 let pp_violation fmt v =
   Format.fprintf fmt "%s/%s[%d]: %a  (%a)" v.site.in_func v.site.in_block v.site.index

@@ -41,11 +41,16 @@ type reason =
   | Deref_ambiguous_current  (** |VAS_in| > 1 (cond. 2) *)
   | Deref_wrong_vas  (** valid(p) <> VAS_in (cond. 3) *)
   | Store_pointer_escape  (** storing a pointer where neither store condition holds *)
+  | Assert_failed of string
+      (** an [assert_valid r, v] whose register cannot be proven valid in [v] *)
 
 type violation = { site : site; instr : Ir.instr; reasons : reason list }
 
 val violations : info -> violation list
-(** Sites needing runtime checks, in program order. *)
+(** Sites needing runtime checks, in program order. Includes static
+    failures of [assert_valid] modal assertions ([Assert_failed]). *)
+
+val pp_reason : Format.formatter -> reason -> unit
 
 val stats : info -> int * int
 (** [(memory_ops, flagged)] — how many loads/stores exist vs how many

@@ -130,7 +130,20 @@ let run_function ?(fuel = 100_000) prog ~name ~args =
               if not (deref_ok st ptr.space) then
                 raise (Trap (site idx, "check caught store target"));
               if not (store_value_ok ptr.space (get q)) then
-                raise (Trap (site idx, "check caught pointer escape"))))
+                raise (Trap (site idx, "check caught pointer escape")))
+          | Ir.Assert_valid (p, v) -> (
+            match get p with
+            | Int _ ->
+              raise (Trap (site idx, Printf.sprintf "assert_valid: not a pointer (asserted %s)" v))
+            | Ptr ptr -> (
+              match ptr.space with
+              | Common_region -> () (* the common region is mapped in every VAS *)
+              | In_vas v' ->
+                if v' <> v then
+                  raise
+                    (Trap
+                       ( site idx,
+                         Printf.sprintf "assert_valid: pointer valid in %s, asserted %s" v' v )))))
         b.Ir.instrs;
       if st.fuel <= 0 then raise Fuel;
       st.fuel <- st.fuel - 1;

@@ -15,6 +15,7 @@ type instr =
   | Call of reg option * string * reg list
   | Check_deref of reg
   | Check_store of reg * reg
+  | Assert_valid of reg * string
 
 type terminator = Jmp of label | Br of reg * label * label | Ret of reg option
 type block = { label : label; instrs : instr list; term : terminator }
@@ -31,7 +32,7 @@ let block f label =
   with Not_found -> Sj_abi.Error.failf Invalid ~op:"checker" "Ir.block: no block %s in %s" label f.fname
 
 let defs_of_instr = function
-  | Switch _ | Store _ | Check_deref _ | Check_store _ -> []
+  | Switch _ | Store _ | Check_deref _ | Check_store _ | Assert_valid _ -> []
   | Vcast (x, _, _)
   | Alloca x
   | Global x
@@ -46,7 +47,7 @@ let defs_of_instr = function
 
 let uses_of_instr = function
   | Switch _ | Alloca _ | Global _ | Malloc _ | Const _ -> []
-  | Vcast (_, y, _) | Copy (_, y) | Load (_, y) | Check_deref y -> [ y ]
+  | Vcast (_, y, _) | Copy (_, y) | Load (_, y) | Check_deref y | Assert_valid (y, _) -> [ y ]
   | Phi (_, ins) -> List.map snd ins
   | Store (x, y) | Check_store (x, y) -> [ x; y ]
   | Call (_, _, args) -> args
@@ -183,6 +184,7 @@ let pp_instr fmt = function
   | Call (None, f, args) -> Format.fprintf fmt "%s(%s)" f (String.concat ", " args)
   | Check_deref r -> Format.fprintf fmt "check_deref %s" r
   | Check_store (x, y) -> Format.fprintf fmt "check_store %s, %s" x y
+  | Assert_valid (r, v) -> Format.fprintf fmt "assert_valid %s, %s" r v
 
 let pp_term fmt = function
   | Jmp l -> Format.fprintf fmt "jmp %s" l

@@ -26,6 +26,14 @@ type instr =
   | Call of reg option * string * reg list  (** x = f(args) *)
   | Check_deref of reg  (** inserted: trap if reg is not valid in the current VAS *)
   | Check_store of reg * reg  (** inserted: trap if storing y to x violates the rules *)
+  | Assert_valid of reg * string
+      (** [assert_valid r, v] — the programmer's modal claim that the
+          pointer in [r] is valid-in-VAS [v] (PAPERS.md "Modal
+          Abstractions"). Checked twice with one report format
+          ({!Modal}): statically by {!Analysis.violations} against
+          [vas_valid], dynamically by the interpreter (a mismatch
+          traps). Pointers into the common region satisfy every
+          assertion — the common region is mapped in all spaces. *)
 
 type terminator =
   | Jmp of label

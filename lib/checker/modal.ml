@@ -1,0 +1,37 @@
+(* One report format for the two legs of the modal checker: static
+   violations from the dataflow analysis and runtime violations from the
+   interpreter both render as "modal-<leg> <site>: <what>". *)
+
+type source = Static | Runtime
+type violation = { source : source; site : string; what : string }
+
+let source_name = function Static -> "static" | Runtime -> "runtime"
+let to_string v = Printf.sprintf "modal-%s %s: %s" (source_name v.source) v.site v.what
+
+let site_string (s : Analysis.site) =
+  Printf.sprintf "%s/%s[%d]" s.Analysis.in_func s.Analysis.in_block s.Analysis.index
+
+let of_analysis (v : Analysis.violation) =
+  let what =
+    Format.asprintf "%a  (%a)" Ir.pp_instr v.Analysis.instr
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         Analysis.pp_reason)
+      v.Analysis.reasons
+  in
+  { source = Static; site = site_string v.Analysis.site; what }
+
+let of_outcome (o : Interp.outcome) =
+  match o with
+  | Interp.Finished _ -> None
+  | Interp.Trapped { site; what } -> Some { source = Runtime; site; what }
+  | Interp.Faulted { site; what } -> Some { source = Runtime; site; what = "fault: " ^ what }
+  | Interp.Type_fault { site; what } ->
+    Some { source = Runtime; site; what = "type fault: " ^ what }
+  | Interp.Out_of_fuel -> Some { source = Runtime; site = "-"; what = "out of fuel" }
+
+let check ?fuel prog =
+  let info = Analysis.analyze prog in
+  let static = List.map of_analysis (Analysis.violations info) in
+  let runtime = Option.to_list (of_outcome (Interp.run ?fuel prog)) in
+  static @ runtime

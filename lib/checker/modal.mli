@@ -1,0 +1,22 @@
+(** Unified reporting for modal ("valid-in-VAS v") assertions.
+
+    An [assert_valid r, v] in checker IR is verified twice: statically
+    by {!Analysis.violations} and dynamically by {!Interp.run}. Both
+    legs report through this one violation record so the explorer (and
+    humans) see a single format regardless of which leg caught the
+    problem. *)
+
+type source = Static | Runtime
+type violation = { source : source; site : string; what : string }
+
+val to_string : violation -> string
+(** ["modal-static f/b[i]: ..."] / ["modal-runtime f/b[i]: ..."]. *)
+
+val of_analysis : Analysis.violation -> violation
+val of_outcome : Interp.outcome -> violation option
+(** [None] iff the program [Finished]. *)
+
+val check : ?fuel:int -> Ir.program -> violation list
+(** Run both legs: all static violations, then the runtime outcome of
+    executing [main]. Empty iff the program is statically clean and
+    finishes without trap/fault. *)

@@ -107,6 +107,7 @@ let classify line =
     | [ "ret"; r ] when is_ident r -> Lterm (Ir.Ret (Some r))
     | [ "check_deref"; r ] when is_ident r -> Linstr (Ir.Check_deref r)
     | [ "check_store"; p; q ] when is_ident p && is_ident q -> Linstr (Ir.Check_store (p, q))
+    | [ "assert_valid"; r; v ] when is_ident r && is_ident v -> Linstr (Ir.Assert_valid (r, v))
     | "call" :: _ ->
       let rhs = String.trim (String.sub line 4 (String.length line - 4)) in
       let fname, args = parse_call_rhs rhs in

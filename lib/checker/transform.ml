@@ -92,7 +92,7 @@ let optimize prog =
               true
             end
           | Ir.Vcast _ | Ir.Alloca _ | Ir.Global _ | Ir.Malloc _ | Ir.Const _ | Ir.Copy _
-          | Ir.Phi _ | Ir.Load _ | Ir.Store _ ->
+          | Ir.Phi _ | Ir.Load _ | Ir.Store _ | Ir.Assert_valid _ ->
             true)
         b.Ir.instrs
     in

@@ -133,6 +133,7 @@ let process ctx = ctx.proc
 let system ctx = ctx.sys
 let core ctx = ctx.core
 let current ctx = ctx.cur
+let contexts sys = sys.ctxs
 let vas_of_vh vh = vh.vas
 let vmspace_of_vh vh = vh.vmspace
 let cost ctx = Machine.cost ctx.sys.machine
@@ -182,11 +183,15 @@ let reclaim_locks ctx ~pid vh =
    when anything was retagged. With no keys in use this is a no-op —
    no charge, no events. *)
 let reclaim_pkeys ctx ~pid =
-  let dropped_sids =
-    List.concat_map
-      (fun vas -> snd (Vas.release_keys_of vas ~pid))
+  let freed =
+    List.filter_map
+      (fun vas ->
+        match Vas.release_keys_of vas ~pid with
+        | [], _ -> None
+        | keys, sids -> Some (Vas.vid vas, keys, sids))
       (Registry.list_vases ctx.sys.reg)
   in
+  let dropped_sids = List.concat_map (fun (_, _, sids) -> sids) freed in
   List.iter
     (fun sid ->
       let seg = Registry.find_seg_by_id ctx.sys.reg sid in
@@ -196,6 +201,28 @@ let reclaim_pkeys ctx ~pid =
             ~base:(Segment.base seg) ~key:0)
         (Registry.mappings ctx.sys.reg ~sid))
     dropped_sids;
+  (* A surviving thread switched into an affected VAS may still hold
+     WRPKRU rights to the keys that just died — left alone it would
+     keep compartment access after the key is reallocated to a new
+     owner. Revoke the freed keys from every such core's register (one
+     register rewrite charged per affected core). *)
+  List.iter
+    (fun cx ->
+      match cx.cur with
+      | Some vh when not vh.detached -> (
+        match List.find_opt (fun (vid, _, _) -> vid = Vas.vid vh.vas) freed with
+        | Some (_, keys, _) ->
+          let pkru = Core.pkru cx.core in
+          let scrubbed =
+            List.fold_left (fun r key -> Pkey.set r ~key Pkey.Denied) pkru keys
+          in
+          if scrubbed <> pkru then begin
+            Core.set_pkru cx.core scrubbed;
+            Core.charge ctx.core (cost ctx).cacheline_cross
+          end
+        | None -> ())
+      | _ -> ())
+    ctx.sys.ctxs;
   if dropped_sids <> [] then begin
     let c = cost ctx in
     Array.iter
@@ -697,6 +724,14 @@ let vas_detach_body ctx vh =
   (match ctx.cur with
   | Some cur when cur == vh -> switch_home ctx
   | Some _ | None -> ());
+  (* Another thread of the process may still be switched into this
+     attachment; destroying the vmspace under it would turn its next
+     load into a wild access. Transient by nature (the occupant leaves
+     or dies), so refuse with Would_block rather than a hard fault. *)
+  if vh.entered > 0 then
+    Error.failf Would_block ~op:"vas_detach" "attachment to %s entered by %d other thread%s"
+      (Vas.name vh.vas) vh.entered
+      (if vh.entered = 1 then "" else "s");
   (match vh.cap_slot with
   | Some slot -> Cap.Cspace.delete (Process.cspace ctx.proc) slot
   | None -> ());
@@ -746,6 +781,25 @@ let exit_process_c ctx =
          and segments the process created live on (sec 3.2). The detaches
          go through the ABI table like any runtime-issued call. *)
       (match ctx.cur with Some _ -> switch_home ctx | None -> ());
+      (* The whole process is exiting: force any sibling thread still
+         switched into one of our attachments out first (the last
+         thread out releases the attachment's locks), so the detaches
+         below never destroy a vmspace under a live occupant. *)
+      let pid = Process.pid ctx.proc in
+      List.iter
+        (fun cx ->
+          if cx != ctx && Process.pid cx.proc = pid then begin
+            (match cx.cur with
+            | Some vh ->
+              vh.entered <- vh.entered - 1;
+              if vh.entered = 0 then ignore (reclaim_locks ctx ~pid vh);
+              cx.cur <- None
+            | None -> ());
+            Core.set_pkru cx.core Pkey.default;
+            Core.set_fault_handler cx.core None;
+            Core.set_page_table cx.core None
+          end)
+        ctx.sys.ctxs;
       List.iter (fun vh -> if not vh.detached then vas_detach ctx vh) ctx.attachments;
       reclaim_pkeys ctx ~pid:(Process.pid ctx.proc);
       Core.set_pkru ctx.core Pkey.default;

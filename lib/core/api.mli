@@ -58,6 +58,11 @@ val current : ctx -> vh option
 (** The attachment the context is currently switched into; [None] when
     in the process's primary address space. *)
 
+val contexts : system -> ctx list
+(** Every live execution context (most recently bound first). Contexts
+    are removed by [exit_process]/[crash_process]/[crash_thread] — the
+    explorer reads this to snapshot per-core state and live pids. *)
+
 (** {2 VAS API (Fig. 3, left column)} *)
 
 val vas_create : ctx -> name:string -> mode:int -> Vas.t
@@ -75,6 +80,12 @@ val vas_attach : ctx -> Vas.t -> vh
     ACL read access. *)
 
 val vas_detach : ctx -> vh -> unit
+(** Destroy the attachment's vmspace (switching home first if the
+    caller is inside it). Raises [Errors.Would_block] while another
+    thread of the process is still switched into the attachment —
+    detaching under a live occupant would yank the address space out
+    from under its loads. *)
+
 val vas_switch : ctx -> vh -> unit
 (** Switch the calling thread into the attachment's address space:
     acquires each lockable segment's lock (shared when mapped read-only,

@@ -115,16 +115,25 @@ let forget_mapping t ~sid vms =
 let mappings t ~sid =
   match Hashtbl.find_opt t.live_maps sid with Some l -> !l | None -> []
 
+let tag_in_use t tag =
+  tag > 0
+  && Hashtbl.fold
+       (fun _ vas acc -> acc || Vas.tag vas = Some tag)
+       t.vases_by_id false
+
 let alloc_tag ?charge_to t =
   (* Explicitly released tags (vas_delete, crash reclamation) are reused
      first, LIFO; each has had a previous owner, so reuse takes the
-     recycle path below. Otherwise hand out the next fresh tag. *)
-  let tag, recycled =
-    match t.free_tags with
-    | tag :: rest ->
-      t.free_tags <- rest;
-      (tag, true)
-    | [] ->
+     recycle path below. Otherwise hand out the next fresh tag. Either
+     way a tag a registered VAS still holds is never re-issued: the
+     free list can go stale against adopted tags (image restore), and
+     after the 12-bit space wraps the counter walks over tags whose
+     owners are still live — both would silently alias two VASes in the
+     TLB (the explorer's tag-unique invariant). *)
+  let rec fresh tries =
+    if tries >= 4095 then
+      Sj_abi.Error.fail Capacity ~op:"alloc_tag" "all 4095 TLB tags held by live VASes"
+    else begin
       let tag = t.next_tag in
       (* Read the recycle flag before updating it: the first hand-out of
          4095 is fresh; only tags issued after a wrap had a previous
@@ -136,8 +145,17 @@ let alloc_tag ?charge_to t =
         t.tags_wrapped <- true
       end
       else t.next_tag <- tag + 1;
-      (tag, recycled)
+      if tag_in_use t tag then fresh (tries + 1) else (tag, recycled)
+    end
   in
+  let rec from_free () =
+    match t.free_tags with
+    | tag :: rest ->
+      t.free_tags <- rest;
+      if tag_in_use t tag then from_free () else (tag, true)
+    | [] -> fresh 0
+  in
+  let tag, recycled = from_free () in
   if recycled then begin
     (* The previous owner's translations may still be resident under
        this tag in any core's TLB; without a flush the new owner would
@@ -168,6 +186,15 @@ let alloc_tag ?charge_to t =
 let release_tag t tag =
   if tag > 0 && not (List.mem tag t.free_tags) then
     t.free_tags <- tag :: t.free_tags
+
+let free_tag_list t = t.free_tags
+
+let adopt_tag t tag =
+  if tag > 0 then begin
+    if tag_in_use t tag then
+      Sj_abi.Error.failf Name_exists ~op:"adopt_tag" "tag %d is live" tag;
+    t.free_tags <- List.filter (fun x -> x <> tag) t.free_tags
+  end
 
 let count_switch t = t.switches <- t.switches + 1
 let switch_count t = t.switches

@@ -71,7 +71,10 @@ val alloc_tag : ?charge_to:Sj_machine.Machine.Core.core -> t -> int
     broadcast, one IPI per core charged to [charge_to]) and a
     [Tag_recycle] event is emitted, so the new owner can never hit a
     stale entry. Tags released via {!release_tag} are reused first
-    (LIFO) and always take the recycle path. *)
+    (LIFO) and always take the recycle path. A tag a registered VAS
+    still holds (whether adopted from a restored image or simply not
+    yet released after a wrap) is never re-issued; if all 4095 tags are
+    live, raises the typed [Capacity] fault. *)
 
 val release_tag : t -> int -> unit
 (** Return an ASID to the allocator (vas_delete, crash reclamation).
@@ -79,6 +82,22 @@ val release_tag : t -> int -> unit
     recycled — flush broadcast and [Tag_recycle] event included.
     [release_tag t 0] (untagged) is a no-op; double release is
     idempotent. *)
+
+val free_tag_list : t -> int list
+(** The explicitly released tags awaiting reuse (most recent first) —
+    read-only view for the explorer's tag-lifecycle invariants. *)
+
+val tag_in_use : t -> int -> bool
+(** Is [tag] currently assigned to a registered VAS? [tag_in_use t 0]
+    is [false] (0 means "untagged"). *)
+
+val adopt_tag : t -> int -> unit
+(** Claim a specific tag on behalf of a VAS that arrived with it —
+    restoring a persisted image re-creates VASes whose saved tags must
+    not be handed out again by {!alloc_tag}. Removes the tag from the
+    free list; raises [Name_exists] if another live VAS holds it
+    (callers should then {!alloc_tag} a fresh one instead).
+    [adopt_tag t 0] is a no-op. *)
 
 (** {2 Statistics} *)
 

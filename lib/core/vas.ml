@@ -99,6 +99,8 @@ let alloc_key t ~pid =
   key
 
 let key_owner t ~key = List.assoc_opt key t.key_owners
+let key_allocations t = t.key_owners
+let seg_key_assignments t = t.seg_keys
 
 let assign_seg_key t ~sid ~key =
   check_live t "pkey_assign";

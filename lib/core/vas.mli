@@ -70,6 +70,13 @@ val alloc_key : t -> pid:int -> int
 val key_owner : t -> key:int -> int option
 (** The pid that allocated [key], if it is currently allocated. *)
 
+val key_allocations : t -> (int * int) list
+(** All current [(key, owner_pid)] allocations, ascending by key —
+    read-only view for the explorer's pkey invariants. *)
+
+val seg_key_assignments : t -> (int * int) list
+(** All current [(sid, key)] assignments, ascending by sid. *)
+
 val assign_seg_key : t -> sid:int -> key:int -> unit
 (** Record segment [sid] as tagged with [key] ([0] clears the
     assignment). Bumps the generation; the caller rewrites live PTEs. *)

@@ -1,0 +1,149 @@
+(* The `bench explore` / `sjctl explore` driver: enumerates the sweep,
+   runs every config (optionally across a domain pool), checks every
+   invariant after every run, replays each violating config from its
+   [(backend, seed, plan)] key, evaluates the acceptance claims, and
+   runs the usual determinism audit battery. Shared by
+   bench/explorebench.ml and bin/sjctl.ml so the two front-ends cannot
+   drift.
+
+   Two failure channels, both fatal to the front-ends (exit 2, no
+   report written):
+   - [divergences]: a fingerprint changed under a host-side condition
+     that must not leak into simulated results (rerun, tracing on,
+     empty ambient fault plan, inside a domain pool), or a violating
+     config whose replay was not byte-identical;
+   - [failed_claims]: the sweep fell below the acceptance floor
+     (distinct configs, plan-kind / backend / mechanism coverage) or
+     fewer than six invariants are being checked. *)
+
+module Par = Sj_util.Par
+module Plan = Sj_fault.Plan
+
+type outcome = {
+  report : Explore_report.t;
+  divergences : string list;
+  failed_claims : string list;
+}
+
+let kind_of_fault = function
+  | Plan.Kill_at_syscall _ -> "kill_at_syscall"
+  | Plan.Kill_holding_lock _ -> "kill_holding_lock"
+  | Plan.Would_block_storm _ -> "would_block_storm"
+  | Plan.Grow_fail _ -> "grow_fail"
+  | Plan.Torn_write _ -> "torn_write"
+
+let all_kinds =
+  [ "kill_at_syscall"; "kill_holding_lock"; "would_block_storm"; "grow_fail"; "torn_write" ]
+
+let run ~quick ~jobs ?(progress = fun _ -> ()) () =
+  let cfgs = Explore.enumerate ~quick in
+  let distinct = List.length (List.sort_uniq compare (List.map Explore.key cfgs)) in
+  progress
+    (Printf.sprintf "sweep: %d configs (%d distinct) over fault plan x schedule x backend"
+       (List.length cfgs) distinct);
+  let results =
+    if jobs <= 1 then List.map Explore.run cfgs
+    else
+      (* Each config simulates its own machine, so fanning configs
+         across domains changes only the wall clock. *)
+      Par.with_pool ~size:jobs (fun pool -> Par.map_list pool Explore.run cfgs)
+  in
+  let violating = List.filter (fun (r : Explore.result) -> r.violations <> []) results in
+  progress
+    (Printf.sprintf "invariants: %d checked per run; %d violating run(s)"
+       (List.length Invariant.all) (List.length violating));
+  let divergences = ref [] in
+  let diverge name = divergences := name :: !divergences in
+  (* Replay every violating config from its key alone; a violation that
+     does not reproduce byte-identically is itself a finding (of
+     nondeterminism) and fatal. *)
+  if violating <> [] then
+    progress (Printf.sprintf "replay: %d violating config(s) from (backend, seed, plan)"
+        (List.length violating));
+  let details =
+    List.concat_map
+      (fun (r : Explore.result) ->
+        let again = Explore.run r.cfg in
+        let reproduced = Explore.equal_result r again in
+        if not reproduced then diverge ("replay:" ^ Explore.key r.cfg);
+        List.map
+          (fun (invariant, message) ->
+            {
+              Explore_report.backend = Explore.backend_name r.cfg.Explore.backend;
+              seed = r.cfg.Explore.seed;
+              plan = Plan.to_string r.cfg.Explore.plan;
+              invariant;
+              message;
+              reproduced;
+            })
+          r.violations)
+      violating
+  in
+  progress "determinism audits";
+  (* Audit a composed-plan config (all the injector machinery lit up at
+     once) under every host condition, plus a replay sample of the
+     sweep's head so replay fidelity is exercised even on a clean run. *)
+  let acfg =
+    match List.find_opt (fun (c : Explore.config) -> List.length c.Explore.plan >= 2) cfgs with
+    | Some c -> c
+    | None -> List.hd cfgs
+  in
+  let reference = Explore.run acfg in
+  let audit name r = if not (Explore.equal_result reference r) then diverge name in
+  audit "rerun" (Explore.run acfg);
+  audit "trace-on" (Sj_obs.Recorder.with_tracing true (fun () -> Explore.run acfg));
+  audit "empty-fault-plan" (Sj_fault.Injector.with_plan [] (fun () -> Explore.run acfg));
+  Par.with_pool ~size:(max 2 jobs) (fun pool ->
+      List.iter (fun r -> audit "domains" r) (Par.map_list pool Explore.run [ acfg; acfg ]));
+  let sample = List.filteri (fun i _ -> i < 3) cfgs in
+  List.iter2
+    (fun cfg r0 ->
+      if not (Explore.equal_result r0 (Explore.run cfg)) then
+        diverge ("replay-sample:" ^ Explore.key cfg))
+    sample
+    (List.filteri (fun i _ -> i < 3) results);
+  (* Acceptance claims. *)
+  let failed = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failed := s :: !failed) fmt in
+  let kinds =
+    List.sort_uniq compare (List.concat_map (fun c -> List.map kind_of_fault c.Explore.plan) cfgs)
+  in
+  let backends =
+    List.sort_uniq compare (List.map (fun c -> Explore.backend_name c.Explore.backend) cfgs)
+  in
+  let mechanisms = List.sort_uniq compare (List.map Explore.mechanism_name cfgs) in
+  if distinct < 100 then fail "enumeration: only %d distinct configs (floor 100)" distinct;
+  List.iter
+    (fun k -> if not (List.mem k kinds) then fail "enumeration: plan kind %s never swept" k)
+    all_kinds;
+  if List.length backends < 2 then fail "enumeration: only one backend swept";
+  if List.length mechanisms < 3 then
+    fail "enumeration: mechanism coverage incomplete (%s)" (String.concat "," mechanisms);
+  if List.length Invariant.all < 6 then
+    fail "invariants: only %d checked (floor 6)" (List.length Invariant.all);
+  let failed_claims = List.rev !failed in
+  let divergences = List.rev !divergences in
+  let report =
+    {
+      Explore_report.quick;
+      jobs;
+      cores = Domain.recommended_domain_count ();
+      ocaml_version = Sys.ocaml_version;
+      configs_run = List.length cfgs;
+      distinct_configs = distinct;
+      fuzz_configs = List.length (List.filter (fun c -> c.Explore.seed >= 1000) cfgs);
+      backends;
+      plan_kinds = kinds;
+      mechanisms;
+      invariants = List.map (fun (i : Invariant.t) -> (i.Invariant.name, i.Invariant.doc)) Invariant.all;
+      violations = List.length details;
+      details;
+      enumeration_ok =
+        not (List.exists (fun s -> String.length s >= 11 && String.sub s 0 11 = "enumeration") failed_claims);
+      invariants_ok = List.length Invariant.all >= 6;
+      replay_ok = not (List.exists (fun (d : Explore_report.detail) -> not d.reproduced) details);
+      determinism_ok = divergences = [];
+      audits = [ "rerun"; "trace-on"; "empty-fault-plan"; "domains"; "replay-sample" ];
+    }
+  in
+  { report; divergences; failed_claims }

@@ -1,0 +1,26 @@
+(** Shared driver behind [bench explore] and [sjctl explore].
+
+    Enumerates the sweep ({!Explore.enumerate}), runs every config,
+    checks every {!Invariant} after every run, replays each violating
+    config from its [(backend, seed, plan)] key, evaluates the
+    acceptance claims, and runs the determinism audit battery (rerun /
+    trace-on / empty-fault-plan / domain pool / replay sample).
+
+    The front-ends exit 2 without writing a report when [divergences]
+    or [failed_claims] is non-empty. *)
+
+type outcome = {
+  report : Explore_report.t;
+  divergences : string list;
+      (** fingerprint changes under host-side conditions, or violating
+          configs whose replay was not byte-identical *)
+  failed_claims : string list;  (** sweep/invariant acceptance floors missed *)
+}
+
+val kind_of_fault : Sj_fault.Plan.fault -> string
+val all_kinds : string list
+
+val run : quick:bool -> jobs:int -> ?progress:(string -> unit) -> unit -> outcome
+(** [jobs <= 1] runs the sweep sequentially; otherwise configs fan out
+    over a domain pool of [jobs] workers (results are byte-identical
+    either way — one of the audited claims). *)

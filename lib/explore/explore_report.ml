@@ -1,0 +1,185 @@
+(* BENCH_explore.json, schema "spacejmp-bench/6-explore".
+
+   The exploration report: host block, the sweep's shape (how many
+   configs, how many distinct, which backends / plan kinds / mechanisms,
+   how many fuzzed past the grid), the invariant roster, every violation
+   with its replay key [(backend, seed, plan)] and whether replaying
+   that key reproduced it byte-identically, the acceptance claims, and
+   the determinism audits. Same discipline as the other spacejmp-bench
+   reports: a report recording a divergence or a failed claim is refused
+   by the checker, and the front-ends exit 2 before writing one. The
+   plain "violations" count is the line CI greps for zero. *)
+
+type detail = {
+  backend : string;
+  seed : int;
+  plan : string;
+  invariant : string;
+  message : string;
+  reproduced : bool;
+}
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  configs_run : int;
+  distinct_configs : int;
+  fuzz_configs : int;
+  backends : string list;
+  plan_kinds : string list;
+  mechanisms : string list;
+  invariants : (string * string) list;  (* name, one-line doc *)
+  violations : int;
+  details : detail list;
+  enumeration_ok : bool;
+  invariants_ok : bool;
+  replay_ok : bool;
+  determinism_ok : bool;
+  audits : string list;
+}
+
+let schema = "spacejmp-bench/6-explore"
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let str_list l = String.concat ", " (List.map (fun s -> Printf.sprintf "\"%s\"" (escape s)) l) in
+  add "{\n";
+  add "  \"schema\": \"%s\",\n" schema;
+  add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
+  add "  \"host\": {\n";
+  add "    \"cores\": %d,\n" r.cores;
+  add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
+  add "    \"jobs\": %d\n" r.jobs;
+  add "  },\n";
+  add "  \"sweep\": {\n";
+  add "    \"configs_run\": %d,\n" r.configs_run;
+  add "    \"distinct_configs\": %d,\n" r.distinct_configs;
+  add "    \"fuzz_configs\": %d,\n" r.fuzz_configs;
+  add "    \"backends\": [%s],\n" (str_list r.backends);
+  add "    \"plan_kinds\": [%s],\n" (str_list r.plan_kinds);
+  add "    \"mechanisms\": [%s]\n" (str_list r.mechanisms);
+  add "  },\n";
+  add "  \"invariants\": [\n";
+  List.iteri
+    (fun i (name, doc) ->
+      add "    {\"name\": \"%s\", \"doc\": \"%s\"}%s\n" (escape name) (escape doc)
+        (if i = List.length r.invariants - 1 then "" else ","))
+    r.invariants;
+  add "  ],\n";
+  add "  \"violations\": %d,\n" r.violations;
+  add "  \"violation_details\": [%s\n" (if r.details = [] then "]," else "");
+  if r.details <> [] then begin
+    List.iteri
+      (fun i d ->
+        add "    {\"backend\": \"%s\", \"seed\": %d, \"plan\": \"%s\", " (escape d.backend) d.seed
+          (escape d.plan);
+        add "\"invariant\": \"%s\", \"message\": \"%s\", \"reproduced\": %b}%s\n"
+          (escape d.invariant) (escape d.message) d.reproduced
+          (if i = List.length r.details - 1 then "" else ","))
+      r.details;
+    add "  ],\n"
+  end;
+  add "  \"claims\": {\n";
+  add "    \"enumeration_ok\": %b,\n" r.enumeration_ok;
+  add "    \"invariants_ok\": %b,\n" r.invariants_ok;
+  add "    \"replay_ok\": %b\n" r.replay_ok;
+  add "  },\n";
+  add "  \"determinism\": {\n";
+  add "    \"audits\": [%s],\n" (str_list r.audits);
+  add "    \"equal\": %b\n" r.determinism_ok;
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Same validation discipline as the other report checkers: no JSON
+   library in the tree, so check nesting balance outside strings,
+   required keys, and refuse any recorded divergence or failed claim.
+   A nonzero violation count is deliberately NOT refused here — a
+   report faithfully recording reproduced violations is valid (CI
+   separately greps for zero). *)
+let check_string s =
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !in_str then begin
+        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  if !depth <> 0 || !in_str then ok := false;
+  let required =
+    [
+      Printf.sprintf "\"schema\": \"%s\"" schema;
+      "\"host\"";
+      "\"cores\"";
+      "\"ocaml_version\"";
+      "\"jobs\"";
+      "\"sweep\"";
+      "\"configs_run\"";
+      "\"distinct_configs\"";
+      "\"fuzz_configs\"";
+      "\"backends\"";
+      "\"plan_kinds\"";
+      "\"mechanisms\"";
+      "\"invariants\"";
+      "\"violations\"";
+      "\"violation_details\"";
+      "\"claims\"";
+      "\"enumeration_ok\"";
+      "\"invariants_ok\"";
+      "\"replay_ok\"";
+      "\"determinism\"";
+      "\"audits\"";
+    ]
+  in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let errors = ref [] in
+  List.iter
+    (fun key ->
+      if not (contains key) then
+        errors := Printf.sprintf "missing key %s" key :: !errors)
+    required;
+  if contains "\"equal\": false" then
+    errors := "report records a determinism divergence" :: !errors;
+  if contains "\"enumeration_ok\": false" then
+    errors := "sweep enumeration below the acceptance floor" :: !errors;
+  if contains "\"invariants_ok\": false" then
+    errors := "fewer invariants checked than the acceptance floor" :: !errors;
+  if contains "\"replay_ok\": false" then
+    errors := "a violation did not replay byte-identically from its key" :: !errors;
+  if contains "\"reproduced\": false" then
+    errors := "a recorded violation is marked unreproduced" :: !errors;
+  if not !ok then errors := "unbalanced JSON nesting" :: !errors;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  check_string s

@@ -1,0 +1,43 @@
+(** BENCH_explore.json (schema ["spacejmp-bench/6-explore"]).
+
+    The exploration run's report: sweep shape, invariant roster, every
+    violation with its replay key and reproduction status, acceptance
+    claims, determinism audits. {!check_string} refuses a report that
+    records a divergence, a failed claim, or an unreproduced violation
+    — but not one faithfully recording reproduced violations (CI greps
+    ["\"violations\": 0"] separately). *)
+
+type detail = {
+  backend : string;
+  seed : int;
+  plan : string;  (** [Plan.to_string] — with backend and seed, the full replay key *)
+  invariant : string;
+  message : string;
+  reproduced : bool;  (** the replay produced a byte-identical run *)
+}
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  configs_run : int;
+  distinct_configs : int;
+  fuzz_configs : int;
+  backends : string list;
+  plan_kinds : string list;
+  mechanisms : string list;
+  invariants : (string * string) list;
+  violations : int;
+  details : detail list;
+  enumeration_ok : bool;
+  invariants_ok : bool;
+  replay_ok : bool;
+  determinism_ok : bool;
+  audits : string list;
+}
+
+val schema : string
+val to_json : t -> string
+val check_string : string -> (unit, string list) result
+val check_file : string -> (unit, string list) result

@@ -1,0 +1,332 @@
+module Pkey = Sj_paging.Pkey
+open Sj_checker
+
+type t = {
+  name : string;
+  doc : string;
+  check : World.t -> string list;
+}
+
+let sp = Printf.sprintf
+
+let dup_of list =
+  let rec go = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else go rest
+  in
+  go list
+
+let each_system w f =
+  List.concat_map
+    (fun (ph : World.phase_snap) ->
+      List.concat_map (fun sys -> f ph.World.phase sys) ph.World.systems)
+    w.World.snapshots
+
+(* -- lock-balance ----------------------------------------------------- *)
+
+let lock_balance w =
+  let orphans =
+    each_system w (fun phase (s : World.sys_snap) ->
+        if s.live_pids <> [] then []
+        else
+          List.filter_map
+            (fun (g : World.seg_snap) ->
+              match g.lock with
+              | World.Unlocked -> None
+              | World.Shared n ->
+                Some
+                  (sp "phase %s/%s: segment %s (sid %d) still shared(%d) with no live process"
+                     phase s.sys_id g.seg_name g.sid n)
+              | World.Exclusive ->
+                Some
+                  (sp "phase %s/%s: segment %s (sid %d) still exclusive with no live process"
+                     phase s.sys_id g.seg_name g.sid))
+            s.segs)
+  in
+  let balance =
+    if not w.World.teardown_complete then []
+    else begin
+      let c = w.World.counters in
+      if c.lock_acquires <> c.lock_releases + c.lock_reclaims then
+        [
+          sp "lock counters unbalanced after teardown: %d acquired, %d released + %d reclaimed"
+            c.lock_acquires c.lock_releases c.lock_reclaims;
+        ]
+      else []
+    end
+  in
+  orphans @ balance
+
+(* -- tag-unique ------------------------------------------------------- *)
+
+let tag_unique w =
+  each_system w (fun phase (s : World.sys_snap) ->
+      let live = List.filter_map (fun (v : World.vas_snap) -> v.vtag) s.vases in
+      let dup_live =
+        match dup_of live with
+        | Some g -> [ sp "phase %s/%s: TLB tag %d live in two VASes" phase s.sys_id g ]
+        | None -> []
+      in
+      let dup_free =
+        match dup_of s.free_tags with
+        | Some g -> [ sp "phase %s/%s: TLB tag %d on the free list twice" phase s.sys_id g ]
+        | None -> []
+      in
+      let both =
+        List.filter_map
+          (fun g ->
+            if List.mem g s.free_tags then
+              Some (sp "phase %s/%s: TLB tag %d both live and free" phase s.sys_id g)
+            else None)
+          live
+      in
+      dup_live @ dup_free @ both)
+
+(* -- tag-reclaim ------------------------------------------------------ *)
+
+let tag_reclaim w =
+  if not w.World.teardown_complete then []
+  else
+    match World.final_main w with
+    | None -> []
+    | Some final ->
+      let issued =
+        each_system w (fun _ s ->
+            if s.World.sys_id <> "main" then []
+            else List.filter_map (fun (v : World.vas_snap) -> v.vtag) s.vases)
+        |> List.sort_uniq compare
+      in
+      List.filter_map
+        (fun g ->
+          let still_live =
+            List.exists (fun (v : World.vas_snap) -> v.vtag = Some g) final.World.vases
+          in
+          if still_live || List.mem g final.World.free_tags then None
+          else Some (sp "TLB tag %d issued during the run never returned to the free list" g))
+        issued
+
+(* -- pkey-owners ------------------------------------------------------ *)
+
+let pkey_owners w =
+  each_system w (fun phase (s : World.sys_snap) ->
+      List.concat_map
+        (fun (v : World.vas_snap) ->
+          let where = sp "phase %s/%s: VAS %s" phase s.sys_id v.vas_name in
+          let range =
+            List.filter_map
+              (fun (k, _) ->
+                if k >= 1 && k <= Pkey.max_key then None
+                else Some (sp "%s: protection key %d out of range" where k))
+              v.keys
+          in
+          let dup =
+            match dup_of (List.map fst v.keys) with
+            | Some k -> [ sp "%s: protection key %d allocated twice" where k ]
+            | None -> []
+          in
+          let owners =
+            List.filter_map
+              (fun (k, pid) ->
+                if List.mem pid s.live_pids then None
+                else Some (sp "%s: key %d owned by dead pid %d" where k pid))
+              v.keys
+          in
+          let segs =
+            List.filter_map
+              (fun (sid, k) ->
+                if k = 0 || List.mem_assoc k v.keys then None
+                else Some (sp "%s: segment %d tagged with unallocated key %d" where sid k))
+              v.seg_keys
+          in
+          range @ dup @ owners @ segs)
+        s.vases)
+
+(* -- pkru-hygiene ----------------------------------------------------- *)
+
+let pkru_hygiene w =
+  each_system w (fun phase (s : World.sys_snap) ->
+      List.concat_map
+        (fun (c : World.core_snap) ->
+          if (not c.live) || c.pkru = Pkey.default then []
+          else
+            let where = sp "phase %s/%s: core %d (pid %d)" phase s.sys_id c.core_id c.pid in
+            match c.cur_vid with
+            | None ->
+              [ sp "%s: restricted pkru %#x outside any VAS" where c.pkru ]
+            | Some vid -> (
+              match List.find_opt (fun (v : World.vas_snap) -> v.vid = vid) s.vases with
+              | None -> [ sp "%s: switched into unknown VAS %d" where vid ]
+              | Some v ->
+                List.filter_map
+                  (fun k ->
+                    if
+                      Pkey.allows c.pkru ~key:k ~write:false
+                      && not (List.mem_assoc k v.keys)
+                    then
+                      Some
+                        (sp "%s: pkru %#x retains rights to key %d, not allocated in VAS %s"
+                           where c.pkru k v.vas_name)
+                    else None)
+                  (List.init Pkey.max_key (fun i -> i + 1))))
+        s.cores)
+
+(* -- journal-commit --------------------------------------------------- *)
+
+let journal_commit w =
+  match w.World.journal with
+  | None -> []
+  | Some j -> (
+    match j.World.recovered with
+    | Some false -> [ "journal recovery landed on an uncommitted image" ]
+    | Some true -> []
+    | None ->
+      if j.World.committed_appends > 0 then
+        [
+          sp "journal held %d committed entr%s but recovery found none" j.World.committed_appends
+            (if j.World.committed_appends = 1 then "y" else "ies");
+        ]
+      else [])
+
+(* -- syscall-balance -------------------------------------------------- *)
+
+(* ABI entries charged via [Sys.count] (no event emitted): seg_unlock,
+   persist_save, persist_restore, and the injector's proc_crash
+   accounting. The event stream may legitimately undercount those. *)
+let count_only = [ 20; 24; 25; 26 ]
+
+let syscall_balance w =
+  List.concat_map
+    (fun (r : World.row) ->
+      let cyc =
+        if r.obs_cycles <> r.tab_cycles then
+          [
+            sp "nr %d (%s): event stream saw %d cycles, syscall table %d" r.nr r.nr_name
+              r.obs_cycles r.tab_cycles;
+          ]
+        else []
+      in
+      let calls =
+        if List.mem r.nr count_only then
+          if r.obs_calls > r.tab_calls then
+            [
+              sp "nr %d (%s): event stream saw %d calls, syscall table only %d" r.nr r.nr_name
+                r.obs_calls r.tab_calls;
+            ]
+          else []
+        else if r.obs_calls <> r.tab_calls then
+          [
+            sp "nr %d (%s): event stream saw %d calls, syscall table %d" r.nr r.nr_name r.obs_calls
+              r.tab_calls;
+          ]
+        else []
+      in
+      cyc @ calls)
+    w.World.counters.World.rows
+
+(* -- modal-agreement -------------------------------------------------- *)
+
+let block label instrs term = { Ir.label; instrs; term }
+let func fname blocks = { Ir.fname; params = []; blocks }
+
+let modal_probe_clean =
+  {
+    Ir.funcs =
+      [
+        func "main"
+          [
+            block "entry"
+              [
+                Ir.Switch "v1";
+                Ir.Malloc "p";
+                Ir.Assert_valid ("p", "v1");
+                Ir.Alloca "s";
+                Ir.Assert_valid ("s", "v1");
+              ]
+              (Ir.Ret None);
+          ];
+      ];
+  }
+
+let modal_probe_broken =
+  {
+    Ir.funcs =
+      [
+        func "main"
+          [
+            block "entry"
+              [ Ir.Switch "v1"; Ir.Malloc "p"; Ir.Switch "v2"; Ir.Assert_valid ("p", "v2") ]
+              (Ir.Ret None);
+          ];
+      ];
+  }
+
+let check_modal ~clean ~broken =
+  let clean_violations = Modal.check clean in
+  let spurious =
+    List.map
+      (fun v -> sp "clean probe flagged: %s" (Modal.to_string v))
+      clean_violations
+  in
+  let broken_violations = Modal.check broken in
+  let has src = List.exists (fun (v : Modal.violation) -> v.Modal.source = src) broken_violations in
+  let missing =
+    (if has Modal.Static then []
+     else [ "static analysis accepted the broken modal probe" ])
+    @
+    if has Modal.Runtime then []
+    else [ "interpreter accepted the broken modal probe" ]
+  in
+  spurious @ missing
+
+let modal_agreement _w = check_modal ~clean:modal_probe_clean ~broken:modal_probe_broken
+
+(* -- the crop --------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      name = "lock-balance";
+      doc = "no orphaned segment locks; acquire/release/reclaim counters balance";
+      check = lock_balance;
+    };
+    {
+      name = "tag-unique";
+      doc = "TLB tags never double-issued; free list duplicate-free and disjoint from live tags";
+      check = tag_unique;
+    };
+    {
+      name = "tag-reclaim";
+      doc = "every tag issued during the run returns to the free list after teardown";
+      check = tag_reclaim;
+    };
+    {
+      name = "pkey-owners";
+      doc = "protection keys in range, singly allocated, owned by live pids, referenced keys allocated";
+      check = pkey_owners;
+    };
+    {
+      name = "pkru-hygiene";
+      doc = "no live core retains key rights outside a VAS or to keys not allocated there";
+      check = pkru_hygiene;
+    };
+    {
+      name = "journal-commit";
+      doc = "journal recovery always lands on a committed image when one exists";
+      check = journal_commit;
+    };
+    {
+      name = "syscall-balance";
+      doc = "event stream and syscall table agree per ABI entry on calls and cycles";
+      check = syscall_balance;
+    };
+    {
+      name = "modal-agreement";
+      doc = "static analysis and interpreter agree on assert_valid modal claims";
+      check = modal_agreement;
+    };
+  ]
+
+let names = List.map (fun i -> i.name) all
+
+let check_all w =
+  List.concat_map (fun i -> List.map (fun msg -> (i.name, msg)) (i.check w)) all

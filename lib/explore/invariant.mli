@@ -1,0 +1,58 @@
+(** Global invariants the explorer asserts after every run.
+
+    Each invariant is a pure function over a {!World.t}; it returns one
+    human-readable message per violation (empty list = holds). Because
+    the checks never touch live simulator state, the test suite can
+    hand them deliberately broken worlds built by plain record
+    construction — no test-only hooks in the simulator.
+
+    The crop checked after every exploration run:
+    - [lock-balance] — no segment lock survives its holders; acquire /
+      release / reclaim counters balance once teardown completes.
+    - [tag-unique] — a TLB tag is never live in two VASes at once, the
+      free list holds no duplicates, and no live tag sits on it.
+    - [tag-reclaim] — after full teardown every tag ever issued is back
+      on the free list.
+    - [pkey-owners] — protection keys are in range, allocated at most
+      once per VAS, owned only by live processes, and every tagged
+      segment references an allocated key.
+    - [pkru-hygiene] — a live core whose key-permission register is not
+      the default must be switched into a VAS, and every key it still
+      holds rights to must be allocated in that VAS.
+    - [journal-commit] — journal recovery never lands on an
+      uncommitted image, and always finds one when committed entries
+      exist.
+    - [syscall-balance] — the observability event stream and the
+      syscall table agree on per-entry calls and cycles (count-only
+      entries may legitimately exceed the event count).
+    - [modal-agreement] — the static analysis and the IR interpreter
+      agree on [assert_valid] modal claims: both accept the clean probe
+      and both flag the broken one. *)
+
+type t = {
+  name : string;
+  doc : string;
+  check : World.t -> string list;
+}
+
+val all : t list
+(** The eight invariants above, in documentation order. *)
+
+val names : string list
+
+val check_all : World.t -> (string * string) list
+(** Run every invariant; each violation is [(invariant name, message)]. *)
+
+(** {2 Modal probes}
+
+    Exposed so the invariant's own test can swap in a broken probe. *)
+
+val modal_probe_clean : Sj_checker.Ir.program
+(** Asserts a pointer in the VAS it was allocated in (and a
+    common-region pointer anywhere) — both checker legs must accept. *)
+
+val modal_probe_broken : Sj_checker.Ir.program
+(** Asserts a v1 pointer valid-in-v2 — both legs must flag it. *)
+
+val check_modal : clean:Sj_checker.Ir.program -> broken:Sj_checker.Ir.program -> string list
+(** The [modal-agreement] body over explicit probes. *)

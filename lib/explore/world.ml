@@ -1,0 +1,204 @@
+module Machine = Sj_machine.Machine
+module Core = Machine.Core
+module Process = Sj_kernel.Process
+module Sys = Sj_abi.Sys
+module Api = Sj_core.Api
+module Vas = Sj_core.Vas
+module Segment = Sj_core.Segment
+module Registry = Sj_core.Registry
+module Metrics = Sj_obs.Metrics
+
+type lock = Unlocked | Shared of int | Exclusive
+
+type seg_snap = { seg_name : string; sid : int; lock : lock }
+
+type vas_snap = {
+  vas_name : string;
+  vid : int;
+  vtag : int option;
+  keys : (int * int) list;
+  seg_keys : (int * int) list;
+}
+
+type core_snap = {
+  core_id : int;
+  pid : int;
+  live : bool;
+  cur_vid : int option;
+  pkru : int;
+}
+
+type sys_snap = {
+  sys_id : string;
+  segs : seg_snap list;
+  vases : vas_snap list;
+  free_tags : int list;
+  cores : core_snap list;
+  live_pids : int list;
+}
+
+type phase_snap = { phase : string; systems : sys_snap list }
+
+type row = {
+  nr : int;
+  nr_name : string;
+  obs_calls : int;
+  obs_cycles : int;
+  tab_calls : int;
+  tab_cycles : int;
+}
+
+type counters = {
+  lock_acquires : int;
+  lock_releases : int;
+  lock_reclaims : int;
+  crashes : int;
+  tag_assigns : int;
+  tag_recycles : int;
+  rows : row list;
+}
+
+type journal_info = {
+  total_appends : int;
+  committed_appends : int;
+  recovered : bool option;
+}
+
+type t = {
+  snapshots : phase_snap list;
+  counters : counters;
+  journal : journal_info option;
+  teardown_complete : bool;
+}
+
+let lock_of = function
+  | Segment.Unlocked -> Unlocked
+  | Segment.Shared n -> Shared n
+  | Segment.Exclusive -> Exclusive
+
+let capture_sys ~id sys =
+  let reg = Api.registry sys in
+  let segs =
+    Registry.list_segs reg
+    |> List.map (fun s ->
+           { seg_name = Segment.name s; sid = Segment.sid s; lock = lock_of (Segment.lock_state s) })
+    |> List.sort (fun a b -> compare a.sid b.sid)
+  in
+  let vases =
+    Registry.list_vases reg
+    |> List.map (fun v ->
+           {
+             vas_name = Vas.name v;
+             vid = Vas.vid v;
+             vtag = Vas.tag v;
+             keys = Vas.key_allocations v;
+             seg_keys = Vas.seg_key_assignments v;
+           })
+    |> List.sort (fun a b -> compare a.vid b.vid)
+  in
+  let cores =
+    Api.contexts sys
+    |> List.map (fun cx ->
+           let p = Api.process cx in
+           let core = Api.core cx in
+           {
+             core_id = Core.id core;
+             pid = Process.pid p;
+             live = Process.is_live p;
+             cur_vid = Option.map (fun vh -> Vas.vid (Api.vas_of_vh vh)) (Api.current cx);
+             pkru = Core.pkru core;
+           })
+    |> List.sort (fun a b -> compare (a.core_id, a.pid) (b.core_id, b.pid))
+  in
+  let live_pids =
+    cores
+    |> List.filter_map (fun c -> if c.live then Some c.pid else None)
+    |> List.sort_uniq compare
+  in
+  { sys_id = id; segs; vases; free_tags = Registry.free_tag_list reg; cores; live_pids }
+
+let capture_counters met tab =
+  let obs =
+    Metrics.syscall_rows met |> List.map (fun (nr, name, calls, _faults, cycles, _h) -> (nr, (name, calls, cycles)))
+  in
+  let tabs = Sys.snapshot tab |> List.map (fun (nr, calls, cyc) -> (Sys.number nr, (Sys.name nr, calls, cyc))) in
+  let nrs = List.sort_uniq compare (List.map fst obs @ List.map fst tabs) in
+  let rows =
+    List.map
+      (fun nr ->
+        let name, obs_calls, obs_cycles =
+          match List.assoc_opt nr obs with Some r -> r | None -> ("", 0, 0)
+        in
+        let tname, tab_calls, tab_cycles =
+          match List.assoc_opt nr tabs with Some r -> r | None -> ("", 0, 0)
+        in
+        let nr_name = if tname <> "" then tname else name in
+        { nr; nr_name; obs_calls; obs_cycles; tab_calls; tab_cycles })
+      nrs
+  in
+  {
+    lock_acquires = Metrics.lock_acquires met;
+    lock_releases = Metrics.lock_releases met;
+    lock_reclaims = Metrics.lock_reclaims met;
+    crashes = Metrics.crashes met;
+    tag_assigns = Metrics.tag_assigns met;
+    tag_recycles = Metrics.tag_recycles met;
+    rows;
+  }
+
+let final_main t =
+  match List.rev t.snapshots with
+  | [] -> None
+  | last :: _ -> List.find_opt (fun s -> s.sys_id = "main") last.systems
+
+let describe t =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun ph ->
+      pr "phase %s:\n" ph.phase;
+      List.iter
+        (fun s ->
+          pr "  system %s: live_pids=[%s] free_tags=[%s]\n" s.sys_id
+            (String.concat ";" (List.map string_of_int s.live_pids))
+            (String.concat ";" (List.map string_of_int s.free_tags));
+          List.iter
+            (fun g ->
+              pr "    seg %s sid=%d lock=%s\n" g.seg_name g.sid
+                (match g.lock with
+                | Unlocked -> "unlocked"
+                | Shared n -> Printf.sprintf "shared(%d)" n
+                | Exclusive -> "exclusive"))
+            s.segs;
+          List.iter
+            (fun v ->
+              pr "    vas %s vid=%d tag=%s keys=[%s] seg_keys=[%s]\n" v.vas_name v.vid
+                (match v.vtag with None -> "-" | Some g -> string_of_int g)
+                (String.concat ";"
+                   (List.map (fun (k, p) -> Printf.sprintf "%d->%d" k p) v.keys))
+                (String.concat ";"
+                   (List.map (fun (s, k) -> Printf.sprintf "%d->%d" s k) v.seg_keys)))
+            s.vases;
+          List.iter
+            (fun c ->
+              pr "    core %d pid=%d live=%b cur=%s pkru=%#x\n" c.core_id c.pid c.live
+                (match c.cur_vid with None -> "-" | Some v -> string_of_int v)
+                c.pkru)
+            s.cores)
+        ph.systems)
+    t.snapshots;
+  let c = t.counters in
+  pr "counters: acquires=%d releases=%d reclaims=%d crashes=%d tag_assigns=%d tag_recycles=%d\n"
+    c.lock_acquires c.lock_releases c.lock_reclaims c.crashes c.tag_assigns c.tag_recycles;
+  List.iter
+    (fun r ->
+      pr "  nr %d %s obs=%d/%d tab=%d/%d\n" r.nr r.nr_name r.obs_calls r.obs_cycles r.tab_calls
+        r.tab_cycles)
+    c.rows;
+  (match t.journal with
+  | None -> pr "journal: (not run)\n"
+  | Some j ->
+    pr "journal: appends=%d committed=%d recovered=%s\n" j.total_appends j.committed_appends
+      (match j.recovered with None -> "none" | Some b -> string_of_bool b));
+  pr "teardown_complete=%b\n" t.teardown_complete;
+  Buffer.contents buf

@@ -1,0 +1,90 @@
+(** Observable world state for the invariant explorer.
+
+    A [t] is everything one exploration run exposes to the invariant
+    checkers: a chronological series of structural snapshots (one per
+    workload phase, each covering every live system), the final
+    observability and syscall-table counters, what the persistence
+    journal did, and whether teardown ran to completion.
+
+    Everything here is a plain immutable record — deliberately so.
+    Invariants ({!Invariant}) are pure functions [t -> string list],
+    which means the checker tests can fabricate a broken world by
+    literal record construction instead of poking test-only hooks into
+    the simulator. *)
+
+type lock = Unlocked | Shared of int | Exclusive
+
+type seg_snap = { seg_name : string; sid : int; lock : lock }
+
+type vas_snap = {
+  vas_name : string;
+  vid : int;
+  vtag : int option;  (** TLB tag, if one was assigned *)
+  keys : (int * int) list;  (** protection key -> owning pid *)
+  seg_keys : (int * int) list;  (** sid -> protection key *)
+}
+
+type core_snap = {
+  core_id : int;
+  pid : int;  (** pid of the context scheduled on this core *)
+  live : bool;
+  cur_vid : int option;  (** VAS switched into, if any *)
+  pkru : int;  (** the core's key-permission register *)
+}
+
+type sys_snap = {
+  sys_id : string;  (** ["main"] or ["restored"] *)
+  segs : seg_snap list;
+  vases : vas_snap list;
+  free_tags : int list;  (** registry free list, most recent first *)
+  cores : core_snap list;  (** one per context known to the system *)
+  live_pids : int list;
+}
+
+type phase_snap = { phase : string; systems : sys_snap list }
+
+type row = {
+  nr : int;
+  nr_name : string;
+  obs_calls : int;  (** completed calls seen by the event stream *)
+  obs_cycles : int;
+  tab_calls : int;  (** calls counted by the syscall table *)
+  tab_cycles : int;
+}
+
+type counters = {
+  lock_acquires : int;
+  lock_releases : int;
+  lock_reclaims : int;
+  crashes : int;
+  tag_assigns : int;
+  tag_recycles : int;
+  rows : row list;  (** union of nrs seen by either side, ascending *)
+}
+
+type journal_info = {
+  total_appends : int;
+  committed_appends : int;
+  recovered : bool option;
+      (** [None]: recovery found nothing; [Some c]: it returned an
+          image, [c] = that image passed [Persist.committed]. *)
+}
+
+type t = {
+  snapshots : phase_snap list;  (** chronological *)
+  counters : counters;
+  journal : journal_info option;  (** [None] when the persist phase never ran *)
+  teardown_complete : bool;
+}
+
+val capture_sys : id:string -> Sj_core.Api.system -> sys_snap
+(** Snapshot one system's registry, contexts and cores. *)
+
+val capture_counters : Sj_obs.Metrics.t -> Sj_abi.Sys.t -> counters
+(** Merge the recorder's metrics with the syscall table. *)
+
+val final_main : t -> sys_snap option
+(** The ["main"] system in the last snapshot, if any. *)
+
+val describe : t -> string
+(** Multi-line rendering for violation reports. *)

@@ -129,6 +129,10 @@ let syscall_rows t =
   !out
 
 let vas_switches t = t.switches
+let lock_acquires t = t.lock_acquires
+let lock_releases t = t.lock_releases
+let tag_assigns t = t.tag_assigns
+let tag_recycles t = t.tag_recycles
 let tlb_flushes t = t.flushes
 let page_invalidations t = t.page_invalidations
 let crashes t = t.crashes

@@ -19,6 +19,20 @@ val syscall_rows : t -> (int * string * int * int * int * Hist.t) list
 val vas_switches : t -> int
 (** Address-space switches committed ([Vas_switch] events). *)
 
+val lock_acquires : t -> int
+(** Successful segment-lock acquisitions ([Seg_lock] with
+    [acquired = true]) — one side of the explorer's lock-balance
+    invariant. *)
+
+val lock_releases : t -> int
+(** Voluntary segment unlocks ([Seg_unlock] events). *)
+
+val tag_assigns : t -> int
+(** ASID/tag grants ([Tag_assign] events). *)
+
+val tag_recycles : t -> int
+(** Tags re-issued from the free list ([Tag_recycle] events). *)
+
 val tlb_flushes : t -> int
 (** Full and tagged TLB flushes ([Tlb_flush] events other than
     single-page invalidations) — the counter the compartment bench

@@ -285,7 +285,15 @@ let restore sys image =
     pos := p;
     let tag = next_varint () in
     let vas = Vas.create (Machine.sim_ctx machine) ~acl ~name () in
-    if tag <> 0 then Vas.assign_tag vas tag;
+    (if tag <> 0 then
+       (* Never double-issue the saved tag: adopt it into the target
+          registry (off the free list, visible to alloc_tag's live-VAS
+          scan once registered below) — unless another live VAS already
+          holds it, in which case this VAS gets a fresh one. *)
+       match Registry.adopt_tag reg tag with
+       | () -> Vas.assign_tag vas tag
+       | exception Error.Fault { code = Name_exists; _ } ->
+         Vas.assign_tag vas (Registry.alloc_tag reg));
     let n = next_varint () in
     for _ = 1 to n do
       let sname = next_string () in

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Exploration-coverage lint, run on every `dune runtest`.
+#
+# The invariant explorer (lib/explore) claims to sweep every injectable
+# fault kind and to check a fixed roster of global invariants after
+# every run. Those claims rot silently: a new Plan constructor that the
+# enumeration never emits, or an invariant dropped from Invariant.all,
+# would shrink coverage without failing a single test. This lint parses
+# the actual sources and keeps the roster honest.
+#
+# 1. Every Plan.fault constructor's builder must appear in the
+#    explorer's enumeration (lib/explore/explore.ml).
+# 2. Every documented invariant name must be defined in
+#    lib/explore/invariant.ml AND exercised against a broken world by
+#    test/test_explore.ml.
+set -u
+
+# -- 1: plan-kind coverage in the enumeration -------------------------
+
+builders=$(grep -oE '^val [a-z_]+ :' lib/fault/plan.mli | awk '{print $2}' \
+  | grep -vE '^(fault_to_string|to_string)$')
+
+nbuilders=$(printf '%s\n' $builders | wc -l)
+if [ "$nbuilders" -lt 5 ]; then
+  echo "lint_explore: parsed only $nbuilders plan builders from lib/fault/plan.mli (expected >= 5); fix the parse" >&2
+  exit 1
+fi
+
+missing=
+for b in $builders; do
+  grep -q "Plan\.$b" lib/explore/explore.ml || missing="$missing $b"
+done
+if [ -n "$missing" ]; then
+  echo "lint_explore: Plan builder(s) never used by the explorer's enumeration:$missing" >&2
+  echo "Every injectable fault kind must appear in Sj_explore.Explore.enumerate; see the Exploration section of HACKING.md." >&2
+  exit 1
+fi
+
+# -- 2: invariant roster --------------------------------------------
+
+invariants="lock-balance tag-unique tag-reclaim pkey-owners pkru-hygiene journal-commit syscall-balance modal-agreement"
+
+for i in $invariants; do
+  grep -q "\"$i\"" lib/explore/invariant.ml || {
+    echo "lint_explore: invariant \"$i\" missing from lib/explore/invariant.ml" >&2
+    echo "The roster in this lint, Invariant.all and HACKING.md must stay in sync." >&2
+    exit 1
+  }
+  grep -q "$i" test/test_explore.ml || {
+    echo "lint_explore: invariant \"$i\" has no broken-world test in test/test_explore.ml" >&2
+    echo "Every invariant checker must be shown to flag a deliberately broken World.t; see HACKING.md." >&2
+    exit 1
+  }
+done
+
+ninv=$(printf '%s\n' $invariants | wc -w)
+if [ "$ninv" -lt 6 ]; then
+  echo "lint_explore: only $ninv invariants in the roster (acceptance floor is 6)" >&2
+  exit 1
+fi
+
+echo "lint_explore: OK (all $nbuilders fault kinds enumerated; all $ninv invariants defined and tested)"

@@ -321,6 +321,60 @@ let test_injected_run_is_reproducible () =
     (fun i r -> Alcotest.(check string) (Printf.sprintf "domain %d matches serial" i) serial r)
     results
 
+(* ---- Composed-plan replay fidelity (Injector.fired) ---- *)
+
+(* A storm, a torn write and a kill all firing in one run.
+   [Injector.fired] must capture the whole crop in firing order with
+   resolved values, and replaying that fired plan under the same seed
+   must be byte-identical to the original run — the contract the
+   exploration harness's violation keys stand on. *)
+let composed_workload ~plan ~seed () =
+  let m = Machine.create tiny in
+  let rec_ = Recorder.create () in
+  Recorder.attach (Machine.sim_ctx m) rec_;
+  let sys = Api.boot m in
+  let p = Process.create ~name:"w" m in
+  let ctx = Api.context sys p (Machine.core m 0) in
+  let inj = Injector.create ~seed (plan ~pid:(Process.pid p)) in
+  Injector.attach (Machine.sim_ctx m) inj;
+  let _vas, seg = make_locked_world ctx in
+  let vh = Api.vas_attach ctx (Api.vas_find ctx ~name:"shared") in
+  (match Api.Checked.switch_retry ~attempts:6 ~backoff_cycles:500 ctx vh with
+  | Ok () ->
+    Api.store64 ctx ~va:(Segment.base seg) 55L;
+    Api.switch_home ctx
+  | Error _ -> ());
+  let image = Persist.save sys in
+  (try ignore (Api.seg_find ctx ~name:"shared.data") with Injector.Killed _ -> ());
+  let text =
+    Printf.sprintf "%s\nimage=%d committed=%b cycles=%d"
+      (Trace.to_text (Recorder.events rec_))
+      (Bytes.length image) (Persist.committed image)
+      (Core.cycles (Api.core ctx))
+  in
+  (text, Injector.fired inj)
+
+let test_composed_plan_replay () =
+  let plan ~pid =
+    [
+      Plan.would_block_storm ~pid ~nr:(Sys.number Vas_switch) ~count:2;
+      Plan.torn_write ~save:1 ();
+      Plan.kill_at_syscall ~pid ~nr:(Sys.number Seg_find) ~occurrence:1 ();
+    ]
+  in
+  let t1, fired = composed_workload ~plan ~seed:11 () in
+  Alcotest.(check int) "all three composed faults fired" 3 (List.length fired);
+  Alcotest.(check bool) "storm recorded once with its full count" true
+    (List.exists
+       (function Plan.Would_block_storm { count; _ } -> count = 2 | _ -> false)
+       fired);
+  Alcotest.(check bool) "torn write recorded with a resolved offset" true
+    (List.exists (function Plan.Torn_write { at_byte; _ } -> at_byte >= 0 | _ -> false) fired);
+  let t2, fired2 = composed_workload ~plan:(fun ~pid:_ -> fired) ~seed:11 () in
+  Alcotest.(check string) "replaying the fired plan is byte-identical" t1 t2;
+  Alcotest.(check string) "the fired crop is a fixed point under replay"
+    (Plan.to_string fired) (Plan.to_string fired2)
+
 let suite =
   [
     Alcotest.test_case "kill at nth syscall" `Quick test_kill_at_syscall;
@@ -340,6 +394,8 @@ let suite =
       test_journal_recovers_last_committed;
     Alcotest.test_case "ASID recycled after vas destroy" `Quick test_asid_recycled_after_destroy;
     Alcotest.test_case "empty plan is zero-cost" `Quick test_empty_plan_is_free;
+    Alcotest.test_case "composed plan replays byte-identically from fired" `Quick
+      test_composed_plan_replay;
     Alcotest.test_case "injected run reproducible across domains" `Quick
       test_injected_run_is_reproducible;
   ]

@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("cluster", Test_cluster.suite);
+      ("explore", Test_explore.suite);
     ]
