@@ -1,0 +1,77 @@
+(* `bench fork`: the fork-serving KV comparison (lib/fork + kv_fork)
+   end to end — headline pair (prefork pool vs fork-per-connection at
+   the same shape), the serving-mode x connections x write-fraction
+   sweep, the acceptance claims (fault storm measured, prefork
+   steady-state clean, parent store unwritten, >90% page-table sharing,
+   leak-free refcounts, prefork faster), and the determinism audits.
+   All orchestration lives in Sj_fork.Driver (shared with `sjctl
+   fork`); this file only prints tables and writes BENCH_fork.json — or
+   exits 2 on any divergence or failed claim, before any report is
+   written. *)
+
+module Kv_fork = Sj_kvstore.Kv_fork
+module Driver = Sj_fork.Driver
+module Freport = Sj_fork.Fork_report
+
+let out_path = "BENCH_fork.json"
+
+let point_row label (p : Freport.point) =
+  let c = p.Freport.cfg and r = p.Freport.res in
+  Printf.printf "  %-10s %-13s %5d %5d %5.2f %10.0f %8.0f %9.0f %6d %6d %6d %7s\n"
+    label
+    (Kv_fork.mode_name c.Kv_fork.mode)
+    c.Kv_fork.connections c.Kv_fork.requests_per_conn c.Kv_fork.set_fraction
+    r.Kv_fork.throughput r.Kv_fork.p50 r.Kv_fork.p99 r.Kv_fork.forks
+    r.Kv_fork.cow_faults r.Kv_fork.cow_copies
+    (Printf.sprintf "%d/%d" r.Kv_fork.share_shared r.Kv_fork.share_total)
+
+let header () =
+  Printf.printf "  %-10s %-13s %5s %5s %5s %10s %8s %9s %6s %6s %6s %7s\n" "run"
+    "mode" "conns" "reqs" "sets" "thr(rps)" "p50" "p99" "forks" "cow" "copies"
+    "share"
+
+let run () =
+  let quick = !Bench_common.quick in
+  Bench_common.section
+    (Printf.sprintf "Fork: prefork pool vs fork-per-connection KV serving%s"
+       (if quick then " (quick)" else ""));
+  let { Driver.report; divergences; failed_claims } =
+    Driver.run ~quick ~jobs:!Bench_common.jobs
+      ~progress:(fun s -> Bench_common.note "  -- %s" s)
+      ()
+  in
+  Bench_common.note "";
+  Bench_common.note "  headline (same shape, both serving modes):";
+  header ();
+  List.iter (point_row "headline") report.Freport.headline;
+  Bench_common.note "";
+  Bench_common.note "  sweep grid:";
+  header ();
+  List.iter (point_row "grid") report.Freport.grid;
+  Bench_common.note "";
+  if failed_claims <> [] then begin
+    Printf.eprintf "fork: acceptance claims failed:\n";
+    List.iter (fun c -> Printf.eprintf "  - %s\n" c) failed_claims;
+    exit 2
+  end;
+  Bench_common.note
+    "  claims: storm measured, prefork steady-state clean, store \
+     unwritten, sharing >90%%, refcounts leak-free -> all hold";
+  match divergences with
+  | [] ->
+    Bench_common.note "  determinism audits: %s -> identical"
+      (String.concat ", " report.Freport.audits);
+    let json = Freport.to_json report in
+    let oc = open_out out_path in
+    output_string oc json;
+    close_out oc;
+    (match Freport.check_file out_path with
+    | Ok () -> Bench_common.note "  wrote %s (schema %s)" out_path Freport.schema
+    | Error es ->
+      Printf.eprintf "fork: emitted report failed validation:\n";
+      List.iter (fun e -> Printf.eprintf "  - %s\n" e) es;
+      exit 2)
+  | ds ->
+    Printf.eprintf "fork: determinism audit divergence (%s); refusing to write %s\n"
+      (String.concat ", " ds) out_path;
+    exit 2

@@ -5,7 +5,7 @@
    Usage:
      main.exe [-j N] [--quick]                 run everything
      main.exe [-j N] [--quick] fig1 fig10 ...  run selected experiments
-   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro des faults cluster compartments explore
+   Experiments: table1 fig1 table2 fig6 fig7 fig8 fig10 fig11 ablations checker micro des faults cluster compartments explore fork
    (fig8 includes fig9; fig11 includes fig12). --quick selects CI
    sizes for the experiments that have one (cluster).
 
@@ -37,6 +37,7 @@ let experiments =
     ("cluster", Clusterbench.run);
     ("compartments", Compartbench.run);
     ("explore", Explorebench.run);
+    ("fork", Forkbench.run);
   ]
 
 let () =

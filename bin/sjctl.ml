@@ -757,6 +757,88 @@ let compartments_cmd =
           audits)")
     Term.(const run $ quick $ out $ jobs)
 
+let fork_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI problem sizes (a few seconds)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_fork.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report (schema spacejmp-bench/7-fork) to $(docv)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sj_util.Par.default_size ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan sweep-grid points across $(docv) domains (wall clock only)")
+  in
+  let run quick out jobs =
+    if jobs < 1 then begin
+      prerr_endline "fork: --jobs must be >= 1";
+      exit 2
+    end;
+    let module Kv_fork = Sj_kvstore.Kv_fork in
+    let module Driver = Sj_fork.Driver in
+    let module Freport = Sj_fork.Fork_report in
+    let { Driver.report; divergences; failed_claims } =
+      Driver.run ~quick ~jobs
+        ~progress:(fun s -> Format.printf "-- %s@." s)
+        ()
+    in
+    let row label (p : Freport.point) =
+      let c = p.Freport.cfg and r = p.Freport.res in
+      Format.printf
+        "%-10s %-13s conns=%-3d sets=%.2f %10.0f rps  p50=%.0f p99=%.0f \
+         forks=%d cow_faults=%d share=%d/%d@."
+        label
+        (Kv_fork.mode_name c.Kv_fork.mode)
+        c.Kv_fork.connections c.Kv_fork.set_fraction r.Kv_fork.throughput
+        r.Kv_fork.p50 r.Kv_fork.p99 r.Kv_fork.forks r.Kv_fork.cow_faults
+        r.Kv_fork.share_shared r.Kv_fork.share_total
+    in
+    List.iter (row "headline") report.Freport.headline;
+    List.iter (row "grid") report.Freport.grid;
+    (* Same refusal discipline as `sjctl compartments`, with the
+       acceptance claims fatal too: no report unless the fault storm
+       was measured, the prefork pool stayed fault-free in steady
+       state, the parent's store was unwritten, every family shared
+       >90% of its page-table nodes, and the refcount audit was
+       leak-free. *)
+    (match failed_claims with
+    | [] -> ()
+    | cs ->
+      List.iter (Format.eprintf "fork: claim failed: %s@.") cs;
+      exit 2);
+    (match divergences with
+    | [] -> ()
+    | ds ->
+      Format.eprintf "fork: determinism audit divergence (%s)@."
+        (String.concat ", " ds);
+      exit 2);
+    let oc = open_out out in
+    output_string oc (Freport.to_json report);
+    close_out oc;
+    (match Freport.check_file out with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (Format.eprintf "fork: invalid report: %s@.") es;
+      exit 2);
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "fork"
+       ~doc:
+         "Run the fork-serving KV bench (prefork worker pool vs \
+          fork-per-connection snapshots; CoW fault storms + claims + \
+          determinism audits)")
+    Term.(const run $ quick $ out $ jobs)
+
 let explore_cmd =
   let quick =
     Arg.(
@@ -844,7 +926,7 @@ let () =
     Cmd.group info
       [
         platforms_cmd; gups_cmd; demo_cmd; redis_cmd; faults_cmd; check_cmd; persist_cmd;
-        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; compartments_cmd; explore_cmd; trace_cmd; stats_cmd;
+        inspect_cmd; samtools_cmd; bench_cmd; cluster_cmd; compartments_cmd; fork_cmd; explore_cmd; trace_cmd; stats_cmd;
       ]
   in
   (* Typed ABI faults (and their legacy exception spellings) become a

@@ -34,6 +34,8 @@ type nr =
   | Pkey_alloc
   | Pkey_assign
   | Pkey_switch
+  | Vas_fork
+  | Proc_fork
 
 let all =
   [|
@@ -42,7 +44,7 @@ let all =
     Seg_attach_local; Seg_detach; Seg_detach_local; Seg_clone; Seg_snapshot;
     Seg_ctl; Seg_delete; Seg_lock; Seg_unlock; Heap_malloc; Heap_free;
     Proc_exit; Persist_save; Persist_restore; Proc_crash; Pkey_alloc;
-    Pkey_assign; Pkey_switch;
+    Pkey_assign; Pkey_switch; Vas_fork; Proc_fork;
   |]
 
 let nr_count = Array.length all
@@ -78,6 +80,8 @@ let number = function
   | Pkey_alloc -> 27
   | Pkey_assign -> 28
   | Pkey_switch -> 29
+  | Vas_fork -> 30
+  | Proc_fork -> 31
 
 let of_number n = if n >= 0 && n < nr_count then Some all.(n) else None
 
@@ -112,6 +116,8 @@ let name = function
   | Pkey_alloc -> "pkey_alloc"
   | Pkey_assign -> "pkey_assign"
   | Pkey_switch -> "pkey_switch"
+  | Vas_fork -> "vas_fork"
+  | Proc_fork -> "proc_fork"
 
 type crossing = Trap | Lock_path | Inline
 
@@ -119,7 +125,7 @@ let crossing = function
   | Vas_create | Vas_find | Vas_clone | Vas_attach | Vas_detach | Vas_ctl
   | Vas_delete | Seg_alloc | Seg_find | Seg_attach | Seg_attach_local
   | Seg_detach | Seg_detach_local | Seg_clone | Seg_snapshot | Seg_ctl
-  | Seg_delete | Pkey_alloc | Pkey_assign ->
+  | Seg_delete | Pkey_alloc | Pkey_assign | Vas_fork | Proc_fork ->
     Trap
   | Seg_lock | Heap_malloc | Heap_free -> Lock_path
   (* Pkey_switch is the point of the mechanism: a pure user-space

@@ -50,6 +50,8 @@ type nr =
   | Pkey_alloc  (** 27 — allocate a protection key in a VAS *)
   | Pkey_assign  (** 28 — tag a segment's pages with a key *)
   | Pkey_switch  (** 29 — rewrite the per-core key register (no trap) *)
+  | Vas_fork  (** 30 — copy-on-write duplicate of a VAS attachment *)
+  | Proc_fork  (** 31 — copy-on-write duplicate of the calling process *)
 
 val nr_count : int
 val number : nr -> int

@@ -83,8 +83,22 @@ let emit_to r ctx kind =
     kind
 
 (* The page-fault handler: resolve copy-on-write write faults against
-   the address space the context currently has installed (sec 7
-   snapshotting). Everything else is a genuine fault. *)
+   the address space the context currently has installed. Two CoW
+   flavours arrive here, discriminated by walking the installed tables:
+
+   - fork-style page-table CoW (the walk crossed a CoW-shared subtree
+     or hit a CoW-tagged leaf): break-and-copy in place — resolve the
+     frame through the region's object, then [Vmspace.cow_break]
+     rewrites the one leaf (taking private ownership of the shared
+     subtree path) and clears the CoW tag, so the page faults exactly
+     once;
+   - object-level CoW (sec 7 snapshotting: the PTE itself was
+     write-protected): resolve and remap the page writable.
+
+   A walk that already shows a writable non-CoW leaf means the trap
+   came from a stale TLB entry another thread's break left behind; the
+   retry (which invalidates the page) succeeds without any repair.
+   Everything else is a genuine fault. *)
 let fault_handler ctx ~va ~access =
   match access with
   | Machine.Read ->
@@ -100,26 +114,63 @@ let fault_handler ctx ~va ~access =
       | Some vh -> vh.vmspace
       | None -> Process.primary_vmspace ctx.proc
     in
+    let emit_fault resolved =
+      match obs ctx with
+      | Some rec_ ->
+        emit_to rec_ ctx
+          (Sj_obs.Event.Page_fault { va; write = true; resolved })
+      | None -> ()
+    in
     match Vmspace.find_region vms ~va with
-    | Some r when r.cow && r.prot.write ->
-      Core.charge ctx.core cow_fault_overhead;
-      let page = ((va - r.base) / Addr.page_size) + r.obj_page in
-      let frame =
-        Vm_object.resolve_cow_write r.obj ~page ctx.sys.machine ~charge_to:(Some ctx.core)
-      in
-      Vmspace.remap_page vms ~charge_to:(Some ctx.core) ~va ~frame ~prot:r.prot;
-      (match obs ctx with
-      | Some rec_ ->
-        emit_to rec_ ctx
-          (Sj_obs.Event.Page_fault { va; write = true; resolved = true })
-      | None -> ());
-      true
+    | Some r when r.cow && r.prot.write -> (
+      match Page_table.walk (Vmspace.page_table vms) ~va with
+      | Some m when m.cow ->
+        (* Fork-style CoW: break the page-table sharing in place. *)
+        if m.size = Page_table.P2M then begin
+          (* Decided refusal: a 2 MiB CoW leaf cannot be split page by
+             page without tearing the huge mapping; surface a precise
+             typed fault rather than silently demoting it. *)
+          emit_fault false;
+          Error.failf Invalid ~op:"store"
+            "copy-on-write fault on a 2 MiB mapping at 0x%x: huge CoW \
+             leaves are not split (remap the segment 4 KiB-backed first)"
+            va
+        end;
+        Core.charge ctx.core cow_fault_overhead;
+        let page = ((va - r.base) / Addr.page_size) + r.obj_page in
+        let copied = Vm_object.page_shared r.obj ~page in
+        let frame =
+          Vm_object.resolve_cow_write r.obj ~page ctx.sys.machine
+            ~charge_to:(Some ctx.core)
+        in
+        Vmspace.cow_break vms ~charge_to:(Some ctx.core) ~va ~frame;
+        emit_fault true;
+        (match obs ctx with
+        | Some rec_ -> emit_to rec_ ctx (Sj_obs.Event.Cow_fault { va; copied })
+        | None -> ());
+        true
+      | Some m when m.prot.write ->
+        (* Stale TLB: the tables already grant write (another thread of
+           this process broke the page). The retry's page invalidation
+           is the whole repair. *)
+        emit_fault true;
+        true
+      | Some _ | None ->
+        (* Object-level CoW: the leaf itself was write-protected by a
+           snapshot. Event-wise this path is unchanged from before fork
+           existed ([Page_fault] only) — fork-free traces must stay
+           byte-identical. *)
+        Core.charge ctx.core cow_fault_overhead;
+        let page = ((va - r.base) / Addr.page_size) + r.obj_page in
+        let frame =
+          Vm_object.resolve_cow_write r.obj ~page ctx.sys.machine
+            ~charge_to:(Some ctx.core)
+        in
+        Vmspace.remap_page vms ~charge_to:(Some ctx.core) ~va ~frame ~prot:r.prot;
+        emit_fault true;
+        true)
     | Some _ | None ->
-      (match obs ctx with
-      | Some rec_ ->
-        emit_to rec_ ctx
-          (Sj_obs.Event.Page_fault { va; write = true; resolved = false })
-      | None -> ());
+      emit_fault false;
       false)
 
 let context sys proc core =
@@ -439,10 +490,13 @@ let sync_private_regions ctx vh =
   List.iter
     (fun (r : Vmspace.region) ->
       if not (List.mem r.base vh.private_bases) then begin
+        (* [cow] rides along: after a proc_fork the process's private
+           regions share frames with the other side of the fork, and a
+           replica mapped writable here would bypass the fault path. *)
         Vmspace.map_object vh.vmspace ~charge_to:(Some ctx.core) ~base:r.base
           ~obj_page:r.obj_page
           ~pages:(r.size / Addr.page_size)
-          ?name:r.region_name ~prot:r.prot r.obj;
+          ~cow:r.cow ?name:r.region_name ~prot:r.prot r.obj;
         vh.private_bases <- r.base :: vh.private_bases
       end)
     (Process.private_regions ctx.proc)
@@ -532,6 +586,202 @@ let vas_attach_c ctx vas =
         vh.cap_slot <- Some (Cap.Cspace.insert cspace child));
       ctx.attachments <- vh :: ctx.attachments;
       vh)
+
+(* -------------------- Fork (lib/fork's kernel side) -------------------- *)
+
+(* Emit the [Fork] event with the page-table sharing census of the
+   freshly forked vmspace — the observable proof that the fork shared
+   subtrees instead of copying them. *)
+let emit_fork ctx ~parent ~child ~proc pt =
+  match obs ctx with
+  | Some r ->
+    let nodes_total, nodes_shared = Page_table.count_nodes pt in
+    emit_to r ctx
+      (Sj_obs.Event.Fork { parent; child; proc; nodes_shared; nodes_total })
+  | None -> ()
+
+let vas_fork_c ctx vh ~name =
+  call ctx Vas_fork (fun () ->
+      if vh.detached then Error.fail Stale_handle ~op:"vas_fork" "detached handle";
+      check_acl ctx (Vas.acl vh.vas) `Read ~op:"vas_fork" "VAS not readable";
+      (* Precise refusals. Cached translations are shared *mutably* (the
+         grafted subtree is the segment's single source of truth across
+         every VAS using it) and cannot also be CoW-shared; process-local
+         segments are not part of the VAS being forked. *)
+      List.iter
+        (fun (sid, _) ->
+          let seg = Registry.find_seg_by_id ctx.sys.reg sid in
+          if Segment.translation_cache seg <> None then
+            Error.failf Invalid ~op:"vas_fork"
+              "segment %s has cached translations: its page tables are shared \
+               in place across every grafting VAS and cannot be CoW-forked"
+              (Segment.name seg))
+        vh.mapped;
+      if vh.local_segs <> [] then
+        Error.fail Invalid ~op:"vas_fork"
+          "attachment has process-local segments (not part of the VAS); \
+           detach them before forking";
+      let vas' =
+        Vas.create (Machine.sim_ctx ctx.sys.machine) ~acl:(Vas.acl vh.vas) ~name ()
+      in
+      Registry.register_vas ctx.sys.reg vas';
+      (* CoW-fork the attachment's vmspace: the global spans (segment
+         content) are shared subtree-by-subtree; the private spans are
+         left empty and re-replicated below, because the common region
+         belongs to the calling process, not to the VAS. *)
+      let vms' =
+        Vmspace.fork vh.vmspace ~charge_to:(Some ctx.core) ~share:Layout.is_global
+      in
+      let cred = Process.cred ctx.proc in
+      let acl = Acl.create ~owner:cred.uid ~group:0 ~mode:0o600 in
+      let mapped = ref [] and mapped_pages = ref [] in
+      List.iter
+        (fun (sid, prot) ->
+          let seg = Registry.find_seg_by_id ctx.sys.reg sid in
+          let r =
+            match Vmspace.find_region vms' ~va:(Segment.base seg) with
+            | Some r -> r
+            | None ->
+              Error.failf Invalid ~op:"vas_fork" "segment %s not mapped"
+                (Segment.name seg)
+          in
+          (* The shadow segment wraps the region's CoW-cloned object, so
+             the fork's frames belong to the new VAS's own segment — no
+             copy until somebody writes. *)
+          let shadow =
+            Segment.create_with_object ~acl ~machine:ctx.sys.machine
+              ~name:(Printf.sprintf "%s@%s" (Segment.name seg) name)
+              ~base:(Segment.base seg) ~prot:(Segment.prot_max seg) r.obj
+          in
+          Segment.mark_cow seg;
+          Segment.mark_cow shadow;
+          Registry.register_seg ctx.sys.reg shadow;
+          (* The allocator state is frozen at the fork instant, like a
+             snapshot's. *)
+          if Registry.has_heap ctx.sys.reg seg then begin
+            let copy =
+              Mspace.of_snapshot ~base:(Segment.base seg) ~size:(Segment.size seg)
+                (Mspace.snapshot (Registry.heap ctx.sys.reg seg))
+            in
+            Registry.set_heap ctx.sys.reg shadow copy
+          end;
+          Vas.attach_segment vas' shadow ~prot;
+          Registry.note_mapping ctx.sys.reg ~sid:(Segment.sid shadow) vms';
+          mapped := (Segment.sid shadow, prot) :: !mapped;
+          mapped_pages := (Segment.sid shadow, Segment.pages shadow) :: !mapped_pages;
+          (* Every *other* vmspace mapping the source segment writes to
+             frames the fork now shares: write-protect them (the fork
+             source itself was CoW-tagged wholesale by the clone). *)
+          List.iter
+            (fun vms ->
+              if vms != vh.vmspace && vms != vms' then
+                Vmspace.write_protect_region vms ~charge_to:(Some ctx.core)
+                  ~base:(Segment.base seg))
+            (Registry.mappings ctx.sys.reg ~sid))
+        vh.mapped;
+      (* Stale writable translations of the now-CoW pages die machine-wide
+         (one IPI per core), exactly like a snapshot's shootdown. *)
+      let c = cost ctx in
+      Array.iter
+        (fun core ->
+          Sj_tlb.Tlb.flush_nonglobal (Core.tlb core);
+          Core.charge ctx.core c.cacheline_cross)
+        (Machine.cores ctx.sys.machine);
+      let vh' =
+        {
+          vas = vas';
+          owner = ctx.proc;
+          vmspace = vms';
+          synced_gen = Vas.generation vas';
+          mapped = List.rev !mapped;
+          mapped_pages = List.rev !mapped_pages;
+          local_segs = [];
+          private_bases = [];
+          cap_slot = None;
+          entered = 0;
+          held = [];
+          detached = false;
+        }
+      in
+      (* Replicate the common region (fresh tables: it is per-process
+         state, and the fork is attachable by other processes too). *)
+      sync_private_regions ctx vh';
+      (match ctx.sys.backend with
+      | Dragonfly -> ()
+      | Barrelfish ->
+        (* §4.2 again: user-space page-table memory is capability work —
+           one retype per table the clone allocated (the CoW-shared
+           subtrees cost nothing: they are the *other* VAS's vnodes). *)
+        let tables =
+          (Sj_paging.Page_table.stats (Vmspace.page_table vms')).tables_allocated
+        in
+        let cspace = Process.cspace ctx.proc in
+        for _ = 1 to tables do
+          let ram =
+            Cap.create_ram (Machine.sim_ctx ctx.sys.machine) ~size:Addr.page_size
+          in
+          let vnode = Cap.retype ram ~into:(Cap.Vnode 1) in
+          ignore (Cap.Cspace.insert cspace vnode);
+          Core.charge ctx.core c.syscall_barrelfish
+        done;
+        let root = Registry.root_cap ctx.sys.reg vas' in
+        let child = Cap.mint root ~rights:Prot.rwx in
+        vh'.cap_slot <- Some (Cap.Cspace.insert cspace child));
+      ctx.attachments <- vh' :: ctx.attachments;
+      emit_fork ctx ~parent:(Vas.vid vh.vas) ~child:(Vas.vid vas') ~proc:false
+        (Vmspace.page_table vms');
+      Log.debug (fun m ->
+          m "vas_fork %s -> %s (%d segments CoW-shared)" (Vas.name vh.vas) name
+            (List.length vh'.mapped));
+      vh')
+
+let proc_fork_c ?name ctx ~core =
+  call ctx Proc_fork (fun () ->
+      (* The kernel half: fresh pid, CoW-forked primary vmspace, cloned
+         text/data/stack objects, inherited credentials, empty cspace. *)
+      let child_proc = Process.fork ?name ctx.proc ~charge_to:(Some ctx.core) in
+      let child = context ctx.sys child_proc core in
+      (* The child's key register starts scrubbed — compartment entry is
+         never inherited across a fork. *)
+      Core.set_pkru core Pkey.default;
+      let child_pid = Process.pid child_proc in
+      (try
+         (* Protection keys: ownership is per-pid and never shared. The
+            child gets *fresh* keys, one per key the parent owns in each
+            VAS, so its compartment budget matches the parent's without
+            granting it the parent's tags. *)
+         List.iter
+           (fun vas ->
+             List.iter
+               (fun (_, owner) ->
+                 if owner = Process.pid ctx.proc then
+                   ignore (Vas.alloc_key vas ~pid:child_pid))
+               (Vas.key_allocations vas))
+           (Registry.list_vases ctx.sys.reg);
+         (* VAS attachments are rebuilt through the ordinary attach path
+            (segments are MAP_SHARED state, not CoW'd by a fork), oldest
+            first so attachment order matches the parent's. Segment
+            locks are deliberately NOT inherited: the child starts
+            outside every attachment, holding nothing. *)
+         List.iter
+           (fun vh ->
+             if not vh.detached then
+               match vas_attach_c child vh.vas with
+               | Ok _ -> ()
+               | Error f -> raise (Error.Fault f))
+           (List.rev ctx.attachments)
+       with e ->
+         (* Roll the half-built child back (key-space exhaustion, or an
+            injected fault in one of the child's attach calls). Crash
+            teardown already ran if the child was fault-injector-killed. *)
+         if Process.is_live child_proc then crash_teardown child;
+         raise e);
+      emit_fork ctx ~parent:(Process.pid ctx.proc) ~child:child_pid ~proc:true
+        (Vmspace.page_table (Process.primary_vmspace child_proc));
+      Log.debug (fun m ->
+          m "proc_fork %d -> %d (%s)" (Process.pid ctx.proc) child_pid
+            (Process.name child_proc));
+      child)
 
 (* Leave the attachment the context is currently in (if any): the last
    thread out releases the attachment's locks. *)
@@ -969,16 +1219,15 @@ let seg_clone_c ctx seg ~name =
       check_acl ctx (Segment.acl seg) `Read ~op:"seg_clone" "segment not readable";
       (* The documented refusals, each a typed fault: the clone is a
          plain 4 KiB-backed segment, so sources whose identity lives in
-         shared page tables (cached translations), shared frames (COW)
-         or 2 MiB mappings cannot be represented faithfully. *)
+         shared page tables (cached translations) or 2 MiB mappings
+         cannot be represented faithfully. COW sources are fine — the
+         clone break-and-copies: it *reads* the shared frames (reads
+         never split a CoW page) into its own fresh frames, leaving the
+         source's sharing with its snapshot/fork family intact. *)
       if Segment.translation_cache seg <> None then
         Error.fail Invalid ~op:"seg_clone"
           "segments with cached translations cannot be cloned (the copy cannot \
            share the pre-built page tables)";
-      if Segment.is_cow seg then
-        Error.fail Invalid ~op:"seg_clone"
-          "COW segments cannot be cloned (pages are shared with a snapshot; \
-           snapshot again instead)";
       if Segment.page_size seg = Page_table.P2M then
         Error.fail Invalid ~op:"seg_clone"
           "huge-page segments cannot be cloned (the copy would be 4 KiB-backed \
@@ -1192,6 +1441,8 @@ module Checked = struct
   let pkey_alloc = pkey_alloc_c
   let pkey_assign = pkey_assign_c
   let pkey_switch = pkey_switch_c
+  let vas_fork = vas_fork_c
+  let proc_fork = proc_fork_c
 end
 
 (* -------------------- Legacy exception-style surface -------------------- *)
@@ -1225,6 +1476,8 @@ let free ctx va = ok_exn (free_c ctx va)
 let pkey_alloc ctx vas = ok_exn (pkey_alloc_c ctx vas)
 let pkey_assign ctx vas seg ~key = ok_exn (pkey_assign_c ctx vas seg ~key)
 let pkey_switch ctx ~key = ok_exn (pkey_switch_c ctx ~key)
+let vas_fork ctx vh ~name = ok_exn (vas_fork_c ctx vh ~name)
+let proc_fork ?name ctx ~core = ok_exn (proc_fork_c ?name ctx ~core)
 
 (* -------------------- Data access -------------------- *)
 

@@ -165,10 +165,14 @@ val seg_detach_local : ctx -> vh -> Segment.t -> unit
 val seg_clone : ctx -> Segment.t -> name:string -> Segment.t
 (** Copy segment contents into fresh physical memory under a new name
     (same virtual base — a clone is an alternative version of the same
-    window, attachable to other VASes). Not available for cached/COW/
-    huge segments: the clone is a plain 4 KiB-backed segment, so each
-    of those sources is refused with a typed [Invalid] fault (tested
-    in [test_core]). Use {!seg_snapshot} for COW sources. *)
+    window, attachable to other VASes). COW sources (snapshot or fork
+    shadows) are supported by break-and-copy on the read side: the
+    clone reads the shared frames — reads never split a CoW page — into
+    its own fresh frames, so the source's sharing with its family is
+    untouched and the clone starts fully private. Not available for
+    cached or huge segments: the clone is a plain 4 KiB-backed segment,
+    so each of those sources is refused with a typed [Invalid] fault
+    (tested in [test_core]). *)
 
 val seg_snapshot : ctx -> Segment.t -> name:string -> Segment.t
 (** Copy-on-write snapshot (paper sec 7 "copy-on-write, snapshotting and
@@ -226,6 +230,52 @@ val pkey_switch : ctx -> key:int -> unit
     strictly cheaper than any VAS switch — with no CR3 write and no
     TLB flush. The key must be allocated in the current VAS. Switching
     address spaces resets the register (key meanings are per-VAS). *)
+
+(** {2 Fork: copy-on-write duplication (lib/fork)}
+
+    Two fork flavours, both built on copy-on-write shared page-table
+    subtrees ({!Sj_paging.Page_table.clone_cow}): the clone's top-level
+    slots point at the source's subtrees with a CoW tag instead of
+    deep-copying, so a fork costs O(top-level slots), not O(pages). The
+    first write to a shared page from either side traps, is charged a
+    realistic frame-copy cost, and privatizes exactly that page
+    (break-and-copy); read-only pages stay shared forever. A write
+    landing on a 2 MiB CoW leaf is refused with a typed [Invalid]
+    fault — huge leaves are never split page-by-page. *)
+
+val vas_fork : ctx -> vh -> name:string -> vh
+(** Copy-on-write duplicate of a VAS, returned as a fresh attachment of
+    the calling process. A new VAS named [name] (same ACL) is created
+    and populated with one {e shadow segment} per global segment of the
+    source — each wrapping a CoW clone of the source's object at the
+    same base — and the attachment's vmspace CoW-shares the source's
+    global page-table subtrees. Both sides' writable pages become
+    copy-on-write (other processes' live mappings of the source
+    segments are write-protected and stale translations shot down
+    machine-wide, as in {!seg_snapshot}); per-segment heap allocator
+    state is frozen into the shadow. The fork holds no locks and is
+    entered with an ordinary {!vas_switch}. Refused with a typed
+    [Invalid] fault when a source segment has cached translations
+    (those page tables are shared mutably across VASes) or when the
+    attachment has process-local segments. *)
+
+val proc_fork :
+  ?name:string -> ctx -> core:Sj_machine.Machine.Core.core -> ctx
+(** Copy-on-write duplicate of the calling process, returned as a new
+    context bound to [core] (which must be free). The child gets a
+    fresh pid, a CoW fork of the primary address space (text shared
+    read-only forever; data and stacks break-and-copy on first write),
+    inherited credentials and thread geometry, and an empty capability
+    space. Runtime state is rebuilt, not copied: VAS attachments are
+    re-created through the ordinary attach path (segments are shared,
+    not CoW), segment locks are NOT inherited, the child's key register
+    starts scrubbed ([Pkey.default]), and the child owns {e fresh}
+    protection keys — one per key the parent holds in each VAS — never
+    the parent's. The child starts in its home space ([current] =
+    [None]). Crash teardown of the child (or of the parent) leaves the
+    other side's mappings, locks and tags intact — CoW frames are
+    reference-counted per page. [name] defaults to the parent's name
+    suffixed with ["+"]. *)
 
 (** {2 Runtime library: per-segment heaps (§4.1)} *)
 
@@ -323,6 +373,9 @@ module Checked : sig
   val pkey_alloc : ctx -> Vas.t -> (int, Sj_abi.Error.t) result
   val pkey_assign : ctx -> Vas.t -> Segment.t -> key:int -> (unit, Sj_abi.Error.t) result
   val pkey_switch : ctx -> key:int -> (unit, Sj_abi.Error.t) result
+  val vas_fork : ctx -> vh -> name:string -> (vh, Sj_abi.Error.t) result
+  val proc_fork :
+    ?name:string -> ctx -> core:Sj_machine.Machine.Core.core -> (ctx, Sj_abi.Error.t) result
 end
 
 (** {2 Convenience data accessors (current address space)} *)

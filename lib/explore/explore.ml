@@ -17,6 +17,8 @@ module Trace = Sj_obs.Trace
 module Metrics = Sj_obs.Metrics
 module Persist = Sj_persist.Persist
 module Size = Sj_util.Size
+module Layout = Sj_kernel.Layout
+module Page_table = Sj_paging.Page_table
 
 let sp = Printf.sprintf
 
@@ -26,6 +28,7 @@ type config = {
   backend : Api.backend;
   seed : int;
   plan : Plan.t;
+  fork : bool;
 }
 
 let mechanism cfg = if cfg.seed land 1 = 1 then Pkey_loop else Switch
@@ -39,7 +42,9 @@ let mechanism_name cfg =
   | Switch, Api.Barrelfish -> "cap_invoke"
 
 let key cfg =
-  sp "%s seed=%d plan=[%s]" (backend_name cfg.backend) cfg.seed (Plan.to_string cfg.plan)
+  sp "%s seed=%d%s plan=[%s]" (backend_name cfg.backend) cfg.seed
+    (if cfg.fork then " fork" else "")
+    (Plan.to_string cfg.plan)
 
 type result = {
   cfg : config;
@@ -124,6 +129,7 @@ let run cfg =
   in
   let snaps = ref [] in
   let restored = ref None in
+  let restored_machine = ref None in
   let snap phase =
     let systems =
       World.capture_sys ~id:"main" sys
@@ -204,6 +210,72 @@ let run cfg =
   on data (fun d -> guard ctx1 "grow-2" (fun () -> Api.seg_ctl ctx1 (`Grow (d, Size.kib 16))));
   snap "hot";
 
+  (* μFork phase (fork-bearing configs only): P1 marks a home-space page
+     and a VAS page, CoW-forks its process onto the spare core, then
+     CoW-forks the VAS. Both sides write behind each fork; every read
+     lands in [cow_probes] as a (probe, expected, observed) triple and
+     the cow-isolation invariant does the comparing. A planned kill
+     mid-phase (the kill-forked-child plans) truncates the probe list —
+     whatever probes did run must still agree. The child stays live
+     into teardown so later snapshots see its pid, keys and register. *)
+  let cow_probes = ref [] in
+  let kid = ref None and kvh = ref None and fvh = ref None in
+  if cfg.fork then begin
+    let read ctx name va =
+      if live ctx then (
+        try Some (Api.load64 ctx ~va)
+        with e ->
+          fault_note name e;
+          None)
+      else None
+    in
+    let probe name expected = function
+      | Some observed -> cow_probes := (name, expected, observed) :: !cow_probes
+      | None -> ()
+    in
+    let hva = Layout.data_base + 192 in
+    guard ctx1 "fork-mark-home" (fun () -> Api.store64 ctx1 ~va:hva 0xA11CEL);
+    with_vas ctx1 vh1 "fork-mark-vas" (fun () ->
+        on data (fun d -> Api.store64 ctx1 ~va:(Segment.base d + 128) 0xBEEFL));
+    guard ctx1 "proc_fork" (fun () ->
+        kid := Some (Api.proc_fork ~name:"kid" ctx1 ~core:(Machine.core m 3)));
+    (* Home-space CoW: the child privatizes its data page; the parent's
+       must not move, and the parent's later write must not reach the
+       child's already-broken copy. *)
+    on kid (fun k ->
+        guard k "kid-home-write" (fun () -> Api.store64 k ~va:hva 0x6B1DL);
+        probe "kid-own-home" 0x6B1DL (read k "kid-own-home" hva));
+    probe "parent-home-after-kid" 0xA11CEL (read ctx1 "parent-home-after-kid" hva);
+    guard ctx1 "parent-home-write" (fun () -> Api.store64 ctx1 ~va:hva 0x0DADL);
+    on kid (fun k ->
+        probe "kid-home-after-parent" 0x6B1DL (read k "kid-home-after-parent" hva));
+    (* proc_fork attachments are shared, not CoW: the child re-attaches
+       the VAS and must read exactly what the parent reads there. *)
+    let pval = ref None in
+    with_vas ctx1 vh1 "fork-src-read" (fun () ->
+        on data (fun d -> pval := read ctx1 "fork-src-read" (Segment.base d + 128)));
+    on kid (fun k ->
+        on vas (fun v -> guard k "kid-attach" (fun () -> kvh := Some (Api.vas_attach k v)));
+        with_vas k kvh "kid-seg-read" (fun () ->
+            on data (fun d ->
+                on pval (fun e ->
+                    probe "kid-shared-seg" e (read k "kid-seg-read" (Segment.base d + 128))))));
+    (* VAS-side CoW: snapshot the whole VAS, write into the shadow; the
+       source must keep its mark. *)
+    on vh1 (fun vh ->
+        guard ctx1 "vas_fork" (fun () -> fvh := Some (Api.vas_fork ctx1 vh ~name:"w.fork")));
+    with_vas ctx1 fvh "fork-shadow" (fun () ->
+        on data (fun d ->
+            Api.store64 ctx1 ~va:(Segment.base d + 128) 0xF00DL;
+            probe "shadow-own-write" 0xF00DL (read ctx1 "fork-shadow" (Segment.base d + 128))));
+    with_vas ctx1 vh1 "fork-source-check" (fun () ->
+        on data (fun d ->
+            on pval (fun e ->
+                probe "source-after-shadow" e
+                  (read ctx1 "fork-source-check" (Segment.base d + 128)))));
+    snap "fork"
+  end;
+
   (* compartment window: P1 allocates a key and tags the sandbox; P2
      enters the compartment; P1 makes one more syscall while P2 is
      inside (the kill window the pkru-hygiene invariant watches); the
@@ -262,6 +334,7 @@ let run cfg =
   (match recovered_img with
   | Some img when Persist.committed img ->
     let m2 = own_machine () in
+    restored_machine := Some m2;
     let sys2 = Api.boot ~backend:cfg.backend m2 in
     let p3 = Process.create ~name:"carol" m2 in
     let ctx3 = Api.context sys2 p3 (Machine.core m2 0) in
@@ -278,6 +351,7 @@ let run cfg =
      that need a drained world check the flag. *)
   attempt ctx2 "exit p2" (fun () -> Checked.exit_process ctx2);
   attempt ctx1 "exit p1" (fun () -> Checked.exit_process ctx1);
+  on kid (fun k -> attempt k "exit kid" (fun () -> Checked.exit_process k));
   let reaper = Process.create ~name:"reaper" m in
   let ctxr = Api.context sys reaper (Machine.core m 2) in
   let reg = Api.registry sys in
@@ -308,15 +382,33 @@ let run cfg =
     Registry.list_vases reg = []
     && Registry.list_segs reg = []
     && (not (live ctx1))
-    && not (live ctx2)
+    && (not (live ctx2))
+    && match !kid with None -> true | Some k -> not (live k)
   in
   snap "final";
 
+  (* Recompute every page-table refcount from first principles, on both
+     machines — the refcount-balance invariant's evidence. *)
+  let pt =
+    let fold acc m' =
+      let a = Page_table.audit (Machine.mem m') in
+      {
+        World.pt_nodes = acc.World.pt_nodes + a.Page_table.a_nodes;
+        pt_shared = acc.World.pt_shared + a.Page_table.a_shared;
+        pt_leaked = acc.World.pt_leaked + a.Page_table.a_leaked;
+        pt_imbalanced = acc.World.pt_imbalanced + List.length a.Page_table.a_imbalanced;
+      }
+    in
+    List.fold_left fold World.no_pt_audit
+      (m :: (match !restored_machine with Some m2 -> [ m2 ] | None -> []))
+  in
   let world =
     {
       World.snapshots = List.rev !snaps;
       counters = World.capture_counters (Recorder.metrics recorder) (Api.syscalls sys);
       journal = journal_info;
+      pt;
+      cow_probes = List.rev !cow_probes;
       teardown_complete;
     }
   in
@@ -351,7 +443,7 @@ let hot_nrs_p2 = [ 3; 5; 6; 19; 21; 23; 29 ]
 let storm_nrs = [ 5; 3; 29; 17; 23 ]
 
 let per_backend backend =
-  let c seed plan = { backend; seed; plan } in
+  let c ?(fork = false) seed plan = { backend; seed; plan; fork } in
   (* kills of pid 1 swept over the whole ABI; seed 40+nr alternates the
      mechanism axis with the entry number. *)
   let kill_sweep =
@@ -399,7 +491,25 @@ let per_backend backend =
     ]
   in
   let baselines = [ c 0 []; c 1 [] ] in
-  kill_sweep @ kill_p2 @ kill_locked @ storms @ grows @ torn @ composed @ baselines
+  (* μFork block: fork-bearing baselines on both mechanism parities,
+     kills of pid 1 at the fork entries themselves, kills and a storm
+     aimed at the forked child (pid 3 — alice and bob are 1 and 2),
+     and a fork composed with a torn write. *)
+  let forks =
+    [ c ~fork:true 300 []; c ~fork:true 301 [] ]
+    @ List.map
+        (fun nr -> c ~fork:true (310 + nr) [ Plan.kill_at_syscall ~pid:1 ~nr ~occurrence:1 () ])
+        [ Sys.number Sys.Vas_fork; Sys.number Sys.Proc_fork ]
+    @ List.map
+        (fun nr -> c ~fork:true (350 + nr) [ Plan.kill_at_syscall ~pid:3 ~nr ~occurrence:1 () ])
+        [ 3; 5; 6; 23 ]
+    @ [
+        c ~fork:true 370 [ Plan.would_block_storm ~pid:3 ~nr:5 ~count:2 ];
+        c ~fork:true 371
+          [ Plan.torn_write ~save:1 (); Plan.kill_at_syscall ~pid:3 ~nr:6 ~occurrence:1 () ];
+      ]
+  in
+  kill_sweep @ kill_p2 @ kill_locked @ storms @ grows @ torn @ composed @ baselines @ forks
 
 (* Seeded LCG fuzz past the grid: 1–3 faults per plan, storm counts
    kept below the retry budget. Deterministic by construction. *)
@@ -423,7 +533,7 @@ let fuzz n =
         | 3 -> Plan.grow_fail ~nth:(1 + next 3)
         | _ -> Plan.torn_write ~save:(1 + next 2) ()
       in
-      { backend; seed = 1000 + i; plan = List.init nfaults fault })
+      { backend; seed = 1000 + i; plan = List.init nfaults fault; fork = false })
 
 let enumerate ~quick =
   per_backend Api.Dragonfly @ per_backend Api.Barrelfish @ fuzz (if quick then 16 else 64)

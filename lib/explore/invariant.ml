@@ -170,6 +170,45 @@ let pkru_hygiene w =
                   (List.init Pkey.max_key (fun i -> i + 1))))
         s.cores)
 
+(* -- refcount-balance ------------------------------------------------- *)
+
+let refcount_balance w =
+  let a = w.World.pt in
+  let imbalance =
+    if a.World.pt_imbalanced <> 0 then
+      [
+        sp "%d page-table node(s) whose refcount differs from the recomputed indegree"
+          a.World.pt_imbalanced;
+      ]
+    else []
+  in
+  let leaks =
+    if a.World.pt_leaked <> 0 then
+      [ sp "%d live page-table node(s) unreachable from any root or handle" a.World.pt_leaked ]
+    else []
+  in
+  let drained =
+    (* After a complete teardown every process and VAS is gone, so every
+       page-table node must have been freed back to the arena. *)
+    if w.World.teardown_complete && a.World.pt_nodes <> 0 && a.World.pt_imbalanced = 0
+       && a.World.pt_leaked = 0
+    then [ sp "%d page-table node(s) still live after a complete teardown" a.World.pt_nodes ]
+    else []
+  in
+  imbalance @ leaks @ drained
+
+(* -- cow-isolation ---------------------------------------------------- *)
+
+let cow_isolation w =
+  List.filter_map
+    (fun (name, expected, observed) ->
+      if Int64.equal expected observed then None
+      else
+        Some
+          (sp "cow probe %s: expected %#Lx, observed %#Lx (a write crossed the fork)" name
+             expected observed))
+    w.World.cow_probes
+
 (* -- journal-commit --------------------------------------------------- *)
 
 let journal_commit w =
@@ -308,6 +347,16 @@ let all =
       name = "pkru-hygiene";
       doc = "no live core retains key rights outside a VAS or to keys not allocated there";
       check = pkru_hygiene;
+    };
+    {
+      name = "refcount-balance";
+      doc = "page-table refcounts equal recomputed indegree; no unreachable or post-teardown nodes";
+      check = refcount_balance;
+    };
+    {
+      name = "cow-isolation";
+      doc = "post-fork writes stay private: every CoW probe observes its expected value";
+      check = cow_isolation;
     };
     {
       name = "journal-commit";

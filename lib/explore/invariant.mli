@@ -19,6 +19,12 @@
     - [pkru-hygiene] — a live core whose key-permission register is not
       the default must be switched into a VAS, and every key it still
       holds rights to must be allocated in that VAS.
+    - [refcount-balance] — every live page-table node's refcount equals
+      its recomputed indegree, none is unreachable from a root or
+      handle, and a complete teardown frees them all.
+    - [cow-isolation] — every CoW probe a fork-bearing workload records
+      observed its expected value: no write crosses a fork in either
+      direction.
     - [journal-commit] — journal recovery never lands on an
       uncommitted image, and always finds one when committed entries
       exist.
@@ -36,7 +42,7 @@ type t = {
 }
 
 val all : t list
-(** The eight invariants above, in documentation order. *)
+(** The ten invariants above, in documentation order. *)
 
 val names : string list
 

@@ -55,6 +55,9 @@ type counters = {
   crashes : int;
   tag_assigns : int;
   tag_recycles : int;
+  forks : int;
+  cow_faults : int;
+  cow_copies : int;
   rows : row list;
 }
 
@@ -64,10 +67,21 @@ type journal_info = {
   recovered : bool option;
 }
 
+type pt_audit = {
+  pt_nodes : int;
+  pt_shared : int;
+  pt_leaked : int;
+  pt_imbalanced : int;
+}
+
+let no_pt_audit = { pt_nodes = 0; pt_shared = 0; pt_leaked = 0; pt_imbalanced = 0 }
+
 type t = {
   snapshots : phase_snap list;
   counters : counters;
   journal : journal_info option;
+  pt : pt_audit;
+  cow_probes : (string * int64 * int64) list;
   teardown_complete : bool;
 }
 
@@ -143,6 +157,9 @@ let capture_counters met tab =
     crashes = Metrics.crashes met;
     tag_assigns = Metrics.tag_assigns met;
     tag_recycles = Metrics.tag_recycles met;
+    forks = Metrics.forks met;
+    cow_faults = Metrics.cow_faults met;
+    cow_copies = Metrics.cow_copies met;
     rows;
   }
 
@@ -190,6 +207,7 @@ let describe t =
   let c = t.counters in
   pr "counters: acquires=%d releases=%d reclaims=%d crashes=%d tag_assigns=%d tag_recycles=%d\n"
     c.lock_acquires c.lock_releases c.lock_reclaims c.crashes c.tag_assigns c.tag_recycles;
+  pr "fork counters: forks=%d cow_faults=%d cow_copies=%d\n" c.forks c.cow_faults c.cow_copies;
   List.iter
     (fun r ->
       pr "  nr %d %s obs=%d/%d tab=%d/%d\n" r.nr r.nr_name r.obs_calls r.obs_cycles r.tab_calls
@@ -200,5 +218,11 @@ let describe t =
   | Some j ->
     pr "journal: appends=%d committed=%d recovered=%s\n" j.total_appends j.committed_appends
       (match j.recovered with None -> "none" | Some b -> string_of_bool b));
+  pr "pt audit: nodes=%d shared=%d leaked=%d imbalanced=%d\n" t.pt.pt_nodes t.pt.pt_shared
+    t.pt.pt_leaked t.pt.pt_imbalanced;
+  List.iter
+    (fun (name, expected, observed) ->
+      pr "cow probe %s: expected=%Ld observed=%Ld\n" name expected observed)
+    t.cow_probes;
   pr "teardown_complete=%b\n" t.teardown_complete;
   Buffer.contents buf

@@ -59,6 +59,9 @@ type counters = {
   crashes : int;
   tag_assigns : int;
   tag_recycles : int;
+  forks : int;  (** Fork events (vas_fork + proc_fork) *)
+  cow_faults : int;  (** counted break-and-copy write traps *)
+  cow_copies : int;  (** frames privatized by those traps *)
   rows : row list;  (** union of nrs seen by either side, ascending *)
 }
 
@@ -70,10 +73,24 @@ type journal_info = {
           image, [c] = that image passed [Persist.committed]. *)
 }
 
+type pt_audit = {
+  pt_nodes : int;  (** live page-table nodes (alloc - free), all machines *)
+  pt_shared : int;  (** reachable nodes with refcount > 1 *)
+  pt_leaked : int;  (** live nodes unreachable from any root or handle *)
+  pt_imbalanced : int;  (** nodes whose refcount /= recomputed indegree *)
+}
+
+val no_pt_audit : pt_audit
+(** All-zero audit, for worlds where no audit ran (and test fabrication). *)
+
 type t = {
   snapshots : phase_snap list;  (** chronological *)
   counters : counters;
   journal : journal_info option;  (** [None] when the persist phase never ran *)
+  pt : pt_audit;  (** end-of-run {!Sj_paging.Page_table.audit} totals *)
+  cow_probes : (string * int64 * int64) list;
+      (** (probe, expected, observed) isolation probes recorded by
+          fork-bearing workloads; empty when the run never forked *)
   teardown_complete : bool;
 }
 

@@ -1,0 +1,182 @@
+(* The `bench fork` / `sjctl fork` driver: runs the headline pair (one
+   run per serving mode at the same shape), the sweep grid over serving
+   mode x connections x write fraction, evaluates the acceptance
+   claims, and runs the same determinism audits as the cluster and
+   compartment drivers. Shared by bench/forkbench.ml and bin/sjctl.ml
+   so the two front-ends cannot drift.
+
+   Two failure channels, both fatal to the front-ends (exit 2, no
+   report written):
+   - [divergences]: a fingerprint changed under a host-side condition
+     that must not leak into simulated results (rerun, tracing on,
+     empty fault plan installed, inside a domain pool);
+   - [failed_claims]: a fork-per-connection run with no CoW fault
+     storm, a prefork run with steady-state faults, a connection whose
+     writes reached the parent's store, a forked family sharing <=90%
+     of its page-table nodes, a refcount leak, or a headline where the
+     prefork pool did not out-serve fork-per-connection. *)
+
+module Par = Sj_util.Par
+module Kv_fork = Sj_kvstore.Kv_fork
+
+type outcome = {
+  report : Fork_report.t;
+  divergences : string list;  (* empty iff report.determinism_ok *)
+  failed_claims : string list;
+}
+
+let modes = [ Kv_fork.Prefork { workers = 4 }; Kv_fork.Fork_per_conn ]
+
+(* Headline shape: enough connections that the p99 sits inside the
+   storm, at the default 25%-write mix. *)
+let headline_cfg ~quick =
+  if quick then { Kv_fork.default with connections = 8; requests_per_conn = 16 }
+  else { Kv_fork.default with connections = 32; requests_per_conn = 32 }
+
+(* The sweep is about the *shape* of the surface: how the storm scales
+   with connection count, and whether a read-only mix still pays it
+   (it does — connection bookkeeping breaks the child's CoW pages even
+   when no SET touches the snapshot). *)
+let grid_cfg ~quick =
+  if quick then { Kv_fork.default with connections = 4; requests_per_conn = 8 }
+  else { Kv_fork.default with connections = 12; requests_per_conn = 16 }
+
+let grid_axes ~quick =
+  if quick then ([ 4; 8 ], [ 0.0; 0.5 ]) else ([ 4; 12; 24 ], [ 0.0; 0.25; 0.5 ])
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let fp_equal (a : Kv_fork.result) (b : Kv_fork.result) =
+  a.Kv_fork.fingerprint = b.Kv_fork.fingerprint
+
+(* The acceptance claims, evaluated over the sweep (headline included —
+   it is just another shape). *)
+let evaluate points =
+  let failed = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failed := s :: !failed) fmt in
+  List.iter
+    (fun (p : Fork_report.point) ->
+      let c = p.cfg and r = p.res in
+      let shape =
+        Printf.sprintf "%s(connections=%d,sets=%.2f)"
+          (Kv_fork.mode_name c.Kv_fork.mode)
+          c.Kv_fork.connections c.Kv_fork.set_fraction
+      in
+      (match c.Kv_fork.mode with
+      | Kv_fork.Fork_per_conn ->
+        if r.Kv_fork.cow_faults = 0 then fail "no-fault-storm%s" shape;
+        (* Every connection is two Fork events: the proc_fork of the
+           worker and the vas_fork of its snapshot. *)
+        if r.Kv_fork.forks <> 2 * c.Kv_fork.connections then
+          fail "fork-count%s: %d of %d" shape r.Kv_fork.forks (2 * c.Kv_fork.connections);
+        if r.Kv_fork.checksum_before <> r.Kv_fork.checksum_after then
+          fail "store-written%s" shape
+      | Kv_fork.Prefork _ ->
+        if r.Kv_fork.steady_cow_faults <> 0 then
+          fail "steady-faults%s: %d" shape r.Kv_fork.steady_cow_faults);
+      if
+        float_of_int r.Kv_fork.share_shared
+        <= 0.9 *. float_of_int (max 1 r.Kv_fork.share_total)
+      then
+        fail "sharing-under-90%s: %d/%d" shape r.Kv_fork.share_shared r.Kv_fork.share_total;
+      if r.Kv_fork.pt_leaked <> 0 || r.Kv_fork.pt_imbalanced <> 0 then
+        fail "refcount-leak%s: %d leaked, %d imbalanced" shape r.Kv_fork.pt_leaked
+          r.Kv_fork.pt_imbalanced)
+    points;
+  List.rev !failed
+
+let evaluate_headline (headline : Fork_report.point list) =
+  let find m =
+    List.find_opt
+      (fun (p : Fork_report.point) -> Kv_fork.mode_name p.cfg.Kv_fork.mode = m)
+      headline
+  in
+  match (find "prefork", find "fork_per_conn") with
+  | Some pf, Some fc ->
+    if pf.res.Kv_fork.throughput > fc.res.Kv_fork.throughput then []
+    else
+      [
+        Printf.sprintf "prefork-not-faster: %.1f <= %.1f rps" pf.res.Kv_fork.throughput
+          fc.res.Kv_fork.throughput;
+      ]
+  | _ -> [ "missing-headline-mode" ]
+
+let run ~quick ~jobs ?(progress = fun _ -> ()) () =
+  let point cfg = { Fork_report.cfg; res = Kv_fork.run cfg } in
+  let hcfg = headline_cfg ~quick in
+  progress "headline: one run per serving mode, same shape";
+  let headline = List.map (fun mode -> point { hcfg with Kv_fork.mode }) modes in
+  let gcfg = grid_cfg ~quick in
+  let conns_l, sets_l = grid_axes ~quick in
+  let cfgs =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun connections ->
+            List.map
+              (fun set_fraction -> { gcfg with Kv_fork.mode; connections; set_fraction })
+              sets_l)
+          conns_l)
+      modes
+  in
+  progress
+    (Printf.sprintf "grid: %d points (serving mode x connections x write fraction)"
+       (List.length cfgs));
+  (* Each point simulates its own machine, so fanning points across
+     domains changes only the wall clock; results are assembled in
+     config order either way. *)
+  let grid =
+    if jobs <= 1 then List.map point cfgs
+    else
+      Par.with_pool ~size:jobs (fun pool ->
+          List.map2
+            (fun cfg res -> { Fork_report.cfg; res })
+            cfgs
+            (Par.map_list pool Kv_fork.run cfgs))
+  in
+  progress "claims: storm present, prefork steady-state clean, store unwritten";
+  let failed_claims = evaluate (headline @ grid) @ evaluate_headline headline in
+  progress "determinism audits";
+  (* Audit the fork-per-connection path (the novel one) under every
+     host condition, plus a plain rerun of a prefork config. *)
+  let acfg = { gcfg with Kv_fork.mode = Kv_fork.Fork_per_conn } in
+  let reference = Kv_fork.run acfg in
+  let divergences = ref [] in
+  let audit name r =
+    if not (fp_equal reference r) then divergences := name :: !divergences
+  in
+  audit "rerun" (Kv_fork.run acfg);
+  audit "trace-on" (Sj_obs.Recorder.with_tracing true (fun () -> Kv_fork.run acfg));
+  audit "empty-fault-plan" (Sj_fault.Injector.with_plan [] (fun () -> Kv_fork.run acfg));
+  Par.with_pool ~size:(max 2 jobs) (fun pool ->
+      List.iter
+        (fun r -> audit "domains" r)
+        (Par.map_list pool Kv_fork.run [ acfg; acfg ]));
+  let pcfg = { gcfg with Kv_fork.mode = Kv_fork.Prefork { workers = 4 } } in
+  let pref = Kv_fork.run pcfg in
+  if not (fp_equal pref (Kv_fork.run pcfg)) then
+    divergences := "rerun-prefork" :: !divergences;
+  let report =
+    {
+      Fork_report.quick;
+      jobs;
+      cores = Domain.recommended_domain_count ();
+      ocaml_version = Sys.ocaml_version;
+      headline;
+      grid;
+      fault_storm_measured =
+        not (List.exists (has_prefix "no-fault-storm") failed_claims
+             || List.exists (has_prefix "fork-count") failed_claims);
+      prefork_steady_zero = not (List.exists (has_prefix "steady-faults") failed_claims);
+      parent_store_unwritten = not (List.exists (has_prefix "store-written") failed_claims);
+      sharing_over_90 = not (List.exists (has_prefix "sharing-under-90") failed_claims);
+      refcounts_leak_free = not (List.exists (has_prefix "refcount-leak") failed_claims);
+      prefork_faster =
+        not (List.exists (has_prefix "prefork-not-faster") failed_claims
+             || List.exists (has_prefix "missing-headline") failed_claims);
+      determinism_ok = !divergences = [];
+      audits = [ "rerun"; "trace-on"; "empty-fault-plan"; "domains"; "rerun-prefork" ];
+    }
+  in
+  { report; divergences = List.rev !divergences; failed_claims }

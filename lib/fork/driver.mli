@@ -1,0 +1,26 @@
+(** The shared [bench fork] / [sjctl fork] driver: headline pair
+    (prefork pool vs fork-per-connection), sweep grid over serving mode
+    x connections x write fraction, acceptance claims, determinism
+    audits. Front-ends differ only in argument parsing and printing;
+    both exit 2 without writing a report when [divergences] or
+    [failed_claims] is non-empty. *)
+
+type outcome = {
+  report : Fork_report.t;
+  divergences : string list;
+      (** fingerprint mismatches under host-side conditions (rerun,
+          tracing, fault plan, domain pool); empty iff
+          [report.determinism_ok] *)
+  failed_claims : string list;
+      (** acceptance-claim failures: a fork-per-connection run with no
+          CoW fault storm, steady-state prefork faults, a connection
+          whose writes reached the parent's store, a family sharing
+          <=90% of its page-table nodes, a refcount leak, or a headline
+          where prefork did not out-serve fork-per-connection *)
+}
+
+val headline_cfg : quick:bool -> Sj_kvstore.Kv_fork.config
+val grid_cfg : quick:bool -> Sj_kvstore.Kv_fork.config
+
+val run :
+  quick:bool -> jobs:int -> ?progress:(string -> unit) -> unit -> outcome

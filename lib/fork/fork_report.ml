@@ -1,0 +1,193 @@
+(* BENCH_fork.json, schema "spacejmp-bench/7-fork".
+
+   Extends the spacejmp-bench report family to the fork bench: the same
+   host block and determinism discipline as the cluster and compartment
+   reports (a report recording a divergence is refused by the checker;
+   the harness exits 2 before writing one), plus the serving-mode
+   comparison — a headline pair (prefork pool vs fork-per-connection at
+   the same shape), the sweep grid over mode x connections x write
+   fraction, and the claims the ISSUE's acceptance criteria name:
+   fork-per-connection runs show a measurable CoW fault storm, the
+   prefork pool takes zero steady-state CoW faults, the parent's store
+   checksum is unwritten by any connection, every forked family shares
+   >90% of its page-table nodes pre-write, and the page-table refcount
+   audit is leak-free and balanced after every run. A report with any
+   claim false is refused too. *)
+
+module Kv_fork = Sj_kvstore.Kv_fork
+
+type point = { cfg : Kv_fork.config; res : Kv_fork.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  headline : point list;  (* one per mode, same shape *)
+  grid : point list;
+  fault_storm_measured : bool;
+  prefork_steady_zero : bool;
+  parent_store_unwritten : bool;
+  sharing_over_90 : bool;
+  refcounts_leak_free : bool;
+  prefork_faster : bool;
+  determinism_ok : bool;
+  audits : string list;
+}
+
+let schema = "spacejmp-bench/7-fork"
+
+let add_point b ~indent ~label p =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let pad = String.make indent ' ' in
+  let c = p.cfg and r = p.res in
+  add "%s\"%s\": {\n" pad label;
+  add "%s  \"mode\": \"%s\",\n" pad (Kv_fork.mode_name c.Kv_fork.mode);
+  add "%s  \"connections\": %d,\n" pad c.connections;
+  add "%s  \"requests_per_conn\": %d,\n" pad c.requests_per_conn;
+  add "%s  \"set_fraction\": %.2f,\n" pad c.set_fraction;
+  add "%s  \"store_bytes\": %d,\n" pad c.store_size;
+  add "%s  \"requests\": %d,\n" pad r.Kv_fork.requests;
+  add "%s  \"throughput_rps\": %.1f,\n" pad r.throughput;
+  add "%s  \"latency_p50_cycles\": %.1f,\n" pad r.p50;
+  add "%s  \"latency_p99_cycles\": %.1f,\n" pad r.p99;
+  add "%s  \"forks\": %d,\n" pad r.forks;
+  add "%s  \"cow_faults\": %d,\n" pad r.cow_faults;
+  add "%s  \"steady_cow_faults\": %d,\n" pad r.steady_cow_faults;
+  add "%s  \"cow_copies\": %d,\n" pad r.cow_copies;
+  add "%s  \"pt_nodes_total\": %d,\n" pad r.share_total;
+  add "%s  \"pt_nodes_shared\": %d,\n" pad r.share_shared;
+  add "%s  \"checksum_stable\": %b,\n" pad (r.checksum_before = r.checksum_after);
+  add "%s  \"pt_leaked\": %d,\n" pad r.pt_leaked;
+  add "%s  \"pt_imbalanced\": %d,\n" pad r.pt_imbalanced;
+  add "%s  \"simulated\": {" pad;
+  List.iteri
+    (fun j (k, v) ->
+      if j > 0 then add ", ";
+      add "\"%s\": %d" k v)
+    r.fingerprint;
+  add "}\n";
+  add "%s}" pad
+
+let to_json r =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"%s\",\n" schema;
+  add "  \"mode\": \"%s\",\n" (if r.quick then "quick" else "full");
+  add "  \"host\": {\n";
+  add "    \"cores\": %d,\n" r.cores;
+  add "    \"ocaml_version\": \"%s\",\n" r.ocaml_version;
+  add "    \"jobs\": %d\n" r.jobs;
+  add "  },\n";
+  add "  \"headline\": {\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then add ",\n";
+      add_point b ~indent:4 ~label:(Kv_fork.mode_name p.cfg.Kv_fork.mode) p)
+    r.headline;
+  add "\n  },\n";
+  add "  \"grid\": [\n";
+  List.iteri
+    (fun i p ->
+      add "    {\n";
+      add_point b ~indent:6 ~label:"point" p;
+      add "\n    }%s\n" (if i = List.length r.grid - 1 then "" else ","))
+    r.grid;
+  add "  ],\n";
+  add "  \"claims\": {\n";
+  add "    \"fault_storm_measured\": %b,\n" r.fault_storm_measured;
+  add "    \"prefork_steady_zero\": %b,\n" r.prefork_steady_zero;
+  add "    \"parent_store_unwritten\": %b,\n" r.parent_store_unwritten;
+  add "    \"sharing_over_90\": %b,\n" r.sharing_over_90;
+  add "    \"refcounts_leak_free\": %b,\n" r.refcounts_leak_free;
+  add "    \"prefork_faster\": %b\n" r.prefork_faster;
+  add "  },\n";
+  add "  \"determinism\": {\n";
+  add "    \"audits\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") r.audits));
+  add "    \"equal\": %b\n" r.determinism_ok;
+  add "  }\n}\n";
+  Buffer.contents b
+
+(* Same validation discipline as {!Compart_report.check_string}: no
+   JSON library in the tree, so check nesting balance outside strings,
+   required keys, and refuse any recorded divergence or failed claim. *)
+let check_string s =
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i ch ->
+      if !in_str then begin
+        if ch = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  if !depth <> 0 || !in_str then ok := false;
+  let required =
+    [
+      Printf.sprintf "\"schema\": \"%s\"" schema;
+      "\"host\"";
+      "\"cores\"";
+      "\"ocaml_version\"";
+      "\"jobs\"";
+      "\"headline\"";
+      "\"prefork\"";
+      "\"fork_per_conn\"";
+      "\"grid\"";
+      "\"throughput_rps\"";
+      "\"latency_p50_cycles\"";
+      "\"latency_p99_cycles\"";
+      "\"cow_faults\"";
+      "\"pt_nodes_shared\"";
+      "\"simulated\"";
+      "\"claims\"";
+      "\"fault_storm_measured\"";
+      "\"prefork_steady_zero\"";
+      "\"parent_store_unwritten\"";
+      "\"sharing_over_90\"";
+      "\"refcounts_leak_free\"";
+      "\"prefork_faster\"";
+      "\"determinism\"";
+    ]
+  in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let errors = ref [] in
+  List.iter
+    (fun key ->
+      if not (contains key) then
+        errors := Printf.sprintf "missing key %s" key :: !errors)
+    required;
+  if contains "\"equal\": false" then
+    errors := "report records a determinism divergence" :: !errors;
+  if contains "\"fault_storm_measured\": false" then
+    errors := "fork-per-connection run with no CoW fault storm" :: !errors;
+  if contains "\"prefork_steady_zero\": false" then
+    errors := "prefork pool took steady-state CoW faults" :: !errors;
+  if contains "\"parent_store_unwritten\": false" then
+    errors := "a connection's writes leaked into the parent's store" :: !errors;
+  if contains "\"sharing_over_90\": false" then
+    errors := "a forked family shared <=90% of its page-table nodes" :: !errors;
+  if contains "\"refcounts_leak_free\": false" then
+    errors := "page-table refcount audit found leaks or imbalance" :: !errors;
+  if contains "\"prefork_faster\": false" then
+    errors := "fork-per-connection outperformed the prefork pool" :: !errors;
+  if not !ok then errors := "unbalanced JSON nesting" :: !errors;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  check_string s

@@ -1,0 +1,32 @@
+(** BENCH_fork.json: schema "spacejmp-bench/7-fork". The headline pair
+    (prefork pool vs fork-per-connection at the same shape), the sweep
+    grid over mode x connections x write fraction, the acceptance
+    claims, and the determinism audit verdict. {!check_string} refuses
+    a report that records a divergence or a failed claim. *)
+
+type point = { cfg : Sj_kvstore.Kv_fork.config; res : Sj_kvstore.Kv_fork.result }
+
+type t = {
+  quick : bool;
+  jobs : int;
+  cores : int;
+  ocaml_version : string;
+  headline : point list;  (** one per serving mode, same shape *)
+  grid : point list;
+  fault_storm_measured : bool;
+  prefork_steady_zero : bool;
+  parent_store_unwritten : bool;
+  sharing_over_90 : bool;
+  refcounts_leak_free : bool;
+  prefork_faster : bool;
+  determinism_ok : bool;
+  audits : string list;
+}
+
+val schema : string
+
+val to_json : t -> string
+
+val check_string : string -> (unit, string list) result
+
+val check_file : string -> (unit, string list) result

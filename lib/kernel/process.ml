@@ -86,6 +86,41 @@ let spawn_thread t =
   t.thread_list <- th :: t.thread_list;
   th
 
+(* POSIX-style fork of the private half of a process: the primary
+   vmspace is duplicated copy-on-write (every PML4 slot shared), and
+   the child's object handles are the CoW clones [Vmspace.fork] made —
+   *not* the parent's — so a child [exit] only drops the child's
+   references and the parent's frames survive any family member's
+   crash. Capability space is fresh; credentials are inherited; thread
+   geometry (bases, sizes, tids) is mirrored. *)
+let fork ?name t ~charge_to =
+  if not t.live then Sj_abi.Error.fail Stale_handle ~op:"proc_fork" "process exited";
+  let name = match name with Some n -> n | None -> t.name ^ "+" in
+  let primary = Vmspace.fork t.primary ~charge_to ~share:(fun _ -> true) in
+  let obj_at base =
+    match Vmspace.find_region primary ~va:base with
+    | Some (r : Vmspace.region) -> r.obj
+    | None -> assert false
+  in
+  let thread_list =
+    List.map (fun th -> { th with stack_obj = obj_at th.stack_base }) t.thread_list
+  in
+  {
+    pid = Sim_ctx.next_pid (Machine.sim_ctx t.machine);
+    name;
+    cred = t.cred;
+    machine = t.machine;
+    cspace = Cap.Cspace.create ();
+    primary;
+    text_obj = obj_at Layout.text_base;
+    data_obj = obj_at Layout.data_base;
+    text_size = t.text_size;
+    data_size = t.data_size;
+    thread_list;
+    next_tid = t.next_tid;
+    live = true;
+  }
+
 let private_regions t =
   List.filter (fun (r : Vmspace.region) -> Layout.is_private r.base) (Vmspace.regions t.primary)
 

@@ -34,6 +34,21 @@ val main_thread : t -> thread
 val spawn_thread : t -> thread
 (** Add a thread with a fresh stack below the previous one. *)
 
+val fork :
+  ?name:string ->
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  t
+(** Copy-on-write duplicate with a fresh pid: the primary vmspace forks
+    via {!Vmspace.fork} (all spans shared), the child's text/data/stack
+    handles are the CoW-cloned objects (so a child {!exit} never frees
+    the parent's frames), credentials and thread geometry are
+    inherited, and the capability space starts empty. [name] defaults
+    to the parent's name suffixed with ["+"]. VAS attachments, segment
+    locks and pkey ownership are runtime state and deliberately NOT
+    duplicated here — [Api.proc_fork] rebuilds them under its own
+    rules. *)
+
 val private_regions : t -> Vmspace.region list
 (** The common-region descriptors (text, data, every thread stack) to
     replicate into attached VASes. *)

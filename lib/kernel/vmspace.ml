@@ -199,11 +199,14 @@ let write_protect_region t ~charge_to ~base =
   | i ->
     let r = t.regions.(i) in
     let before = snapshot_stats t in
-    for j = 0 to (r.size / Addr.page_size) - 1 do
-      let va = r.base + (j * Addr.page_size) in
+    let step =
+      match r.page with Page_table.P4K -> Addr.page_size | Page_table.P2M -> Size.mib 2
+    in
+    for j = 0 to (r.size / step) - 1 do
+      let va = r.base + (j * step) in
       match Page_table.walk t.pt ~va with
       | Some m when m.prot.write ->
-        Page_table.protect t.pt ~va ~size:Page_table.P4K
+        Page_table.protect t.pt ~va ~size:r.page
           ~prot:{ m.prot with Prot.write = false }
       | Some _ | None -> ()
     done;
@@ -228,6 +231,51 @@ let set_region_key t ~charge_to ~base ~key =
         Page_table.set_key t.pt ~va:(r.base + (j * Size.mib 2)) ~size:Page_table.P2M ~key
       done);
     charge_pt_delta t charge_to before
+
+(* Copy-on-write duplicate of every region whose 512 GiB span [share]
+   accepts. The page table is cloned via [Page_table.clone_cow] (top
+   slots shared, both sides CoW-tagged); each kept region's object is
+   [Vm_object.cow_clone]d so frame ownership is per-side, and writable
+   regions are flagged [cow] on *both* sides so the fault path breaks
+   sharing page by page. Read-only regions never fault, so their frames
+   stay shared for good — that is fork's text-segment win. *)
+let fork t ~charge_to ~share =
+  let before = snapshot_stats t in
+  let pt = Page_table.clone_cow ~share:(fun slot -> share (slot lsl 39)) t.pt in
+  charge_pt_delta t charge_to before;
+  (* The clone's own construction work (root alloc + one PTE per shared
+     slot) accrues in its fresh stats; charge it like any other
+     page-table mutation. *)
+  (match charge_to with
+  | None -> ()
+  | Some core ->
+    let s = Page_table.stats pt in
+    let cost = Machine.cost t.machine in
+    Core.charge core
+      ((s.tables_allocated * cost.table_alloc) + (s.pte_writes * cost.pte_write)));
+  let child =
+    { id = Sim_ctx.next_vmspace_id (Machine.sim_ctx t.machine); machine = t.machine; pt; regions = [||] }
+  in
+  let kept = ref [] in
+  Array.iteri
+    (fun i r ->
+      if share r.base then begin
+        let obj = Vm_object.cow_clone r.obj in
+        kept := { r with obj; cow = r.cow || r.prot.write } :: !kept;
+        if r.prot.write && not r.cow then t.regions.(i) <- { r with cow = true }
+      end)
+    t.regions;
+  child.regions <- Array.of_list (List.rev !kept);
+  child
+
+(* PTE surgery for one resolved CoW write fault: repoint [va]'s leaf at
+   the private [frame] (ownership walk included) and charge the PTE
+   writes it took. Frame allocation and the byte copy happened in
+   [Vm_object.resolve_cow_write]. *)
+let cow_break t ~charge_to ~va ~frame =
+  let before = snapshot_stats t in
+  Page_table.break_cow t.pt ~va ~pa:(Sj_mem.Phys_mem.base_of_frame frame);
+  charge_pt_delta t charge_to before
 
 let graft_cached t ~charge_to ~base ~subtree ~region =
   check_no_overlap t ~base ~size:region.size;

@@ -117,6 +117,33 @@ val prune_cached :
 (** Inverse of {!graft_cached}: unlink [gib_spans] grafted 1 GiB
     subtrees starting at [base] and drop the region descriptor. *)
 
+val fork :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  share:(int -> bool) ->
+  t
+(** Copy-on-write duplicate. The translation tree is cloned via
+    {!Sj_paging.Page_table.clone_cow} — top-level subtrees whose
+    512 GiB span base [share] accepts are shared CoW-tagged, nothing is
+    deep-copied — and every kept region is duplicated with a
+    [Vm_object.cow_clone]d object. Writable regions come back (and are
+    left) flagged [cow] on both sides, so the first write on either
+    side faults and splits just that page; read-only regions keep
+    sharing frames forever. Cost is O(top-level slots) page-table work
+    plus O(regions) bookkeeping, charged to [charge_to]. *)
+
+val cow_break :
+  t ->
+  charge_to:Sj_machine.Machine.Core.core option ->
+  va:int ->
+  frame:Sj_mem.Phys_mem.frame ->
+  unit
+(** Repoint the leaf translating [va] at the private [frame] and clear
+    its CoW marking, taking private ownership of any fork-shared tables
+    on the walk — the page-table half of resolving one CoW write fault
+    ([Vm_object.resolve_cow_write] is the frame half). Charges the PTE
+    writes the ownership walk performs. *)
+
 val destroy : t -> charge_to:Sj_machine.Machine.Core.core option -> unit
 (** Free the translation tree (not the VM objects). Teardown PTE clears
     are charged to [charge_to] like every other page-table mutation, and

@@ -1,0 +1,54 @@
+(** Fork-serving KV store: one request stream, two process
+    architectures. [Prefork] forks a worker pool once at boot and
+    serves steady-state with zero copy-on-write faults; [Fork_per_conn]
+    forks a fresh child per connection which serves its batch against a
+    [vas_fork] snapshot of the store — paying the per-connection
+    CoW-fault storm the bench quantifies, and discarding its SETs with
+    the snapshot (the parent's store is never written). *)
+
+type mode = Prefork of { workers : int } | Fork_per_conn
+
+val mode_name : mode -> string
+
+type config = {
+  platform : Sj_machine.Platform.t;
+  mode : mode;
+  connections : int;
+  requests_per_conn : int;
+  set_fraction : float;
+  keyspace : int;  (** slots actually seeded and addressed *)
+  store_size : int;  (** segment size: the page-table-sharing axis *)
+  ring_slots : int;  (** response ring entries (64 B each) per worker *)
+  cores : int;  (** DES service-core pool *)
+  interarrival : int;  (** cycles between connection arrivals *)
+  seed : int;
+}
+
+val default : config
+(** 256 MiB store — big enough that a forked family shares >90% of its
+    page-table nodes even after the private region is re-replicated. *)
+
+type result = {
+  requests : int;
+  connections : int;
+  seconds : float;
+  throughput : float;  (** requests per simulated second *)
+  p50 : float;  (** per-request service cycles *)
+  p99 : float;
+  forks : int;
+  cow_faults : int;
+  steady_cow_faults : int;  (** prefork: faults after the warmup pass *)
+  cow_copies : int;
+  share_total : int;  (** fork page-table census (first fork) *)
+  share_shared : int;
+  checksum_before : int;
+  checksum_after : int;
+  pt_leaked : int;
+  pt_imbalanced : int;
+  fingerprint : (string * int) list;
+}
+
+val run : config -> result
+(** Deterministic: same config, same fingerprint — under reruns,
+    tracing, empty fault plans and domain pools alike. Each run builds
+    its own machine and recorder. *)

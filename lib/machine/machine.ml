@@ -257,11 +257,19 @@ module Core = struct
       (* The page walker touches one table entry per level; its
          accesses go through the cache hierarchy like data. *)
       charge c (mapping.levels * m.cost.walk_per_level);
+      (* A copy-on-write page is inserted (and checked) with write
+         masked off, exactly as real kernels clear the PTE W bit on
+         fork: the first write takes a protection fault, the fault
+         handler breaks the sharing, and the retry re-walks the now
+         private, writable mapping. *)
+      let eff_prot =
+        if mapping.cow then { mapping.prot with Prot.write = false } else mapping.prot
+      in
       (* The fill caches the key *tag* only; rights come from [pkru]
          at every hit, so entries survive pkey switches unflushed. *)
-      Tlb.insert c.tlb ~key:mapping.key ~tag:c.tag ~va ~pa:mapping.pa ~prot:mapping.prot
+      Tlb.insert c.tlb ~key:mapping.key ~tag:c.tag ~va ~pa:mapping.pa ~prot:eff_prot
         ~size:mapping.size ~global:mapping.global;
-      if not (prot_allows mapping.prot access) then raise (Protection_fault { va; access });
+      if not (prot_allows eff_prot access) then raise (Protection_fault { va; access });
       if
         mapping.key <> 0
         && not

@@ -40,6 +40,14 @@ type t = {
      (like the epoch) because grafting shares interior nodes across
      tables, so their indices must resolve in one common store. *)
   pt_store : Pt_store.t;
+  (* Roots and extracted-subtree handles of the live page tables over
+     this memory, as raw node indices (registered by
+     [Sj_paging.Page_table]). Per-memory — not global — so concurrent
+     simulations in different domains never share the lists. The
+     refcount audit walks them to compute each node's expected
+     indegree. *)
+  mutable pt_roots : int list;
+  mutable pt_handles : int list;
 }
 
 let create_tiered ~size ~numa_nodes ~capacity_size =
@@ -81,6 +89,8 @@ let create_tiered ~size ~numa_nodes ~capacity_size =
     memo_bytes = Bytes.empty;
     pt_epoch = 0;
     pt_store = Pt_store.create ();
+    pt_roots = [];
+    pt_handles = [];
   }
 
 let create ~size ~numa_nodes = create_tiered ~size ~numa_nodes ~capacity_size:0
@@ -110,6 +120,21 @@ let is_allocated t f =
 let pt_epoch t = t.pt_epoch
 let bump_pt_epoch t = t.pt_epoch <- t.pt_epoch + 1
 let pt_store t = t.pt_store
+
+let remove_first x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest when y = x -> List.rev_append acc rest
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] l
+
+let pt_roots t = t.pt_roots
+let pt_handles t = t.pt_handles
+let pt_register_root t n = t.pt_roots <- n :: t.pt_roots
+let pt_unregister_root t n = t.pt_roots <- remove_first n t.pt_roots
+let pt_register_handle t n = t.pt_handles <- n :: t.pt_handles
+let pt_unregister_handle t n = t.pt_handles <- remove_first n t.pt_handles
 
 let alloc_on_node t node =
   match t.free_lists.(node) with

@@ -85,6 +85,25 @@ val pt_store : t -> Pt_store.t
     across tables for the same reason as {!pt_epoch}; used by
     [Sj_paging.Page_table]). *)
 
+(** {2 Page-table root/handle registry}
+
+    Live page-table roots and extracted-subtree handles over this
+    memory, as raw node indices. Maintained by [Sj_paging.Page_table]
+    ([create]/[destroy], [extract_subtree]/[release_subtree]) and read
+    by its refcount audit: a node's expected refcount is its indegree
+    from reachable entries plus the number of times it appears in these
+    lists. Per-memory, so independent simulations never interfere. *)
+
+val pt_roots : t -> int list
+val pt_handles : t -> int list
+val pt_register_root : t -> int -> unit
+val pt_unregister_root : t -> int -> unit
+(** Removes one occurrence; no-op if absent. *)
+
+val pt_register_handle : t -> int -> unit
+val pt_unregister_handle : t -> int -> unit
+(** Removes one occurrence; no-op if absent. *)
+
 (** {2 Contents access}
 
     All accessors take raw physical addresses and may cross frame

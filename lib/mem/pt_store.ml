@@ -30,6 +30,7 @@ type t = {
   mutable next : int; (* bump cursor: indices >= next never used yet *)
   mutable free : int list; (* recycled node indices *)
   mutable free_count : int; (* monotone; bumped on every [free] *)
+  mutable alloc_count : int; (* monotone; bumped on every [alloc] *)
 }
 
 let initial_chunks = 8
@@ -48,6 +49,7 @@ let create () =
     next = 0;
     free = [];
     free_count = 0;
+    alloc_count = 0;
   }
 
 let grow t =
@@ -89,6 +91,7 @@ let alloc t ~level ~frame =
   t.frame.(idx) <- frame;
   t.live.(idx) <- 0;
   t.refs.(idx) <- 1;
+  t.alloc_count <- t.alloc_count + 1;
   idx
 
 let free t idx =
@@ -96,6 +99,8 @@ let free t idx =
   t.free_count <- t.free_count + 1
 
 let free_count t = t.free_count
+let alloc_count t = t.alloc_count
+let live_count t = t.alloc_count - t.free_count
 let level t idx = Array.unsafe_get t.level idx
 let frame t idx = Array.unsafe_get t.frame idx
 let live t idx = Array.unsafe_get t.live idx

@@ -29,6 +29,14 @@ val free_count : t -> int
     node index recorded together with the then-current count is
     guaranteed un-recycled while the count is unchanged. *)
 
+val alloc_count : t -> int
+(** Monotone count of [alloc] calls over this store's lifetime. *)
+
+val live_count : t -> int
+(** Nodes currently allocated and not yet freed
+    ([alloc_count - free_count]). The paging layer's leak audit checks
+    this against the nodes reachable from registered roots. *)
+
 val level : t -> int -> int
 val frame : t -> int -> int
 val live : t -> int -> int

@@ -41,6 +41,15 @@ type kind =
       (** A data access denied by the key register: the page's key tag
           [key] is not permitted by the current compartment. Lands as
           the typed [Key_violation] fault. *)
+  | Fork of { parent : int; child : int; proc : bool; nodes_shared : int; nodes_total : int }
+      (** A [vas_fork]/[proc_fork] ([proc] distinguishes them): [child]
+          was cloned from [parent] (vids or pids) with [nodes_shared]
+          of the child's [nodes_total] page-table nodes CoW-shared
+          rather than copied. *)
+  | Cow_fault of { va : int; copied : bool }
+      (** A copy-on-write write fault was broken at [va]. [copied]
+          records whether a frame copy was needed ([false] = last
+          owner: the existing frame was privatized in place). *)
 
 type t = { seq : int; core : int; cycles : int; kind : kind }
 
@@ -60,6 +69,9 @@ let name = function
   | Switch_retry _ -> "switch_retry"
   | Pkey_switch _ -> "pkey_switch"
   | Key_violation _ -> "key_violation"
+  | Fork { proc = true; _ } -> "proc_fork"
+  | Fork { proc = false; _ } -> "vas_fork"
+  | Cow_fault _ -> "cow_fault"
 
 let flush_to_string = function
   | Flush_nonglobal -> "nonglobal"
@@ -100,6 +112,12 @@ let args_json = function
       Printf.sprintf {|{"vid":%d,"key":%d,"cycles":%d}|} vid key cycles
   | Key_violation { va; key; write } ->
       Printf.sprintf {|{"va":"0x%x","key":%d,"write":%b}|} va key write
+  | Fork { parent; child; proc; nodes_shared; nodes_total } ->
+      Printf.sprintf
+        {|{"parent":%d,"child":%d,"proc":%b,"nodes_shared":%d,"nodes_total":%d}|}
+        parent child proc nodes_shared nodes_total
+  | Cow_fault { va; copied } ->
+      Printf.sprintf {|{"va":"0x%x","copied":%b}|} va copied
 
 let to_string e =
   Printf.sprintf "%08d %10d c%d %-18s %s" e.seq e.cycles e.core (name e.kind)

@@ -41,6 +41,15 @@ type kind =
       (** A data access denied by the key register: the page's key tag
           [key] is not permitted by the current compartment. Lands as
           the typed [Key_violation] fault. *)
+  | Fork of { parent : int; child : int; proc : bool; nodes_shared : int; nodes_total : int }
+      (** A [vas_fork]/[proc_fork] ([proc] distinguishes them): [child]
+          was cloned from [parent] (vids or pids) with [nodes_shared]
+          of the child's [nodes_total] page-table nodes CoW-shared
+          rather than copied. *)
+  | Cow_fault of { va : int; copied : bool }
+      (** A copy-on-write write fault was broken at [va]. [copied]
+          records whether a frame copy was needed ([false] = last
+          owner: the existing frame was privatized in place). *)
 
 type t = {
   seq : int;  (** per-recorder emission order, from 0 *)

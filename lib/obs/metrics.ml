@@ -41,6 +41,10 @@ type t = {
   mutable pkey_switches : int;
   mutable pkey_switch_cycles : int;
   mutable key_violations : int;
+  (* fork / copy-on-write *)
+  mutable forks : int;
+  mutable cow_faults : int;
+  mutable cow_copies : int;
 }
 
 let create () =
@@ -71,6 +75,9 @@ let create () =
     pkey_switches = 0;
     pkey_switch_cycles = 0;
     key_violations = 0;
+    forks = 0;
+    cow_faults = 0;
+    cow_copies = 0;
   }
 
 let record t (kind : Event.kind) =
@@ -112,6 +119,10 @@ let record t (kind : Event.kind) =
       t.pkey_switches <- t.pkey_switches + 1;
       t.pkey_switch_cycles <- t.pkey_switch_cycles + cycles
   | Key_violation _ -> t.key_violations <- t.key_violations + 1
+  | Fork _ -> t.forks <- t.forks + 1
+  | Cow_fault { copied; _ } ->
+      t.cow_faults <- t.cow_faults + 1;
+      if copied then t.cow_copies <- t.cow_copies + 1
 
 let syscall_rows t =
   let out = ref [] in
@@ -142,6 +153,9 @@ let switch_retry_cycles t = t.switch_retry_cycles
 let pkey_switches t = t.pkey_switches
 let pkey_switch_cycles t = t.pkey_switch_cycles
 let key_violations t = t.key_violations
+let forks t = t.forks
+let cow_faults t = t.cow_faults
+let cow_copies t = t.cow_copies
 
 let describe t =
   let b = Buffer.create 1024 in
@@ -174,6 +188,11 @@ let describe t =
   if t.pkey_switches > 0 || t.key_violations > 0 then
     p "pkeys:    switches=%d switch_cycles=%d violations=%d\n" t.pkey_switches
       t.pkey_switch_cycles t.key_violations;
+  (* Conditional like crashes/retries/pkeys: fork-free workloads must
+     describe byte-identically to pre-fork builds. *)
+  if t.forks > 0 || t.cow_faults > 0 then
+    p "fork:     forks=%d cow_faults=%d cow_copies=%d\n" t.forks t.cow_faults
+      t.cow_copies;
   Buffer.contents b
 
 let to_json t =
@@ -212,7 +231,9 @@ let to_json t =
     t.switch_retries t.switch_retry_cycles
     (Hist.quantile t.retry_hist 0.5)
     (Hist.max_value t.retry_hist);
-  p "  \"pkeys\": {\"switches\":%d,\"switch_cycles\":%d,\"violations\":%d}\n"
+  p "  \"pkeys\": {\"switches\":%d,\"switch_cycles\":%d,\"violations\":%d},\n"
     t.pkey_switches t.pkey_switch_cycles t.key_violations;
+  p "  \"fork\": {\"forks\":%d,\"cow_faults\":%d,\"cow_copies\":%d}\n" t.forks
+    t.cow_faults t.cow_copies;
   p "}\n";
   Buffer.contents b

@@ -65,6 +65,16 @@ val pkey_switch_cycles : t -> int
 val key_violations : t -> int
 (** Accesses denied by the key register ([Key_violation] events). *)
 
+val forks : t -> int
+(** Fork operations ([Fork] events, vas_fork and proc_fork alike). *)
+
+val cow_faults : t -> int
+(** Copy-on-write write faults broken ([Cow_fault] events). *)
+
+val cow_copies : t -> int
+(** CoW faults that needed a frame copy ([Cow_fault] with
+    [copied = true]; the rest privatized a sole-owner frame in place). *)
+
 val describe : t -> string
 (** Human-readable multi-line summary ([sjctl stats]). *)
 

@@ -13,6 +13,7 @@ type mapping = {
   size : page_size;
   global : bool;
   levels : int;
+  cow : bool;
 }
 
 type stats = {
@@ -29,14 +30,24 @@ type stats = {
 
      entry = 0                                     empty
      entry land 3 = 1: (child_index lsl 2) lor 1   interior table
+     entry land 3 = 3: (child_index lsl 2) lor 3   CoW-shared interior
      entry land 3 = 2: leaf —
        bits 12..   page-aligned physical base (pa's low 12 bits are 0)
+       bit 11      copy-on-write (first write must trap and break)
        bits 7..10  protection key (0 = default; key rights live in the
                    per-core register, never in the entry)
        bits 4..6   protection (read=1 / write=2 / exec=4)
        bit 3       page size (1 = 2 MiB)
        bit 2       global
        bits 0..1   tag 2
+
+   A mapping is copy-on-write iff the walk that reached it crossed a
+   tag-3 entry *or* the leaf carries bit 11. Tag 3 marks the sharing
+   point a fork created: everything below it belongs to several tables
+   at once, so mutators must take private ownership of the child
+   ([own_child]) before descending, pushing the CoW marking one level
+   down as they go. Tag-1 sharing (grafted translation caches) is
+   intentionally mutable in place and stays tag 1.
 
    Protections decode through an 8-entry intern table, so unpacking
    allocates nothing and yields structurally equal Prot values. *)
@@ -85,9 +96,12 @@ let prots =
       { Prot.read = i land 1 <> 0; write = i land 2 <> 0; exec = i land 4 <> 0 })
 
 let e_table idx = (idx lsl 2) lor 1
+let e_cow_table idx = (idx lsl 2) lor 3
+let cow_bit = 2048 (* bit 11 of a leaf *)
 
-let e_leaf ?(key = 0) ~pa ~prot ~size ~global () =
+let e_leaf ?(key = 0) ?(cow = false) ~pa ~prot ~size ~global () =
   pa
+  lor (if cow then cow_bit else 0)
   lor (key lsl 7)
   lor (prot_index prot lsl 4)
   lor (match size with P2M -> 8 | P4K -> 0)
@@ -99,6 +113,7 @@ let leaf_prot e = Array.unsafe_get prots ((e lsr 4) land 7)
 let leaf_key e = (e lsr 7) land 15
 let leaf_size e = if e land 8 <> 0 then P2M else P4K
 let leaf_global e = e land 4 <> 0
+let leaf_cow e = e land cow_bit <> 0
 
 let check_key key name =
   if key < 0 || key > Pkey.max_key then
@@ -115,6 +130,7 @@ let create mem =
   let frame = Phys_mem.alloc_frame mem in
   let root = Pt_store.alloc store ~level:4 ~frame:(frame :> int) in
   stats.tables_allocated <- stats.tables_allocated + 1;
+  Phys_mem.pt_register_root mem root;
   { mem; store; root; stats; memo_block = -1; memo_node = -1; memo_frees = 0 }
 
 let frame_of_node t idx =
@@ -152,7 +168,7 @@ let rec decref ?(count_clears = false) t node =
     for i = 0 to Pt_store.slots - 1 do
       let e = Pt_store.get store node i in
       match e land 3 with
-      | 1 ->
+      | 1 | 3 ->
         if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1;
         decref ~count_clears t (e lsr 2)
       | 2 -> if count_clears then t.stats.pte_clears <- t.stats.pte_clears + 1
@@ -165,6 +181,7 @@ let rec decref ?(count_clears = false) t node =
 
 let destroy t =
   dirty t;
+  Phys_mem.pt_unregister_root t.mem t.root;
   decref ~count_clears:true t t.root
 
 let check_aligned va size name =
@@ -173,7 +190,9 @@ let check_aligned va size name =
                    (Addr.to_string va) (Size.to_string (bytes_of_page_size size)))
 
 (* Descend to the table holding the slot for [va] at [target_level],
-   creating intermediate tables when [create_missing]; -1 = absent. *)
+   creating intermediate tables when [create_missing]; -1 = absent.
+   Read-only callers only: a tag-3 (CoW-shared) crossing is followed in
+   place, so the returned node may belong to several tables at once. *)
 let rec descend t node ~va ~target_level ~create_missing =
   let level = Pt_store.level t.store node in
   if level = target_level then node
@@ -181,7 +200,7 @@ let rec descend t node ~va ~target_level ~create_missing =
     let i = index_at ~level va in
     let e = Pt_store.get t.store node i in
     match e land 3 with
-    | 1 -> descend t (e lsr 2) ~va ~target_level ~create_missing
+    | 1 | 3 -> descend t (e lsr 2) ~va ~target_level ~create_missing
     | 2 ->
       invalid_arg
         (Printf.sprintf "Page_table: %s already covered by a larger mapping" (Addr.to_string va))
@@ -193,6 +212,92 @@ let rec descend t node ~va ~target_level ~create_missing =
         Pt_store.set_live t.store node (Pt_store.live t.store node + 1);
         t.stats.pte_writes <- t.stats.pte_writes + 1;
         descend t child ~va ~target_level ~create_missing
+      end
+
+(* Take private ownership of the CoW-shared child behind slot [i] of
+   [node] (the entry must be tag 3). Returns the now-privately-owned
+   child index, with the parent slot retagged to 1.
+
+   Sole owner (refs = 1, the other family members are gone): adopt the
+   node in place, but push the CoW marking one level down first — every
+   interior entry becomes tag 3 and every leaf gains bit 11. A plain
+   retag would be wrong: the *frames* under those leaves may still be
+   shared through CoW-cloned objects, so first writes must keep
+   trapping.
+
+   Shared (refs > 1): allocate a private copy whose interior entries
+   are tag-3 references to the original's children (each increffed) and
+   whose leaves carry bit 11, then drop one reference on the original.
+   Either way the charge is one PTE write per entry actually written,
+   plus one for the parent slot — exactly the work a kernel would do. *)
+let own_child t node i =
+  let store = t.store in
+  let e = Pt_store.get store node i in
+  let child = e lsr 2 in
+  if Pt_store.refs store child = 1 then begin
+    Pt_store.set store node i (e_table child);
+    t.stats.pte_writes <- t.stats.pte_writes + 1;
+    for j = 0 to Pt_store.slots - 1 do
+      let ej = Pt_store.get store child j in
+      match ej land 3 with
+      | 1 ->
+        Pt_store.set store child j (ej lor 2);
+        t.stats.pte_writes <- t.stats.pte_writes + 1
+      | 2 when ej land cow_bit = 0 ->
+        Pt_store.set store child j (ej lor cow_bit);
+        t.stats.pte_writes <- t.stats.pte_writes + 1
+      | _ -> ()
+    done;
+    child
+  end
+  else begin
+    let copy = alloc_node t ~level:(Pt_store.level store child) in
+    let live = ref 0 in
+    for j = 0 to Pt_store.slots - 1 do
+      let ej = Pt_store.get store child j in
+      match ej land 3 with
+      | 1 | 3 ->
+        let g = ej lsr 2 in
+        Pt_store.set_refs store g (Pt_store.refs store g + 1);
+        Pt_store.set store copy j (e_cow_table g);
+        incr live;
+        t.stats.pte_writes <- t.stats.pte_writes + 1
+      | 2 ->
+        Pt_store.set store copy j (ej lor cow_bit);
+        incr live;
+        t.stats.pte_writes <- t.stats.pte_writes + 1
+      | _ -> ()
+    done;
+    Pt_store.set_live store copy !live;
+    Pt_store.set store node i (e_table copy);
+    t.stats.pte_writes <- t.stats.pte_writes + 1;
+    decref t child;
+    copy
+  end
+
+(* [descend] for mutators: a tag-3 crossing takes private ownership of
+   the child first, so structural changes never reach a shared node.
+   Callers have already [dirty]'d the tree. *)
+let rec descend_owned t node ~va ~target_level ~create_missing =
+  let level = Pt_store.level t.store node in
+  if level = target_level then node
+  else
+    let i = index_at ~level va in
+    let e = Pt_store.get t.store node i in
+    match e land 3 with
+    | 1 -> descend_owned t (e lsr 2) ~va ~target_level ~create_missing
+    | 3 -> descend_owned t (own_child t node i) ~va ~target_level ~create_missing
+    | 2 ->
+      invalid_arg
+        (Printf.sprintf "Page_table: %s already covered by a larger mapping" (Addr.to_string va))
+    | _ ->
+      if not create_missing then -1
+      else begin
+        let child = alloc_node t ~level:(level - 1) in
+        Pt_store.set t.store node i (e_table child);
+        Pt_store.set_live t.store node (Pt_store.live t.store node + 1);
+        t.stats.pte_writes <- t.stats.pte_writes + 1;
+        descend_owned t child ~va ~target_level ~create_missing
       end
 
 let map ?(global = false) ?(key = 0) t ~va ~pa ~prot ~size =
@@ -208,7 +313,7 @@ let map ?(global = false) ?(key = 0) t ~va ~pa ~prot ~size =
        && t.memo_frees = Pt_store.free_count t.store
     then t.memo_node
     else begin
-      let n = descend t t.root ~va ~target_level:level ~create_missing:true in
+      let n = descend_owned t t.root ~va ~target_level:level ~create_missing:true in
       assert (n >= 0);
       if level = 1 then begin
         t.memo_block <- block;
@@ -253,7 +358,7 @@ let map_run ?(global = false) ?(key = 0) t ~va ~n ~frames ~off ~prot =
         if t.memo_block = block && t.memo_frees = Pt_store.free_count store
         then t.memo_node
         else begin
-          let nd = descend t t.root ~va:va_i ~target_level:1 ~create_missing:true in
+          let nd = descend_owned t t.root ~va:va_i ~target_level:1 ~create_missing:true in
           assert (nd >= 0);
           t.memo_block <- block;
           t.memo_node <- nd;
@@ -307,8 +412,10 @@ let unmap t ~va ~size =
     else begin
       let i = index_at ~level:(Pt_store.level store node) va in
       let e = Pt_store.get store node i in
-      if e land 3 = 1 then begin
-        let child = e lsr 2 in
+      if e land 3 = 1 || e land 3 = 3 then begin
+        (* Unmapping through a CoW-shared subtree first takes private
+           ownership: the siblings sharing it must keep the mapping. *)
+        let child = if e land 3 = 3 then own_child t node i else e lsr 2 in
         go child;
         if Pt_store.live store child = 0 && Pt_store.refs store child = 1 then begin
           Pt_store.set store node i 0;
@@ -322,7 +429,7 @@ let unmap t ~va ~size =
   in
   go t.root
 
-let mapping_of_leaf e ~levels =
+let mapping_of_leaf e ~levels ~cow =
   {
     pa = leaf_pa e;
     prot = leaf_prot e;
@@ -330,20 +437,22 @@ let mapping_of_leaf e ~levels =
     size = leaf_size e;
     global = leaf_global e;
     levels;
+    cow = cow || leaf_cow e;
   }
 
 let walk t ~va =
   if va < 0 || va >= Addr.va_limit then None
   else begin
     let store = t.store in
-    let rec go node level levels =
+    let rec go node level levels cow =
       let e = Pt_store.get store node (index_at ~level va) in
       match e land 3 with
-      | 1 -> go (e lsr 2) (level - 1) (levels + 1)
-      | 2 -> Some (mapping_of_leaf e ~levels)
+      | 1 -> go (e lsr 2) (level - 1) (levels + 1) cow
+      | 3 -> go (e lsr 2) (level - 1) (levels + 1) true
+      | 2 -> Some (mapping_of_leaf e ~levels ~cow)
       | _ -> None
     in
-    go t.root 4 1
+    go t.root 4 1 false
   end
 
 (* ---- Software page-walk cache (a per-core paging-structure cache) ----
@@ -361,10 +470,13 @@ type walk_cache = {
   mutable wgen : int;
   mutable base_l1 : int; (* 2 MiB span base; -1 = empty *)
   mutable node_l1 : int; (* node index; -1 = none *)
+  mutable cow_l1 : bool; (* walk to node crossed a tag-3 entry *)
   mutable base_l2 : int; (* 1 GiB span base *)
   mutable node_l2 : int;
+  mutable cow_l2 : bool;
   mutable base_l3 : int; (* 512 GiB span base *)
   mutable node_l3 : int;
+  mutable cow_l3 : bool;
 }
 
 let span_l1 = 1 lsl 21
@@ -377,10 +489,13 @@ let walk_cache_create () =
     wgen = -1;
     base_l1 = -1;
     node_l1 = -1;
+    cow_l1 = false;
     base_l2 = -1;
     node_l2 = -1;
+    cow_l2 = false;
     base_l3 = -1;
     node_l3 = -1;
+    cow_l3 = false;
   }
 
 let walk_cache_reset wc =
@@ -388,39 +503,48 @@ let walk_cache_reset wc =
   wc.wgen <- -1;
   wc.base_l1 <- -1;
   wc.node_l1 <- -1;
+  wc.cow_l1 <- false;
   wc.base_l2 <- -1;
   wc.node_l2 <- -1;
+  wc.cow_l2 <- false;
   wc.base_l3 <- -1;
-  wc.node_l3 <- -1
+  wc.node_l3 <- -1;
+  wc.cow_l3 <- false
 
-let rec descend_cached t wc node level levels ~va =
-  (* Record the interior nodes we pass so the next walk can resume
-     deeper. Skip the store when the span is already recorded (same
-     epoch => it is necessarily the same node). *)
+let rec descend_cached t wc node level levels cow ~va =
+  (* Record the interior nodes we pass — and whether the walk down to
+     them crossed a CoW-shared entry — so the next walk can resume
+     deeper without forgetting cow-ness. Skip the store when the span
+     is already recorded (same epoch => it is necessarily the same
+     node, reached the same way). *)
   (match level with
   | 3 ->
     let b = va land lnot (span_l3 - 1) in
     if wc.base_l3 <> b then begin
       wc.base_l3 <- b;
-      wc.node_l3 <- node
+      wc.node_l3 <- node;
+      wc.cow_l3 <- cow
     end
   | 2 ->
     let b = va land lnot (span_l2 - 1) in
     if wc.base_l2 <> b then begin
       wc.base_l2 <- b;
-      wc.node_l2 <- node
+      wc.node_l2 <- node;
+      wc.cow_l2 <- cow
     end
   | 1 ->
     let b = va land lnot (span_l1 - 1) in
     if wc.base_l1 <> b then begin
       wc.base_l1 <- b;
-      wc.node_l1 <- node
+      wc.node_l1 <- node;
+      wc.cow_l1 <- cow
     end
   | _ -> ());
   let e = Pt_store.get t.store node (index_at ~level va) in
   match e land 3 with
-  | 1 -> descend_cached t wc (e lsr 2) (level - 1) (levels + 1) ~va
-  | 2 -> Some (mapping_of_leaf e ~levels)
+  | 1 -> descend_cached t wc (e lsr 2) (level - 1) (levels + 1) cow ~va
+  | 3 -> descend_cached t wc (e lsr 2) (level - 1) (levels + 1) true ~va
+  | 2 -> Some (mapping_of_leaf e ~levels ~cow)
   | _ -> None
 
 let walk_cached t wc ~va =
@@ -435,19 +559,19 @@ let walk_cached t wc ~va =
     (* Resume from the deepest cached node covering [va]; a node at
        level L is reached by the full walk with [levels] = 5 - L. *)
     if wc.node_l1 >= 0 && wc.base_l1 = va land lnot (span_l1 - 1) then
-      descend_cached t wc wc.node_l1 1 4 ~va
+      descend_cached t wc wc.node_l1 1 4 wc.cow_l1 ~va
     else if wc.node_l2 >= 0 && wc.base_l2 = va land lnot (span_l2 - 1) then
-      descend_cached t wc wc.node_l2 2 3 ~va
+      descend_cached t wc wc.node_l2 2 3 wc.cow_l2 ~va
     else if wc.node_l3 >= 0 && wc.base_l3 = va land lnot (span_l3 - 1) then
-      descend_cached t wc wc.node_l3 3 2 ~va
-    else descend_cached t wc t.root 4 1 ~va
+      descend_cached t wc wc.node_l3 3 2 wc.cow_l3 ~va
+    else descend_cached t wc t.root 4 1 false ~va
   end
 
 let protect t ~va ~size ~prot =
   dirty t;
   check_aligned va size "protect";
   let level = leaf_level size in
-  let node = descend t t.root ~va ~target_level:level ~create_missing:false in
+  let node = descend_owned t t.root ~va ~target_level:level ~create_missing:false in
   if node < 0 then invalid_arg "Page_table.protect: not mapped"
   else begin
     let i = index_at ~level va in
@@ -467,7 +591,7 @@ let set_key t ~va ~size ~key =
   check_aligned va size "set_key";
   check_key key "set_key";
   let level = leaf_level size in
-  let node = descend t t.root ~va ~target_level:level ~create_missing:false in
+  let node = descend_owned t t.root ~va ~target_level:level ~create_missing:false in
   if node < 0 then invalid_arg "Page_table.set_key: not mapped"
   else begin
     let i = index_at ~level va in
@@ -504,9 +628,10 @@ let extract_subtree t ~va ~level =
     let i = index_at ~level:(level + 1) base in
     let e = Pt_store.get t.store parent i in
     match e land 3 with
-    | 1 ->
+    | 1 | 3 ->
       let child = e lsr 2 in
       Pt_store.set_refs t.store child (Pt_store.refs t.store child + 1);
+      Phys_mem.pt_register_handle t.mem child;
       Some { s_idx = child; s_level = level }
     | 2 -> invalid_arg "Page_table.extract_subtree: slot holds a large-page leaf"
     | _ -> None
@@ -517,7 +642,7 @@ let graft_subtree t ~va (sub : subtree) =
   let span = span_of_level sub.s_level in
   if va land (span - 1) <> 0 then
     invalid_arg "Page_table.graft_subtree: address not aligned to subtree span";
-  let parent = descend t t.root ~va ~target_level:(sub.s_level + 1) ~create_missing:true in
+  let parent = descend_owned t t.root ~va ~target_level:(sub.s_level + 1) ~create_missing:true in
   assert (parent >= 0);
   let i = index_at ~level:(sub.s_level + 1) va in
   if Pt_store.get t.store parent i = 0 then begin
@@ -535,12 +660,12 @@ let prune_subtree t ~va ~level =
   t.memo_block <- -1;
   let span = span_of_level level in
   let base = Size.round_down va ~align:span in
-  let parent = descend t t.root ~va:base ~target_level:(level + 1) ~create_missing:false in
+  let parent = descend_owned t t.root ~va:base ~target_level:(level + 1) ~create_missing:false in
   if parent < 0 then invalid_arg "Page_table.prune_subtree: not present"
   else begin
     let i = index_at ~level:(level + 1) base in
     let e = Pt_store.get t.store parent i in
-    if e land 3 = 1 then begin
+    if e land 3 = 1 || e land 3 = 3 then begin
       Pt_store.set t.store parent i 0;
       Pt_store.set_live t.store parent (Pt_store.live t.store parent - 1);
       t.stats.pte_clears <- t.stats.pte_clears + 1;
@@ -549,17 +674,167 @@ let prune_subtree t ~va ~level =
     else invalid_arg "Page_table.prune_subtree: not present"
   end
 
-let release_subtree t (sub : subtree) = decref t sub.s_idx
+let release_subtree t (sub : subtree) =
+  Phys_mem.pt_unregister_handle t.mem sub.s_idx;
+  decref t sub.s_idx
 
 let rec count_leaves t node =
   let acc = ref 0 in
   for i = 0 to Pt_store.slots - 1 do
     let e = Pt_store.get t.store node i in
     match e land 3 with
-    | 1 -> acc := !acc + count_leaves t (e lsr 2)
+    | 1 | 3 -> acc := !acc + count_leaves t (e lsr 2)
     | 2 -> incr acc
     | _ -> ()
   done;
   !acc
 
 let entries_mapped t = count_leaves t t.root
+
+(* ---- Copy-on-write cloning (fork) ----------------------------------- *)
+
+(* Share [t]'s top-level subtrees with a fresh table instead of
+   deep-copying them. Each accepted PML4 slot is increffed once and
+   installed tag-3 in the clone; the *source* slot is retagged tag-3
+   too (if it was not already), so writes on either side of the fork
+   take the own_child path. [share] filters by PML4 slot index —
+   process-private spans and attachment spans fork differently. The
+   charge is one PTE write per slot written (clone) or retagged
+   (source); no table is copied, which is the whole point. *)
+let clone_cow ?(share = fun _ -> true) t =
+  dirty t;
+  (* The memo'd level-1 table is inside a now-shared subtree: a map
+     through it would mutate the whole family. Retagging frees nothing,
+     so the free-count check alone would not catch this. *)
+  t.memo_block <- -1;
+  let clone = create t.mem in
+  let store = t.store in
+  for i = 0 to Pt_store.slots - 1 do
+    let e = Pt_store.get store t.root i in
+    match e land 3 with
+    | (1 | 3) when share i ->
+      let child = e lsr 2 in
+      Pt_store.set_refs store child (Pt_store.refs store child + 1);
+      Pt_store.set store clone.root i (e_cow_table child);
+      Pt_store.set_live store clone.root (Pt_store.live store clone.root + 1);
+      clone.stats.pte_writes <- clone.stats.pte_writes + 1;
+      if e land 3 = 1 then begin
+        Pt_store.set store t.root i (e_cow_table child);
+        t.stats.pte_writes <- t.stats.pte_writes + 1
+      end
+    | 2 -> invalid_arg "Page_table.clone_cow: root-level leaf"
+    | _ -> ()
+  done;
+  clone
+
+(* Break copy-on-write for the page at [va]: repoint its leaf at the
+   private frame [pa] and clear bit 11, taking ownership of every
+   shared table on the walk down. The caller (the fault path) owns
+   frame allocation and byte copying — this is only the PTE surgery,
+   charged at one PTE write per entry touched. *)
+let break_cow t ~va ~pa =
+  dirty t;
+  t.memo_block <- -1;
+  let store = t.store in
+  let rec go node =
+    let level = Pt_store.level store node in
+    let i = index_at ~level va in
+    let e = Pt_store.get store node i in
+    match e land 3 with
+    | 1 -> go (e lsr 2)
+    | 3 -> go (own_child t node i)
+    | 2 ->
+      let size = leaf_size e in
+      check_aligned pa size "break_cow";
+      Pt_store.set store node i
+        (e_leaf ~key:(leaf_key e) ~pa ~prot:(leaf_prot e) ~size ~global:(leaf_global e) ());
+      t.stats.pte_writes <- t.stats.pte_writes + 1
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Page_table.break_cow: %s not mapped" (Addr.to_string va))
+  in
+  go t.root
+
+(* Reachable interior tables, and how many of them sit under a tag-3
+   crossing (sticky: a shared parent makes the whole subtree shared).
+   Feeds the fork event payload and the > 90 %-shared bench claim. *)
+let count_nodes t =
+  let store = t.store in
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 and shared = ref 0 in
+  let rec go node ~cow =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.replace seen node ();
+      incr total;
+      if cow then incr shared;
+      for i = 0 to Pt_store.slots - 1 do
+        let e = Pt_store.get store node i in
+        match e land 3 with
+        | 1 -> go (e lsr 2) ~cow
+        | 3 -> go (e lsr 2) ~cow:true
+        | _ -> ()
+      done
+    end
+  in
+  go t.root ~cow:false;
+  (!total, !shared)
+
+(* ---- Refcount audit -------------------------------------------------- *)
+
+type audit = {
+  a_nodes : int;
+  a_shared : int;
+  a_leaked : int;
+  a_imbalanced : (int * int * int) list;
+}
+
+(* Recompute every live node's expected refcount from first principles:
+   its indegree over the entries reachable from the registered roots
+   and extracted-subtree handles, plus one per appearance in either
+   registry. Any mismatch means an incref/decref bug; any live node
+   never reached means a leak. Per-[Phys_mem.t] on purpose — a global
+   registry would race across simulation domains. *)
+let audit mem =
+  let store = Phys_mem.pt_store mem in
+  let expected = Hashtbl.create 256 in
+  let bump n =
+    Hashtbl.replace expected n
+      (1 + Option.value ~default:0 (Hashtbl.find_opt expected n))
+  in
+  let seen = Hashtbl.create 256 in
+  let rec go node =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.replace seen node ();
+      for i = 0 to Pt_store.slots - 1 do
+        let e = Pt_store.get store node i in
+        match e land 3 with
+        | 1 | 3 ->
+          bump (e lsr 2);
+          go (e lsr 2)
+        | _ -> ()
+      done
+    end
+  in
+  List.iter
+    (fun r ->
+      bump r;
+      go r)
+    (Phys_mem.pt_roots mem);
+  List.iter
+    (fun h ->
+      bump h;
+      go h)
+    (Phys_mem.pt_handles mem);
+  let shared = ref 0 and imbalanced = ref [] in
+  Hashtbl.iter
+    (fun n exp ->
+      let r = Pt_store.refs store n in
+      if r > 1 then incr shared;
+      if r <> exp then imbalanced := (n, r, exp) :: !imbalanced)
+    expected;
+  {
+    a_nodes = Pt_store.live_count store;
+    a_shared = !shared;
+    a_leaked = Pt_store.live_count store - Hashtbl.length seen;
+    a_imbalanced = List.sort compare !imbalanced;
+  }

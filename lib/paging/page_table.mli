@@ -10,7 +10,14 @@
     (reference-counted). This supports both the Barrelfish design where
     all non-root tables of a VAS are shared among attaching processes
     (§4.2) and the translation-caching optimization for segments
-    (§4.1, §4.4). *)
+    (§4.1, §4.4).
+
+    A second, distinct sharing mode backs fork: {!clone_cow} marks the
+    shared subtrees *copy-on-write*. Walks report such mappings with
+    [cow = true] (the machine layer inserts them read-only so the first
+    write traps), and every structural mutator takes private ownership
+    of CoW-shared tables before touching them, so a mutation on one
+    side of a fork is never visible on the other. *)
 
 type t
 (** One address space's translation tree (one root table). *)
@@ -29,6 +36,11 @@ type mapping = {
   size : page_size;
   global : bool;  (** x86 G bit: TLB entry survives untagged CR3 loads *)
   levels : int;  (** tables touched by a walk resolving this mapping *)
+  cow : bool;
+      (** copy-on-write: the walk crossed a fork-shared table or the
+          leaf carries the CoW bit. Hardware-level writes must trap
+          (insert the TLB entry read-only) until {!break_cow} repoints
+          the page at a private frame. *)
 }
 
 type stats = {
@@ -152,3 +164,51 @@ val release_subtree : t -> subtree -> unit
 val entries_mapped : t -> int
 (** Number of leaf mappings reachable from this root (counts shared
     subtrees' leaves too). *)
+
+(** {2 Copy-on-write cloning (fork)} *)
+
+val clone_cow : ?share:(int -> bool) -> t -> t
+(** A fresh root whose accepted top-level slots *share* [t]'s subtrees
+    copy-on-write instead of deep-copying them: each shared child is
+    increffed once and linked CoW-tagged from both roots, so subsequent
+    walks on either side report [cow = true] and the first structural
+    mutation (or write fault) takes a private copy one level at a time.
+    [share] (default: everything) filters by PML4 slot index, letting
+    fork share attachment spans while handling process-private spans
+    separately. Charges one PTE write per slot linked or retagged —
+    cloning cost is O(top-level slots), not O(mappings), which is the
+    entire point of fork-by-CoW. *)
+
+val break_cow : t -> va:int -> pa:int -> unit
+(** Break copy-on-write for the page containing [va]: take private
+    ownership of every shared table on the walk, then repoint the leaf
+    at [pa] (the caller's freshly copied frame) with the CoW bit
+    cleared. Protections, key tag, page size and the global bit are
+    preserved. The caller owns frame allocation and the byte copy; this
+    charges only the PTE writes the ownership walk performs. Raises
+    [Invalid_argument] if [va] is not mapped. *)
+
+val count_nodes : t -> int * int
+(** [(total, shared)] interior tables reachable from this root, where
+    [shared] counts tables sitting at or below a CoW-shared link —
+    the evidence for "a forked family shares > 90 % of its page-table
+    nodes before the first write". *)
+
+(** {2 Refcount audit} *)
+
+type audit = {
+  a_nodes : int;  (** live nodes in the arena (alloc - free) *)
+  a_shared : int;  (** reachable nodes with refcount > 1 *)
+  a_leaked : int;  (** live nodes unreachable from any root/handle *)
+  a_imbalanced : (int * int * int) list;
+      (** (node, refcount, expected) for every node whose refcount does
+          not equal its recomputed indegree; sorted, deterministic *)
+}
+
+val audit : Sj_mem.Phys_mem.t -> audit
+(** Recompute, from first principles, every live page-table node's
+    expected refcount over all tables built on [mem]: indegree from
+    reachable interior entries plus registered roots and
+    extracted-subtree handles. A non-empty [a_imbalanced] or non-zero
+    [a_leaked] is an incref/decref bug. Backs the explore
+    refcount-balance invariant and the fork bench's leak claim. *)

@@ -38,7 +38,7 @@ fi
 
 # -- 2: invariant roster --------------------------------------------
 
-invariants="lock-balance tag-unique tag-reclaim pkey-owners pkru-hygiene journal-commit syscall-balance modal-agreement"
+invariants="lock-balance tag-unique tag-reclaim pkey-owners pkru-hygiene refcount-balance cow-isolation journal-commit syscall-balance modal-agreement"
 
 for i in $invariants; do
   grep -q "\"$i\"" lib/explore/invariant.ml || {

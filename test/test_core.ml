@@ -173,9 +173,11 @@ let test_seg_clone_copies_contents () =
 
 (* seg_clone copies into a plain 4 KiB-backed segment, so sources whose
    backing it cannot reproduce are refused with typed Invalid faults
-   instead of silently cloning wrong: pre-built (cached) page tables,
-   COW sources (clone would copy while the snapshot still shares), and
-   2 MiB-backed segments. *)
+   instead of silently cloning wrong: pre-built (cached) page tables
+   and 2 MiB-backed segments. COW sources are supported by
+   break-and-copy on the read side: the clone reads the shared frames
+   (reads never split a CoW page) into fresh frames of its own, so the
+   source keeps sharing with its snapshot and the clone is private. *)
 let test_seg_clone_refusals () =
   let _, _, ctx = setup () in
   let check_refused what r =
@@ -189,13 +191,30 @@ let test_seg_clone_refusals () =
   in
   Api.seg_ctl ctx (`Cache_translations cached);
   check_refused "cached source" (Api.Checked.seg_clone ctx cached ~name:"cached-copy");
-  let cow = Api.seg_alloc_anywhere ctx ~name:"cow" ~size:(Size.mib 1) ~mode:0o600 in
-  ignore (Api.seg_snapshot ctx cow ~name:"cow-snap");
-  check_refused "COW source" (Api.Checked.seg_clone ctx cow ~name:"cow-copy");
   let huge =
     Api.seg_alloc_anywhere ~huge:true ctx ~name:"huge" ~size:(Size.mib 2) ~mode:0o600
   in
-  check_refused "huge source" (Api.Checked.seg_clone ctx huge ~name:"huge-copy")
+  check_refused "huge source" (Api.Checked.seg_clone ctx huge ~name:"huge-copy");
+  (* COW source: clone succeeds, reads current bytes, leaves the source
+     still COW (its sharing with the snapshot is untouched). *)
+  let cow = Api.seg_alloc_anywhere ctx ~name:"cow" ~size:(Size.mib 1) ~mode:0o600 in
+  let vas = Api.vas_create ctx ~name:"cowv" ~mode:0o600 in
+  Api.seg_attach ctx vas cow ~prot:Prot.rw;
+  let vh = Api.vas_attach ctx vas in
+  Api.vas_switch ctx vh;
+  Api.store64 ctx ~va:(Segment.base cow + 64) 42L;
+  Api.switch_home ctx;
+  ignore (Api.seg_snapshot ctx cow ~name:"cow-snap");
+  let copy = Api.seg_clone ctx cow ~name:"cow-copy" in
+  Alcotest.(check bool) "source still COW" true (Segment.is_cow cow);
+  Alcotest.(check bool) "clone not COW" false (Segment.is_cow copy);
+  let vas2 = Api.vas_create ctx ~name:"cowv2" ~mode:0o600 in
+  Api.seg_attach ctx vas2 copy ~prot:Prot.rw;
+  let vh2 = Api.vas_attach ctx vas2 in
+  Api.vas_switch ctx vh2;
+  Alcotest.(check int64) "clone carries contents" 42L
+    (Api.load64 ctx ~va:(Segment.base cow + 64));
+  Api.switch_home ctx
 
 let test_seg_attach_propagates () =
   (* Attaching a segment VAS-globally becomes visible to existing

@@ -39,11 +39,24 @@ let sys ?(id = "main") ?(segs = []) ?(vases = []) ?(free_tags = []) ?(cores = []
   { W.sys_id = id; segs; vases; free_tags; cores; live_pids }
 
 let counters ?(lock_acquires = 0) ?(lock_releases = 0) ?(lock_reclaims = 0) ?(crashes = 0)
-    ?(tag_assigns = 0) ?(tag_recycles = 0) ?(rows = []) () =
-  { W.lock_acquires; lock_releases; lock_reclaims; crashes; tag_assigns; tag_recycles; rows }
+    ?(tag_assigns = 0) ?(tag_recycles = 0) ?(forks = 0) ?(cow_faults = 0) ?(cow_copies = 0)
+    ?(rows = []) () =
+  {
+    W.lock_acquires;
+    lock_releases;
+    lock_reclaims;
+    crashes;
+    tag_assigns;
+    tag_recycles;
+    forks;
+    cow_faults;
+    cow_copies;
+    rows;
+  }
 
-let world ?(snapshots = []) ?(cnt = counters ()) ?journal ?(teardown_complete = false) () =
-  { W.snapshots; counters = cnt; journal; teardown_complete }
+let world ?(snapshots = []) ?(cnt = counters ()) ?journal ?(pt = W.no_pt_audit)
+    ?(cow_probes = []) ?(teardown_complete = false) () =
+  { W.snapshots; counters = cnt; journal; pt; cow_probes; teardown_complete }
 
 (* A small world every invariant accepts: one busy phase, then a fully
    drained final phase with the issued tag back on the free list. *)
@@ -190,6 +203,29 @@ let test_pkru_hygiene_flags () =
          ]
        ())
 
+let test_refcount_balance_flags () =
+  (* A node whose refcount disagrees with its recomputed indegree. *)
+  check_flags "refcount-balance"
+    (world ~pt:{ W.no_pt_audit with W.pt_nodes = 4; pt_imbalanced = 1 } ());
+  (* A live node no root or handle can reach. *)
+  check_flags "refcount-balance"
+    (world ~pt:{ W.no_pt_audit with W.pt_nodes = 4; pt_leaked = 2 } ());
+  (* Balanced, reachable — but still live after a complete teardown. *)
+  check_flags "refcount-balance"
+    (world ~pt:{ W.no_pt_audit with W.pt_nodes = 3 } ~teardown_complete:true ());
+  (* Residual nodes with teardown incomplete are fine (the run died). *)
+  Alcotest.(check (list string)) "incomplete teardown tolerates residual nodes" []
+    (violations_of "refcount-balance"
+       (world ~pt:{ W.no_pt_audit with W.pt_nodes = 3 } ()))
+
+let test_cow_isolation_flags () =
+  (* A probe that saw a value cross the fork. *)
+  check_flags "cow-isolation"
+    (world ~cow_probes:[ ("kid-own-home", 0x6B1DL, 0xA11CEL) ] ());
+  (* Agreeing probes are accepted. *)
+  Alcotest.(check (list string)) "agreeing probes accepted" []
+    (violations_of "cow-isolation" (world ~cow_probes:[ ("kid-own-home", 1L, 1L) ] ()))
+
 let test_journal_commit_flags () =
   (* Recovery returned an uncommitted image. *)
   check_flags "journal-commit"
@@ -250,6 +286,7 @@ let test_bug_pkru_scrubbed_on_owner_death () =
       Explore.backend = Api.Dragonfly;
       seed = 50;
       plan = [ Plan.kill_at_syscall ~pid:1 ~nr:10 ~occurrence:1 () ];
+      fork = false;
     }
   in
   let r = Explore.run cfg in
@@ -345,6 +382,23 @@ let test_bug_exit_forces_siblings_out () =
   Alcotest.(check bool) "VAS destroyable after the forced exit" true
     (match Api.Checked.vas_ctl ctxr (`Destroy v) with Ok () -> true | Error _ -> false)
 
+(* The μFork phase end to end: a fork-bearing baseline runs clean on
+   both mechanism parities, actually records its isolation probes, and
+   counts both Fork events (proc_fork + vas_fork). *)
+let test_fork_phase_runs_clean () =
+  List.iter
+    (fun seed ->
+      let cfg = { Explore.backend = Api.Dragonfly; seed; plan = []; fork = true } in
+      let r = Explore.run cfg in
+      Alcotest.(check (list (pair string string)))
+        (Explore.key cfg ^ " runs clean") [] r.Explore.violations;
+      Alcotest.(check bool) "isolation probes recorded" true
+        (List.length r.Explore.world.W.cow_probes >= 6);
+      Alcotest.(check int) "both fork flavours counted" 2 r.Explore.world.W.counters.W.forks;
+      Alcotest.(check bool) "the child's writes broke CoW pages" true
+        (r.Explore.world.W.counters.W.cow_faults > 0))
+    [ 300; 301 ]
+
 (* ---- the sweep itself ---- *)
 
 let test_enumeration_covers_dimensions () =
@@ -389,6 +443,10 @@ let suite =
     Alcotest.test_case "pkey-owners flags range/owner/reference breaks" `Quick
       test_pkey_owners_flags;
     Alcotest.test_case "pkru-hygiene flags stale key rights" `Quick test_pkru_hygiene_flags;
+    Alcotest.test_case "refcount-balance flags imbalance, leaks and residue" `Quick
+      test_refcount_balance_flags;
+    Alcotest.test_case "cow-isolation flags writes that cross a fork" `Quick
+      test_cow_isolation_flags;
     Alcotest.test_case "journal-commit flags bad recovery" `Quick test_journal_commit_flags;
     Alcotest.test_case "syscall-balance flags stream/table disagreement" `Quick
       test_syscall_balance_flags;
@@ -404,6 +462,8 @@ let suite =
       test_bug_detach_refused_while_sibling_entered;
     Alcotest.test_case "bug D: exit forces siblings out of the VAS" `Quick
       test_bug_exit_forces_siblings_out;
+    Alcotest.test_case "fork phase runs clean on both mechanisms" `Quick
+      test_fork_phase_runs_clean;
     Alcotest.test_case "enumeration covers the advertised dimensions" `Quick
       test_enumeration_covers_dimensions;
     Alcotest.test_case "sampled sweep clean and deterministic" `Slow
